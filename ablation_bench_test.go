@@ -1,0 +1,195 @@
+package carbon3d
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: each
+// bench re-runs a headline experiment with one mechanism disabled or swept,
+// reporting the resulting metric so the contribution of the mechanism is
+// visible in `go test -bench=Ablation` output.
+
+import (
+	"testing"
+
+	"repro/internal/act"
+	"repro/internal/casestudy"
+	"repro/internal/core"
+	"repro/internal/ic"
+	"repro/internal/split"
+)
+
+func table5Save(b *testing.B, m *core.Model, integ ic.Integration) float64 {
+	b.Helper()
+	rows, err := casestudy.RunTable5(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Integration == integ {
+			return r.EmbodiedSave
+		}
+	}
+	b.Fatalf("no row for %s", integ)
+	return 0
+}
+
+// BenchmarkAblationBEOLSharing quantifies the F2F top-metal-sharing
+// mechanism: hybrid 3D's embodied saving with and without shared layers.
+func BenchmarkAblationBEOLSharing(b *testing.B) {
+	with := core.Default()
+	without := core.Default()
+	without.SharedBEOLLayers = 0
+	var sWith, sWithout float64
+	for i := 0; i < b.N; i++ {
+		sWith = table5Save(b, with, ic.Hybrid3D)
+		sWithout = table5Save(b, without, ic.Hybrid3D)
+	}
+	b.ReportMetric(sWith*100, "hybrid_save_with_%")
+	b.ReportMetric(sWithout*100, "hybrid_save_without_%")
+}
+
+// BenchmarkAblationM3DSequentialCost sweeps the monolithic-3D sequential
+// manufacturing premiums: how sensitive is the headline M3D saving to the
+// sequential-process assumptions?
+func BenchmarkAblationM3DSequentialCost(b *testing.B) {
+	var free, def, harsh float64
+	for i := 0; i < b.N; i++ {
+		m := core.Default()
+		m.SeqFEOLPremium, m.SeqILDShare, m.SeqDefectMultiplier = 0, 0, 1.0
+		free = table5Save(b, m, ic.Monolithic3D)
+
+		def = table5Save(b, core.Default(), ic.Monolithic3D)
+
+		m = core.Default()
+		m.SeqFEOLPremium, m.SeqILDShare, m.SeqDefectMultiplier = 0.5, 0.1, 1.6
+		harsh = table5Save(b, m, ic.Monolithic3D)
+	}
+	b.ReportMetric(free*100, "m3d_save_free_%")
+	b.ReportMetric(def*100, "m3d_save_default_%")
+	b.ReportMetric(harsh*100, "m3d_save_harsh_%")
+}
+
+// BenchmarkAblationIOKappa sweeps the utilized-bandwidth I/O power
+// multiplier κ: the EMIB overall saving falls as interface power rises.
+func BenchmarkAblationIOKappa(b *testing.B) {
+	kappas := []float64{1, 2, 4, 8}
+	saves := make([]float64, len(kappas))
+	for i := 0; i < b.N; i++ {
+		for k, kappa := range kappas {
+			m := core.Default()
+			m.IOKappa = kappa
+			rows, err := casestudy.RunTable5(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range rows {
+				if r.Integration == ic.EMIB {
+					saves[k] = r.OverallSave
+				}
+			}
+		}
+	}
+	for k, kappa := range kappas {
+		b.ReportMetric(saves[k]*100, "emib_overall_k"+itoa(int(kappa))+"_%")
+	}
+}
+
+// BenchmarkAblationYieldComposition contrasts the full Table 3 yield
+// composition against ACT's flat-yield die pricing on the ORIN 2D die —
+// the mechanism behind the models' divergence in Fig. 4.
+func BenchmarkAblationYieldComposition(b *testing.B) {
+	m := core.Default()
+	d, err := split.Mono2D(split.Chip{Name: "orin", ProcessNM: 7, Gates: 17e9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var full, flat float64
+	for i := 0; i < b.N; i++ {
+		rep, err := m.Embodied(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		full = rep.Die.Kg()
+		c, err := act.Default().DieCarbon(act.DieSpec{
+			ProcessNM: 7, Area: rep.Dies[0].Area,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		flat = c.Kg()
+	}
+	b.ReportMetric(full, "table3_yield_die_kg")
+	b.ReportMetric(flat, "flat_yield_die_kg")
+}
+
+// BenchmarkAblationBandwidthRho sweeps the bisection-traffic coefficient ρ:
+// the Fig. 5 validity pattern holds over a range around the calibrated
+// 0.01 B/op.
+func BenchmarkAblationBandwidthRho(b *testing.B) {
+	rhos := []float64{0.005, 0.01, 0.02}
+	invalids := make([]float64, len(rhos))
+	for i := 0; i < b.N; i++ {
+		for k, rho := range rhos {
+			m := core.Default()
+			m.Constraint.BytesPerOp = rho
+			rows, err := casestudy.RunFig5(m, split.HomogeneousStrategy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0.0
+			for _, r := range rows {
+				if !r.Valid {
+					n++
+				}
+			}
+			invalids[k] = n
+		}
+	}
+	for k := range rhos {
+		b.ReportMetric(invalids[k], "invalid_rho"+itoa(int(rhos[k]*1000))+"m")
+	}
+}
+
+// BenchmarkAblationWaferSize contrasts 200/300/450 mm wafers on the ORIN
+// 2D die (edge loss vs die size).
+func BenchmarkAblationWaferSize(b *testing.B) {
+	m := core.Default()
+	wafers := map[string]float64{"200mm": 31415.93, "300mm": 70685.83, "450mm": 159043.13}
+	out := map[string]float64{}
+	for i := 0; i < b.N; i++ {
+		for name, area := range wafers {
+			d, err := split.Mono2D(split.Chip{Name: "orin", ProcessNM: 7, Gates: 17e9})
+			if err != nil {
+				b.Fatal(err)
+			}
+			d.WaferAreaMM2 = area
+			rep, err := m.Embodied(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out[name] = rep.Total.Kg()
+		}
+	}
+	for name, v := range out {
+		b.ReportMetric(v, name+"_kg")
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,237 @@
+package carbon3d
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation, plus micro-benchmarks of the model's hot paths. The
+// per-experiment key results are attached as custom metrics (kg CO2e,
+// ratios) so `go test -bench` regenerates the numbers EXPERIMENTS.md
+// records.
+
+import (
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/core"
+	"repro/internal/design"
+	"repro/internal/ic"
+	"repro/internal/split"
+	"repro/internal/units"
+	"repro/internal/workload"
+	"repro/internal/yield"
+)
+
+// BenchmarkFig4aEPYC7452 regenerates the Fig. 4(a) EPYC 7452 validation.
+func BenchmarkFig4aEPYC7452(b *testing.B) {
+	m := core.Default()
+	var res *casestudy.Fig4aResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = casestudy.RunFig4a(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.LCA.Total.Kg(), "LCA_kg")
+	b.ReportMetric(res.MCM.Total.Kg(), "3DCarbon_kg")
+	b.ReportMetric(res.ACTPlus.Total.Kg(), "ACT+_kg")
+	b.ReportMetric(res.TwoDAdjustedDelta*100, "2D_delta_%")
+	b.ReportMetric(res.MCM.Packaging.Kg(), "pkg_kg")
+}
+
+// BenchmarkFig4bLakefield regenerates the Fig. 4(b) Lakefield validation.
+func BenchmarkFig4bLakefield(b *testing.B) {
+	m := core.Default()
+	var res *casestudy.Fig4bResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = casestudy.RunFig4b(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.GaBi.Total.Kg(), "GaBi_kg")
+	b.ReportMetric(res.ACTPlus.Total.Kg(), "ACT+_kg")
+	b.ReportMetric(res.D2W.Total.Kg(), "D2W_kg")
+	b.ReportMetric(res.W2W.Total.Kg(), "W2W_kg")
+	b.ReportMetric(res.D2W.Dies[1].EffectiveYield*100, "D2W_logic_yield_%")
+	b.ReportMetric(res.W2W.Dies[0].EffectiveYield*100, "W2W_yield_%")
+}
+
+func benchFig5(b *testing.B, s split.Strategy) {
+	m := core.Default()
+	var rows []casestudy.Fig5Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = casestudy.RunFig5(m, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Attach the headline series: the ORIN bars.
+	for _, r := range rows {
+		if r.Chip == "ORIN" {
+			b.ReportMetric(r.Total.Kg(), "ORIN_"+r.Integration.DisplayName()+"_kg")
+		}
+	}
+	invalid := 0
+	for _, r := range rows {
+		if !r.Valid {
+			invalid++
+		}
+	}
+	b.ReportMetric(float64(invalid), "invalid_designs")
+}
+
+// BenchmarkFig5aHomogeneous regenerates Fig. 5(a): the DRIVE series under
+// homogeneous two-die division.
+func BenchmarkFig5aHomogeneous(b *testing.B) {
+	benchFig5(b, split.HomogeneousStrategy)
+}
+
+// BenchmarkFig5bHeterogeneous regenerates Fig. 5(b): the heterogeneous
+// division with a 28 nm memory/IO die.
+func BenchmarkFig5bHeterogeneous(b *testing.B) {
+	benchFig5(b, split.HeterogeneousStrategy)
+}
+
+// BenchmarkTable5OrinDecision regenerates Table 5: the ORIN
+// choosing/replacing study.
+func BenchmarkTable5OrinDecision(b *testing.B) {
+	m := core.Default()
+	var rows []casestudy.Table5Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = casestudy.RunTable5(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.EmbodiedSave*100, r.Integration.DisplayName()+"_emb_save_%")
+		b.ReportMetric(r.OverallSave*100, r.Integration.DisplayName()+"_overall_save_%")
+	}
+}
+
+// BenchmarkTable3StackingYields exercises the Table 3 yield compositions.
+func BenchmarkTable3StackingYields(b *testing.B) {
+	s := yield.Stack3D{
+		DieYields: []float64{0.920, 0.893},
+		BondYield: 0.9609,
+		Flow:      ic.D2W,
+	}
+	a := yield.Assembly25D{
+		DieYields:      []float64{0.9, 0.8},
+		SubstrateYield: 0.95,
+		BondYields:     []float64{0.995, 0.995},
+		Order:          ic.ChipLast,
+	}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		y1, err := s.DieEffective(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		y2, err := a.DieEffective(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = y1 + y2
+	}
+	b.ReportMetric(sink, "last_sum")
+}
+
+// BenchmarkEmbodied2D measures a single 2D embodied evaluation (the hot
+// path of every sweep).
+func BenchmarkEmbodied2D(b *testing.B) {
+	m := core.Default()
+	d, err := split.Mono2D(split.Chip{Name: "bench", ProcessNM: 7, Gates: 17e9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Embodied(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEmbodiedHybrid3D measures a two-die 3D embodied evaluation.
+func BenchmarkEmbodiedHybrid3D(b *testing.B) {
+	m := core.Default()
+	d, err := split.Homogeneous(split.Chip{Name: "bench", ProcessNM: 7, Gates: 17e9}, ic.Hybrid3D)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Embodied(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEmbodiedEMIB measures a 2.5D embodied evaluation with substrate
+// and attach yields.
+func BenchmarkEmbodiedEMIB(b *testing.B) {
+	m := core.Default()
+	d, err := split.Homogeneous(split.Chip{Name: "bench", ProcessNM: 7, Gates: 17e9}, ic.EMIB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Embodied(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOperational measures the Eq. 16–17 evaluation with the
+// bandwidth constraint.
+func BenchmarkOperational(b *testing.B) {
+	m := core.Default()
+	d, err := split.Homogeneous(split.Chip{Name: "bench", ProcessNM: 7, Gates: 17e9}, ic.EMIB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := workload.AVPipeline(units.TOPS(254))
+	eff := units.TOPSPerWatt(2.74)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Operational(d, w, eff); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkYieldModel measures the Eq. 15 negative-binomial evaluation.
+func BenchmarkYieldModel(b *testing.B) {
+	area := units.SquareMillimeters(455)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		y, err := yield.Die(area, 0.138, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += y
+	}
+	b.ReportMetric(sink/float64(b.N), "yield")
+}
+
+// BenchmarkDesignJSONRoundTrip measures design serialisation (CLI path).
+func BenchmarkDesignJSONRoundTrip(b *testing.B) {
+	d, err := split.Homogeneous(split.Chip{Name: "bench", ProcessNM: 7, Gates: 17e9}, ic.Hybrid3D)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := d.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := design.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

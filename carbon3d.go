@@ -1,0 +1,192 @@
+// Package carbon3d is the public API of the 3D-Carbon reproduction: an
+// analytical carbon model for 2D, 2.5D and 3D integrated circuits
+// (Zhao et al., "3D-Carbon: An Analytical Carbon Modeling Tool for 3D and
+// 2.5D Integrated Circuits", DAC 2024).
+//
+// The model predicts the embodied carbon of manufacturing (die fabrication,
+// bonding, packaging and interposer, with full yield composition), the
+// operational carbon of a fixed-throughput use phase (with die-to-die I/O
+// power and the bandwidth viability constraint), and the choosing/replacing
+// decision metrics against a 2D baseline.
+//
+// Quickstart:
+//
+//	d := &carbon3d.Design{
+//	    Name:        "my-soc",
+//	    Integration: carbon3d.Hybrid3D,
+//	    Dies: []carbon3d.Die{
+//	        {Name: "bottom", ProcessNM: 7, Gates: 8.5e9},
+//	        {Name: "top", ProcessNM: 7, Gates: 8.5e9},
+//	    },
+//	    FabLocation: carbon3d.Taiwan,
+//	    UseLocation: carbon3d.USA,
+//	}
+//	rep, err := carbon3d.NewModel().Embodied(d)
+//
+// The heavy lifting lives in the internal packages; this package re-exports
+// the stable surface a downstream user needs.
+package carbon3d
+
+import (
+	"repro/internal/bandwidth"
+	"repro/internal/core"
+	"repro/internal/design"
+	"repro/internal/grid"
+	"repro/internal/ic"
+	"repro/internal/lifecycle"
+	"repro/internal/metrics"
+	"repro/internal/split"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Model is the configured 3D-Carbon pipeline.
+type Model = core.Model
+
+// NewModel returns the calibrated default model.
+func NewModel() *Model { return core.Default() }
+
+// Design descriptions (Fig. 3 "User input").
+type (
+	Design = design.Design
+	Die    = design.Die
+)
+
+// LoadDesign reads and validates a design JSON file.
+func LoadDesign(path string) (*Design, error) { return design.Load(path) }
+
+// ParseDesign decodes and validates a design from JSON bytes.
+func ParseDesign(data []byte) (*Design, error) { return design.Unmarshal(data) }
+
+// Reports.
+type (
+	EmbodiedReport    = core.EmbodiedReport
+	OperationalReport = core.OperationalReport
+	TotalReport       = core.TotalReport
+	DieReport         = core.DieReport
+)
+
+// Integration technologies (Table 1).
+type Integration = ic.Integration
+
+const (
+	Mono2D       = ic.Mono2D
+	MCM          = ic.MCM
+	InFO         = ic.InFO
+	EMIB         = ic.EMIB
+	SiInterposer = ic.SiInterposer
+	MicroBump3D  = ic.MicroBump3D
+	Hybrid3D     = ic.Hybrid3D
+	Monolithic3D = ic.Monolithic3D
+)
+
+// Integrations lists every technology, 2D first.
+func Integrations() []Integration { return ic.Integrations() }
+
+// Stacking, bonding and assembly options.
+type (
+	Stacking    = ic.Stacking
+	BondFlow    = ic.BondFlow
+	AttachOrder = ic.AttachOrder
+)
+
+const (
+	F2F       = ic.F2F
+	F2B       = ic.F2B
+	D2W       = ic.D2W
+	W2W       = ic.W2W
+	ChipFirst = ic.ChipFirst
+	ChipLast  = ic.ChipLast
+)
+
+// Grid locations.
+type Location = grid.Location
+
+const (
+	Taiwan     = grid.Taiwan
+	SouthKorea = grid.SouthKorea
+	USA        = grid.USA
+	Europe     = grid.Europe
+	India      = grid.India
+	Norway     = grid.Norway
+)
+
+// Locations lists every known grid region.
+func Locations() []Location { return grid.Locations() }
+
+// Workloads (§3.3 fixed-throughput use phase).
+type Workload = workload.Workload
+
+// AVWorkload returns the paper's autonomous-vehicle DNN pipeline profile
+// for a chip with the given peak capability in TOPS.
+func AVWorkload(peakTOPS float64) Workload {
+	return workload.AVPipeline(units.TOPS(peakTOPS))
+}
+
+// TOPSPerWatt builds a surveyed chip efficiency.
+func TOPSPerWatt(v float64) units.Efficiency { return units.TOPSPerWatt(v) }
+
+// Decision metrics (Eq. 2).
+type (
+	Comparison = metrics.Comparison
+	Horizon    = metrics.Horizon
+	Verdict    = metrics.Verdict
+)
+
+// Choosing evaluates T_c: for which lifetimes is the candidate the
+// lower-carbon *choice* over the 2D baseline?
+func Choosing(c Comparison) (Horizon, error) { return metrics.Choosing(c) }
+
+// Replacing evaluates T_r: when does replacing an existing 2D part pay back?
+func Replacing(c Comparison) (Horizon, error) { return metrics.Replacing(c) }
+
+// Recommend applies a horizon to a device lifetime.
+func Recommend(h Horizon, lifetimeYears float64) bool {
+	return metrics.Recommend(h, lifetimeYears)
+}
+
+// Compare builds the decision comparison from two evaluated designs.
+func Compare(baseline, candidate *TotalReport) Comparison {
+	return Comparison{
+		EmbodiedBaseline:  baseline.Embodied.Total,
+		EmbodiedCandidate: candidate.Embodied.Total,
+		AnnualOpBaseline:  baseline.Operational.AnnualCarbon,
+		AnnualOpCandidate: candidate.Operational.AnnualCarbon,
+	}
+}
+
+// Die-division strategies (§5 case studies).
+type (
+	Chip     = split.Chip
+	Strategy = split.Strategy
+)
+
+const (
+	Homogeneous   = split.HomogeneousStrategy
+	Heterogeneous = split.HeterogeneousStrategy
+)
+
+// Divide generates a 3D/2.5D design from a 2D chip description.
+func Divide(c Chip, integ Integration, s Strategy) (*Design, error) {
+	return split.Divide(c, integ, s)
+}
+
+// Bandwidth constraint (§3.4).
+type BandwidthConstraint = bandwidth.Constraint
+
+// DefaultBandwidthConstraint returns the MCM-GPU-anchored constraint.
+func DefaultBandwidthConstraint() BandwidthConstraint {
+	return bandwidth.DefaultConstraint()
+}
+
+// LifecyclePhases is the full Fig. 1 lifecycle breakdown (manufacturing,
+// transport, use, end-of-life).
+type LifecyclePhases = lifecycle.Phases
+
+// FullLifecycle extends an evaluated design with first-order transport and
+// end-of-life terms (an extension beyond the paper's manufacturing + use
+// scope; see internal/lifecycle).
+func FullLifecycle(tot *TotalReport) (*LifecyclePhases, error) {
+	return lifecycle.Full(tot.Embodied.Total, tot.Operational.LifetimeCarbon,
+		tot.Embodied.PackageArea)
+}

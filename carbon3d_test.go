@@ -1,0 +1,107 @@
+package carbon3d
+
+import (
+	"math"
+	"testing"
+)
+
+func orinChip() Chip {
+	return Chip{Name: "orin", ProcessNM: 7, Gates: 17e9}
+}
+
+// End-to-end through the public API: evaluate a 2D baseline and a hybrid 3D
+// candidate, compare, and decide.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	m := NewModel()
+	w := AVWorkload(254)
+	eff := TOPSPerWatt(2.74)
+
+	base, err := Divide(orinChip(), Mono2D, Homogeneous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseTot, err := m.Total(base, w, eff)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cand, err := Divide(orinChip(), Hybrid3D, Homogeneous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	candTot, err := m.Total(cand, w, eff)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if candTot.Embodied.Total >= baseTot.Embodied.Total {
+		t.Error("hybrid 3D should save embodied carbon over 2D")
+	}
+
+	cmp := Compare(baseTot, candTot)
+	tc, err := Choosing(cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Recommend(tc, 10) {
+		t.Errorf("hybrid 3D should be recommended for a 10-year AV: %+v", tc)
+	}
+	tr, err := Replacing(cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Recommend(tr, 10) {
+		t.Errorf("replacing within 10 years should not pay back: %+v", tr)
+	}
+}
+
+func TestParseDesignRoundTrip(t *testing.T) {
+	d := &Design{
+		Name:        "api-design",
+		Integration: EMIB,
+		Dies: []Die{
+			{Name: "a", ProcessNM: 7, Gates: 8.5e9},
+			{Name: "b", ProcessNM: 7, Gates: 8.5e9},
+		},
+		FabLocation: Taiwan,
+		UseLocation: USA,
+	}
+	data, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseDesign(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != d.Name || back.Integration != d.Integration {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestIntegrationsAndLocations(t *testing.T) {
+	if len(Integrations()) != 8 {
+		t.Errorf("Integrations() = %d entries, want 8", len(Integrations()))
+	}
+	if len(Locations()) < 10 {
+		t.Errorf("Locations() = %d entries, want a real database", len(Locations()))
+	}
+}
+
+func TestDefaultBandwidthConstraint(t *testing.T) {
+	c := DefaultBandwidthConstraint()
+	if c.BytesPerOp <= 0 || c.InvalidBelow != 0.5 {
+		t.Errorf("unexpected default constraint %+v", c)
+	}
+	// θ reproduces the 50 % → 80 % anchor.
+	if got := math.Pow(0.5, c.DegradeExponent); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("degradation anchor broken: 0.5^θ = %v", got)
+	}
+}
+
+func TestAVWorkloadProfile(t *testing.T) {
+	w := AVWorkload(254)
+	if w.LifetimeYears != 10 || w.Throughput.TOPS() != 30 {
+		t.Errorf("AV workload = %+v", w)
+	}
+}

@@ -1,0 +1,130 @@
+// Command carbon3d evaluates the life-cycle carbon of a hardware design
+// description (JSON) with the 3D-Carbon model.
+//
+// Usage:
+//
+//	carbon3d -design design.json [-tops 30] [-peak 254] [-eff 2.74]
+//	         [-hours 365] [-years 10] [-format table|csv|json] [-emit-sample]
+//
+// With -emit-sample the tool prints a commented sample design file and
+// exits.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/design"
+	"repro/internal/report"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+const sampleDesign = `{
+  "name": "orin-hybrid-example",
+  "integration": "hybrid-3d",
+  "stacking": "f2f",
+  "flow": "d2w",
+  "dies": [
+    {"name": "bottom", "process_nm": 7, "gates": 8500000000},
+    {"name": "top", "process_nm": 7, "gates": 8500000000}
+  ],
+  "fab_location": "taiwan",
+  "use_location": "usa"
+}`
+
+func main() {
+	path := flag.String("design", "", "path to the design JSON file")
+	tops := flag.Float64("tops", 30, "fixed application throughput (TOPS)")
+	peak := flag.Float64("peak", 254, "chip peak capability (TOPS), sets the bandwidth requirement")
+	eff := flag.Float64("eff", 2.74, "surveyed chip efficiency (TOPS/W)")
+	hours := flag.Float64("hours", 365, "active hours per year")
+	years := flag.Float64("years", 10, "device lifetime (years)")
+	format := flag.String("format", "table", "output format: table, csv or json")
+	sample := flag.Bool("emit-sample", false, "print a sample design file and exit")
+	flag.Parse()
+
+	if *sample {
+		fmt.Println(sampleDesign)
+		return
+	}
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "carbon3d: -design is required (try -emit-sample)")
+		os.Exit(2)
+	}
+	if err := run(*path, *tops, *peak, *eff, *hours, *years, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "carbon3d:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, tops, peak, eff, hours, years float64, format string) error {
+	d, err := design.Load(path)
+	if err != nil {
+		return err
+	}
+	w := workload.Workload{
+		Name:               "cli",
+		Throughput:         units.TOPS(tops),
+		PeakThroughput:     units.TOPS(peak),
+		ActiveHoursPerYear: hours,
+		LifetimeYears:      years,
+	}
+	m := core.Default()
+	tot, err := m.Total(d, w, units.TOPSPerWatt(eff))
+	if err != nil {
+		return err
+	}
+
+	switch format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(tot)
+	case "table", "csv":
+		emb := tot.Embodied
+		op := tot.Operational
+
+		t := report.NewTable("Quantity", "Value")
+		t.Add("Design", d.Name)
+		t.Add("Integration", string(d.Integration))
+		t.Add("Embodied total (kg CO2e)", report.Kg(emb.Total.Kg()))
+		t.Add("  die manufacturing", report.Kg(emb.Die.Kg()))
+		t.Add("  bonding", report.Kg(emb.Bonding.Kg()))
+		t.Add("  packaging", report.Kg(emb.Packaging.Kg()))
+		t.Add("  interposer", report.Kg(emb.Interposer.Kg()))
+		t.Add("Package area (mm²)", fmt.Sprintf("%.1f", emb.PackageArea.MM2()))
+		t.Add("Assembly yield", fmt.Sprintf("%.3f", emb.AssemblyYield))
+		t.Add("Bandwidth valid", fmt.Sprintf("%v", op.Valid))
+		t.Add("Throughput factor", fmt.Sprintf("%.3f", op.ThroughputFactor))
+		t.Add("Total power (W)", fmt.Sprintf("%.2f", op.TotalPower.W()))
+		t.Add("  IO power (W)", fmt.Sprintf("%.2f", op.IOPower.W()))
+		t.Add("Operational/yr (kg CO2e)", report.Kg(op.AnnualCarbon.Kg()))
+		t.Add("Operational lifetime (kg CO2e)", report.Kg(op.LifetimeCarbon.Kg()))
+		t.Add("LIFE-CYCLE TOTAL (kg CO2e)", report.Kg(tot.Total.Kg()))
+
+		dt := report.NewTable("Die", "Node", "Area mm²", "BEOL", "Yield", "Effective", "kg CO2e")
+		for _, dr := range emb.Dies {
+			dt.Add(dr.Name, fmt.Sprintf("%d nm", dr.ProcessNM),
+				fmt.Sprintf("%.1f", dr.Area.MM2()),
+				fmt.Sprintf("%d", dr.BEOLLayers),
+				fmt.Sprintf("%.3f", dr.IntrinsicYield),
+				fmt.Sprintf("%.3f", dr.EffectiveYield),
+				report.Kg(dr.Carbon.Kg()))
+		}
+		if format == "csv" {
+			fmt.Print(t.CSV())
+			fmt.Println()
+			fmt.Print(dt.CSV())
+			return nil
+		}
+		fmt.Print(t.String())
+		fmt.Println()
+		fmt.Print(dt.String())
+		return nil
+	}
+	return fmt.Errorf("unknown format %q", format)
+}

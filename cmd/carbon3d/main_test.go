@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "design.json")
+	if err := os.WriteFile(path, []byte(sampleDesign), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFormats(t *testing.T) {
+	path := writeSample(t)
+	for _, format := range []string{"table", "csv", "json"} {
+		if err := run(path, 30, 254, 2.74, 365, 10, format); err != nil {
+			t.Fatalf("format %s: %v", format, err)
+		}
+	}
+	if err := run(path, 30, 254, 2.74, 365, 10, "yaml"); err == nil {
+		t.Error("unknown format should error")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "missing.json"),
+		30, 254, 2.74, 365, 10, "table"); err == nil {
+		t.Error("missing design file should error")
+	}
+	// Broken workload: zero lifetime.
+	path := writeSample(t)
+	if err := run(path, 30, 254, 2.74, 365, 0, "table"); err == nil {
+		t.Error("zero lifetime should error")
+	}
+}
+
+// The embedded sample must stay a valid design.
+func TestSampleDesignValid(t *testing.T) {
+	path := writeSample(t)
+	if err := run(path, 30, 254, 2.74, 365, 10, "table"); err != nil {
+		t.Fatalf("sample design broken: %v", err)
+	}
+}

@@ -1,0 +1,150 @@
+// Command drivestudy reproduces the §5 NVIDIA DRIVE case studies:
+// Fig. 5(a)/(b) — overall carbon of the DRIVE series under homogeneous and
+// heterogeneous 2-die division across all integration technologies — and
+// Table 5, the ORIN choosing/replacing decision study.
+//
+// Usage:
+//
+//	drivestudy [-mode homogeneous|heterogeneous|both] [-table5] [-csv] [-chart]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/casestudy"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/split"
+)
+
+func main() {
+	mode := flag.String("mode", "both", "die-division strategy: homogeneous, heterogeneous or both")
+	table5 := flag.Bool("table5", true, "also print the Table 5 decision study")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	chart := flag.Bool("chart", false, "render Fig. 5 as ASCII stacked bars")
+	flag.Parse()
+
+	m := core.Default()
+	if err := run(m, *mode, *table5, *csv, *chart); err != nil {
+		fmt.Fprintln(os.Stderr, "drivestudy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(m *core.Model, mode string, table5, csv, chart bool) error {
+	var strategies []split.Strategy
+	switch mode {
+	case "homogeneous":
+		strategies = []split.Strategy{split.HomogeneousStrategy}
+	case "heterogeneous":
+		strategies = []split.Strategy{split.HeterogeneousStrategy}
+	case "both":
+		strategies = []split.Strategy{split.HomogeneousStrategy, split.HeterogeneousStrategy}
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+
+	for _, s := range strategies {
+		rows, err := casestudy.RunFig5(m, s)
+		if err != nil {
+			return err
+		}
+		label := "Fig. 5(a) — homogeneous division"
+		if s == split.HeterogeneousStrategy {
+			label = "Fig. 5(b) — heterogeneous division"
+		}
+		fmt.Println(label)
+		fmt.Println()
+		if chart {
+			printCharts(rows)
+		} else {
+			printTable(rows, csv)
+		}
+		fmt.Println()
+	}
+
+	if table5 {
+		rows, err := casestudy.RunTable5(m)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table 5 — choosing/replacing the ORIN 2D IC (10-year AV lifetime)")
+		fmt.Println()
+		t := report.NewTable("Metric", "EMIB", "Si_int", "Micro", "Hybrid", "M3D")
+		emb := []string{"Embodied carbon save ratio"}
+		ovr := []string{"Overall carbon save ratio"}
+		tc := []string{"Choosing metric Tc (years)"}
+		tr := []string{"Replacing metric Tr (years)"}
+		for _, r := range rows {
+			emb = append(emb, report.Pct(r.EmbodiedSave))
+			ovr = append(ovr, report.Pct(r.OverallSave))
+			tc = append(tc, r.Tc.String())
+			tr = append(tr, r.Tr.String())
+		}
+		t.Add(emb...)
+		t.Add(ovr...)
+		t.Add(tc...)
+		t.Add(tr...)
+		if csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Print(t.String())
+		}
+	}
+	return nil
+}
+
+func printTable(rows []casestudy.Fig5Row, csv bool) {
+	t := report.NewTable("Chip", "Design", "Valid", "Embodied kg",
+		"Operational kg", "Total kg", "BW achieved/required")
+	for _, r := range rows {
+		valid := "yes"
+		if !r.Valid {
+			valid = "NO (x)"
+		}
+		bw := "-"
+		if r.RequiredBW > 0 {
+			bw = fmt.Sprintf("%.2f/%.2f TB/s",
+				r.AchievedBW.TBytesPerS(), r.RequiredBW.TBytesPerS())
+		}
+		t.Add(r.Chip, r.Integration.DisplayName(), valid,
+			report.Kg(r.Embodied.Kg()), report.Kg(r.OperationalLifetime.Kg()),
+			report.Kg(r.Total.Kg()), bw)
+	}
+	if csv {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Print(t.String())
+}
+
+func printCharts(rows []casestudy.Fig5Row) {
+	byChip := map[string][]casestudy.Fig5Row{}
+	var order []string
+	for _, r := range rows {
+		if _, ok := byChip[r.Chip]; !ok {
+			order = append(order, r.Chip)
+		}
+		byChip[r.Chip] = append(byChip[r.Chip], r)
+	}
+	for _, chip := range order {
+		var bars []report.StackedBar
+		for _, r := range byChip[chip] {
+			marker := ""
+			if !r.Valid {
+				marker = "x invalid"
+			}
+			bars = append(bars, report.StackedBar{
+				Label:  r.Integration.DisplayName(),
+				First:  r.Embodied.Kg(),
+				Second: r.OperationalLifetime.Kg(),
+				Marker: marker,
+			})
+		}
+		fmt.Print(report.StackedBarChart(
+			chip+" (█ embodied, ░ operational, kg CO₂e over 10 yr)", "kg", bars, 40))
+		fmt.Println()
+	}
+}

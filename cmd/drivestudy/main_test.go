@@ -1,0 +1,25 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRunModes(t *testing.T) {
+	m := core.Default()
+	for _, mode := range []string{"homogeneous", "heterogeneous", "both"} {
+		if err := run(m, mode, true, false, false); err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+	}
+	if err := run(m, "homogeneous", false, true, false); err != nil {
+		t.Fatalf("csv: %v", err)
+	}
+	if err := run(m, "homogeneous", false, false, true); err != nil {
+		t.Fatalf("chart: %v", err)
+	}
+	if err := run(m, "diagonal", false, false, false); err == nil {
+		t.Error("unknown mode should error")
+	}
+}

@@ -1,0 +1,214 @@
+// Command sweep runs parameter sweeps over the 3D-Carbon model and emits
+// CSV series for plotting — the sensitivity companion to the paper's case
+// studies.
+//
+// Supported sweeps:
+//
+//	-sweep node       embodied carbon of a fixed-gate-count chip across nodes
+//	-sweep gates      embodied carbon vs design size for 2D and all splits
+//	-sweep ci         operational carbon vs use-grid intensity
+//	-sweep lifetime   overall saving vs device lifetime for each technology
+//	-sweep bandwidth  throughput factor vs interface capacity ratio
+//	-sweep tornado    one-at-a-time sensitivity of the ORIN hybrid design
+//
+// Usage:
+//
+//	sweep -sweep node [-gates 17e9]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bandwidth"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/ic"
+	"repro/internal/report"
+	"repro/internal/sensitivity"
+	"repro/internal/split"
+	"repro/internal/tech"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	which := flag.String("sweep", "node", "sweep to run: node, gates, ci, lifetime, bandwidth, tornado")
+	gates := flag.Float64("gates", 17e9, "design gate count")
+	flag.Parse()
+
+	m := core.Default()
+	var err error
+	switch *which {
+	case "node":
+		err = sweepNode(m, *gates)
+	case "gates":
+		err = sweepGates(m)
+	case "ci":
+		err = sweepCI(m, *gates)
+	case "lifetime":
+		err = sweepLifetime(m, *gates)
+	case "bandwidth":
+		err = sweepBandwidth()
+	case "tornado":
+		err = sweepTornado(*gates)
+	default:
+		err = fmt.Errorf("unknown sweep %q", *which)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func sweepNode(m *core.Model, gates float64) error {
+	t := report.NewTable("node_nm", "embodied_2d_kg", "embodied_hybrid_kg", "embodied_m3d_kg")
+	for _, nm := range tech.Processes() {
+		chip := split.Chip{Name: "sweep", ProcessNM: nm, Gates: gates}
+		row := []string{fmt.Sprintf("%d", nm)}
+		for _, integ := range []ic.Integration{ic.Mono2D, ic.Hybrid3D, ic.Monolithic3D} {
+			d, err := split.Homogeneous(chip, integ)
+			if err != nil {
+				return err
+			}
+			rep, err := m.Embodied(d)
+			if err != nil {
+				// Very dense nodes can push huge designs over the wafer
+				// limit; record the gap instead of dying.
+				row = append(row, "n/a")
+				continue
+			}
+			row = append(row, report.Kg(rep.Total.Kg()))
+		}
+		t.Add(row...)
+	}
+	fmt.Print(t.CSV())
+	return nil
+}
+
+func sweepGates(m *core.Model) error {
+	t := report.NewTable("gates_billion", "embodied_2d_kg", "embodied_hybrid_kg",
+		"embodied_emib_kg", "embodied_m3d_kg")
+	for _, g := range []float64{2e9, 5e9, 10e9, 17e9, 25e9, 35e9, 50e9} {
+		chip := split.Chip{Name: "sweep", ProcessNM: 7, Gates: g}
+		row := []string{fmt.Sprintf("%.0f", g/1e9)}
+		for _, integ := range []ic.Integration{ic.Mono2D, ic.Hybrid3D, ic.EMIB, ic.Monolithic3D} {
+			d, err := split.Homogeneous(chip, integ)
+			if err != nil {
+				return err
+			}
+			rep, err := m.Embodied(d)
+			if err != nil {
+				row = append(row, "n/a")
+				continue
+			}
+			row = append(row, report.Kg(rep.Total.Kg()))
+		}
+		t.Add(row...)
+	}
+	fmt.Print(t.CSV())
+	return nil
+}
+
+func sweepCI(m *core.Model, gates float64) error {
+	chip := split.Chip{Name: "sweep", ProcessNM: 7, Gates: gates}
+	w := workload.AVPipeline(units.TOPS(254))
+	t := report.NewTable("use_location", "ci_g_per_kwh", "operational_10yr_kg", "embodied_kg")
+	for _, loc := range grid.Locations() {
+		chip.UseLocation = loc
+		d, err := split.Mono2D(chip)
+		if err != nil {
+			return err
+		}
+		tot, err := m.Total(d, w, units.TOPSPerWatt(2.74))
+		if err != nil {
+			return err
+		}
+		ci := grid.MustIntensity(loc)
+		t.Add(string(loc), fmt.Sprintf("%.0f", ci.GPerKWh()),
+			report.Kg(tot.Operational.LifetimeCarbon.Kg()),
+			report.Kg(tot.Embodied.Total.Kg()))
+	}
+	fmt.Print(t.CSV())
+	return nil
+}
+
+func sweepLifetime(m *core.Model, gates float64) error {
+	chip := split.Chip{Name: "sweep", ProcessNM: 7, Gates: gates}
+	base, err := split.Mono2D(chip)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("lifetime_years", "emib_save", "micro_save", "hybrid_save", "m3d_save")
+	for _, years := range []float64{1, 2, 5, 10, 15, 20, 30} {
+		w := workload.AVPipeline(units.TOPS(254))
+		w.LifetimeYears = years
+		baseTot, err := m.Total(base, w, units.TOPSPerWatt(2.74))
+		if err != nil {
+			return err
+		}
+		row := []string{fmt.Sprintf("%.0f", years)}
+		for _, integ := range []ic.Integration{ic.EMIB, ic.MicroBump3D, ic.Hybrid3D, ic.Monolithic3D} {
+			d, err := split.Homogeneous(chip, integ)
+			if err != nil {
+				return err
+			}
+			tot, err := m.Total(d, w, units.TOPSPerWatt(2.74))
+			if err != nil {
+				return err
+			}
+			save := 1 - tot.Total.Kg()/baseTot.Total.Kg()
+			row = append(row, report.Pct(save))
+		}
+		t.Add(row...)
+	}
+	fmt.Print(t.CSV())
+	return nil
+}
+
+func sweepTornado(gates float64) error {
+	metric := func(m *core.Model) (float64, error) {
+		d, err := split.Homogeneous(split.Chip{Name: "tornado", ProcessNM: 7, Gates: gates}, ic.Hybrid3D)
+		if err != nil {
+			return 0, err
+		}
+		rep, err := m.Embodied(d)
+		if err != nil {
+			return 0, err
+		}
+		return rep.Total.Kg(), nil
+	}
+	swings, err := sensitivity.Tornado(metric, sensitivity.DefaultParameters())
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("parameter", "baseline_kg", "at_low_kg", "at_high_kg", "swing_kg", "swing_rel")
+	for _, s := range swings {
+		t.Add(s.Parameter,
+			fmt.Sprintf("%.3f", s.Baseline),
+			fmt.Sprintf("%.3f", s.AtLow),
+			fmt.Sprintf("%.3f", s.AtHigh),
+			fmt.Sprintf("%.3f", s.Magnitude()),
+			fmt.Sprintf("%.4f", s.Relative()))
+	}
+	fmt.Print(t.CSV())
+	return nil
+}
+
+func sweepBandwidth() error {
+	c := bandwidth.DefaultConstraint()
+	req := units.TerabytesPerSecond(1)
+	t := report.NewTable("capacity_ratio", "throughput_factor", "valid")
+	for ratio := 0.1; ratio <= 1.5001; ratio += 0.1 {
+		out, err := c.Evaluate(units.TerabytesPerSecond(ratio), req)
+		if err != nil {
+			return err
+		}
+		t.Add(fmt.Sprintf("%.1f", ratio),
+			fmt.Sprintf("%.4f", out.ThroughputFactor),
+			fmt.Sprintf("%v", out.Valid))
+	}
+	fmt.Print(t.CSV())
+	return nil
+}

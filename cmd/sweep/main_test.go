@@ -1,0 +1,29 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestAllSweeps(t *testing.T) {
+	m := core.Default()
+	if err := sweepNode(m, 17e9); err != nil {
+		t.Errorf("node sweep: %v", err)
+	}
+	if err := sweepGates(m); err != nil {
+		t.Errorf("gates sweep: %v", err)
+	}
+	if err := sweepCI(m, 17e9); err != nil {
+		t.Errorf("ci sweep: %v", err)
+	}
+	if err := sweepLifetime(m, 17e9); err != nil {
+		t.Errorf("lifetime sweep: %v", err)
+	}
+	if err := sweepBandwidth(); err != nil {
+		t.Errorf("bandwidth sweep: %v", err)
+	}
+	if err := sweepTornado(17e9); err != nil {
+		t.Errorf("tornado sweep: %v", err)
+	}
+}

@@ -1,0 +1,93 @@
+// Command validate reproduces the paper's Fig. 4 validation experiments:
+// (a) the 2.5D EPYC 7452 against a GaBi-style LCA and ACT+, and (b) the 3D
+// Lakefield against GaBi (14 nm substitution) and ACT+ with D2W vs W2W
+// stacking yields.
+//
+// Usage:
+//
+//	validate [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/casestudy"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	m := core.Default()
+	if err := run(m, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "validate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(m *core.Model, csv bool) error {
+	a, err := casestudy.RunFig4a(m)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("Fig. 4(a) — EPYC 7452 (2.5D MCM) embodied-carbon validation")
+	fmt.Println()
+	ta := report.NewTable("Estimate", "Total kg", "Die kg", "Packaging kg", "Notes")
+	ta.Add("LCA (GaBi-style)", report.Kg(a.LCA.Total.Kg()), report.Kg(a.LCA.Silicon.Kg()),
+		report.Kg(a.LCA.Package.Kg()), "2D-monolithic view")
+	ta.Add("ACT+", report.Kg(a.ACTPlus.Total.Kg()), report.Kg(a.ACTPlus.Die.Kg()),
+		report.Kg(a.ACTPlus.Packaging.Kg()), "flat 0.15 kg packaging")
+	ta.Add("3D-Carbon (MCM)", report.Kg(a.MCM.Total.Kg()), report.Kg(a.MCM.Die.Kg()),
+		report.Kg(a.MCM.Packaging.Kg()),
+		fmt.Sprintf("bonding %.2f kg", a.MCM.Bonding.Kg()))
+	ta.Add("3D-Carbon (2D-adjusted)", report.Kg(a.TwoDAdjusted.Kg()), "", "",
+		fmt.Sprintf("Δ vs LCA %.1f%%", a.TwoDAdjustedDelta*100))
+	emit(ta, csv)
+
+	b, err := casestudy.RunFig4b(m)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println()
+	fmt.Println("Fig. 4(b) — Lakefield (3D micro-bump) embodied-carbon validation")
+	fmt.Println()
+	tb := report.NewTable("Estimate", "Total kg", "Die kg", "Bonding kg", "Packaging kg")
+	tb.Add("GaBi (both dies @14nm)", report.Kg(b.GaBi.Total.Kg()),
+		report.Kg(b.GaBi.Silicon.Kg()), "-", report.Kg(b.GaBi.Package.Kg()))
+	tb.Add("ACT+", report.Kg(b.ACTPlus.Total.Kg()), report.Kg(b.ACTPlus.Die.Kg()),
+		"-", report.Kg(b.ACTPlus.Packaging.Kg()))
+	tb.Add("3D-Carbon D2W", report.Kg(b.D2W.Total.Kg()), report.Kg(b.D2W.Die.Kg()),
+		report.Kg(b.D2W.Bonding.Kg()), report.Kg(b.D2W.Packaging.Kg()))
+	tb.Add("3D-Carbon W2W", report.Kg(b.W2W.Total.Kg()), report.Kg(b.W2W.Die.Kg()),
+		report.Kg(b.W2W.Bonding.Kg()), report.Kg(b.W2W.Packaging.Kg()))
+	emit(tb, csv)
+
+	fmt.Println()
+	fmt.Println("Lakefield effective die yields (paper: D2W 89.3% / 88.4%, W2W 79.7%)")
+	fmt.Println()
+	ty := report.NewTable("Flow", "Die", "Intrinsic", "Effective")
+	for _, dr := range b.D2W.Dies {
+		ty.Add("D2W", dr.Name, fmt.Sprintf("%.3f", dr.IntrinsicYield),
+			fmt.Sprintf("%.3f", dr.EffectiveYield))
+	}
+	for _, dr := range b.W2W.Dies {
+		ty.Add("W2W", dr.Name, fmt.Sprintf("%.3f", dr.IntrinsicYield),
+			fmt.Sprintf("%.3f", dr.EffectiveYield))
+	}
+	emit(ty, csv)
+	return nil
+}
+
+func emit(t *report.Table, csv bool) {
+	if csv {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Print(t.String())
+}

@@ -1,0 +1,18 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Smoke test: the full validation pipeline runs in both output formats.
+func TestRunBothFormats(t *testing.T) {
+	m := core.Default()
+	if err := run(m, false); err != nil {
+		t.Fatalf("table format: %v", err)
+	}
+	if err := run(m, true); err != nil {
+		t.Fatalf("csv format: %v", err)
+	}
+}

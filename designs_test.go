@@ -1,0 +1,35 @@
+package carbon3d
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// The shipped design files must stay loadable and evaluable — they are the
+// CLI's working examples (`go run ./cmd/carbon3d -design designs/...`).
+func TestShippedDesignsEvaluate(t *testing.T) {
+	files, err := filepath.Glob("designs/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 6 {
+		t.Fatalf("expected ≥6 shipped designs, found %d", len(files))
+	}
+	m := NewModel()
+	w := AVWorkload(254)
+	for _, f := range files {
+		d, err := LoadDesign(f)
+		if err != nil {
+			t.Errorf("%s: %v", f, err)
+			continue
+		}
+		tot, err := m.Total(d, w, TOPSPerWatt(2.74))
+		if err != nil {
+			t.Errorf("%s: %v", f, err)
+			continue
+		}
+		if tot.Total <= 0 {
+			t.Errorf("%s: non-positive life-cycle total %v", f, tot.Total)
+		}
+	}
+}

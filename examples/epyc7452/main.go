@@ -1,0 +1,52 @@
+// EPYC 7452 validation example (the paper's Fig. 4a): model the 2.5D MCM
+// EPYC 7452 — four 7 nm CPU chiplets and a 14 nm IO die on an organic
+// substrate — and compare 3D-Carbon's estimate against the GaBi-style LCA
+// and the re-implemented ACT+ baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/casestudy"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	m := core.Default()
+	res, err := casestudy.RunFig4a(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("EPYC 7452 embodied-carbon validation (Fig. 4a)")
+	fmt.Println()
+	fmt.Print(report.BarChart("", "kg CO2e", []report.BarItem{
+		{Label: "LCA (GaBi-style)", Value: res.LCA.Total.Kg()},
+		{Label: "3D-Carbon (MCM)", Value: res.MCM.Total.Kg()},
+		{Label: "3D-Carbon (2D-adjusted)", Value: res.TwoDAdjusted.Kg()},
+		{Label: "ACT+", Value: res.ACTPlus.Total.Kg()},
+	}, 40))
+	fmt.Println()
+	fmt.Printf("2D-adjusted vs LCA discrepancy: %.1f%% (paper: ≈4.4%%)\n",
+		res.TwoDAdjustedDelta*100)
+	fmt.Printf("Packaging: 3D-Carbon %.2f kg vs ACT+ fixed %.2f kg (paper: 3.47 vs 0.15)\n",
+		res.MCM.Packaging.Kg(), res.ACTPlus.Packaging.Kg())
+
+	fmt.Println()
+	fmt.Println("Per-die breakdown (3D-Carbon MCM mode):")
+	t := report.NewTable("Die", "Node", "Area mm²", "BEOL", "Effective yield", "kg CO2e")
+	for _, d := range res.MCM.Dies {
+		t.Add(d.Name, fmt.Sprintf("%d nm", d.ProcessNM),
+			fmt.Sprintf("%.0f", d.Area.MM2()),
+			fmt.Sprintf("%d", d.BEOLLayers),
+			fmt.Sprintf("%.3f", d.EffectiveYield),
+			report.Kg(d.Carbon.Kg()))
+	}
+	fmt.Print(t.String())
+	fmt.Println()
+	fmt.Println("Note the CPU chiplets route with fewer BEOL layers than a")
+	fmt.Println("monolithic flagship — the manufacturing-complexity detail the")
+	fmt.Println("paper highlights against ACT+.")
+}

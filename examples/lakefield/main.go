@@ -1,0 +1,49 @@
+// Lakefield validation example (the paper's Fig. 4b): model Intel's
+// Lakefield — a 7 nm compute die micro-bump-stacked on a 14 nm base die in
+// a 12×12 mm package-on-package — under both D2W and W2W assembly flows,
+// reproducing the published stacking yields.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/casestudy"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	m := core.Default()
+	res, err := casestudy.RunFig4b(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Lakefield embodied-carbon validation (Fig. 4b)")
+	fmt.Println()
+	fmt.Print(report.BarChart("", "kg CO2e", []report.BarItem{
+		{Label: "3D-Carbon W2W", Value: res.W2W.Total.Kg()},
+		{Label: "3D-Carbon D2W", Value: res.D2W.Total.Kg()},
+		{Label: "ACT+", Value: res.ACTPlus.Total.Kg()},
+		{Label: "GaBi (14nm subst.)", Value: res.GaBi.Total.Kg(), Marker: "← underestimates"},
+	}, 40))
+
+	fmt.Println()
+	fmt.Println("Stacking yields (paper: D2W 89.3% logic / 88.4% memory; W2W 79.7%)")
+	t := report.NewTable("Flow", "Die", "Intrinsic", "Effective")
+	for _, d := range res.D2W.Dies {
+		t.Add("D2W", d.Name, fmt.Sprintf("%.1f%%", d.IntrinsicYield*100),
+			fmt.Sprintf("%.1f%%", d.EffectiveYield*100))
+	}
+	for _, d := range res.W2W.Dies {
+		t.Add("W2W", d.Name, fmt.Sprintf("%.1f%%", d.IntrinsicYield*100),
+			fmt.Sprintf("%.1f%%", d.EffectiveYield*100))
+	}
+	fmt.Print(t.String())
+
+	fmt.Println()
+	fmt.Println("D2W culls known-good dies before stacking, so its per-die")
+	fmt.Println("effective yields beat W2W even though each D2W bonding")
+	fmt.Println("operation yields less — exactly the paper's §4.2 discussion.")
+}

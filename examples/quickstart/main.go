@@ -1,0 +1,65 @@
+// Quickstart: evaluate the embodied and operational carbon of a two-die
+// hybrid-bonded 3D SoC and compare it against its 2D baseline — the
+// smallest end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	carbon3d "repro"
+)
+
+func main() {
+	m := carbon3d.NewModel()
+
+	// A 17-billion-gate SoC at 7 nm (an ORIN-class automotive part).
+	chip := carbon3d.Chip{Name: "quickstart", ProcessNM: 7, Gates: 17e9}
+
+	// Its fixed-throughput AV workload: a 30 TOPS DNN pipeline, one
+	// driving hour per day, 10-year life, on a 254-TOPS-class chip.
+	w := carbon3d.AVWorkload(254)
+	eff := carbon3d.TOPSPerWatt(2.74)
+
+	// 2D baseline.
+	base, err := carbon3d.Divide(chip, carbon3d.Mono2D, carbon3d.Homogeneous)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseTot, err := m.Total(base, w, eff)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Hybrid-bonded two-die 3D alternative.
+	cand, err := carbon3d.Divide(chip, carbon3d.Hybrid3D, carbon3d.Homogeneous)
+	if err != nil {
+		log.Fatal(err)
+	}
+	candTot, err := m.Total(cand, w, eff)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("2D baseline:  embodied %6.2f kg, operational %6.2f kg, total %6.2f kg CO2e\n",
+		baseTot.Embodied.Total.Kg(), baseTot.Operational.LifetimeCarbon.Kg(),
+		baseTot.Total.Kg())
+	fmt.Printf("Hybrid 3D:    embodied %6.2f kg, operational %6.2f kg, total %6.2f kg CO2e\n",
+		candTot.Embodied.Total.Kg(), candTot.Operational.LifetimeCarbon.Kg(),
+		candTot.Total.Kg())
+
+	// Decision metrics (Eq. 2 of the paper).
+	cmp := carbon3d.Compare(baseTot, candTot)
+	tc, err := carbon3d.Choosing(cmp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := carbon3d.Replacing(cmp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Choosing metric Tc: %s — choose hybrid 3D for a 10-year device: %v\n",
+		tc, carbon3d.Recommend(tc, 10))
+	fmt.Printf("Replacing metric Tr: %s — replace an existing 2D part: %v\n",
+		tr, carbon3d.Recommend(tr, 10))
+}

@@ -1,0 +1,126 @@
+// Package act re-implements the ACT architectural carbon model (Gupta et
+// al., ISCA'22) and its ACT+ extension as the paper describes them (§1, §4),
+// to serve as the validation baseline of Fig. 4:
+//
+//   - ACT prices a die as a per-node carbon-per-area factor divided by a
+//     fixed line yield, with packaging as a flat constant (0.15 kg).
+//   - ACT+ "estimates 2.5D IC carbon footprint from 2D ICs based on cost
+//     comparison and simplistically treats 3D stacked dies as 2D": dies are
+//     summed as independent 2D dies; interposer-based 2.5D assemblies add
+//     the interposer silicon priced at a legacy node.
+package act
+
+import (
+	"fmt"
+
+	"repro/internal/ic"
+	"repro/internal/units"
+)
+
+// cpaByNode is ACT's published per-node manufacturing carbon per cm²
+// (Taiwan-grid fab, whole-flow) in kg CO₂/cm².
+var cpaByNode = map[int]float64{
+	28: 0.90,
+	22: 0.95,
+	16: 1.10,
+	14: 1.20,
+	12: 1.30,
+	10: 1.475,
+	7:  1.52,
+	5:  1.86,
+	3:  2.10,
+}
+
+// Tool is an ACT/ACT+ instance.
+type Tool struct {
+	// Yield is ACT's flat line yield applied to every die.
+	Yield float64
+	// PackagingKg is ACT's flat packaging constant (the 0.15 kg the paper
+	// contrasts with 3D-Carbon's area-based 3.47 kg for EPYC).
+	PackagingKg float64
+	// InterposerNode prices ACT+'s 2.5D interposer silicon (legacy node).
+	InterposerNode int
+	// InterposerScale sizes the interposer from the summed die area.
+	InterposerScale float64
+}
+
+// Default returns the ACT defaults the paper compares against.
+func Default() *Tool {
+	return &Tool{
+		Yield:           0.875,
+		PackagingKg:     0.15,
+		InterposerNode:  28,
+		InterposerScale: 1.15,
+	}
+}
+
+// DieSpec is the ACT view of a die: a node and an area.
+type DieSpec struct {
+	ProcessNM int
+	Area      units.Area
+}
+
+// CPA returns ACT's carbon-per-area factor for a node.
+func CPA(nm int) (units.CarbonPerArea, error) {
+	v, ok := cpaByNode[nm]
+	if !ok {
+		return 0, fmt.Errorf("act: no carbon-per-area entry for %d nm", nm)
+	}
+	return units.KgPerCM2(v), nil
+}
+
+// DieCarbon prices one die: CPA(node) · area / yield.
+func (t *Tool) DieCarbon(d DieSpec) (units.Carbon, error) {
+	if t.Yield <= 0 || t.Yield > 1 {
+		return 0, fmt.Errorf("act: yield %v outside (0,1]", t.Yield)
+	}
+	if d.Area <= 0 {
+		return 0, fmt.Errorf("act: non-positive die area %v", d.Area)
+	}
+	cpa, err := CPA(d.ProcessNM)
+	if err != nil {
+		return 0, err
+	}
+	return units.KilogramsCO2(cpa.Over(d.Area).Kg() / t.Yield), nil
+}
+
+// Report is the ACT+ embodied breakdown.
+type Report struct {
+	Total      units.Carbon
+	Die        units.Carbon
+	Packaging  units.Carbon
+	Interposer units.Carbon
+}
+
+// Embodied prices a whole design the ACT+ way: every die as an independent
+// 2D die (3D stacks "simplistically treated as 2D"), one flat packaging
+// constant, and — for interposer-based 2.5D — legacy-node interposer
+// silicon scaled from the total die area.
+func (t *Tool) Embodied(integration ic.Integration, dies []DieSpec) (*Report, error) {
+	if len(dies) == 0 {
+		return nil, fmt.Errorf("act: no dies")
+	}
+	if !integration.Valid() {
+		return nil, fmt.Errorf("act: unknown integration %q", integration)
+	}
+	rep := &Report{Packaging: units.KilogramsCO2(t.PackagingKg)}
+	var total units.Area
+	for _, d := range dies {
+		c, err := t.DieCarbon(d)
+		if err != nil {
+			return nil, err
+		}
+		rep.Die += c
+		total += d.Area
+	}
+	if integration.HasInterposer() {
+		intArea := units.SquareMillimeters(t.InterposerScale * total.MM2())
+		c, err := t.DieCarbon(DieSpec{ProcessNM: t.InterposerNode, Area: intArea})
+		if err != nil {
+			return nil, err
+		}
+		rep.Interposer = c
+	}
+	rep.Total = rep.Die + rep.Packaging + rep.Interposer
+	return rep, nil
+}

@@ -1,0 +1,155 @@
+package act
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ic"
+	"repro/internal/units"
+)
+
+func TestCPAMonotonicTowardAdvancedNodes(t *testing.T) {
+	// Ascending nm = older nodes = cheaper per cm².
+	nodes := []int{3, 5, 7, 10, 12, 14, 16, 22, 28}
+	for i := 1; i < len(nodes); i++ {
+		adv, err := CPA(nodes[i-1])
+		if err != nil {
+			t.Fatalf("%d nm: %v", nodes[i-1], err)
+		}
+		old, err := CPA(nodes[i])
+		if err != nil {
+			t.Fatalf("%d nm: %v", nodes[i], err)
+		}
+		if adv.KgPerCM2() <= old.KgPerCM2() {
+			t.Errorf("CPA(%d nm) = %v should exceed CPA(%d nm) = %v",
+				nodes[i-1], adv, nodes[i], old)
+		}
+	}
+	if _, err := CPA(8); err == nil {
+		t.Error("unknown node should error")
+	}
+}
+
+func TestDieCarbonKnownValue(t *testing.T) {
+	tool := Default()
+	// ORIN-class: 455 mm² at 7 nm: 4.55 × 1.52 / 0.875 ≈ 7.90 kg.
+	c, err := tool.DieCarbon(DieSpec{ProcessNM: 7, Area: units.SquareMillimeters(455)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4.55 * 1.52 / 0.875
+	if math.Abs(c.Kg()-want) > 1e-9 {
+		t.Errorf("die carbon = %v, want %v", c.Kg(), want)
+	}
+}
+
+func TestDieCarbonErrors(t *testing.T) {
+	tool := Default()
+	if _, err := tool.DieCarbon(DieSpec{ProcessNM: 7, Area: 0}); err == nil {
+		t.Error("zero area should error")
+	}
+	if _, err := tool.DieCarbon(DieSpec{ProcessNM: 9, Area: units.SquareMillimeters(10)}); err == nil {
+		t.Error("unknown node should error")
+	}
+	bad := &Tool{Yield: 0}
+	if _, err := bad.DieCarbon(DieSpec{ProcessNM: 7, Area: units.SquareMillimeters(10)}); err == nil {
+		t.Error("zero yield should error")
+	}
+}
+
+func epycDies() []DieSpec {
+	return []DieSpec{
+		{ProcessNM: 7, Area: units.SquareMillimeters(74)},
+		{ProcessNM: 7, Area: units.SquareMillimeters(74)},
+		{ProcessNM: 7, Area: units.SquareMillimeters(74)},
+		{ProcessNM: 7, Area: units.SquareMillimeters(74)},
+		{ProcessNM: 14, Area: units.SquareMillimeters(416)},
+	}
+}
+
+// Fig. 4a's ACT+ behaviour: flat 0.15 kg packaging regardless of the
+// five-die MCM assembly.
+func TestEPYCFlatPackaging(t *testing.T) {
+	tool := Default()
+	rep, err := tool.Embodied(ic.MCM, epycDies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Packaging.Kg()-0.15) > 1e-12 {
+		t.Errorf("ACT+ packaging = %v, want the flat 0.15 kg", rep.Packaging)
+	}
+	if rep.Interposer != 0 {
+		t.Error("MCM has no interposer in ACT+")
+	}
+	// Total = dies + packaging: ≈ 4×(0.74×1.52/0.875) + 4.16×1.2/0.875 + 0.15.
+	want := 4*(0.74*1.52/0.875) + 4.16*1.2/0.875 + 0.15
+	if math.Abs(rep.Total.Kg()-want) > 1e-9 {
+		t.Errorf("EPYC ACT+ total = %v, want %v", rep.Total.Kg(), want)
+	}
+}
+
+// ACT+ treats 3D stacks as plain 2D dies: identical totals for hybrid 3D
+// and MCM over the same dies (minus interposer effects).
+func Test3DTreatedAs2D(t *testing.T) {
+	tool := Default()
+	dies := []DieSpec{
+		{ProcessNM: 7, Area: units.SquareMillimeters(242)},
+		{ProcessNM: 7, Area: units.SquareMillimeters(242)},
+	}
+	h, err := tool.Embodied(ic.Hybrid3D, dies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tool.Embodied(ic.MCM, dies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total != m.Total {
+		t.Errorf("ACT+ hybrid %v != MCM %v — 3D must be treated as 2D", h.Total, m.Total)
+	}
+	flat, err := tool.Embodied(ic.Mono2D, dies[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Total >= h.Total {
+		t.Errorf("single die %v should be below two dies %v", flat.Total, h.Total)
+	}
+}
+
+// Interposer-based 2.5D assemblies pay legacy-node interposer silicon.
+func TestInterposerPricing(t *testing.T) {
+	tool := Default()
+	dies := []DieSpec{
+		{ProcessNM: 7, Area: units.SquareMillimeters(242)},
+		{ProcessNM: 7, Area: units.SquareMillimeters(242)},
+	}
+	si, err := tool.Embodied(ic.SiInterposer, dies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si.Interposer <= 0 {
+		t.Fatal("Si-interposer assembly must price interposer silicon")
+	}
+	// 1.15 × 484 mm² at 28 nm: 5.566 × 0.9 / 0.875.
+	want := 1.15 * 4.84 * 0.90 / 0.875
+	if math.Abs(si.Interposer.Kg()-want) > 1e-9 {
+		t.Errorf("interposer carbon = %v, want %v", si.Interposer.Kg(), want)
+	}
+	mcm, _ := tool.Embodied(ic.MCM, dies)
+	if si.Total <= mcm.Total {
+		t.Error("interposer assembly must cost more than MCM in ACT+")
+	}
+}
+
+func TestEmbodiedErrors(t *testing.T) {
+	tool := Default()
+	if _, err := tool.Embodied(ic.MCM, nil); err == nil {
+		t.Error("no dies should error")
+	}
+	if _, err := tool.Embodied("4d", epycDies()); err == nil {
+		t.Error("unknown integration should error")
+	}
+	if _, err := tool.Embodied(ic.MCM, []DieSpec{{ProcessNM: 9, Area: units.SquareMillimeters(1)}}); err == nil {
+		t.Error("unknown node should propagate")
+	}
+}

@@ -1,0 +1,191 @@
+// Package area implements the paper's die-area estimation (Eq. 7–9):
+//
+//	A_die = A_gate + A_TSV + A_IO            (Eq. 7)
+//	A_gate = N_g · β · λ²                     (Eq. 8)
+//	A_IO   = γ · A_gate                       (Eq. 9)
+//
+// together with the Rent-rule connection counts that size the TSV budget:
+// F2B stacks route inter-tier signals through TSVs whose count follows
+// Rent's rule on the partition (after Stow et al., the paper's [27]); F2F
+// stacks only need TSVs for the package-facing external I/O, so their count
+// equals the external I/O number (§3.2.1).
+package area
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ic"
+	"repro/internal/tech"
+	"repro/internal/units"
+)
+
+// RentParams parameterises a Rent-rule terminal count T = t · G^p.
+type RentParams struct {
+	Coeff    float64 // t
+	Exponent float64 // p
+}
+
+// DefaultInterTierRent sizes the die-to-die (or tier-to-tier) signal count
+// of a partitioned design. The die-level exponent is far below the
+// block-level 0.6–0.8 because global partitioning cuts far fewer nets than
+// block pins suggest; 0.45 lands at the tens-of-thousands of vertical
+// connections reported for logic-on-logic stacks.
+func DefaultInterTierRent() RentParams { return RentParams{Coeff: 1.0, Exponent: 0.45} }
+
+// DefaultExternalIORent sizes the package-facing external I/O count of a
+// complete design (order of a few thousand signals for an SoC).
+func DefaultExternalIORent() RentParams { return RentParams{Coeff: 1.2, Exponent: 0.32} }
+
+// Terminals evaluates T = t·G^p for a partition of G gates.
+func (r RentParams) Terminals(gates float64) (float64, error) {
+	if gates < 1 {
+		return 0, fmt.Errorf("area: gate count %v below 1", gates)
+	}
+	if r.Coeff <= 0 || r.Exponent <= 0 || r.Exponent >= 1 {
+		return 0, fmt.Errorf("area: Rent params t=%v p=%v invalid", r.Coeff, r.Exponent)
+	}
+	return r.Coeff * math.Pow(gates, r.Exponent), nil
+}
+
+// Gate returns A_gate = N_g·β·λ² (Eq. 8). When mem is true the node's
+// memory-die β is used (the heterogeneous case-study's SRAM-dominated die).
+func Gate(gates float64, node *tech.Node, mem bool) (units.Area, error) {
+	if node == nil {
+		return 0, fmt.Errorf("area: nil node")
+	}
+	if gates < 1 {
+		return 0, fmt.Errorf("area: gate count %v below 1", gates)
+	}
+	beta := node.GateAreaFactor
+	if mem {
+		beta = node.MemGateAreaFactor
+	}
+	lambda := node.Feature.MM()
+	return units.SquareMillimeters(gates * beta * lambda * lambda), nil
+}
+
+// IODriver returns A_IO = γ·A_gate (Eq. 9): the extra driver area that
+// micro-bump 3D and all 2.5D interfaces need because their connection pitch
+// is far coarser than on-chip wires. γ is the Table 2 ratio (0–1).
+func IODriver(gateArea units.Area, gamma float64) (units.Area, error) {
+	if gamma < 0 || gamma > 1 {
+		return 0, fmt.Errorf("area: γ_IO %v outside Table 2's [0,1]", gamma)
+	}
+	if gateArea < 0 {
+		return 0, fmt.Errorf("area: negative gate area %v", gateArea)
+	}
+	return units.Area(float64(gateArea) * gamma), nil
+}
+
+// TSVCount returns X_TSV for one die of a 3D stack (§3.2.1):
+//
+//	F2B: Rent's rule on the die's gate partition — every inter-tier signal
+//	     crosses the die's bulk silicon.
+//	F2F: the external I/O count — only package-facing signals need TSVs;
+//	     die-to-die signals use the bond pads directly.
+func TSVCount(stacking ic.Stacking, dieGates, totalGates float64,
+	interTier, externalIO RentParams) (float64, error) {
+	switch stacking {
+	case ic.F2B:
+		return interTier.Terminals(dieGates)
+	case ic.F2F:
+		return externalIO.Terminals(totalGates)
+	}
+	return 0, fmt.Errorf("area: unknown stacking %q", stacking)
+}
+
+// TSV returns A_TSV: the silicon area consumed by count TSVs at a node,
+// including the keep-out zone around each via (keepOut multiplies the via
+// diameter; 2.0 is the conventional keep-out for stress isolation).
+func TSV(count float64, diameter units.Length, keepOut float64) (units.Area, error) {
+	if count < 0 {
+		return 0, fmt.Errorf("area: negative TSV count %v", count)
+	}
+	if diameter <= 0 {
+		return 0, fmt.Errorf("area: non-positive TSV diameter %v", diameter)
+	}
+	if keepOut < 1 {
+		return 0, fmt.Errorf("area: keep-out factor %v below 1", keepOut)
+	}
+	side := keepOut * diameter.MM()
+	return units.SquareMillimeters(count * side * side), nil
+}
+
+// Params bundles the area-model coefficients.
+type Params struct {
+	// GammaIO25D and GammaIOMicro3D are the Eq. 9 driver-area ratios for
+	// 2.5D interfaces and micro-bump 3D interfaces respectively. Hybrid
+	// bonding and M3D pads are dense enough to need no extra drivers.
+	GammaIO25D     float64
+	GammaIOMicro3D float64
+	// TSVKeepOut multiplies the TSV diameter to form the per-via square
+	// keep-out region.
+	TSVKeepOut float64
+	// MIVKeepOut is the (smaller) keep-out for monolithic inter-tier vias.
+	MIVKeepOut float64
+	InterTier  RentParams
+	ExternalIO RentParams
+}
+
+// DefaultParams returns the calibrated area-model coefficients.
+func DefaultParams() Params {
+	return Params{
+		GammaIO25D:     0.03,
+		GammaIOMicro3D: 0.02,
+		TSVKeepOut:     2.0,
+		MIVKeepOut:     1.5,
+		InterTier:      DefaultInterTierRent(),
+		ExternalIO:     DefaultExternalIORent(),
+	}
+}
+
+// Die evaluates Eq. 7 for one die of a design: gate area plus the
+// technology-dependent TSV and I/O-driver overheads.
+//
+// dieGates is the die's own gate count; totalGates the whole design's (for
+// external-I/O sizing). mem selects the memory-density β.
+func Die(integration ic.Integration, stacking ic.Stacking,
+	dieGates, totalGates float64, node *tech.Node, mem bool, p Params) (units.Area, error) {
+	gate, err := Gate(dieGates, node, mem)
+	if err != nil {
+		return 0, err
+	}
+
+	var tsvArea units.Area
+	switch {
+	case integration == ic.Monolithic3D:
+		// MIVs: inter-tier connections at sub-micron diameter.
+		count, err := p.InterTier.Terminals(dieGates)
+		if err != nil {
+			return 0, err
+		}
+		tsvArea, err = TSV(count, node.MIVDiameter, p.MIVKeepOut)
+		if err != nil {
+			return 0, err
+		}
+	case integration.Is3D():
+		count, err := TSVCount(stacking, dieGates, totalGates, p.InterTier, p.ExternalIO)
+		if err != nil {
+			return 0, err
+		}
+		tsvArea, err = TSV(count, node.TSVDiameter, p.TSVKeepOut)
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	var gamma float64
+	switch {
+	case integration.Is25D():
+		gamma = p.GammaIO25D
+	case integration == ic.MicroBump3D:
+		gamma = p.GammaIOMicro3D
+	}
+	ioArea, err := IODriver(gate, gamma)
+	if err != nil {
+		return 0, err
+	}
+
+	return gate + tsvArea + ioArea, nil
+}

@@ -1,0 +1,243 @@
+package area
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ic"
+	"repro/internal/tech"
+	"repro/internal/units"
+)
+
+func TestGateAreaOrinAnchor(t *testing.T) {
+	n := tech.MustForProcess(7)
+	a, err := Gate(17e9, n, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MM2() < 420 || a.MM2() > 490 {
+		t.Errorf("ORIN gate area = %v, want ≈455 mm²", a)
+	}
+}
+
+func TestGateAreaMemorySmaller(t *testing.T) {
+	n := tech.MustForProcess(28)
+	logic, _ := Gate(1e9, n, false)
+	mem, err := Gate(1e9, n, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem >= logic {
+		t.Errorf("memory die area %v should be below logic area %v", mem, logic)
+	}
+}
+
+func TestGateAreaErrors(t *testing.T) {
+	n := tech.MustForProcess(7)
+	if _, err := Gate(0, n, false); err == nil {
+		t.Error("zero gates should error")
+	}
+	if _, err := Gate(1e9, nil, false); err == nil {
+		t.Error("nil node should error")
+	}
+}
+
+func TestIODriver(t *testing.T) {
+	a, err := IODriver(units.SquareMillimeters(400), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.MM2()-20) > 1e-12 {
+		t.Errorf("IO driver area = %v, want 20 mm²", a)
+	}
+	if _, err := IODriver(units.SquareMillimeters(400), 1.5); err == nil {
+		t.Error("γ > 1 should error (Table 2 range)")
+	}
+	if _, err := IODriver(units.SquareMillimeters(400), -0.1); err == nil {
+		t.Error("negative γ should error")
+	}
+	if _, err := IODriver(units.SquareMillimeters(-1), 0.1); err == nil {
+		t.Error("negative gate area should error")
+	}
+}
+
+func TestRentTerminals(t *testing.T) {
+	r := RentParams{Coeff: 1.0, Exponent: 0.45}
+	got, err := r.Terminals(8.5e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(8.5e9, 0.45)
+	if math.Abs(got-want) > 1e-6*want {
+		t.Errorf("terminals = %v, want %v", got, want)
+	}
+	// Inter-tier connection counts for a half-flagship partition should
+	// land in the tens of thousands (not millions).
+	if got < 1e4 || got > 1e5 {
+		t.Errorf("inter-tier count %v outside plausible 1e4–1e5", got)
+	}
+}
+
+func TestRentErrors(t *testing.T) {
+	if _, err := (RentParams{Coeff: 1, Exponent: 0.45}).Terminals(0); err == nil {
+		t.Error("zero gates should error")
+	}
+	if _, err := (RentParams{Coeff: 0, Exponent: 0.45}).Terminals(1e9); err == nil {
+		t.Error("zero coeff should error")
+	}
+	if _, err := (RentParams{Coeff: 1, Exponent: 1.2}).Terminals(1e9); err == nil {
+		t.Error("exponent ≥ 1 should error")
+	}
+}
+
+// §3.2.1: "For F2B, the TSV count is calculated using Rent's rule; F2F TSV
+// count equals the IO number."
+func TestTSVCountByStacking(t *testing.T) {
+	it := DefaultInterTierRent()
+	ext := DefaultExternalIORent()
+	f2b, err := TSVCount(ic.F2B, 8.5e9, 17e9, it, ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF2B, _ := it.Terminals(8.5e9)
+	if f2b != wantF2B {
+		t.Errorf("F2B TSV count = %v, want Rent inter-tier %v", f2b, wantF2B)
+	}
+	f2f, err := TSVCount(ic.F2F, 8.5e9, 17e9, it, ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF2F, _ := ext.Terminals(17e9)
+	if f2f != wantF2F {
+		t.Errorf("F2F TSV count = %v, want external IO %v", f2f, wantF2F)
+	}
+	// F2F needs far fewer TSVs than F2B.
+	if f2f >= f2b {
+		t.Errorf("F2F count %v should be below F2B count %v", f2f, f2b)
+	}
+	if _, err := TSVCount("diagonal", 1e9, 1e9, it, ext); err == nil {
+		t.Error("unknown stacking should error")
+	}
+}
+
+func TestTSVArea(t *testing.T) {
+	// 10,000 TSVs at 3 µm with 2× keep-out: (6 µm)² each = 36e-6 mm².
+	a, err := TSV(10000, units.Micrometers(3), 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 10000 * 36e-6; math.Abs(a.MM2()-want) > 1e-9 {
+		t.Errorf("TSV area = %v, want %v mm²", a.MM2(), want)
+	}
+	if _, err := TSV(-1, units.Micrometers(3), 2); err == nil {
+		t.Error("negative count should error")
+	}
+	if _, err := TSV(10, 0, 2); err == nil {
+		t.Error("zero diameter should error")
+	}
+	if _, err := TSV(10, units.Micrometers(3), 0.5); err == nil {
+		t.Error("keep-out below 1 should error")
+	}
+}
+
+func TestDieAreaComposition(t *testing.T) {
+	n := tech.MustForProcess(7)
+	p := DefaultParams()
+	gate, _ := Gate(8.5e9, n, false)
+
+	// Hybrid 3D F2F: no IO driver area, TSVs = external IO only.
+	hybrid, err := Die(ic.Hybrid3D, ic.F2F, 8.5e9, 17e9, n, false, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hybrid < gate {
+		t.Errorf("hybrid die %v must be at least gate area %v", hybrid, gate)
+	}
+	if hybrid.MM2() > gate.MM2()*1.02 {
+		t.Errorf("hybrid overhead should be tiny: %v vs gates %v", hybrid, gate)
+	}
+
+	// Micro-bump 3D adds γ_micro driver area on top.
+	micro, err := Die(ic.MicroBump3D, ic.F2F, 8.5e9, 17e9, n, false, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if micro <= hybrid {
+		t.Errorf("micro-bump die %v should exceed hybrid die %v", micro, hybrid)
+	}
+
+	// 2.5D adds the largest driver ratio.
+	emib, err := Die(ic.EMIB, "", 8.5e9, 17e9, n, false, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emib <= hybrid {
+		t.Errorf("2.5D die %v should exceed hybrid die %v", emib, hybrid)
+	}
+
+	// M3D: MIVs only — negligible overhead.
+	m3d, err := Die(ic.Monolithic3D, ic.F2B, 8.5e9, 17e9, n, false, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3d.MM2() > gate.MM2()*1.001 {
+		t.Errorf("M3D MIV overhead should be negligible: %v vs %v", m3d, gate)
+	}
+
+	// 2D: no overheads at all.
+	flat, err := Die(ic.Mono2D, "", 17e9, 17e9, n, false, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate2d, _ := Gate(17e9, n, false)
+	if flat != gate2d {
+		t.Errorf("2D die area %v should equal gate area %v", flat, gate2d)
+	}
+}
+
+// F2B TSV area must exceed F2F TSV area for the same die (Rent inter-tier
+// count >> external IO count).
+func TestF2BCostsMoreSiliconThanF2F(t *testing.T) {
+	n := tech.MustForProcess(7)
+	p := DefaultParams()
+	f2b, err := Die(ic.Hybrid3D, ic.F2B, 8.5e9, 17e9, n, false, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2f, err := Die(ic.Hybrid3D, ic.F2F, 8.5e9, 17e9, n, false, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2b <= f2f {
+		t.Errorf("F2B die %v should exceed F2F die %v", f2b, f2f)
+	}
+}
+
+// Property: die area grows monotonically with gate count for every
+// integration technology.
+func TestDieAreaMonotonicInGates(t *testing.T) {
+	n := tech.MustForProcess(7)
+	p := DefaultParams()
+	for _, integ := range ic.Integrations() {
+		integ := integ
+		stack := ic.F2F
+		if integ == ic.Monolithic3D {
+			stack = ic.F2B
+		}
+		if err := quick.Check(func(g float64) bool {
+			g = 1e8 + math.Mod(math.Abs(g), 2e10)
+			a1, err := Die(integ, stack, g, 2*g, n, false, p)
+			if err != nil {
+				return false
+			}
+			a2, err := Die(integ, stack, g*1.5, 3*g, n, false, p)
+			if err != nil {
+				return false
+			}
+			return a2 > a1
+		}, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", integ, err)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package bandwidth implements the paper's I/O bandwidth constraint (§3.4)
+// and the per-technology interface catalogue of Fig. 2.
+//
+// A 2.5D split must replace the on-chip (bisection) bandwidth of its 2D
+// counterpart with die-to-die interface bandwidth:
+//
+//	BW_die = N_IO · BW_per_IO        (Eq. 18)
+//
+// where N_IO = L_edge · D_IO · N_layers for shoreline-limited 2.5D
+// interfaces. 3D stacks are assumed to match the 2D on-chip bandwidth
+// (§3.4, after [6]).
+//
+// The single published anchor from MCM-GPU (Arunkumar et al., the paper's
+// [6]) — halving the interface bandwidth costs >20 % throughput — is
+// generalised to the power law Th(bw)/Th = (bw/bw_req)^θ with
+// θ = log 0.8 / log 0.5 ≈ 0.322, and the paper's invalidity rule is the
+// same anchor: capacity below half the requirement ⇒ the design is
+// "invalid".
+package bandwidth
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ic"
+	"repro/internal/units"
+)
+
+// InterfaceSpec is one row of the Fig. 2 catalogue.
+type InterfaceSpec struct {
+	// DataRate is the per-I/O signalling rate.
+	DataRate units.Bandwidth
+	// IOPerMMPerLayer is the effective shoreline I/O density of the
+	// interface (2.5D technologies; Fig. 2's IO/mm/layer figures already
+	// describe the deliverable escape density). Zero for 3D technologies,
+	// which are pitch-limited in area, not shoreline.
+	IOPerMMPerLayer float64
+	// Layers is the number of independently-routed interface layers the
+	// escape density is multiplied by.
+	Layers int
+	// EnergyPerBit is the transport energy of the link.
+	EnergyPerBit units.EnergyPerBit
+	// Pitch is the vertical connection pitch for 3D technologies.
+	Pitch units.Length
+}
+
+// catalogue holds the Fig. 2 characterisation. The 2.5D rows carry
+// IO/mm/layer shoreline densities; the 3D rows carry area pitches.
+var catalogue = map[ic.Integration]InterfaceSpec{
+	// MCM on organic substrate: coarse bumps, long-reach SerDes.
+	ic.MCM: {
+		DataRate:        units.GigabitsPerSecond(4),
+		IOPerMMPerLayer: 50,
+		Layers:          1,
+		EnergyPerBit:    units.PicojoulesPerBit(2.0),
+	},
+	// InFO fan-out RDL: finer line/space than MCM.
+	ic.InFO: {
+		DataRate:        units.GigabitsPerSecond(4),
+		IOPerMMPerLayer: 100,
+		Layers:          1,
+		EnergyPerBit:    units.FemtojoulesPerBit(250),
+	},
+	// EMIB embedded bridge: AIB-class dense parallel links.
+	ic.EMIB: {
+		DataRate:        units.GigabitsPerSecond(3.4),
+		IOPerMMPerLayer: 350,
+		Layers:          1,
+		EnergyPerBit:    units.FemtojoulesPerBit(150),
+	},
+	// Silicon interposer: HBM-class, finest 2.5D line space.
+	ic.SiInterposer: {
+		DataRate:        units.GigabitsPerSecond(6.4),
+		IOPerMMPerLayer: 500,
+		Layers:          1,
+		EnergyPerBit:    units.FemtojoulesPerBit(120),
+	},
+	// Micro-bump 3D: 10–50 µm pitch solder micro-bumps.
+	ic.MicroBump3D: {
+		DataRate:     units.GigabitsPerSecond(6),
+		EnergyPerBit: units.FemtojoulesPerBit(140),
+		Pitch:        units.Micrometers(36),
+	},
+	// Hybrid bonding: 1–5 µm pad pitch (Fig. 2 characterisation).
+	ic.Hybrid3D: {
+		DataRate:     units.GigabitsPerSecond(5),
+		EnergyPerBit: units.FemtojoulesPerBit(200),
+		Pitch:        units.Micrometers(3),
+	},
+	// Monolithic 3D: sub-micron MIVs, near-on-chip energy.
+	ic.Monolithic3D: {
+		DataRate:     units.GigabitsPerSecond(15),
+		EnergyPerBit: units.FemtojoulesPerBit(5),
+		Pitch:        units.Micrometers(0.6),
+	},
+}
+
+// SpecFor returns the Fig. 2 interface characterisation for a technology.
+func SpecFor(i ic.Integration) (InterfaceSpec, error) {
+	s, ok := catalogue[i]
+	if !ok {
+		return InterfaceSpec{}, fmt.Errorf("bandwidth: no interface characterisation for %q", i)
+	}
+	return s, nil
+}
+
+// Capacity25D evaluates Eq. 18 for a 2.5D die with the given shoreline edge
+// length: N_IO = edge · density · layers, BW = N_IO · rate.
+func Capacity25D(i ic.Integration, edge units.Length) (units.Bandwidth, error) {
+	s, err := SpecFor(i)
+	if err != nil {
+		return 0, err
+	}
+	if !i.Is25D() {
+		return 0, fmt.Errorf("bandwidth: %s is not a 2.5D technology", i)
+	}
+	if edge <= 0 {
+		return 0, fmt.Errorf("bandwidth: non-positive edge length %v", edge)
+	}
+	nIO := edge.MM() * s.IOPerMMPerLayer * float64(s.Layers)
+	return units.BitsPerSecond(nIO * s.DataRate.BitsPerSec()), nil
+}
+
+// Capacity3D returns the area-limited vertical bandwidth of a 3D interface
+// for a die footprint (pads at the catalogue pitch over the whole face).
+// §3.4 assumes 3D matches on-chip bandwidth; this helper quantifies by how
+// much.
+func Capacity3D(i ic.Integration, footprint units.Area) (units.Bandwidth, error) {
+	s, err := SpecFor(i)
+	if err != nil {
+		return 0, err
+	}
+	if !i.Is3D() {
+		return 0, fmt.Errorf("bandwidth: %s is not a 3D technology", i)
+	}
+	if footprint <= 0 {
+		return 0, fmt.Errorf("bandwidth: non-positive footprint %v", footprint)
+	}
+	pads := footprint.MM2() / s.Pitch.Square().MM2()
+	return units.BitsPerSecond(pads * s.DataRate.BitsPerSec()), nil
+}
+
+// Constraint parameterises the §3.4 viability rule.
+type Constraint struct {
+	// BytesPerOp is ρ: the cross-bisection traffic per executed operation.
+	// The 2D on-chip bandwidth a split must replace is ρ·Th_peak.
+	BytesPerOp float64
+	// DegradeExponent is θ in Th(bw)/Th = (bw/bw_req)^θ.
+	DegradeExponent float64
+	// InvalidBelow is the capacity/requirement ratio below which the
+	// design is declared invalid (the paper's half-bandwidth anchor).
+	InvalidBelow float64
+}
+
+// DefaultConstraint returns the MCM-GPU-anchored constraint: θ chosen so a
+// 50 % bandwidth cut costs exactly 20 % throughput, invalid below that same
+// 50 % anchor, and ρ = 0.01 B/op (DNN-inference bisection traffic).
+func DefaultConstraint() Constraint {
+	return Constraint{
+		BytesPerOp:      0.01,
+		DegradeExponent: math.Log(0.8) / math.Log(0.5),
+		InvalidBelow:    0.5,
+	}
+}
+
+// Required returns the on-chip bisection bandwidth the 2D design provides,
+// which a 2.5D split must replace: ρ · Th_peak.
+func (c Constraint) Required(peak units.Throughput) (units.Bandwidth, error) {
+	if c.BytesPerOp <= 0 {
+		return 0, fmt.Errorf("bandwidth: non-positive bytes/op %v", c.BytesPerOp)
+	}
+	if peak <= 0 {
+		return 0, fmt.Errorf("bandwidth: non-positive peak throughput %v", peak)
+	}
+	return units.BytesPerSecond(c.BytesPerOp * peak.OpsPerSec()), nil
+}
+
+// Outcome is the result of the viability check.
+type Outcome struct {
+	// Valid is false when the interface cannot deliver even the
+	// half-bandwidth anchor — the paper's "invalid" designs.
+	Valid bool
+	// ThroughputFactor ∈ (0, 1]: achieved/required throughput after
+	// bandwidth degradation (1 when capacity covers the requirement).
+	ThroughputFactor float64
+	// Capacity and Required echo the compared bandwidths.
+	Capacity units.Bandwidth
+	Required units.Bandwidth
+}
+
+// Evaluate applies the constraint to an interface capacity.
+func (c Constraint) Evaluate(capacity, required units.Bandwidth) (Outcome, error) {
+	if capacity <= 0 {
+		return Outcome{}, fmt.Errorf("bandwidth: non-positive capacity %v", capacity)
+	}
+	if required <= 0 {
+		return Outcome{}, fmt.Errorf("bandwidth: non-positive requirement %v", required)
+	}
+	if c.DegradeExponent <= 0 || c.InvalidBelow <= 0 || c.InvalidBelow > 1 {
+		return Outcome{}, fmt.Errorf("bandwidth: invalid constraint %+v", c)
+	}
+	out := Outcome{Capacity: capacity, Required: required}
+	ratio := capacity.BitsPerSec() / required.BitsPerSec()
+	if ratio >= 1 {
+		out.Valid = true
+		out.ThroughputFactor = 1
+		return out, nil
+	}
+	out.ThroughputFactor = math.Pow(ratio, c.DegradeExponent)
+	out.Valid = ratio >= c.InvalidBelow
+	return out, nil
+}
+
+// Unconstrained returns the outcome for technologies the §3.4 rule does not
+// bind (2D and 3D designs): always valid at full throughput.
+func Unconstrained() Outcome {
+	return Outcome{Valid: true, ThroughputFactor: 1}
+}

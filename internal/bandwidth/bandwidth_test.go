@@ -1,0 +1,253 @@
+package bandwidth
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ic"
+	"repro/internal/units"
+)
+
+func TestCatalogueCoversAllNon2D(t *testing.T) {
+	for _, i := range ic.Integrations() {
+		if i == ic.Mono2D {
+			if _, err := SpecFor(i); err == nil {
+				t.Error("2D should have no interface spec")
+			}
+			continue
+		}
+		s, err := SpecFor(i)
+		if err != nil {
+			t.Errorf("SpecFor(%s): %v", i, err)
+			continue
+		}
+		if s.DataRate <= 0 || s.EnergyPerBit <= 0 {
+			t.Errorf("%s: non-positive rate or energy", i)
+		}
+		if i.Is25D() && (s.IOPerMMPerLayer <= 0 || s.Layers <= 0) {
+			t.Errorf("%s: 2.5D spec missing density/layers", i)
+		}
+		if i.Is3D() && s.Pitch <= 0 {
+			t.Errorf("%s: 3D spec missing pitch", i)
+		}
+	}
+}
+
+// Fig. 2 envelope checks: data rates 3.2–15 Gbps, shoreline densities
+// 50–500 IO/mm/layer, micro-bump pitch 10–50 µm, hybrid 1–5 µm, MIV <0.6 µm.
+func TestFig2Envelope(t *testing.T) {
+	for _, i := range []ic.Integration{ic.MCM, ic.InFO, ic.EMIB, ic.SiInterposer} {
+		s, _ := SpecFor(i)
+		if d := s.IOPerMMPerLayer; d < 50 || d > 500 {
+			t.Errorf("%s: density %v outside 50–500 IO/mm/layer", i, d)
+		}
+		if r := s.DataRate.Gbps(); r < 3.2 || r > 6.4 {
+			t.Errorf("%s: data rate %v Gbps outside Fig. 2's 3.2–6.4", i, r)
+		}
+	}
+	micro, _ := SpecFor(ic.MicroBump3D)
+	if p := micro.Pitch.UM(); p < 10 || p > 50 {
+		t.Errorf("micro-bump pitch %v µm outside 10–50", p)
+	}
+	hybrid, _ := SpecFor(ic.Hybrid3D)
+	if p := hybrid.Pitch.UM(); p < 1 || p > 5 {
+		t.Errorf("hybrid pad pitch %v µm outside 1–5", p)
+	}
+	m3d, _ := SpecFor(ic.Monolithic3D)
+	if p := m3d.Pitch.UM(); p > 0.6 {
+		t.Errorf("MIV pitch %v µm above 0.6", p)
+	}
+	if e := m3d.EnergyPerBit.FJPerBit(); e > 5.001 {
+		t.Errorf("M3D energy %v fJ/bit above Fig. 2's <5", e)
+	}
+}
+
+// 2.5D interface energy ordering: organic SerDes ≫ RDL > EMIB > interposer.
+func TestEnergyPerBitOrdering(t *testing.T) {
+	mcm, _ := SpecFor(ic.MCM)
+	info, _ := SpecFor(ic.InFO)
+	emib, _ := SpecFor(ic.EMIB)
+	si, _ := SpecFor(ic.SiInterposer)
+	if !(mcm.EnergyPerBit > info.EnergyPerBit &&
+		info.EnergyPerBit > emib.EnergyPerBit &&
+		emib.EnergyPerBit > si.EnergyPerBit) {
+		t.Errorf("energy/bit ordering violated: MCM %v, InFO %v, EMIB %v, Si %v",
+			mcm.EnergyPerBit, info.EnergyPerBit, emib.EnergyPerBit, si.EnergyPerBit)
+	}
+}
+
+func TestCapacity25DKnownValue(t *testing.T) {
+	// ORIN half-die: 242 mm² ⇒ edge 15.56 mm. EMIB: 15.56 mm × 350 IO/mm
+	// at 3.4 Gbps.
+	edge := units.SquareMillimeters(242).Edge()
+	bw, err := Capacity25D(ic.EMIB, edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := edge.MM() * 350 * 3.4e9
+	if math.Abs(bw.BitsPerSec()-want) > 1e-3*want {
+		t.Errorf("EMIB capacity = %v, want %v bit/s", bw.BitsPerSec(), want)
+	}
+}
+
+func TestCapacity25DErrors(t *testing.T) {
+	if _, err := Capacity25D(ic.Hybrid3D, units.Millimeters(10)); err == nil {
+		t.Error("3D technology should be rejected")
+	}
+	if _, err := Capacity25D(ic.EMIB, 0); err == nil {
+		t.Error("zero edge should error")
+	}
+	if _, err := Capacity25D(ic.Mono2D, units.Millimeters(10)); err == nil {
+		t.Error("2D should be rejected")
+	}
+}
+
+// §3.4's assumption that 3D matches on-chip bandwidth: the area-limited 3D
+// capacities must dwarf any 2.5D shoreline capacity for the same die.
+func TestCapacity3DDwarfs25D(t *testing.T) {
+	die := units.SquareMillimeters(242)
+	best25D, err := Capacity25D(ic.SiInterposer, die.Edge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []ic.Integration{ic.MicroBump3D, ic.Hybrid3D, ic.Monolithic3D} {
+		c3d, err := Capacity3D(i, die)
+		if err != nil {
+			t.Fatalf("%s: %v", i, err)
+		}
+		if c3d.BitsPerSec() < 10*best25D.BitsPerSec() {
+			t.Errorf("%s vertical capacity %v should dwarf 2.5D %v", i, c3d, best25D)
+		}
+	}
+	if _, err := Capacity3D(ic.EMIB, die); err == nil {
+		t.Error("2.5D technology should be rejected by Capacity3D")
+	}
+	if _, err := Capacity3D(ic.Hybrid3D, 0); err == nil {
+		t.Error("zero footprint should error")
+	}
+}
+
+func TestDefaultConstraintAnchor(t *testing.T) {
+	c := DefaultConstraint()
+	// At exactly half bandwidth the MCM-GPU anchor gives exactly 80 %
+	// throughput — the edge of validity.
+	out, err := c.Evaluate(units.GigabitsPerSecond(50), units.GigabitsPerSecond(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Valid {
+		t.Error("exactly-half bandwidth sits on the validity boundary and counts as valid")
+	}
+	if math.Abs(out.ThroughputFactor-0.8) > 1e-9 {
+		t.Errorf("throughput factor at half bandwidth = %v, want 0.8", out.ThroughputFactor)
+	}
+	// Below half: invalid.
+	out, _ = c.Evaluate(units.GigabitsPerSecond(49), units.GigabitsPerSecond(100))
+	if out.Valid {
+		t.Error("below-half bandwidth must be invalid")
+	}
+	// Above requirement: full throughput.
+	out, _ = c.Evaluate(units.GigabitsPerSecond(200), units.GigabitsPerSecond(100))
+	if !out.Valid || out.ThroughputFactor != 1 {
+		t.Errorf("excess capacity should be valid at factor 1, got %+v", out)
+	}
+}
+
+func TestRequiredScalesWithPeak(t *testing.T) {
+	c := DefaultConstraint()
+	orin, err := c.Required(units.TOPS(254))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ρ = 0.01 B/op ⇒ 254 TOPS needs 2.54 TB/s.
+	if math.Abs(orin.TBytesPerS()-2.54) > 1e-9 {
+		t.Errorf("ORIN requirement = %v TB/s, want 2.54", orin.TBytesPerS())
+	}
+	thor, _ := c.Required(units.TOPS(2000))
+	if math.Abs(thor.TBytesPerS()-20) > 1e-9 {
+		t.Errorf("THOR requirement = %v TB/s, want 20", thor.TBytesPerS())
+	}
+}
+
+// The Fig. 5 validity progression: for ORIN (254 TOPS, 242 mm² half dies)
+// EMIB and the silicon interposer stay valid while MCM and InFO fail; for
+// THOR (2000 TOPS) every 2.5D interface fails.
+func TestFig5ValidityProgression(t *testing.T) {
+	c := DefaultConstraint()
+	check := func(integ ic.Integration, dieMM2, peakTOPS float64) bool {
+		edge := units.SquareMillimeters(dieMM2).Edge()
+		cap25, err := Capacity25D(integ, edge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, _ := c.Required(units.TOPS(peakTOPS))
+		out, err := c.Evaluate(cap25, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Valid
+	}
+	orinDie, orinTOPS := 242.0, 254.0
+	if !check(ic.EMIB, orinDie, orinTOPS) {
+		t.Error("ORIN EMIB should be valid")
+	}
+	if !check(ic.SiInterposer, orinDie, orinTOPS) {
+		t.Error("ORIN Si-interposer should be valid")
+	}
+	if check(ic.MCM, orinDie, orinTOPS) {
+		t.Error("ORIN MCM should be invalid")
+	}
+	if check(ic.InFO, orinDie, orinTOPS) {
+		t.Error("ORIN InFO should be invalid")
+	}
+	thorDie, thorTOPS := 330.0, 2000.0
+	for _, i := range []ic.Integration{ic.MCM, ic.InFO, ic.EMIB, ic.SiInterposer} {
+		if check(i, thorDie, thorTOPS) {
+			t.Errorf("THOR %s should be invalid (paper: all 2.5D invalid)", i)
+		}
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	c := DefaultConstraint()
+	if _, err := c.Evaluate(0, units.GigabitsPerSecond(1)); err == nil {
+		t.Error("zero capacity should error")
+	}
+	if _, err := c.Evaluate(units.GigabitsPerSecond(1), 0); err == nil {
+		t.Error("zero requirement should error")
+	}
+	bad := Constraint{BytesPerOp: 0.01, DegradeExponent: 0, InvalidBelow: 0.5}
+	if _, err := bad.Evaluate(units.GigabitsPerSecond(1), units.GigabitsPerSecond(2)); err == nil {
+		t.Error("zero exponent should error")
+	}
+	if _, err := c.Required(0); err == nil {
+		t.Error("zero peak should error")
+	}
+	if _, err := (Constraint{}).Required(units.TOPS(1)); err == nil {
+		t.Error("zero bytes/op should error")
+	}
+}
+
+func TestUnconstrained(t *testing.T) {
+	out := Unconstrained()
+	if !out.Valid || out.ThroughputFactor != 1 {
+		t.Errorf("unconstrained outcome = %+v, want valid at factor 1", out)
+	}
+}
+
+// Property: throughput factor is monotonic in the capacity ratio.
+func TestThroughputFactorMonotonic(t *testing.T) {
+	c := DefaultConstraint()
+	req := units.TerabitsPerSecond(10)
+	prev := 0.0
+	for f := 0.1; f <= 1.5; f += 0.05 {
+		out, err := c.Evaluate(units.TerabitsPerSecond(10*f), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.ThroughputFactor < prev-1e-12 {
+			t.Fatalf("throughput factor not monotonic at ratio %v", f)
+		}
+		prev = out.ThroughputFactor
+	}
+}

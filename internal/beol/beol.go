@@ -1,0 +1,132 @@
+// Package beol estimates the number of back-end-of-line (BEOL) metal layers
+// a die needs — Eq. 10 of the paper:
+//
+//	N_BEOL = N_fan · ω · N_g · L̄ / (η · A_die)
+//
+// where ω = 3.6·λ is the routed wire pitch, N_fan the average fanout, η the
+// router utilization and L̄ the average interconnect length. L̄ comes from
+// the classic Donath/Rent estimate L̄ ≈ c · pitch · N_g^(p−1/2) (valid for
+// Rent exponents p > 1/2), the same wire-demand model Stow et al. (ISVLSI'16)
+// — the paper's reference [27] — use.
+//
+// Reducing BEOL layers is one of the paper's headline 3D savings: splitting
+// a die shrinks N_g per die faster than area, so each die routes with fewer
+// layers, and internal/tech charges wafer carbon per layer.
+package beol
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tech"
+	"repro/internal/units"
+)
+
+// Params collects the Eq. 10 coefficients. The defaults reproduce
+// flagship-SoC layer counts (≈13 layers for an ORIN-class 17 B-gate 7 nm
+// die) and stay inside Table 2's published ranges (N_fan 1–5, ω = 3.6 λ).
+type Params struct {
+	// Fanout is N_fan, the average net fanout (Table 2: 1–5).
+	Fanout float64
+	// WirePitchFactor is ω/λ (Table 2 fixes it at 3.6).
+	WirePitchFactor float64
+	// Utilization is η, the fraction of each metal layer the router can
+	// actually fill (typical 0.2–0.5).
+	Utilization float64
+	// RentExponent is the Rent p of the Donath wirelength estimate
+	// (Table 2: 0.6–0.8 for logic).
+	RentExponent float64
+	// WirelengthCoeff is the Donath prefactor c.
+	WirelengthCoeff float64
+}
+
+// DefaultParams returns the calibrated Eq. 10 coefficients.
+func DefaultParams() Params {
+	return Params{
+		Fanout:          3.0,
+		WirePitchFactor: 3.6,
+		Utilization:     0.4,
+		RentExponent:    0.6,
+		WirelengthCoeff: 1.0,
+	}
+}
+
+func (p Params) validate() error {
+	if p.Fanout < 1 || p.Fanout > 5 {
+		return fmt.Errorf("beol: fanout %v outside Table 2's 1–5", p.Fanout)
+	}
+	if p.WirePitchFactor <= 0 {
+		return fmt.Errorf("beol: non-positive wire pitch factor %v", p.WirePitchFactor)
+	}
+	if p.Utilization <= 0 || p.Utilization > 1 {
+		return fmt.Errorf("beol: utilization %v outside (0,1]", p.Utilization)
+	}
+	if p.RentExponent <= 0.5 || p.RentExponent > 0.9 {
+		return fmt.Errorf("beol: Rent exponent %v outside (0.5, 0.9]", p.RentExponent)
+	}
+	if p.WirelengthCoeff <= 0 {
+		return fmt.Errorf("beol: non-positive wirelength coefficient %v", p.WirelengthCoeff)
+	}
+	return nil
+}
+
+// AvgWirelength returns the Donath average interconnect length for a block
+// of gates placed at the given gate pitch:
+//
+//	L̄ = c · pitch · N_g^(p − 1/2)
+func AvgWirelength(gates float64, pitch units.Length, p Params) (units.Length, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	if gates < 1 {
+		return 0, fmt.Errorf("beol: gate count %v below 1", gates)
+	}
+	if pitch <= 0 {
+		return 0, fmt.Errorf("beol: non-positive gate pitch %v", pitch)
+	}
+	scale := math.Pow(gates, p.RentExponent-0.5)
+	return units.Millimeters(p.WirelengthCoeff * pitch.MM() * scale), nil
+}
+
+// Layers evaluates Eq. 10 for a die with the given gate count and area at a
+// node, clamped to [1, node.MaxBEOL] (a design cannot exceed the flow's
+// layer count; Table 2 carries the max as an input).
+func Layers(gates float64, node *tech.Node, dieArea units.Area, p Params) (int, error) {
+	raw, err := LayersExact(gates, node, dieArea, p)
+	if err != nil {
+		return 0, err
+	}
+	n := int(math.Ceil(raw))
+	if n < 1 {
+		n = 1
+	}
+	if n > node.MaxBEOL {
+		n = node.MaxBEOL
+	}
+	return n, nil
+}
+
+// LayersExact returns the un-rounded, un-clamped Eq. 10 value — useful for
+// sensitivity studies and tests.
+func LayersExact(gates float64, node *tech.Node, dieArea units.Area, p Params) (float64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	if node == nil {
+		return 0, fmt.Errorf("beol: nil node")
+	}
+	if dieArea <= 0 {
+		return 0, fmt.Errorf("beol: non-positive die area %v", dieArea)
+	}
+	if gates < 1 {
+		return 0, fmt.Errorf("beol: gate count %v below 1", gates)
+	}
+	lbar, err := AvgWirelength(gates, node.GatePitch(), p)
+	if err != nil {
+		return 0, err
+	}
+	omega := p.WirePitchFactor * node.Feature.MM()
+	demand := p.Fanout * omega * gates * lbar.MM() // total wire area, mm²
+	supply := p.Utilization * dieArea.MM2()        // routable area per layer
+	return demand / supply, nil
+}

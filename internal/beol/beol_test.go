@@ -1,0 +1,155 @@
+package beol
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tech"
+	"repro/internal/units"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	n := tech.MustForProcess(7)
+	area := units.SquareMillimeters(455)
+	bad := []Params{
+		{Fanout: 0.5, WirePitchFactor: 3.6, Utilization: 0.4, RentExponent: 0.6, WirelengthCoeff: 1},
+		{Fanout: 3, WirePitchFactor: 0, Utilization: 0.4, RentExponent: 0.6, WirelengthCoeff: 1},
+		{Fanout: 3, WirePitchFactor: 3.6, Utilization: 0, RentExponent: 0.6, WirelengthCoeff: 1},
+		{Fanout: 3, WirePitchFactor: 3.6, Utilization: 0.4, RentExponent: 0.4, WirelengthCoeff: 1},
+		{Fanout: 3, WirePitchFactor: 3.6, Utilization: 0.4, RentExponent: 0.6, WirelengthCoeff: 0},
+	}
+	for i, p := range bad {
+		if _, err := Layers(1e9, n, area, p); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if _, err := Layers(0, n, area, DefaultParams()); err == nil {
+		t.Error("zero gates should error")
+	}
+	if _, err := Layers(1e9, n, 0, DefaultParams()); err == nil {
+		t.Error("zero area should error")
+	}
+	if _, err := Layers(1e9, nil, area, DefaultParams()); err == nil {
+		t.Error("nil node should error")
+	}
+}
+
+// Calibration anchor: an ORIN-class die (17B gates, ~455 mm² at 7 nm) routes
+// in roughly the node's reference layer count.
+func TestOrinClassLayerCount(t *testing.T) {
+	n := tech.MustForProcess(7)
+	layers, err := Layers(17e9, n, units.SquareMillimeters(455), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layers < 11 || layers > 14 {
+		t.Errorf("ORIN-class BEOL = %d layers, want 11–14", layers)
+	}
+}
+
+// The paper's 3D argument: a die with half the gates on half the area needs
+// strictly fewer layers (wirelength shrinks with block size).
+func TestHalvingReducesLayers(t *testing.T) {
+	n := tech.MustForProcess(7)
+	p := DefaultParams()
+	full, err := LayersExact(17e9, n, units.SquareMillimeters(455), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := LayersExact(8.5e9, n, units.SquareMillimeters(227.5), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half >= full {
+		t.Errorf("half-die layers %v should be < full-die layers %v", half, full)
+	}
+	// The ratio should be 2^(p-0.5-... ): exactly (1/2)^(p-1/2) since
+	// demand halves gates (×0.5), wirelength scales by (1/2)^(p-1/2) and
+	// area halves, cancelling the 0.5.
+	wantRatio := math.Pow(0.5, p.RentExponent-0.5)
+	if got := half / full; math.Abs(got-wantRatio) > 1e-9 {
+		t.Errorf("layer ratio = %v, want %v", got, wantRatio)
+	}
+}
+
+func TestLayersClamped(t *testing.T) {
+	n := tech.MustForProcess(28)
+	// A dense huge block at 28 nm would demand absurd layer counts; the
+	// model clamps to the node's max.
+	layers, err := Layers(20e9, n, units.SquareMillimeters(300), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layers != n.MaxBEOL {
+		t.Errorf("over-demand should clamp to MaxBEOL %d, got %d", n.MaxBEOL, layers)
+	}
+	// A tiny block clamps to at least 1 layer.
+	layers, err = Layers(10, n, units.SquareMillimeters(100), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layers < 1 {
+		t.Errorf("layer count %d below 1", layers)
+	}
+}
+
+func TestAvgWirelengthScaling(t *testing.T) {
+	p := DefaultParams()
+	pitch := units.Micrometers(0.16)
+	l1, err := AvgWirelength(1e9, pitch, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := AvgWirelength(4e9, pitch, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ×4 gates ⇒ wirelength grows by 4^(p−0.5) = 4^0.1.
+	want := math.Pow(4, p.RentExponent-0.5)
+	if got := l2.MM() / l1.MM(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("wirelength ratio = %v, want %v", got, want)
+	}
+}
+
+func TestAvgWirelengthErrors(t *testing.T) {
+	p := DefaultParams()
+	if _, err := AvgWirelength(0.5, units.Micrometers(1), p); err == nil {
+		t.Error("sub-1 gate count should error")
+	}
+	if _, err := AvgWirelength(1e9, 0, p); err == nil {
+		t.Error("zero pitch should error")
+	}
+}
+
+// Property: more gates on the same area never reduces the layer count; a
+// bigger area never increases it.
+func TestLayersMonotonic(t *testing.T) {
+	n := tech.MustForProcess(7)
+	p := DefaultParams()
+	if err := quick.Check(func(g, a float64) bool {
+		g = 1e6 + math.Mod(math.Abs(g), 2e10)
+		a = 50 + math.Mod(math.Abs(a), 800)
+		base, err := LayersExact(g, n, units.SquareMillimeters(a), p)
+		if err != nil {
+			return false
+		}
+		more, err := LayersExact(g*2, n, units.SquareMillimeters(a), p)
+		if err != nil {
+			return false
+		}
+		wider, err := LayersExact(g, n, units.SquareMillimeters(a*2), p)
+		if err != nil {
+			return false
+		}
+		return more >= base && wider <= base
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

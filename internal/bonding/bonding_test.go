@@ -1,0 +1,154 @@
+package bonding
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/ic"
+	"repro/internal/units"
+)
+
+// Table 2 envelope: the wafer-level (micro-bump/hybrid) bonding energies
+// must sit in 0.9–2.75 kWh/cm²; C4 die attach sits deliberately below it.
+func TestTable2BondingEnergyRange(t *testing.T) {
+	for _, p := range Processes() {
+		epa, err := EnergyPerArea(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		v := epa.KWhPerCM2()
+		if p.Method == ic.C4Bump {
+			if v <= 0 || v >= 0.9 {
+				t.Errorf("%s: EPA %v kWh/cm², want (0, 0.9)", p, v)
+			}
+			continue
+		}
+		if v < 0.9 || v > 2.75 {
+			t.Errorf("%s: EPA %v kWh/cm² outside Table 2's 0.9–2.75", p, v)
+		}
+	}
+}
+
+func TestProcessYieldsInRange(t *testing.T) {
+	for _, p := range Processes() {
+		y, err := ProcessYield(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if y <= 0.9 || y > 1 {
+			t.Errorf("%s: yield %v outside (0.9, 1]", p, y)
+		}
+	}
+}
+
+// Lakefield calibration (§4.2): Lakefield is micro-bump F2F (Table 1), so
+// the micro-bump D2W and W2W process yields must be the values that
+// reproduce the published effective yields.
+func TestLakefieldBondYieldCalibration(t *testing.T) {
+	d2w, err := ProcessYield(Process{ic.MicroBump, ic.D2W})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d2w-0.9609) > 1e-9 {
+		t.Errorf("micro-bump D2W yield = %v, want 0.9609", d2w)
+	}
+	// 0.920 (memory intrinsic) × 0.9609 ≈ 0.884 — the published value.
+	if got := 0.920 * d2w; math.Abs(got-0.884) > 0.001 {
+		t.Errorf("memory effective yield = %.4f, want 0.884", got)
+	}
+	w2w, err := ProcessYield(Process{ic.MicroBump, ic.W2W})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.893 × 0.920 × 0.9701 ≈ 0.797 — the published W2W value.
+	if got := 0.893 * 0.920 * w2w; math.Abs(got-0.797) > 0.001 {
+		t.Errorf("W2W effective yield = %.4f, want 0.797", got)
+	}
+}
+
+// §4.2: "D2W, involving advanced bonding technology, results in lower yield
+// for the bonding process" — per-operation D2W yield below W2W for each
+// method (the per-die handling of D2W risks every placement individually).
+func TestD2WBondYieldBelowW2W(t *testing.T) {
+	for _, m := range []ic.BondMethod{ic.HybridBond, ic.MicroBump} {
+		d2w, _ := ProcessYield(Process{m, ic.D2W})
+		w2w, _ := ProcessYield(Process{m, ic.W2W})
+		if d2w >= w2w {
+			t.Errorf("%s: D2W yield %v should be below W2W %v", m, d2w, w2w)
+		}
+	}
+}
+
+func TestUnknownProcess(t *testing.T) {
+	if _, err := EnergyPerArea(Process{ic.C4Bump, ic.W2W}); err == nil {
+		t.Error("C4 W2W is not characterised and should error")
+	}
+	if _, err := ProcessYield(Process{"glue", ic.D2W}); err == nil {
+		t.Error("unknown method should error")
+	}
+}
+
+func TestCarbonKnownValue(t *testing.T) {
+	// Hybrid D2W over a 227.5 mm² die on the Taiwan grid at yield 1:
+	// 0.95 kWh/cm² × 2.275 cm² × 0.509 kg/kWh.
+	ci := grid.MustIntensity(grid.Taiwan)
+	c, err := Carbon(Process{ic.HybridBond, ic.D2W},
+		units.SquareMillimeters(227.5), ci, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.95 * 2.275 * 0.509
+	if math.Abs(c.Kg()-want) > 1e-9 {
+		t.Errorf("bond carbon = %v, want %v kg", c.Kg(), want)
+	}
+}
+
+func TestCarbonYieldDivision(t *testing.T) {
+	ci := grid.MustIntensity(grid.Taiwan)
+	p := Process{ic.HybridBond, ic.D2W}
+	area := units.SquareMillimeters(100)
+	full, _ := Carbon(p, area, ci, 1.0)
+	half, err := Carbon(p, area, ci, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(half.Kg()-2*full.Kg()) > 1e-12 {
+		t.Errorf("50%% yield should double carbon: %v vs %v", half, full)
+	}
+}
+
+func TestCarbonErrors(t *testing.T) {
+	ci := grid.MustIntensity(grid.Taiwan)
+	p := Process{ic.HybridBond, ic.D2W}
+	if _, err := Carbon(p, 0, ci, 1); err == nil {
+		t.Error("zero area should error")
+	}
+	if _, err := Carbon(p, units.SquareMillimeters(10), 0, 1); err == nil {
+		t.Error("zero CI should error")
+	}
+	if _, err := Carbon(p, units.SquareMillimeters(10), ci, 0); err == nil {
+		t.Error("zero yield should error")
+	}
+	if _, err := Carbon(Process{ic.C4Bump, ic.W2W}, units.SquareMillimeters(10), ci, 1); err == nil {
+		t.Error("uncharacterised process should error")
+	}
+}
+
+func TestAttachYield25DSane(t *testing.T) {
+	if AttachYield25D <= 0.98 || AttachYield25D > 1 {
+		t.Errorf("2.5D attach yield %v outside (0.98, 1]", AttachYield25D)
+	}
+}
+
+// Bumpless hybrid bonding is cheaper per cm² than micro-bumping (no
+// solder/reflow/underfill) in each flow.
+func TestHybridCheaperThanMicro(t *testing.T) {
+	for _, flow := range []ic.BondFlow{ic.D2W, ic.W2W} {
+		h, _ := EnergyPerArea(Process{ic.HybridBond, flow})
+		m, _ := EnergyPerArea(Process{ic.MicroBump, flow})
+		if h >= m {
+			t.Errorf("%s: hybrid EPA %v should be below micro-bump %v", flow, h, m)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package casestudy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ic"
+	"repro/internal/metrics"
+	"repro/internal/split"
+)
+
+// Fig. 4(a): the published relations for the EPYC 7452 validation.
+func TestFig4aRelations(t *testing.T) {
+	res, err := RunFig4a(core.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "the LCA ... reports higher embodied emissions than 3D-Carbon and
+	// ACT+."
+	if res.LCA.Total.Kg() <= res.MCM.Total.Kg() {
+		t.Errorf("LCA %v should exceed 3D-Carbon MCM %v", res.LCA.Total, res.MCM.Total)
+	}
+	if res.LCA.Total.Kg() <= res.ACTPlus.Total.Kg() {
+		t.Errorf("LCA %v should exceed ACT+ %v", res.LCA.Total, res.ACTPlus.Total)
+	}
+	// "the discrepancy in embodied emissions between LCA and 3D-Carbon is
+	// about 4.4%" (2D-adjusted mode).
+	if res.TwoDAdjustedDelta > 0.06 {
+		t.Errorf("2D-adjusted delta = %.1f%%, want ≈4.4%%", res.TwoDAdjustedDelta*100)
+	}
+	// "higher packaging carbon emission (3.47 kg) compared to ACT+'s fixed
+	// 0.15 kg."
+	if math.Abs(res.MCM.Packaging.Kg()-3.47) > 0.35 {
+		t.Errorf("MCM packaging = %.2f kg, want ≈3.47", res.MCM.Packaging.Kg())
+	}
+	if math.Abs(res.ACTPlus.Packaging.Kg()-0.15) > 1e-9 {
+		t.Errorf("ACT+ packaging = %v, want 0.15", res.ACTPlus.Packaging)
+	}
+}
+
+// Fig. 4(b): the published relations for the Lakefield validation.
+func TestFig4bRelations(t *testing.T) {
+	res, err := RunFig4b(core.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GaBi's 14 nm substitution underestimates versus both 3D-Carbon and
+	// ACT+.
+	if res.GaBi.Total.Kg() >= res.D2W.Total.Kg() {
+		t.Errorf("GaBi %v should be below 3D-Carbon D2W %v", res.GaBi.Total, res.D2W.Total)
+	}
+	if res.GaBi.Total.Kg() >= res.ACTPlus.Total.Kg() {
+		t.Errorf("GaBi %v should be below ACT+ %v", res.GaBi.Total, res.ACTPlus.Total)
+	}
+	if !res.GaBi.Substituted {
+		t.Error("GaBi must flag the 7 nm substitution")
+	}
+	// W2W wastes more good silicon than D2W.
+	if res.W2W.Total.Kg() <= res.D2W.Total.Kg() {
+		t.Errorf("W2W %v should exceed D2W %v", res.W2W.Total, res.D2W.Total)
+	}
+	// The published yields: D2W logic 89.3 %, memory 88.4 %; W2W 79.7 %.
+	get := func(rep []core.DieReport, name string) core.DieReport {
+		for _, d := range rep {
+			if d.Name == name {
+				return d
+			}
+		}
+		t.Fatalf("die %q not found", name)
+		return core.DieReport{}
+	}
+	logic := get(res.D2W.Dies, "compute")
+	if math.Abs(logic.EffectiveYield-0.893) > 0.002 {
+		t.Errorf("D2W logic yield = %.4f, want 0.893", logic.EffectiveYield)
+	}
+	mem := get(res.D2W.Dies, "base")
+	if math.Abs(mem.EffectiveYield-0.884) > 0.002 {
+		t.Errorf("D2W memory yield = %.4f, want 0.884", mem.EffectiveYield)
+	}
+	for _, d := range res.W2W.Dies {
+		if math.Abs(d.EffectiveYield-0.797) > 0.002 {
+			t.Errorf("W2W %s yield = %.4f, want 0.797", d.Name, d.EffectiveYield)
+		}
+	}
+}
+
+func TestFig5HomogeneousStructure(t *testing.T) {
+	rows, err := RunFig5(core.Default(), split.HomogeneousStrategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 chips × 8 designs.
+	if len(rows) != 32 {
+		t.Fatalf("Fig 5 rows = %d, want 32", len(rows))
+	}
+	byKey := map[string]Fig5Row{}
+	for _, r := range rows {
+		byKey[r.Chip+"/"+string(r.Integration)] = r
+	}
+
+	// Paper: "For THOR, none of the four 2.5D ICs meet the necessary
+	// bandwidth, rendering them invalid."
+	for _, integ := range []ic.Integration{ic.MCM, ic.InFO, ic.EMIB, ic.SiInterposer} {
+		if byKey["THOR/"+string(integ)].Valid {
+			t.Errorf("THOR %s should be invalid", integ)
+		}
+	}
+	// ORIN: MCM and InFO fail, EMIB and Si-interposer hold (the five
+	// valid designs of Table 5).
+	if byKey["ORIN/mcm"].Valid || byKey["ORIN/info"].Valid {
+		t.Error("ORIN MCM/InFO should be bandwidth-invalid")
+	}
+	if !byKey["ORIN/emib"].Valid || !byKey["ORIN/si-interposer"].Valid {
+		t.Error("ORIN EMIB/Si-interposer should be valid")
+	}
+	// Early chips: everything valid.
+	for _, integ := range ic.Integrations() {
+		if !byKey["PX2/"+string(integ)].Valid {
+			t.Errorf("PX2 %s should be valid", integ)
+		}
+	}
+
+	// Paper: "InFO and silicon-interposer 2.5D ICs increase embodied
+	// carbons"; "Other 3D/2.5D designs constantly reduce/maintain the
+	// embodied carbons."
+	for _, chip := range []string{"PX2", "XAVIER", "ORIN"} {
+		base := byKey[chip+"/2D"].Embodied
+		if byKey[chip+"/info"].Embodied <= base {
+			t.Errorf("%s InFO embodied should exceed 2D", chip)
+		}
+		if byKey[chip+"/si-interposer"].Embodied <= base {
+			t.Errorf("%s Si-interposer embodied should exceed 2D", chip)
+		}
+		for _, integ := range []ic.Integration{ic.MCM, ic.EMIB, ic.MicroBump3D,
+			ic.Hybrid3D, ic.Monolithic3D} {
+			if byKey[chip+"/"+string(integ)].Embodied >= base*1.02 {
+				t.Errorf("%s %s embodied should not exceed 2D", chip, integ)
+			}
+		}
+	}
+
+	// Paper: "Operational carbon emissions are higher for 2.5D ICs than
+	// 2D/3D ICs."
+	for _, chip := range []string{"PX2", "XAVIER", "ORIN", "THOR"} {
+		op2d := byKey[chip+"/2D"].OperationalLifetime
+		for _, integ := range []ic.Integration{ic.MCM, ic.InFO, ic.EMIB, ic.SiInterposer} {
+			if byKey[chip+"/"+string(integ)].OperationalLifetime <= op2d {
+				t.Errorf("%s %s operational should exceed 2D", chip, integ)
+			}
+		}
+	}
+
+	// Paper: "With the exponential growth of energy efficiency over time,
+	// the operational carbon emissions decrease" across generations.
+	ops := []float64{
+		byKey["PX2/2D"].OperationalLifetime.Kg(),
+		byKey["XAVIER/2D"].OperationalLifetime.Kg(),
+		byKey["ORIN/2D"].OperationalLifetime.Kg(),
+		byKey["THOR/2D"].OperationalLifetime.Kg(),
+	}
+	for i := 1; i < len(ops); i++ {
+		if ops[i] >= ops[i-1] {
+			t.Errorf("2D operational should fall across generations: %v", ops)
+		}
+	}
+}
+
+// The heterogeneous strategy saves less than the homogeneous one (Fig. 5b
+// vs 5a) for the valid ORIN designs.
+func TestHeterogeneousSavesLess(t *testing.T) {
+	m := core.Default()
+	homo, err := RunFig5(m, split.HomogeneousStrategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hetero, err := RunFig5(m, split.HeterogeneousStrategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pick := func(rows []Fig5Row, chip string, integ ic.Integration) Fig5Row {
+		for _, r := range rows {
+			if r.Chip == chip && r.Integration == integ {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%s missing", chip, integ)
+		return Fig5Row{}
+	}
+	for _, integ := range []ic.Integration{ic.Hybrid3D, ic.MicroBump3D, ic.Monolithic3D} {
+		h := pick(homo, "ORIN", integ).Embodied.Kg()
+		x := pick(hetero, "ORIN", integ).Embodied.Kg()
+		if x <= h {
+			t.Errorf("ORIN %s: heterogeneous embodied %v should exceed homogeneous %v",
+				integ, x, h)
+		}
+	}
+}
+
+// Table 5: signs, orderings and decision verdicts against the paper.
+func TestTable5Relations(t *testing.T) {
+	rows, err := RunTable5(core.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("Table 5 rows = %d, want 5", len(rows))
+	}
+	byInteg := map[ic.Integration]Table5Row{}
+	for _, r := range rows {
+		byInteg[r.Integration] = r
+	}
+
+	// Embodied save ordering: M3D > Hybrid > Micro > EMIB > 0 > Si_int.
+	m3d := byInteg[ic.Monolithic3D]
+	hyb := byInteg[ic.Hybrid3D]
+	mic := byInteg[ic.MicroBump3D]
+	emib := byInteg[ic.EMIB]
+	si := byInteg[ic.SiInterposer]
+	if !(m3d.EmbodiedSave > hyb.EmbodiedSave &&
+		hyb.EmbodiedSave > mic.EmbodiedSave &&
+		mic.EmbodiedSave > emib.EmbodiedSave &&
+		emib.EmbodiedSave > 0 && si.EmbodiedSave < 0) {
+		t.Errorf("embodied save ordering violated: M3D %.3f, Hyb %.3f, Mic %.3f, EMIB %.3f, Si %.3f",
+			m3d.EmbodiedSave, hyb.EmbodiedSave, mic.EmbodiedSave,
+			emib.EmbodiedSave, si.EmbodiedSave)
+	}
+	// Paper magnitudes (±10 percentage points).
+	paper := map[ic.Integration]struct{ emb, overall float64 }{
+		ic.EMIB:         {0.2369, 0.065},
+		ic.SiInterposer: {-0.0959, -0.0986},
+		ic.MicroBump3D:  {0.2588, 0.0763},
+		ic.Hybrid3D:     {0.3564, 0.2171},
+		ic.Monolithic3D: {0.6553, 0.4103},
+	}
+	for integ, want := range paper {
+		got := byInteg[integ]
+		if math.Abs(got.EmbodiedSave-want.emb) > 0.10 {
+			t.Errorf("%s embodied save = %.2f%%, paper %.2f%%",
+				integ, got.EmbodiedSave*100, want.emb*100)
+		}
+		if math.Abs(got.OverallSave-want.overall) > 0.10 {
+			t.Errorf("%s overall save = %.2f%%, paper %.2f%%",
+				integ, got.OverallSave*100, want.overall*100)
+		}
+	}
+
+	// Verdicts: hybrid/M3D always choosable; Si_int never; EMIB/micro
+	// choosable within a horizon that covers the 10-year lifetime.
+	if hyb.Tc.Verdict != metrics.AlwaysBetter || m3d.Tc.Verdict != metrics.AlwaysBetter {
+		t.Error("hybrid and M3D should be always-choosable (paper: Tc > 0)")
+	}
+	if si.Tc.Verdict != metrics.NeverBetter {
+		t.Error("Si-interposer Tc should be ∞")
+	}
+	if emib.Tc.Verdict != metrics.BetterUntil || !emib.Choose {
+		t.Errorf("EMIB should be choosable within its horizon: %+v", emib.Tc)
+	}
+	if mic.Tc.Verdict != metrics.BetterUntil || !mic.Choose {
+		t.Errorf("micro should be choosable within its horizon: %+v", mic.Tc)
+	}
+	// Replacing: only hybrid and M3D have finite horizons, both beyond
+	// the 10-year lifetime — the paper advises against replacing.
+	for _, r := range []Table5Row{emib, si, mic} {
+		if r.Tr.Verdict != metrics.NeverBetter {
+			t.Errorf("%s Tr should be ∞, got %+v", r.Integration, r.Tr)
+		}
+	}
+	if hyb.Tr.Verdict != metrics.BetterAfter || hyb.Tr.Years < 75 {
+		t.Errorf("hybrid Tr = %+v, paper >75 years", hyb.Tr)
+	}
+	if m3d.Tr.Verdict != metrics.BetterAfter || m3d.Tr.Years < 19 {
+		t.Errorf("M3D Tr = %+v, paper >19 years", m3d.Tr)
+	}
+	if hyb.Replace || m3d.Replace {
+		t.Error("no candidate should justify replacement within 10 years (§5.2)")
+	}
+}
+
+func TestEPYCDesignValid(t *testing.T) {
+	d := EPYC7452MCM()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Dies) != 5 {
+		t.Errorf("EPYC has %d dies, want 5", len(d.Dies))
+	}
+}
+
+func TestLakefieldDesignValid(t *testing.T) {
+	for _, flow := range []ic.BondFlow{ic.D2W, ic.W2W} {
+		d := Lakefield(flow)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: %v", flow, err)
+		}
+		if d.PackageAreaMM2 != 144 {
+			t.Errorf("Lakefield package = %v mm², want the 12×12 mm PoP", d.PackageAreaMM2)
+		}
+	}
+}

@@ -1,0 +1,667 @@
+// Package core orchestrates the full 3D-Carbon model: it resolves a design
+// description into per-die manufacturing specs, composes the embodied-carbon
+// terms of Eq. 3 (die, bonding, packaging, interposer) with the Table 3
+// yield compositions, evaluates the operational model of Eq. 16–17 under the
+// §3.4 bandwidth constraint, and reports full breakdowns.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/area"
+	"repro/internal/bandwidth"
+	"repro/internal/beol"
+	"repro/internal/bonding"
+	"repro/internal/design"
+	"repro/internal/die"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/ic"
+	"repro/internal/interposer"
+	"repro/internal/packaging"
+	"repro/internal/power"
+	"repro/internal/tech"
+	"repro/internal/units"
+	"repro/internal/workload"
+	"repro/internal/yield"
+)
+
+// Model bundles every tunable of the 3D-Carbon pipeline. Zero values are
+// not usable; construct with Default and override fields as needed.
+type Model struct {
+	// BEOL are the Eq. 10 coefficients.
+	BEOL beol.Params
+	// Area are the Eq. 7–9 coefficients.
+	Area area.Params
+	// Constraint is the §3.4 bandwidth viability rule.
+	Constraint bandwidth.Constraint
+	// IOKappa is the utilized-bandwidth I/O power multiplier.
+	IOKappa float64
+	// Power is the operational power plug-in (§3.3).
+	Power power.Model
+
+	// SeqFEOLPremium, SeqILDShare and SeqDefectMultiplier parameterise
+	// monolithic-3D sequential manufacturing (see internal/die).
+	SeqFEOLPremium      float64
+	SeqILDShare         float64
+	SeqDefectMultiplier float64
+
+	// MCMSubstrateYield is the organic-substrate yield for MCM assemblies
+	// (no separately-manufactured interposer, but Table 3's 2.5D
+	// composition still needs a y_substrate).
+	MCMSubstrateYield float64
+
+	// SharedBEOLLayers is the per-die metal-layer reduction for F2F hybrid
+	// bonding and M3D: face-to-face pads (and MIVs) let the dies share top
+	// global-routing layers (Kim et al. DAC'21), so each die drops this
+	// many layers off its Eq. 10 estimate.
+	SharedBEOLLayers int
+}
+
+// Default returns the calibrated model.
+func Default() *Model {
+	return &Model{
+		BEOL:                beol.DefaultParams(),
+		Area:                area.DefaultParams(),
+		Constraint:          bandwidth.DefaultConstraint(),
+		IOKappa:             power.DefaultIOKappa,
+		Power:               power.SurveyedEfficiency{},
+		SeqFEOLPremium:      0.05,
+		SeqILDShare:         0.03,
+		SeqDefectMultiplier: 1.15,
+		MCMSubstrateYield:   0.995,
+		SharedBEOLLayers:    2,
+	}
+}
+
+// resolvedDie is one die after node lookup, area estimation and BEOL
+// estimation.
+type resolvedDie struct {
+	name   string
+	node   *tech.Node
+	gates  float64 // derived from area when not given
+	area   units.Area
+	layers int
+	memory bool
+	eff    units.Efficiency
+}
+
+// resolve expands the design's dies: explicit areas win, otherwise Eq. 7;
+// explicit BEOL counts win, otherwise Eq. 10.
+func (m *Model) resolve(d *design.Design) ([]resolvedDie, error) {
+	totalGates := 0.0
+	for _, dd := range d.Dies {
+		g := dd.Gates
+		if g <= 0 {
+			// Derive gates from the explicit area via inverse Eq. 8 so
+			// Rent-based estimates still work.
+			node, err := tech.ForProcess(dd.ProcessNM)
+			if err != nil {
+				return nil, err
+			}
+			beta := node.GateAreaFactor
+			if dd.Memory {
+				beta = node.MemGateAreaFactor
+			}
+			g = dd.Area().MM2() / (beta * node.Feature.MM() * node.Feature.MM())
+		}
+		totalGates += g
+	}
+
+	out := make([]resolvedDie, 0, len(d.Dies))
+	for _, dd := range d.Dies {
+		node, err := tech.ForProcess(dd.ProcessNM)
+		if err != nil {
+			return nil, err
+		}
+		r := resolvedDie{name: dd.Name, node: node, memory: dd.Memory}
+		if dd.EfficiencyTOPSW > 0 {
+			r.eff = units.TOPSPerWatt(dd.EfficiencyTOPSW)
+		}
+
+		r.gates = dd.Gates
+		if r.gates <= 0 {
+			beta := node.GateAreaFactor
+			if dd.Memory {
+				beta = node.MemGateAreaFactor
+			}
+			r.gates = dd.Area().MM2() / (beta * node.Feature.MM() * node.Feature.MM())
+		}
+
+		if dd.AreaMM2 > 0 {
+			r.area = dd.Area()
+		} else {
+			r.area, err = area.Die(d.Integration, d.EffectiveStacking(),
+				r.gates, totalGates, node, dd.Memory, m.Area)
+			if err != nil {
+				return nil, fmt.Errorf("core: die %q: %w", dd.Name, err)
+			}
+		}
+
+		if dd.BEOLLayers > 0 {
+			r.layers = dd.BEOLLayers
+		} else {
+			r.layers, err = beol.Layers(r.gates, node, r.area, m.BEOL)
+			if err != nil {
+				return nil, fmt.Errorf("core: die %q: %w", dd.Name, err)
+			}
+			if m.SharedBEOLLayers > 0 && m.sharesTopMetal(d) {
+				r.layers -= m.SharedBEOLLayers
+				if r.layers < 1 {
+					r.layers = 1
+				}
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// sharesTopMetal reports whether the design's dies share global routing
+// layers through their bond interface: F2F hybrid pads and M3D MIVs are
+// dense enough for cross-die global nets; micro-bumps and 2.5D links are
+// not.
+func (m *Model) sharesTopMetal(d *design.Design) bool {
+	switch d.Integration {
+	case ic.Monolithic3D:
+		return true
+	case ic.Hybrid3D:
+		return d.EffectiveStacking() == ic.F2F
+	}
+	return false
+}
+
+func (m *Model) dieSpec(d *design.Design, r resolvedDie, fabCI units.CarbonIntensity) die.Spec {
+	return die.Spec{
+		Node:       r.node,
+		Area:       r.area,
+		BEOLLayers: r.layers,
+		WaferArea:  d.WaferArea(),
+		FabCI:      fabCI,
+	}
+}
+
+// DieReport is the per-die embodied breakdown.
+type DieReport struct {
+	Name           string
+	ProcessNM      int
+	Area           units.Area
+	BEOLLayers     int
+	IntrinsicYield float64
+	EffectiveYield float64
+	Carbon         units.Carbon
+}
+
+// EmbodiedReport is the Eq. 3 breakdown for one design.
+type EmbodiedReport struct {
+	Design      string
+	Integration ic.Integration
+
+	Total      units.Carbon
+	Die        units.Carbon
+	Bonding    units.Carbon
+	Packaging  units.Carbon
+	Interposer units.Carbon
+
+	Dies            []DieReport
+	PackageArea     units.Area
+	InterposerArea  units.Area
+	InterposerYield float64
+	// AssemblyYield is the final-good probability of the whole assembly.
+	AssemblyYield float64
+}
+
+// Embodied evaluates Eq. 3 for a design.
+func (m *Model) Embodied(d *design.Design) (*EmbodiedReport, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	fabCI, err := grid.Intensity(d.FabLocation)
+	if err != nil {
+		return nil, err
+	}
+	dies, err := m.resolve(d)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &EmbodiedReport{Design: d.Name, Integration: d.Integration}
+
+	switch {
+	case d.Integration == ic.Mono2D:
+		err = m.embodied2D(d, dies, fabCI, rep)
+	case d.Integration == ic.Monolithic3D:
+		err = m.embodiedM3D(d, dies, fabCI, rep)
+	case d.Integration.Is3D():
+		err = m.embodied3D(d, dies, fabCI, rep)
+	case d.Integration.Is25D():
+		err = m.embodied25D(d, dies, fabCI, rep)
+	default:
+		err = fmt.Errorf("core: unknown integration %q", d.Integration)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	rep.Total = rep.Die + rep.Bonding + rep.Packaging + rep.Interposer
+	return rep, nil
+}
+
+func (m *Model) finishPackaging(d *design.Design, areas []units.Area, rep *EmbodiedReport) error {
+	fp := geom.Floorplan{Dies: areas}
+	if d.PackageAreaMM2 > 0 {
+		p, err := packaging.For(d.Integration)
+		if err != nil {
+			return err
+		}
+		rep.PackageArea = units.SquareMillimeters(d.PackageAreaMM2)
+		rep.Packaging = p.CPA.Over(rep.PackageArea)
+		return nil
+	}
+	pa, err := packaging.Area(d.Integration, fp)
+	if err != nil {
+		return err
+	}
+	c, err := packaging.Carbon(d.Integration, fp)
+	if err != nil {
+		return err
+	}
+	rep.PackageArea = pa
+	rep.Packaging = c
+	return nil
+}
+
+func (m *Model) embodied2D(d *design.Design, dies []resolvedDie,
+	fabCI units.CarbonIntensity, rep *EmbodiedReport) error {
+	r := dies[0]
+	spec := m.dieSpec(d, r, fabCI)
+	y, err := spec.IntrinsicYield()
+	if err != nil {
+		return err
+	}
+	c, err := spec.CarbonPerGoodDie(y)
+	if err != nil {
+		return err
+	}
+	rep.Die = c
+	rep.AssemblyYield = y
+	rep.Dies = []DieReport{{
+		Name: r.name, ProcessNM: r.node.ProcessNM, Area: r.area,
+		BEOLLayers: r.layers, IntrinsicYield: y, EffectiveYield: y, Carbon: c,
+	}}
+	return m.finishPackaging(d, []units.Area{r.area}, rep)
+}
+
+func (m *Model) embodiedM3D(d *design.Design, dies []resolvedDie,
+	fabCI units.CarbonIntensity, rep *EmbodiedReport) error {
+	// Sequential M3D: both tiers share one footprint — the larger tier —
+	// manufactured with two FEOL passes and the max tier BEOL stack.
+	t1, t2 := dies[0], dies[1]
+	if t1.node.ProcessNM != t2.node.ProcessNM {
+		return fmt.Errorf("core: M3D tiers must share a node, got %d and %d nm",
+			t1.node.ProcessNM, t2.node.ProcessNM)
+	}
+	footprint := t1.area
+	if t2.area > footprint {
+		footprint = t2.area
+	}
+	layers := t1.layers
+	if t2.layers > layers {
+		layers = t2.layers
+	}
+	spec := die.Spec{
+		Node:                t1.node,
+		Area:                footprint,
+		BEOLLayers:          layers,
+		WaferArea:           d.WaferArea(),
+		FabCI:               fabCI,
+		Tiers:               2,
+		SeqFEOLPremium:      m.SeqFEOLPremium,
+		SeqILDShare:         m.SeqILDShare,
+		SeqDefectMultiplier: m.SeqDefectMultiplier,
+	}
+	y, err := spec.IntrinsicYield()
+	if err != nil {
+		return err
+	}
+	c, err := spec.CarbonPerGoodDie(y)
+	if err != nil {
+		return err
+	}
+	rep.Die = c
+	rep.AssemblyYield = y
+	rep.Dies = []DieReport{{
+		Name: t1.name + "+" + t2.name, ProcessNM: t1.node.ProcessNM,
+		Area: footprint, BEOLLayers: layers,
+		IntrinsicYield: y, EffectiveYield: y, Carbon: c,
+	}}
+	return m.finishPackaging(d, []units.Area{footprint}, rep)
+}
+
+func (m *Model) embodied3D(d *design.Design, dies []resolvedDie,
+	fabCI units.CarbonIntensity, rep *EmbodiedReport) error {
+	method, err := ic.BondMethodFor(d.Integration)
+	if err != nil {
+		return err
+	}
+	proc := bonding.Process{Method: method, Flow: d.EffectiveFlow()}
+	bondY, err := bonding.ProcessYield(proc)
+	if err != nil {
+		return err
+	}
+
+	dieYields := make([]float64, len(dies))
+	for i, r := range dies {
+		spec := m.dieSpec(d, r, fabCI)
+		dieYields[i], err = spec.IntrinsicYield()
+		if err != nil {
+			return err
+		}
+	}
+	stack := yield.Stack3D{DieYields: dieYields, BondYield: bondY, Flow: d.EffectiveFlow()}
+
+	areas := make([]units.Area, len(dies))
+	for i, r := range dies {
+		areas[i] = r.area
+		spec := m.dieSpec(d, r, fabCI)
+		yEff, err := stack.DieEffective(i + 1)
+		if err != nil {
+			return err
+		}
+		c, err := spec.CarbonPerGoodDie(yEff)
+		if err != nil {
+			return err
+		}
+		rep.Die += c
+		rep.Dies = append(rep.Dies, DieReport{
+			Name: r.name, ProcessNM: r.node.ProcessNM, Area: r.area,
+			BEOLLayers: r.layers, IntrinsicYield: dieYields[i],
+			EffectiveYield: yEff, Carbon: c,
+		})
+	}
+
+	// Eq. 11: N−1 bonding operations; operation i processes die i's area.
+	for i := 1; i < len(dies); i++ {
+		yB, err := stack.BondingEffective(i)
+		if err != nil {
+			return err
+		}
+		c, err := bonding.Carbon(proc, dies[i-1].area, fabCI, yB)
+		if err != nil {
+			return err
+		}
+		rep.Bonding += c
+	}
+
+	rep.AssemblyYield, err = stack.StackYield()
+	if err != nil {
+		return err
+	}
+	return m.finishPackaging(d, areas, rep)
+}
+
+func (m *Model) embodied25D(d *design.Design, dies []resolvedDie,
+	fabCI units.CarbonIntensity, rep *EmbodiedReport) error {
+	order := d.EffectiveOrder()
+
+	areas := make([]units.Area, len(dies))
+	dieYields := make([]float64, len(dies))
+	for i, r := range dies {
+		areas[i] = r.area
+		spec := m.dieSpec(d, r, fabCI)
+		y, err := spec.IntrinsicYield()
+		if err != nil {
+			return err
+		}
+		dieYields[i] = y
+	}
+
+	// Substrate: a manufactured interposer for InFO/EMIB/Si-interposer,
+	// the organic package substrate for MCM.
+	var sub *interposer.Spec
+	subYield := m.MCMSubstrateYield
+	if d.Integration.HasInterposer() {
+		kind, err := interposer.KindFor(d.Integration)
+		if err != nil {
+			return err
+		}
+		sub = &interposer.Spec{
+			Kind:      kind,
+			DieAreas:  areas,
+			Gap:       d.Gap(),
+			Scale:     d.InterposerScale,
+			FabCI:     fabCI,
+			WaferArea: d.WaferArea(),
+		}
+		subYield, err = sub.IntrinsicYield()
+		if err != nil {
+			return err
+		}
+	}
+	rep.InterposerYield = subYield
+
+	bondYields := make([]float64, len(dies))
+	for i := range bondYields {
+		bondYields[i] = bonding.AttachYield25D
+	}
+	asm := yield.Assembly25D{
+		DieYields:      dieYields,
+		SubstrateYield: subYield,
+		BondYields:     bondYields,
+		Order:          order,
+	}
+
+	for i, r := range dies {
+		spec := m.dieSpec(d, r, fabCI)
+		yEff, err := asm.DieEffective(i + 1)
+		if err != nil {
+			return err
+		}
+		c, err := spec.CarbonPerGoodDie(yEff)
+		if err != nil {
+			return err
+		}
+		rep.Die += c
+		rep.Dies = append(rep.Dies, DieReport{
+			Name: r.name, ProcessNM: r.node.ProcessNM, Area: r.area,
+			BEOLLayers: r.layers, IntrinsicYield: dieYields[i],
+			EffectiveYield: yEff, Carbon: c,
+		})
+	}
+
+	// C4 die attach: one bonding operation per die placed on the
+	// substrate.
+	bondEff, err := asm.BondingEffective()
+	if err != nil {
+		return err
+	}
+	if order == ic.ChipFirst {
+		// Table 3: chip-first bonding yield is 1 (attach risk is folded
+		// into the substrate completion), but the attach energy is still
+		// spent.
+		bondEff = 1
+	}
+	proc := bonding.Process{Method: ic.C4Bump, Flow: ic.D2W}
+	for _, r := range dies {
+		c, err := bonding.Carbon(proc, r.area, fabCI, bondEff)
+		if err != nil {
+			return err
+		}
+		rep.Bonding += c
+	}
+
+	if sub != nil {
+		subEff, err := asm.SubstrateEffective()
+		if err != nil {
+			return err
+		}
+		c, err := sub.CarbonPerGood(subEff)
+		if err != nil {
+			return err
+		}
+		rep.Interposer = c
+		rep.InterposerArea, err = sub.Area()
+		if err != nil {
+			return err
+		}
+	}
+
+	// Final-good probability: all dies, substrate and attaches good.
+	asmYield := subYield
+	for _, y := range dieYields {
+		asmYield *= y
+	}
+	for _, y := range bondYields {
+		asmYield *= y
+	}
+	rep.AssemblyYield = asmYield
+
+	return m.finishPackaging(d, areas, rep)
+}
+
+// OperationalReport is the Eq. 16–17 result for one design and workload.
+type OperationalReport struct {
+	Design string
+
+	// Valid is the §3.4 bandwidth verdict (always true for 2D/3D).
+	Valid bool
+	// ThroughputFactor is achieved/required throughput (≤1; degradation
+	// stretches run time).
+	ThroughputFactor float64
+	Capacity         units.Bandwidth // 2.5D interface capacity (0 otherwise)
+	Required         units.Bandwidth // required bisection bandwidth (0 otherwise)
+
+	ComputePower units.Power
+	IOPower      units.Power
+	TotalPower   units.Power
+	WireSaving   float64
+
+	AnnualEnergy   units.Energy
+	AnnualCarbon   units.Carbon
+	LifetimeCarbon units.Carbon
+}
+
+// Operational evaluates Eq. 16–17. defaultEff is the chip-level surveyed
+// efficiency used for dies without an explicit per-die efficiency.
+func (m *Model) Operational(d *design.Design, w workload.Workload,
+	defaultEff units.Efficiency) (*OperationalReport, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	useCI, err := grid.Intensity(d.UseLocation)
+	if err != nil {
+		return nil, err
+	}
+	dies, err := m.resolve(d)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &OperationalReport{Design: d.Name}
+
+	// Bandwidth constraint (2.5D only; §3.4 assumes 3D matches on-chip).
+	outcome := bandwidth.Unconstrained()
+	if d.Integration.Is25D() {
+		minEdge := dies[0].area.Edge()
+		for _, r := range dies[1:] {
+			if e := r.area.Edge(); e < minEdge {
+				minEdge = e
+			}
+		}
+		cap25, err := bandwidth.Capacity25D(d.Integration, minEdge)
+		if err != nil {
+			return nil, err
+		}
+		req, err := m.Constraint.Required(w.Peak())
+		if err != nil {
+			return nil, err
+		}
+		outcome, err = m.Constraint.Evaluate(cap25, req)
+		if err != nil {
+			return nil, err
+		}
+		rep.Capacity = outcome.Capacity
+		rep.Required = outcome.Required
+	}
+	rep.Valid = outcome.Valid
+	rep.ThroughputFactor = outcome.ThroughputFactor
+
+	// Compute power (Eq. 17's Th/Eff term). Per-die efficiencies weight by
+	// gate share; otherwise the chip-level survey value applies.
+	allExplicit := true
+	totalGates := 0.0
+	for _, r := range dies {
+		if r.eff <= 0 {
+			allExplicit = false
+		}
+		totalGates += r.gates
+	}
+	var compute units.Power
+	if allExplicit && totalGates > 0 {
+		for _, r := range dies {
+			share := r.gates / totalGates
+			p, err := m.Power.DiePower(
+				units.OpsPerSecond(w.Throughput.OpsPerSec()*share), r.eff)
+			if err != nil {
+				return nil, err
+			}
+			compute += p
+		}
+	} else {
+		if defaultEff <= 0 {
+			return nil, fmt.Errorf("core: design %q has dies without efficiency and no default was given", d.Name)
+		}
+		compute, err = m.Power.DiePower(w.Throughput, defaultEff)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rep.WireSaving = power.WireSaving(d.Integration)
+	compute = units.Watts(compute.W() * (1 - rep.WireSaving))
+	rep.ComputePower = compute
+
+	// I/O power (Eq. 17's P_IO term) on the utilized bisection bandwidth
+	// of the achieved throughput.
+	achievedOps := w.Throughput.OpsPerSec() * rep.ThroughputFactor
+	used := units.BytesPerSecond(m.Constraint.BytesPerOp * achievedOps)
+	rep.IOPower, err = power.InterfacePower(d.Integration, used, m.IOKappa)
+	if err != nil {
+		return nil, err
+	}
+	rep.TotalPower = rep.ComputePower + rep.IOPower
+
+	// Eq. 16: degradation stretches active time for the fixed work.
+	activeHours := w.ActiveHoursPerYear / rep.ThroughputFactor
+	rep.AnnualEnergy = rep.TotalPower.Over(units.Hours(activeHours))
+	rep.AnnualCarbon = useCI.Emit(rep.AnnualEnergy)
+	rep.LifetimeCarbon = units.KilogramsCO2(rep.AnnualCarbon.Kg() * w.LifetimeYears)
+	return rep, nil
+}
+
+// TotalReport is the Eq. 1 life-cycle combination.
+type TotalReport struct {
+	Embodied    *EmbodiedReport
+	Operational *OperationalReport
+	Total       units.Carbon
+}
+
+// Total evaluates Eq. 1 for a design and workload.
+func (m *Model) Total(d *design.Design, w workload.Workload,
+	defaultEff units.Efficiency) (*TotalReport, error) {
+	emb, err := m.Embodied(d)
+	if err != nil {
+		return nil, err
+	}
+	op, err := m.Operational(d, w, defaultEff)
+	if err != nil {
+		return nil, err
+	}
+	return &TotalReport{
+		Embodied:    emb,
+		Operational: op,
+		Total:       emb.Total + op.LifetimeCarbon,
+	}, nil
+}

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/design"
+	"repro/internal/grid"
+	"repro/internal/ic"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func orin2D() *design.Design {
+	return &design.Design{
+		Name:        "orin-2d",
+		Integration: ic.Mono2D,
+		Dies:        []design.Die{{Name: "soc", ProcessNM: 7, Gates: 17e9}},
+		FabLocation: grid.Taiwan,
+		UseLocation: grid.USA,
+	}
+}
+
+func orinSplit(integ ic.Integration) *design.Design {
+	return &design.Design{
+		Name:        "orin-" + string(integ),
+		Integration: integ,
+		Dies: []design.Die{
+			{Name: "die1", ProcessNM: 7, Gates: 8.5e9},
+			{Name: "die2", ProcessNM: 7, Gates: 8.5e9},
+		},
+		FabLocation: grid.Taiwan,
+		UseLocation: grid.USA,
+	}
+}
+
+func orinWorkload() workload.Workload {
+	return workload.AVPipeline(units.TOPS(254))
+}
+
+func TestEmbodied2D(t *testing.T) {
+	m := Default()
+	rep, err := m.Embodied(orin2D())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bonding != 0 || rep.Interposer != 0 {
+		t.Errorf("2D design must have no bonding/interposer carbon: %+v", rep)
+	}
+	if rep.Die <= 0 || rep.Packaging <= 0 {
+		t.Errorf("2D die and packaging carbon must be positive: %+v", rep)
+	}
+	if got := rep.Die + rep.Packaging; math.Abs(got.Kg()-rep.Total.Kg()) > 1e-9 {
+		t.Errorf("total %v != die+packaging %v", rep.Total, got)
+	}
+	if len(rep.Dies) != 1 {
+		t.Fatalf("expected 1 die report, got %d", len(rep.Dies))
+	}
+	dr := rep.Dies[0]
+	if dr.Area.MM2() < 400 || dr.Area.MM2() > 500 {
+		t.Errorf("ORIN 2D resolved area = %v, want ≈455 mm²", dr.Area)
+	}
+	if dr.BEOLLayers < 11 || dr.BEOLLayers > 14 {
+		t.Errorf("ORIN 2D BEOL = %d, want 11–14", dr.BEOLLayers)
+	}
+	if math.Abs(dr.IntrinsicYield-0.54) > 0.02 {
+		t.Errorf("ORIN 2D yield = %v, want ≈0.54", dr.IntrinsicYield)
+	}
+	// Total embodied lands in the plausible mid-tens of kg.
+	if rep.Total.Kg() < 10 || rep.Total.Kg() > 40 {
+		t.Errorf("ORIN 2D embodied = %v, want 10–40 kg", rep.Total)
+	}
+}
+
+func TestEmbodiedBreakdownsByIntegration(t *testing.T) {
+	m := Default()
+	for _, integ := range []ic.Integration{ic.Hybrid3D, ic.MicroBump3D} {
+		rep, err := m.Embodied(orinSplit(integ))
+		if err != nil {
+			t.Fatalf("%s: %v", integ, err)
+		}
+		if rep.Bonding <= 0 {
+			t.Errorf("%s: bonding carbon must be positive", integ)
+		}
+		if rep.Interposer != 0 {
+			t.Errorf("%s: 3D design must have no interposer carbon", integ)
+		}
+		if len(rep.Dies) != 2 {
+			t.Errorf("%s: expected 2 die reports", integ)
+		}
+	}
+	for _, integ := range []ic.Integration{ic.EMIB, ic.SiInterposer, ic.InFO} {
+		rep, err := m.Embodied(orinSplit(integ))
+		if err != nil {
+			t.Fatalf("%s: %v", integ, err)
+		}
+		if rep.Interposer <= 0 {
+			t.Errorf("%s: interposer carbon must be positive", integ)
+		}
+		if rep.InterposerArea <= 0 {
+			t.Errorf("%s: interposer area must be positive", integ)
+		}
+		if rep.Bonding <= 0 {
+			t.Errorf("%s: C4 attach carbon must be positive", integ)
+		}
+	}
+	rep, err := m.Embodied(orinSplit(ic.MCM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Interposer != 0 {
+		t.Error("MCM must have no manufactured interposer")
+	}
+	rep, err = m.Embodied(orinSplit(ic.Monolithic3D))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bonding != 0 || rep.Interposer != 0 {
+		t.Error("M3D must have no bonding or interposer carbon")
+	}
+	if len(rep.Dies) != 1 {
+		t.Errorf("M3D reports one combined footprint, got %d entries", len(rep.Dies))
+	}
+}
+
+// The Table 5 embodied ordering: M3D < Hybrid < Micro ≈ EMIB < 2D < Si_int.
+func TestEmbodiedOrdering(t *testing.T) {
+	m := Default()
+	emb := map[ic.Integration]float64{}
+	emb[ic.Mono2D] = mustEmb(t, m, orin2D())
+	for _, integ := range []ic.Integration{ic.Hybrid3D, ic.MicroBump3D,
+		ic.Monolithic3D, ic.EMIB, ic.SiInterposer} {
+		emb[integ] = mustEmb(t, m, orinSplit(integ))
+	}
+	if !(emb[ic.Monolithic3D] < emb[ic.Hybrid3D]) {
+		t.Errorf("M3D %v should be below hybrid %v", emb[ic.Monolithic3D], emb[ic.Hybrid3D])
+	}
+	if !(emb[ic.Hybrid3D] < emb[ic.Mono2D]) {
+		t.Errorf("hybrid %v should be below 2D %v", emb[ic.Hybrid3D], emb[ic.Mono2D])
+	}
+	if !(emb[ic.MicroBump3D] < emb[ic.Mono2D]) {
+		t.Errorf("micro %v should be below 2D %v", emb[ic.MicroBump3D], emb[ic.Mono2D])
+	}
+	if !(emb[ic.EMIB] < emb[ic.Mono2D]) {
+		t.Errorf("EMIB %v should be below 2D %v", emb[ic.EMIB], emb[ic.Mono2D])
+	}
+	if !(emb[ic.SiInterposer] > emb[ic.Mono2D]) {
+		t.Errorf("Si-interposer %v should exceed 2D %v (Table 5's negative saving)",
+			emb[ic.SiInterposer], emb[ic.Mono2D])
+	}
+}
+
+func mustEmb(t *testing.T, m *Model, d *design.Design) float64 {
+	t.Helper()
+	rep, err := m.Embodied(d)
+	if err != nil {
+		t.Fatalf("%s: %v", d.Name, err)
+	}
+	return rep.Total.Kg()
+}
+
+func TestExplicitAreaAndBEOLWin(t *testing.T) {
+	m := Default()
+	d := orin2D()
+	d.Dies[0].AreaMM2 = 500
+	d.Dies[0].BEOLLayers = 12
+	rep, err := m.Embodied(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dies[0].Area.MM2() != 500 {
+		t.Errorf("explicit area ignored: %v", rep.Dies[0].Area)
+	}
+	if rep.Dies[0].BEOLLayers != 12 {
+		t.Errorf("explicit BEOL ignored: %d", rep.Dies[0].BEOLLayers)
+	}
+}
+
+func TestExplicitPackageAreaWins(t *testing.T) {
+	m := Default()
+	d := orin2D()
+	d.PackageAreaMM2 = 3000
+	rep, err := m.Embodied(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PackageArea.MM2() != 3000 {
+		t.Errorf("explicit package area ignored: %v", rep.PackageArea)
+	}
+}
+
+func TestM3DRequiresMatchingNodes(t *testing.T) {
+	m := Default()
+	d := orinSplit(ic.Monolithic3D)
+	d.Dies[1].ProcessNM = 14
+	if _, err := m.Embodied(d); err == nil {
+		t.Error("mixed-node M3D should be rejected")
+	}
+}
+
+func TestW2WVsD2WEmbodied(t *testing.T) {
+	m := Default()
+	d2w := orinSplit(ic.Hybrid3D)
+	d2w.Flow = ic.D2W
+	w2w := orinSplit(ic.Hybrid3D)
+	w2w.Flow = ic.W2W
+	cd2w := mustEmb(t, m, d2w)
+	cw2w := mustEmb(t, m, w2w)
+	// W2W's blind stacking wastes more good dies: higher embodied carbon.
+	if cw2w <= cd2w {
+		t.Errorf("W2W embodied %v should exceed D2W %v", cw2w, cd2w)
+	}
+}
+
+func TestOperational2DAnchors(t *testing.T) {
+	m := Default()
+	rep, err := m.Operational(orin2D(), orinWorkload(), units.TOPSPerWatt(2.74))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30 TOPS at 2.74 TOPS/W ≈ 10.9 W; no IO power; no degradation.
+	if math.Abs(rep.ComputePower.W()-30/2.74) > 1e-9 {
+		t.Errorf("compute power = %v, want %v", rep.ComputePower.W(), 30/2.74)
+	}
+	if rep.IOPower != 0 {
+		t.Errorf("2D IO power = %v, want 0", rep.IOPower)
+	}
+	if !rep.Valid || rep.ThroughputFactor != 1 {
+		t.Errorf("2D must be unconstrained: %+v", rep)
+	}
+	// Annual: 10.95 W × 365 h × 0.380 kg/kWh ≈ 1.52 kg.
+	want := (30 / 2.74 / 1000) * 365 * 0.380
+	if math.Abs(rep.AnnualCarbon.Kg()-want) > 1e-6 {
+		t.Errorf("annual carbon = %v, want %v kg", rep.AnnualCarbon.Kg(), want)
+	}
+	if math.Abs(rep.LifetimeCarbon.Kg()-10*want) > 1e-5 {
+		t.Errorf("lifetime carbon = %v, want %v kg", rep.LifetimeCarbon.Kg(), 10*want)
+	}
+}
+
+func TestOperationalIOPowerFor25D(t *testing.T) {
+	m := Default()
+	eff := units.TOPSPerWatt(2.74)
+	w := orinWorkload()
+	rep2d, _ := m.Operational(orin2D(), w, eff)
+	for _, integ := range []ic.Integration{ic.EMIB, ic.SiInterposer} {
+		rep, err := m.Operational(orinSplit(integ), w, eff)
+		if err != nil {
+			t.Fatalf("%s: %v", integ, err)
+		}
+		if !rep.Valid {
+			t.Errorf("%s should be valid for ORIN", integ)
+		}
+		if rep.IOPower <= 0 {
+			t.Errorf("%s: IO power must be positive", integ)
+		}
+		if rep.AnnualCarbon <= rep2d.AnnualCarbon {
+			t.Errorf("%s annual carbon %v should exceed 2D %v",
+				integ, rep.AnnualCarbon, rep2d.AnnualCarbon)
+		}
+	}
+}
+
+func TestOperational3DWireSaving(t *testing.T) {
+	m := Default()
+	eff := units.TOPSPerWatt(2.74)
+	w := orinWorkload()
+	rep2d, _ := m.Operational(orin2D(), w, eff)
+	for _, integ := range []ic.Integration{ic.Hybrid3D, ic.Monolithic3D} {
+		rep, err := m.Operational(orinSplit(integ), w, eff)
+		if err != nil {
+			t.Fatalf("%s: %v", integ, err)
+		}
+		if rep.IOPower != 0 {
+			t.Errorf("%s should pay no IO power (§3.3)", integ)
+		}
+		if rep.AnnualCarbon >= rep2d.AnnualCarbon {
+			t.Errorf("%s annual carbon %v should be below 2D %v (wire saving)",
+				integ, rep.AnnualCarbon, rep2d.AnnualCarbon)
+		}
+	}
+	m3d, _ := m.Operational(orinSplit(ic.Monolithic3D), w, eff)
+	hyb, _ := m.Operational(orinSplit(ic.Hybrid3D), w, eff)
+	if m3d.AnnualCarbon >= hyb.AnnualCarbon {
+		t.Errorf("M3D operational %v should be below hybrid %v",
+			m3d.AnnualCarbon, hyb.AnnualCarbon)
+	}
+}
+
+// Fig. 5 validity: ORIN MCM and InFO are bandwidth-invalid; their runtime
+// stretch raises operational carbon.
+func TestOperationalInvalidDesigns(t *testing.T) {
+	m := Default()
+	eff := units.TOPSPerWatt(2.74)
+	w := orinWorkload()
+	for _, integ := range []ic.Integration{ic.MCM, ic.InFO} {
+		rep, err := m.Operational(orinSplit(integ), w, eff)
+		if err != nil {
+			t.Fatalf("%s: %v", integ, err)
+		}
+		if rep.Valid {
+			t.Errorf("%s should be bandwidth-invalid for ORIN", integ)
+		}
+		if rep.ThroughputFactor >= 1 {
+			t.Errorf("%s: invalid design must be degraded, factor %v",
+				integ, rep.ThroughputFactor)
+		}
+	}
+}
+
+func TestOperationalPerDieEfficiency(t *testing.T) {
+	m := Default()
+	d := orinSplit(ic.Hybrid3D)
+	d.Dies[0].EfficiencyTOPSW = 2.74
+	d.Dies[1].EfficiencyTOPSW = 2.74
+	rep, err := m.Operational(d, orinWorkload(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal per-die efficiencies = the chip-level number (then the 3D
+	// wire saving applies).
+	want := 30 / 2.74 * (1 - rep.WireSaving)
+	if math.Abs(rep.ComputePower.W()-want) > 1e-9 {
+		t.Errorf("per-die compute power = %v, want %v", rep.ComputePower.W(), want)
+	}
+}
+
+func TestOperationalNeedsEfficiency(t *testing.T) {
+	m := Default()
+	if _, err := m.Operational(orin2D(), orinWorkload(), 0); err == nil {
+		t.Error("missing efficiency should error")
+	}
+}
+
+func TestTotalCombines(t *testing.T) {
+	m := Default()
+	tot, err := m.Total(orin2D(), orinWorkload(), units.TOPSPerWatt(2.74))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tot.Embodied.Total.Kg() + tot.Operational.LifetimeCarbon.Kg()
+	if math.Abs(tot.Total.Kg()-want) > 1e-9 {
+		t.Errorf("total %v != emb+op %v", tot.Total.Kg(), want)
+	}
+}
+
+func TestInvalidDesignRejected(t *testing.T) {
+	m := Default()
+	d := orin2D()
+	d.Integration = "4d"
+	if _, err := m.Embodied(d); err == nil {
+		t.Error("invalid design should be rejected by Embodied")
+	}
+	if _, err := m.Operational(d, orinWorkload(), units.TOPSPerWatt(1)); err == nil {
+		t.Error("invalid design should be rejected by Operational")
+	}
+	d = orin2D()
+	bad := orinWorkload()
+	bad.LifetimeYears = 0
+	if _, err := m.Operational(d, bad, units.TOPSPerWatt(1)); err == nil {
+		t.Error("invalid workload should be rejected")
+	}
+}

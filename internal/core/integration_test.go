@@ -1,0 +1,357 @@
+package core
+
+// Cross-module integration tests: whole-pipeline scenarios that exercise
+// several subsystems together (multi-die stacks, heterogeneous designs,
+// grid sensitivity, conservation properties), beyond the per-package unit
+// tests.
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/design"
+	"repro/internal/grid"
+	"repro/internal/ic"
+	"repro/internal/tech"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// hbmStack builds an HBM-like F2B micro-bump stack of n memory dies on a
+// base die.
+func hbmStack(n int) *design.Design {
+	dies := []design.Die{
+		{Name: "base", ProcessNM: 14, Gates: 2e9},
+	}
+	for i := 1; i < n; i++ {
+		dies = append(dies, design.Die{
+			Name: "dram" + string(rune('0'+i)), ProcessNM: 14,
+			Gates: 3e9, Memory: true,
+		})
+	}
+	return &design.Design{
+		Name:        "hbm-like",
+		Integration: ic.MicroBump3D,
+		Stacking:    ic.F2B,
+		Flow:        ic.D2W,
+		Dies:        dies,
+		FabLocation: grid.SouthKorea,
+		UseLocation: grid.USA,
+	}
+}
+
+// Multi-die F2B stacks (HBM-class, Table 1's ≥2-die row) evaluate end to
+// end, and taller stacks cost more and yield less.
+func TestTallStackScaling(t *testing.T) {
+	m := Default()
+	prevCarbon := 0.0
+	prevYield := 1.1
+	for _, n := range []int{2, 4, 8} {
+		rep, err := m.Embodied(hbmStack(n))
+		if err != nil {
+			t.Fatalf("%d dies: %v", n, err)
+		}
+		if rep.Total.Kg() <= prevCarbon {
+			t.Errorf("%d-die stack carbon %v should exceed smaller stack %v",
+				n, rep.Total.Kg(), prevCarbon)
+		}
+		if rep.AssemblyYield >= prevYield {
+			t.Errorf("%d-die stack yield %v should be below smaller stack %v",
+				n, rep.AssemblyYield, prevYield)
+		}
+		if len(rep.Dies) != n {
+			t.Errorf("%d-die stack reports %d dies", n, len(rep.Dies))
+		}
+		prevCarbon = rep.Total.Kg()
+		prevYield = rep.AssemblyYield
+	}
+}
+
+// The earliest-bonded die of a D2W stack has the lowest effective yield
+// (it survives every later operation) — Table 3's structure surfacing in
+// the full pipeline.
+func TestBaseDieCarriesMostRisk(t *testing.T) {
+	m := Default()
+	rep, err := m.Embodied(hbmStack(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := rep.Dies[0]
+	top := rep.Dies[len(rep.Dies)-1]
+	if base.EffectiveYield >= top.EffectiveYield {
+		t.Errorf("base effective yield %v should be below top %v",
+			base.EffectiveYield, top.EffectiveYield)
+	}
+}
+
+// A heterogeneous hybrid stack mixing 7 nm logic and 28 nm memory works end
+// to end and prices each die at its own node.
+func TestHeterogeneousNodesInOneStack(t *testing.T) {
+	m := Default()
+	d := &design.Design{
+		Name:        "hetero-hybrid",
+		Integration: ic.Hybrid3D,
+		Stacking:    ic.F2F,
+		Flow:        ic.D2W,
+		Dies: []design.Die{
+			{Name: "mem", ProcessNM: 28, Gates: 3e9, Memory: true},
+			{Name: "logic", ProcessNM: 7, Gates: 14e9},
+		},
+		FabLocation: grid.Taiwan,
+		UseLocation: grid.USA,
+	}
+	rep, err := m.Embodied(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dies[0].ProcessNM != 28 || rep.Dies[1].ProcessNM != 7 {
+		t.Errorf("node assignment lost: %+v", rep.Dies)
+	}
+	// The 28 nm memory die must be far cheaper per mm² than the 7 nm one.
+	memPer := rep.Dies[0].Carbon.Kg() / rep.Dies[0].Area.CM2()
+	logicPer := rep.Dies[1].Carbon.Kg() / rep.Dies[1].Area.CM2()
+	if memPer >= logicPer {
+		t.Errorf("28 nm carbon/cm² %v should be below 7 nm %v", memPer, logicPer)
+	}
+}
+
+// Embodied carbon responds to the fab grid; operational carbon to the use
+// grid — and the two are independent.
+func TestGridSeparation(t *testing.T) {
+	m := Default()
+	w := workload.AVPipeline(units.TOPS(254))
+	eff := units.TOPSPerWatt(2.74)
+
+	base := &design.Design{
+		Name:        "grids",
+		Integration: ic.Mono2D,
+		Dies:        []design.Die{{Name: "soc", ProcessNM: 7, Gates: 17e9}},
+		FabLocation: grid.Taiwan,
+		UseLocation: grid.India,
+	}
+	dirty, err := m.Total(base, w, eff)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cleanFab := *base
+	cleanFab.FabLocation = grid.Norway
+	cf, err := m.Total(&cleanFab, w, eff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.Embodied.Total >= dirty.Embodied.Total {
+		t.Error("cleaner fab grid must cut embodied carbon")
+	}
+	if math.Abs(cf.Operational.LifetimeCarbon.Kg()-dirty.Operational.LifetimeCarbon.Kg()) > 1e-9 {
+		t.Error("fab grid must not affect operational carbon")
+	}
+
+	cleanUse := *base
+	cleanUse.UseLocation = grid.Norway
+	cu, err := m.Total(&cleanUse, w, eff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cu.Operational.LifetimeCarbon >= dirty.Operational.LifetimeCarbon {
+		t.Error("cleaner use grid must cut operational carbon")
+	}
+	if math.Abs(cu.Embodied.Total.Kg()-dirty.Embodied.Total.Kg()) > 1e-9 {
+		t.Error("use grid must not affect embodied carbon")
+	}
+}
+
+// Eq. 3 conservation: the report total always equals the sum of its parts,
+// for every integration technology and a range of sizes.
+func TestBreakdownConservation(t *testing.T) {
+	m := Default()
+	if err := quick.Check(func(raw float64) bool {
+		gates := 4e9 + math.Mod(math.Abs(raw), 3e10)
+		for _, integ := range ic.Integrations() {
+			var d *design.Design
+			if integ == ic.Mono2D {
+				d = &design.Design{
+					Name: "cons", Integration: integ,
+					Dies:        []design.Die{{Name: "soc", ProcessNM: 7, Gates: gates}},
+					FabLocation: grid.Taiwan, UseLocation: grid.USA,
+				}
+			} else {
+				d = &design.Design{
+					Name: "cons", Integration: integ,
+					Stacking: ic.F2F, Flow: ic.D2W,
+					Dies: []design.Die{
+						{Name: "a", ProcessNM: 7, Gates: gates / 2},
+						{Name: "b", ProcessNM: 7, Gates: gates / 2},
+					},
+					FabLocation: grid.Taiwan, UseLocation: grid.USA,
+				}
+			}
+			rep, err := m.Embodied(d)
+			if err != nil {
+				return false
+			}
+			sum := rep.Die + rep.Bonding + rep.Packaging + rep.Interposer
+			if math.Abs(sum.Kg()-rep.Total.Kg()) > 1e-9*(1+rep.Total.Kg()) {
+				return false
+			}
+			// Per-die carbons sum to the die term.
+			var per units.Carbon
+			for _, dr := range rep.Dies {
+				per += dr.Carbon
+			}
+			if math.Abs(per.Kg()-rep.Die.Kg()) > 1e-9*(1+rep.Die.Kg()) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: embodied carbon is monotone in design size for every
+// integration technology.
+func TestEmbodiedMonotoneInGates(t *testing.T) {
+	m := Default()
+	for _, integ := range ic.Integrations() {
+		prev := 0.0
+		for _, g := range []float64{4e9, 8e9, 16e9, 24e9} {
+			var d *design.Design
+			if integ == ic.Mono2D {
+				d = &design.Design{
+					Name: "mono", Integration: integ,
+					Dies:        []design.Die{{Name: "soc", ProcessNM: 7, Gates: g}},
+					FabLocation: grid.Taiwan, UseLocation: grid.USA,
+				}
+			} else {
+				d = &design.Design{
+					Name: "split", Integration: integ,
+					Stacking: ic.F2F, Flow: ic.D2W,
+					Dies: []design.Die{
+						{Name: "a", ProcessNM: 7, Gates: g / 2},
+						{Name: "b", ProcessNM: 7, Gates: g / 2},
+					},
+					FabLocation: grid.Taiwan, UseLocation: grid.USA,
+				}
+			}
+			rep, err := m.Embodied(d)
+			if err != nil {
+				t.Fatalf("%s at %v gates: %v", integ, g, err)
+			}
+			if rep.Total.Kg() <= prev {
+				t.Errorf("%s: embodied not monotone at %v gates (%v <= %v)",
+					integ, g, rep.Total.Kg(), prev)
+			}
+			prev = rep.Total.Kg()
+		}
+	}
+}
+
+// Degraded 2.5D designs stretch runtime: annual energy exceeds the
+// undegraded product of power and active hours.
+func TestDegradationStretchesEnergy(t *testing.T) {
+	m := Default()
+	w := workload.AVPipeline(units.TOPS(254))
+	d := &design.Design{
+		Name: "degraded", Integration: ic.MCM,
+		Dies: []design.Die{
+			{Name: "a", ProcessNM: 7, Gates: 8.5e9},
+			{Name: "b", ProcessNM: 7, Gates: 8.5e9},
+		},
+		FabLocation: grid.Taiwan, UseLocation: grid.USA,
+	}
+	rep, err := m.Operational(d, w, units.TOPSPerWatt(2.74))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Valid {
+		t.Fatal("ORIN MCM should be invalid")
+	}
+	undegraded := rep.TotalPower.Over(units.Hours(w.ActiveHoursPerYear))
+	if rep.AnnualEnergy.KWh() <= undegraded.KWh() {
+		t.Errorf("degraded energy %v should exceed undegraded %v",
+			rep.AnnualEnergy, undegraded)
+	}
+	want := undegraded.KWh() / rep.ThroughputFactor
+	if math.Abs(rep.AnnualEnergy.KWh()-want) > 1e-9 {
+		t.Errorf("stretch factor wrong: %v vs %v", rep.AnnualEnergy.KWh(), want)
+	}
+}
+
+// The whole pipeline stays stable across every supported node.
+func TestAllNodesEvaluate(t *testing.T) {
+	m := Default()
+	w := workload.AVPipeline(units.TOPS(100))
+	for _, nm := range tech.Processes() {
+		node := tech.MustForProcess(nm)
+		// Size the design to a ~200 mm² die at this node so every node
+		// stays within wafer limits.
+		gates := 200.0 / node.GateArea().MM2()
+		d := &design.Design{
+			Name: "node-sweep", Integration: ic.Hybrid3D,
+			Stacking: ic.F2F, Flow: ic.D2W,
+			Dies: []design.Die{
+				{Name: "a", ProcessNM: nm, Gates: gates / 2},
+				{Name: "b", ProcessNM: nm, Gates: gates / 2},
+			},
+			FabLocation: grid.Taiwan, UseLocation: grid.USA,
+		}
+		tot, err := m.Total(d, w, units.TOPSPerWatt(2))
+		if err != nil {
+			t.Errorf("%d nm: %v", nm, err)
+			continue
+		}
+		if tot.Total <= 0 {
+			t.Errorf("%d nm: non-positive total %v", nm, tot.Total)
+		}
+	}
+}
+
+// Explicit per-die efficiencies compose: a design whose dies have different
+// efficiencies lands between the two pure cases.
+func TestMixedEfficiencies(t *testing.T) {
+	m := Default()
+	w := workload.AVPipeline(units.TOPS(254))
+	mk := func(e1, e2 float64) *design.Design {
+		return &design.Design{
+			Name: "mixed", Integration: ic.Hybrid3D,
+			Stacking: ic.F2F, Flow: ic.D2W,
+			Dies: []design.Die{
+				{Name: "a", ProcessNM: 7, Gates: 8.5e9, EfficiencyTOPSW: e1},
+				{Name: "b", ProcessNM: 7, Gates: 8.5e9, EfficiencyTOPSW: e2},
+			},
+			FabLocation: grid.Taiwan, UseLocation: grid.USA,
+		}
+	}
+	lo, err := m.Operational(mk(2, 2), w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := m.Operational(mk(4, 4), w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := m.Operational(mk(2, 4), w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(mid.ComputePower < lo.ComputePower && mid.ComputePower > hi.ComputePower) {
+		t.Errorf("mixed efficiency power %v not between %v and %v",
+			mid.ComputePower, hi.ComputePower, lo.ComputePower)
+	}
+}
+
+// Designs too large for the wafer are rejected with a clear error rather
+// than returning nonsense.
+func TestOversizedDieRejected(t *testing.T) {
+	m := Default()
+	d := &design.Design{
+		Name: "monster", Integration: ic.Mono2D,
+		Dies:        []design.Die{{Name: "soc", ProcessNM: 7, AreaMM2: 65000}},
+		FabLocation: grid.Taiwan, UseLocation: grid.USA,
+	}
+	if _, err := m.Embodied(d); err == nil {
+		t.Error("die near wafer size should be rejected")
+	}
+}

@@ -1,0 +1,261 @@
+// Package design defines the hardware design description 3D-Carbon consumes
+// (Fig. 3 "User input"): the 3D/2.5D configuration, per-die gate counts or
+// explicit areas and BEOL configurations, the package, the technology nodes
+// and the manufacturing/use locations. Designs round-trip through JSON for
+// the CLI tools.
+package design
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/grid"
+	"repro/internal/ic"
+	"repro/internal/tech"
+	"repro/internal/units"
+)
+
+// Die describes one die (or one M3D tier) of a design.
+type Die struct {
+	// Name identifies the die in reports.
+	Name string `json:"name"`
+	// ProcessNM is the technology node (3–28 nm).
+	ProcessNM int `json:"process_nm"`
+	// Gates is the 2D-equivalent gate count N_g (Table 2's N_2D_g).
+	// Optional when AreaMM2 is given.
+	Gates float64 `json:"gates,omitempty"`
+	// AreaMM2 is the explicit die area (Table 2's A_die_i). Optional when
+	// Gates is given; when present it overrides the Eq. 7 estimate.
+	AreaMM2 float64 `json:"area_mm2,omitempty"`
+	// BEOLLayers optionally fixes the metal-layer count; zero means
+	// "estimate via Eq. 10".
+	BEOLLayers int `json:"beol_layers,omitempty"`
+	// Memory marks SRAM-dominated dies (uses the node's memory density).
+	Memory bool `json:"memory,omitempty"`
+	// EfficiencyTOPSW optionally gives the die's surveyed energy
+	// efficiency for the operational model; zero defers to the workload.
+	EfficiencyTOPSW float64 `json:"efficiency_topsw,omitempty"`
+}
+
+// Area returns the explicit area, if any.
+func (d Die) Area() units.Area { return units.SquareMillimeters(d.AreaMM2) }
+
+// Validate checks one die description against the node database.
+func (d Die) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("design: die with empty name")
+	}
+	node, err := tech.ForProcess(d.ProcessNM)
+	if err != nil {
+		return fmt.Errorf("design: die %q: %w", d.Name, err)
+	}
+	if d.Gates <= 0 && d.AreaMM2 <= 0 {
+		return fmt.Errorf("design: die %q needs a gate count or an explicit area", d.Name)
+	}
+	if d.Gates < 0 || d.AreaMM2 < 0 {
+		return fmt.Errorf("design: die %q has negative size inputs", d.Name)
+	}
+	if d.BEOLLayers < 0 || d.BEOLLayers > node.MaxBEOL {
+		return fmt.Errorf("design: die %q: %d BEOL layers outside [0, %d]",
+			d.Name, d.BEOLLayers, node.MaxBEOL)
+	}
+	if d.EfficiencyTOPSW < 0 {
+		return fmt.Errorf("design: die %q has negative efficiency", d.Name)
+	}
+	return nil
+}
+
+// Design is a complete hardware design description.
+type Design struct {
+	// Name identifies the design in reports.
+	Name string `json:"name"`
+	// Integration selects the Table 1 technology (or "2D").
+	Integration ic.Integration `json:"integration"`
+	// Stacking is F2F or F2B — 3D designs only (M3D is implicitly F2B
+	// sequential; the field is ignored there).
+	Stacking ic.Stacking `json:"stacking,omitempty"`
+	// Flow is D2W or W2W — micro-bump/hybrid 3D only.
+	Flow ic.BondFlow `json:"flow,omitempty"`
+	// Order is chip-first or chip-last — 2.5D only; empty selects the
+	// technology's conventional flow (InFO chip-first, others chip-last).
+	Order ic.AttachOrder `json:"order,omitempty"`
+	// Dies lists the dies bottom-up (3D) or in floorplan row order (2.5D).
+	Dies []Die `json:"dies"`
+	// FabLocation and UseLocation select the grid carbon intensities.
+	FabLocation grid.Location `json:"fab_location"`
+	UseLocation grid.Location `json:"use_location"`
+	// WaferAreaMM2 optionally overrides the 300 mm default wafer.
+	WaferAreaMM2 float64 `json:"wafer_area_mm2,omitempty"`
+	// GapMM is the 2.5D die-to-die gap D_gap (defaults to 1 mm).
+	GapMM float64 `json:"gap_mm,omitempty"`
+	// InterposerScale optionally overrides the substrate scale factor s.
+	InterposerScale float64 `json:"interposer_scale,omitempty"`
+	// PackageAreaMM2 optionally fixes the package area instead of the
+	// Eq. 12 empirical model.
+	PackageAreaMM2 float64 `json:"package_area_mm2,omitempty"`
+}
+
+// Gap returns D_gap with the 1 mm default applied.
+func (d *Design) Gap() units.Length {
+	if d.GapMM > 0 {
+		return units.Millimeters(d.GapMM)
+	}
+	return units.Millimeters(1)
+}
+
+// WaferArea returns the explicit wafer area, or zero meaning "default".
+func (d *Design) WaferArea() units.Area {
+	return units.SquareMillimeters(d.WaferAreaMM2)
+}
+
+// EffectiveOrder resolves the 2.5D attach order, defaulting to the
+// technology's conventional flow.
+func (d *Design) EffectiveOrder() ic.AttachOrder {
+	if d.Order.Valid() {
+		return d.Order
+	}
+	if d.Integration == ic.InFO {
+		return ic.ChipFirst
+	}
+	return ic.ChipLast
+}
+
+// EffectiveStacking resolves the 3D stacking, defaulting to F2F for
+// two-die micro/hybrid stacks and F2B otherwise.
+func (d *Design) EffectiveStacking() ic.Stacking {
+	if d.Stacking.Valid() {
+		return d.Stacking
+	}
+	if len(d.Dies) == 2 {
+		return ic.F2F
+	}
+	return ic.F2B
+}
+
+// EffectiveFlow resolves the 3D bond flow, defaulting to D2W.
+func (d *Design) EffectiveFlow() ic.BondFlow {
+	if d.Flow.Valid() {
+		return d.Flow
+	}
+	return ic.D2W
+}
+
+// TotalGates sums the gate counts of all dies (zero if any die is
+// area-only).
+func (d *Design) TotalGates() float64 {
+	var sum float64
+	for _, die := range d.Dies {
+		if die.Gates <= 0 {
+			return 0
+		}
+		sum += die.Gates
+	}
+	return sum
+}
+
+// Validate checks the full design description.
+func (d *Design) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("design: empty design name")
+	}
+	if !d.Integration.Valid() {
+		return fmt.Errorf("design %q: unknown integration %q", d.Name, d.Integration)
+	}
+	if len(d.Dies) == 0 {
+		return fmt.Errorf("design %q: no dies", d.Name)
+	}
+	for _, die := range d.Dies {
+		if err := die.Validate(); err != nil {
+			return fmt.Errorf("design %q: %w", d.Name, err)
+		}
+	}
+	if _, err := grid.Intensity(d.FabLocation); err != nil {
+		return fmt.Errorf("design %q: fab location: %w", d.Name, err)
+	}
+	if _, err := grid.Intensity(d.UseLocation); err != nil {
+		return fmt.Errorf("design %q: use location: %w", d.Name, err)
+	}
+
+	n := len(d.Dies)
+	switch {
+	case d.Integration == ic.Mono2D:
+		if n != 1 {
+			return fmt.Errorf("design %q: 2D design must have exactly 1 die, has %d", d.Name, n)
+		}
+	case d.Integration == ic.Monolithic3D:
+		if n != 2 {
+			return fmt.Errorf("design %q: M3D supports exactly 2 tiers, has %d", d.Name, n)
+		}
+	case d.Integration.Is3D():
+		if n < 2 {
+			return fmt.Errorf("design %q: 3D design needs ≥2 dies, has %d", d.Name, n)
+		}
+		s := d.EffectiveStacking()
+		if max := s.MaxTiers(d.Integration); n > max {
+			return fmt.Errorf("design %q: %d dies exceeds %s %s limit of %d (Table 1)",
+				d.Name, n, d.Integration, s, max)
+		}
+		if d.Flow != "" && !d.Flow.Valid() {
+			return fmt.Errorf("design %q: unknown bond flow %q", d.Name, d.Flow)
+		}
+		if d.Stacking != "" && !d.Stacking.Valid() {
+			return fmt.Errorf("design %q: unknown stacking %q", d.Name, d.Stacking)
+		}
+	case d.Integration.Is25D():
+		if n < 2 {
+			return fmt.Errorf("design %q: 2.5D design needs ≥2 dies, has %d", d.Name, n)
+		}
+		if d.Order != "" && !d.Order.Valid() {
+			return fmt.Errorf("design %q: unknown attach order %q", d.Name, d.Order)
+		}
+		if g := d.Gap().MM(); g < 0.5 || g > 2 {
+			return fmt.Errorf("design %q: die gap %v mm outside Table 2's 0.5–2 mm", d.Name, g)
+		}
+	}
+	if d.WaferAreaMM2 < 0 {
+		return fmt.Errorf("design %q: negative wafer area", d.Name)
+	}
+	if d.InterposerScale < 0 {
+		return fmt.Errorf("design %q: negative interposer scale", d.Name)
+	}
+	if d.PackageAreaMM2 < 0 {
+		return fmt.Errorf("design %q: negative package area", d.Name)
+	}
+	return nil
+}
+
+// Marshal encodes the design as indented JSON.
+func (d *Design) Marshal() ([]byte, error) {
+	return json.MarshalIndent(d, "", "  ")
+}
+
+// Unmarshal decodes and validates a design from JSON.
+func Unmarshal(data []byte) (*Design, error) {
+	var d Design
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("design: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// Load reads and validates a design JSON file.
+func Load(path string) (*Design, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("design: %w", err)
+	}
+	return Unmarshal(data)
+}
+
+// Save writes the design as JSON to path.
+func (d *Design) Save(path string) error {
+	data, err := d.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,236 @@
+package design
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/ic"
+)
+
+func valid2D() *Design {
+	return &Design{
+		Name:        "orin-2d",
+		Integration: ic.Mono2D,
+		Dies: []Die{
+			{Name: "soc", ProcessNM: 7, Gates: 17e9},
+		},
+		FabLocation: grid.Taiwan,
+		UseLocation: grid.USA,
+	}
+}
+
+func validHybrid() *Design {
+	return &Design{
+		Name:        "orin-hybrid",
+		Integration: ic.Hybrid3D,
+		Stacking:    ic.F2F,
+		Flow:        ic.D2W,
+		Dies: []Die{
+			{Name: "bottom", ProcessNM: 7, Gates: 8.5e9},
+			{Name: "top", ProcessNM: 7, Gates: 8.5e9},
+		},
+		FabLocation: grid.Taiwan,
+		UseLocation: grid.USA,
+	}
+}
+
+func validEMIB() *Design {
+	return &Design{
+		Name:        "orin-emib",
+		Integration: ic.EMIB,
+		Dies: []Die{
+			{Name: "left", ProcessNM: 7, Gates: 8.5e9},
+			{Name: "right", ProcessNM: 7, Gates: 8.5e9},
+		},
+		FabLocation: grid.Taiwan,
+		UseLocation: grid.USA,
+	}
+}
+
+func TestValidDesigns(t *testing.T) {
+	for _, d := range []*Design{valid2D(), validHybrid(), validEMIB()} {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestDieValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		die  Die
+		want string
+	}{
+		{"empty name", Die{ProcessNM: 7, Gates: 1e9}, "empty name"},
+		{"bad node", Die{Name: "d", ProcessNM: 8, Gates: 1e9}, "no database entry"},
+		{"no size", Die{Name: "d", ProcessNM: 7}, "gate count or an explicit area"},
+		{"neg gates", Die{Name: "d", ProcessNM: 7, Gates: -1, AreaMM2: 10}, "negative"},
+		{"too many layers", Die{Name: "d", ProcessNM: 7, Gates: 1e9, BEOLLayers: 99}, "BEOL layers"},
+		{"neg eff", Die{Name: "d", ProcessNM: 7, Gates: 1e9, EfficiencyTOPSW: -1}, "efficiency"},
+	}
+	for _, c := range cases {
+		err := c.die.Validate()
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q missing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestDesignValidation(t *testing.T) {
+	d := valid2D()
+	d.Dies = append(d.Dies, Die{Name: "extra", ProcessNM: 7, Gates: 1e9})
+	if err := d.Validate(); err == nil {
+		t.Error("2D with two dies should fail")
+	}
+
+	d = validHybrid()
+	d.Dies = d.Dies[:1]
+	if err := d.Validate(); err == nil {
+		t.Error("3D with one die should fail")
+	}
+
+	d = validHybrid()
+	d.Stacking = ic.F2F
+	d.Dies = append(d.Dies, Die{Name: "third", ProcessNM: 7, Gates: 1e9})
+	if err := d.Validate(); err == nil {
+		t.Error("F2F with three dies should fail (Table 1 limit)")
+	}
+
+	d = validHybrid()
+	d.Integration = ic.Monolithic3D
+	d.Dies = append(d.Dies, Die{Name: "third", ProcessNM: 7, Gates: 1e9})
+	if err := d.Validate(); err == nil {
+		t.Error("M3D with three tiers should fail")
+	}
+
+	d = validEMIB()
+	d.GapMM = 5
+	if err := d.Validate(); err == nil {
+		t.Error("gap outside Table 2 range should fail")
+	}
+
+	d = valid2D()
+	d.FabLocation = "atlantis"
+	if err := d.Validate(); err == nil {
+		t.Error("unknown fab location should fail")
+	}
+
+	d = valid2D()
+	d.Integration = "4d"
+	if err := d.Validate(); err == nil {
+		t.Error("unknown integration should fail")
+	}
+
+	d = valid2D()
+	d.Name = ""
+	if err := d.Validate(); err == nil {
+		t.Error("empty name should fail")
+	}
+
+	d = valid2D()
+	d.Dies = nil
+	if err := d.Validate(); err == nil {
+		t.Error("no dies should fail")
+	}
+}
+
+func TestEffectiveDefaults(t *testing.T) {
+	d := validEMIB()
+	if got := d.EffectiveOrder(); got != ic.ChipLast {
+		t.Errorf("EMIB default order = %s, want chip-last", got)
+	}
+	d.Integration = ic.InFO
+	if got := d.EffectiveOrder(); got != ic.ChipFirst {
+		t.Errorf("InFO default order = %s, want chip-first", got)
+	}
+	d.Order = ic.ChipLast
+	if got := d.EffectiveOrder(); got != ic.ChipLast {
+		t.Errorf("explicit order = %s, want chip-last", got)
+	}
+
+	h := validHybrid()
+	h.Stacking = ""
+	if got := h.EffectiveStacking(); got != ic.F2F {
+		t.Errorf("2-die default stacking = %s, want F2F", got)
+	}
+	h.Dies = append(h.Dies, Die{Name: "third", ProcessNM: 7, Gates: 1e9})
+	if got := h.EffectiveStacking(); got != ic.F2B {
+		t.Errorf("3-die default stacking = %s, want F2B", got)
+	}
+	h.Flow = ""
+	if got := h.EffectiveFlow(); got != ic.D2W {
+		t.Errorf("default flow = %s, want D2W", got)
+	}
+
+	if got := validEMIB().Gap().MM(); got != 1 {
+		t.Errorf("default gap = %v, want 1 mm", got)
+	}
+}
+
+func TestTotalGates(t *testing.T) {
+	d := validHybrid()
+	if got := d.TotalGates(); got != 17e9 {
+		t.Errorf("total gates = %v, want 17e9", got)
+	}
+	d.Dies[0].Gates = 0
+	d.Dies[0].AreaMM2 = 100
+	if got := d.TotalGates(); got != 0 {
+		t.Errorf("area-only die should zero the total, got %v", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := validHybrid()
+	d.WaferAreaMM2 = 70685.83
+	d.Dies[0].BEOLLayers = 11
+	d.Dies[0].Memory = true
+	d.Dies[0].EfficiencyTOPSW = 2.74
+	data, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != d.Name || back.Integration != d.Integration ||
+		len(back.Dies) != len(d.Dies) ||
+		back.Dies[0].BEOLLayers != 11 || !back.Dies[0].Memory ||
+		back.Dies[0].EfficiencyTOPSW != 2.74 ||
+		back.WaferAreaMM2 != d.WaferAreaMM2 {
+		t.Errorf("round trip mismatch: %+v vs %+v", back, d)
+	}
+}
+
+func TestUnmarshalRejectsInvalid(t *testing.T) {
+	if _, err := Unmarshal([]byte(`{"name":"x"}`)); err == nil {
+		t.Error("design without dies should be rejected")
+	}
+	if _, err := Unmarshal([]byte(`not json`)); err == nil {
+		t.Error("malformed JSON should be rejected")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "design.json")
+	d := validEMIB()
+	if err := d.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != d.Name || back.Integration != d.Integration {
+		t.Errorf("loaded %q/%s, want %q/%s", back.Name, back.Integration, d.Name, d.Integration)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}

@@ -1,0 +1,189 @@
+// Package die implements the per-die embodied-carbon model of §3.2.1:
+//
+//	C_die = Σ_i C_wafer_i / DPW_i · 1/Y_i        (Eq. 4)
+//	DPW from Eq. 5 (internal/geom)
+//	C_wafer = (CI_emb·EPA + GPA + MPA) · A_wafer (Eq. 6)
+//
+// with the EPA/GPA/MPA decomposition into FEOL + per-BEOL-layer components
+// from internal/tech, so a die with fewer metal layers is genuinely cheaper.
+//
+// The package also models monolithic-3D sequential manufacturing: an M3D
+// "die" is a single footprint processed with one FEOL pass per tier (the
+// later passes at a low-temperature sequential premium), an inter-layer
+// dielectric per extra tier, and a defect-density multiplier reflecting the
+// longer process flow.
+package die
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+	"repro/internal/units"
+	"repro/internal/yield"
+)
+
+// Spec describes one die (or one M3D footprint) to be manufactured.
+type Spec struct {
+	Node *tech.Node
+	// Area is the full die area from Eq. 7 (gates + TSV + IO drivers).
+	Area units.Area
+	// BEOLLayers is the Eq. 10 metal-layer count for this die.
+	BEOLLayers int
+	// WaferArea defaults to a 300 mm wafer when zero.
+	WaferArea units.Area
+	// FabCI is the manufacturing grid's carbon intensity.
+	FabCI units.CarbonIntensity
+
+	// Tiers is 1 for ordinary dies; ≥2 selects M3D sequential processing.
+	Tiers int
+	// SeqFEOLPremium is the fractional FEOL cost of each additional
+	// sequential tier (0.15 ⇒ tier 2 costs 15 % of a full FEOL pass on
+	// top of the base pass). Only used when Tiers ≥ 2.
+	SeqFEOLPremium float64
+	// SeqILDShare is the inter-layer-dielectric cost per extra tier as a
+	// fraction of the FEOL footprint cost. Only used when Tiers ≥ 2.
+	SeqILDShare float64
+	// SeqDefectMultiplier scales the node defect density per extra tier
+	// (longer flow ⇒ more defect exposure). Only used when Tiers ≥ 2.
+	SeqDefectMultiplier float64
+}
+
+func (s Spec) validate() error {
+	if s.Node == nil {
+		return fmt.Errorf("die: nil technology node")
+	}
+	if s.Area <= 0 {
+		return fmt.Errorf("die: non-positive area %v", s.Area)
+	}
+	if s.BEOLLayers < 1 {
+		return fmt.Errorf("die: BEOL layer count %d below 1", s.BEOLLayers)
+	}
+	if s.BEOLLayers > s.Node.MaxBEOL {
+		return fmt.Errorf("die: %d BEOL layers exceeds the %d nm node's max %d",
+			s.BEOLLayers, s.Node.ProcessNM, s.Node.MaxBEOL)
+	}
+	if s.FabCI <= 0 {
+		return fmt.Errorf("die: non-positive fab carbon intensity %v", s.FabCI)
+	}
+	if s.Tiers < 0 || s.Tiers == 0 {
+		// Zero means "unset"; normalise below instead of erroring.
+	}
+	if s.Tiers > 2 {
+		return fmt.Errorf("die: sequential M3D supports 2 tiers, got %d", s.Tiers)
+	}
+	return nil
+}
+
+func (s Spec) wafer() units.Area {
+	if s.WaferArea > 0 {
+		return s.WaferArea
+	}
+	return geom.Wafer300
+}
+
+func (s Spec) tiers() int {
+	if s.Tiers < 2 {
+		return 1
+	}
+	return s.Tiers
+}
+
+// feolFactor is the FEOL cost multiplier: 1 for a plain die, and
+// 1 + (tiers−1)·(premium + ILD share) for sequential M3D footprints.
+func (s Spec) feolFactor() float64 {
+	t := s.tiers()
+	if t == 1 {
+		return 1
+	}
+	return 1 + float64(t-1)*(s.SeqFEOLPremium+s.SeqILDShare)
+}
+
+// WaferCarbonPerArea returns Eq. 6 normalised per cm² of wafer for this
+// die's layer count (and sequential options).
+func (s Spec) WaferCarbonPerArea() (units.CarbonPerArea, error) {
+	if err := s.validate(); err != nil {
+		return 0, err
+	}
+	n := s.Node
+	f := s.feolFactor()
+	layers := float64(s.BEOLLayers)
+	epa := f*n.EPAFEOL.KWhPerCM2() + layers*n.EPAPerLayer.KWhPerCM2()
+	gpa := f*n.GPAFEOL.KgPerCM2() + layers*n.GPAPerLayer.KgPerCM2()
+	mpa := f*n.MPAFEOL.KgPerCM2() + layers*n.MPAPerLayer.KgPerCM2()
+	return units.KgPerCM2(s.FabCI.KgPerKWh()*epa + gpa + mpa), nil
+}
+
+// WaferCarbon returns Eq. 6: the carbon footprint of one whole wafer
+// processed for this die.
+func (s Spec) WaferCarbon() (units.Carbon, error) {
+	cpa, err := s.WaferCarbonPerArea()
+	if err != nil {
+		return 0, err
+	}
+	return cpa.Over(s.wafer()), nil
+}
+
+// DiePerWafer returns Eq. 5 for this die.
+func (s Spec) DiePerWafer() (float64, error) {
+	if err := s.validate(); err != nil {
+		return 0, err
+	}
+	return geom.DiePerWafer(s.wafer(), s.Area)
+}
+
+// IntrinsicYield returns Eq. 15 for this die: the pre-stacking y_die used
+// by Table 3's compositions. Sequential tiers raise the effective defect
+// density.
+func (s Spec) IntrinsicYield() (float64, error) {
+	if err := s.validate(); err != nil {
+		return 0, err
+	}
+	d0 := s.Node.DefectDensity
+	if t := s.tiers(); t > 1 {
+		m := s.SeqDefectMultiplier
+		if m < 1 {
+			m = 1
+		}
+		d0 *= 1 + float64(t-1)*(m-1)
+	}
+	return yield.Die(s.Area, d0, s.Node.ClusterAlpha)
+}
+
+// PerCandidateCarbon returns C_wafer/DPW — the manufacturing carbon
+// attributable to one die site before any yield division.
+func (s Spec) PerCandidateCarbon() (units.Carbon, error) {
+	wc, err := s.WaferCarbon()
+	if err != nil {
+		return 0, err
+	}
+	dpw, err := s.DiePerWafer()
+	if err != nil {
+		return 0, err
+	}
+	return units.KilogramsCO2(wc.Kg() / dpw), nil
+}
+
+// CarbonPerGoodDie evaluates one term of Eq. 4: C_wafer/DPW divided by the
+// effective yield Y (which the caller composes per Table 3; pass the
+// intrinsic yield for a standalone 2D die).
+func (s Spec) CarbonPerGoodDie(effectiveYield float64) (units.Carbon, error) {
+	if effectiveYield <= 0 || effectiveYield > 1 {
+		return 0, fmt.Errorf("die: effective yield %v outside (0,1]", effectiveYield)
+	}
+	c, err := s.PerCandidateCarbon()
+	if err != nil {
+		return 0, err
+	}
+	return units.KilogramsCO2(c.Kg() / effectiveYield), nil
+}
+
+// Standalone2D is the common 2D case: Eq. 4 with N = 1 and the intrinsic
+// yield as divisor. It returns the carbon per good monolithic die.
+func (s Spec) Standalone2D() (units.Carbon, error) {
+	y, err := s.IntrinsicYield()
+	if err != nil {
+		return 0, err
+	}
+	return s.CarbonPerGoodDie(y)
+}

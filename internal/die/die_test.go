@@ -1,0 +1,256 @@
+package die
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/tech"
+	"repro/internal/units"
+)
+
+func orinSpec() Spec {
+	n := tech.MustForProcess(7)
+	return Spec{
+		Node:       n,
+		Area:       units.SquareMillimeters(455),
+		BEOLLayers: 13,
+		FabCI:      grid.MustIntensity(grid.Taiwan),
+	}
+}
+
+func TestWaferCarbonPerAreaMatchesNodeHelper(t *testing.T) {
+	s := orinSpec()
+	got, err := s.WaferCarbonPerArea()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.Node.CarbonPerArea(s.FabCI, s.BEOLLayers)
+	if math.Abs(got.KgPerCM2()-want.KgPerCM2()) > 1e-12 {
+		t.Errorf("per-area carbon = %v, want node helper %v", got, want)
+	}
+}
+
+func TestWaferCarbonScale(t *testing.T) {
+	s := orinSpec()
+	wc, err := s.WaferCarbon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 300 mm wafer at ≈1.6 kg/cm² is ≈1.1 tonnes of CO₂.
+	if wc.Kg() < 800 || wc.Kg() > 1500 {
+		t.Errorf("wafer carbon = %v, want 800–1500 kg", wc)
+	}
+}
+
+func TestDefaultWaferIs300mm(t *testing.T) {
+	s := orinSpec()
+	if got := s.wafer(); got != geom.Wafer300 {
+		t.Errorf("default wafer = %v, want %v", got, geom.Wafer300)
+	}
+	s.WaferArea = geom.Wafer200
+	if got := s.wafer(); got != geom.Wafer200 {
+		t.Errorf("explicit wafer = %v, want %v", got, geom.Wafer200)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	base := orinSpec()
+
+	s := base
+	s.Node = nil
+	if _, err := s.WaferCarbon(); err == nil {
+		t.Error("nil node should error")
+	}
+	s = base
+	s.Area = 0
+	if _, err := s.WaferCarbon(); err == nil {
+		t.Error("zero area should error")
+	}
+	s = base
+	s.BEOLLayers = 0
+	if _, err := s.WaferCarbon(); err == nil {
+		t.Error("zero BEOL layers should error")
+	}
+	s = base
+	s.BEOLLayers = s.Node.MaxBEOL + 1
+	if _, err := s.WaferCarbon(); err == nil {
+		t.Error("BEOL above node max should error")
+	}
+	s = base
+	s.FabCI = 0
+	if _, err := s.WaferCarbon(); err == nil {
+		t.Error("zero fab CI should error")
+	}
+	s = base
+	s.Tiers = 3
+	if _, err := s.WaferCarbon(); err == nil {
+		t.Error("3-tier M3D should be rejected")
+	}
+	s = base
+	if _, err := s.CarbonPerGoodDie(0); err == nil {
+		t.Error("zero yield should error")
+	}
+	if _, err := s.CarbonPerGoodDie(1.2); err == nil {
+		t.Error("yield > 1 should error")
+	}
+}
+
+func TestIntrinsicYieldOrin(t *testing.T) {
+	s := orinSpec()
+	y, err := s.IntrinsicYield()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 455 mm² at D0 = 0.138, α = 10 ⇒ ≈ 0.544.
+	if math.Abs(y-0.544) > 0.005 {
+		t.Errorf("ORIN 2D yield = %.4f, want ≈0.544", y)
+	}
+}
+
+func TestStandalone2DComposition(t *testing.T) {
+	s := orinSpec()
+	y, _ := s.IntrinsicYield()
+	perCand, err := s.PerCandidateCarbon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := s.Standalone2D()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := perCand.Kg() / y; math.Abs(good.Kg()-want) > 1e-9 {
+		t.Errorf("standalone carbon = %v, want %v", good.Kg(), want)
+	}
+	// Sanity scale: an ORIN-class 7 nm die lands in the tens of kg.
+	if good.Kg() < 8 || good.Kg() > 30 {
+		t.Errorf("ORIN die carbon = %v, want 8–30 kg", good)
+	}
+}
+
+// Fewer BEOL layers must reduce die carbon (the paper's EPYC validation
+// explicitly models this).
+func TestFewerBEOLLayersCheaper(t *testing.T) {
+	s := orinSpec()
+	full, err := s.Standalone2D()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.BEOLLayers = 10
+	fewer, err := s.Standalone2D()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fewer >= full {
+		t.Errorf("10-layer die %v should be cheaper than 13-layer die %v", fewer, full)
+	}
+}
+
+// Splitting a die in half: two half dies cost less total than one full die
+// because yield improves and edge loss shrinks — the paper's core homogeneous
+// 3D argument.
+func TestSplittingSavesDieCarbon(t *testing.T) {
+	full := orinSpec()
+	half := full
+	half.Area = units.SquareMillimeters(227.5)
+	half.BEOLLayers = 11
+
+	fullC, err := full.Standalone2D()
+	if err != nil {
+		t.Fatal(err)
+	}
+	halfC, err := half.Standalone2D()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 2*halfC.Kg() >= fullC.Kg() {
+		t.Errorf("2 half dies (%.2f kg) should beat 1 full die (%.2f kg)",
+			2*halfC.Kg(), fullC.Kg())
+	}
+}
+
+func TestM3DSequentialFootprint(t *testing.T) {
+	// M3D: one 227.5 mm² footprint, two tiers.
+	m3d := orinSpec()
+	m3d.Area = units.SquareMillimeters(227.5)
+	m3d.BEOLLayers = 11
+	m3d.Tiers = 2
+	m3d.SeqFEOLPremium = 0.15
+	m3d.SeqILDShare = 0.05
+	m3d.SeqDefectMultiplier = 1.3
+
+	plain := m3d
+	plain.Tiers = 0
+
+	// Sequential processing must cost more per area than a plain die of
+	// the same footprint...
+	cpaM3D, err := m3d.WaferCarbonPerArea()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpaPlain, _ := plain.WaferCarbonPerArea()
+	if cpaM3D <= cpaPlain {
+		t.Errorf("M3D per-area %v should exceed plain %v", cpaM3D, cpaPlain)
+	}
+
+	// ...and yield less...
+	yM3D, err := m3d.IntrinsicYield()
+	if err != nil {
+		t.Fatal(err)
+	}
+	yPlain, _ := plain.IntrinsicYield()
+	if yM3D >= yPlain {
+		t.Errorf("M3D yield %v should be below plain %v", yM3D, yPlain)
+	}
+
+	// ...but the whole M3D die must still be far cheaper than the 455 mm²
+	// monolithic 2D die it replaces (half footprint, better yield).
+	full := orinSpec()
+	fullC, _ := full.Standalone2D()
+	m3dC, err := m3d.Standalone2D()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3dC.Kg() >= fullC.Kg()*0.75 {
+		t.Errorf("M3D die %v should be well below the 2D die %v", m3dC, fullC)
+	}
+}
+
+func TestSeqDefectMultiplierFloor(t *testing.T) {
+	m3d := orinSpec()
+	m3d.Area = units.SquareMillimeters(227.5)
+	m3d.BEOLLayers = 11
+	m3d.Tiers = 2
+	m3d.SeqDefectMultiplier = 0.5 // below 1: treated as no extra defects
+	y, err := m3d.IntrinsicYield()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := m3d
+	plain.Tiers = 0
+	yPlain, _ := plain.IntrinsicYield()
+	if math.Abs(y-yPlain) > 1e-12 {
+		t.Errorf("multiplier < 1 should clamp to 1: %v vs %v", y, yPlain)
+	}
+}
+
+// A dirtier fab grid must raise die carbon linearly in the EPA share.
+func TestFabGridSensitivity(t *testing.T) {
+	s := orinSpec()
+	taiwanC, _ := s.Standalone2D()
+	s.FabCI = grid.MustIntensity(grid.Norway)
+	cleanC, err := s.Standalone2D()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cleanC >= taiwanC {
+		t.Errorf("clean-grid die %v should be cheaper than Taiwan-grid die %v",
+			cleanC, taiwanC)
+	}
+	// Gas and material emissions do not scale with the grid, so the clean
+	// die keeps a substantial floor.
+	if cleanC.Kg() < 0.2*taiwanC.Kg() {
+		t.Errorf("GPA+MPA floor violated: %v vs %v", cleanC, taiwanC)
+	}
+}

@@ -1,0 +1,158 @@
+// Package geom provides the wafer and floorplan geometry used by the
+// embodied-carbon model: die-per-wafer counts (Eq. 5), the linear empirical
+// package-area model (Eq. 12, after Feng et al. DAC'22), and the adjacency
+// lengths that size RDL/EMIB substrates (Eq. 14).
+package geom
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Standard wafer areas (Table 2 gives the 31,415.93–159,043.13 mm² range,
+// i.e. 200 mm through 450 mm wafers).
+var (
+	Wafer200 = WaferAreaForDiameter(units.Millimeters(200))
+	Wafer300 = WaferAreaForDiameter(units.Millimeters(300))
+	Wafer450 = WaferAreaForDiameter(units.Millimeters(450))
+)
+
+// MaxReticle is the single-exposure lithography field limit; dies beyond it
+// cannot be manufactured monolithically and the model flags them.
+var MaxReticle = units.SquareMillimeters(858)
+
+// WaferAreaForDiameter returns the area of a circular wafer.
+func WaferAreaForDiameter(d units.Length) units.Area {
+	r := d.MM() / 2
+	return units.SquareMillimeters(math.Pi * r * r)
+}
+
+// WaferDiameter recovers the diameter of a circular wafer from its area.
+func WaferDiameter(a units.Area) units.Length {
+	return units.Millimeters(2 * math.Sqrt(a.MM2()/math.Pi))
+}
+
+// DiePerWafer implements Eq. 5:
+//
+//	DPW = π·(A_wafer-derived radius)² / A_die − π·d_wafer / √(2·A_die)
+//
+// The first term is the ideal tiling count; the second subtracts the dies
+// lost to the circular edge. Returns an error when the die does not fit on
+// the wafer at all (DPW < 1).
+func DiePerWafer(wafer, die units.Area) (float64, error) {
+	if die <= 0 {
+		return 0, fmt.Errorf("geom: non-positive die area %v", die)
+	}
+	if wafer <= 0 {
+		return 0, fmt.Errorf("geom: non-positive wafer area %v", wafer)
+	}
+	d := WaferDiameter(wafer).MM()
+	dpw := wafer.MM2()/die.MM2() - math.Pi*d/math.Sqrt(2*die.MM2())
+	if dpw < 1 {
+		return 0, fmt.Errorf("geom: die of %v yields %.2f dies on a %v wafer",
+			die, dpw, wafer)
+	}
+	return dpw, nil
+}
+
+// PerDieWaferArea returns the wafer area effectively consumed per die,
+// A_wafer / DPW — the quantity Eq. 4 multiplies by the wafer's carbon
+// footprint per area. It always exceeds the die area because of edge loss.
+func PerDieWaferArea(wafer, die units.Area) (units.Area, error) {
+	dpw, err := DiePerWafer(wafer, die)
+	if err != nil {
+		return 0, err
+	}
+	return units.SquareMillimeters(wafer.MM2() / dpw), nil
+}
+
+// WaferUtilization returns the fraction of the wafer area covered by whole
+// dies (∈ (0, 1)).
+func WaferUtilization(wafer, die units.Area) (float64, error) {
+	dpw, err := DiePerWafer(wafer, die)
+	if err != nil {
+		return 0, err
+	}
+	return dpw * die.MM2() / wafer.MM2(), nil
+}
+
+// PackageModel is the linear empirical package-area model of Eq. 12
+// (after Feng et al.): A_package = Scale·A_basis + Fixed, where A_basis is
+// the largest die footprint for 3D stacks and the total die area for 2.5D
+// assemblies, and Fixed covers the BGA periphery that does not scale with
+// silicon.
+type PackageModel struct {
+	Scale float64    // s_package ≥ 1 (Table 2)
+	Fixed units.Area // periphery constant
+}
+
+// Area evaluates the model for a given basis area.
+func (p PackageModel) Area(basis units.Area) (units.Area, error) {
+	if p.Scale < 1 {
+		return 0, fmt.Errorf("geom: package scale %v < 1 (Table 2 requires s ≥ 1)", p.Scale)
+	}
+	if basis <= 0 {
+		return 0, fmt.Errorf("geom: non-positive package basis area %v", basis)
+	}
+	return units.SquareMillimeters(p.Scale*basis.MM2() + p.Fixed.MM2()), nil
+}
+
+// Floorplan is a linear (row) arrangement of dies on a 2.5D substrate; the
+// paper's Eq. 14 needs only the total adjacent-side length, for which a row
+// floorplan of square dies is the standard early-design assumption.
+type Floorplan struct {
+	Dies []units.Area
+}
+
+// AdjacentLength returns Σ l_adjacent: for each neighbouring pair in the
+// row, the shared edge is the smaller die's edge (the bridge or RDL region
+// must span it on both sides, which Eq. 14's scale factor absorbs).
+func (f Floorplan) AdjacentLength() (units.Length, error) {
+	if len(f.Dies) < 2 {
+		return 0, fmt.Errorf("geom: adjacency needs at least 2 dies, have %d", len(f.Dies))
+	}
+	total := 0.0
+	for i := 0; i < len(f.Dies)-1; i++ {
+		a, b := f.Dies[i], f.Dies[i+1]
+		if a <= 0 || b <= 0 {
+			return 0, fmt.Errorf("geom: non-positive die area in floorplan")
+		}
+		ea, eb := a.Edge().MM(), b.Edge().MM()
+		total += math.Min(ea, eb)
+	}
+	return units.Millimeters(total), nil
+}
+
+// TotalArea returns the summed die area of the floorplan.
+func (f Floorplan) TotalArea() units.Area {
+	var sum units.Area
+	for _, d := range f.Dies {
+		sum += d
+	}
+	return sum
+}
+
+// LargestDie returns the largest die in the floorplan (the 3D package-area
+// basis).
+func (f Floorplan) LargestDie() units.Area {
+	var max units.Area
+	for _, d := range f.Dies {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// FitsReticle reports whether every die in the floorplan is manufacturable
+// in a single lithography field.
+func (f Floorplan) FitsReticle() bool {
+	for _, d := range f.Dies {
+		if d > MaxReticle {
+			return false
+		}
+	}
+	return true
+}

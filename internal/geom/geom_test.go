@@ -1,0 +1,186 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestWaferAreas(t *testing.T) {
+	// Table 2 publishes the wafer-area range 31,415.93–159,043.13 mm²,
+	// which is exactly the 200 mm and 450 mm wafers.
+	if got := Wafer200.MM2(); math.Abs(got-31415.93) > 0.1 {
+		t.Errorf("200 mm wafer area = %v, want 31415.93", got)
+	}
+	if got := Wafer450.MM2(); math.Abs(got-159043.13) > 0.1 {
+		t.Errorf("450 mm wafer area = %v, want 159043.13", got)
+	}
+	if got := Wafer300.MM2(); math.Abs(got-70685.83) > 0.1 {
+		t.Errorf("300 mm wafer area = %v, want 70685.83", got)
+	}
+}
+
+func TestWaferDiameterRoundTrip(t *testing.T) {
+	d := WaferDiameter(Wafer300)
+	if math.Abs(d.MM()-300) > 1e-9 {
+		t.Errorf("diameter of 300 mm wafer area = %v", d)
+	}
+}
+
+func TestDiePerWaferKnownValue(t *testing.T) {
+	// ORIN-class die: 455 mm² on a 300 mm wafer.
+	// Ideal tiling: 70685.83/455 = 155.35; edge loss: π·300/√910 = 31.24.
+	dpw, err := DiePerWafer(Wafer300, units.SquareMillimeters(455))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 70685.83/455.0 - math.Pi*300/math.Sqrt(2*455.0)
+	if math.Abs(dpw-want) > 0.01 {
+		t.Errorf("DPW = %v, want %v", dpw, want)
+	}
+	if dpw < 120 || dpw > 130 {
+		t.Errorf("DPW = %v outside the plausible 120–130 range", dpw)
+	}
+}
+
+func TestDiePerWaferErrors(t *testing.T) {
+	if _, err := DiePerWafer(Wafer300, 0); err == nil {
+		t.Error("zero die area should error")
+	}
+	if _, err := DiePerWafer(0, units.SquareMillimeters(100)); err == nil {
+		t.Error("zero wafer area should error")
+	}
+	// A die nearly the size of the wafer cannot tile it.
+	if _, err := DiePerWafer(Wafer300, units.SquareMillimeters(60000)); err == nil {
+		t.Error("oversized die should error")
+	}
+}
+
+// Property: smaller dies always achieve a (weakly) higher wafer utilization,
+// i.e. per-die wafer overhead shrinks — the effect that rewards die splitting
+// in the paper's case studies.
+func TestSmallerDiesPackBetter(t *testing.T) {
+	if err := quick.Check(func(raw float64) bool {
+		a := 50 + math.Mod(math.Abs(raw), 800) // die areas 50–850 mm²
+		uBig, err1 := WaferUtilization(Wafer300, units.SquareMillimeters(a))
+		uHalf, err2 := WaferUtilization(Wafer300, units.SquareMillimeters(a/2))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return uHalf >= uBig-1e-12
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: per-die wafer area always exceeds the die area (edge loss) and
+// approaches it for small dies.
+func TestPerDieWaferAreaBounds(t *testing.T) {
+	for _, a := range []float64{10, 50, 100, 455, 800} {
+		die := units.SquareMillimeters(a)
+		per, err := PerDieWaferArea(Wafer300, die)
+		if err != nil {
+			t.Fatalf("area %v: %v", a, err)
+		}
+		if per.MM2() <= a {
+			t.Errorf("per-die wafer area %v should exceed die area %v", per, die)
+		}
+	}
+	small, _ := PerDieWaferArea(Wafer300, units.SquareMillimeters(1))
+	if ratio := small.MM2() / 1.0; ratio > 1.05 {
+		t.Errorf("1 mm² die should have <5%% overhead, got %.3f×", ratio)
+	}
+}
+
+func TestWaferUtilizationRange(t *testing.T) {
+	u, err := WaferUtilization(Wafer300, units.SquareMillimeters(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u <= 0 || u >= 1 {
+		t.Errorf("utilization = %v, want in (0,1)", u)
+	}
+}
+
+func TestPackageModel(t *testing.T) {
+	p := PackageModel{Scale: 4, Fixed: units.SquareMillimeters(100)}
+	a, err := p.Area(units.SquareMillimeters(455))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4*455.0 + 100; math.Abs(a.MM2()-want) > 1e-9 {
+		t.Errorf("package area = %v, want %v", a.MM2(), want)
+	}
+}
+
+func TestPackageModelErrors(t *testing.T) {
+	p := PackageModel{Scale: 0.5}
+	if _, err := p.Area(units.SquareMillimeters(100)); err == nil {
+		t.Error("scale < 1 should error (Table 2: s ≥ 1)")
+	}
+	p = PackageModel{Scale: 2}
+	if _, err := p.Area(0); err == nil {
+		t.Error("zero basis should error")
+	}
+}
+
+func TestFloorplanAdjacency(t *testing.T) {
+	// Two square dies of 400 mm² (20 mm edge) and 100 mm² (10 mm edge):
+	// shared edge is the smaller one's 10 mm.
+	f := Floorplan{Dies: []units.Area{
+		units.SquareMillimeters(400), units.SquareMillimeters(100),
+	}}
+	l, err := f.AdjacentLength()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.MM()-10) > 1e-9 {
+		t.Errorf("adjacent length = %v, want 10 mm", l)
+	}
+
+	// Three equal dies: two adjacent pairs.
+	f = Floorplan{Dies: []units.Area{
+		units.SquareMillimeters(100), units.SquareMillimeters(100),
+		units.SquareMillimeters(100),
+	}}
+	l, err = f.AdjacentLength()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.MM()-20) > 1e-9 {
+		t.Errorf("adjacent length = %v, want 20 mm", l)
+	}
+}
+
+func TestFloorplanAdjacencyErrors(t *testing.T) {
+	f := Floorplan{Dies: []units.Area{units.SquareMillimeters(100)}}
+	if _, err := f.AdjacentLength(); err == nil {
+		t.Error("single-die floorplan has no adjacency and should error")
+	}
+	f = Floorplan{Dies: []units.Area{units.SquareMillimeters(100), 0}}
+	if _, err := f.AdjacentLength(); err == nil {
+		t.Error("zero-area die should error")
+	}
+}
+
+func TestFloorplanAggregates(t *testing.T) {
+	f := Floorplan{Dies: []units.Area{
+		units.SquareMillimeters(74), units.SquareMillimeters(74),
+		units.SquareMillimeters(416),
+	}}
+	if got := f.TotalArea().MM2(); math.Abs(got-564) > 1e-9 {
+		t.Errorf("total area = %v, want 564", got)
+	}
+	if got := f.LargestDie().MM2(); math.Abs(got-416) > 1e-9 {
+		t.Errorf("largest die = %v, want 416", got)
+	}
+	if !f.FitsReticle() {
+		t.Error("all dies below reticle limit should fit")
+	}
+	f.Dies = append(f.Dies, units.SquareMillimeters(900))
+	if f.FitsReticle() {
+		t.Error("900 mm² die exceeds the reticle limit")
+	}
+}

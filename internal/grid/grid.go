@@ -1,0 +1,126 @@
+// Package grid provides the electrical-grid carbon-intensity database used
+// for both the manufacturing (fab) location and the use location of an IC.
+//
+// The paper (Table 2) bounds both CI_emb and CI_use to the 30–700 g CO₂/kWh
+// range spanned by real grids. The values below are the per-region annual
+// average intensities commonly used by architectural carbon tools (ACT uses
+// the same kind of per-country table); they are deliberately coarse — the
+// model's sensitivity to CI is exposed through sweeps, not precision here.
+package grid
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// Location identifies an electrical grid region.
+type Location string
+
+// Grid locations. Fab locations cover the major foundry regions; use
+// locations additionally cover typical deployment grids.
+const (
+	Taiwan       Location = "taiwan"      // TSMC fabs
+	SouthKorea   Location = "south-korea" // Samsung/SK fabs
+	Japan        Location = "japan"       // Kioxia and legacy fabs
+	China        Location = "china"       // SMIC fabs
+	Singapore    Location = "singapore"   // GlobalFoundries/UMC fabs
+	USA          Location = "usa"         // US average grid
+	Arizona      Location = "arizona"     // TSMC/Intel US fabs
+	Oregon       Location = "oregon"      // Intel fabs (hydro-heavy)
+	Ireland      Location = "ireland"     // Intel Leixlip
+	Israel       Location = "israel"      // Intel Kiryat Gat
+	Germany      Location = "germany"     // European fabs
+	India        Location = "india"       // coal-heavy use grid
+	Europe       Location = "europe"      // EU average use grid
+	California   Location = "california"  // clean-ish use grid
+	Norway       Location = "norway"      // hydro use grid
+	WorldAverage Location = "world"       // global average
+	Renewable    Location = "renewable"   // fully renewable supply
+)
+
+// intensities holds the annual-average grid carbon intensity per location,
+// in g CO₂/kWh. Values follow the ranges used by ACT (Gupta et al. ISCA'22)
+// and stay inside the paper's 30–700 g CO₂/kWh bound.
+var intensities = map[Location]float64{
+	Taiwan:       509,
+	SouthKorea:   442,
+	Japan:        478,
+	China:        555,
+	Singapore:    495,
+	USA:          380,
+	Arizona:      433,
+	Oregon:       156,
+	Ireland:      316,
+	Israel:       558,
+	Germany:      350,
+	India:        630,
+	Europe:       295,
+	California:   216,
+	Norway:       30,
+	WorldAverage: 436,
+	Renewable:    30, // residual lifecycle emissions of renewable supply
+}
+
+// Intensity returns the carbon intensity of the named grid.
+func Intensity(loc Location) (units.CarbonIntensity, error) {
+	v, ok := intensities[Location(strings.ToLower(string(loc)))]
+	if !ok {
+		return 0, fmt.Errorf("grid: unknown location %q (known: %s)",
+			loc, strings.Join(names(), ", "))
+	}
+	return units.GramsPerKWh(v), nil
+}
+
+// MustIntensity is Intensity for statically-known locations; it panics on an
+// unknown location and is intended for package-level tables and tests.
+func MustIntensity(loc Location) units.CarbonIntensity {
+	ci, err := Intensity(loc)
+	if err != nil {
+		panic(err)
+	}
+	return ci
+}
+
+// Locations returns all known locations, sorted by name.
+func Locations() []Location {
+	out := make([]Location, 0, len(intensities))
+	for l := range intensities {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func names() []string {
+	ls := Locations()
+	out := make([]string, len(ls))
+	for i, l := range ls {
+		out[i] = string(l)
+	}
+	return out
+}
+
+// Bounds returns the minimum and maximum intensity across the database.
+// The paper's Table 2 constrains CI to 30–700 g CO₂/kWh; tests assert the
+// database stays inside that envelope.
+func Bounds() (min, max units.CarbonIntensity) {
+	first := true
+	for _, v := range intensities {
+		ci := units.GramsPerKWh(v)
+		if first {
+			min, max = ci, ci
+			first = false
+			continue
+		}
+		if ci < min {
+			min = ci
+		}
+		if ci > max {
+			max = ci
+		}
+	}
+	return min, max
+}

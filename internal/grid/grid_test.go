@@ -1,0 +1,94 @@
+package grid
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIntensityKnownLocations(t *testing.T) {
+	for _, loc := range Locations() {
+		ci, err := Intensity(loc)
+		if err != nil {
+			t.Fatalf("Intensity(%q): %v", loc, err)
+		}
+		if ci <= 0 {
+			t.Errorf("Intensity(%q) = %v, want > 0", loc, ci)
+		}
+	}
+}
+
+func TestIntensityCaseInsensitive(t *testing.T) {
+	a, err := Intensity("Taiwan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Intensity("taiwan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("case-insensitive lookup mismatch: %v vs %v", a, b)
+	}
+}
+
+func TestIntensityUnknown(t *testing.T) {
+	_, err := Intensity("atlantis")
+	if err == nil {
+		t.Fatal("expected error for unknown location")
+	}
+	if !strings.Contains(err.Error(), "atlantis") {
+		t.Errorf("error should name the unknown location: %v", err)
+	}
+}
+
+func TestMustIntensityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustIntensity should panic on unknown location")
+		}
+	}()
+	MustIntensity("atlantis")
+}
+
+// Table 2 of the paper bounds CI_emb and CI_use to 30–700 g CO₂/kWh.
+func TestTable2IntensityRange(t *testing.T) {
+	min, max := Bounds()
+	if min.GPerKWh() < 30 {
+		t.Errorf("minimum intensity %v below paper's 30 g/kWh floor", min)
+	}
+	if max.GPerKWh() > 700 {
+		t.Errorf("maximum intensity %v above paper's 700 g/kWh ceiling", max)
+	}
+}
+
+func TestRelativeOrdering(t *testing.T) {
+	// Sanity orderings the model depends on qualitatively: coal-heavy
+	// grids dirtier than hydro ones; Taiwan (the default fab grid)
+	// dirtier than the US-average use grid.
+	ord := []struct{ lo, hi Location }{
+		{Norway, USA},
+		{California, USA},
+		{USA, India},
+		{USA, Taiwan},
+		{Oregon, Taiwan},
+	}
+	for _, o := range ord {
+		lo := MustIntensity(o.lo)
+		hi := MustIntensity(o.hi)
+		if lo >= hi {
+			t.Errorf("expected CI(%s)=%v < CI(%s)=%v", o.lo, lo, o.hi, hi)
+		}
+	}
+}
+
+func TestLocationsSortedAndComplete(t *testing.T) {
+	ls := Locations()
+	if len(ls) != len(intensities) {
+		t.Fatalf("Locations() returned %d entries, want %d", len(ls), len(intensities))
+	}
+	for i := 1; i < len(ls); i++ {
+		if ls[i-1] >= ls[i] {
+			t.Errorf("Locations() not sorted at %d: %q >= %q", i, ls[i-1], ls[i])
+		}
+	}
+}

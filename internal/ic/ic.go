@@ -1,0 +1,182 @@
+// Package ic defines the integration-technology taxonomy of the paper's
+// Table 1: the 3D and 2.5D integration styles, die-stacking orientations
+// (F2F/F2B), bonding flows (D2W/W2W), bonding methods and 2.5D attach
+// orders. It is the shared vocabulary of every model package and carries no
+// model logic of its own.
+package ic
+
+import "fmt"
+
+// Integration is the integration technology of a design (Table 1 plus the
+// 2D monolithic baseline).
+type Integration string
+
+const (
+	// Mono2D is the 2D monolithic baseline design.
+	Mono2D Integration = "2D"
+
+	// 3D integration technologies (§2.1.1).
+	MicroBump3D  Integration = "micro-bump-3d" // micron-level solder balls
+	Hybrid3D     Integration = "hybrid-3d"     // bond pads through metal layers
+	Monolithic3D Integration = "m3d"           // sequential tiers with MIVs
+
+	// 2.5D integration technologies (§2.1.2).
+	MCM          Integration = "mcm"           // organic package substrate
+	InFO         Integration = "info"          // fan-out RDL substrate
+	EMIB         Integration = "emib"          // embedded silicon bridge
+	SiInterposer Integration = "si-interposer" // full silicon interposer
+)
+
+// Integrations lists every integration technology, 2D first, in the order
+// the paper's figures use.
+func Integrations() []Integration {
+	return []Integration{Mono2D, MCM, InFO, EMIB, SiInterposer,
+		MicroBump3D, Hybrid3D, Monolithic3D}
+}
+
+// Is3D reports whether the technology stacks dies vertically.
+func (i Integration) Is3D() bool {
+	switch i {
+	case MicroBump3D, Hybrid3D, Monolithic3D:
+		return true
+	}
+	return false
+}
+
+// Is25D reports whether the technology places dies side by side on a
+// substrate.
+func (i Integration) Is25D() bool {
+	switch i {
+	case MCM, InFO, EMIB, SiInterposer:
+		return true
+	}
+	return false
+}
+
+// HasInterposer reports whether the technology manufactures an extra
+// substrate (RDL, bridge or interposer) whose carbon Eq. 13/14 model.
+// MCM routes on the organic package substrate itself, which the packaging
+// model already covers.
+func (i Integration) HasInterposer() bool {
+	switch i {
+	case InFO, EMIB, SiInterposer:
+		return true
+	}
+	return false
+}
+
+// Valid reports whether i names a known integration technology.
+func (i Integration) Valid() bool {
+	for _, k := range Integrations() {
+		if i == k {
+			return true
+		}
+	}
+	return false
+}
+
+func (i Integration) String() string { return string(i) }
+
+// DisplayName returns the label used in the paper's figures.
+func (i Integration) DisplayName() string {
+	switch i {
+	case Mono2D:
+		return "2D"
+	case MicroBump3D:
+		return "Micro"
+	case Hybrid3D:
+		return "Hybrid"
+	case Monolithic3D:
+		return "M3D"
+	case MCM:
+		return "MCM"
+	case InFO:
+		return "InFO"
+	case EMIB:
+		return "EMIB"
+	case SiInterposer:
+		return "Si_int"
+	}
+	return string(i)
+}
+
+// Stacking is the die-face orientation of a 3D stack (Table 1).
+type Stacking string
+
+const (
+	F2F Stacking = "f2f" // face-to-face: two dies, bond pads between metals
+	F2B Stacking = "f2b" // face-to-back: TSVs through the upper die's bulk
+)
+
+func (s Stacking) Valid() bool { return s == F2F || s == F2B }
+
+func (s Stacking) String() string { return string(s) }
+
+// MaxTiers returns the maximum number of stacked dies Table 1 allows for a
+// 3D technology with this stacking (F2F tops out at two dies; F2B stacks
+// arbitrarily; M3D is two tiers in the block-level style the paper models).
+func (s Stacking) MaxTiers(integration Integration) int {
+	if integration == Monolithic3D {
+		return 2
+	}
+	if s == F2F {
+		return 2
+	}
+	return 16 // practical F2B ceiling; HBM-class stacks
+}
+
+// BondFlow selects die-to-wafer or wafer-to-wafer assembly (Table 1).
+type BondFlow string
+
+const (
+	D2W BondFlow = "d2w" // die-to-wafer: known-good dies, per-bond risk
+	W2W BondFlow = "w2w" // wafer-to-wafer: no pre-bond cull, shared fate
+)
+
+func (f BondFlow) Valid() bool { return f == D2W || f == W2W }
+
+func (f BondFlow) String() string { return string(f) }
+
+// BondMethod is the physical bonding technology (§3.2.2).
+type BondMethod string
+
+const (
+	C4Bump     BondMethod = "c4"     // flip-chip bumps (2.5D die attach)
+	MicroBump  BondMethod = "micro"  // micro-bumping 3D
+	HybridBond BondMethod = "hybrid" // Cu-Cu hybrid bonding
+)
+
+func (m BondMethod) Valid() bool {
+	return m == C4Bump || m == MicroBump || m == HybridBond
+}
+
+func (m BondMethod) String() string { return string(m) }
+
+// BondMethodFor returns the bonding method each integration technology uses
+// to attach its dies.
+func BondMethodFor(i Integration) (BondMethod, error) {
+	switch i {
+	case MicroBump3D:
+		return MicroBump, nil
+	case Hybrid3D:
+		return HybridBond, nil
+	case MCM, InFO, EMIB, SiInterposer:
+		return C4Bump, nil
+	case Monolithic3D, Mono2D:
+		return "", fmt.Errorf("ic: %s has no die-bonding step", i)
+	}
+	return "", fmt.Errorf("ic: unknown integration %q", i)
+}
+
+// AttachOrder selects the 2.5D assembly sequence (chip-first vs chip-last,
+// §2.1.2 InFO; Table 3's 2.5D yield rows).
+type AttachOrder string
+
+const (
+	ChipFirst AttachOrder = "chip-first"
+	ChipLast  AttachOrder = "chip-last"
+)
+
+func (o AttachOrder) Valid() bool { return o == ChipFirst || o == ChipLast }
+
+func (o AttachOrder) String() string { return string(o) }

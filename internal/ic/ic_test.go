@@ -1,0 +1,122 @@
+package ic
+
+import "testing"
+
+// Table 1 catalogue: the taxonomy must cover exactly the three 3D and four
+// 2.5D technologies the paper studies, plus the 2D baseline.
+func TestTable1Catalogue(t *testing.T) {
+	all := Integrations()
+	if len(all) != 8 {
+		t.Fatalf("Integrations() = %d entries, want 8", len(all))
+	}
+	var n3d, n25d, n2d int
+	for _, i := range all {
+		if !i.Valid() {
+			t.Errorf("%s reported invalid", i)
+		}
+		switch {
+		case i.Is3D():
+			n3d++
+		case i.Is25D():
+			n25d++
+		default:
+			n2d++
+		}
+	}
+	if n3d != 3 || n25d != 4 || n2d != 1 {
+		t.Errorf("taxonomy split 3D=%d 2.5D=%d 2D=%d, want 3/4/1", n3d, n25d, n2d)
+	}
+}
+
+func TestIs3DIs25DDisjoint(t *testing.T) {
+	for _, i := range Integrations() {
+		if i.Is3D() && i.Is25D() {
+			t.Errorf("%s claims to be both 3D and 2.5D", i)
+		}
+	}
+}
+
+func TestHasInterposer(t *testing.T) {
+	want := map[Integration]bool{
+		Mono2D: false, MCM: false, InFO: true, EMIB: true,
+		SiInterposer: true, MicroBump3D: false, Hybrid3D: false,
+		Monolithic3D: false,
+	}
+	for i, w := range want {
+		if got := i.HasInterposer(); got != w {
+			t.Errorf("%s.HasInterposer() = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestValidRejectsUnknown(t *testing.T) {
+	if Integration("4d-hypercube").Valid() {
+		t.Error("unknown integration reported valid")
+	}
+	if Stacking("sideways").Valid() {
+		t.Error("unknown stacking reported valid")
+	}
+	if BondFlow("d2d").Valid() {
+		t.Error("unknown bond flow reported valid")
+	}
+	if BondMethod("glue").Valid() {
+		t.Error("unknown bond method reported valid")
+	}
+	if AttachOrder("chip-middle").Valid() {
+		t.Error("unknown attach order reported valid")
+	}
+}
+
+// Table 1: F2F stacking supports at most 2 dies; F2B supports ≥2; M3D is
+// two tiers in the block-level style modeled.
+func TestMaxTiers(t *testing.T) {
+	if got := F2F.MaxTiers(Hybrid3D); got != 2 {
+		t.Errorf("F2F hybrid max tiers = %d, want 2", got)
+	}
+	if got := F2B.MaxTiers(MicroBump3D); got < 2 {
+		t.Errorf("F2B micro max tiers = %d, want >= 2", got)
+	}
+	if got := F2B.MaxTiers(Monolithic3D); got != 2 {
+		t.Errorf("M3D max tiers = %d, want 2", got)
+	}
+}
+
+func TestBondMethodFor(t *testing.T) {
+	cases := []struct {
+		in      Integration
+		want    BondMethod
+		wantErr bool
+	}{
+		{MicroBump3D, MicroBump, false},
+		{Hybrid3D, HybridBond, false},
+		{MCM, C4Bump, false},
+		{InFO, C4Bump, false},
+		{EMIB, C4Bump, false},
+		{SiInterposer, C4Bump, false},
+		{Monolithic3D, "", true},
+		{Mono2D, "", true},
+	}
+	for _, c := range cases {
+		got, err := BondMethodFor(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("BondMethodFor(%s) err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if !c.wantErr && got != c.want {
+			t.Errorf("BondMethodFor(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDisplayNames(t *testing.T) {
+	want := map[Integration]string{
+		Mono2D: "2D", MCM: "MCM", InFO: "InFO", EMIB: "EMIB",
+		SiInterposer: "Si_int", MicroBump3D: "Micro", Hybrid3D: "Hybrid",
+		Monolithic3D: "M3D",
+	}
+	for i, w := range want {
+		if got := i.DisplayName(); got != w {
+			t.Errorf("%s.DisplayName() = %q, want %q", i, got, w)
+		}
+	}
+}

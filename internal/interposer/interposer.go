@@ -1,0 +1,246 @@
+// Package interposer implements the 2.5D substrate embodied-carbon model of
+// §3.2.4 (C_int in Eq. 3):
+//
+//	A_Si_int     = s_Si_int · Σ A_die_i                    (Eq. 13)
+//	A_RDL/EMIB   = s_RDL/EMIB · D_gap · Σ l_adjacent_i     (Eq. 14)
+//
+// The substrate's carbon is then "modeled similarly to die carbon
+// footprint": a per-area manufacturing cost amortised over a wafer with edge
+// loss (Eq. 5) and divided by the substrate's effective yield (Table 3).
+//
+// Characterisation: a silicon interposer is a passive 65 nm-class silicon
+// flow (no transistor FEOL, a few coarse metal layers, TSV drilling), an
+// RDL is a polymer/Cu redistribution build-up, and an EMIB bridge is a small
+// passive silicon bridge embedded in the organic substrate.
+package interposer
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/ic"
+	"repro/internal/tech"
+	"repro/internal/units"
+	"repro/internal/yield"
+)
+
+// Kind is the substrate technology.
+type Kind string
+
+const (
+	RDL     Kind = "rdl"     // InFO fan-out redistribution layer
+	Bridge  Kind = "bridge"  // EMIB embedded silicon bridge
+	Silicon Kind = "silicon" // full silicon interposer
+)
+
+// KindFor maps an integration technology to its substrate kind. MCM and all
+// 3D technologies have no separately-manufactured substrate.
+func KindFor(i ic.Integration) (Kind, error) {
+	switch i {
+	case ic.InFO:
+		return RDL, nil
+	case ic.EMIB:
+		return Bridge, nil
+	case ic.SiInterposer:
+		return Silicon, nil
+	}
+	return "", fmt.Errorf("interposer: %s has no interposer/substrate", i)
+}
+
+// DefaultScale returns the Eq. 13/14 scale factor s for a substrate kind.
+// The RDL scale is large because Eq. 14's gap-region form must recover the
+// full fan-out footprint (the RDL spans and overhangs the dies); the EMIB
+// bridge covers only the inter-die region.
+func DefaultScale(k Kind) float64 {
+	switch k {
+	case RDL:
+		return 35
+	case Bridge:
+		return 3
+	case Silicon:
+		return 1.15
+	}
+	return 1
+}
+
+// characterisation of per-area substrate manufacturing.
+type char struct {
+	// epa/gpa/mpa per cm² (energy in kWh, carbon in kg), built from the
+	// 28 nm node's coarse-metal flow for silicon substrates and from
+	// build-up film lamination for RDLs.
+	epa float64
+	gpa float64
+	mpa float64
+	// d0/alpha parameterise the substrate yield (Eq. 15); large substrates
+	// naturally yield poorly, which drives the paper's "low substrate
+	// yields" InFO/Si-interposer result.
+	d0    float64
+	alpha float64
+}
+
+// buildChar derives the silicon-substrate characterisation from the 28 nm
+// node entry: half a FEOL (no implant/poly loops, but TSV etch and fill) and
+// a given number of coarse metal layers.
+func siliconChar(metalLayers int, tsvAdderKg float64) char {
+	n := tech.MustForProcess(28)
+	l := float64(metalLayers)
+	return char{
+		epa:   0.5*n.EPAFEOL.KWhPerCM2() + l*n.EPAPerLayer.KWhPerCM2() + tsvAdderKg/0.509,
+		gpa:   0.5*n.GPAFEOL.KgPerCM2() + l*n.GPAPerLayer.KgPerCM2(),
+		mpa:   0.5*n.MPAFEOL.KgPerCM2() + l*n.MPAPerLayer.KgPerCM2(),
+		d0:    0.065,
+		alpha: 6,
+	}
+}
+
+func characterise(k Kind) (char, error) {
+	switch k {
+	case Silicon:
+		// Six coarse layers plus TSV processing.
+		return siliconChar(6, 0.18), nil
+	case Bridge:
+		// Bridges are small fine-pitch silicon with four layers, no TSVs.
+		return siliconChar(4, 0), nil
+	case RDL:
+		// Polymer/Cu build-up: cheaper energy than silicon, more material
+		// mass; defects dominated by fine-line lithography over large
+		// panels.
+		return char{epa: 0.40, gpa: 0.08, mpa: 0.12, d0: 0.055, alpha: 5}, nil
+	}
+	return char{}, fmt.Errorf("interposer: unknown kind %q", k)
+}
+
+// Spec describes one substrate to manufacture.
+type Spec struct {
+	Kind Kind
+	// DieAreas are the 2.5D dies, in floorplan (row) order.
+	DieAreas []units.Area
+	// Gap is D_gap, the die-to-die spacing (Table 2: 0.5–2 mm).
+	Gap units.Length
+	// Scale is s (Table 2: ≥1); zero selects DefaultScale(Kind).
+	Scale float64
+	// FabCI is the substrate fab's grid intensity.
+	FabCI units.CarbonIntensity
+	// WaferArea defaults to 300 mm.
+	WaferArea units.Area
+}
+
+func (s Spec) scale() float64 {
+	if s.Scale > 0 {
+		return s.Scale
+	}
+	return DefaultScale(s.Kind)
+}
+
+func (s Spec) wafer() units.Area {
+	if s.WaferArea > 0 {
+		return s.WaferArea
+	}
+	return geom.Wafer300
+}
+
+func (s Spec) validate() error {
+	if _, err := characterise(s.Kind); err != nil {
+		return err
+	}
+	if len(s.DieAreas) < 2 {
+		return fmt.Errorf("interposer: need ≥2 dies, have %d", len(s.DieAreas))
+	}
+	for i, a := range s.DieAreas {
+		if a <= 0 {
+			return fmt.Errorf("interposer: die %d has non-positive area", i+1)
+		}
+	}
+	if s.FabCI <= 0 {
+		return fmt.Errorf("interposer: non-positive fab carbon intensity %v", s.FabCI)
+	}
+	if s.scale() < 1 {
+		return fmt.Errorf("interposer: scale %v below Table 2's minimum 1", s.scale())
+	}
+	if s.Kind != Silicon {
+		if g := s.Gap.MM(); g < 0.5 || g > 2 {
+			return fmt.Errorf("interposer: gap %v mm outside Table 2's 0.5–2 mm", g)
+		}
+	}
+	return nil
+}
+
+// Area evaluates Eq. 13 (silicon) or Eq. 14 (RDL/EMIB).
+func (s Spec) Area() (units.Area, error) {
+	if err := s.validate(); err != nil {
+		return 0, err
+	}
+	switch s.Kind {
+	case Silicon:
+		f := geom.Floorplan{Dies: s.DieAreas}
+		return units.SquareMillimeters(s.scale() * f.TotalArea().MM2()), nil
+	case RDL, Bridge:
+		f := geom.Floorplan{Dies: s.DieAreas}
+		adj, err := f.AdjacentLength()
+		if err != nil {
+			return 0, err
+		}
+		return units.SquareMillimeters(s.scale() * s.Gap.MM() * adj.MM()), nil
+	}
+	return 0, fmt.Errorf("interposer: unknown kind %q", s.Kind)
+}
+
+// CarbonPerArea returns the substrate's manufacturing carbon per cm² on the
+// given fab grid.
+func (s Spec) CarbonPerArea() (units.CarbonPerArea, error) {
+	ch, err := characterise(s.Kind)
+	if err != nil {
+		return 0, err
+	}
+	return units.KgPerCM2(s.FabCI.KgPerKWh()*ch.epa + ch.gpa + ch.mpa), nil
+}
+
+// IntrinsicYield returns the substrate's own yield y_substrate (Eq. 15 with
+// the characterised defect parameters).
+func (s Spec) IntrinsicYield() (float64, error) {
+	if err := s.validate(); err != nil {
+		return 0, err
+	}
+	ch, _ := characterise(s.Kind)
+	a, err := s.Area()
+	if err != nil {
+		return 0, err
+	}
+	return yield.Die(a, ch.d0, ch.alpha)
+}
+
+// PerCandidateCarbon returns the manufacturing carbon of one substrate
+// before yield division, amortising wafer edge loss per Eq. 5 (the paper
+// applies the DPW model to interposers too).
+func (s Spec) PerCandidateCarbon() (units.Carbon, error) {
+	if err := s.validate(); err != nil {
+		return 0, err
+	}
+	cpa, err := s.CarbonPerArea()
+	if err != nil {
+		return 0, err
+	}
+	a, err := s.Area()
+	if err != nil {
+		return 0, err
+	}
+	per, err := geom.PerDieWaferArea(s.wafer(), a)
+	if err != nil {
+		return 0, fmt.Errorf("interposer: %w", err)
+	}
+	return cpa.Over(per), nil
+}
+
+// CarbonPerGood evaluates the C_int contribution of Eq. 3 for one good
+// assembly, dividing by the effective substrate yield the caller composes
+// per Table 3.
+func (s Spec) CarbonPerGood(effectiveYield float64) (units.Carbon, error) {
+	if effectiveYield <= 0 || effectiveYield > 1 {
+		return 0, fmt.Errorf("interposer: effective yield %v outside (0,1]", effectiveYield)
+	}
+	c, err := s.PerCandidateCarbon()
+	if err != nil {
+		return 0, err
+	}
+	return units.KilogramsCO2(c.Kg() / effectiveYield), nil
+}

@@ -1,0 +1,205 @@
+package interposer
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/ic"
+	"repro/internal/units"
+)
+
+func twoDies() []units.Area {
+	return []units.Area{
+		units.SquareMillimeters(242), units.SquareMillimeters(242),
+	}
+}
+
+func spec(k Kind) Spec {
+	return Spec{
+		Kind:     k,
+		DieAreas: twoDies(),
+		Gap:      units.Millimeters(1),
+		FabCI:    grid.MustIntensity(grid.Taiwan),
+	}
+}
+
+func TestKindFor(t *testing.T) {
+	cases := []struct {
+		in      ic.Integration
+		want    Kind
+		wantErr bool
+	}{
+		{ic.InFO, RDL, false},
+		{ic.EMIB, Bridge, false},
+		{ic.SiInterposer, Silicon, false},
+		{ic.MCM, "", true},
+		{ic.Hybrid3D, "", true},
+		{ic.Mono2D, "", true},
+	}
+	for _, c := range cases {
+		got, err := KindFor(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("KindFor(%s) err = %v, wantErr = %v", c.in, err, c.wantErr)
+			continue
+		}
+		if !c.wantErr && got != c.want {
+			t.Errorf("KindFor(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+// Eq. 13: the silicon interposer spans the total die area times s.
+func TestSiliconInterposerArea(t *testing.T) {
+	s := spec(Silicon)
+	a, err := s.Area()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultScale(Silicon) * 484.0
+	if math.Abs(a.MM2()-want) > 1e-9 {
+		t.Errorf("Si interposer area = %v, want %v mm²", a.MM2(), want)
+	}
+}
+
+// Eq. 14: RDL/EMIB areas scale with gap × adjacency length.
+func TestGapBasedAreas(t *testing.T) {
+	edge := math.Sqrt(242.0) // two equal dies: one shared edge
+	for _, k := range []Kind{RDL, Bridge} {
+		s := spec(k)
+		a, err := s.Area()
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		want := DefaultScale(k) * 1.0 * edge
+		if math.Abs(a.MM2()-want) > 1e-9 {
+			t.Errorf("%s area = %v, want %v mm²", k, a.MM2(), want)
+		}
+	}
+	// The EMIB bridge must be far smaller than the silicon interposer.
+	eb, _ := spec(Bridge).Area()
+	si, _ := spec(Silicon).Area()
+	if eb.MM2() >= si.MM2()/5 {
+		t.Errorf("bridge area %v should be ≪ interposer area %v", eb, si)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := spec(Silicon)
+	s.DieAreas = s.DieAreas[:1]
+	if _, err := s.Area(); err == nil {
+		t.Error("single-die substrate should error")
+	}
+	s = spec(RDL)
+	s.Gap = units.Millimeters(3)
+	if _, err := s.Area(); err == nil {
+		t.Error("gap outside Table 2's 0.5–2 mm should error")
+	}
+	s = spec(RDL)
+	s.Scale = 0.5
+	if _, err := s.Area(); err == nil {
+		t.Error("scale below 1 should error")
+	}
+	s = spec(Bridge)
+	s.FabCI = 0
+	if _, err := s.Area(); err == nil {
+		t.Error("zero fab CI should error")
+	}
+	s = spec(Silicon)
+	s.DieAreas = []units.Area{units.SquareMillimeters(100), 0}
+	if _, err := s.Area(); err == nil {
+		t.Error("zero die area should error")
+	}
+	s = Spec{Kind: "organicfoo", DieAreas: twoDies(),
+		FabCI: grid.MustIntensity(grid.Taiwan)}
+	if _, err := s.Area(); err == nil {
+		t.Error("unknown kind should error")
+	}
+}
+
+func TestCarbonPerAreaOrdering(t *testing.T) {
+	// Full silicon interposer processing must cost more per cm² than a
+	// bridge (more layers + TSVs), which costs more than RDL lamination
+	// on the energy-dominated Taiwan grid.
+	si, err := spec(Silicon).CarbonPerArea()
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, _ := spec(Bridge).CarbonPerArea()
+	rdl, _ := spec(RDL).CarbonPerArea()
+	if !(si > br) {
+		t.Errorf("silicon %v should exceed bridge %v", si, br)
+	}
+	if !(br > rdl) {
+		t.Errorf("bridge %v should exceed RDL %v", br, rdl)
+	}
+}
+
+// The paper's Fig. 5 discussion: interposer-class substrates have low
+// yields because of their large areas.
+func TestLargeSubstratesYieldPoorly(t *testing.T) {
+	si, err := spec(Silicon).IntrinsicYield()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si > 0.85 {
+		t.Errorf("500 mm²-class interposer yield %v should be below 0.85", si)
+	}
+	br, _ := spec(Bridge).IntrinsicYield()
+	if br < 0.95 {
+		t.Errorf("small bridge yield %v should be above 0.95", br)
+	}
+	if si >= br {
+		t.Errorf("interposer yield %v must be below bridge yield %v", si, br)
+	}
+}
+
+func TestCarbonPerGoodComposition(t *testing.T) {
+	s := spec(Silicon)
+	cand, err := s.PerCandidateCarbon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := s.CarbonPerGood(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := cand.Kg() / 0.8; math.Abs(good.Kg()-want) > 1e-12 {
+		t.Errorf("carbon per good = %v, want %v", good.Kg(), want)
+	}
+	if _, err := s.CarbonPerGood(0); err == nil {
+		t.Error("zero yield should error")
+	}
+	if _, err := s.CarbonPerGood(1.5); err == nil {
+		t.Error("yield above 1 should error")
+	}
+}
+
+// A silicon interposer for an ORIN-class split must cost kilograms — the
+// overhead that makes Si_int a net embodied loss in Table 5.
+func TestSiliconInterposerScale(t *testing.T) {
+	s := spec(Silicon)
+	y, _ := s.IntrinsicYield()
+	c, err := s.CarbonPerGood(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kg() < 2 || c.Kg() > 10 {
+		t.Errorf("Si interposer carbon = %v, want 2–10 kg", c)
+	}
+	// And the EMIB bridge must be a small fraction of it.
+	b := spec(Bridge)
+	yb, _ := b.IntrinsicYield()
+	cb, _ := b.CarbonPerGood(yb)
+	if cb.Kg() > c.Kg()/4 {
+		t.Errorf("bridge carbon %v should be ≪ interposer carbon %v", cb, c)
+	}
+}
+
+func TestDefaultScalesAboveOne(t *testing.T) {
+	for _, k := range []Kind{RDL, Bridge, Silicon} {
+		if DefaultScale(k) < 1 {
+			t.Errorf("%s default scale %v below 1", k, DefaultScale(k))
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package lca
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestCoveredNode(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{7, 14}, {5, 14}, {3, 14}, {10, 14}, {12, 14}, {14, 14}, {16, 16}, {28, 28},
+	}
+	for _, c := range cases {
+		if got := CoveredNode(c.in); got != c.want {
+			t.Errorf("CoveredNode(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestProductKnownValue(t *testing.T) {
+	// One 100 mm² die at 14 nm plus a 400 mm² package:
+	// silicon = 1.0 cm² × f14 / 0.9, package = 4 cm² × fpkg.
+	rep, err := Product([]DieSpec{
+		{ProcessNM: 14, Area: units.SquareMillimeters(100)},
+	}, units.SquareMillimeters(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSi := 1.0 * siliconKgPerCM2[14] / LineYield
+	if math.Abs(rep.Silicon.Kg()-wantSi) > 1e-12 {
+		t.Errorf("silicon = %v, want %v", rep.Silicon.Kg(), wantSi)
+	}
+	wantPkg := 4.0 * PackageKgPerCM2
+	if math.Abs(rep.Package.Kg()-wantPkg) > 1e-12 {
+		t.Errorf("package = %v, want %v", rep.Package.Kg(), wantPkg)
+	}
+	if rep.Total != rep.Silicon+rep.Package {
+		t.Error("total != silicon + package")
+	}
+	if rep.Substituted {
+		t.Error("14 nm die needs no substitution")
+	}
+}
+
+// The Lakefield mechanism: a 7 nm die is priced as 14 nm, flagged as
+// substituted — the paper's underestimation.
+func TestNodeSubstitutionFlag(t *testing.T) {
+	rep, err := Product([]DieSpec{
+		{ProcessNM: 7, Area: units.SquareMillimeters(82.5)},
+		{ProcessNM: 14, Area: units.SquareMillimeters(92)},
+	}, units.SquareMillimeters(144))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Substituted {
+		t.Error("7 nm die should be flagged as substituted")
+	}
+	// Both dies priced at the same 14 nm factor: silicon scales purely
+	// with area.
+	want := (0.825 + 0.92) * siliconKgPerCM2[14] / LineYield
+	if math.Abs(rep.Silicon.Kg()-want) > 1e-12 {
+		t.Errorf("substituted silicon = %v, want %v", rep.Silicon.Kg(), want)
+	}
+}
+
+func TestFactorsMonotonic(t *testing.T) {
+	if !(siliconKgPerCM2[14] > siliconKgPerCM2[16] &&
+		siliconKgPerCM2[16] > siliconKgPerCM2[22] &&
+		siliconKgPerCM2[22] > siliconKgPerCM2[28]) {
+		t.Error("GaBi silicon factors should grow toward advanced nodes")
+	}
+}
+
+func TestProductErrors(t *testing.T) {
+	if _, err := Product(nil, units.SquareMillimeters(100)); err == nil {
+		t.Error("no dies should error")
+	}
+	if _, err := Product([]DieSpec{{ProcessNM: 14, Area: units.SquareMillimeters(10)}}, 0); err == nil {
+		t.Error("zero package area should error")
+	}
+	if _, err := Product([]DieSpec{{ProcessNM: 14, Area: 0}},
+		units.SquareMillimeters(100)); err == nil {
+		t.Error("zero die area should error")
+	}
+	if _, err := Product([]DieSpec{{ProcessNM: 40, Area: units.SquareMillimeters(10)}},
+		units.SquareMillimeters(100)); err == nil {
+		t.Error("uncovered node above 28 nm should error")
+	}
+}

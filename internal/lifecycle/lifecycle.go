@@ -1,0 +1,119 @@
+// Package lifecycle extends the paper's manufacturing + use model with
+// first-order transport and end-of-life terms, completing the Fig. 1
+// lifecycle (Product CO2 = manufacturing + transport + use + end-of-life).
+//
+// The paper concentrates on the two dominant phases; ACT (the paper's [17])
+// shows transport and end-of-life contribute single-digit percentages for
+// packaged parts. The terms here follow ACT's first-order approach: a
+// mass × distance freight factor for transport, and a per-mass
+// shredding/recovery cost for end-of-life. They are deliberately simple —
+// enough to quantify that the paper's scoping is sound, and to let
+// sensitivity studies check when the simplification would break.
+package lifecycle
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// PackagedMassGrams estimates the shipped mass of a packaged part from its
+// package area: substrate, lid/heat-spreader and encapsulant average
+// ≈1.6 g/cm² across BGA/LGA packages.
+func PackagedMassGrams(packageArea units.Area) (float64, error) {
+	if packageArea <= 0 {
+		return 0, fmt.Errorf("lifecycle: non-positive package area %v", packageArea)
+	}
+	return 1.6 * packageArea.CM2(), nil
+}
+
+// FreightMode is the transport mode.
+type FreightMode string
+
+const (
+	AirFreight  FreightMode = "air"
+	SeaFreight  FreightMode = "sea"
+	RoadFreight FreightMode = "road"
+)
+
+// freight carbon intensity in kg CO2e per tonne-km (standard logistics
+// factors: air ≈ 0.6, road ≈ 0.1, sea ≈ 0.01).
+var freightKgPerTonneKm = map[FreightMode]float64{
+	AirFreight:  0.60,
+	RoadFreight: 0.10,
+	SeaFreight:  0.01,
+}
+
+// Transport returns the freight carbon of shipping the packaged part over
+// the given distance. Semiconductor logistics are air-dominated
+// (high-value, low-mass), so AirFreight with ~10,000 km is the typical
+// fab-to-integration leg.
+func Transport(packageArea units.Area, distanceKM float64, mode FreightMode) (units.Carbon, error) {
+	mass, err := PackagedMassGrams(packageArea)
+	if err != nil {
+		return 0, err
+	}
+	if distanceKM < 0 {
+		return 0, fmt.Errorf("lifecycle: negative distance %v km", distanceKM)
+	}
+	factor, ok := freightKgPerTonneKm[mode]
+	if !ok {
+		return 0, fmt.Errorf("lifecycle: unknown freight mode %q", mode)
+	}
+	tonnes := mass / 1e6
+	return units.KilogramsCO2(tonnes * distanceKM * factor), nil
+}
+
+// EndOfLife returns the end-of-life carbon of the packaged part:
+// collection, shredding and material separation cost ≈2 kg CO2e per kg of
+// e-waste, partially offset by metal-recovery credits (≈25 %).
+func EndOfLife(packageArea units.Area) (units.Carbon, error) {
+	mass, err := PackagedMassGrams(packageArea)
+	if err != nil {
+		return 0, err
+	}
+	const processingPerKg = 2.0
+	const recoveryCredit = 0.25
+	return units.KilogramsCO2(mass / 1e3 * processingPerKg * (1 - recoveryCredit)), nil
+}
+
+// Phases is the complete Fig. 1 lifecycle breakdown.
+type Phases struct {
+	Embodied    units.Carbon
+	Transport   units.Carbon
+	Operational units.Carbon
+	EndOfLife   units.Carbon
+	Total       units.Carbon
+}
+
+// Full combines the paper's embodied and operational results with the
+// extension terms for a part with the given package area, using the
+// default logistics assumption (air freight, 10,000 km).
+func Full(embodied, operational units.Carbon, packageArea units.Area) (*Phases, error) {
+	tr, err := Transport(packageArea, 10000, AirFreight)
+	if err != nil {
+		return nil, err
+	}
+	eol, err := EndOfLife(packageArea)
+	if err != nil {
+		return nil, err
+	}
+	p := &Phases{
+		Embodied:    embodied,
+		Transport:   tr,
+		Operational: operational,
+		EndOfLife:   eol,
+	}
+	p.Total = p.Embodied + p.Transport + p.Operational + p.EndOfLife
+	return p, nil
+}
+
+// MinorShare reports the transport + end-of-life share of the total — the
+// quantity that justifies the paper's two-phase scoping when it stays in
+// the low single digits.
+func (p *Phases) MinorShare() float64 {
+	if p.Total <= 0 {
+		return 0
+	}
+	return (p.Transport.Kg() + p.EndOfLife.Kg()) / p.Total.Kg()
+}

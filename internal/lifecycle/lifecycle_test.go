@@ -1,0 +1,101 @@
+package lifecycle
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestPackagedMass(t *testing.T) {
+	// A 2000 mm² (20 cm²) package weighs ≈32 g.
+	m, err := PackagedMassGrams(units.SquareMillimeters(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-32) > 1e-9 {
+		t.Errorf("mass = %v g, want 32", m)
+	}
+	if _, err := PackagedMassGrams(0); err == nil {
+		t.Error("zero area should error")
+	}
+}
+
+func TestTransportKnownValue(t *testing.T) {
+	// 32 g over 10,000 km by air: 32e-6 t × 1e4 km × 0.6 = 0.192 kg.
+	c, err := Transport(units.SquareMillimeters(2000), 10000, AirFreight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Kg()-0.192) > 1e-9 {
+		t.Errorf("air transport = %v kg, want 0.192", c.Kg())
+	}
+}
+
+func TestTransportModeOrdering(t *testing.T) {
+	area := units.SquareMillimeters(2000)
+	air, _ := Transport(area, 10000, AirFreight)
+	road, _ := Transport(area, 10000, RoadFreight)
+	sea, _ := Transport(area, 10000, SeaFreight)
+	if !(air > road && road > sea && sea > 0) {
+		t.Errorf("freight ordering violated: air %v, road %v, sea %v", air, road, sea)
+	}
+}
+
+func TestTransportErrors(t *testing.T) {
+	area := units.SquareMillimeters(2000)
+	if _, err := Transport(area, -1, AirFreight); err == nil {
+		t.Error("negative distance should error")
+	}
+	if _, err := Transport(area, 100, "teleport"); err == nil {
+		t.Error("unknown mode should error")
+	}
+	if _, err := Transport(0, 100, AirFreight); err == nil {
+		t.Error("zero area should error")
+	}
+}
+
+func TestEndOfLife(t *testing.T) {
+	// 32 g: 0.032 kg × 2.0 × 0.75 = 0.048 kg.
+	c, err := EndOfLife(units.SquareMillimeters(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Kg()-0.048) > 1e-9 {
+		t.Errorf("end-of-life = %v kg, want 0.048", c.Kg())
+	}
+	if _, err := EndOfLife(-1); err == nil {
+		t.Error("negative area should error")
+	}
+}
+
+// The extension's purpose: for an ORIN-class part, transport + end-of-life
+// stay in the low single digits of the total — validating the paper's
+// two-phase scoping.
+func TestMinorShareJustifiesScoping(t *testing.T) {
+	p, err := Full(units.KilogramsCO2(19.6), units.KilogramsCO2(15.2),
+		units.SquareMillimeters(1920))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if share := p.MinorShare(); share <= 0 || share > 0.03 {
+		t.Errorf("transport+EOL share = %.2f%%, want (0, 3%%]", share*100)
+	}
+	want := p.Embodied + p.Transport + p.Operational + p.EndOfLife
+	if p.Total != want {
+		t.Error("phase total mismatch")
+	}
+}
+
+func TestMinorShareDegenerate(t *testing.T) {
+	p := &Phases{}
+	if p.MinorShare() != 0 {
+		t.Error("zero-total share should be 0")
+	}
+}
+
+func TestFullErrorPropagation(t *testing.T) {
+	if _, err := Full(1, 1, 0); err == nil {
+		t.Error("zero package area should error")
+	}
+}

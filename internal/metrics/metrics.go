@@ -1,0 +1,154 @@
+// Package metrics implements the sustainable decision-making metrics of
+// §2.2.2 (Eq. 2): the indifference point T_c for *choosing* a 3D/2.5D IC
+// over a 2D IC, and the breakeven time T_r for *replacing* an
+// already-manufactured 2D IC, both compared against the device's remaining
+// lifetime.
+//
+// Working in annual operational carbon (CI_use · P · T_active per year)
+// instead of raw power folds the use-grid intensity and duty cycle into the
+// comparison, which is how the paper's 10-year AV lifetime is applied.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Verdict classifies a comparison outcome.
+type Verdict string
+
+const (
+	// AlwaysBetter: the candidate wins on embodied and operational carbon;
+	// any lifetime favors it (the paper reports these as "T > 0").
+	AlwaysBetter Verdict = "always"
+	// BetterUntil: the candidate saves embodied carbon but pays more
+	// operational carbon; it wins for lifetimes below the horizon.
+	BetterUntil Verdict = "until"
+	// BetterAfter: the candidate costs more embodied carbon but saves
+	// operational carbon; it wins for lifetimes beyond the horizon.
+	BetterAfter Verdict = "after"
+	// NeverBetter: the candidate loses on both axes (the paper's "∞").
+	NeverBetter Verdict = "never"
+)
+
+// Comparison holds the carbon profile of a candidate (3D/2.5D) design
+// against its 2D baseline.
+type Comparison struct {
+	// Baseline2D and Candidate embodied carbon.
+	EmbodiedBaseline  units.Carbon
+	EmbodiedCandidate units.Carbon
+	// Annual operational carbon of each design under the fixed workload.
+	AnnualOpBaseline  units.Carbon
+	AnnualOpCandidate units.Carbon
+}
+
+func (c Comparison) validate() error {
+	if c.EmbodiedBaseline <= 0 || c.EmbodiedCandidate <= 0 {
+		return fmt.Errorf("metrics: non-positive embodied carbon (%v, %v)",
+			c.EmbodiedBaseline, c.EmbodiedCandidate)
+	}
+	if c.AnnualOpBaseline < 0 || c.AnnualOpCandidate < 0 {
+		return fmt.Errorf("metrics: negative operational carbon (%v, %v)",
+			c.AnnualOpBaseline, c.AnnualOpCandidate)
+	}
+	return nil
+}
+
+// EmbodiedSaveRatio is Table 5's "embodied carbon save ratio":
+// 1 − C_cand/C_2D.
+func (c Comparison) EmbodiedSaveRatio() float64 {
+	return 1 - c.EmbodiedCandidate.Kg()/c.EmbodiedBaseline.Kg()
+}
+
+// OverallSaveRatio is Table 5's "overall carbon save ratio" over a device
+// lifetime.
+func (c Comparison) OverallSaveRatio(lifetimeYears float64) float64 {
+	base := c.EmbodiedBaseline.Kg() + c.AnnualOpBaseline.Kg()*lifetimeYears
+	cand := c.EmbodiedCandidate.Kg() + c.AnnualOpCandidate.Kg()*lifetimeYears
+	return 1 - cand/base
+}
+
+// Horizon is a decision metric: a verdict plus the year horizon where the
+// preference flips (NaN for always/never).
+type Horizon struct {
+	Verdict Verdict
+	Years   float64
+}
+
+// Infinite reports whether the metric is the paper's "∞" (never better).
+func (h Horizon) Infinite() bool { return h.Verdict == NeverBetter }
+
+// String renders the horizon the way Table 5 does.
+func (h Horizon) String() string {
+	switch h.Verdict {
+	case AlwaysBetter:
+		return ">0"
+	case NeverBetter:
+		return "∞"
+	case BetterUntil:
+		return fmt.Sprintf("<%.1f yr", h.Years)
+	case BetterAfter:
+		return fmt.Sprintf(">%.1f yr", h.Years)
+	}
+	return "?"
+}
+
+// Choosing evaluates the T_c metric of Eq. 2: when building a new system,
+// for which lifetimes is the candidate the lower-carbon choice?
+//
+//	T_c = (C_emb_cand − C_emb_2D) / (annual op 2D − annual op cand)
+func Choosing(c Comparison) (Horizon, error) {
+	if err := c.validate(); err != nil {
+		return Horizon{}, err
+	}
+	dEmb := c.EmbodiedCandidate.Kg() - c.EmbodiedBaseline.Kg()    // <0: candidate saves
+	dOpSave := c.AnnualOpBaseline.Kg() - c.AnnualOpCandidate.Kg() // >0: candidate saves
+	switch {
+	case dEmb <= 0 && dOpSave >= 0:
+		return Horizon{Verdict: AlwaysBetter, Years: math.NaN()}, nil
+	case dEmb > 0 && dOpSave <= 0:
+		return Horizon{Verdict: NeverBetter, Years: math.NaN()}, nil
+	case dEmb <= 0 && dOpSave < 0:
+		// Saves embodied, pays operational: good until the operational
+		// penalty eats the embodied saving.
+		return Horizon{Verdict: BetterUntil, Years: dEmb / dOpSave}, nil
+	default:
+		// Costs embodied, saves operational: good after the operational
+		// savings repay the embodied premium.
+		return Horizon{Verdict: BetterAfter, Years: dEmb / dOpSave}, nil
+	}
+}
+
+// Replacing evaluates the T_r metric of Eq. 2: the 2D IC already exists
+// (its embodied carbon is sunk); replacing it spends the candidate's full
+// embodied carbon, repaid only by operational savings.
+//
+//	T_r = C_emb_cand / (annual op 2D − annual op cand)
+func Replacing(c Comparison) (Horizon, error) {
+	if err := c.validate(); err != nil {
+		return Horizon{}, err
+	}
+	dOpSave := c.AnnualOpBaseline.Kg() - c.AnnualOpCandidate.Kg()
+	if dOpSave <= 0 {
+		return Horizon{Verdict: NeverBetter, Years: math.NaN()}, nil
+	}
+	return Horizon{Verdict: BetterAfter, Years: c.EmbodiedCandidate.Kg() / dOpSave}, nil
+}
+
+// Recommend applies a horizon to a device lifetime: should the candidate be
+// chosen (or the 2D replaced) given T_life?
+func Recommend(h Horizon, lifetimeYears float64) bool {
+	switch h.Verdict {
+	case AlwaysBetter:
+		return true
+	case NeverBetter:
+		return false
+	case BetterUntil:
+		return lifetimeYears <= h.Years
+	case BetterAfter:
+		return lifetimeYears >= h.Years
+	}
+	return false
+}

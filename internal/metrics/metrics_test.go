@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func cmp(emb2d, embCand, op2d, opCand float64) Comparison {
+	return Comparison{
+		EmbodiedBaseline:  units.KilogramsCO2(emb2d),
+		EmbodiedCandidate: units.KilogramsCO2(embCand),
+		AnnualOpBaseline:  units.KilogramsCO2(op2d),
+		AnnualOpCandidate: units.KilogramsCO2(opCand),
+	}
+}
+
+func TestEmbodiedSaveRatio(t *testing.T) {
+	c := cmp(20, 13, 1, 1)
+	if got := c.EmbodiedSaveRatio(); math.Abs(got-0.35) > 1e-12 {
+		t.Errorf("embodied save = %v, want 0.35", got)
+	}
+	// Negative saving (Si-interposer case).
+	c = cmp(20, 22, 1, 1)
+	if got := c.EmbodiedSaveRatio(); got >= 0 {
+		t.Errorf("cost increase should give negative save, got %v", got)
+	}
+}
+
+func TestOverallSaveRatio(t *testing.T) {
+	// 2D: 20 + 10×2 = 40; candidate: 13 + 10×2 = 33 ⇒ 17.5 % saving.
+	c := cmp(20, 13, 2, 2)
+	if got := c.OverallSaveRatio(10); math.Abs(got-7.0/40.0) > 1e-12 {
+		t.Errorf("overall save = %v, want %v", got, 7.0/40.0)
+	}
+	// Zero lifetime reduces to the embodied ratio.
+	if got, want := c.OverallSaveRatio(0), c.EmbodiedSaveRatio(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("zero-lifetime overall %v != embodied %v", got, want)
+	}
+}
+
+// The four quadrant cases of the choosing metric.
+func TestChoosingQuadrants(t *testing.T) {
+	// Saves both: always better (Table 5's hybrid/M3D "T_c > 0").
+	h, err := Choosing(cmp(20, 13, 2, 1.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Verdict != AlwaysBetter || h.String() != ">0" {
+		t.Errorf("both-save verdict = %+v, want always/>0", h)
+	}
+	if !Recommend(h, 10) {
+		t.Error("always-better should be recommended")
+	}
+
+	// Loses both: never (Table 5's Si_int "∞").
+	h, _ = Choosing(cmp(20, 22, 2, 2.2))
+	if h.Verdict != NeverBetter || h.String() != "∞" || !h.Infinite() {
+		t.Errorf("both-lose verdict = %+v, want never/∞", h)
+	}
+	if Recommend(h, 10) {
+		t.Error("never-better should not be recommended")
+	}
+
+	// Saves embodied, pays operational (EMIB/micro): better until
+	// ΔC_emb / ΔC_op_annual years.
+	h, _ = Choosing(cmp(20, 15, 2.0, 2.25))
+	if h.Verdict != BetterUntil {
+		t.Fatalf("verdict = %v, want until", h.Verdict)
+	}
+	if want := 5.0 / 0.25; math.Abs(h.Years-want) > 1e-9 {
+		t.Errorf("T_c = %v years, want %v", h.Years, want)
+	}
+	if !Recommend(h, 10) || Recommend(h, 30) {
+		t.Error("until-horizon recommendation wrong around 20-year flip")
+	}
+
+	// Costs embodied, saves operational: better after.
+	h, _ = Choosing(cmp(20, 24, 2.0, 1.5))
+	if h.Verdict != BetterAfter {
+		t.Fatalf("verdict = %v, want after", h.Verdict)
+	}
+	if want := 4.0 / 0.5; math.Abs(h.Years-want) > 1e-9 {
+		t.Errorf("T_c = %v years, want %v", h.Years, want)
+	}
+	if Recommend(h, 5) || !Recommend(h, 10) {
+		t.Error("after-horizon recommendation wrong around 8-year flip")
+	}
+}
+
+func TestReplacing(t *testing.T) {
+	// No operational saving: never replace (Table 5: EMIB/Si_int/Micro
+	// T_r = ∞).
+	h, err := Replacing(cmp(20, 15, 2.0, 2.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Verdict != NeverBetter {
+		t.Errorf("no-op-saving replace verdict = %v, want never", h.Verdict)
+	}
+
+	// Operational saving: repay the candidate's full embodied carbon.
+	h, _ = Replacing(cmp(20, 13, 2.0, 1.8))
+	if h.Verdict != BetterAfter {
+		t.Fatalf("verdict = %v, want after", h.Verdict)
+	}
+	if want := 13.0 / 0.2; math.Abs(h.Years-want) > 1e-9 {
+		t.Errorf("T_r = %v years, want %v", h.Years, want)
+	}
+	// 65 years ≫ a 10-year lifetime: don't replace — the paper's §5.2
+	// conclusion.
+	if Recommend(h, 10) {
+		t.Error("10-year lifetime should not justify a 65-year breakeven")
+	}
+}
+
+// T_r always exceeds T_c when both are finite: replacing must repay the
+// full candidate embodied cost, choosing only the difference.
+func TestReplacingHarderThanChoosing(t *testing.T) {
+	c := cmp(20, 24, 2.0, 1.5)
+	hc, _ := Choosing(c)
+	hr, _ := Replacing(c)
+	if hr.Years <= hc.Years {
+		t.Errorf("T_r %v should exceed T_c %v", hr.Years, hc.Years)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Choosing(cmp(0, 10, 1, 1)); err == nil {
+		t.Error("zero baseline embodied should error")
+	}
+	if _, err := Replacing(cmp(10, 0, 1, 1)); err == nil {
+		t.Error("zero candidate embodied should error")
+	}
+	bad := cmp(10, 10, 1, 1)
+	bad.AnnualOpBaseline = units.KilogramsCO2(-1)
+	if _, err := Choosing(bad); err == nil {
+		t.Error("negative operational should error")
+	}
+}
+
+func TestHorizonStrings(t *testing.T) {
+	cases := []struct {
+		h    Horizon
+		want string
+	}{
+		{Horizon{Verdict: AlwaysBetter}, ">0"},
+		{Horizon{Verdict: NeverBetter}, "∞"},
+		{Horizon{Verdict: BetterUntil, Years: 21.9}, "<21.9 yr"},
+		{Horizon{Verdict: BetterAfter, Years: 75.2}, ">75.2 yr"},
+	}
+	for _, c := range cases {
+		if got := c.h.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Package packaging implements the packaging embodied-carbon model of
+// §3.2.3:
+//
+//	C_packaging = CPA_packaging · A_package      (Eq. 12)
+//
+// where A_package comes from the linear empirical model of Feng et al.
+// (the paper's [12]) with a per-technology scale factor s_package ≥ 1
+// applied to the largest die footprint for 3D stacks and to the total die
+// area for 2.5D assemblies.
+package packaging
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/ic"
+	"repro/internal/units"
+)
+
+// Params is the packaging characterisation for one integration technology.
+type Params struct {
+	// Model is the linear package-area model (Eq. 12's empirical part).
+	Model geom.PackageModel
+	// CPA is the packaging carbon per package area — substrate lamination,
+	// die attach, encapsulation and test (Nagapurkar et al., the paper's
+	// [24]).
+	CPA units.CarbonPerArea
+}
+
+// table: organic flip-chip packages share a CPA; multi-die organic (MCM)
+// routing needs a bigger substrate (larger scale); fan-out InFO replaces
+// much of the substrate with the RDL (smaller scale and CPA); 3D stacks
+// package only the stack footprint.
+var table = map[ic.Integration]Params{
+	ic.Mono2D:       {Model: geom.PackageModel{Scale: 4.0, Fixed: units.SquareMillimeters(100)}, CPA: units.KgPerCM2(0.125)},
+	ic.MCM:          {Model: geom.PackageModel{Scale: 3.7, Fixed: units.SquareMillimeters(150)}, CPA: units.KgPerCM2(0.125)},
+	ic.InFO:         {Model: geom.PackageModel{Scale: 3.0, Fixed: units.SquareMillimeters(80)}, CPA: units.KgPerCM2(0.105)},
+	ic.EMIB:         {Model: geom.PackageModel{Scale: 4.1, Fixed: units.SquareMillimeters(120)}, CPA: units.KgPerCM2(0.130)},
+	ic.SiInterposer: {Model: geom.PackageModel{Scale: 4.0, Fixed: units.SquareMillimeters(120)}, CPA: units.KgPerCM2(0.125)},
+	ic.MicroBump3D:  {Model: geom.PackageModel{Scale: 4.0, Fixed: units.SquareMillimeters(100)}, CPA: units.KgPerCM2(0.125)},
+	ic.Hybrid3D:     {Model: geom.PackageModel{Scale: 4.0, Fixed: units.SquareMillimeters(100)}, CPA: units.KgPerCM2(0.125)},
+	ic.Monolithic3D: {Model: geom.PackageModel{Scale: 4.0, Fixed: units.SquareMillimeters(100)}, CPA: units.KgPerCM2(0.125)},
+}
+
+// For returns the packaging characterisation for an integration technology.
+func For(i ic.Integration) (Params, error) {
+	p, ok := table[i]
+	if !ok {
+		return Params{}, fmt.Errorf("packaging: no characterisation for %q", i)
+	}
+	return p, nil
+}
+
+// Basis returns the package-area basis per §3.2.3: the largest die footprint
+// for 3D stacks, the total die area for 2.5D assemblies and the single die
+// area for 2D.
+func Basis(i ic.Integration, f geom.Floorplan) (units.Area, error) {
+	if len(f.Dies) == 0 {
+		return 0, fmt.Errorf("packaging: empty floorplan")
+	}
+	switch {
+	case i == ic.Mono2D:
+		if len(f.Dies) != 1 {
+			return 0, fmt.Errorf("packaging: 2D design must have exactly 1 die, have %d", len(f.Dies))
+		}
+		return f.Dies[0], nil
+	case i.Is3D():
+		return f.LargestDie(), nil
+	case i.Is25D():
+		return f.TotalArea(), nil
+	}
+	return 0, fmt.Errorf("packaging: unknown integration %q", i)
+}
+
+// Area evaluates the package footprint for a design.
+func Area(i ic.Integration, f geom.Floorplan) (units.Area, error) {
+	p, err := For(i)
+	if err != nil {
+		return 0, err
+	}
+	basis, err := Basis(i, f)
+	if err != nil {
+		return 0, err
+	}
+	return p.Model.Area(basis)
+}
+
+// Carbon evaluates Eq. 12 for a design.
+func Carbon(i ic.Integration, f geom.Floorplan) (units.Carbon, error) {
+	p, err := For(i)
+	if err != nil {
+		return 0, err
+	}
+	a, err := Area(i, f)
+	if err != nil {
+		return 0, err
+	}
+	return p.CPA.Over(a), nil
+}

@@ -1,0 +1,151 @@
+package packaging
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/ic"
+	"repro/internal/units"
+)
+
+func orinFloorplan2D() geom.Floorplan {
+	return geom.Floorplan{Dies: []units.Area{units.SquareMillimeters(455)}}
+}
+
+func splitFloorplan() geom.Floorplan {
+	return geom.Floorplan{Dies: []units.Area{
+		units.SquareMillimeters(242), units.SquareMillimeters(242),
+	}}
+}
+
+func TestForCoversAllIntegrations(t *testing.T) {
+	for _, i := range ic.Integrations() {
+		p, err := For(i)
+		if err != nil {
+			t.Errorf("For(%s): %v", i, err)
+			continue
+		}
+		if p.Model.Scale < 1 {
+			t.Errorf("%s: package scale %v below Table 2's 1", i, p.Model.Scale)
+		}
+		if p.CPA <= 0 {
+			t.Errorf("%s: non-positive CPA", i)
+		}
+	}
+	if _, err := For("4d"); err == nil {
+		t.Error("unknown integration should error")
+	}
+}
+
+// §3.2.3: basis is largest die for 3D, total area for 2.5D.
+func TestBasisSelection(t *testing.T) {
+	f := geom.Floorplan{Dies: []units.Area{
+		units.SquareMillimeters(100), units.SquareMillimeters(300),
+	}}
+	b3d, err := Basis(ic.Hybrid3D, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b3d.MM2() != 300 {
+		t.Errorf("3D basis = %v, want largest die 300", b3d)
+	}
+	b25d, err := Basis(ic.EMIB, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b25d.MM2() != 400 {
+		t.Errorf("2.5D basis = %v, want total 400", b25d)
+	}
+	b2d, err := Basis(ic.Mono2D, orinFloorplan2D())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2d.MM2() != 455 {
+		t.Errorf("2D basis = %v, want 455", b2d)
+	}
+}
+
+func TestBasisErrors(t *testing.T) {
+	if _, err := Basis(ic.Mono2D, splitFloorplan()); err == nil {
+		t.Error("2D with two dies should error")
+	}
+	if _, err := Basis(ic.Hybrid3D, geom.Floorplan{}); err == nil {
+		t.Error("empty floorplan should error")
+	}
+}
+
+// A 3D stack of an ORIN split packages roughly half the 2D footprint — the
+// packaging saving the case studies rely on.
+func TestStackPackagesSmallerThan2D(t *testing.T) {
+	a2d, err := Area(ic.Mono2D, orinFloorplan2D())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a3d, err := Area(ic.Hybrid3D, splitFloorplan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3d.MM2() >= a2d.MM2()*0.7 {
+		t.Errorf("3D package %v should be well below 2D package %v", a3d, a2d)
+	}
+	// 2.5D packages stay at least as large as 2D (same silicon spread out
+	// plus routing room).
+	a25d, err := Area(ic.MCM, splitFloorplan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a25d.MM2() < a2d.MM2() {
+		t.Errorf("MCM package %v should not be below 2D package %v", a25d, a2d)
+	}
+}
+
+func TestCarbonKnownValue(t *testing.T) {
+	p, _ := For(ic.Mono2D)
+	a, err := Area(ic.Mono2D, orinFloorplan2D())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Carbon(ic.Mono2D, orinFloorplan2D())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.CPA.KgPerCM2() * a.CM2()
+	if math.Abs(c.Kg()-want) > 1e-12 {
+		t.Errorf("package carbon = %v, want %v", c.Kg(), want)
+	}
+	// ORIN-class 2D package lands in the low kilograms.
+	if c.Kg() < 1 || c.Kg() > 5 {
+		t.Errorf("2D ORIN package carbon = %v, want 1–5 kg", c)
+	}
+}
+
+// EPYC validation anchor (Fig. 4a): the paper's model assigns ≈3.47 kg to
+// the EPYC 7452 MCM package, against ACT+'s fixed 0.15 kg. Our MCM
+// characterisation must land near that.
+func TestEPYCPackagingAnchor(t *testing.T) {
+	epyc := geom.Floorplan{Dies: []units.Area{
+		units.SquareMillimeters(74), units.SquareMillimeters(74),
+		units.SquareMillimeters(74), units.SquareMillimeters(74),
+		units.SquareMillimeters(416),
+	}}
+	c, err := Carbon(ic.MCM, epyc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Kg()-3.47) > 0.35 {
+		t.Errorf("EPYC MCM packaging = %.2f kg, want ≈3.47 kg", c.Kg())
+	}
+}
+
+func TestCarbonErrorPropagation(t *testing.T) {
+	if _, err := Carbon("4d", splitFloorplan()); err == nil {
+		t.Error("unknown integration should error")
+	}
+	if _, err := Carbon(ic.Hybrid3D, geom.Floorplan{}); err == nil {
+		t.Error("empty floorplan should error")
+	}
+	if _, err := Area(ic.Mono2D, splitFloorplan()); err == nil {
+		t.Error("2D two-die floorplan should error")
+	}
+}

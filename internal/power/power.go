@@ -1,0 +1,142 @@
+// Package power implements the operational model of §3.3:
+//
+//	C_operational = Σ_k CI_use · P_app_k · T_app_k       (Eq. 16)
+//	P_app = Σ_i (Th_app / Eff_die_i + P_IO_i)            (Eq. 17)
+//
+// The die power follows the paper's fixed-throughput approach: the design
+// must deliver the application throughput, so compute power is Th/Eff with
+// Eff either user-supplied or taken from surveyed parameters (Table 4 for
+// the DRIVE case studies). Third-party estimators plug in through the Model
+// interface.
+//
+// I/O interface power is charged to 2.5D and micro-bump-3D designs (§3.3).
+// The default model prices the *utilized* cross-interface bandwidth:
+// P_IO = κ · E_bit · BW_used with κ = 4 covering TX+RX circuitry on both
+// dies and request+response traffic. Eq. 17's pitch-count form
+// (P_per_pitch · L_edge · D_pitch · N_BEOL) is provided as PitchCountIO for
+// sensitivity studies.
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/bandwidth"
+	"repro/internal/ic"
+	"repro/internal/units"
+)
+
+// Model is the plug-in interface for operational power estimators (the
+// paper integrates tools like McPAT-Monolithic here). DiePower returns the
+// compute power one die draws to sustain its share of the application
+// throughput.
+type Model interface {
+	DiePower(th units.Throughput, eff units.Efficiency) (units.Power, error)
+}
+
+// SurveyedEfficiency is the paper's default: P = Th / Eff with surveyed
+// energy-efficiency parameters.
+type SurveyedEfficiency struct{}
+
+// DiePower implements Model.
+func (SurveyedEfficiency) DiePower(th units.Throughput, eff units.Efficiency) (units.Power, error) {
+	if th <= 0 {
+		return 0, fmt.Errorf("power: non-positive throughput %v", th)
+	}
+	if eff <= 0 {
+		return 0, fmt.Errorf("power: non-positive efficiency %v", eff)
+	}
+	return eff.PowerFor(th), nil
+}
+
+// DefaultIOKappa is the utilized-bandwidth I/O power multiplier: TX and RX
+// circuits on both sides of the link, for both traffic directions.
+const DefaultIOKappa = 4.0
+
+// NeedsIOPower reports whether §3.3 charges interface power to a
+// technology: "For 2.5D ICs and Micro-bumping 3D ICs, the I/O power should
+// be included."
+func NeedsIOPower(i ic.Integration) bool {
+	return i.Is25D() || i == ic.MicroBump3D
+}
+
+// InterfacePower prices the utilized die-to-die bandwidth of a design:
+// P_IO = κ · E_bit · BW_used.
+func InterfacePower(i ic.Integration, used units.Bandwidth, kappa float64) (units.Power, error) {
+	if !NeedsIOPower(i) {
+		return 0, nil
+	}
+	if used < 0 {
+		return 0, fmt.Errorf("power: negative utilized bandwidth %v", used)
+	}
+	if kappa <= 0 {
+		return 0, fmt.Errorf("power: non-positive kappa %v", kappa)
+	}
+	spec, err := bandwidth.SpecFor(i)
+	if err != nil {
+		return 0, err
+	}
+	return units.Watts(kappa * spec.EnergyPerBit.At(used).W()), nil
+}
+
+// PitchCountIO is Eq. 17's literal form: P_IO = P_per_pitch · N_pitch with
+// N_pitch = L_edge · D_pitch · N_BEOL. P_per_pitch is the full-rate power of
+// one interface pitch (E_bit · data-rate). It prices the provisioned
+// interface rather than its utilization and therefore upper-bounds
+// InterfacePower.
+func PitchCountIO(i ic.Integration, edge units.Length, nBEOL int) (units.Power, error) {
+	if !NeedsIOPower(i) {
+		return 0, nil
+	}
+	if edge <= 0 {
+		return 0, fmt.Errorf("power: non-positive edge %v", edge)
+	}
+	if nBEOL < 1 {
+		return 0, fmt.Errorf("power: BEOL layer count %d below 1", nBEOL)
+	}
+	spec, err := bandwidth.SpecFor(i)
+	if err != nil {
+		return 0, err
+	}
+	density := spec.IOPerMMPerLayer
+	if density == 0 {
+		// Micro-bump 3D: convert the area pitch to an equivalent
+		// shoreline density (one bump row per pitch).
+		density = 1 / spec.Pitch.MM()
+	}
+	nPitch := edge.MM() * density * float64(nBEOL)
+	perPitch := spec.EnergyPerBit.At(spec.DataRate)
+	return units.Watts(nPitch * perPitch.W()), nil
+}
+
+// WireSaving returns the fractional die-power saving from shortened
+// interconnect for 3D technologies (the paper's "operational carbon
+// benefits from shorter interconnect lengths"). Values follow the PPA
+// studies the paper cites (Kim et al. DAC'21): monolithic 3D saves the
+// most, hybrid bonding a solid fraction, micro-bumping almost nothing
+// (coarse bumps barely shorten global nets). 2D and 2.5D see no saving.
+func WireSaving(i ic.Integration) float64 {
+	switch i {
+	case ic.Monolithic3D:
+		return 0.14
+	case ic.Hybrid3D:
+		return 0.06
+	case ic.MicroBump3D:
+		return 0.005
+	}
+	return 0
+}
+
+// Operational evaluates Eq. 16 for one application phase: carbon from
+// drawing p for duration t on the use grid.
+func Operational(ci units.CarbonIntensity, p units.Power, t units.Time) (units.Carbon, error) {
+	if ci <= 0 {
+		return 0, fmt.Errorf("power: non-positive use carbon intensity %v", ci)
+	}
+	if p < 0 {
+		return 0, fmt.Errorf("power: negative power %v", p)
+	}
+	if t < 0 {
+		return 0, fmt.Errorf("power: negative time %v", t)
+	}
+	return ci.Emit(p.Over(t)), nil
+}

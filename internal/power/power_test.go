@@ -1,0 +1,176 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ic"
+	"repro/internal/units"
+)
+
+func TestSurveyedEfficiency(t *testing.T) {
+	m := SurveyedEfficiency{}
+	p, err := m.DiePower(units.TOPS(254), units.TOPSPerWatt(2.74))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 254.0 / 2.74; math.Abs(p.W()-want) > 1e-9 {
+		t.Errorf("ORIN power = %v, want %v W", p.W(), want)
+	}
+	if _, err := m.DiePower(0, units.TOPSPerWatt(1)); err == nil {
+		t.Error("zero throughput should error")
+	}
+	if _, err := m.DiePower(units.TOPS(1), 0); err == nil {
+		t.Error("zero efficiency should error")
+	}
+}
+
+var _ Model = SurveyedEfficiency{}
+
+// §3.3: IO power applies to 2.5D and micro-bump 3D only.
+func TestNeedsIOPower(t *testing.T) {
+	want := map[ic.Integration]bool{
+		ic.Mono2D: false, ic.MCM: true, ic.InFO: true, ic.EMIB: true,
+		ic.SiInterposer: true, ic.MicroBump3D: true, ic.Hybrid3D: false,
+		ic.Monolithic3D: false,
+	}
+	for i, w := range want {
+		if got := NeedsIOPower(i); got != w {
+			t.Errorf("NeedsIOPower(%s) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestInterfacePowerKnownValue(t *testing.T) {
+	// EMIB at 0.3 TB/s utilized: 4 × 150 fJ/bit × 2.4e12 bit/s = 1.44 W.
+	p, err := InterfacePower(ic.EMIB, units.TerabytesPerSecond(0.3), DefaultIOKappa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 * 150e-15 * 2.4e12; math.Abs(p.W()-want) > 1e-9 {
+		t.Errorf("EMIB IO power = %v, want %v W", p.W(), want)
+	}
+}
+
+func TestInterfacePowerExemptTechnologies(t *testing.T) {
+	for _, i := range []ic.Integration{ic.Mono2D, ic.Hybrid3D, ic.Monolithic3D} {
+		p, err := InterfacePower(i, units.TerabytesPerSecond(1), DefaultIOKappa)
+		if err != nil {
+			t.Fatalf("%s: %v", i, err)
+		}
+		if p != 0 {
+			t.Errorf("%s should pay no IO power, got %v", i, p)
+		}
+	}
+}
+
+func TestInterfacePowerErrors(t *testing.T) {
+	if _, err := InterfacePower(ic.EMIB, -1, DefaultIOKappa); err == nil {
+		t.Error("negative bandwidth should error")
+	}
+	if _, err := InterfacePower(ic.EMIB, units.TerabytesPerSecond(1), 0); err == nil {
+		t.Error("zero kappa should error")
+	}
+}
+
+// MCM's 2 pJ/bit SerDes must cost more IO power than the interposer's
+// 120 fJ/bit at equal utilization.
+func TestIOPowerOrdering(t *testing.T) {
+	bw := units.TerabytesPerSecond(0.3)
+	mcm, _ := InterfacePower(ic.MCM, bw, DefaultIOKappa)
+	si, _ := InterfacePower(ic.SiInterposer, bw, DefaultIOKappa)
+	if mcm <= si {
+		t.Errorf("MCM IO power %v should exceed Si-interposer %v", mcm, si)
+	}
+}
+
+func TestPitchCountIO(t *testing.T) {
+	// Eq. 17's literal form for EMIB: 15 mm edge, 350 IO/mm, 11 layers.
+	p, err := PitchCountIO(ic.EMIB, units.Millimeters(15), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPitch := 150e-15 * 3.4e9
+	want := 15.0 * 350 * 11 * perPitch
+	if math.Abs(p.W()-want) > 1e-9*want {
+		t.Errorf("pitch-count IO power = %v, want %v W", p.W(), want)
+	}
+	// Micro-bump 3D uses the pitch-derived shoreline density.
+	p, err = PitchCountIO(ic.MicroBump3D, units.Millimeters(15), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 {
+		t.Errorf("micro-bump pitch-count power = %v, want > 0", p)
+	}
+	// Exempt technologies: zero.
+	p, err = PitchCountIO(ic.Hybrid3D, units.Millimeters(15), 11)
+	if err != nil || p != 0 {
+		t.Errorf("hybrid pitch-count = %v, %v; want 0, nil", p, err)
+	}
+	if _, err := PitchCountIO(ic.EMIB, 0, 11); err == nil {
+		t.Error("zero edge should error")
+	}
+	if _, err := PitchCountIO(ic.EMIB, units.Millimeters(15), 0); err == nil {
+		t.Error("zero layers should error")
+	}
+}
+
+// The provisioned-interface form must upper-bound the utilized form for a
+// realistic utilization.
+func TestPitchCountUpperBoundsUtilized(t *testing.T) {
+	edge := units.SquareMillimeters(242).Edge()
+	prov, err := PitchCountIO(ic.EMIB, edge, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util, err := InterfacePower(ic.EMIB, units.TerabytesPerSecond(0.3), DefaultIOKappa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prov <= util {
+		t.Errorf("provisioned power %v should exceed utilized power %v", prov, util)
+	}
+}
+
+func TestWireSavingOrdering(t *testing.T) {
+	if !(WireSaving(ic.Monolithic3D) > WireSaving(ic.Hybrid3D) &&
+		WireSaving(ic.Hybrid3D) > WireSaving(ic.MicroBump3D) &&
+		WireSaving(ic.MicroBump3D) > 0) {
+		t.Error("wire-saving ordering M3D > hybrid > micro > 0 violated")
+	}
+	for _, i := range []ic.Integration{ic.Mono2D, ic.MCM, ic.InFO, ic.EMIB, ic.SiInterposer} {
+		if WireSaving(i) != 0 {
+			t.Errorf("%s should have zero wire saving", i)
+		}
+	}
+	for _, i := range ic.Integrations() {
+		if s := WireSaving(i); s < 0 || s > 0.3 {
+			t.Errorf("%s: wire saving %v outside [0, 0.3]", i, s)
+		}
+	}
+}
+
+func TestOperationalKnownValue(t *testing.T) {
+	// Eq. 16: 92.7 W for 365 h/yr on a 370 g/kWh grid ≈ 12.5 kg/yr.
+	c, err := Operational(units.GramsPerKWh(370), units.Watts(92.7), units.Hours(365))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.370 * 0.0927 * 365
+	if math.Abs(c.Kg()-want) > 1e-9 {
+		t.Errorf("operational carbon = %v, want %v kg", c.Kg(), want)
+	}
+}
+
+func TestOperationalErrors(t *testing.T) {
+	if _, err := Operational(0, units.Watts(1), units.Hours(1)); err == nil {
+		t.Error("zero CI should error")
+	}
+	if _, err := Operational(units.GramsPerKWh(100), -1, units.Hours(1)); err == nil {
+		t.Error("negative power should error")
+	}
+	if _, err := Operational(units.GramsPerKWh(100), units.Watts(1), -1); err == nil {
+		t.Error("negative time should error")
+	}
+}

@@ -1,0 +1,217 @@
+// Package report renders the tool's outputs: aligned text tables (the
+// Table 5 style), CSV for downstream plotting, and ASCII bar charts that
+// stand in for the paper's figures in a terminal.
+package report
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given headers.
+func NewTable(headers ...string) *Table {
+	return &Table{Headers: headers}
+}
+
+// Add appends a row; short rows are padded, long rows truncated to the
+// header width.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// widths returns per-column display widths.
+func (t *Table) widths() []int {
+	w := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		w[i] = utf8.RuneCountInString(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if n := utf8.RuneCountInString(c); n > w[i] {
+				w[i] = n
+			}
+		}
+	}
+	return w
+}
+
+func pad(s string, width int) string {
+	return s + strings.Repeat(" ", width-utf8.RuneCountInString(s))
+}
+
+// String renders the aligned table.
+func (t *Table) String() string {
+	if len(t.Headers) == 0 {
+		return ""
+	}
+	w := t.widths()
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, w[i]))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", w[i])
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// csvEscape quotes a CSV field when needed.
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// CSV renders the table as RFC-4180-style CSV.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(csvEscape(c))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// BarItem is one bar of an ASCII chart.
+type BarItem struct {
+	Label string
+	Value float64
+	// Marker is appended after the value (e.g. the paper's "invalid" ×).
+	Marker string
+}
+
+// BarChart renders horizontal bars scaled to the maximum value. Negative
+// values render with a left-pointing bar.
+func BarChart(title, unit string, items []BarItem, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	maxAbs := 0.0
+	labelW := 0
+	for _, it := range items {
+		if v := abs(it.Value); v > maxAbs {
+			maxAbs = v
+		}
+		if n := utf8.RuneCountInString(it.Label); n > labelW {
+			labelW = n
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for _, it := range items {
+		n := 0
+		if maxAbs > 0 {
+			n = int(abs(it.Value)/maxAbs*float64(width) + 0.5)
+		}
+		bar := strings.Repeat("█", n)
+		if it.Value < 0 {
+			bar = strings.Repeat("▒", n)
+		}
+		fmt.Fprintf(&b, "%s  %s %.2f %s", pad(it.Label, labelW), bar, it.Value, unit)
+		if it.Marker != "" {
+			fmt.Fprintf(&b, " %s", it.Marker)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// StackedBar renders one label with two stacked segments (embodied +
+// operational, the Fig. 5 bar style).
+type StackedBar struct {
+	Label  string
+	First  float64 // rendered with █
+	Second float64 // rendered with ░
+	Marker string
+}
+
+// StackedBarChart renders Fig. 5-style stacked bars.
+func StackedBarChart(title, unit string, items []StackedBar, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	maxTotal := 0.0
+	labelW := 0
+	for _, it := range items {
+		if v := it.First + it.Second; v > maxTotal {
+			maxTotal = v
+		}
+		if n := utf8.RuneCountInString(it.Label); n > labelW {
+			labelW = n
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for _, it := range items {
+		n1, n2 := 0, 0
+		if maxTotal > 0 {
+			n1 = int(it.First/maxTotal*float64(width) + 0.5)
+			n2 = int(it.Second/maxTotal*float64(width) + 0.5)
+		}
+		fmt.Fprintf(&b, "%s  %s%s %.2f+%.2f %s",
+			pad(it.Label, labelW), strings.Repeat("█", n1), strings.Repeat("░", n2),
+			it.First, it.Second, unit)
+		if it.Marker != "" {
+			fmt.Fprintf(&b, " %s", it.Marker)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Pct formats a ratio as a signed percentage with two decimals (Table 5
+// style).
+func Pct(ratio float64) string {
+	return fmt.Sprintf("%.2f%%", ratio*100)
+}
+
+// Kg formats a carbon mass in kilograms.
+func Kg(kg float64) string {
+	return fmt.Sprintf("%.2f", kg)
+}

@@ -1,0 +1,128 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Design", "Embodied", "Total")
+	tb.Add("2D", "19.5", "35.0")
+	tb.Add("M3D", "6.7", "20.1")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines (header, rule, 2 rows), got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Design") {
+		t.Errorf("header line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("rule line = %q", lines[1])
+	}
+	// Column alignment: "Embodied" and the values beneath start at the
+	// same offset.
+	off := strings.Index(lines[0], "Embodied")
+	if !strings.HasPrefix(lines[2][off:], "19.5") {
+		t.Errorf("column misaligned:\n%s", out)
+	}
+}
+
+func TestTableShortAndLongRows(t *testing.T) {
+	tb := NewTable("A", "B")
+	tb.Add("only-a")
+	tb.Add("x", "y", "overflow-ignored")
+	out := tb.String()
+	if strings.Contains(out, "overflow") {
+		t.Errorf("overflow cell should be dropped:\n%s", out)
+	}
+	if !strings.Contains(out, "only-a") {
+		t.Errorf("short row missing:\n%s", out)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := &Table{}
+	if got := tb.String(); got != "" {
+		t.Errorf("empty table renders %q", got)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Add("plain", "1")
+	tb.Add("with,comma", "2")
+	tb.Add(`with"quote`, "3")
+	out := tb.CSV()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "name,value" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	if lines[2] != `"with,comma",2` {
+		t.Errorf("comma field = %q", lines[2])
+	}
+	if lines[3] != `"with""quote",3` {
+		t.Errorf("quote field = %q", lines[3])
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("Fig — embodied", "kg", []BarItem{
+		{Label: "2D", Value: 19.5},
+		{Label: "M3D", Value: 6.7},
+		{Label: "Si_int", Value: -2.0, Marker: "×"},
+	}, 20)
+	if !strings.Contains(out, "Fig — embodied") {
+		t.Errorf("title missing:\n%s", out)
+	}
+	if !strings.Contains(out, "×") {
+		t.Errorf("marker missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected title + 3 bars, got %d lines", len(lines))
+	}
+	// The largest value has the longest bar.
+	if strings.Count(lines[1], "█") <= strings.Count(lines[2], "█") {
+		t.Errorf("bar lengths not proportional:\n%s", out)
+	}
+	// Negative bars use the alternate glyph.
+	if !strings.Contains(lines[3], "▒") {
+		t.Errorf("negative bar glyph missing:\n%s", out)
+	}
+}
+
+func TestBarChartDegenerate(t *testing.T) {
+	out := BarChart("", "kg", []BarItem{{Label: "zero", Value: 0}}, 5)
+	if !strings.Contains(out, "zero") {
+		t.Errorf("zero-value chart broken:\n%s", out)
+	}
+}
+
+func TestStackedBarChart(t *testing.T) {
+	out := StackedBarChart("Fig 5", "kg", []StackedBar{
+		{Label: "2D", First: 19.5, Second: 15.2},
+		{Label: "EMIB", First: 14.9, Second: 17.2, Marker: "×"},
+	}, 30)
+	if !strings.Contains(out, "█") || !strings.Contains(out, "░") {
+		t.Errorf("stacked glyphs missing:\n%s", out)
+	}
+	if !strings.Contains(out, "19.50+15.20") {
+		t.Errorf("value annotation missing:\n%s", out)
+	}
+	if !strings.Contains(out, "×") {
+		t.Errorf("marker missing:\n%s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Pct(0.6553); got != "65.53%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(-0.0959); got != "-9.59%" {
+		t.Errorf("Pct negative = %q", got)
+	}
+	if got := Kg(3.466); got != "3.47" {
+		t.Errorf("Kg = %q", got)
+	}
+}

@@ -1,0 +1,154 @@
+// Package sensitivity provides one-at-a-time (tornado) sensitivity analysis
+// over the 3D-Carbon model: each registered parameter is perturbed to its
+// low and high bound while everything else stays at default, and the swing
+// of a target metric (embodied carbon, overall saving, …) is recorded.
+//
+// Early-stage carbon models live or die by knowing which inputs dominate;
+// the paper's Table 2 publishes parameter *ranges* for exactly this reason.
+// This module turns those ranges into quantified swings.
+package sensitivity
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Metric evaluates a scalar outcome of a configured model (e.g. the ORIN
+// hybrid embodied carbon).
+type Metric func(m *core.Model) (float64, error)
+
+// Parameter is one perturbable model input: Apply reconfigures a fresh
+// default model with the given setting ∈ [Low, High].
+type Parameter struct {
+	Name  string
+	Low   float64
+	High  float64
+	Apply func(m *core.Model, v float64)
+}
+
+func (p Parameter) validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("sensitivity: parameter with empty name")
+	}
+	if p.Apply == nil {
+		return fmt.Errorf("sensitivity: parameter %q has no Apply", p.Name)
+	}
+	if p.Low >= p.High {
+		return fmt.Errorf("sensitivity: parameter %q has empty range [%v, %v]",
+			p.Name, p.Low, p.High)
+	}
+	return nil
+}
+
+// Swing is the recorded effect of one parameter.
+type Swing struct {
+	Parameter string
+	Baseline  float64
+	AtLow     float64
+	AtHigh    float64
+}
+
+// Magnitude is the absolute metric swing across the parameter range.
+func (s Swing) Magnitude() float64 {
+	d := s.AtHigh - s.AtLow
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// Relative is the swing normalised by the baseline metric.
+func (s Swing) Relative() float64 {
+	if s.Baseline == 0 {
+		return 0
+	}
+	b := s.Baseline
+	if b < 0 {
+		b = -b
+	}
+	return s.Magnitude() / b
+}
+
+// Tornado runs the analysis: the metric at the default model, then at each
+// parameter's low and high bound, returning swings sorted by magnitude
+// (largest first — the tornado ordering).
+func Tornado(metric Metric, params []Parameter) ([]Swing, error) {
+	if metric == nil {
+		return nil, fmt.Errorf("sensitivity: nil metric")
+	}
+	if len(params) == 0 {
+		return nil, fmt.Errorf("sensitivity: no parameters")
+	}
+	baseline, err := metric(core.Default())
+	if err != nil {
+		return nil, fmt.Errorf("sensitivity: baseline: %w", err)
+	}
+	out := make([]Swing, 0, len(params))
+	for _, p := range params {
+		if err := p.validate(); err != nil {
+			return nil, err
+		}
+		lo := core.Default()
+		p.Apply(lo, p.Low)
+		atLow, err := metric(lo)
+		if err != nil {
+			return nil, fmt.Errorf("sensitivity: %s at low: %w", p.Name, err)
+		}
+		hi := core.Default()
+		p.Apply(hi, p.High)
+		atHigh, err := metric(hi)
+		if err != nil {
+			return nil, fmt.Errorf("sensitivity: %s at high: %w", p.Name, err)
+		}
+		out = append(out, Swing{
+			Parameter: p.Name, Baseline: baseline,
+			AtLow: atLow, AtHigh: atHigh,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Magnitude() > out[j].Magnitude()
+	})
+	return out, nil
+}
+
+// DefaultParameters returns the standard perturbation set: the model knobs
+// whose Table 2 ranges (or modeling choices) most plausibly vary between
+// fabs and design teams.
+func DefaultParameters() []Parameter {
+	return []Parameter{
+		{
+			Name: "beol-utilization", Low: 0.25, High: 0.55,
+			Apply: func(m *core.Model, v float64) { m.BEOL.Utilization = v },
+		},
+		{
+			Name: "beol-fanout", Low: 2, High: 4,
+			Apply: func(m *core.Model, v float64) { m.BEOL.Fanout = v },
+		},
+		{
+			Name: "rent-exponent", Low: 0.55, High: 0.7,
+			Apply: func(m *core.Model, v float64) { m.BEOL.RentExponent = v },
+		},
+		{
+			Name: "gamma-io-25d", Low: 0.0, High: 0.10,
+			Apply: func(m *core.Model, v float64) { m.Area.GammaIO25D = v },
+		},
+		{
+			Name: "io-kappa", Low: 2, High: 8,
+			Apply: func(m *core.Model, v float64) { m.IOKappa = v },
+		},
+		{
+			Name: "bytes-per-op", Low: 0.005, High: 0.02,
+			Apply: func(m *core.Model, v float64) { m.Constraint.BytesPerOp = v },
+		},
+		{
+			Name: "m3d-defect-multiplier", Low: 1.0, High: 1.6,
+			Apply: func(m *core.Model, v float64) { m.SeqDefectMultiplier = v },
+		},
+		{
+			Name: "shared-beol-layers", Low: 0, High: 3,
+			Apply: func(m *core.Model, v float64) { m.SharedBEOLLayers = int(v) },
+		},
+	}
+}

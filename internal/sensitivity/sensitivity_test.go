@@ -1,0 +1,129 @@
+package sensitivity
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ic"
+	"repro/internal/split"
+)
+
+// orinHybridEmbodied is the canonical target metric: embodied carbon of the
+// ORIN homogeneous hybrid-3D design.
+func orinHybridEmbodied(m *core.Model) (float64, error) {
+	d, err := split.Homogeneous(split.Chip{Name: "orin", ProcessNM: 7, Gates: 17e9}, ic.Hybrid3D)
+	if err != nil {
+		return 0, err
+	}
+	rep, err := m.Embodied(d)
+	if err != nil {
+		return 0, err
+	}
+	return rep.Total.Kg(), nil
+}
+
+func TestTornadoRuns(t *testing.T) {
+	swings, err := Tornado(orinHybridEmbodied, DefaultParameters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(swings) != len(DefaultParameters()) {
+		t.Fatalf("swings = %d, want %d", len(swings), len(DefaultParameters()))
+	}
+	// Tornado ordering: non-increasing magnitude.
+	for i := 1; i < len(swings); i++ {
+		if swings[i].Magnitude() > swings[i-1].Magnitude()+1e-12 {
+			t.Errorf("tornado order violated at %d: %v > %v",
+				i, swings[i].Magnitude(), swings[i-1].Magnitude())
+		}
+	}
+	// Every swing shares the same baseline.
+	for _, s := range swings {
+		if s.Baseline != swings[0].Baseline {
+			t.Errorf("baseline differs for %s", s.Parameter)
+		}
+	}
+	// The embodied metric must respond to at least some embodied knobs.
+	responsive := 0
+	for _, s := range swings {
+		if s.Magnitude() > 1e-9 {
+			responsive++
+		}
+	}
+	if responsive < 3 {
+		t.Errorf("only %d parameters move the embodied metric", responsive)
+	}
+}
+
+// BEOL utilization must matter for embodied carbon: lower utilization means
+// more metal layers means more carbon.
+func TestUtilizationDirection(t *testing.T) {
+	swings, err := Tornado(orinHybridEmbodied, []Parameter{
+		{
+			Name: "beol-utilization", Low: 0.25, High: 0.55,
+			Apply: func(m *core.Model, v float64) { m.BEOL.Utilization = v },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := swings[0]
+	if s.AtLow <= s.AtHigh {
+		t.Errorf("low utilization (%v kg) should cost more than high (%v kg)",
+			s.AtLow, s.AtHigh)
+	}
+}
+
+func TestSwingHelpers(t *testing.T) {
+	s := Swing{Baseline: 10, AtLow: 8, AtHigh: 12}
+	if s.Magnitude() != 4 {
+		t.Errorf("magnitude = %v, want 4", s.Magnitude())
+	}
+	if s.Relative() != 0.4 {
+		t.Errorf("relative = %v, want 0.4", s.Relative())
+	}
+	z := Swing{Baseline: 0, AtLow: -1, AtHigh: 1}
+	if z.Relative() != 0 {
+		t.Errorf("zero-baseline relative = %v, want 0", z.Relative())
+	}
+	n := Swing{Baseline: -10, AtLow: -8, AtHigh: -12}
+	if n.Relative() != 0.4 {
+		t.Errorf("negative-baseline relative = %v, want 0.4", n.Relative())
+	}
+}
+
+func TestTornadoErrors(t *testing.T) {
+	if _, err := Tornado(nil, DefaultParameters()); err == nil {
+		t.Error("nil metric should error")
+	}
+	if _, err := Tornado(orinHybridEmbodied, nil); err == nil {
+		t.Error("no parameters should error")
+	}
+	bad := []Parameter{{Name: "", Low: 0, High: 1, Apply: func(*core.Model, float64) {}}}
+	if _, err := Tornado(orinHybridEmbodied, bad); err == nil {
+		t.Error("unnamed parameter should error")
+	}
+	bad = []Parameter{{Name: "x", Low: 1, High: 1, Apply: func(*core.Model, float64) {}}}
+	if _, err := Tornado(orinHybridEmbodied, bad); err == nil {
+		t.Error("empty range should error")
+	}
+	bad = []Parameter{{Name: "x", Low: 0, High: 1}}
+	if _, err := Tornado(orinHybridEmbodied, bad); err == nil {
+		t.Error("nil Apply should error")
+	}
+	failing := func(m *core.Model) (float64, error) {
+		return 0, errors.New("boom")
+	}
+	if _, err := Tornado(failing, DefaultParameters()); err == nil {
+		t.Error("metric failure should propagate")
+	}
+}
+
+func TestDefaultParametersValid(t *testing.T) {
+	for _, p := range DefaultParameters() {
+		if err := p.validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package split generates the hypothetical 3D/2.5D designs of the §5 case
+// studies from a 2D chip description:
+//
+//   - homogeneous: "splitting the 2D IC into two similar dies"
+//   - heterogeneous: "isolating the memory and IOs from the main logic die
+//     and implementing them separately in an older 28 nm node"
+//
+// The generated 3D designs use F2F with D2W stacking, exactly as §5 states.
+package split
+
+import (
+	"fmt"
+
+	"repro/internal/design"
+	"repro/internal/grid"
+	"repro/internal/ic"
+)
+
+// Chip is the 2D design to divide.
+type Chip struct {
+	Name      string
+	ProcessNM int
+	Gates     float64
+	// FabLocation/UseLocation default to Taiwan/USA when empty.
+	FabLocation grid.Location
+	UseLocation grid.Location
+}
+
+func (c Chip) fab() grid.Location {
+	if c.FabLocation != "" {
+		return c.FabLocation
+	}
+	return grid.Taiwan
+}
+
+func (c Chip) use() grid.Location {
+	if c.UseLocation != "" {
+		return c.UseLocation
+	}
+	return grid.USA
+}
+
+func (c Chip) validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("split: empty chip name")
+	}
+	if c.Gates <= 0 {
+		return fmt.Errorf("split: chip %q has no gates", c.Name)
+	}
+	return nil
+}
+
+// MemoryFraction is the share of a flagship SoC's gates in the memory/IO
+// partition the heterogeneous strategy isolates. It is deliberately small:
+// the paper attributes the heterogeneous approach's "lesser saving" to the
+// smaller memory die areas, which leave the logic die close to the original
+// 2D die.
+const MemoryFraction = 0.15
+
+// MemoryNode is the legacy node the heterogeneous memory/IO die uses (§5).
+const MemoryNode = 28
+
+// Mono2D returns the unmodified 2D baseline design.
+func Mono2D(c Chip) (*design.Design, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return &design.Design{
+		Name:        c.Name + "-2d",
+		Integration: ic.Mono2D,
+		Dies: []design.Die{
+			{Name: "soc", ProcessNM: c.ProcessNM, Gates: c.Gates},
+		},
+		FabLocation: c.fab(),
+		UseLocation: c.use(),
+	}, nil
+}
+
+// Homogeneous divides the chip into two equal dies under the given
+// integration technology (3D designs get F2F/D2W, 2.5D designs their
+// conventional attach order).
+func Homogeneous(c Chip, integ ic.Integration) (*design.Design, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if integ == ic.Mono2D {
+		return Mono2D(c)
+	}
+	if !integ.Valid() {
+		return nil, fmt.Errorf("split: unknown integration %q", integ)
+	}
+	half := c.Gates / 2
+	d := &design.Design{
+		Name:        fmt.Sprintf("%s-%s-homo", c.Name, integ),
+		Integration: integ,
+		Dies: []design.Die{
+			{Name: "die1", ProcessNM: c.ProcessNM, Gates: half},
+			{Name: "die2", ProcessNM: c.ProcessNM, Gates: half},
+		},
+		FabLocation: c.fab(),
+		UseLocation: c.use(),
+	}
+	if integ.Is3D() && integ != ic.Monolithic3D {
+		d.Stacking = ic.F2F
+		d.Flow = ic.D2W
+	}
+	return d, nil
+}
+
+// Heterogeneous isolates the memory/IO partition onto a legacy-node die and
+// keeps the logic on the original node.
+func Heterogeneous(c Chip, integ ic.Integration) (*design.Design, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if integ == ic.Mono2D {
+		return Mono2D(c)
+	}
+	if !integ.Valid() {
+		return nil, fmt.Errorf("split: unknown integration %q", integ)
+	}
+	memGates := c.Gates * MemoryFraction
+	logicGates := c.Gates - memGates
+	memNode := MemoryNode
+	if integ == ic.Monolithic3D {
+		// Sequential tiers share one process flow: the memory tier stays
+		// on the logic node (block-level M3D, §2.1.1).
+		memNode = c.ProcessNM
+	}
+	d := &design.Design{
+		Name:        fmt.Sprintf("%s-%s-hetero", c.Name, integ),
+		Integration: integ,
+		Dies: []design.Die{
+			{Name: "mem-io", ProcessNM: memNode, Gates: memGates, Memory: true},
+			{Name: "logic", ProcessNM: c.ProcessNM, Gates: logicGates},
+		},
+		FabLocation: c.fab(),
+		UseLocation: c.use(),
+	}
+	if integ.Is3D() && integ != ic.Monolithic3D {
+		d.Stacking = ic.F2F
+		d.Flow = ic.D2W
+	}
+	return d, nil
+}
+
+// Strategy names a die-division approach.
+type Strategy string
+
+const (
+	HomogeneousStrategy   Strategy = "homogeneous"
+	HeterogeneousStrategy Strategy = "heterogeneous"
+)
+
+// Divide applies a named strategy.
+func Divide(c Chip, integ ic.Integration, s Strategy) (*design.Design, error) {
+	switch s {
+	case HomogeneousStrategy:
+		return Homogeneous(c, integ)
+	case HeterogeneousStrategy:
+		return Heterogeneous(c, integ)
+	}
+	return nil, fmt.Errorf("split: unknown strategy %q", s)
+}

@@ -1,0 +1,121 @@
+package split
+
+import (
+	"testing"
+
+	"repro/internal/ic"
+)
+
+func orin() Chip {
+	return Chip{Name: "orin", ProcessNM: 7, Gates: 17e9}
+}
+
+func TestMono2D(t *testing.T) {
+	d, err := Mono2D(orin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Dies) != 1 || d.Dies[0].Gates != 17e9 {
+		t.Errorf("2D design dies = %+v", d.Dies)
+	}
+	if d.FabLocation != "taiwan" || d.UseLocation != "usa" {
+		t.Errorf("default locations = %s/%s", d.FabLocation, d.UseLocation)
+	}
+}
+
+func TestHomogeneousAllIntegrations(t *testing.T) {
+	for _, integ := range ic.Integrations() {
+		d, err := Homogeneous(orin(), integ)
+		if err != nil {
+			t.Fatalf("%s: %v", integ, err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: generated design invalid: %v", integ, err)
+		}
+		if integ == ic.Mono2D {
+			continue
+		}
+		if len(d.Dies) != 2 {
+			t.Errorf("%s: %d dies, want 2", integ, len(d.Dies))
+		}
+		if d.Dies[0].Gates != 8.5e9 || d.Dies[1].Gates != 8.5e9 {
+			t.Errorf("%s: unequal homogeneous split %+v", integ, d.Dies)
+		}
+		// §5: 3D designs use F2F with D2W.
+		if integ.Is3D() && integ != ic.Monolithic3D {
+			if d.Stacking != ic.F2F || d.Flow != ic.D2W {
+				t.Errorf("%s: stacking/flow = %s/%s, want f2f/d2w",
+					integ, d.Stacking, d.Flow)
+			}
+		}
+	}
+}
+
+func TestHeterogeneousSplit(t *testing.T) {
+	d, err := Heterogeneous(orin(), ic.Hybrid3D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mem, logic := d.Dies[0], d.Dies[1]
+	if !mem.Memory || mem.ProcessNM != MemoryNode {
+		t.Errorf("memory die = %+v, want 28 nm memory die", mem)
+	}
+	if logic.ProcessNM != 7 {
+		t.Errorf("logic die node = %d, want 7", logic.ProcessNM)
+	}
+	if mem.Gates+logic.Gates != 17e9 {
+		t.Errorf("gates not conserved: %v + %v", mem.Gates, logic.Gates)
+	}
+	if mem.Gates != 17e9*MemoryFraction {
+		t.Errorf("memory gates = %v, want fraction %v", mem.Gates, MemoryFraction)
+	}
+}
+
+// M3D tiers must share one node — the heterogeneous M3D keeps the memory
+// tier on the logic node.
+func TestHeterogeneousM3DSameNode(t *testing.T) {
+	d, err := Heterogeneous(orin(), ic.Monolithic3D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Dies[0].ProcessNM != d.Dies[1].ProcessNM {
+		t.Errorf("M3D tiers on different nodes: %d vs %d",
+			d.Dies[0].ProcessNM, d.Dies[1].ProcessNM)
+	}
+}
+
+func TestDivide(t *testing.T) {
+	for _, s := range []Strategy{HomogeneousStrategy, HeterogeneousStrategy} {
+		d, err := Divide(orin(), ic.EMIB, s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	if _, err := Divide(orin(), ic.EMIB, "diagonal"); err == nil {
+		t.Error("unknown strategy should error")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Mono2D(Chip{}); err == nil {
+		t.Error("empty chip should error")
+	}
+	if _, err := Homogeneous(Chip{Name: "x"}, ic.EMIB); err == nil {
+		t.Error("gateless chip should error")
+	}
+	if _, err := Homogeneous(orin(), "4d"); err == nil {
+		t.Error("unknown integration should error")
+	}
+	if _, err := Heterogeneous(orin(), "4d"); err == nil {
+		t.Error("unknown integration should error")
+	}
+}

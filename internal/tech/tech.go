@@ -1,0 +1,225 @@
+// Package tech provides the per-technology-node parameter database that the
+// embodied-carbon model consumes: feature size, effective gate-area factor,
+// fab energy/gas/material footprints split into FEOL and per-BEOL-layer
+// components, defect density and clustering for the yield model, and
+// TSV/MIV geometry.
+//
+// Sources and calibration (see DESIGN.md "Substitutions"):
+//
+//   - Total manufacturing carbon per cm² tracks the magnitudes reported by
+//     ACT (Gupta et al., ISCA'22) and imec DTCO (Bardon et al., IEDM'20):
+//     ≈0.9 kg CO₂/cm² at 28 nm rising to ≈2.2 kg CO₂/cm² at 3 nm on the
+//     Taiwan grid.
+//   - EPA/GPA/MPA are decomposed into FEOL + per-BEOL-layer parts so that
+//     Eq. 10's metal-layer reduction changes die carbon, which the paper's
+//     EPYC validation explicitly relies on.
+//   - Defect density D0 at 7 nm and 14 nm is pinned by the paper's published
+//     Lakefield yields (§4.2: 89.3 % logic / 88.4 % memory under D2W and
+//     79.7 % under W2W): D0(7 nm) ≈ 0.138 /cm², D0(14 nm) ≈ 0.091 /cm².
+//   - The gate-area factor β (A_gate = N_g·β·λ², Eq. 8) is an *effective*
+//     product density including SRAM/IO overheads, calibrated to known die
+//     sizes (e.g. ORIN ≈ 455 mm² at 7 nm for 17 B gates ⇒ β ≈ 546).
+package tech
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// Node holds every per-process parameter the model needs.
+type Node struct {
+	// ProcessNM is the technology node in nanometres (the paper's 3–28 nm
+	// input range).
+	ProcessNM int
+
+	// Feature is the lithographic feature size λ used by Eq. 8 and Eq. 10.
+	Feature units.Length
+
+	// GateAreaFactor is β in Eq. 8 (A_gate = N_g · β · λ²): the effective
+	// area per gate in units of λ², including SRAM/IO/analog overheads of
+	// real products.
+	GateAreaFactor float64
+
+	// MemGateAreaFactor is the β used for memory-dominated dies (the
+	// heterogeneous case-study's 28 nm memory+IO die); SRAM density scales
+	// differently from logic density.
+	MemGateAreaFactor float64
+
+	// EPAFEOL is the fab energy per cm² attributable to wafer FEOL
+	// processing; EPAPerLayer is the additional energy per BEOL metal layer.
+	EPAFEOL     units.EnergyPerArea
+	EPAPerLayer units.EnergyPerArea
+
+	// GPAFEOL/GPAPerLayer: direct gas emissions per cm² (FEOL, per layer).
+	GPAFEOL     units.CarbonPerArea
+	GPAPerLayer units.CarbonPerArea
+
+	// MPAFEOL/MPAPerLayer: upstream raw-material emissions per cm².
+	MPAFEOL     units.CarbonPerArea
+	MPAPerLayer units.CarbonPerArea
+
+	// RefBEOL is the metal-layer count of a typical design at this node
+	// (used to decompose published whole-wafer footprints); MaxBEOL is the
+	// largest layer count the node's flow supports (a Table 2 input).
+	RefBEOL int
+	MaxBEOL int
+
+	// DefectDensity D0 (defects/cm²) and ClusterAlpha α parameterise the
+	// negative-binomial yield model (Eq. 15).
+	DefectDensity float64
+	ClusterAlpha  float64
+
+	// TSVDiameter is the through-silicon-via diameter at this node
+	// (Table 2: 0.3–25 µm); MIVDiameter is the monolithic inter-tier via
+	// diameter (<0.6 µm per §2.1.1).
+	TSVDiameter units.Length
+	MIVDiameter units.Length
+}
+
+// GatePitch returns the average linear gate pitch √(β)·λ, the length unit of
+// the Donath wirelength estimate feeding Eq. 10.
+func (n *Node) GatePitch() units.Length {
+	return units.Millimeters(math.Sqrt(n.GateAreaFactor) * n.Feature.MM())
+}
+
+// GateArea returns the effective area of one gate (β·λ²).
+func (n *Node) GateArea() units.Area {
+	return units.SquareMillimeters(n.GateAreaFactor * n.Feature.MM() * n.Feature.MM())
+}
+
+// WaferEPA returns the total fab energy per cm² for a die with nBEOL metal
+// layers.
+func (n *Node) WaferEPA(nBEOL int) units.EnergyPerArea {
+	return n.EPAFEOL + units.EnergyPerArea(float64(nBEOL))*n.EPAPerLayer
+}
+
+// WaferGPA returns the direct gas emissions per cm² for nBEOL metal layers.
+func (n *Node) WaferGPA(nBEOL int) units.CarbonPerArea {
+	return n.GPAFEOL + units.CarbonPerArea(float64(nBEOL))*n.GPAPerLayer
+}
+
+// WaferMPA returns raw-material emissions per cm² for nBEOL metal layers.
+func (n *Node) WaferMPA(nBEOL int) units.CarbonPerArea {
+	return n.MPAFEOL + units.CarbonPerArea(float64(nBEOL))*n.MPAPerLayer
+}
+
+// CarbonPerArea returns the all-in manufacturing carbon per cm² of wafer at
+// fab grid intensity ci with nBEOL metal layers — Eq. 6 normalised by area.
+func (n *Node) CarbonPerArea(ci units.CarbonIntensity, nBEOL int) units.CarbonPerArea {
+	energy := ci.KgPerKWh() * n.WaferEPA(nBEOL).KWhPerCM2()
+	return units.KgPerCM2(energy) + n.WaferGPA(nBEOL) + n.WaferMPA(nBEOL)
+}
+
+// nodeSpec is the compact calibration row expanded into a Node.
+type nodeSpec struct {
+	nm        int
+	beta      float64 // logic gate-area factor
+	betaMem   float64 // memory gate-area factor
+	epaTotal  float64 // kWh/cm² at refBEOL layers
+	gpaTotal  float64 // kg/cm² at refBEOL layers
+	mpaTotal  float64 // kg/cm² at refBEOL layers
+	refBEOL   int
+	maxBEOL   int
+	d0        float64 // defects/cm²
+	alpha     float64
+	tsvUM     float64
+	mivUM     float64
+	feolShare float64 // fraction of each footprint attributed to FEOL
+}
+
+// specs is the calibration table. Totals rise monotonically toward advanced
+// nodes; D0 at 7/14 nm matches the Lakefield yield calibration exactly.
+var specs = []nodeSpec{
+	{nm: 28, beta: 125, betaMem: 62, epaTotal: 1.10, gpaTotal: 0.20, mpaTotal: 0.17, refBEOL: 9, maxBEOL: 10, d0: 0.070, alpha: 6.0, tsvUM: 10, mivUM: 0.6, feolShare: 0.58},
+	{nm: 22, beta: 140, betaMem: 70, epaTotal: 1.20, gpaTotal: 0.22, mpaTotal: 0.18, refBEOL: 10, maxBEOL: 10, d0: 0.080, alpha: 6.5, tsvUM: 8, mivUM: 0.6, feolShare: 0.58},
+	{nm: 16, beta: 150, betaMem: 75, epaTotal: 1.40, gpaTotal: 0.25, mpaTotal: 0.20, refBEOL: 11, maxBEOL: 11, d0: 0.090, alpha: 7.5, tsvUM: 6, mivUM: 0.6, feolShare: 0.58},
+	{nm: 14, beta: 170, betaMem: 85, epaTotal: 1.50, gpaTotal: 0.27, mpaTotal: 0.21, refBEOL: 11, maxBEOL: 12, d0: 0.0911, alpha: 8.0, tsvUM: 5, mivUM: 0.6, feolShare: 0.58},
+	{nm: 12, beta: 230, betaMem: 115, epaTotal: 1.60, gpaTotal: 0.29, mpaTotal: 0.22, refBEOL: 12, maxBEOL: 12, d0: 0.100, alpha: 8.5, tsvUM: 5, mivUM: 0.6, feolShare: 0.58},
+	{nm: 10, beta: 420, betaMem: 210, epaTotal: 1.80, gpaTotal: 0.31, mpaTotal: 0.25, refBEOL: 12, maxBEOL: 13, d0: 0.120, alpha: 9.0, tsvUM: 4, mivUM: 0.5, feolShare: 0.58},
+	{nm: 7, beta: 546, betaMem: 273, epaTotal: 2.00, gpaTotal: 0.35, mpaTotal: 0.28, refBEOL: 13, maxBEOL: 14, d0: 0.138, alpha: 10.0, tsvUM: 3, mivUM: 0.5, feolShare: 0.58},
+	{nm: 5, beta: 340, betaMem: 170, epaTotal: 2.30, gpaTotal: 0.39, mpaTotal: 0.31, refBEOL: 14, maxBEOL: 15, d0: 0.180, alpha: 11.0, tsvUM: 2, mivUM: 0.4, feolShare: 0.58},
+	{nm: 3, beta: 520, betaMem: 260, epaTotal: 2.70, gpaTotal: 0.44, mpaTotal: 0.35, refBEOL: 15, maxBEOL: 16, d0: 0.200, alpha: 12.0, tsvUM: 1.5, mivUM: 0.3, feolShare: 0.58},
+}
+
+var nodes = buildNodes()
+
+func buildNodes() map[int]*Node {
+	m := make(map[int]*Node, len(specs))
+	for _, s := range specs {
+		layers := float64(s.refBEOL)
+		n := &Node{
+			ProcessNM:         s.nm,
+			Feature:           units.Nanometers(float64(s.nm)),
+			GateAreaFactor:    s.beta,
+			MemGateAreaFactor: s.betaMem,
+			EPAFEOL:           units.KWhPerCM2(s.epaTotal * s.feolShare),
+			EPAPerLayer:       units.KWhPerCM2(s.epaTotal * (1 - s.feolShare) / layers),
+			GPAFEOL:           units.KgPerCM2(s.gpaTotal * s.feolShare),
+			GPAPerLayer:       units.KgPerCM2(s.gpaTotal * (1 - s.feolShare) / layers),
+			MPAFEOL:           units.KgPerCM2(s.mpaTotal * s.feolShare),
+			MPAPerLayer:       units.KgPerCM2(s.mpaTotal * (1 - s.feolShare) / layers),
+			RefBEOL:           s.refBEOL,
+			MaxBEOL:           s.maxBEOL,
+			DefectDensity:     s.d0,
+			ClusterAlpha:      s.alpha,
+			TSVDiameter:       units.Micrometers(s.tsvUM),
+			MIVDiameter:       units.Micrometers(s.mivUM),
+		}
+		m[s.nm] = n
+	}
+	return m
+}
+
+// ForProcess returns the database entry for an exact node (3, 5, 7, 10, 12,
+// 14, 16, 22 or 28 nm — the paper's supported input range).
+func ForProcess(nm int) (*Node, error) {
+	if n, ok := nodes[nm]; ok {
+		return n, nil
+	}
+	if nm < 3 || nm > 28 {
+		return nil, fmt.Errorf("tech: process %d nm outside the supported 3–28 nm range", nm)
+	}
+	return nil, fmt.Errorf("tech: no database entry for %d nm (available: %v); use Nearest", nm, Processes())
+}
+
+// MustForProcess is ForProcess for statically-known nodes; it panics on
+// a missing entry.
+func MustForProcess(nm int) *Node {
+	n, err := ForProcess(nm)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Nearest returns the database node closest to nm (ties resolve to the more
+// advanced node). It still rejects processes outside 3–28 nm.
+func Nearest(nm int) (*Node, error) {
+	if nm < 3 || nm > 28 {
+		return nil, fmt.Errorf("tech: process %d nm outside the supported 3–28 nm range", nm)
+	}
+	best, bestDist := 0, math.MaxInt
+	for _, p := range Processes() {
+		d := p - nm
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist || (d == bestDist && p < best) {
+			best, bestDist = p, d
+		}
+	}
+	return nodes[best], nil
+}
+
+// Processes returns the supported node list in ascending order.
+func Processes() []int {
+	out := make([]int, 0, len(nodes))
+	for nm := range nodes {
+		out = append(out, nm)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,221 @@
+package tech
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/units"
+)
+
+func TestForProcessKnownNodes(t *testing.T) {
+	for _, nm := range Processes() {
+		n, err := ForProcess(nm)
+		if err != nil {
+			t.Fatalf("ForProcess(%d): %v", nm, err)
+		}
+		if n.ProcessNM != nm {
+			t.Errorf("node %d reports ProcessNM %d", nm, n.ProcessNM)
+		}
+		if got := n.Feature.NM(); math.Abs(got-float64(nm)) > 1e-9 {
+			t.Errorf("node %d feature = %v nm", nm, got)
+		}
+	}
+}
+
+func TestForProcessErrors(t *testing.T) {
+	if _, err := ForProcess(2); err == nil {
+		t.Error("2 nm should be rejected (below range)")
+	}
+	if _, err := ForProcess(45); err == nil {
+		t.Error("45 nm should be rejected (above range)")
+	}
+	if _, err := ForProcess(8); err == nil {
+		t.Error("8 nm has no exact entry and should error")
+	}
+}
+
+func TestNearest(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{8, 7}, {9, 10}, {6, 5}, {4, 3}, {13, 12}, {18, 16}, {25, 22}, {28, 28},
+	}
+	for _, c := range cases {
+		n, err := Nearest(c.in)
+		if err != nil {
+			t.Fatalf("Nearest(%d): %v", c.in, err)
+		}
+		if n.ProcessNM != c.want {
+			t.Errorf("Nearest(%d) = %d, want %d", c.in, n.ProcessNM, c.want)
+		}
+	}
+	if _, err := Nearest(40); err == nil {
+		t.Error("Nearest(40) should be rejected")
+	}
+}
+
+func TestMustForProcessPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustForProcess(8) should panic")
+		}
+	}()
+	MustForProcess(8)
+}
+
+// Table 2 parameter-range checks: every node's parameters stay inside the
+// ranges the paper publishes.
+func TestTable2ParameterRanges(t *testing.T) {
+	ci := grid.MustIntensity(grid.Taiwan)
+	for _, nm := range Processes() {
+		n := MustForProcess(nm)
+		if n.DefectDensity <= 0 || n.DefectDensity > 0.5 {
+			t.Errorf("%d nm: D0 = %v outside (0, 0.5]", nm, n.DefectDensity)
+		}
+		if n.ClusterAlpha < 1 || n.ClusterAlpha > 20 {
+			t.Errorf("%d nm: alpha = %v outside [1, 20]", nm, n.ClusterAlpha)
+		}
+		if d := n.TSVDiameter.UM(); d < 0.3 || d > 25 {
+			t.Errorf("%d nm: TSV diameter %v µm outside Table 2's 0.3–25 µm", nm, d)
+		}
+		if d := n.MIVDiameter.UM(); d <= 0 || d > 0.6 {
+			t.Errorf("%d nm: MIV diameter %v µm outside (0, 0.6] µm", nm, d)
+		}
+		// GPA and MPA per unit area (at reference BEOL) within Table 2's
+		// 0.1–0.5 kg CO₂/cm².
+		if g := n.WaferGPA(n.RefBEOL).KgPerCM2(); g < 0.1 || g > 0.5 {
+			t.Errorf("%d nm: GPA = %v kg/cm² outside [0.1, 0.5]", nm, g)
+		}
+		if m := n.WaferMPA(n.RefBEOL).KgPerCM2(); m < 0.1 || m > 0.5 {
+			t.Errorf("%d nm: MPA = %v kg/cm² outside [0.1, 0.5]", nm, m)
+		}
+		if b := n.MaxBEOL; b < n.RefBEOL || b > 20 {
+			t.Errorf("%d nm: MaxBEOL %d inconsistent with RefBEOL %d", nm, b, n.RefBEOL)
+		}
+		// All-in carbon per area on the Taiwan grid must match the
+		// ACT-scale envelope (≈0.8–2.5 kg CO₂/cm²).
+		cpa := n.CarbonPerArea(ci, n.RefBEOL).KgPerCM2()
+		if cpa < 0.8 || cpa > 2.5 {
+			t.Errorf("%d nm: carbon per area %v kg/cm² outside plausible envelope", nm, cpa)
+		}
+	}
+}
+
+// Advanced nodes must cost strictly more carbon per area: the Lakefield
+// validation (§4.2) relies on 7 nm being more carbon-intensive than 14 nm.
+func TestCarbonPerAreaMonotonicInNode(t *testing.T) {
+	ci := grid.MustIntensity(grid.Taiwan)
+	ps := Processes()
+	for i := 1; i < len(ps); i++ {
+		adv := MustForProcess(ps[i-1]) // smaller nm = more advanced
+		old := MustForProcess(ps[i])
+		a := adv.CarbonPerArea(ci, adv.RefBEOL).KgPerCM2()
+		o := old.CarbonPerArea(ci, old.RefBEOL).KgPerCM2()
+		if a <= o {
+			t.Errorf("carbon/cm²(%d nm)=%v should exceed (%d nm)=%v",
+				adv.ProcessNM, a, old.ProcessNM, o)
+		}
+	}
+}
+
+func TestCarbonPerAreaMonotonicInBEOL(t *testing.T) {
+	ci := grid.MustIntensity(grid.Taiwan)
+	n := MustForProcess(7)
+	prev := 0.0
+	for layers := 1; layers <= n.MaxBEOL; layers++ {
+		c := n.CarbonPerArea(ci, layers).KgPerCM2()
+		if c <= prev {
+			t.Fatalf("carbon per area should grow with BEOL layers: %d layers -> %v", layers, c)
+		}
+		prev = c
+	}
+}
+
+// The BEOL decomposition must reconstruct the calibrated totals at the
+// reference layer count.
+func TestFEOLBEOLDecomposition(t *testing.T) {
+	for _, s := range specs {
+		n := MustForProcess(s.nm)
+		if got := n.WaferEPA(n.RefBEOL).KWhPerCM2(); math.Abs(got-s.epaTotal) > 1e-9 {
+			t.Errorf("%d nm: EPA(ref) = %v, want %v", s.nm, got, s.epaTotal)
+		}
+		if got := n.WaferGPA(n.RefBEOL).KgPerCM2(); math.Abs(got-s.gpaTotal) > 1e-9 {
+			t.Errorf("%d nm: GPA(ref) = %v, want %v", s.nm, got, s.gpaTotal)
+		}
+		if got := n.WaferMPA(n.RefBEOL).KgPerCM2(); math.Abs(got-s.mpaTotal) > 1e-9 {
+			t.Errorf("%d nm: MPA(ref) = %v, want %v", s.nm, got, s.mpaTotal)
+		}
+	}
+}
+
+// Gate-area calibration anchors: ORIN-class density at 7 nm.
+func TestGateAreaCalibration(t *testing.T) {
+	n7 := MustForProcess(7)
+	// 17e9 gates at 7 nm should land near the ORIN die size (~455 mm²).
+	area := 17e9 * n7.GateArea().MM2()
+	if area < 420 || area < 0 || area > 490 {
+		t.Errorf("17B gates at 7 nm = %.1f mm², want ≈455 mm²", area)
+	}
+	// Gate pitch must be √β·λ.
+	wantPitch := math.Sqrt(n7.GateAreaFactor) * 7e-6
+	if got := n7.GatePitch().MM(); math.Abs(got-wantPitch) > 1e-15 {
+		t.Errorf("gate pitch = %v, want %v", got, wantPitch)
+	}
+	// Memory factor must be below the logic factor at every node (SRAM
+	// packs denser than effective logic in our calibration).
+	for _, nm := range Processes() {
+		n := MustForProcess(nm)
+		if n.MemGateAreaFactor >= n.GateAreaFactor {
+			t.Errorf("%d nm: mem β %v should be < logic β %v",
+				nm, n.MemGateAreaFactor, n.GateAreaFactor)
+		}
+	}
+}
+
+// Lakefield calibration: the defect densities at 7 and 14 nm must reproduce
+// the die yields the paper publishes in §4.2 (89.3 % and ≈92 % intrinsic).
+func TestLakefieldDefectCalibration(t *testing.T) {
+	n7 := MustForProcess(7)
+	y7 := math.Pow(1+0.825*n7.DefectDensity/n7.ClusterAlpha, -n7.ClusterAlpha)
+	if math.Abs(y7-0.893) > 0.002 {
+		t.Errorf("7 nm yield at 82.5 mm² = %.4f, want 0.893±0.002", y7)
+	}
+	n14 := MustForProcess(14)
+	y14 := math.Pow(1+0.92*n14.DefectDensity/n14.ClusterAlpha, -n14.ClusterAlpha)
+	if math.Abs(y14-0.920) > 0.002 {
+		t.Errorf("14 nm yield at 92 mm² = %.4f, want 0.920±0.002", y14)
+	}
+}
+
+func TestDefectDensityGrowsTowardAdvancedNodes(t *testing.T) {
+	ps := Processes()
+	for i := 1; i < len(ps); i++ {
+		adv := MustForProcess(ps[i-1])
+		old := MustForProcess(ps[i])
+		if adv.DefectDensity <= old.DefectDensity {
+			t.Errorf("D0(%d nm)=%v should exceed D0(%d nm)=%v",
+				adv.ProcessNM, adv.DefectDensity, old.ProcessNM, old.DefectDensity)
+		}
+	}
+}
+
+func TestWaferEPAZeroLayers(t *testing.T) {
+	n := MustForProcess(7)
+	if got, want := n.WaferEPA(0), n.EPAFEOL; got != want {
+		t.Errorf("EPA with 0 BEOL layers = %v, want FEOL-only %v", got, want)
+	}
+}
+
+func TestCarbonPerAreaGridDependence(t *testing.T) {
+	n := MustForProcess(7)
+	dirty := n.CarbonPerArea(units.GramsPerKWh(700), n.RefBEOL)
+	clean := n.CarbonPerArea(units.GramsPerKWh(30), n.RefBEOL)
+	if dirty <= clean {
+		t.Errorf("dirtier fab grid must raise carbon per area: %v <= %v", dirty, clean)
+	}
+	// The gap must equal EPA × ΔCI exactly.
+	wantGap := n.WaferEPA(n.RefBEOL).KWhPerCM2() * (0.700 - 0.030)
+	gap := dirty.KgPerCM2() - clean.KgPerCM2()
+	if math.Abs(gap-wantGap) > 1e-12 {
+		t.Errorf("grid gap = %v, want %v", gap, wantGap)
+	}
+}

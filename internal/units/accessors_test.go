@@ -1,0 +1,39 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+// Accessor round trips not covered by the main conversion tests.
+func TestRemainingAccessors(t *testing.T) {
+	cases := []struct {
+		got, want float64
+		what      string
+	}{
+		{SquareMillimeters(2).UM2(), 2e6, "mm²→µm²"},
+		{SquareMillimeters(2e6).M2(), 2, "mm²→m²"},
+		{Millimeters(1500).M(), 1.5, "mm→m"},
+		{KilowattHours(1.5).Wh(), 1500, "kWh→Wh"},
+		{Milliwatts(2500).W(), 2.5, "mW→W"},
+		{Watts(2.5).MW(), 2500, "W→mW"},
+		{Watts(2500).KW(), 2.5, "W→kW"},
+		{KilogramsCO2(1500).Tonnes(), 1.5, "kg→t"},
+		{KgPerKWh(0.5).KgPerKWh(), 0.5, "kg/kWh identity"},
+		{KgPerCM2(1.5).KgPerCM2(), 1.5, "kg/cm² identity"},
+		{KWhPerCM2(2).KWhPerCM2(), 2, "kWh/cm² identity"},
+		{BitsPerSecond(8e9).Gbps(), 8, "bit/s→Gbps"},
+		{TerabitsPerSecond(8).TBytesPerS(), 1, "Tbps→TB/s"},
+		{JoulesPerBit(1e-12).PJPerBit(), 1, "J/bit→pJ/bit"},
+		{JoulesPerBit(2e-12).JPerBit(), 2e-12, "J/bit identity"},
+		{OpsPerSecond(1e12).TOPS(), 1, "ops/s→TOPS"},
+		{OpsPerSecond(5).OpsPerSec(), 5, "ops/s identity"},
+		{OpsPerJoule(1e12).TOPSPerW(), 1, "ops/J→TOPS/W"},
+		{OpsPerJoule(7).OpsPerJ(), 7, "ops/J identity"},
+	}
+	for _, c := range cases {
+		if math.Abs(c.got-c.want) > 1e-9*math.Max(1, math.Abs(c.want)) {
+			t.Errorf("%s: got %v, want %v", c.what, c.got, c.want)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package units provides the physical quantity types used throughout the
+// 3D-Carbon model: areas, lengths, energies, powers, carbon masses, carbon
+// intensities, bandwidths and time spans.
+//
+// Every quantity is a distinct float64-based type whose underlying value is
+// held in one canonical SI-derived unit (documented per type). Constructors
+// convert into the canonical unit and accessors convert out of it, so unit
+// mistakes become type errors instead of silent factor-of-1000 bugs — the
+// classic failure mode of carbon models that mix kg/g, cm²/mm² and kWh/J.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Area is a silicon, substrate or package area. Canonical unit: mm².
+type Area float64
+
+// Area constructors.
+func SquareMillimeters(v float64) Area { return Area(v) }
+func SquareCentimeters(v float64) Area { return Area(v * 100) }
+func SquareMicrons(v float64) Area     { return Area(v * 1e-6) }
+func SquareMeters(v float64) Area      { return Area(v * 1e6) }
+
+// Accessors.
+func (a Area) MM2() float64 { return float64(a) }
+func (a Area) CM2() float64 { return float64(a) / 100 }
+func (a Area) UM2() float64 { return float64(a) * 1e6 }
+func (a Area) M2() float64  { return float64(a) * 1e-6 }
+
+// Edge returns the side length of a square die with this area.
+func (a Area) Edge() Length { return Millimeters(math.Sqrt(float64(a))) }
+
+func (a Area) String() string { return fmt.Sprintf("%.2f mm²", float64(a)) }
+
+// Length is a linear dimension (die edge, pitch, via diameter, gap).
+// Canonical unit: mm.
+type Length float64
+
+func Millimeters(v float64) Length { return Length(v) }
+func Micrometers(v float64) Length { return Length(v * 1e-3) }
+func Nanometers(v float64) Length  { return Length(v * 1e-6) }
+func Meters(v float64) Length      { return Length(v * 1e3) }
+
+func (l Length) MM() float64 { return float64(l) }
+func (l Length) UM() float64 { return float64(l) * 1e3 }
+func (l Length) NM() float64 { return float64(l) * 1e6 }
+func (l Length) M() float64  { return float64(l) * 1e-3 }
+
+// Square returns the area of a square with side l.
+func (l Length) Square() Area { return Area(float64(l) * float64(l)) }
+
+func (l Length) String() string {
+	switch {
+	case math.Abs(float64(l)) >= 1:
+		return fmt.Sprintf("%.3f mm", float64(l))
+	case math.Abs(float64(l)) >= 1e-3:
+		return fmt.Sprintf("%.3f µm", l.UM())
+	default:
+		return fmt.Sprintf("%.1f nm", l.NM())
+	}
+}
+
+// Energy is an amount of electrical energy. Canonical unit: kWh.
+type Energy float64
+
+func KilowattHours(v float64) Energy { return Energy(v) }
+func WattHours(v float64) Energy     { return Energy(v * 1e-3) }
+func Joules(v float64) Energy        { return Energy(v / 3.6e6) }
+func Megajoules(v float64) Energy    { return Energy(v / 3.6) }
+
+func (e Energy) KWh() float64    { return float64(e) }
+func (e Energy) Wh() float64     { return float64(e) * 1e3 }
+func (e Energy) Joules() float64 { return float64(e) * 3.6e6 }
+
+func (e Energy) String() string { return fmt.Sprintf("%.3f kWh", float64(e)) }
+
+// Power is an electrical power draw. Canonical unit: W.
+type Power float64
+
+func Watts(v float64) Power      { return Power(v) }
+func Milliwatts(v float64) Power { return Power(v * 1e-3) }
+func Kilowatts(v float64) Power  { return Power(v * 1e3) }
+
+func (p Power) W() float64  { return float64(p) }
+func (p Power) MW() float64 { return float64(p) * 1e3 }
+func (p Power) KW() float64 { return float64(p) * 1e-3 }
+
+// Over returns the energy consumed drawing power p for duration t.
+func (p Power) Over(t Time) Energy { return Energy(p.KW() * t.Hours()) }
+
+func (p Power) String() string { return fmt.Sprintf("%.3f W", float64(p)) }
+
+// Carbon is a mass of CO2-equivalent emissions. Canonical unit: kg CO2e.
+type Carbon float64
+
+func KilogramsCO2(v float64) Carbon { return Carbon(v) }
+func GramsCO2(v float64) Carbon     { return Carbon(v * 1e-3) }
+func TonnesCO2(v float64) Carbon    { return Carbon(v * 1e3) }
+
+func (c Carbon) Kg() float64     { return float64(c) }
+func (c Carbon) Grams() float64  { return float64(c) * 1e3 }
+func (c Carbon) Tonnes() float64 { return float64(c) * 1e-3 }
+
+func (c Carbon) String() string { return fmt.Sprintf("%.3f kg CO₂e", float64(c)) }
+
+// CarbonIntensity is the carbon emitted per unit of electrical energy drawn
+// from a grid. Canonical unit: kg CO2e per kWh.
+type CarbonIntensity float64
+
+func KgPerKWh(v float64) CarbonIntensity    { return CarbonIntensity(v) }
+func GramsPerKWh(v float64) CarbonIntensity { return CarbonIntensity(v * 1e-3) }
+
+func (ci CarbonIntensity) KgPerKWh() float64 { return float64(ci) }
+func (ci CarbonIntensity) GPerKWh() float64  { return float64(ci) * 1e3 }
+
+// Emit returns the carbon emitted when energy e is drawn at intensity ci.
+func (ci CarbonIntensity) Emit(e Energy) Carbon {
+	return Carbon(float64(ci) * e.KWh())
+}
+
+func (ci CarbonIntensity) String() string {
+	return fmt.Sprintf("%.0f g CO₂/kWh", ci.GPerKWh())
+}
+
+// CarbonPerArea expresses area-proportional manufacturing emissions
+// (the GPA/MPA/CPA parameters of the paper). Canonical unit: kg CO2e per cm².
+type CarbonPerArea float64
+
+func KgPerCM2(v float64) CarbonPerArea { return CarbonPerArea(v) }
+
+func (cpa CarbonPerArea) KgPerCM2() float64 { return float64(cpa) }
+
+// Over returns the carbon emitted processing area a.
+func (cpa CarbonPerArea) Over(a Area) Carbon {
+	return Carbon(float64(cpa) * a.CM2())
+}
+
+func (cpa CarbonPerArea) String() string {
+	return fmt.Sprintf("%.3f kg CO₂/cm²", float64(cpa))
+}
+
+// EnergyPerArea expresses area-proportional manufacturing energy
+// (the EPA parameters of the paper). Canonical unit: kWh per cm².
+type EnergyPerArea float64
+
+func KWhPerCM2(v float64) EnergyPerArea { return EnergyPerArea(v) }
+
+func (epa EnergyPerArea) KWhPerCM2() float64 { return float64(epa) }
+
+// Over returns the energy consumed processing area a.
+func (epa EnergyPerArea) Over(a Area) Energy {
+	return Energy(float64(epa) * a.CM2())
+}
+
+func (epa EnergyPerArea) String() string {
+	return fmt.Sprintf("%.3f kWh/cm²", float64(epa))
+}
+
+// Bandwidth is a data-movement rate. Canonical unit: bit/s.
+type Bandwidth float64
+
+func BitsPerSecond(v float64) Bandwidth     { return Bandwidth(v) }
+func GigabitsPerSecond(v float64) Bandwidth { return Bandwidth(v * 1e9) }
+func TerabitsPerSecond(v float64) Bandwidth { return Bandwidth(v * 1e12) }
+func BytesPerSecond(v float64) Bandwidth    { return Bandwidth(v * 8) }
+func GigabytesPerSecond(v float64) Bandwidth {
+	return Bandwidth(v * 8e9)
+}
+func TerabytesPerSecond(v float64) Bandwidth {
+	return Bandwidth(v * 8e12)
+}
+
+func (b Bandwidth) BitsPerSec() float64 { return float64(b) }
+func (b Bandwidth) Gbps() float64       { return float64(b) / 1e9 }
+func (b Bandwidth) Tbps() float64       { return float64(b) / 1e12 }
+func (b Bandwidth) GBytesPerS() float64 { return float64(b) / 8e9 }
+func (b Bandwidth) TBytesPerS() float64 { return float64(b) / 8e12 }
+
+func (b Bandwidth) String() string {
+	switch {
+	case math.Abs(float64(b)) >= 1e12:
+		return fmt.Sprintf("%.2f Tbps", b.Tbps())
+	default:
+		return fmt.Sprintf("%.2f Gbps", b.Gbps())
+	}
+}
+
+// EnergyPerBit is the interface transport energy cost. Canonical unit: J/bit.
+type EnergyPerBit float64
+
+func JoulesPerBit(v float64) EnergyPerBit     { return EnergyPerBit(v) }
+func PicojoulesPerBit(v float64) EnergyPerBit { return EnergyPerBit(v * 1e-12) }
+func FemtojoulesPerBit(v float64) EnergyPerBit {
+	return EnergyPerBit(v * 1e-15)
+}
+
+func (e EnergyPerBit) JPerBit() float64  { return float64(e) }
+func (e EnergyPerBit) PJPerBit() float64 { return float64(e) * 1e12 }
+func (e EnergyPerBit) FJPerBit() float64 { return float64(e) * 1e15 }
+
+// At returns the power drawn moving data at bandwidth b.
+func (e EnergyPerBit) At(b Bandwidth) Power {
+	return Power(float64(e) * b.BitsPerSec())
+}
+
+func (e EnergyPerBit) String() string {
+	return fmt.Sprintf("%.1f fJ/bit", e.FJPerBit())
+}
+
+// Throughput is a compute rate. Canonical unit: operations per second.
+type Throughput float64
+
+func OpsPerSecond(v float64) Throughput { return Throughput(v) }
+func TOPS(v float64) Throughput         { return Throughput(v * 1e12) }
+
+func (t Throughput) OpsPerSec() float64 { return float64(t) }
+func (t Throughput) TOPS() float64      { return float64(t) / 1e12 }
+
+func (t Throughput) String() string { return fmt.Sprintf("%.2f TOPS", t.TOPS()) }
+
+// Efficiency is compute energy efficiency. Canonical unit: ops per joule.
+// (1 TOPS/W = 1e12 ops/J.)
+type Efficiency float64
+
+func OpsPerJoule(v float64) Efficiency { return Efficiency(v) }
+func TOPSPerWatt(v float64) Efficiency { return Efficiency(v * 1e12) }
+
+func (e Efficiency) OpsPerJ() float64  { return float64(e) }
+func (e Efficiency) TOPSPerW() float64 { return float64(e) / 1e12 }
+
+// PowerFor returns the power needed to sustain throughput th at efficiency e.
+func (e Efficiency) PowerFor(th Throughput) Power {
+	if e <= 0 {
+		return Power(math.Inf(1))
+	}
+	return Power(th.OpsPerSec() / float64(e))
+}
+
+func (e Efficiency) String() string {
+	return fmt.Sprintf("%.2f TOPS/W", e.TOPSPerW())
+}
+
+// Time is a use-phase time span. Canonical unit: hours.
+type Time float64
+
+// HoursPerYear is the calendar-year hour count used for year conversions.
+const HoursPerYear = 365.0 * 24.0
+
+func Hours(v float64) Time   { return Time(v) }
+func Years(v float64) Time   { return Time(v * HoursPerYear) }
+func Seconds(v float64) Time { return Time(v / 3600) }
+
+func (t Time) Hours() float64   { return float64(t) }
+func (t Time) Years() float64   { return float64(t) / HoursPerYear }
+func (t Time) Seconds() float64 { return float64(t) * 3600 }
+
+func (t Time) String() string {
+	if math.Abs(float64(t)) >= HoursPerYear {
+		return fmt.Sprintf("%.2f yr", t.Years())
+	}
+	return fmt.Sprintf("%.1f h", float64(t))
+}

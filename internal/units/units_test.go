@@ -1,0 +1,192 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %v, want %v (±%v)", what, got, want, tol)
+	}
+}
+
+func TestAreaConversions(t *testing.T) {
+	a := SquareCentimeters(1)
+	approx(t, a.MM2(), 100, 1e-12, "1 cm² in mm²")
+	approx(t, a.CM2(), 1, 1e-12, "1 cm² round trip")
+	approx(t, SquareMicrons(1e6).MM2(), 1, 1e-12, "1e6 µm² = 1 mm²")
+	approx(t, SquareMeters(1).MM2(), 1e6, 1e-3, "1 m² = 1e6 mm²")
+}
+
+func TestAreaEdge(t *testing.T) {
+	a := SquareMillimeters(400)
+	approx(t, a.Edge().MM(), 20, 1e-12, "edge of 400 mm²")
+}
+
+func TestLengthConversions(t *testing.T) {
+	approx(t, Micrometers(1000).MM(), 1, 1e-12, "1000 µm = 1 mm")
+	approx(t, Nanometers(7).UM(), 0.007, 1e-15, "7 nm in µm")
+	approx(t, Meters(0.3).MM(), 300, 1e-12, "0.3 m = 300 mm")
+	approx(t, Millimeters(2).Square().MM2(), 4, 1e-12, "2 mm square")
+}
+
+func TestEnergyConversions(t *testing.T) {
+	approx(t, Joules(3.6e6).KWh(), 1, 1e-12, "3.6 MJ = 1 kWh")
+	approx(t, WattHours(1500).KWh(), 1.5, 1e-12, "1500 Wh")
+	approx(t, Megajoules(3.6).KWh(), 1, 1e-12, "3.6 MJ")
+	approx(t, KilowattHours(2).Joules(), 7.2e6, 1e-3, "2 kWh in J")
+}
+
+func TestPowerOverTime(t *testing.T) {
+	e := Watts(100).Over(Hours(10))
+	approx(t, e.KWh(), 1, 1e-12, "100 W × 10 h = 1 kWh")
+	e = Kilowatts(2).Over(Years(1))
+	approx(t, e.KWh(), 2*HoursPerYear, 1e-9, "2 kW × 1 yr")
+}
+
+func TestCarbonConversions(t *testing.T) {
+	approx(t, GramsCO2(2500).Kg(), 2.5, 1e-12, "2500 g = 2.5 kg")
+	approx(t, TonnesCO2(0.001).Kg(), 1, 1e-12, "1e-3 t = 1 kg")
+	approx(t, KilogramsCO2(3).Grams(), 3000, 1e-9, "3 kg in g")
+}
+
+func TestCarbonIntensityEmit(t *testing.T) {
+	ci := GramsPerKWh(500)
+	c := ci.Emit(KilowattHours(10))
+	approx(t, c.Kg(), 5, 1e-12, "500 g/kWh × 10 kWh")
+	approx(t, ci.GPerKWh(), 500, 1e-9, "g/kWh round trip")
+}
+
+func TestCarbonPerAreaOver(t *testing.T) {
+	cpa := KgPerCM2(1.5)
+	c := cpa.Over(SquareMillimeters(200)) // 2 cm²
+	approx(t, c.Kg(), 3, 1e-12, "1.5 kg/cm² × 2 cm²")
+}
+
+func TestEnergyPerAreaOver(t *testing.T) {
+	epa := KWhPerCM2(2)
+	e := epa.Over(SquareCentimeters(3))
+	approx(t, e.KWh(), 6, 1e-12, "2 kWh/cm² × 3 cm²")
+}
+
+func TestBandwidthConversions(t *testing.T) {
+	approx(t, GigabitsPerSecond(8).GBytesPerS(), 1, 1e-12, "8 Gbps = 1 GB/s")
+	approx(t, TerabytesPerSecond(1).Tbps(), 8, 1e-12, "1 TB/s = 8 Tbps")
+	approx(t, BytesPerSecond(1).BitsPerSec(), 8, 1e-12, "1 B/s = 8 bit/s")
+	approx(t, GigabytesPerSecond(2).Gbps(), 16, 1e-12, "2 GB/s = 16 Gbps")
+}
+
+func TestEnergyPerBitPower(t *testing.T) {
+	// 150 fJ/bit at 2 Tbps = 0.3 W.
+	p := FemtojoulesPerBit(150).At(TerabitsPerSecond(2))
+	approx(t, p.W(), 0.3, 1e-12, "150 fJ/bit × 2 Tbps")
+	approx(t, PicojoulesPerBit(2).FJPerBit(), 2000, 1e-9, "2 pJ = 2000 fJ")
+}
+
+func TestThroughputEfficiencyPower(t *testing.T) {
+	// 254 TOPS at 2.74 TOPS/W ≈ 92.7 W.
+	p := TOPSPerWatt(2.74).PowerFor(TOPS(254))
+	approx(t, p.W(), 254.0/2.74, 1e-9, "ORIN fixed-throughput power")
+	if !math.IsInf(TOPSPerWatt(0).PowerFor(TOPS(1)).W(), 1) {
+		t.Error("zero efficiency should give infinite power")
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	approx(t, Years(1).Hours(), 8760, 1e-9, "1 yr in hours")
+	approx(t, Hours(8760).Years(), 1, 1e-12, "8760 h in years")
+	approx(t, Seconds(3600).Hours(), 1, 1e-12, "3600 s = 1 h")
+	approx(t, Hours(2).Seconds(), 7200, 1e-9, "2 h in seconds")
+}
+
+func TestStringFormats(t *testing.T) {
+	cases := []struct {
+		got, wantSub string
+	}{
+		{SquareMillimeters(455).String(), "455.00 mm²"},
+		{Millimeters(21.33).String(), "mm"},
+		{Micrometers(36).String(), "µm"},
+		{Nanometers(7).String(), "nm"},
+		{KilowattHours(1.5).String(), "kWh"},
+		{Watts(92.7).String(), "W"},
+		{KilogramsCO2(3.47).String(), "kg CO₂e"},
+		{GramsPerKWh(509).String(), "509 g CO₂/kWh"},
+		{TerabitsPerSecond(3.5).String(), "Tbps"},
+		{GigabitsPerSecond(3.4).String(), "Gbps"},
+		{FemtojoulesPerBit(150).String(), "fJ/bit"},
+		{TOPS(254).String(), "TOPS"},
+		{TOPSPerWatt(2.74).String(), "TOPS/W"},
+		{Years(10).String(), "yr"},
+		{Hours(5).String(), "h"},
+		{KgPerCM2(1.5).String(), "kg CO₂/cm²"},
+		{KWhPerCM2(2.0).String(), "kWh/cm²"},
+	}
+	for _, c := range cases {
+		if !strings.Contains(c.got, c.wantSub) {
+			t.Errorf("String() = %q, want substring %q", c.got, c.wantSub)
+		}
+	}
+}
+
+// Property: converting into a unit and back is the identity (within float
+// tolerance), for all positive magnitudes.
+func TestRoundTripProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	relEq := func(a, b float64) bool {
+		if a == b {
+			return true
+		}
+		d := math.Abs(a - b)
+		m := math.Max(math.Abs(a), math.Abs(b))
+		return d <= 1e-9*m
+	}
+	if err := quick.Check(func(v float64) bool {
+		v = math.Abs(v)
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			return true
+		}
+		return relEq(SquareCentimeters(v).CM2(), v) &&
+			relEq(Micrometers(v).UM(), v) &&
+			relEq(Joules(v).Joules(), v) &&
+			relEq(GramsCO2(v).Grams(), v) &&
+			relEq(GigabitsPerSecond(v).Gbps(), v) &&
+			relEq(Years(v).Years(), v) &&
+			relEq(TOPS(v).TOPS(), v) &&
+			relEq(FemtojoulesPerBit(v).FJPerBit(), v)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: carbon accounting is linear — emitting over a sum of energies
+// equals the sum of emissions.
+func TestEmitLinearity(t *testing.T) {
+	if err := quick.Check(func(ci, e1, e2 float64) bool {
+		ci = math.Mod(math.Abs(ci), 1.0)
+		e1 = math.Mod(math.Abs(e1), 1e6)
+		e2 = math.Mod(math.Abs(e2), 1e6)
+		in := KgPerKWh(ci)
+		sum := in.Emit(KilowattHours(e1 + e2)).Kg()
+		parts := in.Emit(KilowattHours(e1)).Kg() + in.Emit(KilowattHours(e2)).Kg()
+		return math.Abs(sum-parts) <= 1e-9*(1+math.Abs(sum))
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Power.Over commutes with scaling time.
+func TestPowerEnergyScaling(t *testing.T) {
+	if err := quick.Check(func(p, h float64) bool {
+		p = math.Mod(math.Abs(p), 1e4)
+		h = math.Mod(math.Abs(h), 1e5)
+		e1 := Watts(p).Over(Hours(2 * h)).KWh()
+		e2 := 2 * Watts(p).Over(Hours(h)).KWh()
+		return math.Abs(e1-e2) <= 1e-9*(1+math.Abs(e1))
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+// Package workload models the fixed-throughput use phase of §3.3 and
+// carries the NVIDIA DRIVE series data of Table 4 that the §5 case studies
+// evaluate.
+//
+// The paper's autonomous-vehicle scenario: a DNN perception pipeline with a
+// fixed throughput requirement runs whenever the vehicle drives. The fleet
+// usage profile (driving hours per day, device lifetime) follows Sudhakar
+// et al. ("Data Centers on Wheels", the paper's [28]) — roughly an hour of
+// driving per day and a 10-year device life.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Workload is one fixed-throughput application profile (one k of Eq. 16).
+type Workload struct {
+	// Name identifies the workload in reports.
+	Name string
+	// Throughput is the fixed application requirement Th the design must
+	// sustain while active.
+	Throughput units.Throughput
+	// PeakThroughput is the chip's design capability, which sets the
+	// on-chip bandwidth a 2.5D split must replace (§3.4). Zero means
+	// "same as Throughput".
+	PeakThroughput units.Throughput
+	// ActiveHoursPerYear is the annual active (driving) time.
+	ActiveHoursPerYear float64
+	// LifetimeYears is the device life T_life the decision metrics
+	// compare against.
+	LifetimeYears float64
+}
+
+// Validate checks the profile.
+func (w Workload) Validate() error {
+	if w.Throughput <= 0 {
+		return fmt.Errorf("workload %q: non-positive throughput", w.Name)
+	}
+	if w.PeakThroughput < 0 {
+		return fmt.Errorf("workload %q: negative peak throughput", w.Name)
+	}
+	if w.PeakThroughput > 0 && w.PeakThroughput < w.Throughput {
+		return fmt.Errorf("workload %q: peak throughput %v below requirement %v",
+			w.Name, w.PeakThroughput, w.Throughput)
+	}
+	if w.ActiveHoursPerYear <= 0 || w.ActiveHoursPerYear > units.HoursPerYear {
+		return fmt.Errorf("workload %q: active hours %v outside (0, %v]",
+			w.Name, w.ActiveHoursPerYear, units.HoursPerYear)
+	}
+	if w.LifetimeYears <= 0 {
+		return fmt.Errorf("workload %q: non-positive lifetime", w.Name)
+	}
+	return nil
+}
+
+// Peak returns the chip-capability throughput, defaulting to the
+// application requirement.
+func (w Workload) Peak() units.Throughput {
+	if w.PeakThroughput > 0 {
+		return w.PeakThroughput
+	}
+	return w.Throughput
+}
+
+// ActivePerYear returns the annual active time.
+func (w Workload) ActivePerYear() units.Time {
+	return units.Hours(w.ActiveHoursPerYear)
+}
+
+// Lifetime returns the device lifetime.
+func (w Workload) Lifetime() units.Time {
+	return units.Years(w.LifetimeYears)
+}
+
+// AVPipeline returns the paper's autonomous-vehicle perception workload for
+// a chip with the given peak capability: a fixed ≈30 TOPS DNN pipeline, one
+// driving hour per day, 10-year device life (§5: "the average 10-year
+// lifetime of AV devices"). A chip whose capability is below the pipeline
+// requirement (PX2) runs the pipeline at its capability — the fixed-work
+// abstraction saturates the part.
+func AVPipeline(peak units.Throughput) Workload {
+	th := units.TOPS(30)
+	if peak > 0 && peak < th {
+		th = peak
+	}
+	return Workload{
+		Name:               "av-dnn-pipeline",
+		Throughput:         th,
+		PeakThroughput:     peak,
+		ActiveHoursPerYear: 365,
+		LifetimeYears:      10,
+	}
+}
+
+// DriveChip is one row of Table 4 (NVIDIA GPU DRIVE series).
+type DriveChip struct {
+	Name       string
+	ProcessNM  int
+	GatesB     float64          // gate count in billions
+	Efficiency units.Efficiency // TOPS/W
+	Year       int
+	PeakTOPS   float64 // peak compute capability (product specification)
+}
+
+// Gates returns the absolute gate count.
+func (d DriveChip) Gates() float64 { return d.GatesB * 1e9 }
+
+// Peak returns the chip's capability throughput.
+func (d DriveChip) Peak() units.Throughput { return units.TOPS(d.PeakTOPS) }
+
+// Workload returns the AV pipeline profile bound to this chip's capability.
+func (d DriveChip) Workload() Workload { return AVPipeline(d.Peak()) }
+
+// DriveSeries returns Table 4 with the product peak-TOPS capability added
+// from the vendor specifications (PX2 ≈24, XAVIER ≈30, ORIN ≈254,
+// THOR ≈2000 TOPS).
+func DriveSeries() []DriveChip {
+	return []DriveChip{
+		{Name: "PX2", ProcessNM: 16, GatesB: 15.3, Efficiency: units.TOPSPerWatt(0.75), Year: 2016, PeakTOPS: 24},
+		{Name: "XAVIER", ProcessNM: 12, GatesB: 21, Efficiency: units.TOPSPerWatt(1.0), Year: 2017, PeakTOPS: 30},
+		{Name: "ORIN", ProcessNM: 7, GatesB: 17, Efficiency: units.TOPSPerWatt(2.74), Year: 2019, PeakTOPS: 254},
+		{Name: "THOR", ProcessNM: 5, GatesB: 77, Efficiency: units.TOPSPerWatt(12.5), Year: 2022, PeakTOPS: 2000},
+	}
+}
+
+// DriveChipByName looks up a Table 4 chip.
+func DriveChipByName(name string) (DriveChip, error) {
+	for _, c := range DriveSeries() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return DriveChip{}, fmt.Errorf("workload: unknown DRIVE chip %q", name)
+}

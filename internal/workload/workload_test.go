@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// Table 4 of the paper, verbatim.
+func TestTable4DriveSpecs(t *testing.T) {
+	want := []struct {
+		name  string
+		nm    int
+		gates float64
+		eff   float64
+		year  int
+	}{
+		{"PX2", 16, 15.3, 0.75, 2016},
+		{"XAVIER", 12, 21, 1.0, 2017},
+		{"ORIN", 7, 17, 2.74, 2019},
+		{"THOR", 5, 77, 12.5, 2022},
+	}
+	series := DriveSeries()
+	if len(series) != len(want) {
+		t.Fatalf("DriveSeries has %d chips, want %d", len(series), len(want))
+	}
+	for i, w := range want {
+		c := series[i]
+		if c.Name != w.name || c.ProcessNM != w.nm || c.GatesB != w.gates ||
+			math.Abs(c.Efficiency.TOPSPerW()-w.eff) > 1e-9 || c.Year != w.year {
+			t.Errorf("row %d = %+v, want %+v", i, c, w)
+		}
+	}
+}
+
+// Table 4's trend: efficiency grows exponentially over generations while
+// the node shrinks.
+func TestDriveSeriesTrends(t *testing.T) {
+	s := DriveSeries()
+	for i := 1; i < len(s); i++ {
+		if s[i].Efficiency <= s[i-1].Efficiency {
+			t.Errorf("%s efficiency should exceed %s", s[i].Name, s[i-1].Name)
+		}
+		if s[i].ProcessNM >= s[i-1].ProcessNM {
+			t.Errorf("%s node should be more advanced than %s", s[i].Name, s[i-1].Name)
+		}
+		if s[i].Year <= s[i-1].Year {
+			t.Errorf("%s year should follow %s", s[i].Name, s[i-1].Name)
+		}
+		if s[i].PeakTOPS <= s[i-1].PeakTOPS {
+			t.Errorf("%s peak should exceed %s", s[i].Name, s[i-1].Name)
+		}
+	}
+}
+
+func TestDriveChipByName(t *testing.T) {
+	c, err := DriveChipByName("ORIN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Gates() != 17e9 {
+		t.Errorf("ORIN gates = %v, want 17e9", c.Gates())
+	}
+	if c.Peak().TOPS() != 254 {
+		t.Errorf("ORIN peak = %v, want 254 TOPS", c.Peak())
+	}
+	if _, err := DriveChipByName("HYPERION"); err == nil {
+		t.Error("unknown chip should error")
+	}
+}
+
+func TestAVPipelineProfile(t *testing.T) {
+	w := AVPipeline(units.TOPS(254))
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Throughput.TOPS() != 30 {
+		t.Errorf("AV pipeline throughput = %v, want 30 TOPS", w.Throughput)
+	}
+	if w.LifetimeYears != 10 {
+		t.Errorf("AV lifetime = %v, want the paper's 10 years", w.LifetimeYears)
+	}
+	if w.Peak().TOPS() != 254 {
+		t.Errorf("peak = %v, want 254", w.Peak())
+	}
+	if got := w.ActivePerYear().Hours(); got != 365 {
+		t.Errorf("active hours = %v, want 365 (1 h/day)", got)
+	}
+	if got := w.Lifetime().Years(); math.Abs(got-10) > 1e-9 {
+		t.Errorf("lifetime = %v years, want 10", got)
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	ok := Workload{Name: "w", Throughput: units.TOPS(10),
+		ActiveHoursPerYear: 100, LifetimeYears: 5}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid workload rejected: %v", err)
+	}
+	cases := []Workload{
+		{Name: "no-th", ActiveHoursPerYear: 100, LifetimeYears: 5},
+		{Name: "neg-peak", Throughput: units.TOPS(10), PeakThroughput: -1,
+			ActiveHoursPerYear: 100, LifetimeYears: 5},
+		{Name: "peak-below-req", Throughput: units.TOPS(10),
+			PeakThroughput: units.TOPS(5), ActiveHoursPerYear: 100, LifetimeYears: 5},
+		{Name: "no-hours", Throughput: units.TOPS(10), LifetimeYears: 5},
+		{Name: "too-many-hours", Throughput: units.TOPS(10),
+			ActiveHoursPerYear: 9000, LifetimeYears: 5},
+		{Name: "no-life", Throughput: units.TOPS(10), ActiveHoursPerYear: 100},
+	}
+	for _, w := range cases {
+		if err := w.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", w.Name)
+		}
+	}
+}
+
+func TestPeakDefaultsToThroughput(t *testing.T) {
+	w := Workload{Name: "w", Throughput: units.TOPS(10),
+		ActiveHoursPerYear: 100, LifetimeYears: 5}
+	if w.Peak() != w.Throughput {
+		t.Errorf("peak = %v, want throughput %v", w.Peak(), w.Throughput)
+	}
+}
+
+// PX2 cannot natively sustain the 30 TOPS pipeline (24 TOPS peak): the AV
+// profile clamps the requirement to the chip capability, so the workload
+// validates and the chip simply runs saturated.
+func TestPX2WorkloadClamped(t *testing.T) {
+	px2, _ := DriveChipByName("PX2")
+	w := px2.Workload()
+	if err := w.Validate(); err != nil {
+		t.Fatalf("PX2 workload should validate after clamping: %v", err)
+	}
+	if w.Throughput.TOPS() != 24 {
+		t.Errorf("PX2 pipeline throughput = %v, want clamped 24 TOPS", w.Throughput)
+	}
+	// Later chips keep the full 30 TOPS requirement.
+	orin, _ := DriveChipByName("ORIN")
+	if got := orin.Workload().Throughput.TOPS(); got != 30 {
+		t.Errorf("ORIN pipeline throughput = %v, want 30 TOPS", got)
+	}
+}

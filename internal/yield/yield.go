@@ -1,0 +1,247 @@
+// Package yield implements the paper's yield models: the negative-binomial
+// die/substrate yield of Eq. 15 and the stacking-yield compositions of
+// Table 3 that describe how individual process yields combine for
+// D2W/W2W 3D stacks and chip-first/chip-last 2.5D assemblies.
+//
+// The package is pure math: every process yield (die, bond, substrate) is a
+// parameter. The calibrated per-technology values live in internal/tech and
+// internal/bonding.
+package yield
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ic"
+	"repro/internal/units"
+)
+
+// Die implements Eq. 15, the negative-binomial yield model:
+//
+//	y = (1 + A·D0/α)^(−α)
+//
+// with A the die area, D0 the defect density (defects/cm²) and α the
+// process-complexity clustering parameter.
+func Die(area units.Area, d0PerCM2, alpha float64) (float64, error) {
+	if area <= 0 {
+		return 0, fmt.Errorf("yield: non-positive area %v", area)
+	}
+	if d0PerCM2 < 0 {
+		return 0, fmt.Errorf("yield: negative defect density %v", d0PerCM2)
+	}
+	if alpha <= 0 {
+		return 0, fmt.Errorf("yield: non-positive clustering alpha %v", alpha)
+	}
+	return math.Pow(1+area.CM2()*d0PerCM2/alpha, -alpha), nil
+}
+
+// MustDie is Die for statically-valid inputs; it panics on error.
+func MustDie(area units.Area, d0PerCM2, alpha float64) float64 {
+	y, err := Die(area, d0PerCM2, alpha)
+	if err != nil {
+		panic(err)
+	}
+	return y
+}
+
+// Stack3D composes the per-process yields of an N-die 3D stack according to
+// Table 3. DieYields[i] is the intrinsic (pre-stacking) yield of die i+1;
+// BondYield is the per-operation yield of the chosen bonding method and
+// flow. Dies are indexed bottom-up: die 1 is bonded first.
+type Stack3D struct {
+	DieYields []float64
+	BondYield float64
+	Flow      ic.BondFlow
+}
+
+func (s Stack3D) validate() error {
+	if len(s.DieYields) < 2 {
+		return fmt.Errorf("yield: 3D stack needs ≥2 dies, have %d", len(s.DieYields))
+	}
+	for i, y := range s.DieYields {
+		if y <= 0 || y > 1 {
+			return fmt.Errorf("yield: die %d yield %v outside (0,1]", i+1, y)
+		}
+	}
+	if s.BondYield <= 0 || s.BondYield > 1 {
+		return fmt.Errorf("yield: bond yield %v outside (0,1]", s.BondYield)
+	}
+	if !s.Flow.Valid() {
+		return fmt.Errorf("yield: unknown bond flow %q", s.Flow)
+	}
+	return nil
+}
+
+// DieEffective returns Y_die_i of Table 3: the effective yield dividing
+// die i's manufacturing carbon in Eq. 4. i is 1-based.
+//
+//	D2W: y_die_i · y_bond^(N−i)   (known-good dies; each later bonding
+//	                               operation can still destroy the die)
+//	W2W: Π_j y_die_j · y_bond^(N−1) (wafers bond blind: every die shares
+//	                               the whole stack's fate)
+func (s Stack3D) DieEffective(i int) (float64, error) {
+	if err := s.validate(); err != nil {
+		return 0, err
+	}
+	n := len(s.DieYields)
+	if i < 1 || i > n {
+		return 0, fmt.Errorf("yield: die index %d outside 1..%d", i, n)
+	}
+	switch s.Flow {
+	case ic.D2W:
+		return s.DieYields[i-1] * math.Pow(s.BondYield, float64(n-i)), nil
+	case ic.W2W:
+		p := math.Pow(s.BondYield, float64(n-1))
+		for _, y := range s.DieYields {
+			p *= y
+		}
+		return p, nil
+	}
+	return 0, fmt.Errorf("yield: unknown bond flow %q", s.Flow)
+}
+
+// BondingEffective returns Y_bonding_i of Table 3: the effective yield
+// dividing bonding operation i's carbon in Eq. 11. i is 1-based and ranges
+// over the N−1 bonding operations.
+//
+//	D2W: y_bond^(N−i)
+//	W2W: Π_j y_die_j · y_bond^(N−1)
+func (s Stack3D) BondingEffective(i int) (float64, error) {
+	if err := s.validate(); err != nil {
+		return 0, err
+	}
+	n := len(s.DieYields)
+	if i < 1 || i > n-1 {
+		return 0, fmt.Errorf("yield: bonding index %d outside 1..%d", i, n-1)
+	}
+	switch s.Flow {
+	case ic.D2W:
+		return math.Pow(s.BondYield, float64(n-i)), nil
+	case ic.W2W:
+		p := math.Pow(s.BondYield, float64(n-1))
+		for _, y := range s.DieYields {
+			p *= y
+		}
+		return p, nil
+	}
+	return 0, fmt.Errorf("yield: unknown bond flow %q", s.Flow)
+}
+
+// StackYield returns the compound probability that the completed stack is
+// good: all dies good and all bonds good. It is the same for D2W and W2W —
+// the flows differ in *whose carbon is wasted* when something fails (the
+// Table 3 divisors), not in the final-good probability of one assembly.
+func (s Stack3D) StackYield() (float64, error) {
+	if err := s.validate(); err != nil {
+		return 0, err
+	}
+	p := math.Pow(s.BondYield, float64(len(s.DieYields)-1))
+	for _, y := range s.DieYields {
+		p *= y
+	}
+	return p, nil
+}
+
+// Assembly25D composes the per-process yields of a 2.5D assembly according
+// to Table 3's chip-first/chip-last rows. DieYields[i] is die i+1's
+// intrinsic yield, SubstrateYield the interposer/RDL substrate yield and
+// BondYields[i] the yield of attaching die i+1 (chip-last flows).
+type Assembly25D struct {
+	DieYields      []float64
+	SubstrateYield float64
+	BondYields     []float64
+	Order          ic.AttachOrder
+}
+
+func (a Assembly25D) validate() error {
+	if len(a.DieYields) < 2 {
+		return fmt.Errorf("yield: 2.5D assembly needs ≥2 dies, have %d", len(a.DieYields))
+	}
+	for i, y := range a.DieYields {
+		if y <= 0 || y > 1 {
+			return fmt.Errorf("yield: die %d yield %v outside (0,1]", i+1, y)
+		}
+	}
+	if a.SubstrateYield <= 0 || a.SubstrateYield > 1 {
+		return fmt.Errorf("yield: substrate yield %v outside (0,1]", a.SubstrateYield)
+	}
+	if !a.Order.Valid() {
+		return fmt.Errorf("yield: unknown attach order %q", a.Order)
+	}
+	if a.Order == ic.ChipLast {
+		if len(a.BondYields) != len(a.DieYields) {
+			return fmt.Errorf("yield: chip-last needs one bond yield per die (%d != %d)",
+				len(a.BondYields), len(a.DieYields))
+		}
+		for i, y := range a.BondYields {
+			if y <= 0 || y > 1 {
+				return fmt.Errorf("yield: bond %d yield %v outside (0,1]", i+1, y)
+			}
+		}
+	}
+	return nil
+}
+
+// bondProduct is Π_j y_bonding_j over all die attachments.
+func (a Assembly25D) bondProduct() float64 {
+	p := 1.0
+	for _, y := range a.BondYields {
+		p *= y
+	}
+	return p
+}
+
+// DieEffective returns Y_die_i of Table 3's 2.5D rows (1-based):
+//
+//	chip-first: y_die_i · y_substrate   (dies are embedded before the
+//	            substrate is completed; a bad substrate wastes the die)
+//	chip-last:  y_die_i · Π_j y_bonding_j (known-good substrate; every
+//	            attach operation can waste the whole assembly)
+func (a Assembly25D) DieEffective(i int) (float64, error) {
+	if err := a.validate(); err != nil {
+		return 0, err
+	}
+	if i < 1 || i > len(a.DieYields) {
+		return 0, fmt.Errorf("yield: die index %d outside 1..%d", i, len(a.DieYields))
+	}
+	switch a.Order {
+	case ic.ChipFirst:
+		return a.DieYields[i-1] * a.SubstrateYield, nil
+	case ic.ChipLast:
+		return a.DieYields[i-1] * a.bondProduct(), nil
+	}
+	return 0, fmt.Errorf("yield: unknown attach order %q", a.Order)
+}
+
+// SubstrateEffective returns Y_substrate of Table 3's 2.5D rows:
+//
+//	chip-first: y_substrate
+//	chip-last:  y_substrate · Π_j y_bonding_j
+func (a Assembly25D) SubstrateEffective() (float64, error) {
+	if err := a.validate(); err != nil {
+		return 0, err
+	}
+	switch a.Order {
+	case ic.ChipFirst:
+		return a.SubstrateYield, nil
+	case ic.ChipLast:
+		return a.SubstrateYield * a.bondProduct(), nil
+	}
+	return 0, fmt.Errorf("yield: unknown attach order %q", a.Order)
+}
+
+// BondingEffective returns Y_bonding_i of Table 3's 2.5D rows: 1 for
+// chip-first (the attach risk is folded into the substrate completion) and
+// Π_j y_bonding_j for chip-last.
+func (a Assembly25D) BondingEffective() (float64, error) {
+	if err := a.validate(); err != nil {
+		return 0, err
+	}
+	switch a.Order {
+	case ic.ChipFirst:
+		return 1, nil
+	case ic.ChipLast:
+		return a.bondProduct(), nil
+	}
+	return 0, fmt.Errorf("yield: unknown attach order %q", a.Order)
+}

@@ -1,0 +1,323 @@
+package yield
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ic"
+	"repro/internal/units"
+)
+
+func TestDieKnownValues(t *testing.T) {
+	// Lakefield calibration anchors (§4.2 of the paper): the 82.5 mm²
+	// 7 nm logic die yields 89.3 % with D0 = 0.138/cm², α = 10.
+	y, err := Die(units.SquareMillimeters(82.5), 0.138, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y-0.893) > 0.001 {
+		t.Errorf("7 nm Lakefield logic yield = %.4f, want 0.893", y)
+	}
+	// Zero defects: perfect yield.
+	y, err = Die(units.SquareMillimeters(500), 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y != 1 {
+		t.Errorf("zero-defect yield = %v, want 1", y)
+	}
+}
+
+func TestDieErrors(t *testing.T) {
+	if _, err := Die(0, 0.1, 10); err == nil {
+		t.Error("zero area should error")
+	}
+	if _, err := Die(units.SquareMillimeters(10), -1, 10); err == nil {
+		t.Error("negative D0 should error")
+	}
+	if _, err := Die(units.SquareMillimeters(10), 0.1, 0); err == nil {
+		t.Error("zero alpha should error")
+	}
+}
+
+func TestMustDiePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustDie should panic on invalid input")
+		}
+	}()
+	MustDie(0, 0.1, 10)
+}
+
+// Property: yield is in (0,1], decreases with area and with defect density.
+func TestDieMonotonicity(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 400}
+	if err := quick.Check(func(a, d float64) bool {
+		a = 1 + math.Mod(math.Abs(a), 800)
+		d = math.Mod(math.Abs(d), 0.5)
+		y1 := MustDie(units.SquareMillimeters(a), d, 10)
+		y2 := MustDie(units.SquareMillimeters(a*1.5), d, 10)
+		y3 := MustDie(units.SquareMillimeters(a), d+0.05, 10)
+		return y1 > 0 && y1 <= 1 && y2 <= y1 && y3 <= y1
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the negative-binomial model approaches the Poisson model
+// e^(−A·D0) as alpha grows.
+func TestDiePoissonLimit(t *testing.T) {
+	area := units.SquareMillimeters(200)
+	d0 := 0.15
+	poisson := math.Exp(-area.CM2() * d0)
+	nb := MustDie(area, d0, 1e6)
+	if math.Abs(nb-poisson) > 1e-4 {
+		t.Errorf("large-alpha NB = %v, Poisson = %v", nb, poisson)
+	}
+}
+
+func lakefieldStack(flow ic.BondFlow) Stack3D {
+	// Die 1 = 14 nm base/memory die (intrinsic 0.920), die 2 = 7 nm
+	// logic die (intrinsic 0.893); hybrid bonding.
+	bond := 0.9609
+	if flow == ic.W2W {
+		bond = 0.9701
+	}
+	return Stack3D{
+		DieYields: []float64{0.920, 0.893},
+		BondYield: bond,
+		Flow:      flow,
+	}
+}
+
+// §4.2: "the logic die yield in D2W is 89.3%, the memory die is 88.4%,
+// whereas in W2W, both dies have a yield of 79.7%."
+func TestTable3LakefieldYields(t *testing.T) {
+	d2w := lakefieldStack(ic.D2W)
+	logic, err := d2w.DieEffective(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(logic-0.893) > 0.001 {
+		t.Errorf("D2W logic die effective yield = %.4f, want 0.893", logic)
+	}
+	mem, err := d2w.DieEffective(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mem-0.884) > 0.001 {
+		t.Errorf("D2W memory die effective yield = %.4f, want 0.884", mem)
+	}
+
+	w2w := lakefieldStack(ic.W2W)
+	for i := 1; i <= 2; i++ {
+		y, err := w2w.DieEffective(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(y-0.797) > 0.001 {
+			t.Errorf("W2W die %d effective yield = %.4f, want 0.797", i, y)
+		}
+	}
+}
+
+func TestTable3D2WFormulas(t *testing.T) {
+	s := Stack3D{DieYields: []float64{0.9, 0.8, 0.7}, BondYield: 0.95, Flow: ic.D2W}
+	// Die 1 survives 2 later bonds, die 3 none.
+	cases := []struct {
+		i    int
+		want float64
+	}{
+		{1, 0.9 * 0.95 * 0.95},
+		{2, 0.8 * 0.95},
+		{3, 0.7},
+	}
+	for _, c := range cases {
+		got, err := s.DieEffective(c.i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("D2W die %d = %v, want %v", c.i, got, c.want)
+		}
+	}
+	// Bonding op 1 survives the op itself plus the one after: y^2.
+	b1, err := s.BondingEffective(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b1-0.95*0.95) > 1e-12 {
+		t.Errorf("D2W bonding 1 = %v, want %v", b1, 0.95*0.95)
+	}
+	b2, _ := s.BondingEffective(2)
+	if math.Abs(b2-0.95) > 1e-12 {
+		t.Errorf("D2W bonding 2 = %v, want %v", b2, 0.95)
+	}
+}
+
+func TestTable3W2WFormulas(t *testing.T) {
+	s := Stack3D{DieYields: []float64{0.9, 0.8}, BondYield: 0.97, Flow: ic.W2W}
+	want := 0.9 * 0.8 * 0.97
+	for i := 1; i <= 2; i++ {
+		got, err := s.DieEffective(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("W2W die %d = %v, want %v", i, got, want)
+		}
+	}
+	b, err := s.BondingEffective(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b-want) > 1e-12 {
+		t.Errorf("W2W bonding = %v, want %v", b, want)
+	}
+}
+
+// The paper's D2W-vs-W2W discussion: D2W has lower bonding yield but higher
+// per-die yields because known-good dies are culled before stacking. With
+// the Lakefield calibration, every D2W die effective yield must exceed the
+// W2W one.
+func TestD2WBeatsW2WPerDie(t *testing.T) {
+	d2w, w2w := lakefieldStack(ic.D2W), lakefieldStack(ic.W2W)
+	for i := 1; i <= 2; i++ {
+		yd, _ := d2w.DieEffective(i)
+		yw, _ := w2w.DieEffective(i)
+		if yd <= yw {
+			t.Errorf("die %d: D2W %v should beat W2W %v", i, yd, yw)
+		}
+	}
+}
+
+func TestStackYield(t *testing.T) {
+	s := Stack3D{DieYields: []float64{0.9, 0.8}, BondYield: 0.95, Flow: ic.D2W}
+	got, err := s.StackYield()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.9 * 0.8 * 0.95; math.Abs(got-want) > 1e-12 {
+		t.Errorf("stack yield = %v, want %v", got, want)
+	}
+	// Final-good probability is flow-independent.
+	s.Flow = ic.W2W
+	got2, _ := s.StackYield()
+	if got2 != got {
+		t.Errorf("stack yield should not depend on flow: %v vs %v", got, got2)
+	}
+}
+
+func TestStack3DValidation(t *testing.T) {
+	bad := []Stack3D{
+		{DieYields: []float64{0.9}, BondYield: 0.9, Flow: ic.D2W},
+		{DieYields: []float64{0.9, 1.2}, BondYield: 0.9, Flow: ic.D2W},
+		{DieYields: []float64{0.9, 0.9}, BondYield: 0, Flow: ic.D2W},
+		{DieYields: []float64{0.9, 0.9}, BondYield: 0.9, Flow: "sideways"},
+	}
+	for i, s := range bad {
+		if _, err := s.DieEffective(1); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	ok := Stack3D{DieYields: []float64{0.9, 0.9}, BondYield: 0.9, Flow: ic.D2W}
+	if _, err := ok.DieEffective(3); err == nil {
+		t.Error("out-of-range die index should error")
+	}
+	if _, err := ok.BondingEffective(2); err == nil {
+		t.Error("out-of-range bonding index should error")
+	}
+}
+
+func TestTable3ChipFirst(t *testing.T) {
+	a := Assembly25D{
+		DieYields:      []float64{0.9, 0.8},
+		SubstrateYield: 0.95,
+		Order:          ic.ChipFirst,
+	}
+	y1, err := a.DieEffective(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.9 * 0.95; math.Abs(y1-want) > 1e-12 {
+		t.Errorf("chip-first die 1 = %v, want %v", y1, want)
+	}
+	sub, _ := a.SubstrateEffective()
+	if math.Abs(sub-0.95) > 1e-12 {
+		t.Errorf("chip-first substrate = %v, want 0.95", sub)
+	}
+	b, _ := a.BondingEffective()
+	if b != 1 {
+		t.Errorf("chip-first bonding = %v, want 1", b)
+	}
+}
+
+func TestTable3ChipLast(t *testing.T) {
+	a := Assembly25D{
+		DieYields:      []float64{0.9, 0.8},
+		SubstrateYield: 0.95,
+		BondYields:     []float64{0.99, 0.98},
+		Order:          ic.ChipLast,
+	}
+	prod := 0.99 * 0.98
+	y2, err := a.DieEffective(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.8 * prod; math.Abs(y2-want) > 1e-12 {
+		t.Errorf("chip-last die 2 = %v, want %v", y2, want)
+	}
+	sub, _ := a.SubstrateEffective()
+	if want := 0.95 * prod; math.Abs(sub-want) > 1e-12 {
+		t.Errorf("chip-last substrate = %v, want %v", sub, want)
+	}
+	b, _ := a.BondingEffective()
+	if math.Abs(b-prod) > 1e-12 {
+		t.Errorf("chip-last bonding = %v, want %v", b, prod)
+	}
+}
+
+func TestAssembly25DValidation(t *testing.T) {
+	bad := []Assembly25D{
+		{DieYields: []float64{0.9}, SubstrateYield: 0.9, Order: ic.ChipFirst},
+		{DieYields: []float64{0.9, 0.9}, SubstrateYield: 0, Order: ic.ChipFirst},
+		{DieYields: []float64{0.9, 0.9}, SubstrateYield: 0.9, Order: ic.ChipLast,
+			BondYields: []float64{0.9}}, // wrong bond count
+		{DieYields: []float64{0.9, 0.9}, SubstrateYield: 0.9, Order: "chip-middle"},
+	}
+	for i, a := range bad {
+		if _, err := a.DieEffective(1); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+// Property: every effective yield in a valid configuration stays in (0,1],
+// and adding more dies to a D2W stack never raises die 1's effective yield.
+func TestEffectiveYieldBounds(t *testing.T) {
+	if err := quick.Check(func(y1, y2, yb float64) bool {
+		clamp := func(v float64) float64 { return 0.5 + math.Mod(math.Abs(v), 0.5) }
+		s := Stack3D{
+			DieYields: []float64{clamp(y1), clamp(y2)},
+			BondYield: clamp(yb),
+			Flow:      ic.D2W,
+		}
+		e1, err := s.DieEffective(1)
+		if err != nil {
+			return false
+		}
+		s3 := Stack3D{
+			DieYields: []float64{clamp(y1), clamp(y2), clamp(y2)},
+			BondYield: clamp(yb),
+			Flow:      ic.D2W,
+		}
+		e1tall, err := s3.DieEffective(1)
+		if err != nil {
+			return false
+		}
+		return e1 > 0 && e1 <= 1 && e1tall <= e1+1e-15
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
