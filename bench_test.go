@@ -7,11 +7,15 @@ package carbon3d
 // records.
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"repro/internal/casestudy"
 	"repro/internal/core"
 	"repro/internal/design"
+	"repro/internal/explore"
+	"repro/internal/grid"
 	"repro/internal/ic"
 	"repro/internal/split"
 	"repro/internal/units"
@@ -216,6 +220,64 @@ func BenchmarkYieldModel(b *testing.B) {
 		sink += y
 	}
 	b.ReportMetric(sink/float64(b.N), "yield")
+}
+
+// exploreBenchSpace is the ≥500-candidate design space the exploration
+// benchmarks evaluate (540 candidates; see internal/explore/bench_test.go
+// for the per-worker scaling curve).
+func exploreBenchSpace() explore.Space {
+	return explore.Space{
+		Name:         "bench",
+		Strategies:   []split.Strategy{split.HomogeneousStrategy, split.HeterogeneousStrategy},
+		NodesNM:      []int{5, 7, 10, 14},
+		Gates:        []float64{5e9, 17e9, 35e9},
+		UseLocations: []grid.Location{grid.USA, grid.Europe, grid.India},
+	}
+}
+
+// BenchmarkExploreSerial is the pre-engine reference path: every candidate
+// evaluated one-by-one with direct model calls, the way the seed's sweep
+// loops worked (no memoization, no concurrency).
+func BenchmarkExploreSerial(b *testing.B) {
+	m := core.Default()
+	cands, err := exploreBenchSpace().Enumerate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(cands)), "candidates")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cands {
+			if _, err := m.Total(c.Design, c.Workload, c.Eff); err != nil {
+				continue
+			}
+		}
+	}
+}
+
+// BenchmarkExploreParallel evaluates the same space on the exploration
+// engine with all CPUs; the speedup over BenchmarkExploreSerial combines
+// worker-pool parallelism with memoized shared sub-evaluations.
+func BenchmarkExploreParallel(b *testing.B) {
+	s := exploreBenchSpace()
+	cands, err := s.Enumerate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var results []explore.Result
+	b.ReportMetric(float64(runtime.NumCPU()), "cpus")
+	b.ReportMetric(float64(len(cands)), "candidates")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := explore.New(core.Default())
+		results, err = e.Evaluate(context.Background(), cands)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	rs := &explore.ResultSet{Space: s, Results: results}
+	b.ReportMetric(float64(len(rs.Frontier())), "frontier_points")
 }
 
 // BenchmarkDesignJSONRoundTrip measures design serialisation (CLI path).

@@ -28,9 +28,12 @@
 package carbon3d
 
 import (
+	"context"
+
 	"repro/internal/bandwidth"
 	"repro/internal/core"
 	"repro/internal/design"
+	"repro/internal/explore"
 	"repro/internal/grid"
 	"repro/internal/ic"
 	"repro/internal/lifecycle"
@@ -177,6 +180,38 @@ type BandwidthConstraint = bandwidth.Constraint
 // DefaultBandwidthConstraint returns the MCM-GPU-anchored constraint.
 func DefaultBandwidthConstraint() BandwidthConstraint {
 	return bandwidth.DefaultConstraint()
+}
+
+// Design-space exploration (internal/explore): enumerate candidate designs
+// over the axes the paper varies, evaluate them concurrently with
+// memoization, and report rankings, the Pareto frontier and the Eq. 2
+// verdicts.
+type (
+	// Space is a compact design-space specification; zero-value axes fall
+	// back to the ORIN-class defaults.
+	Space = explore.Space
+	// Frontier is the Pareto-optimal subset of an evaluated space on the
+	// (embodied, operational) carbon plane.
+	Frontier = explore.Frontier
+	// Exploration is an evaluated design space.
+	Exploration = explore.ResultSet
+	// ExploreEngine is the concurrent, memoizing evaluator; construct with
+	// NewExploreEngine to share a cache across related studies.
+	ExploreEngine = explore.Engine
+	// ExploreResult is one evaluated candidate.
+	ExploreResult = explore.Result
+	// ExploreCandidate is one design point of an exploration.
+	ExploreCandidate = explore.Candidate
+)
+
+// NewExploreEngine returns a concurrent design-space evaluator over a model.
+func NewExploreEngine(m *Model) *ExploreEngine { return explore.New(m) }
+
+// Explore enumerates and concurrently evaluates a design space with the
+// default model, returning ranked results, Pareto frontiers and decision
+// verdicts through the returned Exploration.
+func Explore(ctx context.Context, s Space) (*Exploration, error) {
+	return explore.New(core.Default()).Explore(ctx, s)
 }
 
 // LifecyclePhases is the full Fig. 1 lifecycle breakdown (manufacturing,

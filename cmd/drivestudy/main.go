@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/casestudy"
 	"repro/internal/core"
+	"repro/internal/explore"
 	"repro/internal/report"
 	"repro/internal/split"
 )
@@ -26,14 +27,18 @@ func main() {
 	chart := flag.Bool("chart", false, "render Fig. 5 as ASCII stacked bars")
 	flag.Parse()
 
-	m := core.Default()
-	if err := run(m, *mode, *table5, *csv, *chart); err != nil {
+	e := explore.New(core.Default())
+	if err := run(e, *mode, *table5, *csv, *chart); err != nil {
 		fmt.Fprintln(os.Stderr, "drivestudy:", err)
 		os.Exit(1)
 	}
 }
 
-func run(m *core.Model, mode string, table5, csv, chart bool) error {
+// run drives every requested study through one shared exploration engine,
+// so the strategy-independent evaluations (the 2D bars of Fig. 5(a)/(b),
+// the Table 5 baseline) are computed once and the rest fan out over the
+// worker pool.
+func run(e *explore.Engine, mode string, table5, csv, chart bool) error {
 	var strategies []split.Strategy
 	switch mode {
 	case "homogeneous":
@@ -47,7 +52,7 @@ func run(m *core.Model, mode string, table5, csv, chart bool) error {
 	}
 
 	for _, s := range strategies {
-		rows, err := casestudy.RunFig5(m, s)
+		rows, err := casestudy.RunFig5On(e, s)
 		if err != nil {
 			return err
 		}
@@ -66,7 +71,7 @@ func run(m *core.Model, mode string, table5, csv, chart bool) error {
 	}
 
 	if table5 {
-		rows, err := casestudy.RunTable5(m)
+		rows, err := casestudy.RunTable5On(e)
 		if err != nil {
 			return err
 		}

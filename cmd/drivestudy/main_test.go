@@ -4,22 +4,37 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/explore"
 )
 
 func TestRunModes(t *testing.T) {
-	m := core.Default()
+	e := explore.New(core.Default())
 	for _, mode := range []string{"homogeneous", "heterogeneous", "both"} {
-		if err := run(m, mode, true, false, false); err != nil {
+		if err := run(e, mode, true, false, false); err != nil {
 			t.Fatalf("mode %s: %v", mode, err)
 		}
 	}
-	if err := run(m, "homogeneous", false, true, false); err != nil {
+	if err := run(e, "homogeneous", false, true, false); err != nil {
 		t.Fatalf("csv: %v", err)
 	}
-	if err := run(m, "homogeneous", false, false, true); err != nil {
+	if err := run(e, "homogeneous", false, false, true); err != nil {
 		t.Fatalf("chart: %v", err)
 	}
-	if err := run(m, "diagonal", false, false, false); err == nil {
+	if err := run(e, "diagonal", false, false, false); err == nil {
 		t.Error("unknown mode should error")
+	}
+}
+
+// A shared engine across both strategies must answer the repeated
+// evaluations (the 2D bars, the Table 5 baseline and candidates already
+// computed for Fig. 5) from its cache.
+func TestSharedEngineReusesEvaluations(t *testing.T) {
+	e := explore.New(core.Default())
+	if err := run(e, "both", true, false, false); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.CacheHits == 0 {
+		t.Error("expected cache hits across strategies, got none")
 	}
 }

@@ -1,0 +1,208 @@
+// Command explore runs a design-space exploration: it enumerates candidate
+// designs over integration technology, die-division strategy, process node,
+// design size, fab/use grid location and device lifetime, evaluates them
+// concurrently on the internal/explore engine, and prints the lowest-carbon
+// candidates plus the embodied-vs-operational Pareto frontier with the
+// Eq. 2 choosing/replacing verdict of every candidate against its 2D
+// baseline.
+//
+// Usage:
+//
+//	explore [-nodes 7] [-gates 17e9] [-integrations all] [-strategies homogeneous]
+//	        [-fab taiwan] [-use usa] [-lifetimes 10] [-peak 254] [-eff 2.74]
+//	        [-top 15] [-workers 0] [-format table|csv]
+//
+// List-valued flags take comma-separated values, e.g.
+//
+//	explore -nodes 5,7,14 -gates 17e9,35e9 -strategies homogeneous,heterogeneous \
+//	        -use usa,europe,india -top 10
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/grid"
+	"repro/internal/ic"
+	"repro/internal/split"
+)
+
+func main() {
+	nodes := flag.String("nodes", "7", "comma-separated process nodes (nm)")
+	gates := flag.String("gates", "17e9", "comma-separated design gate counts")
+	integrations := flag.String("integrations", "all", `comma-separated integration technologies, or "all"`)
+	strategies := flag.String("strategies", "homogeneous", "comma-separated die-division strategies (homogeneous, heterogeneous)")
+	fabs := flag.String("fab", "taiwan", "comma-separated fab grid locations")
+	uses := flag.String("use", "usa", "comma-separated use grid locations")
+	lifetimes := flag.String("lifetimes", "10", "comma-separated device lifetimes (years)")
+	peak := flag.Float64("peak", 254, "chip peak capability (TOPS)")
+	eff := flag.Float64("eff", 2.74, "surveyed chip efficiency (TOPS/W)")
+	top := flag.Int("top", 15, "ranked candidates to print (0 = all)")
+	workers := flag.Int("workers", 0, "evaluation workers (0 = all CPUs)")
+	format := flag.String("format", "table", "output format: table or csv")
+	flag.Parse()
+
+	if err := run(*nodes, *gates, *integrations, *strategies, *fabs, *uses,
+		*lifetimes, *peak, *eff, *top, *workers, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "explore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(nodes, gates, integrations, strategies, fabs, uses, lifetimes string,
+	peak, eff float64, top, workers int, format string) error {
+	csv := false
+	switch format {
+	case "table":
+	case "csv":
+		csv = true
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+
+	space, err := buildSpace(nodes, gates, integrations, strategies, fabs, uses,
+		lifetimes, peak, eff)
+	if err != nil {
+		return err
+	}
+
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	e := explore.New(core.Default())
+	e.Workers = workers
+	start := time.Now()
+	rs, err := e.Explore(context.Background(), *space)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	frontier := rs.Frontier()
+	if !csv {
+		fmt.Printf("Explored %s in %v (%d workers)\n\n",
+			rs.Summary(e.Stats()), elapsed.Round(time.Millisecond), e.Workers)
+		fmt.Printf("Lowest life-cycle carbon (top %d of %d)\n\n", top, len(rs.OK()))
+	}
+	emit(rs.Table(top), csv)
+	fmt.Println()
+	if !csv {
+		fmt.Printf("Pareto frontier — embodied vs operational carbon (%d point(s))\n\n", len(frontier))
+	}
+	emit(frontier.Table(), csv)
+	if failed := rs.Failed(); len(failed) > 0 && !csv {
+		fmt.Printf("\n%d candidates not buildable:\n", len(failed))
+		for _, r := range failed {
+			fmt.Printf("  %s: %v\n", r.Candidate.ID, r.Err)
+		}
+	}
+	return nil
+}
+
+func buildSpace(nodes, gates, integrations, strategies, fabs, uses, lifetimes string,
+	peak, eff float64) (*explore.Space, error) {
+	s := &explore.Space{Name: "explore", PeakTOPS: peak, EfficiencyTOPSW: eff}
+
+	nodeList, err := parseInts(nodes)
+	if err != nil {
+		return nil, fmt.Errorf("-nodes: %w", err)
+	}
+	s.NodesNM = nodeList
+
+	gateList, err := parseFloats(gates)
+	if err != nil {
+		return nil, fmt.Errorf("-gates: %w", err)
+	}
+	s.Gates = gateList
+
+	if integrations != "" && integrations != "all" {
+		for _, v := range splitList(integrations) {
+			integ := ic.Integration(v)
+			if !integ.Valid() {
+				return nil, fmt.Errorf("-integrations: unknown technology %q", v)
+			}
+			s.Integrations = append(s.Integrations, integ)
+		}
+	}
+
+	for _, v := range splitList(strategies) {
+		switch strat := split.Strategy(v); strat {
+		case split.HomogeneousStrategy, split.HeterogeneousStrategy:
+			s.Strategies = append(s.Strategies, strat)
+		default:
+			return nil, fmt.Errorf("-strategies: unknown strategy %q", v)
+		}
+	}
+
+	for _, v := range splitList(fabs) {
+		loc := grid.Location(v)
+		if _, err := grid.Intensity(loc); err != nil {
+			return nil, fmt.Errorf("-fab: %w", err)
+		}
+		s.FabLocations = append(s.FabLocations, loc)
+	}
+	for _, v := range splitList(uses) {
+		loc := grid.Location(v)
+		if _, err := grid.Intensity(loc); err != nil {
+			return nil, fmt.Errorf("-use: %w", err)
+		}
+		s.UseLocations = append(s.UseLocations, loc)
+	}
+
+	lifeList, err := parseFloats(lifetimes)
+	if err != nil {
+		return nil, fmt.Errorf("-lifetimes: %w", err)
+	}
+	s.LifetimeYears = lifeList
+	return s, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, v := range splitList(s) {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, v := range splitList(s) {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func emit(t interface{ String() string; CSV() string }, csv bool) {
+	if csv {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Print(t.String())
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestRunSmallSpace(t *testing.T) {
+	err := run("7", "17e9", "all", "homogeneous,heterogeneous", "taiwan", "usa",
+		"10", 254, 2.74, 5, 2, "table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = run("7", "17e9", "2D,hybrid-3d,emib", "homogeneous", "taiwan", "usa,norway",
+		"10", 254, 2.74, 0, 1, "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name                                  string
+		nodes, integ, strat, fab, use, format string
+	}{
+		{"bad node", "seven", "all", "homogeneous", "taiwan", "usa", "table"},
+		{"bad integration", "7", "4d", "homogeneous", "taiwan", "usa", "table"},
+		{"bad strategy", "7", "all", "diagonal", "taiwan", "usa", "table"},
+		{"bad fab", "7", "all", "homogeneous", "atlantis", "usa", "table"},
+		{"bad format", "7", "all", "homogeneous", "taiwan", "usa", "xml"},
+	}
+	for _, c := range cases {
+		err := run(c.nodes, "17e9", c.integ, c.strat, c.fab, c.use, "10",
+			254, 2.74, 5, 1, c.format)
+		if err == nil {
+			t.Errorf("%s: expected an error", c.name)
+		}
+	}
+}

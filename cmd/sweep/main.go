@@ -2,6 +2,12 @@
 // CSV series for plotting — the sensitivity companion to the paper's case
 // studies.
 //
+// The design-grid sweeps (node, gates, ci, lifetime) fan their candidate
+// designs out over the internal/explore engine: evaluations run on a worker
+// pool and shared sub-evaluations (the 2D baselines of the lifetime sweep)
+// come from its memoization cache. The CSV output is unchanged from the
+// serial implementation.
+//
 // Supported sweeps:
 //
 //	-sweep node       embodied carbon of a fixed-gate-count chip across nodes
@@ -17,12 +23,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/bandwidth"
 	"repro/internal/core"
+	"repro/internal/explore"
 	"repro/internal/grid"
 	"repro/internal/ic"
 	"repro/internal/report"
@@ -38,17 +46,17 @@ func main() {
 	gates := flag.Float64("gates", 17e9, "design gate count")
 	flag.Parse()
 
-	m := core.Default()
+	e := explore.New(core.Default())
 	var err error
 	switch *which {
 	case "node":
-		err = sweepNode(m, *gates)
+		err = sweepNode(e, *gates)
 	case "gates":
-		err = sweepGates(m)
+		err = sweepGates(e)
 	case "ci":
-		err = sweepCI(m, *gates)
+		err = sweepCI(e, *gates)
 	case "lifetime":
-		err = sweepLifetime(m, *gates)
+		err = sweepLifetime(e, *gates)
 	case "bandwidth":
 		err = sweepBandwidth()
 	case "tornado":
@@ -62,24 +70,48 @@ func main() {
 	}
 }
 
-func sweepNode(m *core.Model, gates float64) error {
-	t := report.NewTable("node_nm", "embodied_2d_kg", "embodied_hybrid_kg", "embodied_m3d_kg")
-	for _, nm := range tech.Processes() {
-		chip := split.Chip{Name: "sweep", ProcessNM: nm, Gates: gates}
-		row := []string{fmt.Sprintf("%d", nm)}
-		for _, integ := range []ic.Integration{ic.Mono2D, ic.Hybrid3D, ic.Monolithic3D} {
+// embodiedGrid builds the embodied-only candidate grid of a (row axis ×
+// integration) sweep, evaluates it on the engine, and returns the results
+// row-major.
+func embodiedGrid(e *explore.Engine, chips []split.Chip, integs []ic.Integration) ([]explore.Result, error) {
+	cands := make([]explore.Candidate, 0, len(chips)*len(integs))
+	for _, chip := range chips {
+		for _, integ := range integs {
 			d, err := split.Homogeneous(chip, integ)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			rep, err := m.Embodied(d)
-			if err != nil {
+			cands = append(cands, explore.Candidate{
+				ID:     fmt.Sprintf("%s/%s", chip.Name, integ),
+				Design: d,
+			})
+		}
+	}
+	return e.Evaluate(context.Background(), cands)
+}
+
+func sweepNode(e *explore.Engine, gates float64) error {
+	integs := []ic.Integration{ic.Mono2D, ic.Hybrid3D, ic.Monolithic3D}
+	chips := make([]split.Chip, 0, len(tech.Processes()))
+	for _, nm := range tech.Processes() {
+		chips = append(chips, split.Chip{Name: "sweep", ProcessNM: nm, Gates: gates})
+	}
+	results, err := embodiedGrid(e, chips, integs)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("node_nm", "embodied_2d_kg", "embodied_hybrid_kg", "embodied_m3d_kg")
+	for i, chip := range chips {
+		row := []string{fmt.Sprintf("%d", chip.ProcessNM)}
+		for j := range integs {
+			r := results[i*len(integs)+j]
+			if r.Err != nil {
 				// Very dense nodes can push huge designs over the wafer
 				// limit; record the gap instead of dying.
 				row = append(row, "n/a")
 				continue
 			}
-			row = append(row, report.Kg(rep.Total.Kg()))
+			row = append(row, report.Kg(r.Embodied()))
 		}
 		t.Add(row...)
 	}
@@ -87,23 +119,28 @@ func sweepNode(m *core.Model, gates float64) error {
 	return nil
 }
 
-func sweepGates(m *core.Model) error {
+func sweepGates(e *explore.Engine) error {
+	integs := []ic.Integration{ic.Mono2D, ic.Hybrid3D, ic.EMIB, ic.Monolithic3D}
+	gateAxis := []float64{2e9, 5e9, 10e9, 17e9, 25e9, 35e9, 50e9}
+	chips := make([]split.Chip, 0, len(gateAxis))
+	for _, g := range gateAxis {
+		chips = append(chips, split.Chip{Name: "sweep", ProcessNM: 7, Gates: g})
+	}
+	results, err := embodiedGrid(e, chips, integs)
+	if err != nil {
+		return err
+	}
 	t := report.NewTable("gates_billion", "embodied_2d_kg", "embodied_hybrid_kg",
 		"embodied_emib_kg", "embodied_m3d_kg")
-	for _, g := range []float64{2e9, 5e9, 10e9, 17e9, 25e9, 35e9, 50e9} {
-		chip := split.Chip{Name: "sweep", ProcessNM: 7, Gates: g}
-		row := []string{fmt.Sprintf("%.0f", g/1e9)}
-		for _, integ := range []ic.Integration{ic.Mono2D, ic.Hybrid3D, ic.EMIB, ic.Monolithic3D} {
-			d, err := split.Homogeneous(chip, integ)
-			if err != nil {
-				return err
-			}
-			rep, err := m.Embodied(d)
-			if err != nil {
+	for i, chip := range chips {
+		row := []string{fmt.Sprintf("%.0f", chip.Gates/1e9)}
+		for j := range integs {
+			r := results[i*len(integs)+j]
+			if r.Err != nil {
 				row = append(row, "n/a")
 				continue
 			}
-			row = append(row, report.Kg(rep.Total.Kg()))
+			row = append(row, report.Kg(r.Embodied()))
 		}
 		t.Add(row...)
 	}
@@ -111,54 +148,85 @@ func sweepGates(m *core.Model) error {
 	return nil
 }
 
-func sweepCI(m *core.Model, gates float64) error {
-	chip := split.Chip{Name: "sweep", ProcessNM: 7, Gates: gates}
+func sweepCI(e *explore.Engine, gates float64) error {
 	w := workload.AVPipeline(units.TOPS(254))
-	t := report.NewTable("use_location", "ci_g_per_kwh", "operational_10yr_kg", "embodied_kg")
-	for _, loc := range grid.Locations() {
-		chip.UseLocation = loc
+	locs := grid.Locations()
+	cands := make([]explore.Candidate, 0, len(locs))
+	for _, loc := range locs {
+		chip := split.Chip{Name: "sweep", ProcessNM: 7, Gates: gates, UseLocation: loc}
 		d, err := split.Mono2D(chip)
 		if err != nil {
 			return err
 		}
-		tot, err := m.Total(d, w, units.TOPSPerWatt(2.74))
-		if err != nil {
-			return err
+		cands = append(cands, explore.Candidate{
+			ID:       string(loc),
+			Design:   d,
+			Workload: w,
+			Eff:      units.TOPSPerWatt(2.74),
+		})
+	}
+	results, err := e.Evaluate(context.Background(), cands)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("use_location", "ci_g_per_kwh", "operational_10yr_kg", "embodied_kg")
+	for i, loc := range locs {
+		r := results[i]
+		if r.Err != nil {
+			return r.Err
 		}
 		ci := grid.MustIntensity(loc)
 		t.Add(string(loc), fmt.Sprintf("%.0f", ci.GPerKWh()),
-			report.Kg(tot.Operational.LifetimeCarbon.Kg()),
-			report.Kg(tot.Embodied.Total.Kg()))
+			report.Kg(r.Operational()), report.Kg(r.Embodied()))
 	}
 	fmt.Print(t.CSV())
 	return nil
 }
 
-func sweepLifetime(m *core.Model, gates float64) error {
+func sweepLifetime(e *explore.Engine, gates float64) error {
 	chip := split.Chip{Name: "sweep", ProcessNM: 7, Gates: gates}
 	base, err := split.Mono2D(chip)
 	if err != nil {
 		return err
 	}
-	t := report.NewTable("lifetime_years", "emib_save", "micro_save", "hybrid_save", "m3d_save")
-	for _, years := range []float64{1, 2, 5, 10, 15, 20, 30} {
+	integs := []ic.Integration{ic.EMIB, ic.MicroBump3D, ic.Hybrid3D, ic.Monolithic3D}
+	years := []float64{1, 2, 5, 10, 15, 20, 30}
+	cands := make([]explore.Candidate, 0, len(years)*len(integs))
+	for _, y := range years {
 		w := workload.AVPipeline(units.TOPS(254))
-		w.LifetimeYears = years
-		baseTot, err := m.Total(base, w, units.TOPSPerWatt(2.74))
-		if err != nil {
-			return err
-		}
-		row := []string{fmt.Sprintf("%.0f", years)}
-		for _, integ := range []ic.Integration{ic.EMIB, ic.MicroBump3D, ic.Hybrid3D, ic.Monolithic3D} {
+		w.LifetimeYears = y
+		for _, integ := range integs {
 			d, err := split.Homogeneous(chip, integ)
 			if err != nil {
 				return err
 			}
-			tot, err := m.Total(d, w, units.TOPSPerWatt(2.74))
-			if err != nil {
-				return err
+			cands = append(cands, explore.Candidate{
+				ID:       fmt.Sprintf("%s/%.0fy", integ, y),
+				Design:   d,
+				Workload: w,
+				Eff:      units.TOPSPerWatt(2.74),
+				// Every candidate of a lifetime shares this baseline; the
+				// engine evaluates it once per workload.
+				Baseline: base,
+			})
+		}
+	}
+	results, err := e.Evaluate(context.Background(), cands)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("lifetime_years", "emib_save", "micro_save", "hybrid_save", "m3d_save")
+	for i, y := range years {
+		row := []string{fmt.Sprintf("%.0f", y)}
+		for j := range integs {
+			r := results[i*len(integs)+j]
+			if r.Err != nil {
+				return r.Err
 			}
-			save := 1 - tot.Total.Kg()/baseTot.Total.Kg()
+			if r.Baseline == nil {
+				return fmt.Errorf("lifetime sweep: %s: 2D baseline: %w", r.Candidate.ID, r.BaselineErr)
+			}
+			save := 1 - r.Report.Total.Kg()/r.Baseline.Total.Kg()
 			row = append(row, report.Pct(save))
 		}
 		t.Add(row...)

@@ -4,20 +4,21 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/explore"
 )
 
 func TestAllSweeps(t *testing.T) {
-	m := core.Default()
-	if err := sweepNode(m, 17e9); err != nil {
+	e := explore.New(core.Default())
+	if err := sweepNode(e, 17e9); err != nil {
 		t.Errorf("node sweep: %v", err)
 	}
-	if err := sweepGates(m); err != nil {
+	if err := sweepGates(e); err != nil {
 		t.Errorf("gates sweep: %v", err)
 	}
-	if err := sweepCI(m, 17e9); err != nil {
+	if err := sweepCI(e, 17e9); err != nil {
 		t.Errorf("ci sweep: %v", err)
 	}
-	if err := sweepLifetime(m, 17e9); err != nil {
+	if err := sweepLifetime(e, 17e9); err != nil {
 		t.Errorf("lifetime sweep: %v", err)
 	}
 	if err := sweepBandwidth(); err != nil {

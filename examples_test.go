@@ -1,0 +1,35 @@
+package carbon3d
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// Every examples/* main must keep building and passing vet — they are the
+// README's runnable documentation.
+func TestExamplesBuildAndVet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-tool subprocesses in -short mode")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not on PATH: %v", err)
+	}
+	dirs, err := filepath.Glob("examples/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 6 {
+		t.Fatalf("expected ≥6 examples, found %d", len(dirs))
+	}
+	for _, sub := range []string{"build", "vet"} {
+		sub := sub
+		t.Run(sub, func(t *testing.T) {
+			out, err := exec.Command(goTool, sub, "./examples/...").CombinedOutput()
+			if err != nil {
+				t.Fatalf("go %s ./examples/...: %v\n%s", sub, err, out)
+			}
+		})
+	}
+}

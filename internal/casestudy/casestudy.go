@@ -5,11 +5,13 @@
 package casestudy
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/act"
 	"repro/internal/core"
 	"repro/internal/design"
+	"repro/internal/explore"
 	"repro/internal/grid"
 	"repro/internal/ic"
 	"repro/internal/lca"
@@ -222,7 +224,20 @@ type Fig5Row struct {
 // RunFig5 reproduces Fig. 5(a) (homogeneous) or Fig. 5(b) (heterogeneous):
 // every DRIVE chip under 2D plus all seven 3D/2.5D technologies.
 func RunFig5(m *core.Model, strategy split.Strategy) ([]Fig5Row, error) {
-	var rows []Fig5Row
+	return RunFig5On(explore.New(m), strategy)
+}
+
+// RunFig5On runs Fig. 5 on a shared exploration engine: the chip ×
+// technology grid fans out over the engine's worker pool, and an engine
+// reused across both strategies answers the strategy-independent 2D bars
+// from its memoization cache.
+func RunFig5On(e *explore.Engine, strategy split.Strategy) ([]Fig5Row, error) {
+	type meta struct {
+		chip  workload.DriveChip
+		integ ic.Integration
+	}
+	var cands []explore.Candidate
+	var metas []meta
 	for _, chip := range workload.DriveSeries() {
 		w := chip.Workload()
 		sc := split.Chip{Name: chip.Name, ProcessNM: chip.ProcessNM, Gates: chip.Gates()}
@@ -231,23 +246,37 @@ func RunFig5(m *core.Model, strategy split.Strategy) ([]Fig5Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			tot, err := m.Total(d, w, chip.Efficiency)
-			if err != nil {
-				return nil, fmt.Errorf("casestudy: %s/%s: %w", chip.Name, integ, err)
-			}
-			rows = append(rows, Fig5Row{
-				Chip:                chip.Name,
-				Integration:         integ,
-				Strategy:            strategy,
-				Valid:               tot.Operational.Valid,
-				ThroughputFactor:    tot.Operational.ThroughputFactor,
-				RequiredBW:          tot.Operational.Required,
-				AchievedBW:          tot.Operational.Capacity,
-				Embodied:            tot.Embodied.Total,
-				OperationalLifetime: tot.Operational.LifetimeCarbon,
-				Total:               tot.Total,
+			cands = append(cands, explore.Candidate{
+				ID:       chip.Name + "/" + string(integ),
+				Design:   d,
+				Workload: w,
+				Eff:      chip.Efficiency,
 			})
+			metas = append(metas, meta{chip: chip, integ: integ})
 		}
+	}
+	results, err := e.Evaluate(context.Background(), cands)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig5Row, 0, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("casestudy: %s/%s: %w", metas[i].chip.Name, metas[i].integ, r.Err)
+		}
+		tot := r.Report
+		rows = append(rows, Fig5Row{
+			Chip:                metas[i].chip.Name,
+			Integration:         metas[i].integ,
+			Strategy:            strategy,
+			Valid:               tot.Operational.Valid,
+			ThroughputFactor:    tot.Operational.ThroughputFactor,
+			RequiredBW:          tot.Operational.Required,
+			AchievedBW:          tot.Operational.Capacity,
+			Embodied:            tot.Embodied.Total,
+			OperationalLifetime: tot.Operational.LifetimeCarbon,
+			Total:               tot.Total,
+		})
 	}
 	return rows, nil
 }
@@ -275,6 +304,12 @@ type Table5Row struct {
 // RunTable5 reproduces Table 5: the ORIN homogeneous candidates against the
 // ORIN 2D baseline over the 10-year AV lifetime.
 func RunTable5(m *core.Model) ([]Table5Row, error) {
+	return RunTable5On(explore.New(m))
+}
+
+// RunTable5On runs Table 5 on a shared exploration engine. Every candidate
+// carries the same 2D baseline, which the engine evaluates once.
+func RunTable5On(e *explore.Engine) ([]Table5Row, error) {
 	chip, err := workload.DriveChipByName("ORIN")
 	if err != nil {
 		return nil, err
@@ -286,43 +321,41 @@ func RunTable5(m *core.Model) ([]Table5Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	baseTot, err := m.Total(base, w, chip.Efficiency)
-	if err != nil {
-		return nil, err
-	}
-
-	var rows []Table5Row
+	var cands []explore.Candidate
 	for _, integ := range Table5Technologies() {
 		d, err := split.Homogeneous(sc, integ)
 		if err != nil {
 			return nil, err
 		}
-		tot, err := m.Total(d, w, chip.Efficiency)
-		if err != nil {
-			return nil, err
+		cands = append(cands, explore.Candidate{
+			ID:       chip.Name + "/" + string(integ),
+			Design:   d,
+			Workload: w,
+			Eff:      chip.Efficiency,
+			Baseline: base,
+		})
+	}
+	results, err := e.Evaluate(context.Background(), cands)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table5Row, 0, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
 		}
-		cmp := metrics.Comparison{
-			EmbodiedBaseline:  baseTot.Embodied.Total,
-			EmbodiedCandidate: tot.Embodied.Total,
-			AnnualOpBaseline:  baseTot.Operational.AnnualCarbon,
-			AnnualOpCandidate: tot.Operational.AnnualCarbon,
+		if r.Baseline == nil {
+			return nil, fmt.Errorf("casestudy: %s: 2D baseline: %w", r.Candidate.ID, r.BaselineErr)
 		}
-		tc, err := metrics.Choosing(cmp)
-		if err != nil {
-			return nil, err
-		}
-		tr, err := metrics.Replacing(cmp)
-		if err != nil {
-			return nil, err
-		}
+		integ := Table5Technologies()[i]
 		rows = append(rows, Table5Row{
 			Integration:  integ,
-			EmbodiedSave: cmp.EmbodiedSaveRatio(),
-			OverallSave:  cmp.OverallSaveRatio(w.LifetimeYears),
-			Tc:           tc,
-			Tr:           tr,
-			Choose:       metrics.Recommend(tc, w.LifetimeYears),
-			Replace:      metrics.Recommend(tr, w.LifetimeYears),
+			EmbodiedSave: r.EmbodiedSave,
+			OverallSave:  r.OverallSave,
+			Tc:           r.Tc,
+			Tr:           r.Tr,
+			Choose:       metrics.Recommend(r.Tc, w.LifetimeYears),
+			Replace:      metrics.Recommend(r.Tr, w.LifetimeYears),
 		})
 	}
 	return rows, nil

@@ -1,0 +1,104 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/split"
+)
+
+// benchSpace is a ≥500-candidate space: 15 strategy×technology points ×
+// 4 nodes × 3 design sizes × 3 use grids = 540 candidates.
+func benchSpace() Space {
+	return Space{
+		Name:          "bench",
+		Strategies:    []split.Strategy{split.HomogeneousStrategy, split.HeterogeneousStrategy},
+		NodesNM:       []int{5, 7, 10, 14},
+		Gates:         []float64{5e9, 17e9, 35e9},
+		UseLocations:  []grid.Location{grid.USA, grid.Europe, grid.India},
+		LifetimeYears: []float64{10},
+	}
+}
+
+// BenchmarkSerialLoop is the pre-engine reference: the hand-rolled serial
+// loop every seed command used, with no memoization and no concurrency.
+func BenchmarkSerialLoop(b *testing.B) {
+	m := core.Default()
+	cands, err := benchSpace().Enumerate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(cands)), "candidates")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cands {
+			tot, err := m.Total(c.Design, c.Workload, c.Eff)
+			if err != nil {
+				continue // over-wafer candidates, as in the seed sweeps
+			}
+			if c.Baseline != nil {
+				if _, err := m.Total(c.Baseline, c.Workload, c.Eff); err != nil {
+					b.Fatal(err)
+				}
+			}
+			_ = tot
+		}
+	}
+}
+
+// BenchmarkEngine measures the exploration engine across worker counts on
+// the same space (cold cache every iteration). On a 4+ core machine the
+// NumCPU rows show the near-linear speedup over workers=1; on any machine
+// the workers=1 row already beats BenchmarkSerialLoop through the
+// memoization cache alone (540 candidates share 2D baselines and repeated
+// sub-designs).
+func BenchmarkEngine(b *testing.B) {
+	cands, err := benchSpace().Enumerate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := []int{1, 2, 4, runtime.NumCPU()}
+	for _, workers := range counts {
+		if workers > runtime.NumCPU() {
+			continue
+		}
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportMetric(float64(len(cands)), "candidates")
+			for i := 0; i < b.N; i++ {
+				e := &Engine{Model: core.Default(), Workers: workers}
+				if _, err := e.Evaluate(context.Background(), cands); err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					st := e.Stats()
+					b.ReportMetric(float64(st.Evaluations), "evals")
+					b.ReportMetric(float64(st.CacheHits), "cache_hits")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineWarm measures re-evaluation of an already-explored space:
+// the fully-memoized path the CLI tools hit when one engine serves several
+// related studies.
+func BenchmarkEngineWarm(b *testing.B) {
+	cands, err := benchSpace().Enumerate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := New(core.Default())
+	if _, err := e.Evaluate(context.Background(), cands); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Evaluate(context.Background(), cands); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,396 @@
+// Package explore is the design-space exploration engine: it enumerates
+// candidate designs over the axes the paper varies (integration technology,
+// die-division strategy, process node, fab/use grid and design size),
+// evaluates them concurrently on a worker pool with a memoization cache, and
+// reports ranked tables, the embodied-vs-operational Pareto frontier and the
+// Eq. 2 choosing/replacing verdict of every candidate against its 2D
+// baseline.
+//
+// The engine is the shared evaluation substrate of the CLI tools: cmd/sweep,
+// cmd/drivestudy and internal/casestudy all fan their design grids through
+// Engine.Evaluate instead of hand-rolled serial loops. Evaluation results
+// are memoized by a canonical design hash, so the 2D baseline every
+// comparison shares is computed exactly once per workload.
+package explore
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/design"
+	"repro/internal/metrics"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Candidate is one design point of an exploration: a design, the workload
+// it must sustain, and optionally the 2D baseline the Eq. 2 decision
+// metrics compare it against.
+//
+// A zero Workload (no throughput) marks an embodied-only candidate: the
+// engine skips the operational model and the life-cycle total equals the
+// embodied carbon. That is the mode the embodied sweeps of cmd/sweep use.
+type Candidate struct {
+	// ID labels the candidate in reports; Enumerate fills it from the axis
+	// point.
+	ID string
+	// Design is the candidate hardware description.
+	Design *design.Design
+	// Workload is the §3.3 use-phase profile (zero → embodied only).
+	Workload workload.Workload
+	// Eff is the surveyed chip efficiency for dies without their own.
+	Eff units.Efficiency
+	// Baseline optionally names the 2D design the Eq. 2 metrics compare
+	// against. It is evaluated through the same memoized path, so a
+	// baseline shared by many candidates is computed once.
+	Baseline *design.Design
+}
+
+// embodiedOnly reports whether the candidate skips the operational model.
+func (c Candidate) embodiedOnly() bool { return c.Workload.Throughput <= 0 }
+
+// Key returns the canonical evaluation hash key of a (design, workload,
+// efficiency) triple: a flat encoding of every model-relevant field. Two
+// candidates with equal keys are the same evaluation, whatever their IDs.
+// The encoding is hand-rolled rather than JSON (and floats use the exact
+// binary-exponent format) because key construction sits on the
+// per-candidate hot path of large explorations, where an evaluation itself
+// costs only microseconds.
+func Key(d *design.Design, w workload.Workload, eff units.Efficiency) string {
+	return designKey(d) + workloadKey(w, eff)
+}
+
+// designKey encodes the design part of an evaluation key.
+func designKey(d *design.Design) string {
+	b := make([]byte, 0, 192)
+	b = append(b, d.Name...)
+	b = appendStr(b, string(d.Integration))
+	b = appendStr(b, string(d.Stacking))
+	b = appendStr(b, string(d.Flow))
+	b = appendStr(b, string(d.Order))
+	b = appendStr(b, string(d.FabLocation))
+	b = appendStr(b, string(d.UseLocation))
+	b = appendFloat(b, d.WaferAreaMM2)
+	b = appendFloat(b, d.GapMM)
+	b = appendFloat(b, d.InterposerScale)
+	b = appendFloat(b, d.PackageAreaMM2)
+	for _, die := range d.Dies {
+		b = appendStr(b, die.Name)
+		b = strconv.AppendInt(append(b, ';'), int64(die.ProcessNM), 10)
+		b = appendFloat(b, die.Gates)
+		b = appendFloat(b, die.AreaMM2)
+		b = strconv.AppendInt(append(b, ';'), int64(die.BEOLLayers), 10)
+		if die.Memory {
+			b = append(b, ";M"...)
+		}
+		b = appendFloat(b, die.EfficiencyTOPSW)
+	}
+	return string(b)
+}
+
+// workloadKey encodes the workload/efficiency part of an evaluation key.
+func workloadKey(w workload.Workload, eff units.Efficiency) string {
+	b := make([]byte, 0, 96)
+	b = append(b, '#')
+	b = appendFloat(b, float64(w.Throughput))
+	b = appendFloat(b, float64(w.PeakThroughput))
+	b = appendFloat(b, w.ActiveHoursPerYear)
+	b = appendFloat(b, w.LifetimeYears)
+	b = appendFloat(b, float64(eff))
+	return string(b)
+}
+
+func appendStr(b []byte, s string) []byte { return append(append(b, '|'), s...) }
+
+func appendFloat(b []byte, v float64) []byte {
+	// 'b' is the cheapest exact float encoding (no shortest-repr search).
+	return strconv.AppendFloat(append(b, ';'), v, 'b', -1, 64)
+}
+
+// Result is one evaluated candidate.
+type Result struct {
+	Candidate Candidate
+	// Err is the per-candidate evaluation failure (e.g. a design too large
+	// for the wafer); the other fields are zero when set.
+	Err error
+
+	// Report is the evaluated candidate (Operational nil for
+	// embodied-only candidates).
+	Report *core.TotalReport
+	// Baseline is the evaluated 2D baseline when the candidate has one.
+	Baseline *core.TotalReport
+	// BaselineErr is set when the candidate evaluated but its baseline did
+	// not (e.g. a die split fits the wafer where the monolithic die does
+	// not); the comparison fields stay zero.
+	BaselineErr error
+
+	// Decision metrics vs the baseline (Eq. 2 / Table 5), present when the
+	// candidate has a baseline and both evaluations succeeded.
+	Tc           metrics.Horizon
+	Tr           metrics.Horizon
+	EmbodiedSave float64
+	OverallSave  float64
+}
+
+// Embodied returns the candidate's embodied carbon in kg.
+func (r Result) Embodied() float64 {
+	if r.Report == nil {
+		return 0
+	}
+	return r.Report.Embodied.Total.Kg()
+}
+
+// Operational returns the candidate's lifetime operational carbon in kg
+// (zero for embodied-only candidates).
+func (r Result) Operational() float64 {
+	if r.Report == nil || r.Report.Operational == nil {
+		return 0
+	}
+	return r.Report.Operational.LifetimeCarbon.Kg()
+}
+
+// Total returns the candidate's life-cycle total in kg.
+func (r Result) Total() float64 {
+	if r.Report == nil {
+		return 0
+	}
+	return r.Report.Total.Kg()
+}
+
+// Stats are the engine's evaluation counters.
+type Stats struct {
+	// Evaluations is the number of distinct (design, workload) evaluations
+	// actually computed.
+	Evaluations uint64
+	// CacheHits is the number of evaluations answered from the
+	// memoization cache.
+	CacheHits uint64
+}
+
+// Engine evaluates candidates concurrently with a shared memoization cache.
+// An Engine is safe for concurrent use; the cache persists across Evaluate
+// calls, so one engine shared between related studies (e.g. the two Fig. 5
+// strategies) reuses their common evaluations.
+type Engine struct {
+	// Model is the configured 3D-Carbon pipeline. The engine assumes the
+	// model is not mutated while evaluations run — memoized results would
+	// go stale.
+	Model *core.Model
+	// Workers bounds evaluation concurrency; ≤0 means runtime.NumCPU().
+	Workers int
+
+	mu    sync.Mutex
+	memo  map[keyPair]*memoEntry
+	evals atomic.Uint64
+	hits  atomic.Uint64
+
+	// designKeys and workloadKeys cache the two halves of evaluation keys:
+	// a baseline design shared by hundreds of candidates encodes once (by
+	// pointer), and a space's handful of distinct workload profiles encode
+	// once each. This assumes submitted designs are not mutated while the
+	// engine holds them — the same contract the memoized reports already
+	// require.
+	designKeys   sync.Map // *design.Design → string
+	workloadKeys sync.Map // workloadID → string
+}
+
+// keyPair is the memo-map key: the two halves stay separate to avoid a
+// concatenation allocation per lookup.
+type keyPair struct {
+	design   string
+	workload string
+}
+
+// workloadID is the comparable identity of a (workload, efficiency) pair.
+type workloadID struct {
+	throughput, peak, hours, years, eff float64
+}
+
+type memoEntry struct {
+	once sync.Once
+	rep  *core.TotalReport
+	err  error
+}
+
+// New returns an engine over the given model.
+func New(m *core.Model) *Engine { return &Engine{Model: m} }
+
+// Stats returns the evaluation counters.
+func (e *Engine) Stats() Stats {
+	return Stats{Evaluations: e.evals.Load(), CacheHits: e.hits.Load()}
+}
+
+func (e *Engine) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// total evaluates one (design, workload, eff) triple through the memo
+// cache. Embodied-only evaluations leave Operational nil and set Total to
+// the embodied carbon. The returned report is shared across callers and
+// must be treated as read-only.
+func (e *Engine) key(d *design.Design, w workload.Workload, eff units.Efficiency) keyPair {
+	dk, ok := e.designKeys.Load(d)
+	if !ok {
+		dk, _ = e.designKeys.LoadOrStore(d, designKey(d))
+	}
+	id := workloadID{float64(w.Throughput), float64(w.PeakThroughput),
+		w.ActiveHoursPerYear, w.LifetimeYears, float64(eff)}
+	wk, ok := e.workloadKeys.Load(id)
+	if !ok {
+		wk, _ = e.workloadKeys.LoadOrStore(id, workloadKey(w, eff))
+	}
+	return keyPair{design: dk.(string), workload: wk.(string)}
+}
+
+func (e *Engine) total(d *design.Design, w workload.Workload, eff units.Efficiency,
+	embodiedOnly bool) (*core.TotalReport, error) {
+	key := e.key(d, w, eff)
+	e.mu.Lock()
+	if e.memo == nil {
+		e.memo = make(map[keyPair]*memoEntry)
+	}
+	ent, ok := e.memo[key]
+	if !ok {
+		ent = &memoEntry{}
+		e.memo[key] = ent
+	}
+	e.mu.Unlock()
+	if ok {
+		e.hits.Add(1)
+	}
+	ent.once.Do(func() {
+		e.evals.Add(1)
+		if embodiedOnly {
+			emb, err := e.Model.Embodied(d)
+			if err != nil {
+				ent.err = err
+				return
+			}
+			ent.rep = &core.TotalReport{Embodied: emb, Total: emb.Total}
+			return
+		}
+		ent.rep, ent.err = e.Model.Total(d, w, eff)
+	})
+	return ent.rep, ent.err
+}
+
+// evaluateOne fills one result.
+func (e *Engine) evaluateOne(c Candidate) Result {
+	r := Result{Candidate: c}
+	if c.Design == nil {
+		r.Err = fmt.Errorf("explore: candidate %q has no design", c.ID)
+		return r
+	}
+	rep, err := e.total(c.Design, c.Workload, c.Eff, c.embodiedOnly())
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	r.Report = rep
+
+	if c.Baseline == nil {
+		return r
+	}
+	base, err := e.total(c.Baseline, c.Workload, c.Eff, c.embodiedOnly())
+	if err != nil {
+		// A candidate can be buildable where its 2D baseline is not: keep
+		// the candidate, record why the comparison is missing.
+		r.BaselineErr = err
+		return r
+	}
+	r.Baseline = base
+	r.EmbodiedSave = 1 - rep.Embodied.Total.Kg()/base.Embodied.Total.Kg()
+	if c.embodiedOnly() {
+		return r
+	}
+	cmp := metrics.Comparison{
+		EmbodiedBaseline:  base.Embodied.Total,
+		EmbodiedCandidate: rep.Embodied.Total,
+		AnnualOpBaseline:  base.Operational.AnnualCarbon,
+		AnnualOpCandidate: rep.Operational.AnnualCarbon,
+	}
+	r.OverallSave = cmp.OverallSaveRatio(c.Workload.LifetimeYears)
+	if tc, err := metrics.Choosing(cmp); err == nil {
+		r.Tc = tc
+	}
+	if tr, err := metrics.Replacing(cmp); err == nil {
+		r.Tr = tr
+	}
+	return r
+}
+
+// Evaluate fans the candidates out over the worker pool and returns one
+// result per candidate, in input order. Per-candidate failures land in
+// Result.Err; Evaluate itself only fails when the context is cancelled.
+func (e *Engine) Evaluate(ctx context.Context, cands []Candidate) ([]Result, error) {
+	if e.Model == nil {
+		return nil, fmt.Errorf("explore: engine has no model")
+	}
+	results := make([]Result, len(cands))
+	workers := e.workers()
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		for i, c := range cands {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			results[i] = e.evaluateOne(c)
+		}
+		return results, nil
+	}
+
+	// Dynamic block scheduling: workers grab contiguous index blocks with
+	// one atomic op per block, so per-candidate coordination overhead stays
+	// negligible against the ~µs evaluation cost while the pool still
+	// load-balances uneven (cache-hit vs computed) candidates.
+	const block = 16
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				start := int(next.Add(block)) - block
+				if start >= len(cands) {
+					return
+				}
+				end := start + block
+				if end > len(cands) {
+					end = len(cands)
+				}
+				for i := start; i < end; i++ {
+					results[i] = e.evaluateOne(cands[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Explore enumerates a space and evaluates it.
+func (e *Engine) Explore(ctx context.Context, s Space) (*ResultSet, error) {
+	cands, err := s.Enumerate()
+	if err != nil {
+		return nil, err
+	}
+	results, err := e.Evaluate(ctx, cands)
+	if err != nil {
+		return nil, err
+	}
+	return &ResultSet{Space: s, Results: results}, nil
+}

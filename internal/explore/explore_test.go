@@ -1,0 +1,289 @@
+package explore
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/ic"
+	"repro/internal/split"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func orinSpace() Space {
+	return Space{
+		Name:       "orin",
+		Strategies: []split.Strategy{split.HomogeneousStrategy, split.HeterogeneousStrategy},
+	}
+}
+
+func TestSpaceSizeMatchesEnumerate(t *testing.T) {
+	cases := []Space{
+		{},
+		orinSpace(),
+		{NodesNM: []int{7, 14}, Gates: []float64{5e9, 17e9}},
+		{
+			Strategies:    []split.Strategy{split.HomogeneousStrategy, split.HeterogeneousStrategy},
+			NodesNM:       []int{5, 7},
+			UseLocations:  []grid.Location{grid.USA, grid.Europe, grid.Norway},
+			LifetimeYears: []float64{5, 10},
+		},
+	}
+	for i, s := range cases {
+		cands, err := s.Enumerate()
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(cands) != s.Size() {
+			t.Errorf("case %d: Size()=%d but Enumerate produced %d", i, s.Size(), len(cands))
+		}
+	}
+}
+
+func TestEnumerateDedupes2DAcrossStrategies(t *testing.T) {
+	cands, err := orinSpace().Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two strategies over eight technologies: 8 + 7 (2D only once).
+	if len(cands) != 15 {
+		t.Fatalf("expected 15 candidates, got %d", len(cands))
+	}
+	twoD := 0
+	for _, c := range cands {
+		if c.Design.Integration == ic.Mono2D {
+			twoD++
+			if c.Baseline != nil {
+				t.Error("2D candidate should not carry a baseline")
+			}
+		} else if c.Baseline == nil {
+			t.Errorf("candidate %s lacks a 2D baseline", c.ID)
+		}
+	}
+	if twoD != 1 {
+		t.Errorf("expected exactly one 2D candidate, got %d", twoD)
+	}
+}
+
+// The engine must produce exactly what a direct serial evaluation produces,
+// whatever the worker count.
+func TestEvaluateMatchesDirect(t *testing.T) {
+	m := core.Default()
+	cands, err := orinSpace().Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		e := &Engine{Model: m, Workers: workers}
+		results, err := e.Evaluate(context.Background(), cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != len(cands) {
+			t.Fatalf("workers=%d: %d results for %d candidates", workers, len(results), len(cands))
+		}
+		for i, r := range results {
+			c := cands[i]
+			if r.Candidate.ID != c.ID {
+				t.Fatalf("workers=%d: result %d out of order: %s != %s", workers, i, r.Candidate.ID, c.ID)
+			}
+			want, wantErr := m.Total(c.Design, c.Workload, c.Eff)
+			if (r.Err == nil) != (wantErr == nil) {
+				t.Errorf("workers=%d: %s: err=%v, direct err=%v", workers, c.ID, r.Err, wantErr)
+				continue
+			}
+			if r.Err != nil {
+				continue
+			}
+			if math.Abs(r.Total()-want.Total.Kg()) > 1e-12 {
+				t.Errorf("workers=%d: %s: total %v != direct %v", workers, c.ID, r.Total(), want.Total.Kg())
+			}
+		}
+	}
+}
+
+func TestMemoizationSharesBaseline(t *testing.T) {
+	m := core.Default()
+	cands, err := orinSpace().Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(m)
+	if _, err := e.Evaluate(context.Background(), cands); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	// 15 candidates + 14 baseline references, but the baseline is the same
+	// design as the single 2D candidate: exactly 15 distinct evaluations.
+	if st.Evaluations != 15 {
+		t.Errorf("expected 15 distinct evaluations, got %d", st.Evaluations)
+	}
+	if st.CacheHits != 14 {
+		t.Errorf("expected 14 cache hits (shared 2D baseline), got %d", st.CacheHits)
+	}
+
+	// Re-evaluating the same candidates is answered fully from cache.
+	if _, err := e.Evaluate(context.Background(), cands); err != nil {
+		t.Fatal(err)
+	}
+	st2 := e.Stats()
+	if st2.Evaluations != st.Evaluations {
+		t.Errorf("re-evaluation recomputed: %d -> %d evals", st.Evaluations, st2.Evaluations)
+	}
+	if st2.CacheHits != st.CacheHits+uint64(len(cands))*2-1 {
+		// 15 candidate lookups + 14 baseline lookups, all hits.
+		t.Errorf("expected %d cache hits after re-evaluation, got %d",
+			st.CacheHits+uint64(len(cands))*2-1, st2.CacheHits)
+	}
+}
+
+func TestEvaluatePerCandidateErrors(t *testing.T) {
+	m := core.Default()
+	// 100e9 gates at 28 nm exceeds the wafer as a monolithic die but splits
+	// fine — mirrors cmd/sweep's "n/a" handling.
+	chip := split.Chip{Name: "huge", ProcessNM: 28, Gates: 100e9}
+	mono, err := split.Mono2D(chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, err := split.Homogeneous(chip, ic.Hybrid3D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := []Candidate{
+		{ID: "mono", Design: mono},
+		{ID: "hybrid", Design: hybrid},
+	}
+	results, err := New(m).Evaluate(context.Background(), cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil {
+		t.Error("expected the monolithic 100B-gate die to fail the wafer limit")
+	}
+	if results[1].Err != nil {
+		t.Errorf("split design should evaluate: %v", results[1].Err)
+	}
+}
+
+func TestEvaluateContextCancel(t *testing.T) {
+	m := core.Default()
+	cands, err := orinSpace().Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := New(m).Evaluate(ctx, cands); err == nil {
+		t.Error("expected a cancelled context to abort evaluation")
+	}
+}
+
+func TestEmbodiedOnlyCandidates(t *testing.T) {
+	m := core.Default()
+	chip := split.Chip{Name: "emb", ProcessNM: 7, Gates: 17e9}
+	d, err := split.Homogeneous(chip, ic.Hybrid3D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := split.Mono2D(chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := New(m).Evaluate(context.Background(),
+		[]Candidate{{ID: "emb", Design: d, Baseline: base}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Report.Operational != nil {
+		t.Error("embodied-only candidate evaluated the operational model")
+	}
+	if r.Report.Total != r.Report.Embodied.Total {
+		t.Error("embodied-only total should equal embodied carbon")
+	}
+	if r.EmbodiedSave == 0 {
+		t.Error("baseline comparison should set the embodied save ratio")
+	}
+	if r.Tc.Verdict != "" {
+		t.Error("embodied-only candidates have no choosing metric")
+	}
+}
+
+func TestFrontierIsPareto(t *testing.T) {
+	m := core.Default()
+	s := Space{
+		Name:          "pareto",
+		Strategies:    []split.Strategy{split.HomogeneousStrategy, split.HeterogeneousStrategy},
+		UseLocations:  []grid.Location{grid.USA, grid.India, grid.Norway},
+		LifetimeYears: []float64{10},
+	}
+	rs, err := New(m).Explore(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := rs.Frontier()
+	if len(f) == 0 {
+		t.Fatal("empty frontier")
+	}
+	// Sorted by embodied ascending, operational strictly descending.
+	for i := 1; i < len(f); i++ {
+		if f[i].Embodied() < f[i-1].Embodied() {
+			t.Errorf("frontier not sorted by embodied at %d", i)
+		}
+		if f[i].Operational() >= f[i-1].Operational() {
+			t.Errorf("frontier operational not strictly decreasing at %d", i)
+		}
+	}
+	// No evaluated point dominates a frontier point.
+	for _, p := range rs.OK() {
+		for _, fp := range f {
+			if p.Embodied() < fp.Embodied() && p.Operational() < fp.Operational() {
+				t.Errorf("frontier point %s dominated by %s", fp.Candidate.ID, p.Candidate.ID)
+			}
+		}
+	}
+}
+
+func TestRankedOrder(t *testing.T) {
+	m := core.Default()
+	rs, err := New(m).Explore(context.Background(), orinSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := rs.Ranked()
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Total() < ranked[i-1].Total() {
+			t.Fatalf("ranking out of order at %d", i)
+		}
+	}
+	if got := len(rs.Table(5).Rows); got != 5 {
+		t.Errorf("Table(5) should have 5 rows, got %d", got)
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	chip := split.Chip{Name: "k", ProcessNM: 7, Gates: 17e9}
+	d1, _ := split.Homogeneous(chip, ic.Hybrid3D)
+	d2, _ := split.Homogeneous(chip, ic.Hybrid3D)
+	w := workload.AVPipeline(units.TOPS(254))
+	k1 := Key(d1, w, units.TOPSPerWatt(2.74))
+	k2 := Key(d2, w, units.TOPSPerWatt(2.74))
+	if k1 != k2 {
+		t.Error("identical designs should share a key")
+	}
+	w.LifetimeYears = 5
+	if k3 := Key(d1, w, units.TOPSPerWatt(2.74)); k1 == k3 {
+		t.Error("different workloads must not share a key")
+	}
+	d2.Dies[0].Memory = true
+	if k4 := Key(d2, w, units.TOPSPerWatt(2.74)); k4 == Key(d1, w, units.TOPSPerWatt(2.74)) {
+		t.Error("different die flags must not share a key")
+	}
+}

@@ -1,0 +1,135 @@
+// Result sinks: ranked tables and the embodied-vs-operational Pareto
+// frontier over an evaluated design space.
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/report"
+)
+
+// ResultSet is an evaluated design space.
+type ResultSet struct {
+	Space   Space
+	Results []Result
+}
+
+// OK returns the successfully evaluated results, in enumeration order.
+func (rs *ResultSet) OK() []Result {
+	out := make([]Result, 0, len(rs.Results))
+	for _, r := range rs.Results {
+		if r.Err == nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Failed returns the candidates that could not be evaluated (e.g. designs
+// over the wafer limit) with their errors.
+func (rs *ResultSet) Failed() []Result {
+	var out []Result
+	for _, r := range rs.Results {
+		if r.Err != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Ranked returns the successful results sorted by life-cycle total,
+// lowest-carbon first (ties break on embodied carbon, then ID for
+// stability).
+func (rs *ResultSet) Ranked() []Result {
+	out := rs.OK()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Total() != out[j].Total() {
+			return out[i].Total() < out[j].Total()
+		}
+		if out[i].Embodied() != out[j].Embodied() {
+			return out[i].Embodied() < out[j].Embodied()
+		}
+		return out[i].Candidate.ID < out[j].Candidate.ID
+	})
+	return out
+}
+
+// Frontier is the Pareto-optimal subset of an evaluated space on the
+// (embodied, lifetime-operational) carbon plane, sorted by embodied carbon
+// ascending. Every point trades embodied against operational carbon: no
+// other candidate is at least as good on both axes and better on one.
+type Frontier []Result
+
+// Frontier computes the Pareto frontier of the successful results.
+// Coincident points keep only their first (enumeration-order) candidate.
+func (rs *ResultSet) Frontier() Frontier {
+	pts := rs.OK()
+	sort.SliceStable(pts, func(i, j int) bool {
+		if pts[i].Embodied() != pts[j].Embodied() {
+			return pts[i].Embodied() < pts[j].Embodied()
+		}
+		return pts[i].Operational() < pts[j].Operational()
+	})
+	var f Frontier
+	for _, p := range pts {
+		if len(f) == 0 {
+			f = append(f, p)
+			continue
+		}
+		last := f[len(f)-1]
+		if p.Embodied() == last.Embodied() && p.Operational() == last.Operational() {
+			continue // coincident
+		}
+		if p.Operational() < last.Operational() {
+			f = append(f, p)
+		}
+	}
+	return f
+}
+
+// resultRow renders one result into the shared table layout.
+func resultRow(t *report.Table, r Result) {
+	valid := "yes"
+	if r.Report.Operational != nil && !r.Report.Operational.Valid {
+		valid = "NO (x)"
+	}
+	tc, tr := "-", "-"
+	if r.Baseline != nil && r.Tc.Verdict != "" {
+		tc, tr = r.Tc.String(), r.Tr.String()
+	}
+	save := "-"
+	if r.Baseline != nil {
+		save = report.Pct(r.EmbodiedSave)
+	}
+	t.Add(r.Candidate.ID, r.Candidate.Design.Integration.DisplayName(), valid,
+		report.Kg(r.Embodied()), report.Kg(r.Operational()), report.Kg(r.Total()),
+		save, tc, tr)
+}
+
+func resultTable(results []Result) *report.Table {
+	t := report.NewTable("Candidate", "Integ", "Valid", "Embodied kg",
+		"Operational kg", "Total kg", "Emb save", "Tc", "Tr")
+	for _, r := range results {
+		resultRow(t, r)
+	}
+	return t
+}
+
+// Table renders the top results of the ranking (top ≤ 0 means all).
+func (rs *ResultSet) Table(top int) *report.Table {
+	ranked := rs.Ranked()
+	if top > 0 && top < len(ranked) {
+		ranked = ranked[:top]
+	}
+	return resultTable(ranked)
+}
+
+// Table renders the frontier, lowest embodied carbon first.
+func (f Frontier) Table() *report.Table { return resultTable(f) }
+
+// Summary is a one-line account of the exploration scale and cache reuse.
+func (rs *ResultSet) Summary(st Stats) string {
+	return fmt.Sprintf("%d candidates, %d evaluated, %d failed, %d distinct evaluations, %d cache hits",
+		len(rs.Results), len(rs.OK()), len(rs.Failed()), st.Evaluations, st.CacheHits)
+}

@@ -1,0 +1,96 @@
+package explore
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/split"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// goldenSpace is the fixed exploration the golden files pin: two nodes ×
+// two use grids × both strategies × all eight technologies.
+func goldenSpace() Space {
+	return Space{
+		Name:         "golden",
+		Strategies:   []split.Strategy{split.HomogeneousStrategy, split.HeterogeneousStrategy},
+		NodesNM:      []int{5, 7},
+		UseLocations: []grid.Location{grid.USA, grid.Norway},
+	}
+}
+
+func renderGolden(rs *ResultSet) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "space %d candidates, %d ok\n", len(rs.Results), len(rs.OK()))
+	b.WriteString("-- ranked top 10 --\n")
+	ranked := rs.Ranked()
+	if len(ranked) > 10 {
+		ranked = ranked[:10]
+	}
+	for _, r := range ranked {
+		fmt.Fprintf(&b, "%s emb=%.3f op=%.3f total=%.3f\n",
+			r.Candidate.ID, r.Embodied(), r.Operational(), r.Total())
+	}
+	b.WriteString("-- frontier --\n")
+	for _, r := range rs.Frontier() {
+		fmt.Fprintf(&b, "%s emb=%.3f op=%.3f tc=%s tr=%s\n",
+			r.Candidate.ID, r.Embodied(), r.Operational(), r.Tc, r.Tr)
+	}
+	return b.String()
+}
+
+// The explore engine's ranking and frontier over a fixed space must stay
+// stable: any model or engine change that reorders candidates or moves the
+// frontier shows up as a golden diff.
+func TestGoldenFrontier(t *testing.T) {
+	rs, err := New(core.Default()).Explore(context.Background(), goldenSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := renderGolden(rs)
+
+	path := filepath.Join("testdata", "frontier.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/explore -update`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// Determinism: two runs over the same space, whatever the worker count,
+// produce identical golden renderings.
+func TestGoldenDeterministic(t *testing.T) {
+	s := goldenSpace()
+	e1 := &Engine{Model: core.Default(), Workers: 1}
+	rs1, err := e1.Explore(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e8 := &Engine{Model: core.Default(), Workers: 8}
+	rs8, err := e8.Explore(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderGolden(rs1) != renderGolden(rs8) {
+		t.Error("worker count changed the exploration result")
+	}
+}

@@ -1,0 +1,207 @@
+// Space enumeration: a compact spec of the design axes the paper varies
+// (§5's "which integration technology, which division, which node, where to
+// fab, where to use?") expanded into a concrete candidate list.
+package explore
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/ic"
+	"repro/internal/split"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Space is a compact design-space specification. Every axis left empty
+// falls back to a single-value default, so the zero Space describes the
+// ORIN-class reference point and each populated axis multiplies the space.
+type Space struct {
+	// Name prefixes candidate IDs and generated design names.
+	Name string
+
+	// Integrations are the Table 1 technologies to consider.
+	// Default: all eight (2D first).
+	Integrations []ic.Integration
+	// Strategies are the §5 die-division strategies. Default: homogeneous.
+	Strategies []split.Strategy
+	// NodesNM are the process nodes. Default: {7}.
+	NodesNM []int
+	// Gates are the 2D-equivalent design sizes. Default: {17e9} (ORIN).
+	Gates []float64
+	// FabLocations are the manufacturing grids. Default: {taiwan}.
+	FabLocations []grid.Location
+	// UseLocations are the deployment grids. Default: {usa}.
+	UseLocations []grid.Location
+	// LifetimeYears are the device lifetimes the use phase integrates
+	// over. Default: {10} (the paper's AV lifetime).
+	LifetimeYears []float64
+
+	// PeakTOPS is the chip capability that sets the §3.4 bandwidth
+	// requirement. Default: 254 (ORIN).
+	PeakTOPS float64
+	// EfficiencyTOPSW is the surveyed chip efficiency. Default: 2.74.
+	EfficiencyTOPSW float64
+}
+
+// Defaults for the unset axes.
+var (
+	defaultStrategies = []split.Strategy{split.HomogeneousStrategy}
+	defaultNodes      = []int{7}
+	defaultGates      = []float64{17e9}
+	defaultFabs       = []grid.Location{grid.Taiwan}
+	defaultUses       = []grid.Location{grid.USA}
+	defaultLifetimes  = []float64{10}
+)
+
+const (
+	defaultPeakTOPS = 254
+	defaultEffTOPSW = 2.74
+)
+
+func (s Space) integrations() []ic.Integration {
+	if len(s.Integrations) > 0 {
+		return s.Integrations
+	}
+	return ic.Integrations()
+}
+
+func (s Space) strategies() []split.Strategy {
+	if len(s.Strategies) > 0 {
+		return s.Strategies
+	}
+	return defaultStrategies
+}
+
+func (s Space) nodes() []int {
+	if len(s.NodesNM) > 0 {
+		return s.NodesNM
+	}
+	return defaultNodes
+}
+
+func (s Space) gates() []float64 {
+	if len(s.Gates) > 0 {
+		return s.Gates
+	}
+	return defaultGates
+}
+
+func (s Space) fabs() []grid.Location {
+	if len(s.FabLocations) > 0 {
+		return s.FabLocations
+	}
+	return defaultFabs
+}
+
+func (s Space) uses() []grid.Location {
+	if len(s.UseLocations) > 0 {
+		return s.UseLocations
+	}
+	return defaultUses
+}
+
+func (s Space) lifetimes() []float64 {
+	if len(s.LifetimeYears) > 0 {
+		return s.LifetimeYears
+	}
+	return defaultLifetimes
+}
+
+func (s Space) peak() float64 {
+	if s.PeakTOPS > 0 {
+		return s.PeakTOPS
+	}
+	return defaultPeakTOPS
+}
+
+func (s Space) eff() units.Efficiency {
+	if s.EfficiencyTOPSW > 0 {
+		return units.TOPSPerWatt(s.EfficiencyTOPSW)
+	}
+	return units.TOPSPerWatt(defaultEffTOPSW)
+}
+
+func (s Space) name() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return "explore"
+}
+
+// Size returns the number of candidates Enumerate will generate. The 2D
+// baseline is strategy-independent, so it counts once per point of the
+// non-strategy axes, not once per strategy.
+func (s Space) Size() int {
+	integs := len(s.integrations())
+	strat := len(s.strategies())
+	per := integs * strat
+	if strat > 1 {
+		for _, integ := range s.integrations() {
+			if integ == ic.Mono2D {
+				per -= strat - 1 // dedup the strategy-independent 2D design
+			}
+		}
+	}
+	return per * len(s.nodes()) * len(s.gates()) *
+		len(s.fabs()) * len(s.uses()) * len(s.lifetimes())
+}
+
+// Enumerate expands the space into candidates in a deterministic order:
+// gates (outer), node, fab, use, lifetime, strategy, integration (inner).
+// Every non-2D candidate carries the 2D baseline of its axis point, so the
+// engine can attach the Eq. 2 choosing/replacing verdicts; the shared
+// baselines hit the evaluator's memoization cache.
+func (s Space) Enumerate() ([]Candidate, error) {
+	out := make([]Candidate, 0, s.Size())
+	for _, gates := range s.gates() {
+		for _, nm := range s.nodes() {
+			for _, fab := range s.fabs() {
+				for _, use := range s.uses() {
+					chip := split.Chip{
+						Name:        fmt.Sprintf("%s-n%d-g%.4gB", s.name(), nm, gates/1e9),
+						ProcessNM:   nm,
+						Gates:       gates,
+						FabLocation: fab,
+						UseLocation: use,
+					}
+					base, err := split.Mono2D(chip)
+					if err != nil {
+						return nil, fmt.Errorf("explore: %s: %w", chip.Name, err)
+					}
+					for _, years := range s.lifetimes() {
+						w := workload.AVPipeline(units.TOPS(s.peak()))
+						w.LifetimeYears = years
+						for si, strat := range s.strategies() {
+							for _, integ := range s.integrations() {
+								if integ == ic.Mono2D && si > 0 {
+									continue // strategy-independent
+								}
+								d, err := split.Divide(chip, integ, strat)
+								if err != nil {
+									return nil, fmt.Errorf("explore: %s/%s: %w", chip.Name, integ, err)
+								}
+								c := Candidate{
+									ID:       candidateID(chip, fab, use, strat, years, integ),
+									Design:   d,
+									Workload: w,
+									Eff:      s.eff(),
+								}
+								if integ != ic.Mono2D {
+									c.Baseline = base
+								}
+								out = append(out, c)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func candidateID(chip split.Chip, fab, use grid.Location, strat split.Strategy,
+	years float64, integ ic.Integration) string {
+	return fmt.Sprintf("%s/%s>%s/%s/%gy/%s", chip.Name, fab, use, strat, years, integ)
+}
