@@ -29,6 +29,7 @@ package carbon3d
 
 import (
 	"context"
+	"net/http"
 
 	"repro/internal/bandwidth"
 	"repro/internal/core"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/ic"
 	"repro/internal/lifecycle"
 	"repro/internal/metrics"
+	"repro/internal/server"
 	"repro/internal/split"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -213,6 +215,33 @@ func NewExploreEngine(m *Model) *ExploreEngine { return explore.New(m) }
 func Explore(ctx context.Context, s Space) (*Exploration, error) {
 	return explore.New(core.Default()).Explore(ctx, s)
 }
+
+// Carbon-as-a-service (internal/server): the full model as a long-running
+// HTTP service on top of the exploration engine, with one process-wide
+// memoization cache, per-request timeouts, a concurrency limiter and
+// request/latency/cache counters. See docs/API.md for the endpoint
+// reference.
+type (
+	// ServerOptions configures the HTTP service; the zero value serves the
+	// default model with a bounded cache.
+	ServerOptions = server.Options
+	// Server is the http.Handler implementing the /v1 API.
+	Server = server.Server
+)
+
+// NewServerHandler returns the HTTP handler serving the full model: POST
+// /v1/evaluate, POST /v1/evaluate/batch, POST /v1/explore (NDJSON stream),
+// GET /v1/meta and GET /v1/stats.
+func NewServerHandler(opts ServerOptions) *Server { return server.New(opts) }
+
+// Serve runs the carbon-as-a-service endpoint on addr until ctx is
+// cancelled, then drains in-flight requests.
+func Serve(ctx context.Context, addr string, opts ServerOptions) error {
+	return server.ListenAndServe(ctx, addr, opts)
+}
+
+// Handler satisfies callers that want a plain http.Handler.
+var _ http.Handler = (*Server)(nil)
 
 // LifecyclePhases is the full Fig. 1 lifecycle breakdown (manufacturing,
 // transport, use, end-of-life).

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/design"
 	"repro/internal/report"
+	"repro/internal/server/apitypes"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -38,11 +39,11 @@ const sampleDesign = `{
 
 func main() {
 	path := flag.String("design", "", "path to the design JSON file")
-	tops := flag.Float64("tops", 30, "fixed application throughput (TOPS)")
-	peak := flag.Float64("peak", 254, "chip peak capability (TOPS), sets the bandwidth requirement")
-	eff := flag.Float64("eff", 2.74, "surveyed chip efficiency (TOPS/W)")
-	hours := flag.Float64("hours", 365, "active hours per year")
-	years := flag.Float64("years", 10, "device lifetime (years)")
+	tops := flag.Float64("tops", apitypes.DefaultTOPS, "fixed application throughput (TOPS)")
+	peak := flag.Float64("peak", apitypes.DefaultPeakTOPS, "chip peak capability (TOPS), sets the bandwidth requirement")
+	eff := flag.Float64("eff", apitypes.DefaultEfficiencyTOPSW, "surveyed chip efficiency (TOPS/W)")
+	hours := flag.Float64("hours", apitypes.DefaultActiveHours, "active hours per year")
+	years := flag.Float64("years", apitypes.DefaultLifetimeYears, "device lifetime (years)")
 	format := flag.String("format", "table", "output format: table, csv or json")
 	sample := flag.Bool("emit-sample", false, "print a sample design file and exit")
 	flag.Parse()
@@ -81,9 +82,11 @@ func run(path string, tops, peak, eff, hours, years float64, format string) erro
 
 	switch format {
 	case "json":
+		// The same wire shape as POST /v1/evaluate, so piped CLI output and
+		// the HTTP service are interchangeable inputs for tooling.
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(tot)
+		return enc.Encode(apitypes.EvaluateResponse{Design: d.Name, Report: tot})
 	case "table", "csv":
 		emb := tot.Embodied
 		op := tot.Operational

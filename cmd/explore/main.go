@@ -20,6 +20,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,9 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/explore"
-	"repro/internal/grid"
-	"repro/internal/ic"
-	"repro/internal/split"
+	"repro/internal/server/apitypes"
 )
 
 func main() {
@@ -43,8 +42,8 @@ func main() {
 	fabs := flag.String("fab", "taiwan", "comma-separated fab grid locations")
 	uses := flag.String("use", "usa", "comma-separated use grid locations")
 	lifetimes := flag.String("lifetimes", "10", "comma-separated device lifetimes (years)")
-	peak := flag.Float64("peak", 254, "chip peak capability (TOPS)")
-	eff := flag.Float64("eff", 2.74, "surveyed chip efficiency (TOPS/W)")
+	peak := flag.Float64("peak", apitypes.DefaultPeakTOPS, "chip peak capability (TOPS)")
+	eff := flag.Float64("eff", apitypes.DefaultEfficiencyTOPSW, "surveyed chip efficiency (TOPS/W)")
 	top := flag.Int("top", 15, "ranked candidates to print (0 = all)")
 	workers := flag.Int("workers", 0, "evaluation workers (0 = all CPUs)")
 	format := flag.String("format", "table", "output format: table or csv")
@@ -107,63 +106,50 @@ func run(nodes, gates, integrations, strategies, fabs, uses, lifetimes string,
 	return nil
 }
 
+// buildSpace assembles the flag values into the shared apitypes.SpaceSpec —
+// the same wire type POST /v1/explore consumes — and resolves it, so the
+// CLI and the HTTP service validate axes identically.
 func buildSpace(nodes, gates, integrations, strategies, fabs, uses, lifetimes string,
 	peak, eff float64) (*explore.Space, error) {
-	s := &explore.Space{Name: "explore", PeakTOPS: peak, EfficiencyTOPSW: eff}
+	spec := apitypes.SpaceSpec{
+		Name:            "explore",
+		PeakTOPS:        peak,
+		EfficiencyTOPSW: eff,
+		Strategies:      splitList(strategies),
+		FabLocations:    splitList(fabs),
+		UseLocations:    splitList(uses),
+	}
+	if integrations != "" && integrations != "all" {
+		spec.Integrations = splitList(integrations)
+	}
 
-	nodeList, err := parseInts(nodes)
-	if err != nil {
+	var err error
+	if spec.NodesNM, err = parseInts(nodes); err != nil {
 		return nil, fmt.Errorf("-nodes: %w", err)
 	}
-	s.NodesNM = nodeList
-
-	gateList, err := parseFloats(gates)
-	if err != nil {
+	if spec.Gates, err = parseFloats(gates); err != nil {
 		return nil, fmt.Errorf("-gates: %w", err)
 	}
-	s.Gates = gateList
-
-	if integrations != "" && integrations != "all" {
-		for _, v := range splitList(integrations) {
-			integ := ic.Integration(v)
-			if !integ.Valid() {
-				return nil, fmt.Errorf("-integrations: unknown technology %q", v)
-			}
-			s.Integrations = append(s.Integrations, integ)
-		}
-	}
-
-	for _, v := range splitList(strategies) {
-		switch strat := split.Strategy(v); strat {
-		case split.HomogeneousStrategy, split.HeterogeneousStrategy:
-			s.Strategies = append(s.Strategies, strat)
-		default:
-			return nil, fmt.Errorf("-strategies: unknown strategy %q", v)
-		}
-	}
-
-	for _, v := range splitList(fabs) {
-		loc := grid.Location(v)
-		if _, err := grid.Intensity(loc); err != nil {
-			return nil, fmt.Errorf("-fab: %w", err)
-		}
-		s.FabLocations = append(s.FabLocations, loc)
-	}
-	for _, v := range splitList(uses) {
-		loc := grid.Location(v)
-		if _, err := grid.Intensity(loc); err != nil {
-			return nil, fmt.Errorf("-use: %w", err)
-		}
-		s.UseLocations = append(s.UseLocations, loc)
-	}
-
-	lifeList, err := parseFloats(lifetimes)
-	if err != nil {
+	if spec.LifetimeYears, err = parseFloats(lifetimes); err != nil {
 		return nil, fmt.Errorf("-lifetimes: %w", err)
 	}
-	s.LifetimeYears = lifeList
-	return s, nil
+	s, err := spec.Space()
+	if err != nil {
+		// The spec validates wire-field names; report the CLI flag the user
+		// actually typed.
+		return nil, errors.New(wireToFlag.Replace(err.Error()))
+	}
+	return &s, nil
 }
+
+// wireToFlag maps the SpaceSpec JSON field prefixes of validation errors
+// onto the corresponding CLI flags.
+var wireToFlag = strings.NewReplacer(
+	"integrations:", "-integrations:",
+	"strategies:", "-strategies:",
+	"fab_locations:", "-fab:",
+	"use_locations:", "-use:",
+)
 
 func splitList(s string) []string {
 	var out []string

@@ -1,0 +1,80 @@
+// Command serve runs the 3D-Carbon model as a long-running HTTP service:
+// carbon-as-a-service on top of the concurrent memoizing exploration engine.
+//
+// Usage:
+//
+//	serve [-addr :8035] [-workers 0] [-cache-limit 65536] [-max-concurrent 0]
+//	      [-timeout 60s] [-max-batch 10000] [-max-space 1000000] [-quiet]
+//
+// Endpoints (see docs/API.md for the full reference):
+//
+//	POST /v1/evaluate        one design JSON → full life-cycle report
+//	POST /v1/evaluate/batch  many designs → per-design reports
+//	POST /v1/explore         space spec → NDJSON result stream
+//	GET  /v1/meta            enumerable inputs for client UIs
+//	GET  /v1/stats           request / latency / cache counters
+//	GET  /healthz            liveness probe
+//
+// The process keeps one memoization cache across all requests, so repeated
+// designs — the 2D baselines of comparison sweeps, a fleet of near-identical
+// configurations — are evaluated once.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8035", "listen address")
+	workers := flag.Int("workers", 0, "evaluation workers per request (0 = all CPUs)")
+	cacheLimit := flag.Int("cache-limit", server.DefaultCacheLimit,
+		"memoization cache bound in distinct evaluations (-1 = unbounded)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "requests evaluating at once (0 = 2×CPUs)")
+	timeout := flag.Duration("timeout", server.DefaultRequestTimeout,
+		"per-request evaluation timeout (-1s = none)")
+	maxBatch := flag.Int("max-batch", server.DefaultMaxBatch, "max designs per batch request")
+	maxSpace := flag.Int("max-space", server.DefaultMaxSpace, "max candidates per exploration")
+	quiet := flag.Bool("quiet", false, "disable per-request logging")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "serve: ", log.LstdFlags)
+	opts := buildOptions(*workers, *cacheLimit, *maxConcurrent, *maxBatch, *maxSpace,
+		*timeout, *quiet, logger)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	logger.Printf("listening on %s (cache limit %d, timeout %v)",
+		*addr, *cacheLimit, *timeout)
+	if err := server.ListenAndServe(ctx, *addr, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	logger.Println("shut down")
+}
+
+// buildOptions maps the flag values onto the server configuration.
+func buildOptions(workers, cacheLimit, maxConcurrent, maxBatch, maxSpace int,
+	timeout time.Duration, quiet bool, logger *log.Logger) server.Options {
+	opts := server.Options{
+		Workers:        workers,
+		CacheLimit:     cacheLimit,
+		MaxConcurrent:  maxConcurrent,
+		RequestTimeout: timeout,
+		MaxBatch:       maxBatch,
+		MaxSpace:       maxSpace,
+	}
+	if !quiet {
+		opts.Logger = logger
+	}
+	return opts
+}

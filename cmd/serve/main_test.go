@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"log"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/server/apitypes"
+)
+
+func TestBuildOptions(t *testing.T) {
+	logger := log.New(bytes.NewBuffer(nil), "", 0)
+	opts := buildOptions(4, 128, 2, 50, 1000, 5*time.Second, false, logger)
+	if opts.Workers != 4 || opts.CacheLimit != 128 || opts.MaxConcurrent != 2 {
+		t.Errorf("options: %+v", opts)
+	}
+	if opts.RequestTimeout != 5*time.Second || opts.MaxBatch != 50 || opts.MaxSpace != 1000 {
+		t.Errorf("options: %+v", opts)
+	}
+	if opts.Logger != logger {
+		t.Error("logger not wired")
+	}
+	if quietOpts := buildOptions(0, 0, 0, 0, 0, 0, true, logger); quietOpts.Logger != nil {
+		t.Error("-quiet should disable request logging")
+	}
+}
+
+// The command's wiring end to end: the options the flags produce must boot
+// a server that answers /v1/meta and a design evaluation — the same probe
+// CI runs against the built binary.
+func TestServeBootAndProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network listener in -short mode")
+	}
+	opts := buildOptions(0, server.DefaultCacheLimit, 0, server.DefaultMaxBatch,
+		server.DefaultMaxSpace, server.DefaultRequestTimeout, true, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: server.New(opts)}
+	go srv.Serve(ln)
+	defer srv.Shutdown(context.Background())
+	base := "http://" + ln.Addr().String()
+
+	resp, err := http.Get(base + "/v1/meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/meta: %d", resp.StatusCode)
+	}
+	var meta apitypes.MetaResponse
+	if err := json.NewDecoder(bufio.NewReader(resp.Body)).Decode(&meta); err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.Integrations) != 8 {
+		t.Errorf("meta lists %d integrations", len(meta.Integrations))
+	}
+}

@@ -1,0 +1,127 @@
+package carbon3d_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	carbon3d "repro"
+)
+
+// ExampleNewModel evaluates the embodied and operational carbon of a
+// two-die hybrid-bonded 3D design under the paper's autonomous-vehicle
+// workload.
+func ExampleNewModel() {
+	m := carbon3d.NewModel()
+
+	d := &carbon3d.Design{
+		Name:        "my-soc",
+		Integration: carbon3d.Hybrid3D,
+		Dies: []carbon3d.Die{
+			{Name: "bottom", ProcessNM: 7, Gates: 8.5e9},
+			{Name: "top", ProcessNM: 7, Gates: 8.5e9},
+		},
+		FabLocation: carbon3d.Taiwan,
+		UseLocation: carbon3d.USA,
+	}
+
+	w := carbon3d.AVWorkload(254) // 30 TOPS pipeline on a 254-TOPS part
+	tot, err := m.Total(d, w, carbon3d.TOPSPerWatt(2.74))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("embodied %.2f kg + operational %.2f kg = %.2f kg CO2e\n",
+		tot.Embodied.Total.Kg(), tot.Operational.LifetimeCarbon.Kg(),
+		tot.Total.Kg())
+	// Output:
+	// embodied 13.28 kg + operational 14.27 kg = 27.56 kg CO2e
+}
+
+// ExampleCompare derives the Eq. 2 decision metrics — should a designer
+// *choose* the 3D part over the 2D baseline, and would *replacing* a
+// deployed 2D part pay back?
+func ExampleCompare() {
+	m := carbon3d.NewModel()
+	w := carbon3d.AVWorkload(254)
+	eff := carbon3d.TOPSPerWatt(2.74)
+
+	chip := carbon3d.Chip{Name: "orin", ProcessNM: 7, Gates: 17e9,
+		FabLocation: carbon3d.Taiwan, UseLocation: carbon3d.USA}
+	mono, err := carbon3d.Divide(chip, carbon3d.Mono2D, carbon3d.Homogeneous)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stacked, err := carbon3d.Divide(chip, carbon3d.Hybrid3D, carbon3d.Homogeneous)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	baseline, err := m.Total(mono, w, eff)
+	if err != nil {
+		log.Fatal(err)
+	}
+	candidate, err := m.Total(stacked, w, eff)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cmp := carbon3d.Compare(baseline, candidate)
+	tc, err := carbon3d.Choosing(cmp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := carbon3d.Replacing(cmp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("choose for a 10-year device: %v (Tc %s)\n",
+		carbon3d.Recommend(tc, 10), tc)
+	fmt.Printf("replace a deployed 2D part: %v (Tr %s)\n",
+		carbon3d.Recommend(tr, 10), tr)
+	// Output:
+	// choose for a 10-year device: true (Tc >0)
+	// replace a deployed 2D part: false (Tr >145.8 yr)
+}
+
+// ExampleExplore sweeps a small design space — both division strategies at
+// two process nodes — and reports the lowest-carbon candidate and the
+// Pareto frontier.
+func ExampleExplore() {
+	space := carbon3d.Space{
+		Name:       "orin-class",
+		Strategies: []carbon3d.Strategy{carbon3d.Homogeneous, carbon3d.Heterogeneous},
+		NodesNM:    []int{5, 7},
+	}
+	results, err := carbon3d.Explore(context.Background(), space)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	best := results.Ranked()[0]
+	fmt.Printf("%d candidates evaluated\n", len(results.OK()))
+	fmt.Printf("best: %s (%.2f kg CO2e)\n", best.Candidate.ID, best.Total())
+	fmt.Printf("frontier: %d point(s)\n", len(results.Frontier()))
+	// Output:
+	// 30 candidates evaluated
+	// best: orin-class-n5-g17B/taiwan>usa/homogeneous/10y/m3d (15.28 kg CO2e)
+	// frontier: 1 point(s)
+}
+
+// ExampleNewServerHandler mounts the carbon-as-a-service HTTP API — the
+// same handler cmd/serve runs — on a test listener. See docs/API.md for
+// the endpoint reference.
+func ExampleNewServerHandler() {
+	srv := httptest.NewServer(carbon3d.NewServerHandler(carbon3d.ServerOptions{}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fmt.Println(resp.Status)
+	// Output:
+	// 200 OK
+}

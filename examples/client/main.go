@@ -1,0 +1,176 @@
+// The carbon-as-a-service client example: boots the HTTP service in-process
+// on a loopback port, then drives every endpoint the way an external tool
+// would — metadata discovery, a single evaluation, a 100-design batch that
+// exercises the shared memoization cache, a streamed exploration, and the
+// server counters.
+//
+// Run with:
+//
+//	go run ./examples/client
+//
+// Against a separately-started server (go run ./cmd/serve), point BASE at
+// it instead of the in-process listener.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	carbon3d "repro"
+	"repro/internal/server/apitypes"
+)
+
+// lakefield is Intel Lakefield (the paper's 3D validation target): a 7 nm
+// compute die micro-bump-stacked on a 14 nm memory-dominated base die — the
+// same description as designs/lakefield.json.
+const lakefield = `{
+  "name": "lakefield",
+  "integration": "micro-bump-3d",
+  "stacking": "f2f",
+  "flow": "d2w",
+  "dies": [
+    {"name": "base", "process_nm": 14, "area_mm2": 92.0, "memory": true},
+    {"name": "compute", "process_nm": 7, "area_mm2": 82.5}
+  ],
+  "fab_location": "taiwan",
+  "use_location": "usa",
+  "package_area_mm2": 144
+}`
+
+func main() {
+	// Serve in-process: the same handler cmd/serve mounts.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	handler := carbon3d.NewServerHandler(carbon3d.ServerOptions{})
+	go func() {
+		if err := http.Serve(ln, handler); err != nil && err != http.ErrServerClosed {
+			log.Println(err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	// 1. Metadata: everything a client UI needs to build a design form.
+	var meta apitypes.MetaResponse
+	getJSON(client, base+"/v1/meta", &meta)
+	fmt.Printf("server knows %d integrations, %d grid locations, nodes %v\n",
+		len(meta.Integrations), len(meta.Locations), meta.NodesNM)
+
+	// 2. Single evaluation of the Lakefield design.
+	var design json.RawMessage = []byte(lakefield)
+	var single apitypes.EvaluateResponse
+	postJSON(client, base+"/v1/evaluate",
+		apitypes.EvaluateRequest{Design: mustDesign(design)}, &single)
+	fmt.Printf("%s: embodied %.2f kg + operational %.2f kg = %.2f kg CO2e\n",
+		single.Design,
+		single.Report.Embodied.Total.Kg(),
+		single.Report.Operational.LifetimeCarbon.Kg(),
+		single.Report.Total.Kg())
+
+	// 3. A batch of 100 copies: one evaluation, 99 cache hits.
+	batchReq := apitypes.BatchRequest{}
+	for i := 0; i < 100; i++ {
+		batchReq.Designs = append(batchReq.Designs, mustDesign(design))
+	}
+	var batch apitypes.BatchResponse
+	postJSON(client, base+"/v1/evaluate/batch", batchReq, &batch)
+	fmt.Printf("batch: %d results, %d failed\n", batch.Count, batch.Failed)
+
+	// 4. A streamed exploration: results arrive line by line as NDJSON.
+	exploreBody, err := json.Marshal(apitypes.ExploreRequest{
+		Space: apitypes.SpaceSpec{
+			Name:       "client-demo",
+			NodesNM:    []int{5, 7},
+			Strategies: []string{"homogeneous", "heterogeneous"},
+		},
+		Top: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := client.Post(base+"/v1/explore", "application/json",
+		bytes.NewReader(exploreBody))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	results := 0
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		var ev apitypes.ExploreEvent
+		if err := json.Unmarshal(scanner.Bytes(), &ev); err != nil {
+			log.Fatal(err)
+		}
+		switch ev.Type {
+		case "result":
+			results++
+		case "summary":
+			fmt.Printf("explore: %d results streamed; best %s; frontier %v\n",
+				results, ev.Summary.Ranked[0], ev.Summary.Frontier)
+		case "error":
+			log.Fatalf("explore stream failed: %s", ev.Error.Message)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Server counters: the duplicated batch shows up as cache hits.
+	var stats apitypes.StatsResponse
+	getJSON(client, base+"/v1/stats", &stats)
+	fmt.Printf("stats: %d designs evaluated, cache hit rate %.2f (%d hits / %d evals)\n",
+		stats.DesignsEvaluated, stats.Engine.CacheHitRate,
+		stats.Engine.CacheHits, stats.Engine.Evaluations)
+}
+
+func mustDesign(raw json.RawMessage) *carbon3d.Design {
+	d, err := carbon3d.ParseDesign(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return d
+}
+
+func getJSON(c *http.Client, url string, out any) {
+	resp, err := c.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	decodeResponse(resp, url, out)
+}
+
+func postJSON(c *http.Client, url string, in, out any) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := c.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	decodeResponse(resp, url, out)
+}
+
+func decodeResponse(resp *http.Response, url string, out any) {
+	if resp.StatusCode != http.StatusOK {
+		var envelope apitypes.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&envelope); err == nil {
+			log.Fatalf("%s: %d %s: %s", url, resp.StatusCode,
+				envelope.Error.Code, envelope.Error.Message)
+		}
+		log.Fatalf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatalf("%s: decoding response: %v", url, err)
+	}
+}

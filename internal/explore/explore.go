@@ -14,6 +14,7 @@
 package explore
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"runtime"
@@ -170,6 +171,21 @@ type Stats struct {
 	// CacheHits is the number of evaluations answered from the
 	// memoization cache.
 	CacheHits uint64
+	// CacheEntries is the current number of memoized evaluations.
+	CacheEntries int
+	// Evictions is the number of memoized evaluations dropped to keep the
+	// cache inside CacheLimit.
+	Evictions uint64
+}
+
+// HitRate returns the fraction of evaluation requests answered from the
+// cache (0 when nothing has been evaluated yet).
+func (s Stats) HitRate() float64 {
+	total := s.Evaluations + s.CacheHits
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
 }
 
 // Engine evaluates candidates concurrently with a shared memoization cache.
@@ -183,20 +199,45 @@ type Engine struct {
 	Model *core.Model
 	// Workers bounds evaluation concurrency; ≤0 means runtime.NumCPU().
 	Workers int
+	// CacheLimit bounds the memoization cache to this many distinct
+	// evaluations, evicted least-recently-used; ≤0 means unbounded. A
+	// long-running process (cmd/serve) sets this so arbitrary request
+	// streams cannot grow the cache without bound.
+	CacheLimit int
 
-	mu    sync.Mutex
-	memo  map[keyPair]*memoEntry
-	evals atomic.Uint64
-	hits  atomic.Uint64
+	mu        sync.Mutex
+	memo      map[keyPair]*list.Element // → *cacheEntry
+	lru       *list.List                // front = most recently used
+	evals     atomic.Uint64
+	hits      atomic.Uint64
+	evictions atomic.Uint64
 
 	// designKeys and workloadKeys cache the two halves of evaluation keys:
 	// a baseline design shared by hundreds of candidates encodes once (by
 	// pointer), and a space's handful of distinct workload profiles encode
 	// once each. This assumes submitted designs are not mutated while the
 	// engine holds them — the same contract the memoized reports already
-	// require.
-	designKeys   sync.Map // *design.Design → string
-	workloadKeys sync.Map // workloadID → string
+	// require. Both maps are reset wholesale when they outgrow their
+	// bounds, so a server feeding the engine fresh pointers per request
+	// cannot leak.
+	keyMu        sync.RWMutex
+	designKeys   map[*design.Design]string
+	workloadKeys map[workloadID]string
+}
+
+// Bounds for the key caches: identity-keyed entries are cheap (~200 B) but
+// a server mints new design pointers per request, so both maps reset when
+// they exceed these sizes.
+const (
+	designKeyCacheLimit   = 1 << 14
+	workloadKeyCacheLimit = 1 << 10
+)
+
+// cacheEntry is one LRU slot: the memo key (so eviction can delete the map
+// entry) and the memoized evaluation.
+type cacheEntry struct {
+	key keyPair
+	ent *memoEntry
 }
 
 // keyPair is the memo-map key: the two halves stay separate to avoid a
@@ -222,7 +263,15 @@ func New(m *core.Model) *Engine { return &Engine{Model: m} }
 
 // Stats returns the evaluation counters.
 func (e *Engine) Stats() Stats {
-	return Stats{Evaluations: e.evals.Load(), CacheHits: e.hits.Load()}
+	e.mu.Lock()
+	entries := len(e.memo)
+	e.mu.Unlock()
+	return Stats{
+		Evaluations:  e.evals.Load(),
+		CacheHits:    e.hits.Load(),
+		CacheEntries: entries,
+		Evictions:    e.evictions.Load(),
+	}
 }
 
 func (e *Engine) workers() int {
@@ -237,17 +286,36 @@ func (e *Engine) workers() int {
 // the embodied carbon. The returned report is shared across callers and
 // must be treated as read-only.
 func (e *Engine) key(d *design.Design, w workload.Workload, eff units.Efficiency) keyPair {
-	dk, ok := e.designKeys.Load(d)
-	if !ok {
-		dk, _ = e.designKeys.LoadOrStore(d, designKey(d))
-	}
 	id := workloadID{float64(w.Throughput), float64(w.PeakThroughput),
 		w.ActiveHoursPerYear, w.LifetimeYears, float64(eff)}
-	wk, ok := e.workloadKeys.Load(id)
-	if !ok {
-		wk, _ = e.workloadKeys.LoadOrStore(id, workloadKey(w, eff))
+	e.keyMu.RLock()
+	dk, dok := e.designKeys[d]
+	wk, wok := e.workloadKeys[id]
+	e.keyMu.RUnlock()
+	if dok && wok {
+		return keyPair{design: dk, workload: wk}
 	}
-	return keyPair{design: dk.(string), workload: wk.(string)}
+	if !dok {
+		dk = designKey(d)
+	}
+	if !wok {
+		wk = workloadKey(w, eff)
+	}
+	e.keyMu.Lock()
+	if !dok {
+		if e.designKeys == nil || len(e.designKeys) >= designKeyCacheLimit {
+			e.designKeys = make(map[*design.Design]string, 64)
+		}
+		e.designKeys[d] = dk
+	}
+	if !wok {
+		if e.workloadKeys == nil || len(e.workloadKeys) >= workloadKeyCacheLimit {
+			e.workloadKeys = make(map[workloadID]string, 16)
+		}
+		e.workloadKeys[id] = wk
+	}
+	e.keyMu.Unlock()
+	return keyPair{design: dk, workload: wk}
 }
 
 func (e *Engine) total(d *design.Design, w workload.Workload, eff units.Efficiency,
@@ -255,12 +323,25 @@ func (e *Engine) total(d *design.Design, w workload.Workload, eff units.Efficien
 	key := e.key(d, w, eff)
 	e.mu.Lock()
 	if e.memo == nil {
-		e.memo = make(map[keyPair]*memoEntry)
+		e.memo = make(map[keyPair]*list.Element)
+		e.lru = list.New()
 	}
-	ent, ok := e.memo[key]
-	if !ok {
+	var ent *memoEntry
+	el, ok := e.memo[key]
+	if ok {
+		ent = el.Value.(*cacheEntry).ent
+		e.lru.MoveToFront(el)
+	} else {
 		ent = &memoEntry{}
-		e.memo[key] = ent
+		e.memo[key] = e.lru.PushFront(&cacheEntry{key: key, ent: ent})
+		if e.CacheLimit > 0 {
+			for len(e.memo) > e.CacheLimit {
+				back := e.lru.Back()
+				delete(e.memo, back.Value.(*cacheEntry).key)
+				e.lru.Remove(back)
+				e.evictions.Add(1)
+			}
+		}
 	}
 	e.mu.Unlock()
 	if ok {

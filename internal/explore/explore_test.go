@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/design"
 	"repro/internal/grid"
 	"repro/internal/ic"
 	"repro/internal/split"
@@ -285,5 +286,150 @@ func TestKeyCanonical(t *testing.T) {
 	d2.Dies[0].Memory = true
 	if k4 := Key(d2, w, units.TOPSPerWatt(2.74)); k4 == Key(d1, w, units.TOPSPerWatt(2.74)) {
 		t.Error("different die flags must not share a key")
+	}
+}
+
+// A bounded cache must stay inside its limit, evict least-recently-used
+// first, and keep hot entries hot.
+func TestCacheLimitEvictsLRU(t *testing.T) {
+	m := core.Default()
+	e := &Engine{Model: m, Workers: 1, CacheLimit: 3}
+
+	designs := make([]*design.Design, 6)
+	for i := range designs {
+		chip := split.Chip{Name: "lru", ProcessNM: 7, Gates: float64(i+1) * 1e9}
+		d, err := split.Mono2D(chip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		designs[i] = d
+	}
+	eval := func(d *design.Design) {
+		t.Helper()
+		res, err := e.Evaluate(context.Background(),
+			[]Candidate{{ID: d.Name, Design: d}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0].Err != nil {
+			t.Fatal(res[0].Err)
+		}
+	}
+
+	for _, d := range designs {
+		eval(d)
+	}
+	st := e.Stats()
+	if st.CacheEntries != 3 {
+		t.Errorf("cache holds %d entries, limit is 3", st.CacheEntries)
+	}
+	if st.Evictions != 3 {
+		t.Errorf("expected 3 evictions, got %d", st.Evictions)
+	}
+	if st.Evaluations != 6 || st.CacheHits != 0 {
+		t.Errorf("expected 6 evaluations and 0 hits, got %d/%d", st.Evaluations, st.CacheHits)
+	}
+
+	// The three most recent designs are resident; the oldest recomputes.
+	eval(designs[5])
+	if got := e.Stats(); got.CacheHits != 1 {
+		t.Errorf("most recent design should hit the cache, hits=%d", got.CacheHits)
+	}
+	eval(designs[0])
+	if got := e.Stats(); got.Evaluations != 7 {
+		t.Errorf("evicted design should recompute, evals=%d", got.Evaluations)
+	}
+
+	// Touching an entry protects it: re-use designs[5] then add a new
+	// design; designs[5] must survive the eviction that follows.
+	eval(designs[5])
+	chip := split.Chip{Name: "lru", ProcessNM: 7, Gates: 9e9}
+	fresh, err := split.Mono2D(chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval(fresh)
+	before := e.Stats()
+	eval(designs[5])
+	after := e.Stats()
+	if after.CacheHits != before.CacheHits+1 {
+		t.Error("recently-used entry was evicted ahead of older ones")
+	}
+}
+
+// An unbounded engine (the default) never evicts.
+func TestCacheUnboundedByDefault(t *testing.T) {
+	m := core.Default()
+	e := New(m)
+	cands, err := orinSpace().Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Evaluate(context.Background(), cands); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Evictions != 0 {
+		t.Errorf("default engine evicted %d entries", st.Evictions)
+	}
+	if st.CacheEntries != int(st.Evaluations) {
+		t.Errorf("cache entries %d != evaluations %d", st.CacheEntries, st.Evaluations)
+	}
+}
+
+func TestStatsHitRate(t *testing.T) {
+	if r := (Stats{}).HitRate(); r != 0 {
+		t.Errorf("empty stats hit rate = %v", r)
+	}
+	if r := (Stats{Evaluations: 1, CacheHits: 99}).HitRate(); math.Abs(r-0.99) > 1e-12 {
+		t.Errorf("hit rate = %v, want 0.99", r)
+	}
+}
+
+// The compact point projections must apply exactly the ordering and Pareto
+// rules of the full ResultSet methods — the HTTP explore stream depends on
+// them agreeing.
+func TestPointsMatchResultSet(t *testing.T) {
+	m := core.Default()
+	s := Space{
+		Name:         "points",
+		Strategies:   []split.Strategy{split.HomogeneousStrategy, split.HeterogeneousStrategy},
+		NodesNM:      []int{5, 7},
+		UseLocations: []grid.Location{grid.USA, grid.India, grid.Norway},
+	}
+	rs, err := New(m).Explore(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pts := make([]Point, 0, len(rs.Results))
+	for _, r := range rs.OK() {
+		pts = append(pts, PointOf(r))
+	}
+
+	ranked := make([]Point, len(pts))
+	copy(ranked, pts)
+	RankPoints(ranked)
+	wantRanked := rs.Ranked()
+	if len(ranked) != len(wantRanked) {
+		t.Fatalf("ranked sizes differ: %d vs %d", len(ranked), len(wantRanked))
+	}
+	for i := range ranked {
+		if ranked[i].ID != wantRanked[i].Candidate.ID {
+			t.Fatalf("ranked[%d] = %s, ResultSet.Ranked = %s",
+				i, ranked[i].ID, wantRanked[i].Candidate.ID)
+		}
+	}
+
+	frontier := FrontierPoints(pts)
+	wantFrontier := rs.Frontier()
+	if len(frontier) != len(wantFrontier) {
+		t.Fatalf("frontier sizes differ: %d vs %d", len(frontier), len(wantFrontier))
+	}
+	for i := range frontier {
+		if frontier[i].ID != wantFrontier[i].Candidate.ID {
+			t.Fatalf("frontier[%d] = %s, ResultSet.Frontier = %s",
+				i, frontier[i].ID, wantFrontier[i].Candidate.ID)
+		}
 	}
 }

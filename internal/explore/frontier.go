@@ -133,3 +133,65 @@ func (rs *ResultSet) Summary(st Stats) string {
 	return fmt.Sprintf("%d candidates, %d evaluated, %d failed, %d distinct evaluations, %d cache hits",
 		len(rs.Results), len(rs.OK()), len(rs.Failed()), st.Evaluations, st.CacheHits)
 }
+
+// Point is a compact (embodied, operational, total) projection of one
+// successful result. Streaming consumers that must not retain full reports
+// for the lifetime of a large sweep (the HTTP explore stream) accumulate
+// points instead; RankPoints and FrontierPoints apply the same ordering and
+// Pareto rules as ResultSet.Ranked and ResultSet.Frontier.
+type Point struct {
+	ID                           string
+	Embodied, Operational, Total float64
+}
+
+// PointOf projects a successful result.
+func PointOf(r Result) Point {
+	return Point{
+		ID:          r.Candidate.ID,
+		Embodied:    r.Embodied(),
+		Operational: r.Operational(),
+		Total:       r.Total(),
+	}
+}
+
+// RankPoints sorts points by life-cycle total, lowest-carbon first (ties
+// break on embodied carbon, then ID), exactly as ResultSet.Ranked does.
+func RankPoints(pts []Point) {
+	sort.SliceStable(pts, func(i, j int) bool {
+		if pts[i].Total != pts[j].Total {
+			return pts[i].Total < pts[j].Total
+		}
+		if pts[i].Embodied != pts[j].Embodied {
+			return pts[i].Embodied < pts[j].Embodied
+		}
+		return pts[i].ID < pts[j].ID
+	})
+}
+
+// FrontierPoints returns the Pareto-optimal subset on the (embodied,
+// operational) plane, sorted by embodied carbon ascending, exactly as
+// ResultSet.Frontier does (coincident points keep their first occurrence).
+// The input slice is reordered in place.
+func FrontierPoints(pts []Point) []Point {
+	sort.SliceStable(pts, func(i, j int) bool {
+		if pts[i].Embodied != pts[j].Embodied {
+			return pts[i].Embodied < pts[j].Embodied
+		}
+		return pts[i].Operational < pts[j].Operational
+	})
+	var f []Point
+	for _, p := range pts {
+		if len(f) == 0 {
+			f = append(f, p)
+			continue
+		}
+		last := f[len(f)-1]
+		if p.Embodied == last.Embodied && p.Operational == last.Operational {
+			continue // coincident
+		}
+		if p.Operational < last.Operational {
+			f = append(f, p)
+		}
+	}
+	return f
+}

@@ -1,0 +1,352 @@
+// Package apitypes defines the JSON wire types shared by the HTTP service
+// (internal/server) and the CLI tools: requests embed the same design.Design
+// JSON that designs/*.json and cmd/carbon3d consume, responses embed the
+// model's core reports unchanged, and the workload/space defaults live here
+// so every entry point (flag, file or HTTP body) resolves them identically.
+package apitypes
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/design"
+	"repro/internal/explore"
+	"repro/internal/grid"
+	"repro/internal/ic"
+	"repro/internal/split"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Default workload parameters — the ORIN-class reference point every CLI
+// flag default and omitted-field HTTP request resolves to.
+const (
+	DefaultTOPS            = 30
+	DefaultPeakTOPS        = 254
+	DefaultEfficiencyTOPSW = 2.74
+	DefaultActiveHours     = 365
+	DefaultLifetimeYears   = 10
+)
+
+// WorkloadSpec is the §3.3 use-phase profile of a request. Every zero field
+// falls back to the ORIN-class default, so {} (or an absent spec) is the
+// paper's autonomous-vehicle scenario.
+type WorkloadSpec struct {
+	// TOPS is the fixed application throughput the design must sustain.
+	TOPS float64 `json:"tops,omitempty"`
+	// PeakTOPS is the chip capability that sets the §3.4 bandwidth
+	// requirement.
+	PeakTOPS float64 `json:"peak_tops,omitempty"`
+	// EfficiencyTOPSW is the surveyed chip efficiency for dies without an
+	// explicit per-die value.
+	EfficiencyTOPSW float64 `json:"efficiency_topsw,omitempty"`
+	// ActiveHoursPerYear is the annual active (driving) time.
+	ActiveHoursPerYear float64 `json:"active_hours_per_year,omitempty"`
+	// LifetimeYears is the device lifetime the use phase integrates over.
+	LifetimeYears float64 `json:"lifetime_years,omitempty"`
+}
+
+// Resolve applies the defaults and returns the concrete workload and
+// chip-level efficiency. A nil spec resolves to the full default profile.
+func (s *WorkloadSpec) Resolve() (workload.Workload, units.Efficiency) {
+	var spec WorkloadSpec
+	if s != nil {
+		spec = *s
+	}
+	if spec.TOPS <= 0 {
+		spec.TOPS = DefaultTOPS
+	}
+	if spec.PeakTOPS <= 0 {
+		spec.PeakTOPS = DefaultPeakTOPS
+	}
+	if spec.EfficiencyTOPSW <= 0 {
+		spec.EfficiencyTOPSW = DefaultEfficiencyTOPSW
+	}
+	if spec.ActiveHoursPerYear <= 0 {
+		spec.ActiveHoursPerYear = DefaultActiveHours
+	}
+	if spec.LifetimeYears <= 0 {
+		spec.LifetimeYears = DefaultLifetimeYears
+	}
+	w := workload.Workload{
+		Name:               "api",
+		Throughput:         units.TOPS(spec.TOPS),
+		PeakThroughput:     units.TOPS(spec.PeakTOPS),
+		ActiveHoursPerYear: spec.ActiveHoursPerYear,
+		LifetimeYears:      spec.LifetimeYears,
+	}
+	return w, units.TOPSPerWatt(spec.EfficiencyTOPSW)
+}
+
+// EvaluateRequest is the body of POST /v1/evaluate.
+type EvaluateRequest struct {
+	// Design is the hardware description — the same JSON as designs/*.json.
+	Design *design.Design `json:"design"`
+	// Workload optionally overrides the default use-phase profile.
+	Workload *WorkloadSpec `json:"workload,omitempty"`
+	// RequireBandwidthValid turns a §3.4-infeasible design (a 2.5D split
+	// whose interface cannot carry the required bisection bandwidth) into a
+	// structured bandwidth_infeasible error instead of a report with
+	// "valid": false.
+	RequireBandwidthValid bool `json:"require_bandwidth_valid,omitempty"`
+}
+
+// EvaluateResponse is the body of a successful POST /v1/evaluate.
+type EvaluateResponse struct {
+	// Design echoes the evaluated design's name.
+	Design string `json:"design"`
+	// Report is the full life-cycle evaluation (Eq. 1): the embodied
+	// breakdown, the operational model and the total.
+	Report *core.TotalReport `json:"report"`
+}
+
+// BatchRequest is the body of POST /v1/evaluate/batch: many designs
+// evaluated under one shared workload, fanned out across the server's
+// worker pool and answered from its process-wide memoization cache.
+type BatchRequest struct {
+	Designs  []*design.Design `json:"designs"`
+	Workload *WorkloadSpec    `json:"workload,omitempty"`
+	// RequireBandwidthValid applies the /v1/evaluate semantics per item.
+	RequireBandwidthValid bool `json:"require_bandwidth_valid,omitempty"`
+}
+
+// BatchItem is one per-design outcome of a batch. Exactly one of Result and
+// Error is set. Result holds the same bytes a single POST /v1/evaluate of
+// that design would return.
+type BatchItem struct {
+	Index  int             `json:"index"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  *Error          `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of POST /v1/evaluate/batch.
+type BatchResponse struct {
+	Count   int         `json:"count"`
+	Failed  int         `json:"failed"`
+	Results []BatchItem `json:"results"`
+}
+
+// Error is the structured error detail of the envelope every non-2xx
+// response carries.
+type Error struct {
+	// Code is a stable machine-readable identifier (bad_request,
+	// invalid_design, evaluation_failed, bandwidth_infeasible, not_found,
+	// method_not_allowed, timeout, cancelled, internal).
+	Code string `json:"code"`
+	// Message is the human-readable detail.
+	Message string `json:"message"`
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// ErrorResponse is the error envelope: {"error": {"code": ..., "message": ...}}.
+type ErrorResponse struct {
+	Error Error `json:"error"`
+}
+
+// SpaceSpec is the JSON form of an exploration space (explore.Space with
+// string axes). Every omitted axis falls back to the engine's ORIN-class
+// default, exactly as the cmd/explore flags do.
+type SpaceSpec struct {
+	Name            string    `json:"name,omitempty"`
+	Integrations    []string  `json:"integrations,omitempty"`
+	Strategies      []string  `json:"strategies,omitempty"`
+	NodesNM         []int     `json:"nodes_nm,omitempty"`
+	Gates           []float64 `json:"gates,omitempty"`
+	FabLocations    []string  `json:"fab_locations,omitempty"`
+	UseLocations    []string  `json:"use_locations,omitempty"`
+	LifetimeYears   []float64 `json:"lifetime_years,omitempty"`
+	PeakTOPS        float64   `json:"peak_tops,omitempty"`
+	EfficiencyTOPSW float64   `json:"efficiency_topsw,omitempty"`
+}
+
+// Space validates the string axes against the model databases and returns
+// the concrete exploration space.
+func (s SpaceSpec) Space() (explore.Space, error) {
+	out := explore.Space{
+		Name:            s.Name,
+		NodesNM:         s.NodesNM,
+		Gates:           s.Gates,
+		LifetimeYears:   s.LifetimeYears,
+		PeakTOPS:        s.PeakTOPS,
+		EfficiencyTOPSW: s.EfficiencyTOPSW,
+	}
+	for _, v := range s.Integrations {
+		integ := ic.Integration(v)
+		if !integ.Valid() {
+			return explore.Space{}, fmt.Errorf("integrations: unknown technology %q", v)
+		}
+		out.Integrations = append(out.Integrations, integ)
+	}
+	for _, v := range s.Strategies {
+		switch strat := split.Strategy(v); strat {
+		case split.HomogeneousStrategy, split.HeterogeneousStrategy:
+			out.Strategies = append(out.Strategies, strat)
+		default:
+			return explore.Space{}, fmt.Errorf("strategies: unknown strategy %q", v)
+		}
+	}
+	for _, v := range s.FabLocations {
+		loc := grid.Location(v)
+		if _, err := grid.Intensity(loc); err != nil {
+			return explore.Space{}, fmt.Errorf("fab_locations: %w", err)
+		}
+		out.FabLocations = append(out.FabLocations, loc)
+	}
+	for _, v := range s.UseLocations {
+		loc := grid.Location(v)
+		if _, err := grid.Intensity(loc); err != nil {
+			return explore.Space{}, fmt.Errorf("use_locations: %w", err)
+		}
+		out.UseLocations = append(out.UseLocations, loc)
+	}
+	return out, nil
+}
+
+// ExploreRequest is the body of POST /v1/explore.
+type ExploreRequest struct {
+	Space SpaceSpec `json:"space"`
+	// Top bounds the ranked candidate IDs in the closing summary event
+	// (0 = all).
+	Top int `json:"top,omitempty"`
+}
+
+// ExploreResult is one evaluated candidate of an exploration stream.
+type ExploreResult struct {
+	ID          string `json:"id"`
+	Integration string `json:"integration"`
+	// Error is the per-candidate evaluation failure (e.g. a design over the
+	// wafer limit); the numeric fields are zero when set.
+	Error string `json:"error,omitempty"`
+	// BandwidthValid is the §3.4 verdict (absent for embodied-only results).
+	BandwidthValid *bool   `json:"bandwidth_valid,omitempty"`
+	EmbodiedKg     float64 `json:"embodied_kg"`
+	OperationalKg  float64 `json:"operational_kg"`
+	TotalKg        float64 `json:"total_kg"`
+	// Decision metrics against the candidate's 2D baseline (Eq. 2), in the
+	// paper's Table 5 notation (">0", "∞", ">10.4 yr", "<3.2 yr").
+	EmbodiedSave float64 `json:"embodied_save,omitempty"`
+	OverallSave  float64 `json:"overall_save,omitempty"`
+	Tc           string  `json:"tc,omitempty"`
+	Tr           string  `json:"tr,omitempty"`
+}
+
+// NewExploreResult flattens one engine result into its wire form.
+func NewExploreResult(r explore.Result) ExploreResult {
+	out := ExploreResult{ID: r.Candidate.ID}
+	if r.Candidate.Design != nil {
+		out.Integration = string(r.Candidate.Design.Integration)
+	}
+	if r.Err != nil {
+		out.Error = r.Err.Error()
+		return out
+	}
+	out.EmbodiedKg = r.Embodied()
+	out.OperationalKg = r.Operational()
+	out.TotalKg = r.Total()
+	if r.Report != nil && r.Report.Operational != nil {
+		v := r.Report.Operational.Valid
+		out.BandwidthValid = &v
+	}
+	if r.Baseline != nil {
+		out.EmbodiedSave = r.EmbodiedSave
+		out.OverallSave = r.OverallSave
+		if r.Tc.Verdict != "" {
+			out.Tc = r.Tc.String()
+			out.Tr = r.Tr.String()
+		}
+	}
+	return out
+}
+
+// EngineStats is the JSON form of the exploration engine's counters.
+type EngineStats struct {
+	Evaluations  uint64  `json:"evaluations"`
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	CacheEntries int     `json:"cache_entries"`
+	Evictions    uint64  `json:"evictions"`
+}
+
+// NewEngineStats converts the engine counters.
+func NewEngineStats(st explore.Stats) EngineStats {
+	return EngineStats{
+		Evaluations:  st.Evaluations,
+		CacheHits:    st.CacheHits,
+		CacheHitRate: st.HitRate(),
+		CacheEntries: st.CacheEntries,
+		Evictions:    st.Evictions,
+	}
+}
+
+// ExploreSummary closes an exploration stream: scale, ranking, frontier and
+// the engine counters after the sweep.
+type ExploreSummary struct {
+	Candidates int `json:"candidates"`
+	Evaluated  int `json:"evaluated"`
+	Failed     int `json:"failed"`
+	// Ranked lists candidate IDs by ascending life-cycle total (bounded by
+	// ExploreRequest.Top).
+	Ranked []string `json:"ranked"`
+	// Frontier lists the Pareto-optimal candidate IDs, lowest embodied
+	// carbon first.
+	Frontier []string    `json:"frontier"`
+	Stats    EngineStats `json:"stats"`
+}
+
+// ExploreEvent is one NDJSON line of the POST /v1/explore stream: result
+// lines as candidates finish, then exactly one summary (or error) line.
+type ExploreEvent struct {
+	Type    string          `json:"type"` // "result" | "summary" | "error"
+	Result  *ExploreResult  `json:"result,omitempty"`
+	Summary *ExploreSummary `json:"summary,omitempty"`
+	Error   *Error          `json:"error,omitempty"`
+}
+
+// IntegrationInfo describes one Table 1 technology for client UIs.
+type IntegrationInfo struct {
+	ID      string `json:"id"`
+	Display string `json:"display"`
+	// Class is "2d", "2.5d" or "3d".
+	Class string `json:"class"`
+}
+
+// LocationInfo describes one grid region and its carbon intensity.
+type LocationInfo struct {
+	ID               string  `json:"id"`
+	IntensityGPerKWh float64 `json:"intensity_g_per_kwh"`
+}
+
+// MetaResponse is the body of GET /v1/meta: every enumerable input a client
+// needs to build a design form or a space spec.
+type MetaResponse struct {
+	Integrations []IntegrationInfo `json:"integrations"`
+	Locations    []LocationInfo    `json:"locations"`
+	NodesNM      []int             `json:"nodes_nm"`
+	Strategies   []string          `json:"strategies"`
+	Stackings    []string          `json:"stackings"`
+	Flows        []string          `json:"flows"`
+	Orders       []string          `json:"orders"`
+	// DefaultWorkload is the profile an absent WorkloadSpec resolves to.
+	DefaultWorkload WorkloadSpec `json:"default_workload"`
+}
+
+// EndpointStats are the per-endpoint request counters of GET /v1/stats.
+type EndpointStats struct {
+	Requests uint64  `json:"requests"`
+	Errors   uint64  `json:"errors"`
+	TotalMS  float64 `json:"total_ms"`
+	AvgMS    float64 `json:"avg_ms"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	UptimeSeconds    float64                  `json:"uptime_seconds"`
+	Endpoints        map[string]EndpointStats `json:"endpoints"`
+	DesignsEvaluated uint64                   `json:"designs_evaluated"`
+	InFlight         int64                    `json:"in_flight"`
+	MaxConcurrent    int                      `json:"max_concurrent"`
+	CacheLimit       int                      `json:"cache_limit"`
+	Engine           EngineStats              `json:"engine"`
+}

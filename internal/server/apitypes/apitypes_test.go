@@ -1,0 +1,94 @@
+package apitypes
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+)
+
+func TestWorkloadSpecDefaults(t *testing.T) {
+	var nilSpec *WorkloadSpec
+	w, eff := nilSpec.Resolve()
+	if w.Throughput.TOPS() != DefaultTOPS || w.PeakThroughput.TOPS() != DefaultPeakTOPS {
+		t.Errorf("nil spec throughput: %+v", w)
+	}
+	if w.ActiveHoursPerYear != DefaultActiveHours || w.LifetimeYears != DefaultLifetimeYears {
+		t.Errorf("nil spec profile: %+v", w)
+	}
+	if math.Abs(eff.TOPSPerW()-DefaultEfficiencyTOPSW) > 1e-12 {
+		t.Errorf("nil spec efficiency: %v", eff)
+	}
+	if err := w.Validate(); err != nil {
+		t.Errorf("default workload invalid: %v", err)
+	}
+
+	w, eff = (&WorkloadSpec{TOPS: 10, PeakTOPS: 100, EfficiencyTOPSW: 5,
+		ActiveHoursPerYear: 1000, LifetimeYears: 3}).Resolve()
+	if w.Throughput.TOPS() != 10 || w.PeakThroughput.TOPS() != 100 ||
+		w.ActiveHoursPerYear != 1000 || w.LifetimeYears != 3 || eff.TOPSPerW() != 5 {
+		t.Errorf("explicit spec not honoured: %+v eff=%v", w, eff)
+	}
+}
+
+func TestSpaceSpecValidation(t *testing.T) {
+	good := SpaceSpec{
+		Integrations: []string{"2D", "hybrid-3d"},
+		Strategies:   []string{"homogeneous"},
+		FabLocations: []string{"taiwan"},
+		UseLocations: []string{"usa", "norway"},
+		NodesNM:      []int{5, 7},
+	}
+	s, err := good.Space()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Integrations) != 2 || len(s.UseLocations) != 2 || len(s.NodesNM) != 2 {
+		t.Errorf("space: %+v", s)
+	}
+
+	bad := []SpaceSpec{
+		{Integrations: []string{"4d"}},
+		{Strategies: []string{"diagonal"}},
+		{FabLocations: []string{"atlantis"}},
+		{UseLocations: []string{"mars"}},
+	}
+	for i, spec := range bad {
+		if _, err := spec.Space(); err == nil {
+			t.Errorf("case %d: expected an error", i)
+		}
+	}
+}
+
+// NewExploreResult must carry the decision metrics of non-2D candidates and
+// the error of failed ones, and never emit NaN into JSON-bound fields.
+func TestNewExploreResult(t *testing.T) {
+	rs, err := explore.New(core.Default()).Explore(context.Background(),
+		explore.Space{Name: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs.Results {
+		out := NewExploreResult(r)
+		if out.ID == "" || out.Integration == "" {
+			t.Fatalf("missing identity: %+v", out)
+		}
+		if r.Err != nil {
+			if out.Error == "" || out.TotalKg != 0 {
+				t.Errorf("failed candidate rendered as success: %+v", out)
+			}
+			continue
+		}
+		if out.TotalKg <= 0 || out.BandwidthValid == nil {
+			t.Errorf("successful candidate missing report data: %+v", out)
+		}
+		if r.Baseline != nil && r.Tc.Verdict != "" && (out.Tc == "" || out.Tr == "") {
+			t.Errorf("candidate with baseline lost its verdicts: %+v", out)
+		}
+		if math.IsNaN(out.EmbodiedSave) || math.IsNaN(out.OverallSave) {
+			t.Errorf("NaN leaked into the wire type: %+v", out)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/server/apitypes"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// The /v1/evaluate body for the shipped Lakefield design is pinned: any
+// model change, report-struct change or encoder change that moves a single
+// byte of the wire format shows up as a golden diff. Clients depend on this
+// shape.
+func TestGoldenEvaluateLakefield(t *testing.T) {
+	s := New(Options{})
+	rec := post(t, s, "/v1/evaluate", apitypes.EvaluateRequest{Design: loadLakefield(t)})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	// Pin the indented form: readable diffs, same bytes underneath.
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, rec.Body.Bytes(), "", "  "); err != nil {
+		t.Fatal(err)
+	}
+	got := pretty.Bytes()
+
+	path := filepath.Join("testdata", "evaluate_lakefield.golden.json")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("/v1/evaluate body for lakefield drifted from the golden file.\ngot:\n%s\nwant:\n%s\n(run with -update if the change is intended)",
+			got, want)
+	}
+}

@@ -1,0 +1,587 @@
+// Package server exposes the full 3D-Carbon model as a long-running HTTP
+// service — carbon modeling as infrastructure rather than a one-shot CLI.
+//
+// Endpoints (all JSON, wire types in internal/server/apitypes):
+//
+//	POST /v1/evaluate        one design → full life-cycle report
+//	POST /v1/evaluate/batch  many designs → per-design reports, fanned out
+//	                         across the worker pool with one process-wide
+//	                         memoization cache
+//	POST /v1/explore         a space spec → NDJSON result stream + summary
+//	GET  /v1/meta            enumerable inputs (integrations, locations, …)
+//	GET  /v1/stats           request / latency / cache-hit counters
+//	GET  /healthz            liveness probe
+//
+// The server reuses one explore.Engine for every request, so evaluations
+// memoize across requests: a design evaluated once — alone, in a batch or
+// inside an exploration — is answered from cache forever after (bounded by
+// an LRU limit). A semaphore caps concurrently-evaluating requests and each
+// request runs under a configurable timeout.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/grid"
+	"repro/internal/ic"
+	"repro/internal/server/apitypes"
+	"repro/internal/split"
+	"repro/internal/tech"
+)
+
+// Defaults for the zero Options.
+const (
+	// DefaultCacheLimit bounds the process-wide memoization cache. A cached
+	// evaluation is a few kB of reports, so the default is tens of MB at
+	// worst.
+	DefaultCacheLimit = 1 << 16
+	// DefaultRequestTimeout bounds one evaluation request end to end.
+	DefaultRequestTimeout = 60 * time.Second
+	// DefaultMaxBatch bounds the designs of one batch request.
+	DefaultMaxBatch = 10_000
+	// DefaultMaxSpace bounds the candidates one exploration may enumerate.
+	DefaultMaxSpace = 1_000_000
+	// DefaultStreamChunk is the number of candidates evaluated between
+	// NDJSON flushes of /v1/explore.
+	DefaultStreamChunk = 64
+	// DefaultMaxBodyBytes bounds one request body; a 10k-design batch is
+	// ~10 MB, so 64 MB leaves headroom without letting one request defeat
+	// the memory bounds.
+	DefaultMaxBodyBytes = 64 << 20
+)
+
+// Options configures the service. The zero value serves the default model
+// with bounded cache, per-CPU workers and a 60 s request timeout.
+type Options struct {
+	// Model is the configured pipeline; nil means core.Default().
+	Model *core.Model
+	// Workers bounds the evaluation concurrency of one request;
+	// ≤0 means runtime.NumCPU().
+	Workers int
+	// CacheLimit bounds the shared memoization cache (distinct evaluations
+	// kept, LRU-evicted); 0 means DefaultCacheLimit, negative means
+	// unbounded.
+	CacheLimit int
+	// MaxConcurrent caps requests evaluating at once (excess requests
+	// queue); ≤0 means 2×NumCPU.
+	MaxConcurrent int
+	// RequestTimeout bounds one request's evaluation; 0 means
+	// DefaultRequestTimeout, negative means none.
+	RequestTimeout time.Duration
+	// MaxBatch bounds the designs of one batch request; ≤0 means
+	// DefaultMaxBatch.
+	MaxBatch int
+	// MaxSpace bounds the candidates one exploration may enumerate;
+	// ≤0 means DefaultMaxSpace.
+	MaxSpace int
+	// StreamChunk is the evaluation block size between NDJSON flushes;
+	// ≤0 means DefaultStreamChunk.
+	StreamChunk int
+	// MaxBodyBytes bounds one request body; 0 means DefaultMaxBodyBytes,
+	// negative means unbounded.
+	MaxBodyBytes int64
+	// Logger receives one line per request (method, path, status, time);
+	// nil disables request logging.
+	Logger *log.Logger
+}
+
+func (o Options) cacheLimit() int {
+	switch {
+	case o.CacheLimit == 0:
+		return DefaultCacheLimit
+	case o.CacheLimit < 0:
+		return 0 // unbounded engine cache
+	}
+	return o.CacheLimit
+}
+
+func (o Options) maxConcurrent() int {
+	if o.MaxConcurrent > 0 {
+		return o.MaxConcurrent
+	}
+	return 2 * runtime.NumCPU()
+}
+
+func (o Options) timeout() time.Duration {
+	switch {
+	case o.RequestTimeout == 0:
+		return DefaultRequestTimeout
+	case o.RequestTimeout < 0:
+		return 0
+	}
+	return o.RequestTimeout
+}
+
+func (o Options) maxBatch() int {
+	if o.MaxBatch > 0 {
+		return o.MaxBatch
+	}
+	return DefaultMaxBatch
+}
+
+func (o Options) maxSpace() int {
+	if o.MaxSpace > 0 {
+		return o.MaxSpace
+	}
+	return DefaultMaxSpace
+}
+
+func (o Options) streamChunk() int {
+	if o.StreamChunk > 0 {
+		return o.StreamChunk
+	}
+	return DefaultStreamChunk
+}
+
+func (o Options) maxBodyBytes() int64 {
+	switch {
+	case o.MaxBodyBytes == 0:
+		return DefaultMaxBodyBytes
+	case o.MaxBodyBytes < 0:
+		return 0
+	}
+	return o.MaxBodyBytes
+}
+
+// Server is the HTTP service. Construct with New; it implements
+// http.Handler and is safe for concurrent use.
+type Server struct {
+	opts   Options
+	engine *explore.Engine
+	sem    chan struct{}
+	mux    *http.ServeMux
+	start  time.Time
+
+	inFlight  atomic.Int64
+	evaluated atomic.Uint64
+	metrics   map[string]*endpointMetrics
+}
+
+// endpointMetrics are the per-endpoint counters behind /v1/stats.
+type endpointMetrics struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	totalNS  atomic.Int64
+}
+
+// New returns a ready-to-serve handler over one shared engine.
+func New(opts Options) *Server {
+	m := opts.Model
+	if m == nil {
+		m = core.Default()
+	}
+	e := explore.New(m)
+	e.Workers = opts.Workers
+	e.CacheLimit = opts.cacheLimit()
+
+	s := &Server{
+		opts:    opts,
+		engine:  e,
+		sem:     make(chan struct{}, opts.maxConcurrent()),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		metrics: make(map[string]*endpointMetrics),
+	}
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, "not_found",
+			fmt.Sprintf("no such endpoint %q (see docs/API.md)", r.URL.Path))
+	})
+	s.route("/v1/evaluate", http.MethodPost, s.handleEvaluate)
+	s.route("/v1/evaluate/batch", http.MethodPost, s.handleBatch)
+	s.route("/v1/explore", http.MethodPost, s.handleExplore)
+	s.route("/v1/meta", http.MethodGet, s.handleMeta)
+	s.route("/v1/stats", http.MethodGet, s.handleStats)
+	s.route("/healthz", http.MethodGet, s.handleHealth)
+	return s
+}
+
+// Engine exposes the shared evaluator (stats, cache configuration).
+func (s *Server) Engine() *explore.Engine { return s.engine }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// handlerFunc returns the response status for metrics.
+type handlerFunc func(w http.ResponseWriter, r *http.Request) int
+
+// route registers a method-checked, metered handler.
+func (s *Server) route(path, method string, h handlerFunc) {
+	em := &endpointMetrics{}
+	s.metrics[path] = em
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		var status int
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			status = writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+				fmt.Sprintf("%s requires %s", path, method))
+		} else {
+			status = h(w, r)
+		}
+		em.requests.Add(1)
+		if status >= 400 {
+			em.errors.Add(1)
+		}
+		em.totalNS.Add(int64(time.Since(start)))
+		if s.opts.Logger != nil {
+			s.opts.Logger.Printf("%s %s %d %s", r.Method, r.URL.Path, status,
+				time.Since(start).Round(time.Microsecond))
+		}
+	})
+}
+
+// writeError emits the structured error envelope and returns the status.
+func writeError(w http.ResponseWriter, status int, code, msg string) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(apitypes.ErrorResponse{
+		Error: apitypes.Error{Code: code, Message: msg},
+	})
+	return status
+}
+
+// writeJSON emits a 200 with the compact JSON encoding of v.
+func writeJSON(w http.ResponseWriter, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+	return http.StatusOK
+}
+
+// statusClientClosedRequest mirrors nginx's 499: the client went away
+// before the evaluation finished.
+const statusClientClosedRequest = 499
+
+// acquire takes an evaluation slot, or fails when the request's context
+// expires while queued. The returned release must be called iff ok.
+func (s *Server) acquire(ctx context.Context) (release func(), ok bool) {
+	select {
+	case s.sem <- struct{}{}:
+		s.inFlight.Add(1)
+		return func() {
+			s.inFlight.Add(-1)
+			<-s.sem
+		}, true
+	case <-ctx.Done():
+		return nil, false
+	}
+}
+
+// requestContext applies the configured evaluation timeout.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if t := s.opts.timeout(); t > 0 {
+		return context.WithTimeout(r.Context(), t)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// decode strictly parses a JSON request body, bounded by MaxBodyBytes so
+// an oversized POST is rejected instead of decoded into memory (the
+// MaxBatch/MaxSpace checks run only after decoding).
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
+	body := r.Body
+	if limit := s.opts.maxBodyBytes(); limit > 0 {
+		body = http.MaxBytesReader(w, r.Body, limit)
+	}
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	// A design document POSTed raw (without the request wrapper) is the
+	// most likely trailing-garbage case; reject everything after the first
+	// value so errors surface instead of silently ignoring input.
+	if dec.More() {
+		return errors.New("request body holds more than one JSON value")
+	}
+	return nil
+}
+
+// decodeStatus renders a body-decoding failure: 413 for an over-limit
+// body, 400 for everything else.
+func decodeStatus(w http.ResponseWriter, err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return writeError(w, http.StatusRequestEntityTooLarge, "bad_request",
+			fmt.Sprintf("request body exceeds the server limit of %d bytes", tooLarge.Limit))
+	}
+	return writeError(w, http.StatusBadRequest, "bad_request",
+		"malformed request body: "+err.Error())
+}
+
+// cancelStatus maps a context error to its HTTP rendering.
+func cancelStatus(w http.ResponseWriter, err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return writeError(w, http.StatusServiceUnavailable, "timeout",
+			"evaluation exceeded the server's request timeout")
+	}
+	return writeError(w, statusClientClosedRequest, "cancelled",
+		"client cancelled the request")
+}
+
+// evaluateDesign runs one request through the shared engine and renders the
+// response bytes every evaluation path shares (single and batch items), so
+// identical designs produce byte-identical reports everywhere.
+func (s *Server) evaluateDesign(ctx context.Context, req apitypes.EvaluateRequest) (json.RawMessage, *apitypes.Error, error) {
+	if req.Design == nil {
+		return nil, &apitypes.Error{Code: "bad_request",
+			Message: `request is missing the "design" object`}, nil
+	}
+	if err := req.Design.Validate(); err != nil {
+		return nil, &apitypes.Error{Code: "invalid_design", Message: err.Error()}, nil
+	}
+	w, eff := req.Workload.Resolve()
+	results, err := s.engine.Evaluate(ctx, []explore.Candidate{{
+		ID:       req.Design.Name,
+		Design:   req.Design,
+		Workload: w,
+		Eff:      eff,
+	}})
+	if err != nil {
+		return nil, nil, err // context cancellation
+	}
+	s.evaluated.Add(1)
+	res := results[0]
+	if res.Err != nil {
+		return nil, &apitypes.Error{Code: "evaluation_failed", Message: res.Err.Error()}, nil
+	}
+	if req.RequireBandwidthValid && res.Report.Operational != nil && !res.Report.Operational.Valid {
+		return nil, &apitypes.Error{
+			Code: "bandwidth_infeasible",
+			Message: fmt.Sprintf(
+				"design %q fails the §3.4 bandwidth constraint: capacity %.1f GB/s < required %.1f GB/s",
+				req.Design.Name,
+				res.Report.Operational.Capacity.GBytesPerS(),
+				res.Report.Operational.Required.GBytesPerS()),
+		}, nil
+	}
+	body, err := json.Marshal(apitypes.EvaluateResponse{
+		Design: req.Design.Name,
+		Report: res.Report,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return body, nil, nil
+}
+
+// errStatus maps a structured evaluation error to its HTTP status.
+func errStatus(e *apitypes.Error) int {
+	switch e.Code {
+	case "bad_request":
+		return http.StatusBadRequest
+	default:
+		// invalid_design / evaluation_failed / bandwidth_infeasible: the
+		// request parsed but the model rejects it.
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) int {
+	var req apitypes.EvaluateRequest
+	if err := s.decode(w, r, &req); err != nil {
+		return decodeStatus(w, err)
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	release, ok := s.acquire(ctx)
+	if !ok {
+		return cancelStatus(w, ctx.Err())
+	}
+	defer release()
+
+	body, apiErr, err := s.evaluateDesign(ctx, req)
+	if err != nil {
+		return cancelStatus(w, err)
+	}
+	if apiErr != nil {
+		return writeError(w, errStatus(apiErr), apiErr.Code, apiErr.Message)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(append(body, '\n'))
+	return http.StatusOK
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
+	var req apitypes.BatchRequest
+	if err := s.decode(w, r, &req); err != nil {
+		return decodeStatus(w, err)
+	}
+	if len(req.Designs) == 0 {
+		return writeError(w, http.StatusBadRequest, "bad_request",
+			`request is missing the "designs" array`)
+	}
+	if max := s.opts.maxBatch(); len(req.Designs) > max {
+		return writeError(w, http.StatusRequestEntityTooLarge, "bad_request",
+			fmt.Sprintf("batch of %d designs exceeds the server limit of %d", len(req.Designs), max))
+	}
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	release, ok := s.acquire(ctx)
+	if !ok {
+		return cancelStatus(w, ctx.Err())
+	}
+	defer release()
+
+	// Validate up front so index errors are reported even when the rest of
+	// the batch evaluates, then fan the valid designs out in one Evaluate
+	// call — the engine's worker pool and shared cache do the heavy lifting.
+	wl, eff := req.Workload.Resolve()
+	items := make([]apitypes.BatchItem, len(req.Designs))
+	cands := make([]explore.Candidate, 0, len(req.Designs))
+	candIdx := make([]int, 0, len(req.Designs))
+	for i, d := range req.Designs {
+		items[i].Index = i
+		if d == nil {
+			items[i].Error = &apitypes.Error{Code: "bad_request",
+				Message: fmt.Sprintf("designs[%d] is null", i)}
+			continue
+		}
+		if err := d.Validate(); err != nil {
+			items[i].Error = &apitypes.Error{Code: "invalid_design", Message: err.Error()}
+			continue
+		}
+		cands = append(cands, explore.Candidate{
+			ID: d.Name, Design: d, Workload: wl, Eff: eff,
+		})
+		candIdx = append(candIdx, i)
+	}
+	results, err := s.engine.Evaluate(ctx, cands)
+	if err != nil {
+		return cancelStatus(w, err)
+	}
+	failed := 0
+	for j, res := range results {
+		i := candIdx[j]
+		s.evaluated.Add(1)
+		switch {
+		case res.Err != nil:
+			items[i].Error = &apitypes.Error{Code: "evaluation_failed", Message: res.Err.Error()}
+		case req.RequireBandwidthValid && res.Report.Operational != nil && !res.Report.Operational.Valid:
+			items[i].Error = &apitypes.Error{Code: "bandwidth_infeasible",
+				Message: fmt.Sprintf("design %q fails the §3.4 bandwidth constraint", res.Candidate.ID)}
+		default:
+			body, err := json.Marshal(apitypes.EvaluateResponse{
+				Design: res.Candidate.ID, Report: res.Report,
+			})
+			if err != nil {
+				items[i].Error = &apitypes.Error{Code: "internal", Message: err.Error()}
+				break
+			}
+			items[i].Result = body
+		}
+	}
+	for _, it := range items {
+		if it.Error != nil {
+			failed++
+		}
+	}
+	return writeJSON(w, apitypes.BatchResponse{
+		Count:   len(items),
+		Failed:  failed,
+		Results: items,
+	})
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) int {
+	meta := apitypes.MetaResponse{
+		NodesNM: tech.Processes(),
+		Strategies: []string{
+			string(split.HomogeneousStrategy), string(split.HeterogeneousStrategy),
+		},
+		Stackings: []string{string(ic.F2F), string(ic.F2B)},
+		Flows:     []string{string(ic.D2W), string(ic.W2W)},
+		Orders:    []string{string(ic.ChipFirst), string(ic.ChipLast)},
+		DefaultWorkload: apitypes.WorkloadSpec{
+			TOPS:               apitypes.DefaultTOPS,
+			PeakTOPS:           apitypes.DefaultPeakTOPS,
+			EfficiencyTOPSW:    apitypes.DefaultEfficiencyTOPSW,
+			ActiveHoursPerYear: apitypes.DefaultActiveHours,
+			LifetimeYears:      apitypes.DefaultLifetimeYears,
+		},
+	}
+	for _, integ := range ic.Integrations() {
+		class := "2d"
+		switch {
+		case integ.Is3D():
+			class = "3d"
+		case integ.Is25D():
+			class = "2.5d"
+		}
+		meta.Integrations = append(meta.Integrations, apitypes.IntegrationInfo{
+			ID: string(integ), Display: integ.DisplayName(), Class: class,
+		})
+	}
+	for _, loc := range grid.Locations() {
+		ci, err := grid.Intensity(loc)
+		if err != nil {
+			continue // unreachable: Locations lists the database keys
+		}
+		meta.Locations = append(meta.Locations, apitypes.LocationInfo{
+			ID: string(loc), IntensityGPerKWh: ci.GPerKWh(),
+		})
+	}
+	return writeJSON(w, meta)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) int {
+	resp := apitypes.StatsResponse{
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		Endpoints:        make(map[string]apitypes.EndpointStats, len(s.metrics)),
+		DesignsEvaluated: s.evaluated.Load(),
+		InFlight:         s.inFlight.Load(),
+		MaxConcurrent:    s.opts.maxConcurrent(),
+		CacheLimit:       s.opts.cacheLimit(),
+		Engine:           apitypes.NewEngineStats(s.engine.Stats()),
+	}
+	for path, em := range s.metrics {
+		st := apitypes.EndpointStats{
+			Requests: em.requests.Load(),
+			Errors:   em.errors.Load(),
+			TotalMS:  float64(em.totalNS.Load()) / 1e6,
+		}
+		if st.Requests > 0 {
+			st.AvgMS = st.TotalMS / float64(st.Requests)
+		}
+		resp.Endpoints[path] = st
+	}
+	return writeJSON(w, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) int {
+	return writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// ListenAndServe runs the service on addr until ctx is cancelled, then
+// drains in-flight requests and returns.
+func ListenAndServe(ctx context.Context, addr string, opts Options) error {
+	// Note: ctx is deliberately NOT the BaseContext — cancelling it must
+	// stop accepting and *drain* in-flight evaluations, not abort them;
+	// Shutdown's grace window below does the draining.
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           New(opts),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutCtx)
+	}
+}

@@ -1,0 +1,487 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/design"
+	"repro/internal/server/apitypes"
+	"repro/internal/split"
+)
+
+// loadLakefield reads the shipped validation design.
+func loadLakefield(t *testing.T) *design.Design {
+	t.Helper()
+	d, err := design.Load(filepath.Join("..", "..", "designs", "lakefield.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// post sends a JSON body and returns the recorder.
+func post(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if raw, ok := body.(string); ok {
+		buf.WriteString(raw)
+	} else if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, &buf)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+// decodeError asserts the structured error envelope.
+func decodeError(t *testing.T, rec *httptest.ResponseRecorder, status int, code string) {
+	t.Helper()
+	if rec.Code != status {
+		t.Fatalf("status = %d, want %d (body %s)", rec.Code, status, rec.Body)
+	}
+	var envelope apitypes.ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &envelope); err != nil {
+		t.Fatalf("error body is not the envelope: %v\n%s", err, rec.Body)
+	}
+	if envelope.Error.Code != code {
+		t.Errorf("error code = %q, want %q (message %q)",
+			envelope.Error.Code, code, envelope.Error.Message)
+	}
+	if envelope.Error.Message == "" {
+		t.Error("error envelope has an empty message")
+	}
+}
+
+func TestEvaluateValidDesign(t *testing.T) {
+	s := New(Options{})
+	rec := post(t, s, "/v1/evaluate", apitypes.EvaluateRequest{Design: loadLakefield(t)})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var resp apitypes.EvaluateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Design != "lakefield" {
+		t.Errorf("design = %q", resp.Design)
+	}
+	if resp.Report == nil || resp.Report.Total.Kg() <= 0 {
+		t.Fatalf("report missing or non-positive total: %+v", resp.Report)
+	}
+	if resp.Report.Embodied.Total.Kg() <= 0 || resp.Report.Operational.LifetimeCarbon.Kg() <= 0 {
+		t.Error("embodied/operational breakdown missing")
+	}
+}
+
+func TestEvaluateMalformedJSON(t *testing.T) {
+	s := New(Options{})
+	decodeError(t, post(t, s, "/v1/evaluate", `{"design": {`),
+		http.StatusBadRequest, "bad_request")
+}
+
+func TestEvaluateUnknownField(t *testing.T) {
+	s := New(Options{})
+	decodeError(t, post(t, s, "/v1/evaluate", `{"desing": {}}`),
+		http.StatusBadRequest, "bad_request")
+}
+
+func TestEvaluateMissingDesign(t *testing.T) {
+	s := New(Options{})
+	decodeError(t, post(t, s, "/v1/evaluate", apitypes.EvaluateRequest{}),
+		http.StatusBadRequest, "bad_request")
+}
+
+func TestEvaluateInvalidDesign(t *testing.T) {
+	s := New(Options{})
+	d := loadLakefield(t)
+	d.Integration = "quantum-stack"
+	decodeError(t, post(t, s, "/v1/evaluate", apitypes.EvaluateRequest{Design: d}),
+		http.StatusUnprocessableEntity, "invalid_design")
+}
+
+// An MCM split of an ORIN-class chip cannot carry the required bisection
+// bandwidth (§3.4); with require_bandwidth_valid the service reports that
+// as a structured error instead of a degraded report.
+func TestEvaluateBandwidthInfeasible(t *testing.T) {
+	s := New(Options{})
+	d, err := split.Homogeneous(split.Chip{Name: "bw", ProcessNM: 7, Gates: 17e9}, "mcm")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Without the flag: a 200 whose report flags the violation.
+	rec := post(t, s, "/v1/evaluate", apitypes.EvaluateRequest{Design: d})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var resp apitypes.EvaluateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Report.Operational.Valid {
+		t.Fatal("MCM split should violate the bandwidth constraint")
+	}
+
+	// With the flag: the structured error.
+	rec = post(t, s, "/v1/evaluate", apitypes.EvaluateRequest{
+		Design: d, RequireBandwidthValid: true,
+	})
+	decodeError(t, rec, http.StatusUnprocessableEntity, "bandwidth_infeasible")
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s := New(Options{})
+	rec := get(t, s, "/v1/evaluate")
+	decodeError(t, rec, http.StatusMethodNotAllowed, "method_not_allowed")
+	if allow := rec.Header().Get("Allow"); allow != http.MethodPost {
+		t.Errorf("Allow = %q", allow)
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	s := New(Options{})
+	decodeError(t, get(t, s, "/v2/evaluate"), http.StatusNotFound, "not_found")
+}
+
+// The acceptance scenario: 100 copies of one design through the batch
+// endpoint must answer byte-identically to a single evaluation, with a
+// cache-hit rate over 0.9 visible in /v1/stats.
+func TestBatchDuplicatesHitCache(t *testing.T) {
+	s := New(Options{})
+	single := post(t, s, "/v1/evaluate", apitypes.EvaluateRequest{Design: loadLakefield(t)})
+	if single.Code != http.StatusOK {
+		t.Fatalf("single evaluate: %d: %s", single.Code, single.Body)
+	}
+	singleBody := bytes.TrimSuffix(single.Body.Bytes(), []byte("\n"))
+
+	req := apitypes.BatchRequest{}
+	for i := 0; i < 100; i++ {
+		req.Designs = append(req.Designs, loadLakefield(t))
+	}
+	rec := post(t, s, "/v1/evaluate/batch", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch: %d: %s", rec.Code, rec.Body)
+	}
+	var batch apitypes.BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &batch); err != nil {
+		t.Fatal(err)
+	}
+	if batch.Count != 100 || batch.Failed != 0 {
+		t.Fatalf("count=%d failed=%d", batch.Count, batch.Failed)
+	}
+	for i, item := range batch.Results {
+		if item.Index != i {
+			t.Fatalf("results[%d] has index %d", i, item.Index)
+		}
+		if !bytes.Equal(item.Result, singleBody) {
+			t.Fatalf("results[%d] differs from the single evaluation:\n%s\nvs\n%s",
+				i, item.Result, singleBody)
+		}
+	}
+
+	stats := get(t, s, "/v1/stats")
+	if stats.Code != http.StatusOK {
+		t.Fatalf("stats: %d", stats.Code)
+	}
+	var st apitypes.StatsResponse
+	if err := json.Unmarshal(stats.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Engine.CacheHitRate <= 0.9 {
+		t.Errorf("cache hit rate %.3f, want > 0.9 (hits=%d evals=%d)",
+			st.Engine.CacheHitRate, st.Engine.CacheHits, st.Engine.Evaluations)
+	}
+	if st.DesignsEvaluated != 101 {
+		t.Errorf("designs evaluated = %d, want 101", st.DesignsEvaluated)
+	}
+	if st.Engine.Evaluations != 1 {
+		t.Errorf("distinct evaluations = %d, want 1", st.Engine.Evaluations)
+	}
+}
+
+// An oversized body is rejected before it is decoded into memory.
+func TestBodySizeLimit(t *testing.T) {
+	s := New(Options{MaxBodyBytes: 64})
+	req := apitypes.BatchRequest{}
+	for i := 0; i < 100; i++ {
+		req.Designs = append(req.Designs, loadLakefield(t))
+	}
+	decodeError(t, post(t, s, "/v1/evaluate/batch", req),
+		http.StatusRequestEntityTooLarge, "bad_request")
+}
+
+func TestBatchEmptyAndOversized(t *testing.T) {
+	s := New(Options{MaxBatch: 2})
+	decodeError(t, post(t, s, "/v1/evaluate/batch", apitypes.BatchRequest{}),
+		http.StatusBadRequest, "bad_request")
+	req := apitypes.BatchRequest{Designs: make([]*design.Design, 3)}
+	decodeError(t, post(t, s, "/v1/evaluate/batch", req),
+		http.StatusRequestEntityTooLarge, "bad_request")
+}
+
+// A batch mixing broken and valid designs reports per-item errors without
+// failing the request.
+func TestBatchPartialFailure(t *testing.T) {
+	s := New(Options{})
+	bad := loadLakefield(t)
+	bad.Dies = nil
+	req := apitypes.BatchRequest{Designs: []*design.Design{bad, loadLakefield(t), nil}}
+	rec := post(t, s, "/v1/evaluate/batch", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch: %d: %s", rec.Code, rec.Body)
+	}
+	var batch apitypes.BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &batch); err != nil {
+		t.Fatal(err)
+	}
+	if batch.Failed != 2 {
+		t.Fatalf("failed = %d, want 2", batch.Failed)
+	}
+	if batch.Results[0].Error == nil || batch.Results[0].Error.Code != "invalid_design" {
+		t.Errorf("results[0] error = %+v", batch.Results[0].Error)
+	}
+	if batch.Results[1].Error != nil || batch.Results[1].Result == nil {
+		t.Errorf("results[1] should succeed: %+v", batch.Results[1].Error)
+	}
+	if batch.Results[2].Error == nil || batch.Results[2].Error.Code != "bad_request" {
+		t.Errorf("results[2] error = %+v", batch.Results[2].Error)
+	}
+}
+
+// A client that goes away mid-batch aborts the evaluation: the engine stops
+// and the handler reports the cancellation.
+func TestBatchCancelledContext(t *testing.T) {
+	s := New(Options{})
+	req := apitypes.BatchRequest{}
+	for i := 0; i < 64; i++ {
+		req.Designs = append(req.Designs, loadLakefield(t))
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(req); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	httpReq := httptest.NewRequest(http.MethodPost, "/v1/evaluate/batch", &buf).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httpReq)
+	decodeError(t, rec, statusClientClosedRequest, "cancelled")
+}
+
+// A request timeout surfaces as a structured timeout error, not a hang.
+func TestRequestTimeout(t *testing.T) {
+	s := New(Options{RequestTimeout: time.Nanosecond})
+	req := apitypes.BatchRequest{}
+	for i := 0; i < 256; i++ {
+		d := loadLakefield(t)
+		d.Dies[1].AreaMM2 = 82.5 + float64(i)/1e3 // distinct: no cache help
+		req.Designs = append(req.Designs, d)
+	}
+	rec := post(t, s, "/v1/evaluate/batch", req)
+	if rec.Code != http.StatusServiceUnavailable && rec.Code != statusClientClosedRequest {
+		t.Fatalf("status = %d, want 503 or 499: %s", rec.Code, rec.Body)
+	}
+}
+
+func TestMeta(t *testing.T) {
+	s := New(Options{})
+	rec := get(t, s, "/v1/meta")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("meta: %d", rec.Code)
+	}
+	var meta apitypes.MetaResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &meta); err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.Integrations) != 8 {
+		t.Errorf("integrations = %d, want 8", len(meta.Integrations))
+	}
+	if len(meta.Locations) != 17 {
+		t.Errorf("locations = %d, want 17", len(meta.Locations))
+	}
+	if len(meta.NodesNM) == 0 || meta.NodesNM[0] != 3 {
+		t.Errorf("nodes = %v", meta.NodesNM)
+	}
+	if meta.DefaultWorkload.PeakTOPS != apitypes.DefaultPeakTOPS {
+		t.Errorf("default workload = %+v", meta.DefaultWorkload)
+	}
+	classes := map[string]int{}
+	for _, integ := range meta.Integrations {
+		classes[integ.Class]++
+	}
+	if classes["2d"] != 1 || classes["2.5d"] != 4 || classes["3d"] != 3 {
+		t.Errorf("class split = %v", classes)
+	}
+}
+
+func TestExploreStream(t *testing.T) {
+	s := New(Options{StreamChunk: 4})
+	rec := post(t, s, "/v1/explore", apitypes.ExploreRequest{
+		Space: apitypes.SpaceSpec{
+			Name:       "stream",
+			Strategies: []string{"homogeneous", "heterogeneous"},
+		},
+		Top: 5,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("explore: %d: %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var results int
+	var summary *apitypes.ExploreSummary
+	scanner := bufio.NewScanner(rec.Body)
+	for scanner.Scan() {
+		var ev apitypes.ExploreEvent
+		if err := json.Unmarshal(scanner.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", scanner.Text(), err)
+		}
+		switch ev.Type {
+		case "result":
+			if summary != nil {
+				t.Fatal("result event after the summary")
+			}
+			results++
+		case "summary":
+			summary = ev.Summary
+		default:
+			t.Fatalf("unexpected event type %q", ev.Type)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Two strategies over eight technologies: 8 + 7 (2D deduped).
+	if results != 15 {
+		t.Errorf("streamed %d results, want 15", results)
+	}
+	if summary == nil {
+		t.Fatal("stream ended without a summary event")
+	}
+	if summary.Candidates != 15 || summary.Evaluated != 15 {
+		t.Errorf("summary scale: %+v", summary)
+	}
+	if len(summary.Ranked) != 5 {
+		t.Errorf("ranked = %v, want 5 IDs", summary.Ranked)
+	}
+	if len(summary.Frontier) == 0 {
+		t.Error("empty frontier")
+	}
+	if summary.Stats.Evaluations == 0 {
+		t.Error("summary is missing engine stats")
+	}
+}
+
+func TestExploreBadSpace(t *testing.T) {
+	s := New(Options{})
+	decodeError(t, post(t, s, "/v1/explore", apitypes.ExploreRequest{
+		Space: apitypes.SpaceSpec{Integrations: []string{"warp-core"}},
+	}), http.StatusBadRequest, "bad_request")
+}
+
+func TestExploreSpaceTooLarge(t *testing.T) {
+	s := New(Options{MaxSpace: 10})
+	decodeError(t, post(t, s, "/v1/explore", apitypes.ExploreRequest{
+		Space: apitypes.SpaceSpec{Strategies: []string{"homogeneous", "heterogeneous"}},
+	}), http.StatusRequestEntityTooLarge, "bad_request")
+}
+
+// Every handled request shows up in the per-endpoint counters.
+func TestStatsCounters(t *testing.T) {
+	s := New(Options{})
+	post(t, s, "/v1/evaluate", apitypes.EvaluateRequest{Design: loadLakefield(t)})
+	post(t, s, "/v1/evaluate", `{"oops`)
+	get(t, s, "/v1/meta")
+
+	rec := get(t, s, "/v1/stats")
+	var st apitypes.StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	ep := st.Endpoints["/v1/evaluate"]
+	if ep.Requests != 2 || ep.Errors != 1 {
+		t.Errorf("/v1/evaluate counters = %+v", ep)
+	}
+	if st.Endpoints["/v1/meta"].Requests != 1 {
+		t.Errorf("/v1/meta counters = %+v", st.Endpoints["/v1/meta"])
+	}
+	if ep.TotalMS < 0 {
+		t.Errorf("negative latency %v", ep.TotalMS)
+	}
+	if st.MaxConcurrent <= 0 || st.CacheLimit != DefaultCacheLimit {
+		t.Errorf("limits: %+v", st)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := New(Options{})
+	rec := get(t, s, "/healthz")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Errorf("healthz: %d %s", rec.Code, rec.Body)
+	}
+}
+
+// ListenAndServe must come up, answer, and drain on context cancellation.
+func TestListenAndServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network listener in -short mode")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Pick a free loopback port: bind :0, note the address, release it for
+	// ListenAndServe. A tiny reuse race remains, but it cannot collide with
+	// a fixed port another process holds.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+	done := make(chan error, 1)
+	go func() { done <- ListenAndServe(ctx, addr, Options{}) }()
+	url := "http://" + addr + "/healthz"
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server did not come up: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}

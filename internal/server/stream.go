@@ -1,0 +1,135 @@
+// The POST /v1/explore handler: design-space exploration streamed as
+// NDJSON, so the first results of a large sweep reach the client while the
+// tail is still evaluating.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"repro/internal/explore"
+	"repro/internal/server/apitypes"
+)
+
+// ndjsonWriter emits one JSON value per line, flushing after every write
+// batch when the ResponseWriter supports it.
+type ndjsonWriter struct {
+	w   http.ResponseWriter
+	enc *json.Encoder
+}
+
+func newNDJSONWriter(w http.ResponseWriter) *ndjsonWriter {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no") // proxies: do not buffer the stream
+	return &ndjsonWriter{w: w, enc: json.NewEncoder(w)}
+}
+
+func (n *ndjsonWriter) event(ev apitypes.ExploreEvent) error { return n.enc.Encode(ev) }
+
+func (n *ndjsonWriter) flush() {
+	if f, ok := n.w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) int {
+	var req apitypes.ExploreRequest
+	if err := s.decode(w, r, &req); err != nil {
+		return decodeStatus(w, err)
+	}
+	space, err := req.Space.Space()
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, "bad_request",
+			"invalid space: "+err.Error())
+	}
+	cands, err := space.Enumerate()
+	if err != nil {
+		return writeError(w, http.StatusUnprocessableEntity, "evaluation_failed",
+			"space does not enumerate: "+err.Error())
+	}
+	if max := s.opts.maxSpace(); len(cands) > max {
+		return writeError(w, http.StatusRequestEntityTooLarge, "bad_request",
+			"space enumerates "+itoa(len(cands))+" candidates, over the server limit of "+itoa(max))
+	}
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	release, ok := s.acquire(ctx)
+	if !ok {
+		return cancelStatus(w, ctx.Err())
+	}
+	defer release()
+
+	// Headers and the first chunk commit the 200; later failures can only
+	// be reported in-stream as an error event.
+	out := newNDJSONWriter(w)
+	// Retain only compact points for the closing summary — full reports of
+	// a near-MaxSpace sweep would pin GBs for the whole request while the
+	// bounded cache evicts underneath.
+	points := make([]explore.Point, 0, len(cands))
+	failed := 0
+	chunk := s.opts.streamChunk()
+	for start := 0; start < len(cands); start += chunk {
+		end := start + chunk
+		if end > len(cands) {
+			end = len(cands)
+		}
+		results, err := s.engine.Evaluate(ctx, cands[start:end])
+		if err != nil {
+			// The 200 is committed, so the failure is in-band; the returned
+			// status only feeds metrics and the request log.
+			code, status := "cancelled", statusClientClosedRequest
+			if errors.Is(err, context.DeadlineExceeded) {
+				code, status = "timeout", http.StatusServiceUnavailable
+			}
+			_ = out.event(apitypes.ExploreEvent{Type: "error",
+				Error: &apitypes.Error{Code: code, Message: err.Error()}})
+			out.flush()
+			return status
+		}
+		for _, res := range results {
+			s.evaluated.Add(1)
+			if res.Err != nil {
+				failed++
+			} else {
+				points = append(points, explore.PointOf(res))
+			}
+			ev := apitypes.NewExploreResult(res)
+			if err := out.event(apitypes.ExploreEvent{Type: "result", Result: &ev}); err != nil {
+				return statusClientClosedRequest // client went away mid-stream
+			}
+		}
+		out.flush()
+	}
+
+	ranked := make([]explore.Point, len(points))
+	copy(ranked, points)
+	explore.RankPoints(ranked)
+	if req.Top > 0 && req.Top < len(ranked) {
+		ranked = ranked[:req.Top]
+	}
+	summary := apitypes.ExploreSummary{
+		Candidates: len(cands),
+		Evaluated:  len(points),
+		Failed:     failed,
+		Ranked:     pointIDs(ranked),
+		Frontier:   pointIDs(explore.FrontierPoints(points)),
+		Stats:      apitypes.NewEngineStats(s.engine.Stats()),
+	}
+	_ = out.event(apitypes.ExploreEvent{Type: "summary", Summary: &summary})
+	out.flush()
+	return http.StatusOK
+}
+
+func pointIDs(pts []explore.Point) []string {
+	out := make([]string, len(pts))
+	for i, p := range pts {
+		out[i] = p.ID
+	}
+	return out
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
