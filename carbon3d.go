@@ -212,9 +212,55 @@ func NewExploreEngine(m *Model) *ExploreEngine { return explore.New(m) }
 // Explore enumerates and concurrently evaluates a design space with the
 // default model, returning ranked results, Pareto frontiers and decision
 // verdicts through the returned Exploration.
+//
+// Explore retains every result — O(candidates) memory. Million-point
+// sweeps should use Stream, which holds only what its reducers keep.
 func Explore(ctx context.Context, s Space) (*Exploration, error) {
 	return explore.New(core.Default()).Explore(ctx, s)
 }
+
+// Streaming exploration: the constant-memory pipeline behind Explore,
+// exposed directly. Candidates are decoded positionally (the space never
+// materializes), evaluated on the worker pool, and handed to a sink in
+// enumeration order; online reducers fold the stream into rankings,
+// frontiers and running statistics with O(K + frontier) retention.
+type (
+	// StreamSink consumes one result at a time, in enumeration order.
+	StreamSink = explore.Sink
+	// StreamStats describes a finished stream (size, delivery count, peak
+	// candidates in flight).
+	StreamStats = explore.StreamStats
+	// ExploreSource yields candidates positionally; Space.Iter returns
+	// one, and SliceSource adapts explicit candidate lists.
+	ExploreSource = explore.Source
+	// SliceSource adapts a materialized candidate list to StreamSource.
+	SliceSource = explore.SliceSource
+	// TopK is a streaming reducer keeping the K lowest-carbon results.
+	TopK = explore.TopK
+	// FrontierReducer maintains a running Pareto frontier over a stream.
+	FrontierReducer = explore.FrontierReducer
+	// RunningStats accumulates scalar statistics over a stream.
+	RunningStats = explore.RunningStats
+)
+
+// Stream evaluates a design space through the default model's streaming
+// pipeline: constant memory, results delivered to sink in enumeration
+// order.
+func Stream(ctx context.Context, s Space, sink StreamSink) (StreamStats, error) {
+	return explore.New(core.Default()).Stream(ctx, s, sink)
+}
+
+// StreamSource is Stream over any positional candidate source — a
+// Space.Iter, or a SliceSource wrapping an explicit candidate list.
+func StreamSource(ctx context.Context, src ExploreSource, sink StreamSink) (StreamStats, error) {
+	return explore.New(core.Default()).StreamSource(ctx, src, sink)
+}
+
+// NewTopK returns a streaming top-K ranking reducer (k ≤ 0 keeps all).
+func NewTopK(k int) *TopK { return explore.NewTopK(k) }
+
+// NewFrontierReducer returns a streaming Pareto-frontier reducer.
+func NewFrontierReducer() *FrontierReducer { return explore.NewFrontierReducer() }
 
 // Carbon-as-a-service (internal/server): the full model as a long-running
 // HTTP service on top of the exploration engine, with one process-wide

@@ -1,16 +1,22 @@
-// Command explore runs a design-space exploration: it enumerates candidate
+// Command explore runs a design-space exploration: it decodes candidate
 // designs over integration technology, die-division strategy, process node,
-// design size, fab/use grid location and device lifetime, evaluates them
-// concurrently on the internal/explore engine, and prints the lowest-carbon
-// candidates plus the embodied-vs-operational Pareto frontier with the
-// Eq. 2 choosing/replacing verdict of every candidate against its 2D
-// baseline.
+// design size, fab/use grid location and device lifetime, streams them
+// through the internal/explore engine's constant-memory pipeline, and
+// prints the lowest-carbon candidates plus the embodied-vs-operational
+// Pareto frontier with the Eq. 2 choosing/replacing verdict of every
+// candidate against its 2D baseline.
+//
+// The space is never materialized: candidates are decoded positionally on
+// the worker pool and folded into online reducers (bounded top-K ranking,
+// running Pareto frontier), so memory stays flat however many points the
+// axes multiply out to.
 //
 // Usage:
 //
 //	explore [-nodes 7] [-gates 17e9] [-integrations all] [-strategies homogeneous]
 //	        [-fab taiwan] [-use usa] [-lifetimes 10] [-peak 254] [-eff 2.74]
 //	        [-top 15] [-workers 0] [-format table|csv]
+//	        [-cpuprofile explore.cpu] [-memprofile explore.mem]
 //
 // List-valued flags take comma-separated values, e.g.
 //
@@ -25,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -47,17 +54,19 @@ func main() {
 	top := flag.Int("top", 15, "ranked candidates to print (0 = all)")
 	workers := flag.Int("workers", 0, "evaluation workers (0 = all CPUs)")
 	format := flag.String("format", "table", "output format: table or csv")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the exploration to this file")
+	memprofile := flag.String("memprofile", "", "write a post-exploration heap profile to this file")
 	flag.Parse()
 
 	if err := run(*nodes, *gates, *integrations, *strategies, *fabs, *uses,
-		*lifetimes, *peak, *eff, *top, *workers, *format); err != nil {
+		*lifetimes, *peak, *eff, *top, *workers, *format, *cpuprofile, *memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, "explore:", err)
 		os.Exit(1)
 	}
 }
 
 func run(nodes, gates, integrations, strategies, fabs, uses, lifetimes string,
-	peak, eff float64, top, workers int, format string) error {
+	peak, eff float64, top, workers int, format, cpuprofile, memprofile string) error {
 	csv := false
 	switch format {
 	case "table":
@@ -73,34 +82,85 @@ func run(nodes, gates, integrations, strategies, fabs, uses, lifetimes string,
 		return err
 	}
 
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
 	e := explore.New(core.Default())
 	e.Workers = workers
+
+	// Online reducers instead of a materialized ResultSet: the stream
+	// retains the printed top-K, the frontier and the failure list — O(K)
+	// — not every evaluated report.
+	ranked := explore.NewTopK(top)
+	frontier := explore.NewFrontierReducer()
+	var stats explore.RunningStats
+	type failure struct {
+		id  string
+		err error
+	}
+	var failed []failure
 	start := time.Now()
-	rs, err := e.Explore(context.Background(), *space)
+	st, err := e.Stream(context.Background(), *space, func(r explore.Result) error {
+		stats.Add(r)
+		if r.Err != nil {
+			failed = append(failed, failure{id: r.Candidate.ID, err: r.Err})
+			return nil
+		}
+		ranked.Add(r)
+		frontier.Add(r)
+		return nil
+	})
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
 
-	frontier := rs.Frontier()
+	topResults := ranked.Results()
+	front := frontier.Frontier()
 	if !csv {
-		fmt.Printf("Explored %s in %v (%d workers)\n\n",
-			rs.Summary(e.Stats()), elapsed.Round(time.Millisecond), e.Workers)
-		fmt.Printf("Lowest life-cycle carbon (top %d of %d)\n\n", top, len(rs.OK()))
+		es := e.Stats()
+		fmt.Printf("Explored %d candidates (%d ok, %d failed) in %v (%d workers, peak %d in flight)\n",
+			st.Candidates, stats.OK, stats.Failed,
+			elapsed.Round(time.Millisecond), workers, st.PeakInFlight)
+		fmt.Printf("Cache: %d distinct evaluations, %d hits (%.1f%% hit rate), %d entries in %d shard(s), %d evicted\n\n",
+			es.Evaluations, es.CacheHits, 100*es.HitRate(),
+			es.CacheEntries, es.CacheShards, es.Evictions)
+		fmt.Printf("Lowest life-cycle carbon (top %d of %d)\n\n", top, stats.OK)
 	}
-	emit(rs.Table(top), csv)
+	emit(explore.ResultsTable(topResults), csv)
 	fmt.Println()
 	if !csv {
-		fmt.Printf("Pareto frontier — embodied vs operational carbon (%d point(s))\n\n", len(frontier))
+		fmt.Printf("Pareto frontier — embodied vs operational carbon (%d point(s))\n\n", len(front))
 	}
-	emit(frontier.Table(), csv)
-	if failed := rs.Failed(); len(failed) > 0 && !csv {
+	emit(front.Table(), csv)
+	if len(failed) > 0 && !csv {
 		fmt.Printf("\n%d candidates not buildable:\n", len(failed))
-		for _, r := range failed {
-			fmt.Printf("  %s: %v\n", r.Candidate.ID, r.Err)
+		for _, f := range failed {
+			fmt.Printf("  %s: %v\n", f.id, f.err)
+		}
+	}
+
+	if memprofile != "" {
+		f, err := os.Create(memprofile)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // surface live retention, not transient garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
 		}
 	}
 	return nil
@@ -185,7 +245,10 @@ func parseFloats(s string) ([]float64, error) {
 	return out, nil
 }
 
-func emit(t interface{ String() string; CSV() string }, csv bool) {
+func emit(t interface {
+	String() string
+	CSV() string
+}, csv bool) {
 	if csv {
 		fmt.Print(t.CSV())
 		return

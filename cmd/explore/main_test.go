@@ -1,15 +1,19 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunSmallSpace(t *testing.T) {
 	err := run("7", "17e9", "all", "homogeneous,heterogeneous", "taiwan", "usa",
-		"10", 254, 2.74, 5, 2, "table")
+		"10", 254, 2.74, 5, 2, "table", "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	err = run("7", "17e9", "2D,hybrid-3d,emib", "homogeneous", "taiwan", "usa,norway",
-		"10", 254, 2.74, 0, 1, "csv")
+		"10", 254, 2.74, 0, 1, "csv", "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,9 +32,30 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	for _, c := range cases {
 		err := run(c.nodes, "17e9", c.integ, c.strat, c.fab, c.use, "10",
-			254, 2.74, 5, 1, c.format)
+			254, 2.74, 5, 1, c.format, "", "")
 		if err == nil {
 			t.Errorf("%s: expected an error", c.name)
+		}
+	}
+}
+
+// The -cpuprofile/-memprofile flags must leave non-empty pprof files.
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "explore.cpu")
+	mem := filepath.Join(dir, "explore.mem")
+	err := run("7", "17e9", "2D,hybrid-3d", "homogeneous", "taiwan", "usa",
+		"10", 254, 2.74, 3, 1, "csv", cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", path)
 		}
 	}
 }

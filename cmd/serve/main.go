@@ -4,7 +4,7 @@
 // Usage:
 //
 //	serve [-addr :8035] [-workers 0] [-cache-limit 65536] [-max-concurrent 0]
-//	      [-timeout 60s] [-max-batch 10000] [-max-space 1000000] [-quiet]
+//	      [-timeout 60s] [-max-batch 10000] [-max-space 1000000] [-quiet] [-pprof]
 //
 // Endpoints (see docs/API.md for the full reference):
 //
@@ -44,11 +44,12 @@ func main() {
 	maxBatch := flag.Int("max-batch", server.DefaultMaxBatch, "max designs per batch request")
 	maxSpace := flag.Int("max-space", server.DefaultMaxSpace, "max candidates per exploration")
 	quiet := flag.Bool("quiet", false, "disable per-request logging")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof at /debug/pprof/ (do not enable on untrusted networks)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "serve: ", log.LstdFlags)
 	opts := buildOptions(*workers, *cacheLimit, *maxConcurrent, *maxBatch, *maxSpace,
-		*timeout, *quiet, logger)
+		*timeout, *quiet, *pprofFlag, logger)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -64,14 +65,15 @@ func main() {
 
 // buildOptions maps the flag values onto the server configuration.
 func buildOptions(workers, cacheLimit, maxConcurrent, maxBatch, maxSpace int,
-	timeout time.Duration, quiet bool, logger *log.Logger) server.Options {
+	timeout time.Duration, quiet, profiling bool, logger *log.Logger) server.Options {
 	opts := server.Options{
-		Workers:        workers,
-		CacheLimit:     cacheLimit,
-		MaxConcurrent:  maxConcurrent,
-		RequestTimeout: timeout,
-		MaxBatch:       maxBatch,
-		MaxSpace:       maxSpace,
+		Workers:         workers,
+		CacheLimit:      cacheLimit,
+		MaxConcurrent:   maxConcurrent,
+		RequestTimeout:  timeout,
+		MaxBatch:        maxBatch,
+		MaxSpace:        maxSpace,
+		EnableProfiling: profiling,
 	}
 	if !quiet {
 		opts.Logger = logger

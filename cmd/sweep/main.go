@@ -70,6 +70,23 @@ func main() {
 	}
 }
 
+// evaluateStream fans a materialized candidate grid through the engine's
+// streaming pipeline (ordered delivery, same results as Evaluate) and
+// collects the rows — the sweeps keep their small explicit grids but ride
+// the same hot path the large explorations use.
+func evaluateStream(e *explore.Engine, cands []explore.Candidate) ([]explore.Result, error) {
+	results := make([]explore.Result, 0, len(cands))
+	_, err := e.StreamSource(context.Background(), explore.SliceSource(cands),
+		func(r explore.Result) error {
+			results = append(results, r)
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
 // embodiedGrid builds the embodied-only candidate grid of a (row axis ×
 // integration) sweep, evaluates it on the engine, and returns the results
 // row-major.
@@ -87,7 +104,7 @@ func embodiedGrid(e *explore.Engine, chips []split.Chip, integs []ic.Integration
 			})
 		}
 	}
-	return e.Evaluate(context.Background(), cands)
+	return evaluateStream(e, cands)
 }
 
 func sweepNode(e *explore.Engine, gates float64) error {
@@ -165,7 +182,7 @@ func sweepCI(e *explore.Engine, gates float64) error {
 			Eff:      units.TOPSPerWatt(2.74),
 		})
 	}
-	results, err := e.Evaluate(context.Background(), cands)
+	results, err := evaluateStream(e, cands)
 	if err != nil {
 		return err
 	}
@@ -211,7 +228,7 @@ func sweepLifetime(e *explore.Engine, gates float64) error {
 			})
 		}
 	}
-	results, err := e.Evaluate(context.Background(), cands)
+	results, err := evaluateStream(e, cands)
 	if err != nil {
 		return err
 	}

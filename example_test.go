@@ -109,6 +109,39 @@ func ExampleExplore() {
 	// frontier: 1 point(s)
 }
 
+// ExampleStream runs the same sweep as ExampleExplore through the
+// constant-memory pipeline: candidates are decoded positionally and folded
+// into online reducers, so only the top-K and the frontier are ever
+// retained — the pattern for million-point spaces.
+func ExampleStream() {
+	space := carbon3d.Space{
+		Name:       "orin-class",
+		Strategies: []carbon3d.Strategy{carbon3d.Homogeneous, carbon3d.Heterogeneous},
+		NodesNM:    []int{5, 7},
+	}
+	ranked := carbon3d.NewTopK(1)
+	frontier := carbon3d.NewFrontierReducer()
+	var stats carbon3d.RunningStats
+	_, err := carbon3d.Stream(context.Background(), space, func(r carbon3d.ExploreResult) error {
+		stats.Add(r)
+		ranked.Add(r)
+		frontier.Add(r)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	best := ranked.Results()[0]
+	fmt.Printf("%d candidates evaluated\n", stats.OK)
+	fmt.Printf("best: %s (%.2f kg CO2e)\n", best.Candidate.ID, best.Total())
+	fmt.Printf("frontier: %d point(s)\n", frontier.Size())
+	// Output:
+	// 30 candidates evaluated
+	// best: orin-class-n5-g17B/taiwan>usa/homogeneous/10y/m3d (15.28 kg CO2e)
+	// frontier: 1 point(s)
+}
+
 // ExampleNewServerHandler mounts the carbon-as-a-service HTTP API — the
 // same handler cmd/serve runs — on a test listener. See docs/API.md for
 // the endpoint reference.

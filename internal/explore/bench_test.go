@@ -8,7 +8,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/ic"
 	"repro/internal/split"
+	"repro/internal/units"
+	"repro/internal/workload"
 )
 
 // benchSpace is a ≥500-candidate space: 15 strategy×technology points ×
@@ -101,4 +104,169 @@ func BenchmarkEngineWarm(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// streamBenchSpace widens benchSpace with a lifetime axis: 1620 candidates
+// over 192 distinct designs — the regime the streaming pipeline's
+// amortized decode targets (many axis points per design template).
+func streamBenchSpace() Space {
+	s := benchSpace()
+	s.LifetimeYears = []float64{5, 10, 15}
+	return s
+}
+
+// legacyEnumerate is the pre-streaming materializing enumerator, preserved
+// verbatim as the benchmark baseline (the BenchmarkSerialLoop pattern): one
+// fresh design and one fmt-built ID per candidate, appended into a slice.
+func legacyEnumerate(s Space) ([]Candidate, error) {
+	out := make([]Candidate, 0, s.Size())
+	for _, gates := range s.gates() {
+		for _, nm := range s.nodes() {
+			for _, fab := range s.fabs() {
+				for _, use := range s.uses() {
+					chip := split.Chip{
+						Name:        fmt.Sprintf("%s-n%d-g%.4gB", s.name(), nm, gates/1e9),
+						ProcessNM:   nm,
+						Gates:       gates,
+						FabLocation: fab,
+						UseLocation: use,
+					}
+					base, err := split.Mono2D(chip)
+					if err != nil {
+						return nil, err
+					}
+					for _, years := range s.lifetimes() {
+						w := workload.AVPipeline(units.TOPS(s.peak()))
+						w.LifetimeYears = years
+						for si, strat := range s.strategies() {
+							for _, integ := range s.integrations() {
+								if integ == ic.Mono2D && si > 0 {
+									continue
+								}
+								d, err := split.Divide(chip, integ, strat)
+								if err != nil {
+									return nil, err
+								}
+								c := Candidate{
+									ID: fmt.Sprintf("%s/%s>%s/%s/%gy/%s",
+										chip.Name, fab, use, strat, years, integ),
+									Design:   d,
+									Workload: w,
+									Eff:      s.eff(),
+								}
+								if integ != ic.Mono2D {
+									c.Baseline = base
+								}
+								out = append(out, c)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// The legacy baseline must stay equivalent to the iterator-backed
+// Enumerate, or the benchmark comparison is meaningless.
+func TestLegacyEnumerateMatches(t *testing.T) {
+	s := streamBenchSpace()
+	want, err := s.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := legacyEnumerate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d candidates, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("candidate %d: ID %q != %q", i, got[i].ID, want[i].ID)
+		}
+		if got[i].Design.Name != want[i].Design.Name ||
+			got[i].Design.Integration != want[i].Design.Integration ||
+			got[i].Design.FabLocation != want[i].Design.FabLocation ||
+			got[i].Design.UseLocation != want[i].Design.UseLocation ||
+			len(got[i].Design.Dies) != len(want[i].Design.Dies) {
+			t.Fatalf("candidate %d: designs differ", i)
+		}
+		if got[i].Workload != want[i].Workload {
+			t.Fatalf("candidate %d: workloads differ", i)
+		}
+	}
+}
+
+// BenchmarkExplore is the materializing pipeline the streaming engine
+// replaces: enumerate the full candidate slice, evaluate it into a full
+// result slice, then rank and take the frontier through ResultSet. Compare
+// bytes/op and allocs/op against BenchmarkStreamExplore (same space, same
+// warm engine): the acceptance target is ≥5x lower on both for streaming.
+func BenchmarkExplore(b *testing.B) {
+	s := streamBenchSpace()
+	e := New(core.Default())
+	warm, err := legacyEnumerate(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.Evaluate(context.Background(), warm); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cands, err := legacyEnumerate(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		results, err := e.Evaluate(context.Background(), cands)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs := &ResultSet{Space: s, Results: results}
+		ranked := rs.Ranked()
+		if len(ranked) > 10 {
+			ranked = ranked[:10]
+		}
+		if len(ranked) == 0 || len(rs.Frontier()) == 0 {
+			b.Fatal("empty ranking or frontier")
+		}
+	}
+	b.ReportMetric(float64(len(warm)), "candidates")
+}
+
+// BenchmarkStreamExplore runs the same space through the streaming
+// pipeline with online reducers: no candidate slice, no result slice, no
+// sort copies — O(K + frontier) retention.
+func BenchmarkStreamExplore(b *testing.B) {
+	s := streamBenchSpace()
+	e := New(core.Default())
+	// Same warm-cache regime as BenchmarkExplore.
+	if _, err := e.Explore(context.Background(), s); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var peak int
+	for i := 0; i < b.N; i++ {
+		ranked := NewTopK(10)
+		frontier := NewFrontierReducer()
+		st, err := e.Stream(context.Background(), s, func(r Result) error {
+			ranked.Add(r)
+			frontier.Add(r)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ranked.Results()) == 0 || frontier.Size() == 0 {
+			b.Fatal("empty ranking or frontier")
+		}
+		peak = st.PeakInFlight
+	}
+	b.ReportMetric(float64(s.Size()), "candidates")
+	b.ReportMetric(float64(peak), "peak_in_flight")
 }

@@ -1,0 +1,127 @@
+// The sharded memoization cache: a power-of-two array of independently
+// locked LRU shards keyed by the 128-bit evaluation hash. Sharding removes
+// the single global lock the worker pool used to serialize on — with ~µs
+// evaluations, one mutex saturates around a handful of cores; per-shard
+// locks keep the hot path embarrassingly parallel.
+package explore
+
+import (
+	"container/list"
+	"runtime"
+	"sync"
+)
+
+// cacheEntry is one LRU slot: the memo key (so eviction can delete the map
+// entry) and the memoized evaluation.
+type cacheEntry struct {
+	key keyPair
+	ent *memoEntry
+}
+
+// memoShard is one independently locked LRU segment.
+type memoShard struct {
+	mu    sync.Mutex
+	memo  map[keyPair]*list.Element // → *cacheEntry
+	lru   *list.List                // front = most recently used
+	limit int                       // ≤0 = unbounded
+
+	// pad spaces shards apart so their mutexes do not false-share one
+	// cache line under cross-core contention.
+	_ [40]byte
+}
+
+// memoCache routes keys to shards by the low hash bits.
+type memoCache struct {
+	shards []memoShard
+	mask   uint64
+}
+
+// newMemoCache sizes the shard array: enough shards to spread GOMAXPROCS
+// workers (capped at 16 — beyond that the lock is off the profile), but
+// never so many that a small CacheLimit degenerates into per-shard limits
+// of a handful of entries. limit ≤ 0 means unbounded; shards > 0 forces an
+// explicit count (rounded up to a power of two).
+func newMemoCache(limit, shards int) *memoCache {
+	n := shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+		if n > 16 {
+			n = 16
+		}
+		// A bounded cache needs ≥64 entries per shard for per-shard LRU to
+		// approximate global LRU; degrade to fewer shards, not worse reuse.
+		for n > 1 && limit > 0 && limit/n < 64 {
+			n /= 2
+		}
+	}
+	// Round up to a power of two for mask routing; a bounded cache never
+	// gets more shards than entries, so the per-shard limits below stay
+	// ≥ 1 while summing to exactly the global bound.
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	for limit > 0 && p > limit {
+		p >>= 1
+	}
+	c := &memoCache{shards: make([]memoShard, p), mask: uint64(p - 1)}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.memo = make(map[keyPair]*list.Element)
+		s.lru = list.New()
+		if limit > 0 {
+			// Distribute the global bound; the first shards take the
+			// remainder so the per-shard limits sum to exactly limit.
+			s.limit = limit / p
+			if i < limit%p {
+				s.limit++
+			}
+		}
+	}
+	return c
+}
+
+func (c *memoCache) shard(key keyPair) *memoShard {
+	return &c.shards[key.lo&c.mask]
+}
+
+// get returns the memo entry for key, inserting a fresh one on miss.
+// hit reports whether the entry already existed; evicted is the number of
+// entries dropped to keep the shard inside its limit.
+func (c *memoCache) get(key keyPair) (ent *memoEntry, hit bool, evicted int) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if el, ok := s.memo[key]; ok {
+		s.lru.MoveToFront(el)
+		ent = el.Value.(*cacheEntry).ent
+		s.mu.Unlock()
+		return ent, true, 0
+	}
+	ent = &memoEntry{}
+	s.memo[key] = s.lru.PushFront(&cacheEntry{key: key, ent: ent})
+	if s.limit > 0 {
+		for len(s.memo) > s.limit {
+			back := s.lru.Back()
+			delete(s.memo, back.Value.(*cacheEntry).key)
+			s.lru.Remove(back)
+			evicted++
+		}
+	}
+	s.mu.Unlock()
+	return ent, false, evicted
+}
+
+// entries sums the resident entry counts across shards.
+func (c *memoCache) entries() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += len(s.memo)
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// count returns the number of shards (for stats and tests).
+func (c *memoCache) count() int { return len(c.shards) }

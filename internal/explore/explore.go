@@ -14,7 +14,6 @@
 package explore
 
 import (
-	"container/list"
 	"context"
 	"fmt"
 	"runtime"
@@ -55,13 +54,13 @@ type Candidate struct {
 // embodiedOnly reports whether the candidate skips the operational model.
 func (c Candidate) embodiedOnly() bool { return c.Workload.Throughput <= 0 }
 
-// Key returns the canonical evaluation hash key of a (design, workload,
-// efficiency) triple: a flat encoding of every model-relevant field. Two
-// candidates with equal keys are the same evaluation, whatever their IDs.
-// The encoding is hand-rolled rather than JSON (and floats use the exact
-// binary-exponent format) because key construction sits on the
-// per-candidate hot path of large explorations, where an evaluation itself
-// costs only microseconds.
+// Key returns the canonical evaluation key of a (design, workload,
+// efficiency) triple: a flat string encoding of every model-relevant field.
+// Two candidates with equal keys are the same evaluation, whatever their
+// IDs. The memo cache itself no longer stores these strings — it keys on
+// the allocation-free 128-bit hash of the same fields (see hash.go) — but
+// the string form remains the readable canonical encoding and the oracle
+// the hash's injectivity is tested against.
 func Key(d *design.Design, w workload.Workload, eff units.Efficiency) string {
 	return designKey(d) + workloadKey(w, eff)
 }
@@ -176,6 +175,9 @@ type Stats struct {
 	// Evictions is the number of memoized evaluations dropped to keep the
 	// cache inside CacheLimit.
 	Evictions uint64
+	// CacheShards is the number of independently locked cache segments
+	// (0 until the first evaluation builds the cache).
+	CacheShards int
 }
 
 // HitRate returns the fraction of evaluation requests answered from the
@@ -204,52 +206,17 @@ type Engine struct {
 	// long-running process (cmd/serve) sets this so arbitrary request
 	// streams cannot grow the cache without bound.
 	CacheLimit int
+	// CacheShards overrides the memo shard count (rounded up to a power of
+	// two). ≤0 picks one shard per core up to 16, degraded so a bounded
+	// cache keeps ≥64 entries per shard — a small CacheLimit therefore
+	// gets one shard and exact global LRU order. Set before first use.
+	CacheShards int
 
-	mu        sync.Mutex
-	memo      map[keyPair]*list.Element // → *cacheEntry
-	lru       *list.List                // front = most recently used
+	cacheOnce sync.Once
+	cache     atomic.Pointer[memoCache]
 	evals     atomic.Uint64
 	hits      atomic.Uint64
 	evictions atomic.Uint64
-
-	// designKeys and workloadKeys cache the two halves of evaluation keys:
-	// a baseline design shared by hundreds of candidates encodes once (by
-	// pointer), and a space's handful of distinct workload profiles encode
-	// once each. This assumes submitted designs are not mutated while the
-	// engine holds them — the same contract the memoized reports already
-	// require. Both maps are reset wholesale when they outgrow their
-	// bounds, so a server feeding the engine fresh pointers per request
-	// cannot leak.
-	keyMu        sync.RWMutex
-	designKeys   map[*design.Design]string
-	workloadKeys map[workloadID]string
-}
-
-// Bounds for the key caches: identity-keyed entries are cheap (~200 B) but
-// a server mints new design pointers per request, so both maps reset when
-// they exceed these sizes.
-const (
-	designKeyCacheLimit   = 1 << 14
-	workloadKeyCacheLimit = 1 << 10
-)
-
-// cacheEntry is one LRU slot: the memo key (so eviction can delete the map
-// entry) and the memoized evaluation.
-type cacheEntry struct {
-	key keyPair
-	ent *memoEntry
-}
-
-// keyPair is the memo-map key: the two halves stay separate to avoid a
-// concatenation allocation per lookup.
-type keyPair struct {
-	design   string
-	workload string
-}
-
-// workloadID is the comparable identity of a (workload, efficiency) pair.
-type workloadID struct {
-	throughput, peak, hours, years, eff float64
 }
 
 type memoEntry struct {
@@ -263,15 +230,25 @@ func New(m *core.Model) *Engine { return &Engine{Model: m} }
 
 // Stats returns the evaluation counters.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	entries := len(e.memo)
-	e.mu.Unlock()
-	return Stats{
-		Evaluations:  e.evals.Load(),
-		CacheHits:    e.hits.Load(),
-		CacheEntries: entries,
-		Evictions:    e.evictions.Load(),
+	st := Stats{
+		Evaluations: e.evals.Load(),
+		CacheHits:   e.hits.Load(),
+		Evictions:   e.evictions.Load(),
 	}
+	if c := e.cache.Load(); c != nil {
+		st.CacheEntries = c.entries()
+		st.CacheShards = c.count()
+	}
+	return st
+}
+
+// memo lazily builds the sharded cache on first evaluation, honouring the
+// CacheLimit/CacheShards configured by then.
+func (e *Engine) memo() *memoCache {
+	e.cacheOnce.Do(func() {
+		e.cache.Store(newMemoCache(e.CacheLimit, e.CacheShards))
+	})
+	return e.cache.Load()
 }
 
 func (e *Engine) workers() int {
@@ -285,65 +262,13 @@ func (e *Engine) workers() int {
 // cache. Embodied-only evaluations leave Operational nil and set Total to
 // the embodied carbon. The returned report is shared across callers and
 // must be treated as read-only.
-func (e *Engine) key(d *design.Design, w workload.Workload, eff units.Efficiency) keyPair {
-	id := workloadID{float64(w.Throughput), float64(w.PeakThroughput),
-		w.ActiveHoursPerYear, w.LifetimeYears, float64(eff)}
-	e.keyMu.RLock()
-	dk, dok := e.designKeys[d]
-	wk, wok := e.workloadKeys[id]
-	e.keyMu.RUnlock()
-	if dok && wok {
-		return keyPair{design: dk, workload: wk}
-	}
-	if !dok {
-		dk = designKey(d)
-	}
-	if !wok {
-		wk = workloadKey(w, eff)
-	}
-	e.keyMu.Lock()
-	if !dok {
-		if e.designKeys == nil || len(e.designKeys) >= designKeyCacheLimit {
-			e.designKeys = make(map[*design.Design]string, 64)
-		}
-		e.designKeys[d] = dk
-	}
-	if !wok {
-		if e.workloadKeys == nil || len(e.workloadKeys) >= workloadKeyCacheLimit {
-			e.workloadKeys = make(map[workloadID]string, 16)
-		}
-		e.workloadKeys[id] = wk
-	}
-	e.keyMu.Unlock()
-	return keyPair{design: dk, workload: wk}
-}
-
 func (e *Engine) total(d *design.Design, w workload.Workload, eff units.Efficiency,
 	embodiedOnly bool) (*core.TotalReport, error) {
-	key := e.key(d, w, eff)
-	e.mu.Lock()
-	if e.memo == nil {
-		e.memo = make(map[keyPair]*list.Element)
-		e.lru = list.New()
+	key := hashEvaluation(d, w, eff)
+	ent, ok, evicted := e.memo().get(key)
+	if evicted > 0 {
+		e.evictions.Add(uint64(evicted))
 	}
-	var ent *memoEntry
-	el, ok := e.memo[key]
-	if ok {
-		ent = el.Value.(*cacheEntry).ent
-		e.lru.MoveToFront(el)
-	} else {
-		ent = &memoEntry{}
-		e.memo[key] = e.lru.PushFront(&cacheEntry{key: key, ent: ent})
-		if e.CacheLimit > 0 {
-			for len(e.memo) > e.CacheLimit {
-				back := e.lru.Back()
-				delete(e.memo, back.Value.(*cacheEntry).key)
-				e.lru.Remove(back)
-				e.evictions.Add(1)
-			}
-		}
-	}
-	e.mu.Unlock()
 	if ok {
 		e.hits.Add(1)
 	}
@@ -434,6 +359,13 @@ func (e *Engine) Evaluate(ctx context.Context, cands []Candidate) ([]Result, err
 	// one atomic op per block, so per-candidate coordination overhead stays
 	// negligible against the ~µs evaluation cost while the pool still
 	// load-balances uneven (cache-hit vs computed) candidates.
+	//
+	// Cancellation is checked per candidate through a cheap atomic flag (a
+	// watcher goroutine arms it the moment ctx fires), so a cancelled
+	// Evaluate returns within one evaluation, not one 16-candidate block,
+	// and no worker writes a result after the flag is up.
+	stop, unwatch := watchContext(ctx)
+	defer unwatch()
 	const block = 16
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -441,7 +373,7 @@ func (e *Engine) Evaluate(ctx context.Context, cands []Candidate) ([]Result, err
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for ctx.Err() == nil {
+			for {
 				start := int(next.Add(block)) - block
 				if start >= len(cands) {
 					return
@@ -451,6 +383,9 @@ func (e *Engine) Evaluate(ctx context.Context, cands []Candidate) ([]Result, err
 					end = len(cands)
 				}
 				for i := start; i < end; i++ {
+					if stop.Load() {
+						return
+					}
 					results[i] = e.evaluateOne(cands[i])
 				}
 			}
@@ -463,14 +398,40 @@ func (e *Engine) Evaluate(ctx context.Context, cands []Candidate) ([]Result, err
 	return results, nil
 }
 
-// Explore enumerates a space and evaluates it.
+// watchContext arms an atomic flag when ctx is done — a per-candidate
+// ctx.Err() would take ctx's internal mutex on every check, which the
+// worker pool would contend on. The returned release stops the watcher.
+func watchContext(ctx context.Context) (stop *atomic.Bool, release func()) {
+	var flag atomic.Bool
+	if ctx.Done() == nil {
+		return &flag, func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			flag.Store(true)
+		case <-done:
+		}
+	}()
+	return &flag, func() { close(done) }
+}
+
+// Explore evaluates a space and returns the full materialized result set.
+// It runs on the streaming pipeline — candidates are decoded positionally,
+// never enumerated into a slice — but retains every result, so it costs
+// O(candidates) memory like it always did. Sweeps that only need rankings,
+// frontiers or aggregates should call Stream with reducers instead.
 func (e *Engine) Explore(ctx context.Context, s Space) (*ResultSet, error) {
-	cands, err := s.Enumerate()
+	it, err := s.Iter()
 	if err != nil {
 		return nil, err
 	}
-	results, err := e.Evaluate(ctx, cands)
-	if err != nil {
+	results := make([]Result, 0, it.Len())
+	if _, err := e.StreamSource(ctx, it, func(r Result) error {
+		results = append(results, r)
+		return nil
+	}); err != nil {
 		return nil, err
 	}
 	return &ResultSet{Space: s, Results: results}, nil

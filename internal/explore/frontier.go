@@ -40,18 +40,11 @@ func (rs *ResultSet) Failed() []Result {
 
 // Ranked returns the successful results sorted by life-cycle total,
 // lowest-carbon first (ties break on embodied carbon, then ID for
-// stability).
+// stability — resultLess, the same ordering the streaming TopK reducer
+// applies).
 func (rs *ResultSet) Ranked() []Result {
 	out := rs.OK()
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Total() != out[j].Total() {
-			return out[i].Total() < out[j].Total()
-		}
-		if out[i].Embodied() != out[j].Embodied() {
-			return out[i].Embodied() < out[j].Embodied()
-		}
-		return out[i].Candidate.ID < out[j].Candidate.ID
-	})
+	sort.SliceStable(out, func(i, j int) bool { return resultLess(out[i], out[j]) })
 	return out
 }
 
@@ -116,6 +109,11 @@ func resultTable(results []Result) *report.Table {
 	return t
 }
 
+// ResultsTable renders an already-ordered result list into the shared
+// ranking/frontier table layout — the rendering path for streaming
+// consumers that hold reducer output instead of a ResultSet.
+func ResultsTable(results []Result) *report.Table { return resultTable(results) }
+
 // Table renders the top results of the ranking (top ≤ 0 means all).
 func (rs *ResultSet) Table(top int) *report.Table {
 	ranked := rs.Ranked()
@@ -155,17 +153,11 @@ func PointOf(r Result) Point {
 }
 
 // RankPoints sorts points by life-cycle total, lowest-carbon first (ties
-// break on embodied carbon, then ID), exactly as ResultSet.Ranked does.
+// break on embodied carbon, then ID), exactly as ResultSet.Ranked does —
+// pointLess is the single definition of the ordering, shared with the
+// streaming PointTopK reducer.
 func RankPoints(pts []Point) {
-	sort.SliceStable(pts, func(i, j int) bool {
-		if pts[i].Total != pts[j].Total {
-			return pts[i].Total < pts[j].Total
-		}
-		if pts[i].Embodied != pts[j].Embodied {
-			return pts[i].Embodied < pts[j].Embodied
-		}
-		return pts[i].ID < pts[j].ID
-	})
+	sort.SliceStable(pts, func(i, j int) bool { return pointLess(pts[i], pts[j]) })
 }
 
 // FrontierPoints returns the Pareto-optimal subset on the (embodied,

@@ -1,0 +1,159 @@
+package explore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/design"
+	"repro/internal/ic"
+	"repro/internal/split"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// corpusDesigns loads every shipped design JSON plus a generated set
+// covering all integrations and strategies — the population the memo hash
+// must keep distinct.
+func corpusDesigns(t *testing.T) []*design.Design {
+	t.Helper()
+	var out []*design.Design
+	paths, err := filepath.Glob(filepath.Join("..", "..", "designs", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no shipped designs found under designs/")
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := design.Unmarshal(data)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		out = append(out, d)
+	}
+	for _, gates := range []float64{5e9, 17e9} {
+		chip := split.Chip{Name: "corpus", ProcessNM: 7, Gates: gates}
+		for _, strat := range []split.Strategy{split.HomogeneousStrategy, split.HeterogeneousStrategy} {
+			for _, integ := range ic.Integrations() {
+				d, err := split.Divide(chip, integ, strat)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// The binary hash must be exactly as discriminating as the canonical string
+// key over the real design corpus: equal strings ⇔ equal hashes, for every
+// pair of (design, workload) combinations.
+func TestHashMatchesStringKeys(t *testing.T) {
+	designs := corpusDesigns(t)
+	workloads := []workload.Workload{
+		{},
+		workload.AVPipeline(units.TOPS(254)),
+		func() workload.Workload {
+			w := workload.AVPipeline(units.TOPS(254))
+			w.LifetimeYears = 5
+			return w
+		}(),
+	}
+	eff := units.TOPSPerWatt(2.74)
+
+	type entry struct {
+		key  string
+		hash keyPair
+	}
+	var entries []entry
+	for _, d := range designs {
+		for _, w := range workloads {
+			entries = append(entries, entry{
+				key:  Key(d, w, eff),
+				hash: hashEvaluation(d, w, eff),
+			})
+		}
+	}
+	for i := range entries {
+		for j := i + 1; j < len(entries); j++ {
+			sameKey := entries[i].key == entries[j].key
+			sameHash := entries[i].hash == entries[j].hash
+			if sameKey != sameHash {
+				t.Fatalf("entries %d/%d: string keys equal=%v but hashes equal=%v\nkey i: %q\nkey j: %q",
+					i, j, sameKey, sameHash, entries[i].key, entries[j].key)
+			}
+		}
+	}
+}
+
+// Every hashed field must perturb the hash — the binary analogue of
+// TestKeyCanonical.
+func TestHashFieldSensitivity(t *testing.T) {
+	chip := split.Chip{Name: "hash", ProcessNM: 7, Gates: 17e9}
+	w := workload.AVPipeline(units.TOPS(254))
+	eff := units.TOPSPerWatt(2.74)
+	base := func() *design.Design {
+		d, err := split.Homogeneous(chip, ic.Hybrid3D)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	h0 := hashEvaluation(base(), w, eff)
+	if h0 != hashEvaluation(base(), w, eff) {
+		t.Fatal("identical inputs must hash identically")
+	}
+
+	mutations := map[string]func(*design.Design){
+		"name":        func(d *design.Design) { d.Name = "other" },
+		"integration": func(d *design.Design) { d.Integration = ic.MicroBump3D },
+		"stacking":    func(d *design.Design) { d.Stacking = ic.F2B },
+		"flow":        func(d *design.Design) { d.Flow = ic.W2W },
+		"fab":         func(d *design.Design) { d.FabLocation = "norway" },
+		"use":         func(d *design.Design) { d.UseLocation = "india" },
+		"wafer":       func(d *design.Design) { d.WaferAreaMM2 = 1 },
+		"gap":         func(d *design.Design) { d.GapMM = 2 },
+		"die gates":   func(d *design.Design) { d.Dies[0].Gates++ },
+		"die area":    func(d *design.Design) { d.Dies[0].AreaMM2 = 3 },
+		"die node":    func(d *design.Design) { d.Dies[0].ProcessNM = 5 },
+		"die beol":    func(d *design.Design) { d.Dies[0].BEOLLayers = 9 },
+		"die memory":  func(d *design.Design) { d.Dies[0].Memory = true },
+		"die eff":     func(d *design.Design) { d.Dies[0].EfficiencyTOPSW = 1 },
+		"die name":    func(d *design.Design) { d.Dies[0].Name = "zzz" },
+	}
+	for name, mutate := range mutations {
+		d := base()
+		mutate(d)
+		if hashEvaluation(d, w, eff) == h0 {
+			t.Errorf("mutating %s did not change the hash", name)
+		}
+	}
+
+	w2 := w
+	w2.LifetimeYears = 5
+	if hashEvaluation(base(), w2, eff) == h0 {
+		t.Error("mutating the workload did not change the hash")
+	}
+	if hashEvaluation(base(), w, units.TOPSPerWatt(1)) == h0 {
+		t.Error("mutating the efficiency did not change the hash")
+	}
+}
+
+// String-length prefixing must keep adjacent variable-length fields from
+// aliasing.
+func TestHashNoFieldAliasing(t *testing.T) {
+	a := &design.Design{Name: "ab", Integration: "c",
+		Dies: []design.Die{{Name: "soc", ProcessNM: 7, Gates: 1e9}}}
+	b := &design.Design{Name: "a", Integration: "bc",
+		Dies: []design.Die{{Name: "soc", ProcessNM: 7, Gates: 1e9}}}
+	var w workload.Workload
+	if hashEvaluation(a, w, 0) == hashEvaluation(b, w, 0) {
+		t.Error("shifted field boundary produced the same hash")
+	}
+}

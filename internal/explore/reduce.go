@@ -1,0 +1,256 @@
+// Online reducers for the streaming pipeline: bounded top-K ranking, a
+// running Pareto frontier and scalar running stats. Each consumes results
+// (or compact points) one at a time from a Stream sink and retains only its
+// answer — O(K + frontier) memory however large the space — while
+// reproducing exactly the orderings and tie-break rules of the
+// materializing ResultSet methods (Ranked, Frontier) and their point
+// projections (RankPoints, FrontierPoints). TestReducersMatchResultSet pins
+// the equivalence.
+package explore
+
+import "sort"
+
+// resultLess is Ranked's ordering: life-cycle total, then embodied carbon,
+// then ID.
+func resultLess(a, b Result) bool {
+	if a.Total() != b.Total() {
+		return a.Total() < b.Total()
+	}
+	if a.Embodied() != b.Embodied() {
+		return a.Embodied() < b.Embodied()
+	}
+	return a.Candidate.ID < b.Candidate.ID
+}
+
+// pointLess is RankPoints' ordering.
+func pointLess(a, b Point) bool {
+	if a.Total != b.Total {
+		return a.Total < b.Total
+	}
+	if a.Embodied != b.Embodied {
+		return a.Embodied < b.Embodied
+	}
+	return a.ID < b.ID
+}
+
+// topKHeap keeps the k smallest items under less; k ≤ 0 keeps everything.
+// Bounded mode is a max-heap rooted at the current worst survivor, so a
+// stream admission is O(log k) and rejections (the common case once the
+// heap warms) are O(1).
+type topKHeap[T any] struct {
+	k     int
+	less  func(a, b T) bool
+	items []T
+}
+
+func (h *topKHeap[T]) add(x T) {
+	if h.k <= 0 {
+		h.items = append(h.items, x)
+		return
+	}
+	if len(h.items) < h.k {
+		h.items = append(h.items, x)
+		// Sift up: parent must not be better than child under "worst at
+		// root" order, i.e. parent ≥ child.
+		i := len(h.items) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !h.less(h.items[p], h.items[i]) {
+				break
+			}
+			h.items[p], h.items[i] = h.items[i], h.items[p]
+			i = p
+		}
+		return
+	}
+	if !h.less(x, h.items[0]) {
+		return // not better than the current worst survivor
+	}
+	h.items[0] = x
+	// Sift down.
+	i := 0
+	for {
+		worst := i
+		if l := 2*i + 1; l < len(h.items) && h.less(h.items[worst], h.items[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < len(h.items) && h.less(h.items[worst], h.items[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h.items[i], h.items[worst] = h.items[worst], h.items[i]
+		i = worst
+	}
+}
+
+// sorted returns the retained items in ascending less order.
+func (h *topKHeap[T]) sorted() []T {
+	out := make([]T, len(h.items))
+	copy(out, h.items)
+	sort.Slice(out, func(i, j int) bool { return h.less(out[i], out[j]) })
+	return out
+}
+
+// pareto maintains a Pareto staircase under (emb, op) minimization:
+// embodied strictly increasing, operational strictly decreasing. Points
+// must be added in enumeration order for the coincident-point rule
+// (first occurrence wins) to match FrontierPoints.
+type pareto[T any] struct {
+	emb, op func(T) float64
+	pts     []T
+}
+
+func (p *pareto[T]) add(x T) {
+	e, o := p.emb(x), p.op(x)
+	i := sort.Search(len(p.pts), func(j int) bool { return p.emb(p.pts[j]) >= e })
+	if i > 0 && p.op(p.pts[i-1]) <= o {
+		return // dominated by a strictly-lower-embodied point
+	}
+	if i < len(p.pts) && p.emb(p.pts[i]) == e {
+		if o >= p.op(p.pts[i]) {
+			return // dominated, or coincident with an earlier point
+		}
+		p.pts[i] = x
+	} else {
+		// Insert at i.
+		p.pts = append(p.pts, x)
+		copy(p.pts[i+1:], p.pts[i:len(p.pts)-1])
+		p.pts[i] = x
+	}
+	// Drop the higher-embodied points x now dominates.
+	j := i + 1
+	for j < len(p.pts) && p.op(p.pts[j]) >= o {
+		j++
+	}
+	p.pts = append(p.pts[:i+1], p.pts[j:]...)
+}
+
+// snapshot copies the current frontier, lowest embodied carbon first.
+func (p *pareto[T]) snapshot() []T {
+	out := make([]T, len(p.pts))
+	copy(out, p.pts)
+	return out
+}
+
+// TopK is a streaming reducer keeping the K lowest-carbon successful
+// results under exactly ResultSet.Ranked's ordering; K ≤ 0 retains every
+// successful result (the "rank everything" compatibility mode — O(n)).
+type TopK struct {
+	h topKHeap[Result]
+}
+
+// NewTopK returns a top-K ranking reducer.
+func NewTopK(k int) *TopK {
+	return &TopK{h: topKHeap[Result]{k: k, less: resultLess}}
+}
+
+// Add offers one result; failed results are ignored.
+func (t *TopK) Add(r Result) {
+	if r.Err == nil {
+		t.h.add(r)
+	}
+}
+
+// Results returns the retained results, lowest life-cycle carbon first.
+func (t *TopK) Results() []Result { return t.h.sorted() }
+
+// FrontierReducer maintains the running embodied-vs-operational Pareto
+// frontier of a stream, matching ResultSet.Frontier exactly when results
+// arrive in enumeration order.
+type FrontierReducer struct {
+	p pareto[Result]
+}
+
+// NewFrontierReducer returns an empty running frontier.
+func NewFrontierReducer() *FrontierReducer {
+	return &FrontierReducer{p: pareto[Result]{
+		emb: Result.Embodied,
+		op:  Result.Operational,
+	}}
+}
+
+// Add offers one result; failed results are ignored.
+func (f *FrontierReducer) Add(r Result) {
+	if r.Err == nil {
+		f.p.add(r)
+	}
+}
+
+// Frontier returns the current Pareto-optimal set, lowest embodied first.
+func (f *FrontierReducer) Frontier() Frontier { return f.p.snapshot() }
+
+// Size returns the current number of frontier points.
+func (f *FrontierReducer) Size() int { return len(f.p.pts) }
+
+// PointTopK is TopK over compact points (the HTTP stream's summary path).
+type PointTopK struct {
+	h topKHeap[Point]
+}
+
+// NewPointTopK returns a top-K reducer over points; K ≤ 0 retains all.
+func NewPointTopK(k int) *PointTopK {
+	return &PointTopK{h: topKHeap[Point]{k: k, less: pointLess}}
+}
+
+// Add offers one point.
+func (t *PointTopK) Add(p Point) { t.h.add(p) }
+
+// Points returns the retained points in RankPoints order.
+func (t *PointTopK) Points() []Point { return t.h.sorted() }
+
+// PointFrontier is FrontierReducer over compact points.
+type PointFrontier struct {
+	p pareto[Point]
+}
+
+// NewPointFrontier returns an empty running point frontier.
+func NewPointFrontier() *PointFrontier {
+	return &PointFrontier{p: pareto[Point]{
+		emb: func(p Point) float64 { return p.Embodied },
+		op:  func(p Point) float64 { return p.Operational },
+	}}
+}
+
+// Add offers one point.
+func (f *PointFrontier) Add(p Point) { f.p.add(p) }
+
+// Points returns the current frontier in FrontierPoints order.
+func (f *PointFrontier) Points() []Point { return f.p.snapshot() }
+
+// RunningStats accumulates scalar statistics over a stream of results.
+type RunningStats struct {
+	// Count is every result seen; OK and Failed split it by evaluation
+	// outcome.
+	Count, OK, Failed int
+	// MinTotal/MaxTotal/sum cover successful results' life-cycle totals.
+	MinTotal, MaxTotal float64
+	sumTotal           float64
+}
+
+// Add folds one result into the counters.
+func (s *RunningStats) Add(r Result) {
+	s.Count++
+	if r.Err != nil {
+		s.Failed++
+		return
+	}
+	t := r.Total()
+	if s.OK == 0 || t < s.MinTotal {
+		s.MinTotal = t
+	}
+	if s.OK == 0 || t > s.MaxTotal {
+		s.MaxTotal = t
+	}
+	s.OK++
+	s.sumTotal += t
+}
+
+// MeanTotal returns the mean life-cycle total of successful results.
+func (s *RunningStats) MeanTotal() float64 {
+	if s.OK == 0 {
+		return 0
+	}
+	return s.sumTotal / float64(s.OK)
+}

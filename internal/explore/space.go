@@ -1,11 +1,21 @@
 // Space enumeration: a compact spec of the design axes the paper varies
 // (§5's "which integration technology, which division, which node, where to
-// fab, where to use?") expanded into a concrete candidate list.
+// fab, where to use?") decoded positionally into candidates.
+//
+// The decoder is an iterator, not a list: Space.Iter resolves the axes and
+// pre-builds one immutable design template per (gates, node, strategy,
+// integration) combination — O(axes) memory — and per-worker Cursors decode
+// the i-th candidate on demand by copying the template and stamping the
+// axis point's fab/use locations and lifetime. A billion-point space
+// therefore never exists in memory; Enumerate remains as a thin
+// compatibility wrapper that drains the iterator into a slice.
 package explore
 
 import (
 	"fmt"
+	"strconv"
 
+	"repro/internal/design"
 	"repro/internal/grid"
 	"repro/internal/ic"
 	"repro/internal/split"
@@ -152,56 +162,207 @@ func (s Space) Size() int {
 // Every non-2D candidate carries the 2D baseline of its axis point, so the
 // engine can attach the Eq. 2 choosing/replacing verdicts; the shared
 // baselines hit the evaluator's memoization cache.
+//
+// Enumerate materializes the whole space — O(candidates) memory. Large
+// sweeps should use Engine.Stream over Space.Iter instead, which decodes
+// candidates positionally and retains nothing.
 func (s Space) Enumerate() ([]Candidate, error) {
-	out := make([]Candidate, 0, s.Size())
-	for _, gates := range s.gates() {
-		for _, nm := range s.nodes() {
-			for _, fab := range s.fabs() {
-				for _, use := range s.uses() {
-					chip := split.Chip{
-						Name:        fmt.Sprintf("%s-n%d-g%.4gB", s.name(), nm, gates/1e9),
-						ProcessNM:   nm,
-						Gates:       gates,
-						FabLocation: fab,
-						UseLocation: use,
-					}
-					base, err := split.Mono2D(chip)
-					if err != nil {
-						return nil, fmt.Errorf("explore: %s: %w", chip.Name, err)
-					}
-					for _, years := range s.lifetimes() {
-						w := workload.AVPipeline(units.TOPS(s.peak()))
-						w.LifetimeYears = years
-						for si, strat := range s.strategies() {
-							for _, integ := range s.integrations() {
-								if integ == ic.Mono2D && si > 0 {
-									continue // strategy-independent
-								}
-								d, err := split.Divide(chip, integ, strat)
-								if err != nil {
-									return nil, fmt.Errorf("explore: %s/%s: %w", chip.Name, integ, err)
-								}
-								c := Candidate{
-									ID:       candidateID(chip, fab, use, strat, years, integ),
-									Design:   d,
-									Workload: w,
-									Eff:      s.eff(),
-								}
-								if integ != ic.Mono2D {
-									c.Baseline = base
-								}
-								out = append(out, c)
-							}
-						}
-					}
-				}
-			}
+	it, err := s.Iter()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Candidate, 0, it.Len())
+	cur := it.Cursor()
+	for i := 0; i < it.Len(); i++ {
+		c, err := cur.At(i)
+		if err != nil {
+			return nil, err
 		}
+		out = append(out, c)
 	}
 	return out, nil
 }
 
-func candidateID(chip split.Chip, fab, use grid.Location, strat split.Strategy,
-	years float64, integ ic.Integration) string {
-	return fmt.Sprintf("%s/%s>%s/%s/%gy/%s", chip.Name, fab, use, strat, years, integ)
+// stratInteg is one flattened point of the (strategy, integration) inner
+// axis, with the strategy-independent 2D design deduplicated away.
+type stratInteg struct {
+	strat split.Strategy
+	integ ic.Integration
+}
+
+// Iter is a positional decoder over a space: candidate i of Len() is
+// decoded on demand by a Cursor, so the space never materializes. An Iter
+// is immutable after construction and safe to share across goroutines;
+// each worker takes its own Cursor.
+type Iter struct {
+	name  string
+	gates []float64
+	nodes []int
+	fabs  []grid.Location
+	uses  []grid.Location
+	years []float64
+	pairs []stratInteg
+	eff   units.Efficiency
+	base  workload.Workload // lifetime stamped per candidate
+	n     int
+
+	// Immutable design templates, one per (gates, node) × inner pair plus
+	// the 2D baseline — O(axes), not O(candidates). Cursors copy the
+	// template struct and stamp the fab/use locations of their axis point;
+	// the Dies slices and name strings are shared, never mutated.
+	chipNames []string           // per (gates, node)
+	templates [][]*design.Design // per (gates, node): len(pairs)+1, last = 2D baseline
+}
+
+// Iter resolves the space's axes, builds the design templates and
+// validates every distinct design — an invalid axis combination (e.g. an
+// unknown strategy) fails here, exactly where Enumerate used to fail, not
+// in the middle of a stream.
+func (s Space) Iter() (*Iter, error) {
+	it := &Iter{
+		name:  s.name(),
+		gates: s.gates(),
+		nodes: s.nodes(),
+		fabs:  s.fabs(),
+		uses:  s.uses(),
+		years: s.lifetimes(),
+		eff:   s.eff(),
+		base:  workload.AVPipeline(units.TOPS(s.peak())),
+	}
+	for si, strat := range s.strategies() {
+		for _, integ := range s.integrations() {
+			if integ == ic.Mono2D && si > 0 {
+				continue // strategy-independent
+			}
+			it.pairs = append(it.pairs, stratInteg{strat: strat, integ: integ})
+		}
+	}
+	it.n = len(it.gates) * len(it.nodes) * len(it.fabs) * len(it.uses) *
+		len(it.years) * len(it.pairs)
+
+	it.chipNames = make([]string, len(it.gates)*len(it.nodes))
+	it.templates = make([][]*design.Design, len(it.gates)*len(it.nodes))
+	for gi, gates := range it.gates {
+		for ni, nm := range it.nodes {
+			chip := split.Chip{
+				Name:      fmt.Sprintf("%s-n%d-g%.4gB", it.name, nm, gates/1e9),
+				ProcessNM: nm,
+				Gates:     gates,
+				// Locations are template placeholders; cursors stamp the
+				// real axis point onto their copies.
+				FabLocation: it.fabs[0],
+				UseLocation: it.uses[0],
+			}
+			base, err := split.Mono2D(chip)
+			if err != nil {
+				return nil, fmt.Errorf("explore: %s: %w", chip.Name, err)
+			}
+			set := make([]*design.Design, len(it.pairs)+1)
+			for pi, pair := range it.pairs {
+				d, err := split.Divide(chip, pair.integ, pair.strat)
+				if err != nil {
+					return nil, fmt.Errorf("explore: %s/%s: %w", chip.Name, pair.integ, err)
+				}
+				set[pi] = d
+			}
+			set[len(it.pairs)] = base
+			gn := gi*len(it.nodes) + ni
+			it.chipNames[gn] = chip.Name
+			it.templates[gn] = set
+		}
+	}
+	return it, nil
+}
+
+// Len returns the number of candidates the space decodes to.
+func (it *Iter) Len() int { return it.n }
+
+// Cursor returns an independent decoder. Candidates from one cursor share
+// immutable design sets, so results may be retained after later At calls;
+// only the cursor itself is single-goroutine.
+func (it *Iter) Cursor() SourceCursor { return &spaceCursor{it: it, outer: -1} }
+
+// spaceCursor decodes candidates for one worker. It keeps the design set
+// of the current outer point (gates, node, fab, use) — one slab allocation
+// per outer-point transition, amortized over the lifetime × pair block —
+// and a reusable ID buffer.
+type spaceCursor struct {
+	it    *Iter
+	outer int
+	// designs is the current outer point's slab: template copies with the
+	// point's locations stamped, baseline last. A fresh slab is allocated
+	// per transition (never reused), so candidates already handed out keep
+	// referencing consistent, immutable designs.
+	designs []design.Design
+	idBuf   []byte
+}
+
+// At decodes candidate i in enumeration order.
+func (cu *spaceCursor) At(i int) (Candidate, error) {
+	it := cu.it
+	if i < 0 || i >= it.n {
+		return Candidate{}, fmt.Errorf("explore: candidate index %d outside space of %d", i, it.n)
+	}
+	pi := i % len(it.pairs)
+	rest := i / len(it.pairs)
+	yi := rest % len(it.years)
+	rest /= len(it.years)
+	ui := rest % len(it.uses)
+	rest /= len(it.uses)
+	fi := rest % len(it.fabs)
+	rest /= len(it.fabs)
+	ni := rest % len(it.nodes)
+	gi := rest / len(it.nodes)
+
+	gn := gi*len(it.nodes) + ni
+	outer := (gn*len(it.fabs)+fi)*len(it.uses) + ui
+	fab, use := it.fabs[fi], it.uses[ui]
+	if outer != cu.outer {
+		tmpl := it.templates[gn]
+		slab := make([]design.Design, len(tmpl))
+		for j, d := range tmpl {
+			slab[j] = *d // shallow copy: Dies/name shared, immutable
+			slab[j].FabLocation = fab
+			slab[j].UseLocation = use
+		}
+		cu.designs = slab
+		cu.outer = outer
+	}
+
+	pair := it.pairs[pi]
+	years := it.years[yi]
+	w := it.base
+	w.LifetimeYears = years
+
+	c := Candidate{
+		ID:       cu.id(it.chipNames[gn], fab, use, pair.strat, years, pair.integ),
+		Design:   &cu.designs[pi],
+		Workload: w,
+		Eff:      it.eff,
+	}
+	if pair.integ != ic.Mono2D {
+		c.Baseline = &cu.designs[len(it.pairs)]
+	}
+	return c, nil
+}
+
+// id renders "<chip>/<fab>><use>/<strat>/<years>y/<integ>" — the exact
+// bytes candidateID's fmt.Sprintf produced — through a reused buffer, so
+// the only per-candidate allocation left on the decode path is the final
+// string.
+func (cu *spaceCursor) id(chip string, fab, use grid.Location,
+	strat split.Strategy, years float64, integ ic.Integration) string {
+	b := append(cu.idBuf[:0], chip...)
+	b = append(b, '/')
+	b = append(b, fab...)
+	b = append(b, '>')
+	b = append(b, use...)
+	b = append(b, '/')
+	b = append(b, strat...)
+	b = append(b, '/')
+	b = strconv.AppendFloat(b, years, 'g', -1, 64)
+	b = append(b, "y/"...)
+	b = append(b, integ...)
+	cu.idBuf = b
+	return string(b)
 }

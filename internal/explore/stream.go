@@ -1,0 +1,286 @@
+// The streaming evaluation pipeline: Engine.Stream fans candidate *index
+// ranges* (never candidate slices) out to the worker pool and hands results
+// to a single sink in exact enumeration order. Peak memory is O(workers ×
+// block) results in flight plus whatever the sink retains — online reducers
+// (reduce.go) keep that at O(K + frontier) — so a million-point sweep runs
+// in constant memory where Enumerate + Evaluate would pin gigabytes.
+package explore
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Source yields candidates positionally for the streaming pipeline. A
+// Source must be immutable and safe to share; each worker decodes through
+// its own SourceCursor.
+type Source interface {
+	// Len is the number of candidates.
+	Len() int
+	// Cursor returns an independent decoder for one goroutine.
+	Cursor() SourceCursor
+}
+
+// SourceCursor decodes one candidate at a time for a single goroutine.
+// Implementations may amortize decoding state across calls, but every
+// returned Candidate (and the designs it points to) must remain valid
+// after later At calls — sinks and reducers retain them.
+type SourceCursor interface {
+	At(i int) (Candidate, error)
+}
+
+// SliceSource adapts a materialized candidate list to the streaming
+// pipeline (the compatibility path for callers that build explicit grids,
+// e.g. cmd/sweep).
+type SliceSource []Candidate
+
+func (s SliceSource) Len() int             { return len(s) }
+func (s SliceSource) Cursor() SourceCursor { return s }
+
+// At returns the i-th candidate.
+func (s SliceSource) At(i int) (Candidate, error) { return s[i], nil }
+
+// Sink consumes results in enumeration order. It is never called
+// concurrently; returning an error aborts the stream and surfaces the
+// error from Stream. The Result and everything it references are valid
+// indefinitely (designs decoded by the space iterator are immutable and
+// shared, reports are memoized) — reducers may retain them.
+type Sink func(Result) error
+
+// StreamStats describes one Stream call's pipeline behaviour.
+type StreamStats struct {
+	// Candidates is the size of the streamed space.
+	Candidates int
+	// Delivered counts results handed to the sink (< Candidates when the
+	// stream aborted).
+	Delivered int
+	// PeakInFlight is the high-water mark of candidates decoded or
+	// evaluated but not yet delivered — the pipeline's actual working-set
+	// bound, O(workers × block) by construction.
+	PeakInFlight int
+}
+
+// streamBlock is the fan-out granularity: one atomic claim per block keeps
+// scheduling overhead below the ~µs evaluation cost, and blocks are the
+// unit of in-order delivery.
+const streamBlock = 64
+
+// maxAheadBlocks bounds how far workers may run ahead of the delivery
+// frontier (per worker), capping decoded-but-undelivered results.
+const maxAheadBlocks = 4
+
+// Stream decodes the space positionally and evaluates it through the
+// worker pool, feeding results to sink in enumeration order. Memory stays
+// O(workers) regardless of space size. Per-candidate failures are regular
+// Results with Err set, exactly as Evaluate reports them; Stream itself
+// fails only on context cancellation, a sink error or a space that does
+// not decode.
+func (e *Engine) Stream(ctx context.Context, s Space, sink Sink) (StreamStats, error) {
+	it, err := s.Iter()
+	if err != nil {
+		return StreamStats{}, err
+	}
+	return e.StreamSource(ctx, it, sink)
+}
+
+// StreamSource is Stream over any positional candidate source.
+func (e *Engine) StreamSource(ctx context.Context, src Source, sink Sink) (StreamStats, error) {
+	if e.Model == nil {
+		return StreamStats{}, fmt.Errorf("explore: engine has no model")
+	}
+	n := src.Len()
+	st := StreamStats{Candidates: n}
+	if n == 0 {
+		return st, ctx.Err()
+	}
+	workers := e.workers()
+	if workers > (n+streamBlock-1)/streamBlock {
+		workers = (n + streamBlock - 1) / streamBlock
+	}
+	if workers <= 1 {
+		return e.streamSerial(ctx, src, sink, st)
+	}
+	return e.streamParallel(ctx, src, sink, st, workers)
+}
+
+func (e *Engine) streamSerial(ctx context.Context, src Source, sink Sink,
+	st StreamStats) (StreamStats, error) {
+	stop, unwatch := watchContext(ctx)
+	defer unwatch()
+	cur := src.Cursor()
+	st.PeakInFlight = 1
+	for i := 0; i < st.Candidates; i++ {
+		if stop.Load() {
+			return st, ctx.Err()
+		}
+		c, err := cur.At(i)
+		if err != nil {
+			return st, err
+		}
+		if err := sink(e.evaluateOne(c)); err != nil {
+			return st, err
+		}
+		st.Delivered++
+	}
+	return st, ctx.Err()
+}
+
+// blockPool recycles block result slices between workers.
+type blockPool struct {
+	p sync.Pool
+}
+
+// Get returns an empty slice with at least the requested capacity.
+func (bp *blockPool) Get(capHint int) []Result {
+	if s, ok := bp.p.Get().([]Result); ok && cap(s) >= capHint {
+		return s
+	}
+	return make([]Result, 0, capHint)
+}
+
+func (bp *blockPool) Put(s []Result) { bp.p.Put(s) }
+
+// sequencer restores enumeration order: workers complete blocks in any
+// order; whichever worker completes the current delivery frontier drains
+// every contiguous completed block through the sink under the lock.
+type sequencer struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending map[int][]Result // completed, undelivered blocks
+	next    int              // lowest undelivered block
+	sink    Sink
+	pool    blockPool
+	err     error // first sink error; delivery stops after it
+
+	inFlight int // candidates claimed but not delivered
+	peak     int
+	given    int // delivered to the sink
+}
+
+// wait blocks until block b is inside the run-ahead window (or the stream
+// has failed). Reports whether the caller should proceed.
+func (s *sequencer) wait(b, window int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for b >= s.next+window && s.err == nil {
+		s.cond.Wait()
+	}
+	return s.err == nil
+}
+
+// claim accounts a block's candidates as in flight.
+func (s *sequencer) claim(size int) {
+	s.mu.Lock()
+	s.inFlight += size
+	if s.inFlight > s.peak {
+		s.peak = s.inFlight
+	}
+	s.mu.Unlock()
+}
+
+// complete hands a finished block to the sequencer and drains the
+// contiguous frontier. Drained block slices go back to the pool so a
+// long stream recycles a fixed set of blocks instead of allocating one
+// per 64 candidates. Returns false when the stream has failed and workers
+// should stop claiming.
+func (s *sequencer) complete(b int, results []Result) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending[b] = results
+	for {
+		res, ok := s.pending[s.next]
+		if !ok {
+			break
+		}
+		delete(s.pending, s.next)
+		s.next++
+		for _, r := range res {
+			if s.err == nil {
+				if err := s.sink(r); err != nil {
+					s.err = err
+					break
+				}
+				s.given++
+			}
+		}
+		s.inFlight -= len(res)
+		// Sinks receive results by value; drop the block's references
+		// before pooling so recycled slices don't pin reports.
+		clear(res)
+		s.pool.Put(res[:0])
+	}
+	s.cond.Broadcast()
+	return s.err == nil
+}
+
+// fail records a decode/context error so waiting workers unblock.
+func (s *sequencer) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (e *Engine) streamParallel(ctx context.Context, src Source, sink Sink,
+	st StreamStats, workers int) (StreamStats, error) {
+	stop, unwatch := watchContext(ctx)
+	defer unwatch()
+
+	n := st.Candidates
+	seq := &sequencer{pending: make(map[int][]Result), sink: sink}
+	seq.cond = sync.NewCond(&seq.mu)
+	window := workers * maxAheadBlocks
+
+	var nextBlock atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cur := src.Cursor()
+			for {
+				b := int(nextBlock.Add(1)) - 1
+				start := b * streamBlock
+				if start >= n {
+					return
+				}
+				if !seq.wait(b, window) {
+					return
+				}
+				end := start + streamBlock
+				if end > n {
+					end = n
+				}
+				seq.claim(end - start)
+				results := seq.pool.Get(end - start)
+				for i := start; i < end; i++ {
+					if stop.Load() {
+						seq.fail(ctx.Err())
+						return
+					}
+					c, err := cur.At(i)
+					if err != nil {
+						seq.fail(err)
+						return
+					}
+					results = append(results, e.evaluateOne(c))
+				}
+				if !seq.complete(b, results) {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st.PeakInFlight = seq.peak
+	st.Delivered = seq.given
+	if err := ctx.Err(); err != nil {
+		return st, err
+	}
+	return st, seq.err
+}

@@ -1,0 +1,395 @@
+package explore
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/split"
+)
+
+// streamSpace mixes successful and over-wafer candidates across every axis
+// kind, so stream tests cover failures, baselines and lifetime sharing.
+func streamSpace() Space {
+	return Space{
+		Name:          "stream",
+		Strategies:    []split.Strategy{split.HomogeneousStrategy, split.HeterogeneousStrategy},
+		NodesNM:       []int{5, 7, 28},
+		Gates:         []float64{17e9, 100e9}, // 100B gates @28nm: 2D over wafer, splits fine
+		UseLocations:  []grid.Location{grid.USA, grid.Norway},
+		LifetimeYears: []float64{5, 10},
+	}
+}
+
+// The stream must deliver exactly Enumerate's candidates, in enumeration
+// order, whatever the worker count.
+func TestStreamOrderMatchesEnumerate(t *testing.T) {
+	s := streamSpace()
+	cands, err := s.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		e := &Engine{Model: core.Default(), Workers: workers}
+		var got []string
+		st, err := e.Stream(context.Background(), s, func(r Result) error {
+			got = append(got, r.Candidate.ID)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Candidates != len(cands) || st.Delivered != len(cands) {
+			t.Fatalf("workers=%d: stats %+v, want %d candidates", workers, st, len(cands))
+		}
+		if len(got) != len(cands) {
+			t.Fatalf("workers=%d: %d results for %d candidates", workers, len(got), len(cands))
+		}
+		for i, c := range cands {
+			if got[i] != c.ID {
+				t.Fatalf("workers=%d: result %d = %s, want %s", workers, i, got[i], c.ID)
+			}
+		}
+	}
+}
+
+// Streaming reducers must reproduce the materializing ResultSet exactly:
+// same ranking, same frontier, same failure census.
+func TestStreamReducersMatchResultSet(t *testing.T) {
+	s := streamSpace()
+	rs, err := New(core.Default()).Explore(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 8} {
+		e := &Engine{Model: core.Default(), Workers: workers}
+		top5 := NewTopK(5)
+		all := NewTopK(0)
+		frontier := NewFrontierReducer()
+		pFront := NewPointFrontier()
+		pTop := NewPointTopK(5)
+		var stats RunningStats
+		if _, err := e.Stream(context.Background(), s, func(r Result) error {
+			stats.Add(r)
+			top5.Add(r)
+			all.Add(r)
+			frontier.Add(r)
+			if r.Err == nil {
+				p := PointOf(r)
+				pFront.Add(p)
+				pTop.Add(p)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		if stats.OK != len(rs.OK()) || stats.Failed != len(rs.Failed()) {
+			t.Errorf("workers=%d: stats %d ok/%d failed, want %d/%d",
+				workers, stats.OK, stats.Failed, len(rs.OK()), len(rs.Failed()))
+		}
+
+		ranked := rs.Ranked()
+		for i, r := range top5.Results() {
+			if r.Candidate.ID != ranked[i].Candidate.ID {
+				t.Fatalf("workers=%d: top5[%d] = %s, Ranked = %s",
+					workers, i, r.Candidate.ID, ranked[i].Candidate.ID)
+			}
+		}
+		allR := all.Results()
+		if len(allR) != len(ranked) {
+			t.Fatalf("workers=%d: unbounded TopK kept %d of %d", workers, len(allR), len(ranked))
+		}
+		for i := range allR {
+			if allR[i].Candidate.ID != ranked[i].Candidate.ID {
+				t.Fatalf("workers=%d: all[%d] = %s, Ranked = %s",
+					workers, i, allR[i].Candidate.ID, ranked[i].Candidate.ID)
+			}
+		}
+		for i, p := range pTop.Points() {
+			if p.ID != ranked[i].Candidate.ID {
+				t.Fatalf("workers=%d: pointTop[%d] = %s, Ranked = %s",
+					workers, i, p.ID, ranked[i].Candidate.ID)
+			}
+		}
+
+		wantF := rs.Frontier()
+		gotF := frontier.Frontier()
+		if len(gotF) != len(wantF) {
+			t.Fatalf("workers=%d: frontier %d points, want %d", workers, len(gotF), len(wantF))
+		}
+		for i := range gotF {
+			if gotF[i].Candidate.ID != wantF[i].Candidate.ID {
+				t.Fatalf("workers=%d: frontier[%d] = %s, want %s",
+					workers, i, gotF[i].Candidate.ID, wantF[i].Candidate.ID)
+			}
+		}
+		gotP := pFront.Points()
+		if len(gotP) != len(wantF) {
+			t.Fatalf("workers=%d: point frontier %d points, want %d", workers, len(gotP), len(wantF))
+		}
+		for i := range gotP {
+			if gotP[i].ID != wantF[i].Candidate.ID {
+				t.Fatalf("workers=%d: point frontier[%d] = %s, want %s",
+					workers, i, gotP[i].ID, wantF[i].Candidate.ID)
+			}
+		}
+		if frontier.Size() != len(wantF) {
+			t.Errorf("workers=%d: frontier.Size() = %d, want %d", workers, frontier.Size(), len(wantF))
+		}
+	}
+}
+
+// Reducers must agree with the batch point helpers on adversarial inputs:
+// duplicate coordinates, equal-embodied chains, equal-operational chains.
+func TestParetoReducerEdgeCases(t *testing.T) {
+	pts := []Point{
+		{ID: "a", Embodied: 2, Operational: 5, Total: 7},
+		{ID: "b", Embodied: 2, Operational: 5, Total: 7},  // coincident with a
+		{ID: "c", Embodied: 2, Operational: 3, Total: 5},  // same emb, better op
+		{ID: "d", Embodied: 1, Operational: 9, Total: 10}, // lower emb corner
+		{ID: "e", Embodied: 3, Operational: 3, Total: 6},  // dominated by c
+		{ID: "f", Embodied: 3, Operational: 1, Total: 4},
+		{ID: "g", Embodied: 4, Operational: 1, Total: 5}, // equal op, higher emb
+		{ID: "h", Embodied: 0.5, Operational: 9, Total: 9.5},
+		{ID: "i", Embodied: 5, Operational: 0.5, Total: 5.5},
+	}
+	want := FrontierPoints(append([]Point(nil), pts...))
+
+	f := NewPointFrontier()
+	for _, p := range pts {
+		f.Add(p)
+	}
+	got := f.Points()
+	if len(got) != len(want) {
+		t.Fatalf("frontier %d points, want %d (%v vs %v)", len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("frontier[%d] = %s, want %s", i, got[i].ID, want[i].ID)
+		}
+	}
+
+	top := NewPointTopK(4)
+	for _, p := range pts {
+		top.Add(p)
+	}
+	ranked := append([]Point(nil), pts...)
+	RankPoints(ranked)
+	for i, p := range top.Points() {
+		if p.ID != ranked[i].ID {
+			t.Fatalf("top[%d] = %s, want %s", i, p.ID, ranked[i].ID)
+		}
+	}
+}
+
+// StreamSource over a materialized slice must equal Evaluate on it.
+func TestStreamSliceSourceMatchesEvaluate(t *testing.T) {
+	cands, err := streamSpace().Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := New(core.Default()).Evaluate(context.Background(), cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Model: core.Default(), Workers: 4}
+	i := 0
+	if _, err := e.StreamSource(context.Background(), SliceSource(cands), func(r Result) error {
+		if r.Candidate.ID != want[i].Candidate.ID || (r.Err == nil) != (want[i].Err == nil) {
+			t.Fatalf("result %d: %s/%v, want %s/%v",
+				i, r.Candidate.ID, r.Err, want[i].Candidate.ID, want[i].Err)
+		}
+		i++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(want) {
+		t.Fatalf("delivered %d of %d", i, len(want))
+	}
+}
+
+// An empty slice source is a clean no-op.
+func TestStreamEmptySource(t *testing.T) {
+	st, err := New(core.Default()).StreamSource(context.Background(), SliceSource(nil),
+		func(Result) error { t.Fatal("sink called for empty source"); return nil })
+	if err != nil || st.Candidates != 0 || st.Delivered != 0 {
+		t.Fatalf("empty source: %+v, %v", st, err)
+	}
+}
+
+// A sink error aborts the stream and surfaces unchanged.
+func TestStreamSinkErrorAborts(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 8} {
+		e := &Engine{Model: core.Default(), Workers: workers}
+		seen := 0
+		_, err := e.Stream(context.Background(), streamSpace(), func(r Result) error {
+			seen++
+			if seen == 7 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
+		}
+		if seen != 7 {
+			t.Fatalf("workers=%d: sink called %d times after error", workers, seen)
+		}
+	}
+}
+
+// Cancellation must abort the stream promptly, and no sink call or
+// evaluation may happen after Stream returns.
+func TestStreamContextCancelNoLateResults(t *testing.T) {
+	// Distinct lifetimes make every candidate a fresh evaluation, so the
+	// stream cannot finish early out of the cache.
+	s := streamSpace()
+	s.LifetimeYears = nil
+	for y := 1; y <= 40; y++ {
+		s.LifetimeYears = append(s.LifetimeYears, float64(y))
+	}
+	for _, workers := range []int{1, 8} {
+		e := &Engine{Model: core.Default(), Workers: workers}
+		ctx, cancel := context.WithCancel(context.Background())
+		var delivered atomic.Int64
+		_, err := e.Stream(ctx, s, func(r Result) error {
+			if delivered.Add(1) == 5 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		after := delivered.Load()
+		evals := e.Stats().Evaluations
+		time.Sleep(30 * time.Millisecond)
+		if got := delivered.Load(); got != after {
+			t.Errorf("workers=%d: sink called after Stream returned (%d -> %d)", workers, after, got)
+		}
+		if got := e.Stats().Evaluations; got != evals {
+			t.Errorf("workers=%d: evaluations continued after cancel (%d -> %d)", workers, evals, got)
+		}
+	}
+}
+
+// Evaluate must stop evaluating promptly on cancellation: no worker writes
+// a result or computes an evaluation after it returns.
+func TestEvaluateCancelNoLateWrites(t *testing.T) {
+	s := streamSpace()
+	s.LifetimeYears = nil
+	for y := 1; y <= 100; y++ {
+		s.LifetimeYears = append(s.LifetimeYears, float64(y))
+	}
+	cands, err := s.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Model: core.Default(), Workers: 8}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Let a few evaluations land, then pull the plug mid-flight.
+		for e.Stats().Evaluations < 10 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		cancel()
+	}()
+	_, err = e.Evaluate(ctx, cands)
+	if err == nil {
+		// The whole space evaluated before the cancel landed; nothing to
+		// assert about mid-flight cancellation on this machine.
+		t.Skip("space evaluated before cancellation landed")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	evals := e.Stats().Evaluations
+	time.Sleep(30 * time.Millisecond)
+	if got := e.Stats().Evaluations; got != evals {
+		t.Errorf("evaluations continued after Evaluate returned (%d -> %d)", evals, got)
+	}
+	if evals >= uint64(len(cands)) {
+		t.Logf("note: all %d candidates evaluated before cancel landed", len(cands))
+	}
+}
+
+// The pipeline's in-flight window must stay bounded by workers × run-ahead,
+// never scaling with the space.
+func TestStreamPeakInFlightBounded(t *testing.T) {
+	s := streamSpace()
+	s.LifetimeYears = []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	workers := 4
+	e := &Engine{Model: core.Default(), Workers: workers}
+	st, err := e.Stream(context.Background(), s, func(Result) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := workers * maxAheadBlocks * streamBlock
+	if st.PeakInFlight > bound {
+		t.Errorf("peak in flight %d exceeds window bound %d", st.PeakInFlight, bound)
+	}
+	if st.PeakInFlight == 0 {
+		t.Error("peak in flight not tracked")
+	}
+}
+
+// Iterator decode must agree with Size and reject out-of-range indices.
+func TestIterBounds(t *testing.T) {
+	s := streamSpace()
+	it, err := s.Iter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Len() != s.Size() {
+		t.Fatalf("Iter.Len %d != Size %d", it.Len(), s.Size())
+	}
+	cur := it.Cursor()
+	if _, err := cur.At(-1); err == nil {
+		t.Error("At(-1) should fail")
+	}
+	if _, err := cur.At(it.Len()); err == nil {
+		t.Error("At(Len) should fail")
+	}
+	// Random access must agree with sequential enumeration.
+	cands, err := s.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{it.Len() - 1, 0, it.Len() / 2, 1} {
+		c, err := cur.At(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.ID != cands[i].ID {
+			t.Errorf("At(%d) = %s, want %s", i, c.ID, cands[i].ID)
+		}
+		if (c.Baseline == nil) != (cands[i].Baseline == nil) {
+			t.Errorf("At(%d) baseline mismatch", i)
+		}
+	}
+}
+
+// A space whose axes cannot build designs must fail at Iter construction
+// (the Enumerate-compatible fail-fast), not mid-stream.
+func TestIterFailsFastOnBadAxes(t *testing.T) {
+	s := Space{Strategies: []split.Strategy{"diagonal"}}
+	if _, err := s.Iter(); err == nil {
+		t.Fatal("expected Iter to reject an unknown strategy")
+	}
+	if _, err := s.Enumerate(); err == nil {
+		t.Fatal("expected Enumerate to reject an unknown strategy")
+	}
+	e := New(core.Default())
+	if _, err := e.Stream(context.Background(), s, func(Result) error { return nil }); err == nil {
+		t.Fatal("expected Stream to reject an unknown strategy")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -93,6 +94,11 @@ type Options struct {
 	// Logger receives one line per request (method, path, status, time);
 	// nil disables request logging.
 	Logger *log.Logger
+	// EnableProfiling mounts net/http/pprof at /debug/pprof/ (CPU and heap
+	// profiles of the live service). Off by default: the profile endpoints
+	// expose internals and hold write locks, so they are opt-in and should
+	// stay unreachable from untrusted networks.
+	EnableProfiling bool
 }
 
 func (o Options) cacheLimit() int {
@@ -202,6 +208,16 @@ func New(opts Options) *Server {
 	s.route("/v1/meta", http.MethodGet, s.handleMeta)
 	s.route("/v1/stats", http.MethodGet, s.handleStats)
 	s.route("/healthz", http.MethodGet, s.handleHealth)
+	if opts.EnableProfiling {
+		// Mounted on the server's own mux (not http.DefaultServeMux) and
+		// outside route(): profile requests are long-polls that would
+		// distort the latency metrics.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 

@@ -1,6 +1,10 @@
 // The POST /v1/explore handler: design-space exploration streamed as
-// NDJSON, so the first results of a large sweep reach the client while the
-// tail is still evaluating.
+// NDJSON through the engine's constant-memory pipeline. Candidates are
+// decoded positionally and results flow straight from the worker pool to
+// the wire in enumeration order; the closing summary comes from online
+// reducers (bounded top-K, running Pareto frontier), so the handler's
+// memory stays O(Top + frontier) however large the space — a million-point
+// sweep streams under a flat heap.
 package server
 
 import (
@@ -35,6 +39,10 @@ func (n *ndjsonWriter) flush() {
 	}
 }
 
+// errClientGone marks a failed NDJSON write: the client disconnected
+// mid-stream, so there is nobody left to send an error event to.
+var errClientGone = errors.New("server: client disconnected mid-stream")
+
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) int {
 	var req apitypes.ExploreRequest
 	if err := s.decode(w, r, &req); err != nil {
@@ -45,14 +53,16 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) int {
 		return writeError(w, http.StatusBadRequest, "bad_request",
 			"invalid space: "+err.Error())
 	}
-	cands, err := space.Enumerate()
+	// Size is computed from the axes — the space is never enumerated, so
+	// an over-limit request is rejected without building anything.
+	if max := s.opts.maxSpace(); space.Size() > max {
+		return writeError(w, http.StatusRequestEntityTooLarge, "bad_request",
+			"space enumerates "+itoa(space.Size())+" candidates, over the server limit of "+itoa(max))
+	}
+	it, err := space.Iter()
 	if err != nil {
 		return writeError(w, http.StatusUnprocessableEntity, "evaluation_failed",
 			"space does not enumerate: "+err.Error())
-	}
-	if max := s.opts.maxSpace(); len(cands) > max {
-		return writeError(w, http.StatusRequestEntityTooLarge, "bad_request",
-			"space enumerates "+itoa(len(cands))+" candidates, over the server limit of "+itoa(max))
 	}
 
 	ctx, cancel := s.requestContext(r)
@@ -66,57 +76,55 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) int {
 	// Headers and the first chunk commit the 200; later failures can only
 	// be reported in-stream as an error event.
 	out := newNDJSONWriter(w)
-	// Retain only compact points for the closing summary — full reports of
-	// a near-MaxSpace sweep would pin GBs for the whole request while the
-	// bounded cache evicts underneath.
-	points := make([]explore.Point, 0, len(cands))
-	failed := 0
+	// Online reducers replace the old retain-every-point summary buffers:
+	// the ranking keeps Top survivors (everything when Top ≤ 0 — the
+	// documented "rank all" mode, which is inherently O(candidates)) and
+	// the frontier keeps only its Pareto points.
+	ranked := explore.NewPointTopK(req.Top)
+	frontier := explore.NewPointFrontier()
+	var stats explore.RunningStats
 	chunk := s.opts.streamChunk()
-	for start := 0; start < len(cands); start += chunk {
-		end := start + chunk
-		if end > len(cands) {
-			end = len(cands)
+	sinceFlush := 0
+	_, err = s.engine.StreamSource(ctx, it, func(res explore.Result) error {
+		s.evaluated.Add(1)
+		stats.Add(res)
+		if res.Err == nil {
+			p := explore.PointOf(res)
+			ranked.Add(p)
+			frontier.Add(p)
 		}
-		results, err := s.engine.Evaluate(ctx, cands[start:end])
-		if err != nil {
-			// The 200 is committed, so the failure is in-band; the returned
-			// status only feeds metrics and the request log.
-			code, status := "cancelled", statusClientClosedRequest
-			if errors.Is(err, context.DeadlineExceeded) {
-				code, status = "timeout", http.StatusServiceUnavailable
-			}
-			_ = out.event(apitypes.ExploreEvent{Type: "error",
-				Error: &apitypes.Error{Code: code, Message: err.Error()}})
+		ev := apitypes.NewExploreResult(res)
+		if err := out.event(apitypes.ExploreEvent{Type: "result", Result: &ev}); err != nil {
+			return errClientGone
+		}
+		if sinceFlush++; sinceFlush >= chunk {
 			out.flush()
-			return status
+			sinceFlush = 0
 		}
-		for _, res := range results {
-			s.evaluated.Add(1)
-			if res.Err != nil {
-				failed++
-			} else {
-				points = append(points, explore.PointOf(res))
-			}
-			ev := apitypes.NewExploreResult(res)
-			if err := out.event(apitypes.ExploreEvent{Type: "result", Result: &ev}); err != nil {
-				return statusClientClosedRequest // client went away mid-stream
-			}
+		return nil
+	})
+	if err != nil {
+		if errors.Is(err, errClientGone) {
+			return statusClientClosedRequest
 		}
+		// The 200 is committed, so the failure is in-band; the returned
+		// status only feeds metrics and the request log.
+		code, status := "cancelled", statusClientClosedRequest
+		if errors.Is(err, context.DeadlineExceeded) {
+			code, status = "timeout", http.StatusServiceUnavailable
+		}
+		_ = out.event(apitypes.ExploreEvent{Type: "error",
+			Error: &apitypes.Error{Code: code, Message: err.Error()}})
 		out.flush()
+		return status
 	}
 
-	ranked := make([]explore.Point, len(points))
-	copy(ranked, points)
-	explore.RankPoints(ranked)
-	if req.Top > 0 && req.Top < len(ranked) {
-		ranked = ranked[:req.Top]
-	}
 	summary := apitypes.ExploreSummary{
-		Candidates: len(cands),
-		Evaluated:  len(points),
-		Failed:     failed,
-		Ranked:     pointIDs(ranked),
-		Frontier:   pointIDs(explore.FrontierPoints(points)),
+		Candidates: it.Len(),
+		Evaluated:  stats.OK,
+		Failed:     stats.Failed,
+		Ranked:     pointIDs(ranked.Points()),
+		Frontier:   pointIDs(frontier.Points()),
 		Stats:      apitypes.NewEngineStats(s.engine.Stats()),
 	}
 	_ = out.event(apitypes.ExploreEvent{Type: "summary", Summary: &summary})
