@@ -39,6 +39,7 @@ import (
 	"repro/internal/ic"
 	"repro/internal/lifecycle"
 	"repro/internal/metrics"
+	"repro/internal/params"
 	"repro/internal/server"
 	"repro/internal/split"
 	"repro/internal/units"
@@ -50,6 +51,45 @@ type Model = core.Model
 
 // NewModel returns the calibrated default model.
 func NewModel() *Model { return core.Default() }
+
+// Profile-driven parameters (internal/params): every calibrated constant of
+// the model — grid intensities, per-node fab footprints, yield parameters,
+// bonding/packaging/interposer characterisations, interface catalogue and
+// operational constants — lives in a serializable, versioned ParameterSet.
+// Scenario profiles are JSON merge-patch overlays against the baseline (see
+// profiles/ and docs/PARAMETERS.md), identified by a stable 128-bit
+// fingerprint that the exploration cache and the HTTP service key on.
+type (
+	// ParameterSet is the complete serializable model parameterisation.
+	ParameterSet = params.Set
+	// ParameterFingerprint is the 128-bit digest of a ParameterSet.
+	ParameterFingerprint = params.Fingerprint
+)
+
+// DefaultParameters returns the paper-calibrated baseline ParameterSet;
+// NewModelFrom(DefaultParameters()) is byte-identical to NewModel().
+func DefaultParameters() *ParameterSet { return params.Default() }
+
+// LoadParameters reads a scenario profile (a sparse JSON overlay or a full
+// serialized set) and resolves it against the baseline.
+func LoadParameters(path string) (*ParameterSet, error) { return params.Load(path) }
+
+// ParseParameters resolves profile JSON bytes against the baseline.
+func ParseParameters(data []byte) (*ParameterSet, error) { return params.Parse(data) }
+
+// OverlayParameters applies an RFC 7386 merge patch to an arbitrary base
+// set and validates the result.
+func OverlayParameters(base *ParameterSet, patch []byte) (*ParameterSet, error) {
+	return params.Overlay(base, patch)
+}
+
+// NewModelFrom builds a model from an explicit ParameterSet.
+func NewModelFrom(ps *ParameterSet) (*Model, error) { return core.New(ps) }
+
+// NewModelFromFile builds a model from the baseline overlaid with the
+// profile at path (the CLI tools' -params resolution); an empty path
+// returns the default model.
+func NewModelFromFile(path string) (*Model, error) { return core.FromParamsFile(path) }
 
 // Design descriptions (Fig. 3 "User input").
 type (

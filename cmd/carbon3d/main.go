@@ -3,8 +3,13 @@
 //
 // Usage:
 //
-//	carbon3d -design design.json [-tops 30] [-peak 254] [-eff 2.74]
-//	         [-hours 365] [-years 10] [-format table|csv|json] [-emit-sample]
+//	carbon3d -design design.json [-params profile.json] [-tops 30] [-peak 254]
+//	         [-eff 2.74] [-hours 365] [-years 10] [-format table|csv|json]
+//	         [-emit-sample]
+//
+// -params applies a scenario profile: a JSON ParameterSet overlay (see
+// profiles/ and docs/PARAMETERS.md) merged into the paper-calibrated
+// baseline before evaluation.
 //
 // With -emit-sample the tool prints a commented sample design file and
 // exits.
@@ -39,6 +44,7 @@ const sampleDesign = `{
 
 func main() {
 	path := flag.String("design", "", "path to the design JSON file")
+	paramsPath := flag.String("params", "", "path to a ParameterSet overlay profile (JSON)")
 	tops := flag.Float64("tops", apitypes.DefaultTOPS, "fixed application throughput (TOPS)")
 	peak := flag.Float64("peak", apitypes.DefaultPeakTOPS, "chip peak capability (TOPS), sets the bandwidth requirement")
 	eff := flag.Float64("eff", apitypes.DefaultEfficiencyTOPSW, "surveyed chip efficiency (TOPS/W)")
@@ -56,14 +62,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "carbon3d: -design is required (try -emit-sample)")
 		os.Exit(2)
 	}
-	if err := run(*path, *tops, *peak, *eff, *hours, *years, *format); err != nil {
+	if err := run(*path, *paramsPath, *tops, *peak, *eff, *hours, *years, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "carbon3d:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, tops, peak, eff, hours, years float64, format string) error {
-	d, err := design.Load(path)
+func run(path, paramsPath string, tops, peak, eff, hours, years float64, format string) error {
+	m, err := core.FromParamsFile(paramsPath)
+	if err != nil {
+		return err
+	}
+	// The design validates against the scenario's databases, so a profile
+	// that adds a grid location can be used by the design file directly.
+	d, err := design.LoadWith(path, m.TechDB(), m.GridDB())
 	if err != nil {
 		return err
 	}
@@ -74,7 +86,6 @@ func run(path string, tops, peak, eff, hours, years float64, format string) erro
 		ActiveHoursPerYear: hours,
 		LifetimeYears:      years,
 	}
-	m := core.Default()
 	tot, err := m.Total(d, w, units.TOPSPerWatt(eff))
 	if err != nil {
 		return err

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -18,23 +19,23 @@ func writeSample(t *testing.T) string {
 func TestRunFormats(t *testing.T) {
 	path := writeSample(t)
 	for _, format := range []string{"table", "csv", "json"} {
-		if err := run(path, 30, 254, 2.74, 365, 10, format); err != nil {
+		if err := run(path, "", 30, 254, 2.74, 365, 10, format); err != nil {
 			t.Fatalf("format %s: %v", format, err)
 		}
 	}
-	if err := run(path, 30, 254, 2.74, 365, 10, "yaml"); err == nil {
+	if err := run(path, "", 30, 254, 2.74, 365, 10, "yaml"); err == nil {
 		t.Error("unknown format should error")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "missing.json"),
+	if err := run(filepath.Join(t.TempDir(), "missing.json"), "",
 		30, 254, 2.74, 365, 10, "table"); err == nil {
 		t.Error("missing design file should error")
 	}
 	// Broken workload: zero lifetime.
 	path := writeSample(t)
-	if err := run(path, 30, 254, 2.74, 365, 0, "table"); err == nil {
+	if err := run(path, "", 30, 254, 2.74, 365, 0, "table"); err == nil {
 		t.Error("zero lifetime should error")
 	}
 }
@@ -42,7 +43,67 @@ func TestRunErrors(t *testing.T) {
 // The embedded sample must stay a valid design.
 func TestSampleDesignValid(t *testing.T) {
 	path := writeSample(t)
-	if err := run(path, 30, 254, 2.74, 365, 10, "table"); err != nil {
+	if err := run(path, "", 30, 254, 2.74, 365, 10, "table"); err != nil {
 		t.Fatalf("sample design broken: %v", err)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// everything it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return string(out)
+}
+
+// -params steers the evaluation: each shipped scenario profile produces a
+// JSON report distinct from the baseline for the shipped Lakefield design,
+// and a bad profile path or invalid overlay is a structured error.
+func TestRunWithParamsProfiles(t *testing.T) {
+	design := filepath.Join("..", "..", "designs", "lakefield.json")
+	baseline := captureStdout(t, func() error {
+		return run(design, "", 30, 254, 2.74, 365, 10, "json")
+	})
+	profiles, err := filepath.Glob(filepath.Join("..", "..", "profiles", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) < 2 {
+		t.Fatalf("expected shipped profiles, found %d", len(profiles))
+	}
+	for _, profile := range profiles {
+		out := captureStdout(t, func() error {
+			return run(design, profile, 30, 254, 2.74, 365, 10, "json")
+		})
+		if out == baseline {
+			t.Errorf("-params %s produced the baseline report", filepath.Base(profile))
+		}
+	}
+
+	if err := run(design, filepath.Join(t.TempDir(), "missing.json"),
+		30, 254, 2.74, 365, 10, "json"); err == nil {
+		t.Error("missing profile should error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"grid":{"intensities":{"taiwan":-9}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(design, bad, 30, 254, 2.74, 365, 10, "json"); err == nil {
+		t.Error("invalid profile should error")
 	}
 }

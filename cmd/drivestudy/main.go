@@ -6,6 +6,7 @@
 // Usage:
 //
 //	drivestudy [-mode homogeneous|heterogeneous|both] [-table5] [-csv] [-chart]
+//	           [-params profile.json]
 package main
 
 import (
@@ -25,9 +26,15 @@ func main() {
 	table5 := flag.Bool("table5", true, "also print the Table 5 decision study")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	chart := flag.Bool("chart", false, "render Fig. 5 as ASCII stacked bars")
+	paramsPath := flag.String("params", "", "path to a ParameterSet overlay profile (JSON)")
 	flag.Parse()
 
-	e := explore.New(core.Default())
+	m, err := core.FromParamsFile(*paramsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drivestudy:", err)
+		os.Exit(1)
+	}
+	e := explore.New(m)
 	if err := run(e, *mode, *table5, *csv, *chart); err != nil {
 		fmt.Fprintln(os.Stderr, "drivestudy:", err)
 		os.Exit(1)

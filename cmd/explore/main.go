@@ -15,7 +15,7 @@
 //
 //	explore [-nodes 7] [-gates 17e9] [-integrations all] [-strategies homogeneous]
 //	        [-fab taiwan] [-use usa] [-lifetimes 10] [-peak 254] [-eff 2.74]
-//	        [-top 15] [-workers 0] [-format table|csv]
+//	        [-top 15] [-workers 0] [-format table|csv] [-params profile.json]
 //	        [-cpuprofile explore.cpu] [-memprofile explore.mem]
 //
 // List-valued flags take comma-separated values, e.g.
@@ -54,19 +54,20 @@ func main() {
 	top := flag.Int("top", 15, "ranked candidates to print (0 = all)")
 	workers := flag.Int("workers", 0, "evaluation workers (0 = all CPUs)")
 	format := flag.String("format", "table", "output format: table or csv")
+	paramsPath := flag.String("params", "", "path to a ParameterSet overlay profile (JSON)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the exploration to this file")
 	memprofile := flag.String("memprofile", "", "write a post-exploration heap profile to this file")
 	flag.Parse()
 
-	if err := run(*nodes, *gates, *integrations, *strategies, *fabs, *uses,
-		*lifetimes, *peak, *eff, *top, *workers, *format, *cpuprofile, *memprofile); err != nil {
+	if err := run(*nodes, *gates, *integrations, *strategies, *fabs, *uses, *lifetimes,
+		*peak, *eff, *top, *workers, *format, *paramsPath, *cpuprofile, *memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, "explore:", err)
 		os.Exit(1)
 	}
 }
 
 func run(nodes, gates, integrations, strategies, fabs, uses, lifetimes string,
-	peak, eff float64, top, workers int, format, cpuprofile, memprofile string) error {
+	peak, eff float64, top, workers int, format, paramsPath, cpuprofile, memprofile string) error {
 	csv := false
 	switch format {
 	case "table":
@@ -76,7 +77,11 @@ func run(nodes, gates, integrations, strategies, fabs, uses, lifetimes string,
 		return fmt.Errorf("unknown format %q", format)
 	}
 
-	space, err := buildSpace(nodes, gates, integrations, strategies, fabs, uses,
+	m, err := core.FromParamsFile(paramsPath)
+	if err != nil {
+		return err
+	}
+	space, err := buildSpace(m, nodes, gates, integrations, strategies, fabs, uses,
 		lifetimes, peak, eff)
 	if err != nil {
 		return err
@@ -97,7 +102,7 @@ func run(nodes, gates, integrations, strategies, fabs, uses, lifetimes string,
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	e := explore.New(core.Default())
+	e := explore.New(m)
 	e.Workers = workers
 
 	// Online reducers instead of a materialized ResultSet: the stream
@@ -167,9 +172,10 @@ func run(nodes, gates, integrations, strategies, fabs, uses, lifetimes string,
 }
 
 // buildSpace assembles the flag values into the shared apitypes.SpaceSpec —
-// the same wire type POST /v1/explore consumes — and resolves it, so the
-// CLI and the HTTP service validate axes identically.
-func buildSpace(nodes, gates, integrations, strategies, fabs, uses, lifetimes string,
+// the same wire type POST /v1/explore consumes — and resolves it against
+// the scenario model's databases, so the CLI and the HTTP service validate
+// axes identically.
+func buildSpace(m *core.Model, nodes, gates, integrations, strategies, fabs, uses, lifetimes string,
 	peak, eff float64) (*explore.Space, error) {
 	spec := apitypes.SpaceSpec{
 		Name:            "explore",
@@ -193,7 +199,7 @@ func buildSpace(nodes, gates, integrations, strategies, fabs, uses, lifetimes st
 	if spec.LifetimeYears, err = parseFloats(lifetimes); err != nil {
 		return nil, fmt.Errorf("-lifetimes: %w", err)
 	}
-	s, err := spec.Space()
+	s, err := spec.SpaceWith(m.GridDB())
 	if err != nil {
 		// The spec validates wire-field names; report the CLI flag the user
 		// actually typed.

@@ -5,6 +5,11 @@
 //
 //	serve [-addr :8035] [-workers 0] [-cache-limit 65536] [-max-concurrent 0]
 //	      [-timeout 60s] [-max-batch 10000] [-max-space 1000000] [-quiet] [-pprof]
+//	      [-params profile.json] [-max-profiles 8]
+//
+// -params sets the server's baseline ParameterSet from a scenario profile;
+// requests may additionally carry inline "params" overlays, resolved
+// against a bounded per-profile model cache (-max-profiles).
 //
 // Endpoints (see docs/API.md for the full reference):
 //
@@ -30,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/params"
 	"repro/internal/server"
 )
 
@@ -45,11 +51,23 @@ func main() {
 	maxSpace := flag.Int("max-space", server.DefaultMaxSpace, "max candidates per exploration")
 	quiet := flag.Bool("quiet", false, "disable per-request logging")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof at /debug/pprof/ (do not enable on untrusted networks)")
+	paramsPath := flag.String("params", "", "path to a ParameterSet overlay profile (JSON) used as the baseline")
+	maxProfiles := flag.Int("max-profiles", server.DefaultMaxProfiles,
+		"per-profile model cache bound for inline params overlays (-1 = unbounded)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "serve: ", log.LstdFlags)
 	opts := buildOptions(*workers, *cacheLimit, *maxConcurrent, *maxBatch, *maxSpace,
-		*timeout, *quiet, *pprofFlag, logger)
+		*maxProfiles, *timeout, *quiet, *pprofFlag, logger)
+	if *paramsPath != "" {
+		ps, err := params.Load(*paramsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		opts.BaselineParams = ps
+		logger.Printf("baseline params: %s (version %q)", *paramsPath, ps.Version)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -64,7 +82,7 @@ func main() {
 }
 
 // buildOptions maps the flag values onto the server configuration.
-func buildOptions(workers, cacheLimit, maxConcurrent, maxBatch, maxSpace int,
+func buildOptions(workers, cacheLimit, maxConcurrent, maxBatch, maxSpace, maxProfiles int,
 	timeout time.Duration, quiet, profiling bool, logger *log.Logger) server.Options {
 	opts := server.Options{
 		Workers:         workers,
@@ -73,6 +91,7 @@ func buildOptions(workers, cacheLimit, maxConcurrent, maxBatch, maxSpace int,
 		RequestTimeout:  timeout,
 		MaxBatch:        maxBatch,
 		MaxSpace:        maxSpace,
+		MaxProfiles:     maxProfiles,
 		EnableProfiling: profiling,
 	}
 	if !quiet {

@@ -17,12 +17,15 @@ import (
 
 func TestBuildOptions(t *testing.T) {
 	logger := log.New(bytes.NewBuffer(nil), "", 0)
-	opts := buildOptions(4, 128, 2, 50, 1000, 5*time.Second, false, false, logger)
+	opts := buildOptions(4, 128, 2, 50, 1000, 16, 5*time.Second, false, false, logger)
 	if opts.Workers != 4 || opts.CacheLimit != 128 || opts.MaxConcurrent != 2 {
 		t.Errorf("options: %+v", opts)
 	}
 	if opts.RequestTimeout != 5*time.Second || opts.MaxBatch != 50 || opts.MaxSpace != 1000 {
 		t.Errorf("options: %+v", opts)
+	}
+	if opts.MaxProfiles != 16 {
+		t.Errorf("max profiles: %+v", opts)
 	}
 	if opts.Logger != logger {
 		t.Error("logger not wired")
@@ -30,7 +33,7 @@ func TestBuildOptions(t *testing.T) {
 	if opts.EnableProfiling {
 		t.Error("profiling should default off")
 	}
-	if quietOpts := buildOptions(0, 0, 0, 0, 0, 0, true, true, logger); quietOpts.Logger != nil {
+	if quietOpts := buildOptions(0, 0, 0, 0, 0, 0, 0, true, true, logger); quietOpts.Logger != nil {
 		t.Error("-quiet should disable request logging")
 	} else if !quietOpts.EnableProfiling {
 		t.Error("-pprof should enable profiling")
@@ -45,7 +48,7 @@ func TestServeBootAndProbe(t *testing.T) {
 		t.Skip("network listener in -short mode")
 	}
 	opts := buildOptions(0, server.DefaultCacheLimit, 0, server.DefaultMaxBatch,
-		server.DefaultMaxSpace, server.DefaultRequestTimeout, true, false, nil)
+		server.DefaultMaxSpace, server.DefaultMaxProfiles, server.DefaultRequestTimeout, true, false, nil)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

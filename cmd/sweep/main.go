@@ -19,7 +19,11 @@
 //
 // Usage:
 //
-//	sweep -sweep node [-gates 17e9]
+//	sweep -sweep node [-gates 17e9] [-params profile.json]
+//
+// -params applies a scenario profile: a JSON ParameterSet overlay merged
+// into the paper-calibrated baseline before every sweep (including the
+// tornado baselines).
 package main
 
 import (
@@ -28,15 +32,13 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/bandwidth"
 	"repro/internal/core"
 	"repro/internal/explore"
-	"repro/internal/grid"
 	"repro/internal/ic"
+	"repro/internal/params"
 	"repro/internal/report"
 	"repro/internal/sensitivity"
 	"repro/internal/split"
-	"repro/internal/tech"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -44,10 +46,15 @@ import (
 func main() {
 	which := flag.String("sweep", "node", "sweep to run: node, gates, ci, lifetime, bandwidth, tornado")
 	gates := flag.Float64("gates", 17e9, "design gate count")
+	paramsPath := flag.String("params", "", "path to a ParameterSet overlay profile (JSON)")
 	flag.Parse()
 
-	e := explore.New(core.Default())
-	var err error
+	m, err := core.FromParamsFile(*paramsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	e := explore.New(m)
 	switch *which {
 	case "node":
 		err = sweepNode(e, *gates)
@@ -58,9 +65,9 @@ func main() {
 	case "lifetime":
 		err = sweepLifetime(e, *gates)
 	case "bandwidth":
-		err = sweepBandwidth()
+		err = sweepBandwidth(m)
 	case "tornado":
-		err = sweepTornado(*gates)
+		err = sweepTornado(*paramsPath, *gates)
 	default:
 		err = fmt.Errorf("unknown sweep %q", *which)
 	}
@@ -109,8 +116,9 @@ func embodiedGrid(e *explore.Engine, chips []split.Chip, integs []ic.Integration
 
 func sweepNode(e *explore.Engine, gates float64) error {
 	integs := []ic.Integration{ic.Mono2D, ic.Hybrid3D, ic.Monolithic3D}
-	chips := make([]split.Chip, 0, len(tech.Processes()))
-	for _, nm := range tech.Processes() {
+	nodes := e.Model.TechDB().Processes()
+	chips := make([]split.Chip, 0, len(nodes))
+	for _, nm := range nodes {
 		chips = append(chips, split.Chip{Name: "sweep", ProcessNM: nm, Gates: gates})
 	}
 	results, err := embodiedGrid(e, chips, integs)
@@ -167,7 +175,8 @@ func sweepGates(e *explore.Engine) error {
 
 func sweepCI(e *explore.Engine, gates float64) error {
 	w := workload.AVPipeline(units.TOPS(254))
-	locs := grid.Locations()
+	gridDB := e.Model.GridDB()
+	locs := gridDB.Locations()
 	cands := make([]explore.Candidate, 0, len(locs))
 	for _, loc := range locs {
 		chip := split.Chip{Name: "sweep", ProcessNM: 7, Gates: gates, UseLocation: loc}
@@ -192,7 +201,10 @@ func sweepCI(e *explore.Engine, gates float64) error {
 		if r.Err != nil {
 			return r.Err
 		}
-		ci := grid.MustIntensity(loc)
+		ci, err := gridDB.Intensity(loc)
+		if err != nil {
+			return err
+		}
 		t.Add(string(loc), fmt.Sprintf("%.0f", ci.GPerKWh()),
 			report.Kg(r.Operational()), report.Kg(r.Embodied()))
 	}
@@ -252,7 +264,7 @@ func sweepLifetime(e *explore.Engine, gates float64) error {
 	return nil
 }
 
-func sweepTornado(gates float64) error {
+func sweepTornado(paramsPath string, gates float64) error {
 	metric := func(m *core.Model) (float64, error) {
 		d, err := split.Homogeneous(split.Chip{Name: "tornado", ProcessNM: 7, Gates: gates}, ic.Hybrid3D)
 		if err != nil {
@@ -264,7 +276,18 @@ func sweepTornado(gates float64) error {
 		}
 		return rep.Total.Kg(), nil
 	}
-	swings, err := sensitivity.Tornado(metric, sensitivity.DefaultParameters())
+	// Each perturbation starts from a fresh scenario model, so the swings
+	// are measured against the -params baseline. The profile is resolved
+	// once; only the model is rebuilt per perturbation.
+	base := func() (*core.Model, error) { return core.Default(), nil }
+	if paramsPath != "" {
+		ps, err := params.Load(paramsPath)
+		if err != nil {
+			return err
+		}
+		base = func() (*core.Model, error) { return core.New(ps) }
+	}
+	swings, err := sensitivity.TornadoFrom(base, metric, sensitivity.DefaultParameters())
 	if err != nil {
 		return err
 	}
@@ -281,8 +304,8 @@ func sweepTornado(gates float64) error {
 	return nil
 }
 
-func sweepBandwidth() error {
-	c := bandwidth.DefaultConstraint()
+func sweepBandwidth(m *core.Model) error {
+	c := m.Constraint
 	req := units.TerabytesPerSecond(1)
 	t := report.NewTable("capacity_ratio", "throughput_factor", "valid")
 	for ratio := 0.1; ratio <= 1.5001; ratio += 0.1 {

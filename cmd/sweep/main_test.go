@@ -21,10 +21,10 @@ func TestAllSweeps(t *testing.T) {
 	if err := sweepLifetime(e, 17e9); err != nil {
 		t.Errorf("lifetime sweep: %v", err)
 	}
-	if err := sweepBandwidth(); err != nil {
+	if err := sweepBandwidth(core.Default()); err != nil {
 		t.Errorf("bandwidth sweep: %v", err)
 	}
-	if err := sweepTornado(17e9); err != nil {
+	if err := sweepTornado("", 17e9); err != nil {
 		t.Errorf("tornado sweep: %v", err)
 	}
 }

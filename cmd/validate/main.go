@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	validate [-csv]
+//	validate [-csv] [-params profile.json]
+//
+// -params applies a scenario profile to the 3D-Carbon model and to the
+// GaBi-style LCA comparison baseline (the profile's lca section); the ACT+
+// anchor stays at its published calibration.
 package main
 
 import (
@@ -20,9 +24,14 @@ import (
 
 func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	paramsPath := flag.String("params", "", "path to a ParameterSet overlay profile (JSON)")
 	flag.Parse()
 
-	m := core.Default()
+	m, err := core.FromParamsFile(*paramsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "validate:", err)
+		os.Exit(1)
+	}
 	if err := run(m, *csv); err != nil {
 		fmt.Fprintln(os.Stderr, "validate:", err)
 		os.Exit(1)

@@ -22,8 +22,8 @@ import (
 
 // RentParams parameterises a Rent-rule terminal count T = t · G^p.
 type RentParams struct {
-	Coeff    float64 // t
-	Exponent float64 // p
+	Coeff    float64 `json:"coeff"`    // t
+	Exponent float64 `json:"exponent"` // p
 }
 
 // DefaultInterTierRent sizes the die-to-die (or tier-to-tier) signal count
@@ -117,15 +117,38 @@ type Params struct {
 	// GammaIO25D and GammaIOMicro3D are the Eq. 9 driver-area ratios for
 	// 2.5D interfaces and micro-bump 3D interfaces respectively. Hybrid
 	// bonding and M3D pads are dense enough to need no extra drivers.
-	GammaIO25D     float64
-	GammaIOMicro3D float64
+	GammaIO25D     float64 `json:"gamma_io_25d"`
+	GammaIOMicro3D float64 `json:"gamma_io_micro3d"`
 	// TSVKeepOut multiplies the TSV diameter to form the per-via square
 	// keep-out region.
-	TSVKeepOut float64
+	TSVKeepOut float64 `json:"tsv_keepout"`
 	// MIVKeepOut is the (smaller) keep-out for monolithic inter-tier vias.
-	MIVKeepOut float64
-	InterTier  RentParams
-	ExternalIO RentParams
+	MIVKeepOut float64    `json:"miv_keepout"`
+	InterTier  RentParams `json:"inter_tier"`
+	ExternalIO RentParams `json:"external_io"`
+}
+
+// Validate checks the coefficients against their Table 2 ranges.
+func (p Params) Validate() error {
+	for _, f := range []float64{p.GammaIO25D, p.GammaIOMicro3D, p.TSVKeepOut,
+		p.MIVKeepOut, p.InterTier.Coeff, p.InterTier.Exponent,
+		p.ExternalIO.Coeff, p.ExternalIO.Exponent} {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("area: non-finite coefficient in %+v", p)
+		}
+	}
+	if p.GammaIO25D < 0 || p.GammaIO25D > 1 || p.GammaIOMicro3D < 0 || p.GammaIOMicro3D > 1 {
+		return fmt.Errorf("area: γ_IO outside Table 2's [0,1] in %+v", p)
+	}
+	if p.TSVKeepOut < 1 || p.MIVKeepOut < 1 {
+		return fmt.Errorf("area: keep-out factor below 1 in %+v", p)
+	}
+	for _, r := range []RentParams{p.InterTier, p.ExternalIO} {
+		if r.Coeff <= 0 || r.Exponent <= 0 || r.Exponent >= 1 {
+			return fmt.Errorf("area: Rent params t=%v p=%v invalid", r.Coeff, r.Exponent)
+		}
+	}
+	return nil
 }
 
 // DefaultParams returns the calibrated area-model coefficients.

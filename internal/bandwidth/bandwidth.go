@@ -16,6 +16,11 @@
 // θ = log 0.8 / log 0.5 ≈ 0.322, and the paper's invalidity rule is the
 // same anchor: capacity below half the requirement ⇒ the design is
 // "invalid".
+//
+// The catalogue is instance-based: a DB is built from a serializable Params
+// value, so scenario profiles can override interface characterisations
+// (next-generation UCIe-class links, denser escape routing). The
+// package-level functions remain as conveniences over the default DB.
 package bandwidth
 
 import (
@@ -44,60 +49,142 @@ type InterfaceSpec struct {
 	Pitch units.Length
 }
 
-// catalogue holds the Fig. 2 characterisation. The 2.5D rows carry
-// IO/mm/layer shoreline densities; the 3D rows carry area pitches.
-var catalogue = map[ic.Integration]InterfaceSpec{
-	// MCM on organic substrate: coarse bumps, long-reach SerDes.
-	ic.MCM: {
-		DataRate:        units.GigabitsPerSecond(4),
-		IOPerMMPerLayer: 50,
-		Layers:          1,
-		EnergyPerBit:    units.PicojoulesPerBit(2.0),
-	},
-	// InFO fan-out RDL: finer line/space than MCM.
-	ic.InFO: {
-		DataRate:        units.GigabitsPerSecond(4),
-		IOPerMMPerLayer: 100,
-		Layers:          1,
-		EnergyPerBit:    units.FemtojoulesPerBit(250),
-	},
-	// EMIB embedded bridge: AIB-class dense parallel links.
-	ic.EMIB: {
-		DataRate:        units.GigabitsPerSecond(3.4),
-		IOPerMMPerLayer: 350,
-		Layers:          1,
-		EnergyPerBit:    units.FemtojoulesPerBit(150),
-	},
-	// Silicon interposer: HBM-class, finest 2.5D line space.
-	ic.SiInterposer: {
-		DataRate:        units.GigabitsPerSecond(6.4),
-		IOPerMMPerLayer: 500,
-		Layers:          1,
-		EnergyPerBit:    units.FemtojoulesPerBit(120),
-	},
-	// Micro-bump 3D: 10–50 µm pitch solder micro-bumps.
-	ic.MicroBump3D: {
-		DataRate:     units.GigabitsPerSecond(6),
-		EnergyPerBit: units.FemtojoulesPerBit(140),
-		Pitch:        units.Micrometers(36),
-	},
-	// Hybrid bonding: 1–5 µm pad pitch (Fig. 2 characterisation).
-	ic.Hybrid3D: {
-		DataRate:     units.GigabitsPerSecond(5),
-		EnergyPerBit: units.FemtojoulesPerBit(200),
-		Pitch:        units.Micrometers(3),
-	},
-	// Monolithic 3D: sub-micron MIVs, near-on-chip energy.
-	ic.Monolithic3D: {
-		DataRate:     units.GigabitsPerSecond(15),
-		EnergyPerBit: units.FemtojoulesPerBit(5),
-		Pitch:        units.Micrometers(0.6),
-	},
+// InterfaceParams is the serializable form of one catalogue row.
+type InterfaceParams struct {
+	DataRateGbps    float64 `json:"data_rate_gbps"`
+	IOPerMMPerLayer float64 `json:"io_per_mm_per_layer,omitempty"`
+	Layers          int     `json:"layers,omitempty"`
+	// EnergyJPerBit is the transport energy in the canonical J/bit unit
+	// (e.g. 1.5e-13 for 150 fJ/bit).
+	EnergyJPerBit float64 `json:"energy_j_per_bit"`
+	PitchUM       float64 `json:"pitch_um,omitempty"`
 }
 
+// Params is the serializable interface catalogue plus the §3.4 constraint.
+// It is one section of the params.Set profile format; overlays merge per
+// technology.
+type Params struct {
+	Interfaces map[ic.Integration]InterfaceParams `json:"interfaces"`
+	Constraint Constraint                         `json:"constraint"`
+}
+
+// DefaultParams returns the Fig. 2 characterisation. The 2.5D rows carry
+// IO/mm/layer shoreline densities; the 3D rows carry area pitches.
+func DefaultParams() Params {
+	return Params{
+		Interfaces: map[ic.Integration]InterfaceParams{
+			// MCM on organic substrate: coarse bumps, long-reach SerDes.
+			ic.MCM: {DataRateGbps: 4, IOPerMMPerLayer: 50, Layers: 1,
+				EnergyJPerBit: units.PicojoulesPerBit(2.0).JPerBit()},
+			// InFO fan-out RDL: finer line/space than MCM.
+			ic.InFO: {DataRateGbps: 4, IOPerMMPerLayer: 100, Layers: 1,
+				EnergyJPerBit: units.FemtojoulesPerBit(250).JPerBit()},
+			// EMIB embedded bridge: AIB-class dense parallel links.
+			ic.EMIB: {DataRateGbps: 3.4, IOPerMMPerLayer: 350, Layers: 1,
+				EnergyJPerBit: units.FemtojoulesPerBit(150).JPerBit()},
+			// Silicon interposer: HBM-class, finest 2.5D line space.
+			ic.SiInterposer: {DataRateGbps: 6.4, IOPerMMPerLayer: 500, Layers: 1,
+				EnergyJPerBit: units.FemtojoulesPerBit(120).JPerBit()},
+			// Micro-bump 3D: 10–50 µm pitch solder micro-bumps.
+			ic.MicroBump3D: {DataRateGbps: 6,
+				EnergyJPerBit: units.FemtojoulesPerBit(140).JPerBit(), PitchUM: 36},
+			// Hybrid bonding: 1–5 µm pad pitch (Fig. 2 characterisation).
+			ic.Hybrid3D: {DataRateGbps: 5,
+				EnergyJPerBit: units.FemtojoulesPerBit(200).JPerBit(), PitchUM: 3},
+			// Monolithic 3D: sub-micron MIVs, near-on-chip energy.
+			ic.Monolithic3D: {DataRateGbps: 15,
+				EnergyJPerBit: units.FemtojoulesPerBit(5).JPerBit(), PitchUM: 0.6},
+		},
+		Constraint: DefaultConstraint(),
+	}
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Validate rejects unknown technologies and non-physical interface rows
+// with structured errors.
+func (p Params) Validate() error {
+	if len(p.Interfaces) == 0 {
+		return fmt.Errorf("bandwidth: empty interface catalogue")
+	}
+	for integ, s := range p.Interfaces {
+		if !integ.Valid() || integ == ic.Mono2D {
+			return fmt.Errorf("bandwidth: interface row for invalid technology %q", integ)
+		}
+		if !finite(s.DataRateGbps) || s.DataRateGbps <= 0 {
+			return fmt.Errorf("bandwidth: %s data rate %v Gbps invalid", integ, s.DataRateGbps)
+		}
+		if !finite(s.EnergyJPerBit) || s.EnergyJPerBit <= 0 {
+			return fmt.Errorf("bandwidth: %s energy %v J/bit invalid", integ, s.EnergyJPerBit)
+		}
+		if integ.Is25D() {
+			if !finite(s.IOPerMMPerLayer) || s.IOPerMMPerLayer <= 0 || s.Layers < 1 {
+				return fmt.Errorf("bandwidth: %s needs a positive shoreline density and layer count", integ)
+			}
+		} else if !finite(s.PitchUM) || s.PitchUM <= 0 {
+			return fmt.Errorf("bandwidth: %s needs a positive vertical pitch", integ)
+		}
+	}
+	c := p.Constraint
+	if !finite(c.BytesPerOp) || c.BytesPerOp <= 0 {
+		return fmt.Errorf("bandwidth: constraint bytes/op %v invalid", c.BytesPerOp)
+	}
+	if !finite(c.DegradeExponent) || c.DegradeExponent <= 0 {
+		return fmt.Errorf("bandwidth: constraint degrade exponent %v invalid", c.DegradeExponent)
+	}
+	if !finite(c.InvalidBelow) || c.InvalidBelow <= 0 || c.InvalidBelow > 1 {
+		return fmt.Errorf("bandwidth: constraint invalid-below %v outside (0,1]", c.InvalidBelow)
+	}
+	return nil
+}
+
+// DB is an instance of the interface catalogue. Construct with NewDB (or
+// use Default); a DB is immutable and safe for concurrent use.
+type DB struct {
+	catalogue  map[ic.Integration]InterfaceSpec
+	constraint Constraint
+}
+
+// NewDB validates the params and builds a catalogue instance.
+func NewDB(p Params) (*DB, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	db := &DB{
+		catalogue:  make(map[ic.Integration]InterfaceSpec, len(p.Interfaces)),
+		constraint: p.Constraint,
+	}
+	for integ, s := range p.Interfaces {
+		db.catalogue[integ] = InterfaceSpec{
+			DataRate:        units.GigabitsPerSecond(s.DataRateGbps),
+			IOPerMMPerLayer: s.IOPerMMPerLayer,
+			Layers:          s.Layers,
+			EnergyPerBit:    units.JoulesPerBit(s.EnergyJPerBit),
+			Pitch:           units.Micrometers(s.PitchUM),
+		}
+	}
+	return db, nil
+}
+
+var defaultDB = mustNewDB(DefaultParams())
+
+func mustNewDB(p Params) *DB {
+	db, err := NewDB(p)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Default returns the calibrated default catalogue.
+func Default() *DB { return defaultDB }
+
+// Constraint returns the catalogue's §3.4 viability rule.
+func (db *DB) Constraint() Constraint { return db.constraint }
+
 // SpecFor returns the Fig. 2 interface characterisation for a technology.
-func SpecFor(i ic.Integration) (InterfaceSpec, error) {
-	s, ok := catalogue[i]
+func (db *DB) SpecFor(i ic.Integration) (InterfaceSpec, error) {
+	s, ok := db.catalogue[i]
 	if !ok {
 		return InterfaceSpec{}, fmt.Errorf("bandwidth: no interface characterisation for %q", i)
 	}
@@ -106,8 +193,8 @@ func SpecFor(i ic.Integration) (InterfaceSpec, error) {
 
 // Capacity25D evaluates Eq. 18 for a 2.5D die with the given shoreline edge
 // length: N_IO = edge · density · layers, BW = N_IO · rate.
-func Capacity25D(i ic.Integration, edge units.Length) (units.Bandwidth, error) {
-	s, err := SpecFor(i)
+func (db *DB) Capacity25D(i ic.Integration, edge units.Length) (units.Bandwidth, error) {
+	s, err := db.SpecFor(i)
 	if err != nil {
 		return 0, err
 	}
@@ -125,8 +212,8 @@ func Capacity25D(i ic.Integration, edge units.Length) (units.Bandwidth, error) {
 // for a die footprint (pads at the catalogue pitch over the whole face).
 // §3.4 assumes 3D matches on-chip bandwidth; this helper quantifies by how
 // much.
-func Capacity3D(i ic.Integration, footprint units.Area) (units.Bandwidth, error) {
-	s, err := SpecFor(i)
+func (db *DB) Capacity3D(i ic.Integration, footprint units.Area) (units.Bandwidth, error) {
+	s, err := db.SpecFor(i)
 	if err != nil {
 		return 0, err
 	}
@@ -140,16 +227,29 @@ func Capacity3D(i ic.Integration, footprint units.Area) (units.Bandwidth, error)
 	return units.BitsPerSecond(pads * s.DataRate.BitsPerSec()), nil
 }
 
+// SpecFor returns the default catalogue's characterisation for a technology.
+func SpecFor(i ic.Integration) (InterfaceSpec, error) { return defaultDB.SpecFor(i) }
+
+// Capacity25D evaluates Eq. 18 against the default catalogue.
+func Capacity25D(i ic.Integration, edge units.Length) (units.Bandwidth, error) {
+	return defaultDB.Capacity25D(i, edge)
+}
+
+// Capacity3D returns the default catalogue's area-limited 3D bandwidth.
+func Capacity3D(i ic.Integration, footprint units.Area) (units.Bandwidth, error) {
+	return defaultDB.Capacity3D(i, footprint)
+}
+
 // Constraint parameterises the §3.4 viability rule.
 type Constraint struct {
 	// BytesPerOp is ρ: the cross-bisection traffic per executed operation.
 	// The 2D on-chip bandwidth a split must replace is ρ·Th_peak.
-	BytesPerOp float64
+	BytesPerOp float64 `json:"bytes_per_op"`
 	// DegradeExponent is θ in Th(bw)/Th = (bw/bw_req)^θ.
-	DegradeExponent float64
+	DegradeExponent float64 `json:"degrade_exponent"`
 	// InvalidBelow is the capacity/requirement ratio below which the
 	// design is declared invalid (the paper's half-bandwidth anchor).
-	InvalidBelow float64
+	InvalidBelow float64 `json:"invalid_below"`
 }
 
 // DefaultConstraint returns the MCM-GPU-anchored constraint: θ chosen so a

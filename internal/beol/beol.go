@@ -27,17 +27,17 @@ import (
 // die) and stay inside Table 2's published ranges (N_fan 1–5, ω = 3.6 λ).
 type Params struct {
 	// Fanout is N_fan, the average net fanout (Table 2: 1–5).
-	Fanout float64
+	Fanout float64 `json:"fanout"`
 	// WirePitchFactor is ω/λ (Table 2 fixes it at 3.6).
-	WirePitchFactor float64
+	WirePitchFactor float64 `json:"wire_pitch_factor"`
 	// Utilization is η, the fraction of each metal layer the router can
 	// actually fill (typical 0.2–0.5).
-	Utilization float64
+	Utilization float64 `json:"utilization"`
 	// RentExponent is the Rent p of the Donath wirelength estimate
 	// (Table 2: 0.6–0.8 for logic).
-	RentExponent float64
+	RentExponent float64 `json:"rent_exponent"`
 	// WirelengthCoeff is the Donath prefactor c.
-	WirelengthCoeff float64
+	WirelengthCoeff float64 `json:"wirelength_coeff"`
 }
 
 // DefaultParams returns the calibrated Eq. 10 coefficients.
@@ -51,7 +51,16 @@ func DefaultParams() Params {
 	}
 }
 
+// Validate checks the coefficients against their Table 2 ranges.
+func (p Params) Validate() error { return p.validate() }
+
 func (p Params) validate() error {
+	for _, f := range []float64{p.Fanout, p.WirePitchFactor, p.Utilization,
+		p.RentExponent, p.WirelengthCoeff} {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("beol: non-finite coefficient in %+v", p)
+		}
+	}
 	if p.Fanout < 1 || p.Fanout > 5 {
 		return fmt.Errorf("beol: fanout %v outside Table 2's 1–5", p.Fanout)
 	}

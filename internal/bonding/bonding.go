@@ -7,10 +7,17 @@
 // hybrid bonding in D2W or W2W flows), and the per-operation bond yields are
 // calibrated so that the paper's published Lakefield stacking yields hold
 // (hybrid D2W ⇒ 0.961, hybrid W2W ⇒ 0.970; see internal/yield tests).
+//
+// The characterisation is instance-based: a DB is built from a serializable
+// Params value, so scenario profiles can override bonding energies or
+// per-operation yields ("optimistic yield" studies). The package-level
+// functions remain as conveniences over the default DB.
 package bonding
 
 import (
 	"fmt"
+	"math"
+	"strings"
 
 	"repro/internal/ic"
 	"repro/internal/units"
@@ -27,61 +34,153 @@ func (p Process) String() string {
 	return fmt.Sprintf("%s/%s", p.Method, p.Flow)
 }
 
-// processRow holds the characterised energy and per-operation yield.
-type processRow struct {
-	epa   float64 // kWh/cm²
-	yield float64
+// parseProcess inverts Process.String for the serialized table keys.
+func parseProcess(key string) (Process, error) {
+	method, flow, ok := strings.Cut(key, "/")
+	if !ok {
+		return Process{}, fmt.Errorf("bonding: process key %q is not method/flow", key)
+	}
+	p := Process{Method: ic.BondMethod(method), Flow: ic.BondFlow(flow)}
+	if !p.Method.Valid() {
+		return Process{}, fmt.Errorf("bonding: unknown bond method %q", method)
+	}
+	if !p.Flow.Valid() {
+		return Process{}, fmt.Errorf("bonding: unknown bond flow %q", flow)
+	}
+	return p, nil
 }
 
-// table is the bonding characterisation. The micro-bump and hybrid energies
-// stay inside Table 2's 0.9–2.75 kWh/cm² envelope: hybrid bonding needs
-// plasma activation, anneal and extreme planarisation (highest energy);
-// micro-bumping needs reflow and underfill. W2W runs batch-process the whole
-// wafer pair and land slightly lower per cm² than per-die D2W handling.
-// C4 flip-chip die attach (2.5D assembly) is a mature pick-and-place +
-// mass-reflow step well below the wafer-level envelope.
+// ProcessSpec is the serializable characterisation of one bonding process.
+type ProcessSpec struct {
+	// EPAKWhPerCM2 is the bonding energy per processed die area.
+	EPAKWhPerCM2 float64 `json:"epa_kwh_per_cm2"`
+	// Yield is the per-operation bond yield y_bond that Table 3's
+	// compositions exponentiate.
+	Yield float64 `json:"yield"`
+}
+
+// Params is the serializable bonding characterisation, keyed by
+// "method/flow" (e.g. "hybrid/d2w"). It is one section of the params.Set
+// profile format; overlays merge per process.
+type Params struct {
+	Processes map[string]ProcessSpec `json:"processes"`
+	// AttachYield25D is the per-die attach yield used by Table 3's
+	// chip-last 2.5D composition (one y_bonding_j per attached die). 2.5D
+	// die attach is mature C4/mass-reflow.
+	AttachYield25D float64 `json:"attach_yield_25d"`
+}
+
+// DefaultParams returns the calibrated table. The micro-bump and hybrid
+// energies stay inside Table 2's 0.9–2.75 kWh/cm² envelope: hybrid bonding
+// needs plasma activation, anneal and extreme planarisation (highest
+// energy); micro-bumping needs reflow and underfill. W2W runs batch-process
+// the whole wafer pair and land slightly lower per cm² than per-die D2W
+// handling. C4 flip-chip die attach (2.5D assembly) is a mature
+// pick-and-place + mass-reflow step well below the wafer-level envelope.
 // The micro-bump yields are pinned by the paper's Lakefield validation
 // (Table 1 places Lakefield under micro-bumping F2F; §4.2 publishes its D2W
 // and W2W stack yields): y_D2W = 0.9609, y_W2W = 0.9701. Hybrid bonding is
 // bumpless — no solder, reflow or underfill — so it runs cheaper per cm²
 // and, at production maturity (AMD V-cache class), at higher per-operation
 // yield than micro-bumping.
-var table = map[Process]processRow{
-	{ic.HybridBond, ic.D2W}: {epa: 0.95, yield: 0.9750},
-	{ic.HybridBond, ic.W2W}: {epa: 0.90, yield: 0.9850},
-	{ic.MicroBump, ic.D2W}:  {epa: 1.10, yield: 0.9609},
-	{ic.MicroBump, ic.W2W}:  {epa: 0.95, yield: 0.9701},
-	{ic.C4Bump, ic.D2W}:     {epa: 0.15, yield: 0.9950},
+func DefaultParams() Params {
+	return Params{
+		Processes: map[string]ProcessSpec{
+			Process{ic.HybridBond, ic.D2W}.String(): {EPAKWhPerCM2: 0.95, Yield: 0.9750},
+			Process{ic.HybridBond, ic.W2W}.String(): {EPAKWhPerCM2: 0.90, Yield: 0.9850},
+			Process{ic.MicroBump, ic.D2W}.String():  {EPAKWhPerCM2: 1.10, Yield: 0.9609},
+			Process{ic.MicroBump, ic.W2W}.String():  {EPAKWhPerCM2: 0.95, Yield: 0.9701},
+			Process{ic.C4Bump, ic.D2W}.String():     {EPAKWhPerCM2: 0.15, Yield: 0.9950},
+		},
+		AttachYield25D: 0.995,
+	}
 }
 
+// Validate rejects malformed process keys and non-physical energies or
+// yields with structured errors.
+func (p Params) Validate() error {
+	if len(p.Processes) == 0 {
+		return fmt.Errorf("bonding: empty process table")
+	}
+	for key, s := range p.Processes {
+		if _, err := parseProcess(key); err != nil {
+			return err
+		}
+		if math.IsNaN(s.EPAKWhPerCM2) || math.IsInf(s.EPAKWhPerCM2, 0) || s.EPAKWhPerCM2 <= 0 {
+			return fmt.Errorf("bonding: process %q energy %v kWh/cm² invalid", key, s.EPAKWhPerCM2)
+		}
+		if math.IsNaN(s.Yield) || s.Yield <= 0 || s.Yield > 1 {
+			return fmt.Errorf("bonding: process %q yield %v outside (0,1]", key, s.Yield)
+		}
+	}
+	if math.IsNaN(p.AttachYield25D) || p.AttachYield25D <= 0 || p.AttachYield25D > 1 {
+		return fmt.Errorf("bonding: 2.5D attach yield %v outside (0,1]", p.AttachYield25D)
+	}
+	return nil
+}
+
+// DB is an instance of the bonding characterisation. Construct with NewDB
+// (or use Default); a DB is immutable and safe for concurrent use.
+type DB struct {
+	table  map[Process]ProcessSpec
+	attach float64
+}
+
+// NewDB validates the params and builds a characterisation instance.
+func NewDB(p Params) (*DB, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	db := &DB{table: make(map[Process]ProcessSpec, len(p.Processes)), attach: p.AttachYield25D}
+	for key, s := range p.Processes {
+		proc, err := parseProcess(key)
+		if err != nil {
+			return nil, err
+		}
+		db.table[proc] = s
+	}
+	return db, nil
+}
+
+var defaultDB = mustNewDB(DefaultParams())
+
+func mustNewDB(p Params) *DB {
+	db, err := NewDB(p)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Default returns the calibrated default characterisation.
+func Default() *DB { return defaultDB }
+
 // EnergyPerArea returns the characterised bonding energy for a process.
-func EnergyPerArea(p Process) (units.EnergyPerArea, error) {
-	row, ok := table[p]
+func (db *DB) EnergyPerArea(p Process) (units.EnergyPerArea, error) {
+	row, ok := db.table[p]
 	if !ok {
 		return 0, fmt.Errorf("bonding: no characterisation for %s", p)
 	}
-	return units.KWhPerCM2(row.epa), nil
+	return units.KWhPerCM2(row.EPAKWhPerCM2), nil
 }
 
 // ProcessYield returns the per-operation bond yield y_bond for a process —
 // the value Table 3's compositions exponentiate.
-func ProcessYield(p Process) (float64, error) {
-	row, ok := table[p]
+func (db *DB) ProcessYield(p Process) (float64, error) {
+	row, ok := db.table[p]
 	if !ok {
 		return 0, fmt.Errorf("bonding: no characterisation for %s", p)
 	}
-	return row.yield, nil
+	return row.Yield, nil
 }
 
-// AttachYield25D is the per-die attach yield used by Table 3's chip-last
-// 2.5D composition (one y_bonding_j per attached die). 2.5D die attach is
-// mature C4/mass-reflow.
-const AttachYield25D = 0.995
+// AttachYield returns the per-die 2.5D attach yield.
+func (db *DB) AttachYield() float64 { return db.attach }
 
 // Carbon evaluates one term of Eq. 11: the carbon of bonding operation i,
 // which processes die area dieArea and is divided by the effective bonding
 // yield Y_bonding_i that the caller composes per Table 3.
-func Carbon(p Process, dieArea units.Area, ci units.CarbonIntensity,
+func (db *DB) Carbon(p Process, dieArea units.Area, ci units.CarbonIntensity,
 	effectiveYield float64) (units.Carbon, error) {
 	if dieArea <= 0 {
 		return 0, fmt.Errorf("bonding: non-positive die area %v", dieArea)
@@ -92,7 +191,7 @@ func Carbon(p Process, dieArea units.Area, ci units.CarbonIntensity,
 	if effectiveYield <= 0 || effectiveYield > 1 {
 		return 0, fmt.Errorf("bonding: effective yield %v outside (0,1]", effectiveYield)
 	}
-	epa, err := EnergyPerArea(p)
+	epa, err := db.EnergyPerArea(p)
 	if err != nil {
 		return 0, err
 	}
@@ -100,8 +199,8 @@ func Carbon(p Process, dieArea units.Area, ci units.CarbonIntensity,
 	return units.KilogramsCO2(raw.Kg() / effectiveYield), nil
 }
 
-// Processes returns every characterised process, for range checks and
-// documentation tables.
+// Processes returns every characterised process of the default table, for
+// range checks and documentation tables.
 func Processes() []Process {
 	return []Process{
 		{ic.HybridBond, ic.D2W},
@@ -110,4 +209,21 @@ func Processes() []Process {
 		{ic.MicroBump, ic.W2W},
 		{ic.C4Bump, ic.D2W},
 	}
+}
+
+// AttachYield25D is the default per-die 2.5D attach yield.
+const AttachYield25D = 0.995
+
+// EnergyPerArea returns the default characterisation's bonding energy.
+func EnergyPerArea(p Process) (units.EnergyPerArea, error) {
+	return defaultDB.EnergyPerArea(p)
+}
+
+// ProcessYield returns the default characterisation's per-operation yield.
+func ProcessYield(p Process) (float64, error) { return defaultDB.ProcessYield(p) }
+
+// Carbon evaluates one Eq. 11 term with the default characterisation.
+func Carbon(p Process, dieArea units.Area, ci units.CarbonIntensity,
+	effectiveYield float64) (units.Carbon, error) {
+	return defaultDB.Carbon(p, dieArea, ci, effectiveYield)
 }

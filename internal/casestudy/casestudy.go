@@ -16,7 +16,6 @@ import (
 	"repro/internal/ic"
 	"repro/internal/lca"
 	"repro/internal/metrics"
-	"repro/internal/packaging"
 	"repro/internal/split"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -115,7 +114,7 @@ func RunFig4a(m *core.Model) (*Fig4aResult, error) {
 		twoD += rep.Die
 		totalArea += rep.Dies[0].Area
 	}
-	pkg, err := packaging.For(ic.Mono2D)
+	pkg, err := m.PackagingDB().For(ic.Mono2D)
 	if err != nil {
 		return nil, err
 	}
@@ -125,8 +124,9 @@ func RunFig4a(m *core.Model) (*Fig4aResult, error) {
 	}
 	twoD += pkg.CPA.Over(pkgArea)
 
-	// GaBi-style LCA of the product: silicon + package by area.
-	ref, err := lca.Product(epycLCADies(), pkgArea)
+	// GaBi-style LCA of the product: silicon + package by area, priced by
+	// the model's LCA calibration so -params scenarios reach it.
+	ref, err := m.LCADB().Product(epycLCADies(), pkgArea)
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +195,7 @@ func RunFig4b(m *core.Model) (*Fig4bResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	gabi, err := lca.Product([]lca.DieSpec{
+	gabi, err := m.LCADB().Product([]lca.DieSpec{
 		{ProcessNM: 14, Area: units.SquareMillimeters(lakefieldBaseAreaMM2)},
 		{ProcessNM: 7, Area: units.SquareMillimeters(lakefieldLogicAreaMM2)},
 	}, d2w.PackageArea)

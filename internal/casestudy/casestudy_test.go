@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ic"
 	"repro/internal/metrics"
+	"repro/internal/params"
 	"repro/internal/split"
 )
 
@@ -296,5 +297,37 @@ func TestLakefieldDesignValid(t *testing.T) {
 		if d.PackageAreaMM2 != 144 {
 			t.Errorf("Lakefield package = %v mm², want the 12×12 mm PoP", d.PackageAreaMM2)
 		}
+	}
+}
+
+// The LCA comparison baseline is profile-driven too: an lca overlay moves
+// the GaBi-style bars of Fig. 4 through the model's LCA database, while
+// the default run stays pinned.
+func TestFig4LCAFollowsParams(t *testing.T) {
+	base, err := RunFig4a(core.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := params.Overlay(params.Default(),
+		[]byte(`{"version":"lcatest","lca":{"line_yield":0.8}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := RunFig4a(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.LCA.Silicon <= base.LCA.Silicon {
+		t.Errorf("lower LCA line yield did not raise the LCA silicon price: %v vs %v",
+			mod.LCA.Silicon, base.LCA.Silicon)
+	}
+	// The 3D-Carbon estimate itself does not consume the LCA section.
+	if mod.MCM.Total != base.MCM.Total {
+		t.Errorf("lca overlay moved the 3D-Carbon estimate: %v vs %v",
+			mod.MCM.Total, base.MCM.Total)
 	}
 }

@@ -18,7 +18,9 @@ import (
 	"repro/internal/grid"
 	"repro/internal/ic"
 	"repro/internal/interposer"
+	"repro/internal/lca"
 	"repro/internal/packaging"
+	"repro/internal/params"
 	"repro/internal/power"
 	"repro/internal/tech"
 	"repro/internal/units"
@@ -27,7 +29,12 @@ import (
 )
 
 // Model bundles every tunable of the 3D-Carbon pipeline. Zero values are
-// not usable; construct with Default and override fields as needed.
+// not usable; construct with Default (the paper-calibrated baseline) or New
+// (an explicit ParameterSet) and override fields as needed.
+//
+// The database fields (Grid, Tech, …) are instance providers built from the
+// model's ParameterSet; a nil database falls back to the package default,
+// so hand-assembled models keep the historical behaviour.
 type Model struct {
 	// BEOL are the Eq. 10 coefficients.
 	BEOL beol.Params
@@ -56,22 +63,209 @@ type Model struct {
 	// global-routing layers (Kim et al. DAC'21), so each die drops this
 	// many layers off its Eq. 10 estimate.
 	SharedBEOLLayers int
+
+	// Grid is the grid carbon-intensity database (nil = grid.Default()).
+	Grid *grid.DB
+	// Tech is the per-node parameter database (nil = tech.Default()).
+	Tech *tech.DB
+	// Bonding is the bonding characterisation (nil = bonding.Default()).
+	Bonding *bonding.DB
+	// Packaging is the packaging characterisation (nil =
+	// packaging.Default()).
+	Packaging *packaging.DB
+	// Interposer is the substrate characterisation (nil =
+	// interposer.Default()).
+	Interposer *interposer.DB
+	// Bandwidth is the Fig. 2 interface catalogue (nil =
+	// bandwidth.Default()).
+	Bandwidth *bandwidth.DB
+	// IO is the operational-power characterisation (nil = power.Default()).
+	IO *power.DB
+	// LCA is the GaBi-style comparison baseline the validation experiments
+	// price against (nil = lca.Default()).
+	LCA *lca.DB
+
+	// src and fp record the ParameterSet the model was built from (nil /
+	// zero for hand-assembled models).
+	src *params.Set
+	fp  params.Fingerprint
 }
 
-// Default returns the calibrated model.
-func Default() *Model {
-	return &Model{
-		BEOL:                beol.DefaultParams(),
-		Area:                area.DefaultParams(),
-		Constraint:          bandwidth.DefaultConstraint(),
-		IOKappa:             power.DefaultIOKappa,
-		Power:               power.SurveyedEfficiency{},
-		SeqFEOLPremium:      0.05,
-		SeqILDShare:         0.03,
-		SeqDefectMultiplier: 1.15,
-		MCMSubstrateYield:   0.995,
-		SharedBEOLLayers:    2,
+// New builds a model from a ParameterSet: every calibrated constant of the
+// pipeline comes from ps, and the model carries ps's fingerprint for cache
+// keying and provenance reporting.
+func New(ps *params.Set) (*Model, error) {
+	if err := ps.Validate(); err != nil {
+		return nil, err
 	}
+	fp, err := ps.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	gridDB, err := grid.NewDB(ps.Grid)
+	if err != nil {
+		return nil, err
+	}
+	techDB, err := tech.NewDB(ps.Tech)
+	if err != nil {
+		return nil, err
+	}
+	bondDB, err := bonding.NewDB(ps.Bonding)
+	if err != nil {
+		return nil, err
+	}
+	pkgDB, err := packaging.NewDB(ps.Packaging)
+	if err != nil {
+		return nil, err
+	}
+	intDB, err := interposer.NewDB(ps.Interposer, techDB)
+	if err != nil {
+		return nil, err
+	}
+	bwDB, err := bandwidth.NewDB(ps.Bandwidth)
+	if err != nil {
+		return nil, err
+	}
+	ioDB, err := power.NewDB(ps.Power, bwDB)
+	if err != nil {
+		return nil, err
+	}
+	lcaDB, err := lca.NewDB(ps.LCA)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{
+		BEOL:                ps.BEOL,
+		Area:                ps.Area,
+		Constraint:          ps.Bandwidth.Constraint,
+		IOKappa:             ps.Power.IOKappa,
+		Power:               power.SurveyedEfficiency{},
+		SeqFEOLPremium:      ps.Assembly.SeqFEOLPremium,
+		SeqILDShare:         ps.Assembly.SeqILDShare,
+		SeqDefectMultiplier: ps.Assembly.SeqDefectMultiplier,
+		MCMSubstrateYield:   ps.Assembly.MCMSubstrateYield,
+		SharedBEOLLayers:    ps.Assembly.SharedBEOLLayers,
+		Grid:                gridDB,
+		Tech:                techDB,
+		Bonding:             bondDB,
+		Packaging:           pkgDB,
+		Interposer:          intDB,
+		Bandwidth:           bwDB,
+		IO:                  ioDB,
+		LCA:                 lcaDB,
+		src:                 ps,
+		fp:                  fp,
+	}, nil
+}
+
+// FromParamsFile builds a model from the baseline overlaid with the profile
+// at path; an empty path returns Default(). This is the shared -params
+// resolution of every CLI.
+func FromParamsFile(path string) (*Model, error) {
+	if path == "" {
+		return Default(), nil
+	}
+	ps, err := params.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return New(ps)
+}
+
+// Default returns the calibrated model: New over the paper-calibrated
+// baseline ParameterSet. Its outputs are byte-identical to the historical
+// hardcoded tables (pinned by golden tests).
+func Default() *Model {
+	m, err := New(params.Default())
+	if err != nil {
+		// The baseline set is validated by tests; failing to build it is a
+		// programming error, not a runtime condition.
+		panic(err)
+	}
+	return m
+}
+
+// Params returns the ParameterSet the model was built from (nil for
+// hand-assembled models). Callers must treat it as read-only.
+func (m *Model) Params() *params.Set { return m.src }
+
+// Fingerprint returns the 128-bit digest of the model's ParameterSet (zero
+// for hand-assembled models).
+func (m *Model) Fingerprint() params.Fingerprint { return m.fp }
+
+// GridDB returns the grid database the model evaluates with (the package
+// default when unset) — the authoritative location list for this model's
+// parameter profile.
+func (m *Model) GridDB() *grid.DB { return m.grid() }
+
+// TechDB returns the node database the model evaluates with (the package
+// default when unset).
+func (m *Model) TechDB() *tech.DB { return m.tech() }
+
+// PackagingDB returns the packaging characterisation the model evaluates
+// with (the package default when unset).
+func (m *Model) PackagingDB() *packaging.DB { return m.packaging() }
+
+// LCADB returns the GaBi-style LCA baseline bound to this model's
+// parameter profile (the package default when unset).
+func (m *Model) LCADB() *lca.DB {
+	if m.LCA != nil {
+		return m.LCA
+	}
+	return lca.Default()
+}
+
+// Database accessors with package-default fallbacks, so a hand-assembled
+// Model (tests, sensitivity perturbations) behaves exactly like the
+// historical package-global implementation.
+
+func (m *Model) grid() *grid.DB {
+	if m.Grid != nil {
+		return m.Grid
+	}
+	return grid.Default()
+}
+
+func (m *Model) tech() *tech.DB {
+	if m.Tech != nil {
+		return m.Tech
+	}
+	return tech.Default()
+}
+
+func (m *Model) bonding() *bonding.DB {
+	if m.Bonding != nil {
+		return m.Bonding
+	}
+	return bonding.Default()
+}
+
+func (m *Model) packaging() *packaging.DB {
+	if m.Packaging != nil {
+		return m.Packaging
+	}
+	return packaging.Default()
+}
+
+func (m *Model) interposer() *interposer.DB {
+	if m.Interposer != nil {
+		return m.Interposer
+	}
+	return interposer.Default()
+}
+
+func (m *Model) bandwidth() *bandwidth.DB {
+	if m.Bandwidth != nil {
+		return m.Bandwidth
+	}
+	return bandwidth.Default()
+}
+
+func (m *Model) io() *power.DB {
+	if m.IO != nil {
+		return m.IO
+	}
+	return power.Default()
 }
 
 // resolvedDie is one die after node lookup, area estimation and BEOL
@@ -95,7 +289,7 @@ func (m *Model) resolve(d *design.Design) ([]resolvedDie, error) {
 		if g <= 0 {
 			// Derive gates from the explicit area via inverse Eq. 8 so
 			// Rent-based estimates still work.
-			node, err := tech.ForProcess(dd.ProcessNM)
+			node, err := m.tech().ForProcess(dd.ProcessNM)
 			if err != nil {
 				return nil, err
 			}
@@ -110,7 +304,7 @@ func (m *Model) resolve(d *design.Design) ([]resolvedDie, error) {
 
 	out := make([]resolvedDie, 0, len(d.Dies))
 	for _, dd := range d.Dies {
-		node, err := tech.ForProcess(dd.ProcessNM)
+		node, err := m.tech().ForProcess(dd.ProcessNM)
 		if err != nil {
 			return nil, err
 		}
@@ -211,12 +405,19 @@ type EmbodiedReport struct {
 	AssemblyYield float64
 }
 
+// ValidateDesign checks a design against this model's node and grid
+// databases, so designs using profile-specific locations or nodes validate
+// exactly as they will evaluate.
+func (m *Model) ValidateDesign(d *design.Design) error {
+	return d.ValidateWith(m.Tech, m.Grid)
+}
+
 // Embodied evaluates Eq. 3 for a design.
 func (m *Model) Embodied(d *design.Design) (*EmbodiedReport, error) {
-	if err := d.Validate(); err != nil {
+	if err := m.ValidateDesign(d); err != nil {
 		return nil, err
 	}
-	fabCI, err := grid.Intensity(d.FabLocation)
+	fabCI, err := m.grid().Intensity(d.FabLocation)
 	if err != nil {
 		return nil, err
 	}
@@ -250,7 +451,7 @@ func (m *Model) Embodied(d *design.Design) (*EmbodiedReport, error) {
 func (m *Model) finishPackaging(d *design.Design, areas []units.Area, rep *EmbodiedReport) error {
 	fp := geom.Floorplan{Dies: areas}
 	if d.PackageAreaMM2 > 0 {
-		p, err := packaging.For(d.Integration)
+		p, err := m.packaging().For(d.Integration)
 		if err != nil {
 			return err
 		}
@@ -258,11 +459,11 @@ func (m *Model) finishPackaging(d *design.Design, areas []units.Area, rep *Embod
 		rep.Packaging = p.CPA.Over(rep.PackageArea)
 		return nil
 	}
-	pa, err := packaging.Area(d.Integration, fp)
+	pa, err := m.packaging().Area(d.Integration, fp)
 	if err != nil {
 		return err
 	}
-	c, err := packaging.Carbon(d.Integration, fp)
+	c, err := m.packaging().Carbon(d.Integration, fp)
 	if err != nil {
 		return err
 	}
@@ -345,7 +546,7 @@ func (m *Model) embodied3D(d *design.Design, dies []resolvedDie,
 		return err
 	}
 	proc := bonding.Process{Method: method, Flow: d.EffectiveFlow()}
-	bondY, err := bonding.ProcessYield(proc)
+	bondY, err := m.bonding().ProcessYield(proc)
 	if err != nil {
 		return err
 	}
@@ -386,7 +587,7 @@ func (m *Model) embodied3D(d *design.Design, dies []resolvedDie,
 		if err != nil {
 			return err
 		}
-		c, err := bonding.Carbon(proc, dies[i-1].area, fabCI, yB)
+		c, err := m.bonding().Carbon(proc, dies[i-1].area, fabCI, yB)
 		if err != nil {
 			return err
 		}
@@ -432,6 +633,7 @@ func (m *Model) embodied25D(d *design.Design, dies []resolvedDie,
 			Scale:     d.InterposerScale,
 			FabCI:     fabCI,
 			WaferArea: d.WaferArea(),
+			DB:        m.interposer(),
 		}
 		subYield, err = sub.IntrinsicYield()
 		if err != nil {
@@ -442,7 +644,7 @@ func (m *Model) embodied25D(d *design.Design, dies []resolvedDie,
 
 	bondYields := make([]float64, len(dies))
 	for i := range bondYields {
-		bondYields[i] = bonding.AttachYield25D
+		bondYields[i] = m.bonding().AttachYield()
 	}
 	asm := yield.Assembly25D{
 		DieYields:      dieYields,
@@ -483,7 +685,7 @@ func (m *Model) embodied25D(d *design.Design, dies []resolvedDie,
 	}
 	proc := bonding.Process{Method: ic.C4Bump, Flow: ic.D2W}
 	for _, r := range dies {
-		c, err := bonding.Carbon(proc, r.area, fabCI, bondEff)
+		c, err := m.bonding().Carbon(proc, r.area, fabCI, bondEff)
 		if err != nil {
 			return err
 		}
@@ -545,13 +747,13 @@ type OperationalReport struct {
 // efficiency used for dies without an explicit per-die efficiency.
 func (m *Model) Operational(d *design.Design, w workload.Workload,
 	defaultEff units.Efficiency) (*OperationalReport, error) {
-	if err := d.Validate(); err != nil {
+	if err := m.ValidateDesign(d); err != nil {
 		return nil, err
 	}
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
-	useCI, err := grid.Intensity(d.UseLocation)
+	useCI, err := m.grid().Intensity(d.UseLocation)
 	if err != nil {
 		return nil, err
 	}
@@ -571,7 +773,7 @@ func (m *Model) Operational(d *design.Design, w workload.Workload,
 				minEdge = e
 			}
 		}
-		cap25, err := bandwidth.Capacity25D(d.Integration, minEdge)
+		cap25, err := m.bandwidth().Capacity25D(d.Integration, minEdge)
 		if err != nil {
 			return nil, err
 		}
@@ -619,7 +821,7 @@ func (m *Model) Operational(d *design.Design, w workload.Workload,
 			return nil, err
 		}
 	}
-	rep.WireSaving = power.WireSaving(d.Integration)
+	rep.WireSaving = m.io().WireSaving(d.Integration)
 	compute = units.Watts(compute.W() * (1 - rep.WireSaving))
 	rep.ComputePower = compute
 
@@ -627,7 +829,7 @@ func (m *Model) Operational(d *design.Design, w workload.Workload,
 	// of the achieved throughput.
 	achievedOps := w.Throughput.OpsPerSec() * rep.ThroughputFactor
 	used := units.BytesPerSecond(m.Constraint.BytesPerOp * achievedOps)
-	rep.IOPower, err = power.InterfacePower(d.Integration, used, m.IOKappa)
+	rep.IOPower, err = m.io().InterfacePower(d.Integration, used, m.IOKappa)
 	if err != nil {
 		return nil, err
 	}

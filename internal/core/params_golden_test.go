@@ -1,0 +1,197 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/design"
+	"repro/internal/params"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func loadShippedDesigns(t *testing.T) []*design.Design {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "designs", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no shipped designs found")
+	}
+	out := make([]*design.Design, 0, len(paths))
+	for _, p := range paths {
+		d, err := design.Load(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// evaluateAll renders every shipped design's full evaluation through m as
+// one JSON document — the byte-level oracle the round-trip tests compare.
+func evaluateAll(t *testing.T, m *Model) []byte {
+	t.Helper()
+	w := workload.AVPipeline(units.TOPS(254))
+	eff := units.TOPSPerWatt(2.74)
+	reports := make(map[string]json.RawMessage)
+	for _, d := range loadShippedDesigns(t) {
+		tot, err := m.Total(d, w, eff)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		body, err := json.Marshal(tot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports[d.Name] = body
+	}
+	all, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return all
+}
+
+// The round-trip golden guard: serializing core.Default()'s ParameterSet to
+// JSON and re-loading it must reproduce byte-identical evaluation reports
+// for every shipped design. Any constant that silently drifts through the
+// profile format — a float mangled by serialization, a table entry dropped
+// by the merge — shows up here as a byte diff.
+func TestParamsRoundTripReportsByteIdentical(t *testing.T) {
+	base := Default()
+	if base.Params() == nil {
+		t.Fatal("default model carries no ParameterSet")
+	}
+	data, err := base.Params().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := params.Parse(data)
+	if err != nil {
+		t.Fatalf("re-parsing the serialized baseline: %v", err)
+	}
+	m2, err := New(reloaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := evaluateAll(t, base)
+	got := evaluateAll(t, m2)
+	if string(want) != string(got) {
+		t.Errorf("round-tripped ParameterSet produced different reports\nwant:\n%s\ngot:\n%s", want, got)
+	}
+
+	f1, _ := base.Params().Fingerprint()
+	f2 := m2.Fingerprint()
+	if f1 != f2 {
+		t.Errorf("round-tripped fingerprint %s != baseline %s", f2, f1)
+	}
+	if base.Fingerprint() != f1 {
+		t.Errorf("model fingerprint %s != set fingerprint %s", base.Fingerprint(), f1)
+	}
+}
+
+// A parameter overlay must actually steer the model: lowering the use-grid
+// intensity lowers operational carbon, lowering defect density lowers
+// embodied carbon, and the fingerprints differ from baseline.
+func TestOverlayChangesReports(t *testing.T) {
+	base := Default()
+	d := &design.Design{
+		Name:        "probe",
+		Integration: "hybrid-3d",
+		Dies: []design.Die{
+			{Name: "bottom", ProcessNM: 7, Gates: 8.5e9},
+			{Name: "top", ProcessNM: 7, Gates: 8.5e9},
+		},
+		FabLocation: "taiwan",
+		UseLocation: "usa",
+	}
+	w := workload.AVPipeline(units.TOPS(254))
+	eff := units.TOPSPerWatt(2.74)
+	baseTot, err := base.Total(d, w, eff)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cleanSet, err := params.Overlay(params.Default(),
+		[]byte(`{"version":"clean-use","grid":{"intensities":{"usa":50}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := New(cleanSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanTot, err := clean.Total(d, w, eff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cleanTot.Operational.LifetimeCarbon >= baseTot.Operational.LifetimeCarbon {
+		t.Errorf("cleaner use grid did not lower operational carbon: %v vs %v",
+			cleanTot.Operational.LifetimeCarbon, baseTot.Operational.LifetimeCarbon)
+	}
+	if cleanTot.Embodied.Total != baseTot.Embodied.Total {
+		t.Errorf("use-grid overlay moved embodied carbon: %v vs %v",
+			cleanTot.Embodied.Total, baseTot.Embodied.Total)
+	}
+	if clean.Fingerprint() == base.Fingerprint() {
+		t.Error("overlay model shares the baseline fingerprint")
+	}
+
+	yieldSet, err := params.Overlay(params.Default(),
+		[]byte(`{"version":"optimistic-d0","tech":{"nodes":{"7":{"d0_per_cm2":0.07}}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := New(yieldSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optTot, err := opt.Total(d, w, eff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optTot.Embodied.Total >= baseTot.Embodied.Total {
+		t.Errorf("lower defect density did not lower embodied carbon: %v vs %v",
+			optTot.Embodied.Total, baseTot.Embodied.Total)
+	}
+}
+
+// An invalid set must be rejected by New with a structured section error.
+func TestNewRejectsInvalidSet(t *testing.T) {
+	bad := params.Default()
+	bad.Grid.Intensities["taiwan"] = -1
+	if _, err := New(bad); err == nil {
+		t.Error("New accepted a negative grid intensity")
+	}
+}
+
+// os.Getenv guard: FromParamsFile with an empty path is exactly Default.
+func TestFromParamsFileEmpty(t *testing.T) {
+	m, err := FromParamsFile("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Fingerprint() != Default().Fingerprint() {
+		t.Error("FromParamsFile(\"\") is not the default model")
+	}
+	if _, err := FromParamsFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("FromParamsFile accepted a missing file")
+	}
+	p := filepath.Join(t.TempDir(), "p.json")
+	if err := os.WriteFile(p, []byte(`{"version":"x","grid":{"intensities":{"usa":100}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := FromParamsFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Fingerprint() == Default().Fingerprint() {
+		t.Error("profile model shares the default fingerprint")
+	}
+}

@@ -41,12 +41,20 @@ type Die struct {
 // Area returns the explicit area, if any.
 func (d Die) Area() units.Area { return units.SquareMillimeters(d.AreaMM2) }
 
-// Validate checks one die description against the node database.
-func (d Die) Validate() error {
+// Validate checks one die description against the default node database.
+func (d Die) Validate() error { return d.ValidateWith(nil) }
+
+// ValidateWith checks one die description against an explicit node
+// database (nil means tech.Default()) — the parameter profile the die will
+// be evaluated under.
+func (d Die) ValidateWith(techDB *tech.DB) error {
+	if techDB == nil {
+		techDB = tech.Default()
+	}
 	if d.Name == "" {
 		return fmt.Errorf("design: die with empty name")
 	}
-	node, err := tech.ForProcess(d.ProcessNM)
+	node, err := techDB.ForProcess(d.ProcessNM)
 	if err != nil {
 		return fmt.Errorf("design: die %q: %w", d.Name, err)
 	}
@@ -154,8 +162,18 @@ func (d *Design) TotalGates() float64 {
 	return sum
 }
 
-// Validate checks the full design description.
-func (d *Design) Validate() error {
+// Validate checks the full design description against the default
+// databases.
+func (d *Design) Validate() error { return d.ValidateWith(nil, nil) }
+
+// ValidateWith checks the design against explicit node and grid databases
+// (nil means the package defaults) — the parameter profile the design will
+// be evaluated under, so profile-added locations validate and
+// profile-removed ones are rejected up front.
+func (d *Design) ValidateWith(techDB *tech.DB, gridDB *grid.DB) error {
+	if gridDB == nil {
+		gridDB = grid.Default()
+	}
 	if d.Name == "" {
 		return fmt.Errorf("design: empty design name")
 	}
@@ -166,14 +184,14 @@ func (d *Design) Validate() error {
 		return fmt.Errorf("design %q: no dies", d.Name)
 	}
 	for _, die := range d.Dies {
-		if err := die.Validate(); err != nil {
+		if err := die.ValidateWith(techDB); err != nil {
 			return fmt.Errorf("design %q: %w", d.Name, err)
 		}
 	}
-	if _, err := grid.Intensity(d.FabLocation); err != nil {
+	if _, err := gridDB.Intensity(d.FabLocation); err != nil {
 		return fmt.Errorf("design %q: fab location: %w", d.Name, err)
 	}
-	if _, err := grid.Intensity(d.UseLocation); err != nil {
+	if _, err := gridDB.Intensity(d.UseLocation); err != nil {
 		return fmt.Errorf("design %q: use location: %w", d.Name, err)
 	}
 
@@ -230,25 +248,36 @@ func (d *Design) Marshal() ([]byte, error) {
 	return json.MarshalIndent(d, "", "  ")
 }
 
-// Unmarshal decodes and validates a design from JSON.
-func Unmarshal(data []byte) (*Design, error) {
+// Unmarshal decodes and validates a design from JSON against the default
+// databases.
+func Unmarshal(data []byte) (*Design, error) { return UnmarshalWith(data, nil, nil) }
+
+// UnmarshalWith decodes a design and validates it against explicit node
+// and grid databases (nil means the package defaults) — the parameter
+// profile the design will be evaluated under.
+func UnmarshalWith(data []byte, techDB *tech.DB, gridDB *grid.DB) (*Design, error) {
 	var d Design
 	if err := json.Unmarshal(data, &d); err != nil {
 		return nil, fmt.Errorf("design: %w", err)
 	}
-	if err := d.Validate(); err != nil {
+	if err := d.ValidateWith(techDB, gridDB); err != nil {
 		return nil, err
 	}
 	return &d, nil
 }
 
-// Load reads and validates a design JSON file.
-func Load(path string) (*Design, error) {
+// Load reads and validates a design JSON file against the default
+// databases.
+func Load(path string) (*Design, error) { return LoadWith(path, nil, nil) }
+
+// LoadWith reads a design JSON file and validates it against explicit
+// databases (nil means the package defaults).
+func LoadWith(path string, techDB *tech.DB, gridDB *grid.DB) (*Design, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("design: %w", err)
 	}
-	return Unmarshal(data)
+	return UnmarshalWith(data, techDB, gridDB)
 }
 
 // Save writes the design as JSON to path.

@@ -1,0 +1,76 @@
+package design
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// FuzzUnmarshal hammers the design decoder: arbitrary bytes must produce
+// either a validated design or a structured error — never a panic, and
+// never a design that evaluation would choke on (NaN areas, negative
+// gates, unknown technologies). This is the boundary every CLI file load
+// and HTTP request body crosses.
+func FuzzUnmarshal(f *testing.F) {
+	seeds := []string{
+		`{"name":"d","integration":"2D","dies":[{"name":"a","process_nm":7,"gates":1e9}],"fab_location":"taiwan","use_location":"usa"}`,
+		`{"name":"d","integration":"hybrid-3d","dies":[{"name":"a","process_nm":7,"gates":1e9},{"name":"b","process_nm":7,"gates":1e9}],"fab_location":"taiwan","use_location":"usa"}`,
+		`{"name":"d","integration":"mcm","order":"chip-last","dies":[{"name":"a","process_nm":7,"area_mm2":74},{"name":"b","process_nm":14,"area_mm2":416}],"fab_location":"taiwan","use_location":"usa"}`,
+		`{"name":"d","integration":"4d","dies":[]}`,
+		`{"name":"d","integration":"2D","dies":[{"name":"a","process_nm":7,"gates":-1}],"fab_location":"taiwan","use_location":"usa"}`,
+		`{"name":"d","integration":"2D","dies":[{"name":"a","process_nm":2,"gates":1e9}],"fab_location":"taiwan","use_location":"usa"}`,
+		`{"name":"d","integration":"2D","dies":[{"name":"a","process_nm":7,"gates":1e9}],"fab_location":"atlantis","use_location":"usa"}`,
+		`{"name":"","integration":"2D"}`,
+		`{"gap_mm":99}`,
+		`null`,
+		`[]`,
+		`{`,
+		`{"name":"d","integration":"2D","dies":[{"name":"a","process_nm":7,"gates":1e9}],"fab_location":"taiwan","use_location":"usa","wafer_area_mm2":-5}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Unmarshal(data)
+		if err != nil {
+			if d != nil {
+				t.Fatalf("Unmarshal returned both a design and error %v", err)
+			}
+			return
+		}
+		// An accepted design satisfies the structural invariants Validate
+		// promises the model.
+		if d.Name == "" {
+			t.Fatal("accepted design has an empty name")
+		}
+		if !d.Integration.Valid() {
+			t.Fatalf("accepted design has unknown integration %q", d.Integration)
+		}
+		if len(d.Dies) == 0 {
+			t.Fatal("accepted design has no dies")
+		}
+		for _, die := range d.Dies {
+			if die.Gates < 0 || die.AreaMM2 < 0 || die.EfficiencyTOPSW < 0 {
+				t.Fatalf("accepted die has negative inputs: %+v", die)
+			}
+			if die.Gates <= 0 && die.AreaMM2 <= 0 {
+				t.Fatalf("accepted die has no size: %+v", die)
+			}
+			if math.IsNaN(die.Gates) || math.IsNaN(die.AreaMM2) {
+				t.Fatalf("accepted die has NaN inputs: %+v", die)
+			}
+		}
+		if d.WaferAreaMM2 < 0 || d.InterposerScale < 0 || d.PackageAreaMM2 < 0 {
+			t.Fatalf("accepted design has negative geometry: %+v", d)
+		}
+		// Unknown locations must have been rejected with the known-list
+		// error, so accepted locations resolve.
+		if _, err := grid.Intensity(d.FabLocation); err != nil {
+			t.Fatalf("accepted design has unresolvable fab location: %v", err)
+		}
+		if _, err := grid.Intensity(d.UseLocation); err != nil {
+			t.Fatalf("accepted design has unresolvable use location: %v", err)
+		}
+	})
+}

@@ -18,10 +18,10 @@ func TestMemoCacheShardSizing(t *testing.T) {
 		wantOne       bool
 	}{
 		{limit: 0, shards: 0, wantPow2: true},
-		{limit: 3, shards: 0, wantOne: true},     // tiny bound → exact global LRU
-		{limit: 100, shards: 0, wantOne: true},   // <64/shard at 2 shards
+		{limit: 3, shards: 0, wantOne: true},   // tiny bound → exact global LRU
+		{limit: 100, shards: 0, wantOne: true}, // <64/shard at 2 shards
 		{limit: 1 << 16, shards: 0, wantPow2: true},
-		{limit: 0, shards: 5, wantPow2: true}, // explicit count rounds up
+		{limit: 0, shards: 5, wantPow2: true},  // explicit count rounds up
 		{limit: 8, shards: 16, wantPow2: true}, // explicit count capped by the bound
 	}
 	for i, c := range cases {

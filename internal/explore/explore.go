@@ -194,6 +194,11 @@ func (s Stats) HitRate() float64 {
 // An Engine is safe for concurrent use; the cache persists across Evaluate
 // calls, so one engine shared between related studies (e.g. the two Fig. 5
 // strategies) reuses their common evaluations.
+//
+// Memo keys mix in the model's ParameterSet fingerprint, so engines over
+// different parameter profiles that share one cache (see SharedCache) can
+// never serve each other's results — two profiles evaluating the same
+// design hash to different keys.
 type Engine struct {
 	// Model is the configured 3D-Carbon pipeline. The engine assumes the
 	// model is not mutated while evaluations run — memoized results would
@@ -204,20 +209,49 @@ type Engine struct {
 	// CacheLimit bounds the memoization cache to this many distinct
 	// evaluations, evicted least-recently-used; ≤0 means unbounded. A
 	// long-running process (cmd/serve) sets this so arbitrary request
-	// streams cannot grow the cache without bound.
+	// streams cannot grow the cache without bound. Ignored when Cache is
+	// set.
 	CacheLimit int
 	// CacheShards overrides the memo shard count (rounded up to a power of
 	// two). ≤0 picks one shard per core up to 16, degraded so a bounded
 	// cache keeps ≥64 entries per shard — a small CacheLimit therefore
 	// gets one shard and exact global LRU order. Set before first use.
+	// Ignored when Cache is set.
 	CacheShards int
+	// Cache optionally attaches an externally-owned cache shared between
+	// several engines (cmd/serve's per-profile engines share one bounded
+	// LRU). Engines sharing a cache must use models built by core.New so
+	// their fingerprints disambiguate the keys; two hand-assembled models
+	// (zero fingerprint) would collide. Set before first use.
+	Cache *SharedCache
 
 	cacheOnce sync.Once
 	cache     atomic.Pointer[memoCache]
+	fpHi      uint64 // model fingerprint words, fixed by cacheOnce
+	fpLo      uint64
 	evals     atomic.Uint64
 	hits      atomic.Uint64
 	evictions atomic.Uint64
 }
+
+// SharedCache is a memoization cache that outlives any single engine: every
+// engine pointing at it reads and writes the same bounded sharded LRU.
+// Construct with NewSharedCache.
+type SharedCache struct {
+	c *memoCache
+}
+
+// NewSharedCache builds a cache bounded to limit distinct evaluations
+// (≤0 = unbounded) across shards locked segments (≤0 = automatic).
+func NewSharedCache(limit, shards int) *SharedCache {
+	return &SharedCache{c: newMemoCache(limit, shards)}
+}
+
+// Entries returns the resident evaluation count.
+func (sc *SharedCache) Entries() int { return sc.c.entries() }
+
+// Shards returns the number of independently locked segments.
+func (sc *SharedCache) Shards() int { return sc.c.count() }
 
 type memoEntry struct {
 	once sync.Once
@@ -242,13 +276,32 @@ func (e *Engine) Stats() Stats {
 	return st
 }
 
-// memo lazily builds the sharded cache on first evaluation, honouring the
-// CacheLimit/CacheShards configured by then.
+// memo lazily builds (or attaches) the sharded cache on first evaluation,
+// honouring the Cache/CacheLimit/CacheShards configured by then, and pins
+// the model-fingerprint key mix.
 func (e *Engine) memo() *memoCache {
 	e.cacheOnce.Do(func() {
+		if e.Model != nil {
+			e.fpHi, e.fpLo = e.Model.Fingerprint().Words()
+		}
+		if e.Cache != nil {
+			e.cache.Store(e.Cache.c)
+			return
+		}
 		e.cache.Store(newMemoCache(e.CacheLimit, e.CacheShards))
 	})
 	return e.cache.Load()
+}
+
+// memoKey keys one evaluation: the 128-bit design/workload hash with the
+// model's ParameterSet fingerprint folded in, so the same design under two
+// parameter profiles occupies two distinct cache entries.
+func (e *Engine) memoKey(d *design.Design, w workload.Workload, eff units.Efficiency) keyPair {
+	key := hashEvaluation(d, w, eff)
+	h := hash128{hi: key.hi, lo: key.lo}
+	h.u64(e.fpHi)
+	h.u64(e.fpLo)
+	return h.sum()
 }
 
 func (e *Engine) workers() int {
@@ -264,8 +317,9 @@ func (e *Engine) workers() int {
 // must be treated as read-only.
 func (e *Engine) total(d *design.Design, w workload.Workload, eff units.Efficiency,
 	embodiedOnly bool) (*core.TotalReport, error) {
-	key := hashEvaluation(d, w, eff)
-	ent, ok, evicted := e.memo().get(key)
+	memo := e.memo() // also pins the fingerprint words memoKey mixes in
+	key := e.memoKey(d, w, eff)
+	ent, ok, evicted := memo.get(key)
 	if evicted > 0 {
 		e.evictions.Add(uint64(evicted))
 	}

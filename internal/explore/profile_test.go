@@ -1,0 +1,145 @@
+package explore
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/design"
+	"repro/internal/params"
+)
+
+func profileModel(t *testing.T, patch string) *core.Model {
+	t.Helper()
+	ps := params.Default()
+	if patch != "" {
+		var err error
+		ps, err = params.Overlay(ps, []byte(patch))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := core.New(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func probeDesign() *design.Design {
+	return &design.Design{
+		Name:        "probe",
+		Integration: "hybrid-3d",
+		Dies: []design.Die{
+			{Name: "bottom", ProcessNM: 7, Gates: 8.5e9},
+			{Name: "top", ProcessNM: 7, Gates: 8.5e9},
+		},
+		FabLocation: "taiwan",
+		UseLocation: "usa",
+	}
+}
+
+// Two models with different ParameterSet fingerprints must key the same
+// (design, workload, efficiency) triple to different memo entries — the
+// guarantee that profiles never cross-contaminate a shared LRU. Pinned by
+// the issue's acceptance criteria.
+func TestMemoKeysDifferAcrossFingerprints(t *testing.T) {
+	base := New(profileModel(t, ""))
+	prof := New(profileModel(t, `{"version":"p","grid":{"intensities":{"taiwan":100}}}`))
+	// memoKey mixes the fingerprint pinned by the first memo() call.
+	base.memo()
+	prof.memo()
+
+	d := probeDesign()
+	var w = Candidate{}.Workload
+	kBase := base.memoKey(d, w, 0)
+	kProf := prof.memoKey(d, w, 0)
+	if kBase == kProf {
+		t.Fatalf("memo keys collide across fingerprints: %+v", kBase)
+	}
+	// Same fingerprint ⇒ same key (two engines over the same profile share).
+	base2 := New(profileModel(t, ""))
+	base2.memo()
+	if got := base2.memoKey(d, w, 0); got != kBase {
+		t.Fatalf("same-fingerprint engines disagree on the key: %+v vs %+v", got, kBase)
+	}
+}
+
+// Engines over different profiles sharing one SharedCache: the same design
+// is evaluated once per profile (never served from the other profile's
+// entry), and the results differ according to the profiles.
+func TestSharedCacheIsolatesProfiles(t *testing.T) {
+	shared := NewSharedCache(1024, 1)
+	base := New(profileModel(t, ""))
+	base.Cache = shared
+	prof := New(profileModel(t, `{"version":"p","grid":{"intensities":{"taiwan":100}}}`))
+	prof.Cache = shared
+
+	cand := []Candidate{{ID: "probe", Design: probeDesign()}}
+	r1, err := base.Evaluate(context.Background(), cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := prof.Evaluate(context.Background(), cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1[0].Err != nil || r2[0].Err != nil {
+		t.Fatalf("evaluation failed: %v / %v", r1[0].Err, r2[0].Err)
+	}
+	// A cleaner Taiwan fab grid must lower the embodied carbon; equality
+	// would mean the profile engine was served the baseline's entry.
+	if r2[0].Embodied() >= r1[0].Embodied() {
+		t.Errorf("profile result %v kg not below baseline %v kg — cache cross-contamination?",
+			r2[0].Embodied(), r1[0].Embodied())
+	}
+	if hits := prof.Stats().CacheHits; hits != 0 {
+		t.Errorf("profile engine hit the baseline's cache entry (%d hits)", hits)
+	}
+	if n := shared.Entries(); n != 2 {
+		t.Errorf("shared cache holds %d entries, want 2 (one per profile)", n)
+	}
+
+	// A second engine over the SAME profile does share: zero fresh
+	// evaluations, answered from the shared cache.
+	again := New(profileModel(t, ""))
+	again.Cache = shared
+	r3, err := again.Evaluate(context.Background(), cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3[0].Err != nil {
+		t.Fatal(r3[0].Err)
+	}
+	st := again.Stats()
+	if st.CacheHits != 1 || st.Evaluations != 0 {
+		t.Errorf("same-profile engine: hits=%d evals=%d, want 1/0", st.CacheHits, st.Evaluations)
+	}
+	if r3[0].Embodied() != r1[0].Embodied() {
+		t.Errorf("shared result drifted: %v vs %v", r3[0].Embodied(), r1[0].Embodied())
+	}
+}
+
+// Eviction pressure in a shared cache stays bounded by the shared limit,
+// not per engine.
+func TestSharedCacheBoundedAcrossEngines(t *testing.T) {
+	shared := NewSharedCache(4, 1)
+	for i := 0; i < 3; i++ {
+		e := New(profileModel(t, ""))
+		e.Cache = shared
+		cands := make([]Candidate, 0, 4)
+		for _, nm := range []int{7, 14, 16, 28} {
+			d := probeDesign()
+			d.Name = "probe-n"
+			d.Dies[0].ProcessNM = nm
+			d.Dies[1].ProcessNM = nm
+			cands = append(cands, Candidate{ID: d.Name, Design: d})
+		}
+		if _, err := e.Evaluate(context.Background(), cands); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := shared.Entries(); n > 4 {
+		t.Errorf("shared cache holds %d entries, over the limit 4", n)
+	}
+}

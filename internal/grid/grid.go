@@ -2,14 +2,22 @@
 // for both the manufacturing (fab) location and the use location of an IC.
 //
 // The paper (Table 2) bounds both CI_emb and CI_use to the 30–700 g CO₂/kWh
-// range spanned by real grids. The values below are the per-region annual
-// average intensities commonly used by architectural carbon tools (ACT uses
-// the same kind of per-country table); they are deliberately coarse — the
-// model's sensitivity to CI is exposed through sweeps, not precision here.
+// range spanned by real grids. The default values below are the per-region
+// annual average intensities commonly used by architectural carbon tools
+// (ACT uses the same kind of per-country table); they are deliberately
+// coarse — the model's sensitivity to CI is exposed through sweeps, not
+// precision here.
+//
+// The database is instance-based: a DB is built from a serializable Params
+// value, so scenario profiles (internal/params) can override intensities —
+// a "2030 decarbonized grid" study is a JSON overlay, not a recompile. The
+// package-level functions remain as conveniences over the calibrated
+// default DB.
 package grid
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -41,74 +49,136 @@ const (
 	Renewable    Location = "renewable"   // fully renewable supply
 )
 
-// intensities holds the annual-average grid carbon intensity per location,
-// in g CO₂/kWh. Values follow the ranges used by ACT (Gupta et al. ISCA'22)
-// and stay inside the paper's 30–700 g CO₂/kWh bound.
-var intensities = map[Location]float64{
-	Taiwan:       509,
-	SouthKorea:   442,
-	Japan:        478,
-	China:        555,
-	Singapore:    495,
-	USA:          380,
-	Arizona:      433,
-	Oregon:       156,
-	Ireland:      316,
-	Israel:       558,
-	Germany:      350,
-	India:        630,
-	Europe:       295,
-	California:   216,
-	Norway:       30,
-	WorldAverage: 436,
-	Renewable:    30, // residual lifecycle emissions of renewable supply
+// Params is the serializable grid database: annual-average carbon intensity
+// per location in g CO₂/kWh. It is one section of the params.Set profile
+// format; overlays merge per-location, so a profile can adjust one grid
+// without restating the table.
+type Params struct {
+	// Intensities maps a location to its annual-average grid carbon
+	// intensity in g CO₂/kWh.
+	Intensities map[Location]float64 `json:"intensities"`
 }
 
-// Intensity returns the carbon intensity of the named grid.
-func Intensity(loc Location) (units.CarbonIntensity, error) {
-	v, ok := intensities[Location(strings.ToLower(string(loc)))]
+// Validation bounds for overlay values. The paper's Table 2 spans real grids
+// at 30–700 g CO₂/kWh; scenario profiles may reach beyond (a deeply
+// decarbonized grid below 30, a worst-case grid above 700) but absurd or
+// non-finite values are structured errors, never accepted.
+const (
+	MinIntensityGPerKWh = 1
+	MaxIntensityGPerKWh = 2000
+)
+
+// DefaultParams returns the calibrated per-region table. Values follow the
+// ranges used by ACT (Gupta et al. ISCA'22) and stay inside the paper's
+// 30–700 g CO₂/kWh bound.
+func DefaultParams() Params {
+	return Params{Intensities: map[Location]float64{
+		Taiwan:       509,
+		SouthKorea:   442,
+		Japan:        478,
+		China:        555,
+		Singapore:    495,
+		USA:          380,
+		Arizona:      433,
+		Oregon:       156,
+		Ireland:      316,
+		Israel:       558,
+		Germany:      350,
+		India:        630,
+		Europe:       295,
+		California:   216,
+		Norway:       30,
+		WorldAverage: 436,
+		Renewable:    30, // residual lifecycle emissions of renewable supply
+	}}
+}
+
+// Validate rejects empty, non-finite or out-of-range intensities with
+// structured errors.
+func (p Params) Validate() error {
+	if len(p.Intensities) == 0 {
+		return fmt.Errorf("grid: empty intensity table")
+	}
+	for loc, v := range p.Intensities {
+		if strings.TrimSpace(string(loc)) == "" {
+			return fmt.Errorf("grid: empty location name")
+		}
+		if string(loc) != strings.ToLower(string(loc)) {
+			// Location keys are canonical lowercase; accepting mixed case
+			// would let an overlay key like "USA" coexist with the baseline
+			// "usa" and make the merged table nondeterministic.
+			return fmt.Errorf("grid: location %q must be lowercase", loc)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("grid: location %q has non-finite intensity", loc)
+		}
+		if v < MinIntensityGPerKWh || v > MaxIntensityGPerKWh {
+			return fmt.Errorf("grid: location %q intensity %v g/kWh outside [%d, %d]",
+				loc, v, MinIntensityGPerKWh, MaxIntensityGPerKWh)
+		}
+	}
+	return nil
+}
+
+// DB is an instance of the grid database. Construct with NewDB (or use
+// Default); a DB is immutable and safe for concurrent use.
+type DB struct {
+	intensities map[Location]float64
+	locations   []Location // sorted
+	names       string     // comma-joined sorted names for error messages
+}
+
+// NewDB validates the params and builds a database instance.
+func NewDB(p Params) (*DB, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	db := &DB{intensities: make(map[Location]float64, len(p.Intensities))}
+	for loc, v := range p.Intensities {
+		db.intensities[loc] = v
+		db.locations = append(db.locations, loc)
+	}
+	sort.Slice(db.locations, func(i, j int) bool { return db.locations[i] < db.locations[j] })
+	names := make([]string, len(db.locations))
+	for i, l := range db.locations {
+		names[i] = string(l)
+	}
+	db.names = strings.Join(names, ", ")
+	return db, nil
+}
+
+var defaultDB = mustNewDB(DefaultParams())
+
+func mustNewDB(p Params) *DB {
+	db, err := NewDB(p)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Default returns the calibrated default database.
+func Default() *DB { return defaultDB }
+
+// Intensity returns the carbon intensity of the named grid. An unknown
+// location is a structured error that lists every valid location, so CLI
+// and HTTP callers can self-correct.
+func (db *DB) Intensity(loc Location) (units.CarbonIntensity, error) {
+	v, ok := db.intensities[Location(strings.ToLower(string(loc)))]
 	if !ok {
-		return 0, fmt.Errorf("grid: unknown location %q (known: %s)",
-			loc, strings.Join(names(), ", "))
+		return 0, fmt.Errorf("grid: unknown location %q (known: %s)", loc, db.names)
 	}
 	return units.GramsPerKWh(v), nil
 }
 
-// MustIntensity is Intensity for statically-known locations; it panics on an
-// unknown location and is intended for package-level tables and tests.
-func MustIntensity(loc Location) units.CarbonIntensity {
-	ci, err := Intensity(loc)
-	if err != nil {
-		panic(err)
-	}
-	return ci
-}
-
-// Locations returns all known locations, sorted by name.
-func Locations() []Location {
-	out := make([]Location, 0, len(intensities))
-	for l := range intensities {
-		out = append(out, l)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-func names() []string {
-	ls := Locations()
-	out := make([]string, len(ls))
-	for i, l := range ls {
-		out[i] = string(l)
-	}
-	return out
-}
+// Locations returns all known locations, sorted by name. The returned slice
+// is shared; callers must not mutate it.
+func (db *DB) Locations() []Location { return db.locations }
 
 // Bounds returns the minimum and maximum intensity across the database.
-// The paper's Table 2 constrains CI to 30–700 g CO₂/kWh; tests assert the
-// database stays inside that envelope.
-func Bounds() (min, max units.CarbonIntensity) {
+func (db *DB) Bounds() (min, max units.CarbonIntensity) {
 	first := true
-	for _, v := range intensities {
+	for _, v := range db.intensities {
 		ci := units.GramsPerKWh(v)
 		if first {
 			min, max = ci, ci
@@ -124,3 +194,31 @@ func Bounds() (min, max units.CarbonIntensity) {
 	}
 	return min, max
 }
+
+// Intensity returns the carbon intensity of the named grid in the default
+// database.
+func Intensity(loc Location) (units.CarbonIntensity, error) {
+	return defaultDB.Intensity(loc)
+}
+
+// MustIntensity is Intensity for statically-known locations; it panics on an
+// unknown location and is intended for package-level tables and tests.
+func MustIntensity(loc Location) units.CarbonIntensity {
+	ci, err := Intensity(loc)
+	if err != nil {
+		panic(err)
+	}
+	return ci
+}
+
+// Locations returns all locations of the default database, sorted by name.
+func Locations() []Location {
+	out := make([]Location, len(defaultDB.locations))
+	copy(out, defaultDB.locations)
+	return out
+}
+
+// Bounds returns the minimum and maximum intensity across the default
+// database. The paper's Table 2 constrains CI to 30–700 g CO₂/kWh; tests
+// assert the default database stays inside that envelope.
+func Bounds() (min, max units.CarbonIntensity) { return defaultDB.Bounds() }

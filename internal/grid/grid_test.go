@@ -83,8 +83,8 @@ func TestRelativeOrdering(t *testing.T) {
 
 func TestLocationsSortedAndComplete(t *testing.T) {
 	ls := Locations()
-	if len(ls) != len(intensities) {
-		t.Fatalf("Locations() returned %d entries, want %d", len(ls), len(intensities))
+	if len(ls) != len(DefaultParams().Intensities) {
+		t.Fatalf("Locations() returned %d entries, want %d", len(ls), len(DefaultParams().Intensities))
 	}
 	for i := 1; i < len(ls); i++ {
 		if ls[i-1] >= ls[i] {

@@ -12,10 +12,17 @@
 // flow (no transistor FEOL, a few coarse metal layers, TSV drilling), an
 // RDL is a polymer/Cu redistribution build-up, and an EMIB bridge is a small
 // passive silicon bridge embedded in the organic substrate.
+//
+// The characterisation is instance-based: a DB is built from a serializable
+// Params value against a technology database, so silicon-derived substrate
+// costs track profile overrides of the node table, and profiles can adjust
+// substrate defects or scales directly. The package-level behaviour (a Spec
+// with a nil DB) uses the default characterisation.
 package interposer
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/geom"
 	"repro/internal/ic"
@@ -33,6 +40,9 @@ const (
 	Silicon Kind = "silicon" // full silicon interposer
 )
 
+// Kinds lists every substrate technology.
+func Kinds() []Kind { return []Kind{RDL, Bridge, Silicon} }
+
 // KindFor maps an integration technology to its substrate kind. MCM and all
 // 3D technologies have no separately-manufactured substrate.
 func KindFor(i ic.Integration) (Kind, error) {
@@ -47,67 +57,196 @@ func KindFor(i ic.Integration) (Kind, error) {
 	return "", fmt.Errorf("interposer: %s has no interposer/substrate", i)
 }
 
-// DefaultScale returns the Eq. 13/14 scale factor s for a substrate kind.
-// The RDL scale is large because Eq. 14's gap-region form must recover the
-// full fan-out footprint (the RDL spans and overhangs the dies); the EMIB
-// bridge covers only the inter-die region.
-func DefaultScale(k Kind) float64 {
-	switch k {
-	case RDL:
-		return 35
-	case Bridge:
-		return 3
-	case Silicon:
-		return 1.15
-	}
-	return 1
+// KindSpec is the serializable characterisation of one substrate kind.
+// Silicon-flow substrates (silicon, bridge) derive their per-area footprint
+// from a node entry: half a FEOL (no implant/poly loops) plus MetalLayers
+// coarse metal layers plus an optional TSV processing adder. RDL substrates
+// give their footprint explicitly.
+type KindSpec struct {
+	// DeriveNM selects the node whose FEOL/per-layer footprints the silicon
+	// flow is derived from (0 = explicit EPA/GPA/MPA below).
+	DeriveNM int `json:"derive_nm,omitempty"`
+	// MetalLayers is the coarse-metal layer count of a derived flow.
+	MetalLayers int `json:"metal_layers,omitempty"`
+	// TSVAdderKg is the TSV etch/fill adder of a derived flow, expressed as
+	// kg CO₂/cm² on the calibration grid (see tsvCalibrationCI).
+	TSVAdderKg float64 `json:"tsv_adder_kg_per_cm2,omitempty"`
+
+	// EPAKWhPerCM2/GPAKgPerCM2/MPAKgPerCM2 are the explicit per-area
+	// footprints of a non-derived flow (RDL build-up).
+	EPAKWhPerCM2 float64 `json:"epa_kwh_per_cm2,omitempty"`
+	GPAKgPerCM2  float64 `json:"gpa_kg_per_cm2,omitempty"`
+	MPAKgPerCM2  float64 `json:"mpa_kg_per_cm2,omitempty"`
+
+	// D0PerCM2/Alpha parameterise the substrate yield (Eq. 15); large
+	// substrates naturally yield poorly, which drives the paper's "low
+	// substrate yields" InFO/Si-interposer result.
+	D0PerCM2 float64 `json:"d0_per_cm2"`
+	Alpha    float64 `json:"alpha"`
+
+	// Scale is the default Eq. 13/14 scale factor s for this kind. The RDL
+	// scale is large because Eq. 14's gap-region form must recover the full
+	// fan-out footprint (the RDL spans and overhangs the dies); the EMIB
+	// bridge covers only the inter-die region.
+	Scale float64 `json:"scale"`
 }
 
-// characterisation of per-area substrate manufacturing.
+// Params is the serializable substrate characterisation, keyed by kind. It
+// is one section of the params.Set profile format; overlays merge per kind.
+type Params struct {
+	Kinds map[Kind]KindSpec `json:"kinds"`
+}
+
+// DefaultParams returns the calibrated characterisation.
+func DefaultParams() Params {
+	return Params{Kinds: map[Kind]KindSpec{
+		// Six coarse layers plus TSV processing.
+		Silicon: {DeriveNM: 28, MetalLayers: 6, TSVAdderKg: 0.18,
+			D0PerCM2: 0.065, Alpha: 6, Scale: 1.15},
+		// Bridges are small fine-pitch silicon with four layers, no TSVs.
+		Bridge: {DeriveNM: 28, MetalLayers: 4,
+			D0PerCM2: 0.065, Alpha: 6, Scale: 3},
+		// Polymer/Cu build-up: cheaper energy than silicon, more material
+		// mass; defects dominated by fine-line lithography over large
+		// panels.
+		RDL: {EPAKWhPerCM2: 0.40, GPAKgPerCM2: 0.08, MPAKgPerCM2: 0.12,
+			D0PerCM2: 0.055, Alpha: 5, Scale: 35},
+	}}
+}
+
+// tsvCalibrationCI is the grid intensity (kg CO₂/kWh, the Taiwan grid the
+// characterisation was built on) that converts the published TSV carbon
+// adder back into fab energy.
+const tsvCalibrationCI = 0.509
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Validate rejects unknown kinds and non-physical characterisations with
+// structured errors.
+func (p Params) Validate() error {
+	if len(p.Kinds) == 0 {
+		return fmt.Errorf("interposer: empty kind table")
+	}
+	for k, s := range p.Kinds {
+		switch k {
+		case RDL, Bridge, Silicon:
+		default:
+			return fmt.Errorf("interposer: unknown kind %q", k)
+		}
+		for _, f := range []float64{s.TSVAdderKg, s.EPAKWhPerCM2, s.GPAKgPerCM2,
+			s.MPAKgPerCM2, s.D0PerCM2, s.Alpha, s.Scale} {
+			if !finite(f) {
+				return fmt.Errorf("interposer: kind %q has a non-finite parameter", k)
+			}
+		}
+		if s.DeriveNM != 0 {
+			if s.MetalLayers < 1 {
+				return fmt.Errorf("interposer: kind %q derives from %d nm with %d metal layers",
+					k, s.DeriveNM, s.MetalLayers)
+			}
+			if s.TSVAdderKg < 0 {
+				return fmt.Errorf("interposer: kind %q negative TSV adder %v", k, s.TSVAdderKg)
+			}
+		} else if s.EPAKWhPerCM2 <= 0 || s.GPAKgPerCM2 < 0 || s.MPAKgPerCM2 < 0 {
+			return fmt.Errorf("interposer: kind %q invalid explicit footprint (EPA %v, GPA %v, MPA %v)",
+				k, s.EPAKWhPerCM2, s.GPAKgPerCM2, s.MPAKgPerCM2)
+		}
+		if s.D0PerCM2 < 0 || s.Alpha <= 0 {
+			return fmt.Errorf("interposer: kind %q invalid yield parameters D0=%v α=%v", k, s.D0PerCM2, s.Alpha)
+		}
+		if s.Scale < 1 {
+			return fmt.Errorf("interposer: kind %q scale %v below Table 2's minimum 1", k, s.Scale)
+		}
+	}
+	return nil
+}
+
+// char is the resolved per-area substrate characterisation.
 type char struct {
-	// epa/gpa/mpa per cm² (energy in kWh, carbon in kg), built from the
-	// 28 nm node's coarse-metal flow for silicon substrates and from
-	// build-up film lamination for RDLs.
-	epa float64
-	gpa float64
-	mpa float64
-	// d0/alpha parameterise the substrate yield (Eq. 15); large substrates
-	// naturally yield poorly, which drives the paper's "low substrate
-	// yields" InFO/Si-interposer result.
+	epa   float64 // kWh/cm²
+	gpa   float64 // kg/cm²
+	mpa   float64 // kg/cm²
 	d0    float64
 	alpha float64
 }
 
-// buildChar derives the silicon-substrate characterisation from the 28 nm
-// node entry: half a FEOL (no implant/poly loops, but TSV etch and fill) and
-// a given number of coarse metal layers.
-func siliconChar(metalLayers int, tsvAdderKg float64) char {
-	n := tech.MustForProcess(28)
-	l := float64(metalLayers)
-	return char{
-		epa:   0.5*n.EPAFEOL.KWhPerCM2() + l*n.EPAPerLayer.KWhPerCM2() + tsvAdderKg/0.509,
-		gpa:   0.5*n.GPAFEOL.KgPerCM2() + l*n.GPAPerLayer.KgPerCM2(),
-		mpa:   0.5*n.MPAFEOL.KgPerCM2() + l*n.MPAPerLayer.KgPerCM2(),
-		d0:    0.065,
-		alpha: 6,
-	}
+// DB is an instance of the substrate characterisation. Construct with NewDB
+// (or use Default); a DB is immutable and safe for concurrent use.
+type DB struct {
+	chars  map[Kind]char
+	scales map[Kind]float64
 }
 
-func characterise(k Kind) (char, error) {
-	switch k {
-	case Silicon:
-		// Six coarse layers plus TSV processing.
-		return siliconChar(6, 0.18), nil
-	case Bridge:
-		// Bridges are small fine-pitch silicon with four layers, no TSVs.
-		return siliconChar(4, 0), nil
-	case RDL:
-		// Polymer/Cu build-up: cheaper energy than silicon, more material
-		// mass; defects dominated by fine-line lithography over large
-		// panels.
-		return char{epa: 0.40, gpa: 0.08, mpa: 0.12, d0: 0.055, alpha: 5}, nil
+// NewDB validates the params and resolves each kind's characterisation
+// against the given technology database (nil means tech.Default()).
+func NewDB(p Params, techDB *tech.DB) (*DB, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
 	}
-	return char{}, fmt.Errorf("interposer: unknown kind %q", k)
+	if techDB == nil {
+		techDB = tech.Default()
+	}
+	db := &DB{
+		chars:  make(map[Kind]char, len(p.Kinds)),
+		scales: make(map[Kind]float64, len(p.Kinds)),
+	}
+	for k, s := range p.Kinds {
+		c := char{d0: s.D0PerCM2, alpha: s.Alpha}
+		if s.DeriveNM != 0 {
+			n, err := techDB.ForProcess(s.DeriveNM)
+			if err != nil {
+				return nil, fmt.Errorf("interposer: kind %q: %w", k, err)
+			}
+			l := float64(s.MetalLayers)
+			c.epa = 0.5*n.EPAFEOL.KWhPerCM2() + l*n.EPAPerLayer.KWhPerCM2() + s.TSVAdderKg/tsvCalibrationCI
+			c.gpa = 0.5*n.GPAFEOL.KgPerCM2() + l*n.GPAPerLayer.KgPerCM2()
+			c.mpa = 0.5*n.MPAFEOL.KgPerCM2() + l*n.MPAPerLayer.KgPerCM2()
+		} else {
+			c.epa, c.gpa, c.mpa = s.EPAKWhPerCM2, s.GPAKgPerCM2, s.MPAKgPerCM2
+		}
+		db.chars[k] = c
+		db.scales[k] = s.Scale
+	}
+	return db, nil
+}
+
+var defaultDB = mustNewDB(DefaultParams())
+
+func mustNewDB(p Params) *DB {
+	db, err := NewDB(p, nil)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Default returns the calibrated default characterisation.
+func Default() *DB { return defaultDB }
+
+// Scale returns the Eq. 13/14 scale factor s for a substrate kind.
+func (db *DB) Scale(k Kind) (float64, error) {
+	s, ok := db.scales[k]
+	if !ok {
+		return 0, fmt.Errorf("interposer: unknown kind %q", k)
+	}
+	return s, nil
+}
+
+func (db *DB) characterise(k Kind) (char, error) {
+	c, ok := db.chars[k]
+	if !ok {
+		return char{}, fmt.Errorf("interposer: unknown kind %q", k)
+	}
+	return c, nil
+}
+
+// DefaultScale returns the default Eq. 13/14 scale factor s for a substrate
+// kind (1 for unknown kinds, matching the historical behaviour).
+func DefaultScale(k Kind) float64 {
+	if s, err := defaultDB.Scale(k); err == nil {
+		return s
+	}
+	return 1
 }
 
 // Spec describes one substrate to manufacture.
@@ -117,19 +256,32 @@ type Spec struct {
 	DieAreas []units.Area
 	// Gap is D_gap, the die-to-die spacing (Table 2: 0.5–2 mm).
 	Gap units.Length
-	// Scale is s (Table 2: ≥1); zero selects DefaultScale(Kind).
+	// Scale is s (Table 2: ≥1); zero selects the characterisation's
+	// per-kind default.
 	Scale float64
 	// FabCI is the substrate fab's grid intensity.
 	FabCI units.CarbonIntensity
 	// WaferArea defaults to 300 mm.
 	WaferArea units.Area
+	// DB selects the substrate characterisation; nil means Default().
+	DB *DB
+}
+
+func (s Spec) db() *DB {
+	if s.DB != nil {
+		return s.DB
+	}
+	return defaultDB
 }
 
 func (s Spec) scale() float64 {
 	if s.Scale > 0 {
 		return s.Scale
 	}
-	return DefaultScale(s.Kind)
+	if v, err := s.db().Scale(s.Kind); err == nil {
+		return v
+	}
+	return 1
 }
 
 func (s Spec) wafer() units.Area {
@@ -140,7 +292,7 @@ func (s Spec) wafer() units.Area {
 }
 
 func (s Spec) validate() error {
-	if _, err := characterise(s.Kind); err != nil {
+	if _, err := s.db().characterise(s.Kind); err != nil {
 		return err
 	}
 	if len(s.DieAreas) < 2 {
@@ -188,7 +340,7 @@ func (s Spec) Area() (units.Area, error) {
 // CarbonPerArea returns the substrate's manufacturing carbon per cm² on the
 // given fab grid.
 func (s Spec) CarbonPerArea() (units.CarbonPerArea, error) {
-	ch, err := characterise(s.Kind)
+	ch, err := s.db().characterise(s.Kind)
 	if err != nil {
 		return 0, err
 	}
@@ -201,7 +353,7 @@ func (s Spec) IntrinsicYield() (float64, error) {
 	if err := s.validate(); err != nil {
 		return 0, err
 	}
-	ch, _ := characterise(s.Kind)
+	ch, _ := s.db().characterise(s.Kind)
 	a, err := s.Area()
 	if err != nil {
 		return 0, err

@@ -14,36 +14,118 @@
 // paper's published Fig. 4 relations hold (LCA above the analytical models
 // for EPYC; the 2D-adjusted 3D-Carbon within ≈4.4 % of LCA). See
 // EXPERIMENTS.md.
+//
+// The anchors are instance-based: a DB is built from a serializable Params
+// value, so scenario profiles can substitute a different LCA calibration.
+// The package-level functions remain as conveniences over the default DB.
 package lca
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/units"
 )
 
-// siliconKgPerCM2 is the GaBi-style whole-flow silicon factor by node.
-// Coverage deliberately stops at 14 nm.
-var siliconKgPerCM2 = map[int]float64{
-	28: 0.85,
-	22: 0.92,
-	16: 1.05,
-	14: 1.10,
+// Params is the serializable LCA calibration: the per-node silicon factors,
+// the flat line yield, the package-area factor and the coverage cutoff.
+type Params struct {
+	// SiliconKgPerCM2 is the GaBi-style whole-flow silicon factor by node
+	// (kg CO₂/cm²). Coverage deliberately stops at the least advanced nodes
+	// real LCA databases price.
+	SiliconKgPerCM2 map[int]float64 `json:"silicon_kg_per_cm2"`
+	// LineYield is the flat production yield GaBi-style LCAs assume.
+	LineYield float64 `json:"line_yield"`
+	// PackageKgPerCM2 is the package-area factor (substrate, assembly, lid
+	// and board attach — LCA databases price the whole packaged part, which
+	// is why their package share is far above a bare-substrate estimate).
+	PackageKgPerCM2 float64 `json:"package_kg_per_cm2"`
+	// MinCoveredNM is the most advanced node the LCA covers: anything more
+	// advanced substitutes this node (the Lakefield underestimation
+	// mechanism).
+	MinCoveredNM int `json:"min_covered_nm"`
 }
 
-// LineYield is the flat production yield GaBi-style LCAs assume.
-const LineYield = 0.90
+// DefaultParams returns the calibrated GaBi-style anchors.
+func DefaultParams() Params {
+	return Params{
+		SiliconKgPerCM2: map[int]float64{
+			28: 0.85,
+			22: 0.92,
+			16: 1.05,
+			14: 1.10,
+		},
+		LineYield:       0.90,
+		PackageKgPerCM2: 0.372,
+		MinCoveredNM:    14,
+	}
+}
 
-// PackageKgPerCM2 is the package-area factor (substrate, assembly, lid and
-// board attach — LCA databases price the whole packaged part, which is why
-// their package share is far above a bare-substrate estimate).
-const PackageKgPerCM2 = 0.372
+// Validate rejects non-finite or out-of-range calibration values.
+func (p Params) Validate() error {
+	if len(p.SiliconKgPerCM2) == 0 {
+		return fmt.Errorf("lca: empty silicon factor table")
+	}
+	for nm, v := range p.SiliconKgPerCM2 {
+		if nm <= 0 {
+			return fmt.Errorf("lca: non-positive node %d nm", nm)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return fmt.Errorf("lca: node %d nm silicon factor %v invalid", nm, v)
+		}
+	}
+	if math.IsNaN(p.LineYield) || p.LineYield <= 0 || p.LineYield > 1 {
+		return fmt.Errorf("lca: line yield %v outside (0,1]", p.LineYield)
+	}
+	if math.IsNaN(p.PackageKgPerCM2) || math.IsInf(p.PackageKgPerCM2, 0) || p.PackageKgPerCM2 <= 0 {
+		return fmt.Errorf("lca: package factor %v invalid", p.PackageKgPerCM2)
+	}
+	if _, ok := p.SiliconKgPerCM2[p.MinCoveredNM]; !ok {
+		return fmt.Errorf("lca: coverage cutoff %d nm has no silicon factor", p.MinCoveredNM)
+	}
+	return nil
+}
 
-// CoveredNode maps a process to the node GaBi actually prices: anything
-// more advanced than 14 nm substitutes 14 nm.
-func CoveredNode(nm int) int {
-	if nm < 14 {
-		return 14
+// Backward-compatible names for the default calibration.
+const (
+	// LineYield is the flat production yield GaBi-style LCAs assume.
+	LineYield = 0.90
+	// PackageKgPerCM2 is the default package-area factor.
+	PackageKgPerCM2 = 0.372
+)
+
+// DB is an instance of the LCA baseline. Construct with NewDB (or use
+// Default); a DB is immutable and safe for concurrent use.
+type DB struct {
+	p Params
+}
+
+// NewDB validates the params and builds an LCA instance.
+func NewDB(p Params) (*DB, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &DB{p: p}, nil
+}
+
+var defaultDB = mustNewDB(DefaultParams())
+
+func mustNewDB(p Params) *DB {
+	db, err := NewDB(p)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Default returns the calibrated default LCA baseline.
+func Default() *DB { return defaultDB }
+
+// CoveredNode maps a process to the node this LCA actually prices: anything
+// more advanced than the coverage cutoff substitutes the cutoff node.
+func (db *DB) CoveredNode(nm int) int {
+	if nm < db.p.MinCoveredNM {
+		return db.p.MinCoveredNM
 	}
 	return nm
 }
@@ -66,7 +148,7 @@ type Report struct {
 
 // Product prices a product: silicon per die (with node substitution and
 // flat yield) plus package area.
-func Product(dies []DieSpec, packageArea units.Area) (*Report, error) {
+func (db *DB) Product(dies []DieSpec, packageArea units.Area) (*Report, error) {
 	if len(dies) == 0 {
 		return nil, fmt.Errorf("lca: no dies")
 	}
@@ -78,17 +160,25 @@ func Product(dies []DieSpec, packageArea units.Area) (*Report, error) {
 		if d.Area <= 0 {
 			return nil, fmt.Errorf("lca: die %d has non-positive area", i+1)
 		}
-		node := CoveredNode(d.ProcessNM)
+		node := db.CoveredNode(d.ProcessNM)
 		if node != d.ProcessNM {
 			rep.Substituted = true
 		}
-		f, ok := siliconKgPerCM2[node]
+		f, ok := db.p.SiliconKgPerCM2[node]
 		if !ok {
 			return nil, fmt.Errorf("lca: no GaBi coverage for %d nm", node)
 		}
-		rep.Silicon += units.KilogramsCO2(f * d.Area.CM2() / LineYield)
+		rep.Silicon += units.KilogramsCO2(f * d.Area.CM2() / db.p.LineYield)
 	}
-	rep.Package = units.KilogramsCO2(PackageKgPerCM2 * packageArea.CM2())
+	rep.Package = units.KilogramsCO2(db.p.PackageKgPerCM2 * packageArea.CM2())
 	rep.Total = rep.Silicon + rep.Package
 	return rep, nil
+}
+
+// CoveredNode maps a process onto the default LCA's covered node.
+func CoveredNode(nm int) int { return defaultDB.CoveredNode(nm) }
+
+// Product prices a product with the default LCA calibration.
+func Product(dies []DieSpec, packageArea units.Area) (*Report, error) {
+	return defaultDB.Product(dies, packageArea)
 }

@@ -7,6 +7,9 @@ import (
 	"repro/internal/units"
 )
 
+// siliconKgPerCM2 mirrors the default calibration for the value checks.
+var siliconKgPerCM2 = DefaultParams().SiliconKgPerCM2
+
 func TestCoveredNode(t *testing.T) {
 	cases := []struct{ in, want int }{
 		{7, 14}, {5, 14}, {3, 14}, {10, 14}, {12, 14}, {14, 14}, {16, 16}, {28, 28},

@@ -7,18 +7,24 @@
 // (the paper's [12]) with a per-technology scale factor s_package ≥ 1
 // applied to the largest die footprint for 3D stacks and to the total die
 // area for 2.5D assemblies.
+//
+// The characterisation is instance-based: a DB is built from a serializable
+// Params value, so scenario profiles can override package-area models or
+// CPA factors per integration technology. The package-level functions
+// remain as conveniences over the default DB.
 package packaging
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/geom"
 	"repro/internal/ic"
 	"repro/internal/units"
 )
 
-// Params is the packaging characterisation for one integration technology.
-type Params struct {
+// Tech is the packaging characterisation for one integration technology.
+type Tech struct {
 	// Model is the linear package-area model (Eq. 12's empirical part).
 	Model geom.PackageModel
 	// CPA is the packaging carbon per package area — substrate lamination,
@@ -27,26 +33,102 @@ type Params struct {
 	CPA units.CarbonPerArea
 }
 
-// table: organic flip-chip packages share a CPA; multi-die organic (MCM)
-// routing needs a bigger substrate (larger scale); fan-out InFO replaces
-// much of the substrate with the RDL (smaller scale and CPA); 3D stacks
-// package only the stack footprint.
-var table = map[ic.Integration]Params{
-	ic.Mono2D:       {Model: geom.PackageModel{Scale: 4.0, Fixed: units.SquareMillimeters(100)}, CPA: units.KgPerCM2(0.125)},
-	ic.MCM:          {Model: geom.PackageModel{Scale: 3.7, Fixed: units.SquareMillimeters(150)}, CPA: units.KgPerCM2(0.125)},
-	ic.InFO:         {Model: geom.PackageModel{Scale: 3.0, Fixed: units.SquareMillimeters(80)}, CPA: units.KgPerCM2(0.105)},
-	ic.EMIB:         {Model: geom.PackageModel{Scale: 4.1, Fixed: units.SquareMillimeters(120)}, CPA: units.KgPerCM2(0.130)},
-	ic.SiInterposer: {Model: geom.PackageModel{Scale: 4.0, Fixed: units.SquareMillimeters(120)}, CPA: units.KgPerCM2(0.125)},
-	ic.MicroBump3D:  {Model: geom.PackageModel{Scale: 4.0, Fixed: units.SquareMillimeters(100)}, CPA: units.KgPerCM2(0.125)},
-	ic.Hybrid3D:     {Model: geom.PackageModel{Scale: 4.0, Fixed: units.SquareMillimeters(100)}, CPA: units.KgPerCM2(0.125)},
-	ic.Monolithic3D: {Model: geom.PackageModel{Scale: 4.0, Fixed: units.SquareMillimeters(100)}, CPA: units.KgPerCM2(0.125)},
+// TechSpec is the serializable form of one technology's characterisation.
+type TechSpec struct {
+	// Scale and FixedMM2 are the linear package-area model A_pkg =
+	// scale · basis + fixed.
+	Scale    float64 `json:"scale"`
+	FixedMM2 float64 `json:"fixed_mm2"`
+	// CPAKgPerCM2 is the packaging carbon per package area.
+	CPAKgPerCM2 float64 `json:"cpa_kg_per_cm2"`
 }
 
+// Params is the serializable packaging characterisation, keyed by
+// integration technology. It is one section of the params.Set profile
+// format; overlays merge per technology.
+type Params struct {
+	Technologies map[ic.Integration]TechSpec `json:"technologies"`
+}
+
+// DefaultParams returns the calibrated table: organic flip-chip packages
+// share a CPA; multi-die organic (MCM) routing needs a bigger substrate
+// (larger scale); fan-out InFO replaces much of the substrate with the RDL
+// (smaller scale and CPA); 3D stacks package only the stack footprint.
+func DefaultParams() Params {
+	return Params{Technologies: map[ic.Integration]TechSpec{
+		ic.Mono2D:       {Scale: 4.0, FixedMM2: 100, CPAKgPerCM2: 0.125},
+		ic.MCM:          {Scale: 3.7, FixedMM2: 150, CPAKgPerCM2: 0.125},
+		ic.InFO:         {Scale: 3.0, FixedMM2: 80, CPAKgPerCM2: 0.105},
+		ic.EMIB:         {Scale: 4.1, FixedMM2: 120, CPAKgPerCM2: 0.130},
+		ic.SiInterposer: {Scale: 4.0, FixedMM2: 120, CPAKgPerCM2: 0.125},
+		ic.MicroBump3D:  {Scale: 4.0, FixedMM2: 100, CPAKgPerCM2: 0.125},
+		ic.Hybrid3D:     {Scale: 4.0, FixedMM2: 100, CPAKgPerCM2: 0.125},
+		ic.Monolithic3D: {Scale: 4.0, FixedMM2: 100, CPAKgPerCM2: 0.125},
+	}}
+}
+
+// Validate rejects unknown technologies and non-physical coefficients with
+// structured errors.
+func (p Params) Validate() error {
+	if len(p.Technologies) == 0 {
+		return fmt.Errorf("packaging: empty technology table")
+	}
+	for integ, s := range p.Technologies {
+		if !integ.Valid() {
+			return fmt.Errorf("packaging: unknown integration %q", integ)
+		}
+		if math.IsNaN(s.Scale) || math.IsInf(s.Scale, 0) || s.Scale < 1 {
+			return fmt.Errorf("packaging: %s scale %v below the Eq. 12 minimum 1", integ, s.Scale)
+		}
+		if math.IsNaN(s.FixedMM2) || math.IsInf(s.FixedMM2, 0) || s.FixedMM2 < 0 {
+			return fmt.Errorf("packaging: %s fixed area %v mm² negative", integ, s.FixedMM2)
+		}
+		if math.IsNaN(s.CPAKgPerCM2) || math.IsInf(s.CPAKgPerCM2, 0) || s.CPAKgPerCM2 <= 0 {
+			return fmt.Errorf("packaging: %s CPA %v kg/cm² invalid", integ, s.CPAKgPerCM2)
+		}
+	}
+	return nil
+}
+
+// DB is an instance of the packaging characterisation. Construct with NewDB
+// (or use Default); a DB is immutable and safe for concurrent use.
+type DB struct {
+	table map[ic.Integration]Tech
+}
+
+// NewDB validates the params and builds a characterisation instance.
+func NewDB(p Params) (*DB, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	db := &DB{table: make(map[ic.Integration]Tech, len(p.Technologies))}
+	for integ, s := range p.Technologies {
+		db.table[integ] = Tech{
+			Model: geom.PackageModel{Scale: s.Scale, Fixed: units.SquareMillimeters(s.FixedMM2)},
+			CPA:   units.KgPerCM2(s.CPAKgPerCM2),
+		}
+	}
+	return db, nil
+}
+
+var defaultDB = mustNewDB(DefaultParams())
+
+func mustNewDB(p Params) *DB {
+	db, err := NewDB(p)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Default returns the calibrated default characterisation.
+func Default() *DB { return defaultDB }
+
 // For returns the packaging characterisation for an integration technology.
-func For(i ic.Integration) (Params, error) {
-	p, ok := table[i]
+func (db *DB) For(i ic.Integration) (Tech, error) {
+	p, ok := db.table[i]
 	if !ok {
-		return Params{}, fmt.Errorf("packaging: no characterisation for %q", i)
+		return Tech{}, fmt.Errorf("packaging: no characterisation for %q", i)
 	}
 	return p, nil
 }
@@ -73,8 +155,8 @@ func Basis(i ic.Integration, f geom.Floorplan) (units.Area, error) {
 }
 
 // Area evaluates the package footprint for a design.
-func Area(i ic.Integration, f geom.Floorplan) (units.Area, error) {
-	p, err := For(i)
+func (db *DB) Area(i ic.Integration, f geom.Floorplan) (units.Area, error) {
+	p, err := db.For(i)
 	if err != nil {
 		return 0, err
 	}
@@ -86,14 +168,27 @@ func Area(i ic.Integration, f geom.Floorplan) (units.Area, error) {
 }
 
 // Carbon evaluates Eq. 12 for a design.
-func Carbon(i ic.Integration, f geom.Floorplan) (units.Carbon, error) {
-	p, err := For(i)
+func (db *DB) Carbon(i ic.Integration, f geom.Floorplan) (units.Carbon, error) {
+	p, err := db.For(i)
 	if err != nil {
 		return 0, err
 	}
-	a, err := Area(i, f)
+	a, err := db.Area(i, f)
 	if err != nil {
 		return 0, err
 	}
 	return p.CPA.Over(a), nil
+}
+
+// For returns the default characterisation for an integration technology.
+func For(i ic.Integration) (Tech, error) { return defaultDB.For(i) }
+
+// Area evaluates the default package footprint for a design.
+func Area(i ic.Integration, f geom.Floorplan) (units.Area, error) {
+	return defaultDB.Area(i, f)
+}
+
+// Carbon evaluates Eq. 12 with the default characterisation.
+func Carbon(i ic.Integration, f geom.Floorplan) (units.Carbon, error) {
+	return defaultDB.Carbon(i, f)
 }

@@ -1,0 +1,85 @@
+package params
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzOverlay hammers the profile overlay parser: whatever bytes arrive,
+// Overlay must either return a validated Set or a structured error — never
+// panic, and never hand back a set that fails its own validation (the
+// property the HTTP inline-params path and the CLI -params flag rely on).
+func FuzzOverlay(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"version":"x"}`,
+		`{"grid":{"intensities":{"taiwan":100}}}`,
+		`{"grid":{"intensities":{"taiwan":null}}}`,
+		`{"tech":{"nodes":{"7":{"d0_per_cm2":0.09}}}}`,
+		`{"tech":{"nodes":{"7":null}}}`,
+		`{"bonding":{"processes":{"hybrid/d2w":{"yield":0.99}}}}`,
+		`{"bonding":{"processes":{"bogus":{"yield":0.99}}}}`,
+		`{"packaging":{"technologies":{"2D":{"scale":4,"fixed_mm2":10,"cpa_kg_per_cm2":0.1}}}}`,
+		`{"interposer":{"kinds":{"rdl":{"epa_kwh_per_cm2":0.5}}}}`,
+		`{"bandwidth":{"interfaces":{"emib":{"data_rate_gbps":5}}}}`,
+		`{"power":{"io_kappa":2,"wire_savings":{"m3d":0.2}}}`,
+		`{"beol":{"utilization":0.3}}`,
+		`{"area":{"tsv_keepout":1.5}}`,
+		`{"assembly":{"shared_beol_layers":1}}`,
+		`{"grid":{"intensities":{"taiwan":-1}}}`,
+		`{"grid":{"intensities":{"taiwan":1e308}}}`,
+		`{"grid":{"intensities":{"taiwan":"hot"}}}`,
+		`{"unknown_section":{}}`,
+		`{"tech":{"nodes":{"not-a-number":{}}}}`,
+		`[1,2,3]`,
+		`"just a string"`,
+		`null`,
+		`{`,
+		`{}{}`,
+		`{"version":4}`,
+		`{"grid":[]}`,
+		`{"grid":{"intensities":[]}}`,
+		`{"assembly":{"seq_defect_multiplier":1e999}}`,
+		`{"lca":{"min_covered_nm":3}}`,
+		`{"lca":{"silicon_kg_per_cm2":{"14":null}}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, patch []byte) {
+		s, err := Overlay(Default(), patch)
+		if err != nil {
+			if s != nil {
+				t.Fatalf("Overlay returned both a set and error %v", err)
+			}
+			return
+		}
+		// An accepted overlay must be a fully valid, fingerprintable set.
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Overlay accepted an invalid set: %v (patch %q)", err, patch)
+		}
+		if _, err := s.Fingerprint(); err != nil {
+			t.Fatalf("accepted set does not fingerprint: %v", err)
+		}
+	})
+}
+
+// FuzzParse covers the whole-file path (what params.Load feeds): the same
+// no-panic, no-invalid-set property over arbitrary profile documents,
+// including a full serialized baseline as seed.
+func FuzzParse(f *testing.F) {
+	full, err := Default().Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(full)
+	f.Add([]byte(strings.Replace(string(full), "509", "-509", 1)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err == nil {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("Parse accepted an invalid set: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,219 @@
+// Package params defines the ParameterSet: one serializable, versioned
+// value that owns every calibrated constant of the 3D-Carbon model — grid
+// carbon intensities, per-node fab footprints and yield parameters, bonding
+// and packaging characterisations, interposer flows, interface catalogue,
+// operational constants and assembly knobs.
+//
+// A Set is the unit of model provenance: core.New builds a model from one,
+// core.Default() builds the paper-calibrated baseline (byte-identical to
+// the historical hardcoded tables), and scenario profiles are JSON
+// *overlays* — RFC 7386 merge patches against the baseline — so a "2030
+// decarbonized grid" or "optimistic yield" study is a small JSON file, not
+// a recompile (see profiles/ and docs/PARAMETERS.md).
+//
+// Every Set has a stable 128-bit Fingerprint over its canonical JSON
+// encoding. The fingerprint is threaded through the whole stack: the
+// exploration engine mixes it into memoization keys (two profiles never
+// share cache entries), the HTTP service keys its per-profile model cache
+// on it, and /v1/meta reports the active baseline's fingerprint.
+package params
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/area"
+	"repro/internal/bandwidth"
+	"repro/internal/beol"
+	"repro/internal/bonding"
+	"repro/internal/grid"
+	"repro/internal/interposer"
+	"repro/internal/lca"
+	"repro/internal/packaging"
+	"repro/internal/power"
+	"repro/internal/tech"
+)
+
+// Assembly bundles the stack-assembly knobs that live on core.Model itself
+// (monolithic-3D sequential manufacturing, MCM substrate yield, shared
+// BEOL layers).
+type Assembly struct {
+	// SeqFEOLPremium is the fractional FEOL cost of each additional
+	// sequential M3D tier.
+	SeqFEOLPremium float64 `json:"seq_feol_premium"`
+	// SeqILDShare is the inter-layer-dielectric cost per extra tier as a
+	// fraction of the FEOL footprint cost.
+	SeqILDShare float64 `json:"seq_ild_share"`
+	// SeqDefectMultiplier scales the node defect density per extra tier.
+	SeqDefectMultiplier float64 `json:"seq_defect_multiplier"`
+	// MCMSubstrateYield is the organic-substrate yield for MCM assemblies.
+	MCMSubstrateYield float64 `json:"mcm_substrate_yield"`
+	// SharedBEOLLayers is the per-die metal-layer reduction for F2F hybrid
+	// bonding and M3D (Kim et al. DAC'21).
+	SharedBEOLLayers int `json:"shared_beol_layers"`
+}
+
+// Validate rejects non-finite or out-of-range assembly knobs.
+func (a Assembly) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"seq_feol_premium", a.SeqFEOLPremium},
+		{"seq_ild_share", a.SeqILDShare},
+		{"seq_defect_multiplier", a.SeqDefectMultiplier},
+		{"mcm_substrate_yield", a.MCMSubstrateYield},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("assembly: %s is non-finite", f.name)
+		}
+	}
+	if a.SeqFEOLPremium < 0 || a.SeqFEOLPremium > 1 {
+		return fmt.Errorf("assembly: seq_feol_premium %v outside [0,1]", a.SeqFEOLPremium)
+	}
+	if a.SeqILDShare < 0 || a.SeqILDShare > 1 {
+		return fmt.Errorf("assembly: seq_ild_share %v outside [0,1]", a.SeqILDShare)
+	}
+	if a.SeqDefectMultiplier < 1 || a.SeqDefectMultiplier > 10 {
+		return fmt.Errorf("assembly: seq_defect_multiplier %v outside [1,10]", a.SeqDefectMultiplier)
+	}
+	if a.MCMSubstrateYield <= 0 || a.MCMSubstrateYield > 1 {
+		return fmt.Errorf("assembly: mcm_substrate_yield %v outside (0,1]", a.MCMSubstrateYield)
+	}
+	if a.SharedBEOLLayers < 0 || a.SharedBEOLLayers > 8 {
+		return fmt.Errorf("assembly: shared_beol_layers %d outside [0,8]", a.SharedBEOLLayers)
+	}
+	return nil
+}
+
+// Set is the complete, serializable parameterisation of the 3D-Carbon
+// model. Zero values are not usable; start from Default() and overlay.
+type Set struct {
+	// Version labels the parameter provenance ("baseline-v1" for the
+	// paper-calibrated defaults; profiles set their own).
+	Version string `json:"version"`
+	// Notes is free-form provenance documentation.
+	Notes string `json:"notes,omitempty"`
+
+	Grid       grid.Params       `json:"grid"`
+	Tech       tech.Params       `json:"tech"`
+	LCA        lca.Params        `json:"lca"`
+	Bonding    bonding.Params    `json:"bonding"`
+	Packaging  packaging.Params  `json:"packaging"`
+	Interposer interposer.Params `json:"interposer"`
+	Bandwidth  bandwidth.Params  `json:"bandwidth"`
+	Power      power.Params      `json:"power"`
+	BEOL       beol.Params       `json:"beol"`
+	Area       area.Params       `json:"area"`
+	Assembly   Assembly          `json:"assembly"`
+}
+
+// BaselineVersion is the Version of the paper-calibrated Default set.
+const BaselineVersion = "baseline-v1"
+
+// Default returns the paper-calibrated baseline: the exact tables the model
+// historically hardcoded, so core.New(params.Default()) is byte-identical
+// to the pre-ParameterSet model.
+func Default() *Set {
+	return &Set{
+		Version:    BaselineVersion,
+		Grid:       grid.DefaultParams(),
+		Tech:       tech.DefaultParams(),
+		LCA:        lca.DefaultParams(),
+		Bonding:    bonding.DefaultParams(),
+		Packaging:  packaging.DefaultParams(),
+		Interposer: interposer.DefaultParams(),
+		Bandwidth:  bandwidth.DefaultParams(),
+		Power:      power.DefaultParams(),
+		BEOL:       beol.DefaultParams(),
+		Area:       area.DefaultParams(),
+		Assembly: Assembly{
+			SeqFEOLPremium:      0.05,
+			SeqILDShare:         0.03,
+			SeqDefectMultiplier: 1.15,
+			MCMSubstrateYield:   0.995,
+			SharedBEOLLayers:    2,
+		},
+	}
+}
+
+// Validate checks every section, wrapping each package's structured errors
+// with the section name.
+func (s *Set) Validate() error {
+	if s == nil {
+		return fmt.Errorf("params: nil set")
+	}
+	if s.Version == "" {
+		return fmt.Errorf("params: empty version")
+	}
+	for _, sec := range []struct {
+		name string
+		err  error
+	}{
+		{"grid", s.Grid.Validate()},
+		{"tech", s.Tech.Validate()},
+		{"lca", s.LCA.Validate()},
+		{"bonding", s.Bonding.Validate()},
+		{"packaging", s.Packaging.Validate()},
+		{"interposer", s.Interposer.Validate()},
+		{"bandwidth", s.Bandwidth.Validate()},
+		{"power", s.Power.Validate()},
+		{"beol", s.BEOL.Validate()},
+		{"area", s.Area.Validate()},
+		{"assembly", s.Assembly.Validate()},
+	} {
+		if sec.err != nil {
+			return fmt.Errorf("params: %s: %w", sec.name, sec.err)
+		}
+	}
+	return nil
+}
+
+// Marshal returns the indented JSON encoding of the set — the profile file
+// format (a full profile is also a valid overlay).
+func (s *Set) Marshal() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// canonical returns the compact JSON encoding used for fingerprinting.
+// encoding/json sorts map keys, so the encoding is deterministic for a
+// given Set value.
+func (s *Set) canonical() ([]byte, error) { return json.Marshal(s) }
+
+// Fingerprint is a stable 128-bit digest of a Set's canonical encoding.
+type Fingerprint [16]byte
+
+// String renders the fingerprint as 32 hex digits.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// IsZero reports whether the fingerprint is unset.
+func (f Fingerprint) IsZero() bool { return f == Fingerprint{} }
+
+// Words splits the fingerprint into two 64-bit words (big-endian halves)
+// for mixing into hash states.
+func (f Fingerprint) Words() (hi, lo uint64) {
+	for i := 0; i < 8; i++ {
+		hi = hi<<8 | uint64(f[i])
+		lo = lo<<8 | uint64(f[8+i])
+	}
+	return hi, lo
+}
+
+// Fingerprint digests the set's canonical JSON with FNV-1a 128. Two sets
+// with equal fingerprints are the same parameterisation for caching
+// purposes; distinct profiles get distinct fingerprints (modulo 2^-128
+// collisions, far below hardware fault rates).
+func (s *Set) Fingerprint() (Fingerprint, error) {
+	data, err := s.canonical()
+	if err != nil {
+		return Fingerprint{}, fmt.Errorf("params: fingerprint: %w", err)
+	}
+	h := fnv.New128a()
+	_, _ = h.Write(data)
+	var f Fingerprint
+	h.Sum(f[:0])
+	return f, nil
+}

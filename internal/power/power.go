@@ -15,10 +15,16 @@
 // dies and request+response traffic. Eq. 17's pitch-count form
 // (P_per_pitch · L_edge · D_pitch · N_BEOL) is provided as PitchCountIO for
 // sensitivity studies.
+//
+// The operational constants (κ, the per-technology wire-saving fractions)
+// are instance-based: a DB is built from a serializable Params value against
+// an interface catalogue, so scenario profiles can override them. The
+// package-level functions remain as conveniences over the default DB.
 package power
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/bandwidth"
 	"repro/internal/ic"
@@ -52,6 +58,89 @@ func (SurveyedEfficiency) DiePower(th units.Throughput, eff units.Efficiency) (u
 // circuits on both sides of the link, for both traffic directions.
 const DefaultIOKappa = 4.0
 
+// Params is the serializable operational-power characterisation. It is one
+// section of the params.Set profile format; WireSavings overlays merge per
+// technology.
+type Params struct {
+	// IOKappa is the utilized-bandwidth I/O power multiplier.
+	IOKappa float64 `json:"io_kappa"`
+	// WireSavings is the fractional die-power saving from shortened
+	// interconnect per 3D technology (the paper's "operational carbon
+	// benefits from shorter interconnect lengths"). Values follow the PPA
+	// studies the paper cites (Kim et al. DAC'21): monolithic 3D saves the
+	// most, hybrid bonding a solid fraction, micro-bumping almost nothing
+	// (coarse bumps barely shorten global nets). 2D and 2.5D see no saving.
+	WireSavings map[ic.Integration]float64 `json:"wire_savings"`
+}
+
+// DefaultParams returns the calibrated operational constants.
+func DefaultParams() Params {
+	return Params{
+		IOKappa: DefaultIOKappa,
+		WireSavings: map[ic.Integration]float64{
+			ic.Monolithic3D: 0.14,
+			ic.Hybrid3D:     0.06,
+			ic.MicroBump3D:  0.005,
+		},
+	}
+}
+
+// Validate rejects non-finite or out-of-range operational constants.
+func (p Params) Validate() error {
+	if math.IsNaN(p.IOKappa) || math.IsInf(p.IOKappa, 0) || p.IOKappa <= 0 {
+		return fmt.Errorf("power: I/O kappa %v invalid", p.IOKappa)
+	}
+	for integ, v := range p.WireSavings {
+		if !integ.Valid() {
+			return fmt.Errorf("power: wire saving for unknown technology %q", integ)
+		}
+		if math.IsNaN(v) || v < 0 || v >= 1 {
+			return fmt.Errorf("power: %s wire saving %v outside [0,1)", integ, v)
+		}
+	}
+	return nil
+}
+
+// DB is an instance of the operational-power characterisation, resolved
+// against an interface catalogue. Construct with NewDB (or use Default); a
+// DB is immutable and safe for concurrent use.
+type DB struct {
+	p  Params
+	bw *bandwidth.DB
+}
+
+// NewDB validates the params and binds them to the given interface
+// catalogue (nil means bandwidth.Default()).
+func NewDB(p Params, bw *bandwidth.DB) (*DB, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if bw == nil {
+		bw = bandwidth.Default()
+	}
+	return &DB{p: p, bw: bw}, nil
+}
+
+var defaultDB = mustNewDB(DefaultParams())
+
+func mustNewDB(p Params) *DB {
+	db, err := NewDB(p, nil)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Default returns the calibrated default characterisation.
+func Default() *DB { return defaultDB }
+
+// IOKappa returns the configured utilized-bandwidth multiplier.
+func (db *DB) IOKappa() float64 { return db.p.IOKappa }
+
+// WireSaving returns the fractional die-power saving for a technology
+// (0 for technologies without a configured saving).
+func (db *DB) WireSaving(i ic.Integration) float64 { return db.p.WireSavings[i] }
+
 // NeedsIOPower reports whether §3.3 charges interface power to a
 // technology: "For 2.5D ICs and Micro-bumping 3D ICs, the I/O power should
 // be included."
@@ -61,7 +150,7 @@ func NeedsIOPower(i ic.Integration) bool {
 
 // InterfacePower prices the utilized die-to-die bandwidth of a design:
 // P_IO = κ · E_bit · BW_used.
-func InterfacePower(i ic.Integration, used units.Bandwidth, kappa float64) (units.Power, error) {
+func (db *DB) InterfacePower(i ic.Integration, used units.Bandwidth, kappa float64) (units.Power, error) {
 	if !NeedsIOPower(i) {
 		return 0, nil
 	}
@@ -71,7 +160,7 @@ func InterfacePower(i ic.Integration, used units.Bandwidth, kappa float64) (unit
 	if kappa <= 0 {
 		return 0, fmt.Errorf("power: non-positive kappa %v", kappa)
 	}
-	spec, err := bandwidth.SpecFor(i)
+	spec, err := db.bw.SpecFor(i)
 	if err != nil {
 		return 0, err
 	}
@@ -83,7 +172,7 @@ func InterfacePower(i ic.Integration, used units.Bandwidth, kappa float64) (unit
 // one interface pitch (E_bit · data-rate). It prices the provisioned
 // interface rather than its utilization and therefore upper-bounds
 // InterfacePower.
-func PitchCountIO(i ic.Integration, edge units.Length, nBEOL int) (units.Power, error) {
+func (db *DB) PitchCountIO(i ic.Integration, edge units.Length, nBEOL int) (units.Power, error) {
 	if !NeedsIOPower(i) {
 		return 0, nil
 	}
@@ -93,7 +182,7 @@ func PitchCountIO(i ic.Integration, edge units.Length, nBEOL int) (units.Power, 
 	if nBEOL < 1 {
 		return 0, fmt.Errorf("power: BEOL layer count %d below 1", nBEOL)
 	}
-	spec, err := bandwidth.SpecFor(i)
+	spec, err := db.bw.SpecFor(i)
 	if err != nil {
 		return 0, err
 	}
@@ -108,23 +197,20 @@ func PitchCountIO(i ic.Integration, edge units.Length, nBEOL int) (units.Power, 
 	return units.Watts(nPitch * perPitch.W()), nil
 }
 
-// WireSaving returns the fractional die-power saving from shortened
-// interconnect for 3D technologies (the paper's "operational carbon
-// benefits from shorter interconnect lengths"). Values follow the PPA
-// studies the paper cites (Kim et al. DAC'21): monolithic 3D saves the
-// most, hybrid bonding a solid fraction, micro-bumping almost nothing
-// (coarse bumps barely shorten global nets). 2D and 2.5D see no saving.
-func WireSaving(i ic.Integration) float64 {
-	switch i {
-	case ic.Monolithic3D:
-		return 0.14
-	case ic.Hybrid3D:
-		return 0.06
-	case ic.MicroBump3D:
-		return 0.005
-	}
-	return 0
+// InterfacePower prices utilized bandwidth with the default catalogue.
+func InterfacePower(i ic.Integration, used units.Bandwidth, kappa float64) (units.Power, error) {
+	return defaultDB.InterfacePower(i, used, kappa)
 }
+
+// PitchCountIO evaluates Eq. 17's pitch-count form with the default
+// catalogue.
+func PitchCountIO(i ic.Integration, edge units.Length, nBEOL int) (units.Power, error) {
+	return defaultDB.PitchCountIO(i, edge, nBEOL)
+}
+
+// WireSaving returns the default characterisation's fractional die-power
+// saving for a technology.
+func WireSaving(i ic.Integration) float64 { return defaultDB.WireSaving(i) }
 
 // Operational evaluates Eq. 16 for one application phase: carbon from
 // drawing p for duration t on the use grid.

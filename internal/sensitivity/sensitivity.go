@@ -71,17 +71,33 @@ func (s Swing) Relative() float64 {
 	return s.Magnitude() / b
 }
 
-// Tornado runs the analysis: the metric at the default model, then at each
-// parameter's low and high bound, returning swings sorted by magnitude
-// (largest first — the tornado ordering).
+// Tornado runs the analysis against the calibrated default model: the
+// metric at the default, then at each parameter's low and high bound,
+// returning swings sorted by magnitude (largest first — the tornado
+// ordering).
 func Tornado(metric Metric, params []Parameter) ([]Swing, error) {
+	return TornadoFrom(func() (*core.Model, error) { return core.Default(), nil }, metric, params)
+}
+
+// TornadoFrom is Tornado over an arbitrary base-model factory — a fresh,
+// unperturbed model per evaluation (e.g. one built from a -params scenario
+// profile), so each parameter's swing is measured against that scenario's
+// baseline.
+func TornadoFrom(base func() (*core.Model, error), metric Metric, params []Parameter) ([]Swing, error) {
+	if base == nil {
+		return nil, fmt.Errorf("sensitivity: nil base-model factory")
+	}
 	if metric == nil {
 		return nil, fmt.Errorf("sensitivity: nil metric")
 	}
 	if len(params) == 0 {
 		return nil, fmt.Errorf("sensitivity: no parameters")
 	}
-	baseline, err := metric(core.Default())
+	m, err := base()
+	if err != nil {
+		return nil, fmt.Errorf("sensitivity: base model: %w", err)
+	}
+	baseline, err := metric(m)
 	if err != nil {
 		return nil, fmt.Errorf("sensitivity: baseline: %w", err)
 	}
@@ -90,13 +106,19 @@ func Tornado(metric Metric, params []Parameter) ([]Swing, error) {
 		if err := p.validate(); err != nil {
 			return nil, err
 		}
-		lo := core.Default()
+		lo, err := base()
+		if err != nil {
+			return nil, fmt.Errorf("sensitivity: base model: %w", err)
+		}
 		p.Apply(lo, p.Low)
 		atLow, err := metric(lo)
 		if err != nil {
 			return nil, fmt.Errorf("sensitivity: %s at low: %w", p.Name, err)
 		}
-		hi := core.Default()
+		hi, err := base()
+		if err != nil {
+			return nil, fmt.Errorf("sensitivity: base model: %w", err)
+		}
 		p.Apply(hi, p.High)
 		atHigh, err := metric(hi)
 		if err != nil {

@@ -85,6 +85,11 @@ type EvaluateRequest struct {
 	Design *design.Design `json:"design"`
 	// Workload optionally overrides the default use-phase profile.
 	Workload *WorkloadSpec `json:"workload,omitempty"`
+	// Params is an optional ParameterSet overlay (RFC 7386 merge patch
+	// against the server's baseline; the same JSON as profiles/*.json).
+	// The request is evaluated under the resulting parameter profile,
+	// resolved through the server's bounded per-profile model cache.
+	Params json.RawMessage `json:"params,omitempty"`
 	// RequireBandwidthValid turns a §3.4-infeasible design (a 2.5D split
 	// whose interface cannot carry the required bisection bandwidth) into a
 	// structured bandwidth_infeasible error instead of a report with
@@ -107,6 +112,9 @@ type EvaluateResponse struct {
 type BatchRequest struct {
 	Designs  []*design.Design `json:"designs"`
 	Workload *WorkloadSpec    `json:"workload,omitempty"`
+	// Params is an optional ParameterSet overlay applied to every design
+	// of the batch (see EvaluateRequest.Params).
+	Params json.RawMessage `json:"params,omitempty"`
 	// RequireBandwidthValid applies the /v1/evaluate semantics per item.
 	RequireBandwidthValid bool `json:"require_bandwidth_valid,omitempty"`
 }
@@ -131,8 +139,9 @@ type BatchResponse struct {
 // response carries.
 type Error struct {
 	// Code is a stable machine-readable identifier (bad_request,
-	// invalid_design, evaluation_failed, bandwidth_infeasible, not_found,
-	// method_not_allowed, timeout, cancelled, internal).
+	// invalid_design, invalid_params, evaluation_failed,
+	// bandwidth_infeasible, not_found, method_not_allowed, timeout,
+	// cancelled, internal).
 	Code string `json:"code"`
 	// Message is the human-readable detail.
 	Message string `json:"message"`
@@ -161,9 +170,17 @@ type SpaceSpec struct {
 	EfficiencyTOPSW float64   `json:"efficiency_topsw,omitempty"`
 }
 
-// Space validates the string axes against the model databases and returns
-// the concrete exploration space.
-func (s SpaceSpec) Space() (explore.Space, error) {
+// Space validates the string axes against the default model databases and
+// returns the concrete exploration space.
+func (s SpaceSpec) Space() (explore.Space, error) { return s.SpaceWith(nil) }
+
+// SpaceWith validates the string axes against an explicit grid database
+// (nil means grid.Default()) — the parameter profile the exploration will
+// run under — and returns the concrete exploration space.
+func (s SpaceSpec) SpaceWith(gridDB *grid.DB) (explore.Space, error) {
+	if gridDB == nil {
+		gridDB = grid.Default()
+	}
 	out := explore.Space{
 		Name:            s.Name,
 		NodesNM:         s.NodesNM,
@@ -189,14 +206,14 @@ func (s SpaceSpec) Space() (explore.Space, error) {
 	}
 	for _, v := range s.FabLocations {
 		loc := grid.Location(v)
-		if _, err := grid.Intensity(loc); err != nil {
+		if _, err := gridDB.Intensity(loc); err != nil {
 			return explore.Space{}, fmt.Errorf("fab_locations: %w", err)
 		}
 		out.FabLocations = append(out.FabLocations, loc)
 	}
 	for _, v := range s.UseLocations {
 		loc := grid.Location(v)
-		if _, err := grid.Intensity(loc); err != nil {
+		if _, err := gridDB.Intensity(loc); err != nil {
 			return explore.Space{}, fmt.Errorf("use_locations: %w", err)
 		}
 		out.UseLocations = append(out.UseLocations, loc)
@@ -210,6 +227,9 @@ type ExploreRequest struct {
 	// Top bounds the ranked candidate IDs in the closing summary event
 	// (0 = all).
 	Top int `json:"top,omitempty"`
+	// Params is an optional ParameterSet overlay the whole exploration
+	// runs under (see EvaluateRequest.Params).
+	Params json.RawMessage `json:"params,omitempty"`
 }
 
 // ExploreResult is one evaluated candidate of an exploration stream.
@@ -319,7 +339,8 @@ type LocationInfo struct {
 }
 
 // MetaResponse is the body of GET /v1/meta: every enumerable input a client
-// needs to build a design form or a space spec.
+// needs to build a design form or a space spec, plus the provenance of the
+// server's active parameter baseline.
 type MetaResponse struct {
 	Integrations []IntegrationInfo `json:"integrations"`
 	Locations    []LocationInfo    `json:"locations"`
@@ -330,6 +351,10 @@ type MetaResponse struct {
 	Orders       []string          `json:"orders"`
 	// DefaultWorkload is the profile an absent WorkloadSpec resolves to.
 	DefaultWorkload WorkloadSpec `json:"default_workload"`
+	// ParamsVersion and ParamsFingerprint identify the baseline
+	// ParameterSet every request without an overlay evaluates under.
+	ParamsVersion     string `json:"params_version"`
+	ParamsFingerprint string `json:"params_fingerprint"`
 }
 
 // EndpointStats are the per-endpoint request counters of GET /v1/stats.
@@ -338,6 +363,18 @@ type EndpointStats struct {
 	Errors   uint64  `json:"errors"`
 	TotalMS  float64 `json:"total_ms"`
 	AvgMS    float64 `json:"avg_ms"`
+}
+
+// ProfileStats are the per-profile model-cache counters of GET /v1/stats:
+// how many parameter profiles the server has built, how often an inline
+// overlay was answered by an already-built profile, and how many profiles
+// the bounded cache has evicted.
+type ProfileStats struct {
+	Loaded    uint64 `json:"loaded"`
+	Hits      uint64 `json:"hits"`
+	Evictions uint64 `json:"evictions"`
+	Resident  int    `json:"resident"`
+	Limit     int    `json:"limit"`
 }
 
 // StatsResponse is the body of GET /v1/stats.
@@ -349,4 +386,7 @@ type StatsResponse struct {
 	MaxConcurrent    int                      `json:"max_concurrent"`
 	CacheLimit       int                      `json:"cache_limit"`
 	Engine           EngineStats              `json:"engine"`
+	// Profiles counts the bounded per-profile model cache behind inline
+	// params overlays.
+	Profiles ProfileStats `json:"profiles"`
 }

@@ -46,3 +46,48 @@ func TestGoldenEvaluateLakefield(t *testing.T) {
 			got, want)
 	}
 }
+
+// The /v1/evaluate body for Lakefield under the shipped 2030-decarbonized
+// profile (sent as an inline params overlay) is pinned too: the overlay
+// path is part of the wire contract, and its report must stay distinct
+// from the baseline golden above.
+func TestGoldenEvaluateLakefieldWithProfile(t *testing.T) {
+	overlay, err := os.ReadFile(filepath.Join("..", "..", "profiles", "grid-2030-decarbonized.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{})
+	rec := post(t, s, "/v1/evaluate", apitypes.EvaluateRequest{
+		Design: loadLakefield(t),
+		Params: json.RawMessage(overlay),
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, rec.Body.Bytes(), "", "  "); err != nil {
+		t.Fatal(err)
+	}
+	got := pretty.Bytes()
+
+	path := filepath.Join("testdata", "evaluate_lakefield_grid2030.golden.json")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("profile /v1/evaluate body drifted from the golden file (run with -update if intended)\ngot:\n%s", got)
+	}
+	baseline, err := os.ReadFile(filepath.Join("testdata", "evaluate_lakefield.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, baseline) {
+		t.Error("profile evaluation reproduced the baseline golden")
+	}
+}

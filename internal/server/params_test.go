@@ -1,0 +1,328 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/params"
+	"repro/internal/server/apitypes"
+)
+
+// An inline params overlay steers the evaluation: a decarbonized use grid
+// lowers operational carbon against the baseline evaluation of the same
+// design, and the baseline result is untouched.
+func TestEvaluateWithParamsOverlay(t *testing.T) {
+	s := New(Options{})
+	d := loadLakefield(t)
+
+	base := post(t, s, "/v1/evaluate", apitypes.EvaluateRequest{Design: d})
+	if base.Code != http.StatusOK {
+		t.Fatalf("baseline: %d: %s", base.Code, base.Body)
+	}
+	overlay := post(t, s, "/v1/evaluate", map[string]any{
+		"design": d,
+		"params": map[string]any{
+			"version": "clean-use",
+			"grid":    map[string]any{"intensities": map[string]any{"usa": 40}},
+		},
+	})
+	if overlay.Code != http.StatusOK {
+		t.Fatalf("overlay: %d: %s", overlay.Code, overlay.Body)
+	}
+	if base.Body.String() == overlay.Body.String() {
+		t.Error("params overlay did not change the evaluation")
+	}
+
+	type resp struct {
+		Report struct {
+			Operational struct {
+				LifetimeCarbon float64 `json:"LifetimeCarbon"`
+			} `json:"Operational"`
+		} `json:"report"`
+	}
+	var b, o resp
+	if err := json.Unmarshal(base.Body.Bytes(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(overlay.Body.Bytes(), &o); err != nil {
+		t.Fatal(err)
+	}
+	if o.Report.Operational.LifetimeCarbon >= b.Report.Operational.LifetimeCarbon {
+		t.Errorf("decarbonized use grid did not lower operational carbon: %v vs %v",
+			o.Report.Operational.LifetimeCarbon, b.Report.Operational.LifetimeCarbon)
+	}
+
+	// The same design under the baseline again: byte-identical to the first
+	// call — the profile cache did not contaminate the baseline engine.
+	again := post(t, s, "/v1/evaluate", apitypes.EvaluateRequest{Design: d})
+	if base.Body.String() != again.Body.String() {
+		t.Error("baseline evaluation drifted after a profile evaluation")
+	}
+}
+
+// A malformed or out-of-range overlay is a structured invalid_params error.
+func TestEvaluateRejectsBadParams(t *testing.T) {
+	s := New(Options{})
+	d := loadLakefield(t)
+	cases := []struct {
+		name    string
+		overlay string
+		want    string
+	}{
+		{"unknown-section", `{"gird":{}}`, "schema"},
+		{"negative", `{"grid":{"intensities":{"usa":-4}}}`, "outside"},
+		{"bad-yield", `{"bonding":{"attach_yield_25d":2}}`, "outside (0,1]"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rec := post(t, s, "/v1/evaluate",
+				`{"design": `+mustJSON(t, d)+`, "params": `+c.overlay+`}`)
+			decodeError(t, rec, http.StatusBadRequest, "invalid_params")
+			if !strings.Contains(rec.Body.String(), c.want) {
+				t.Errorf("error body %q does not mention %q", rec.Body, c.want)
+			}
+		})
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// /v1/stats reports the per-profile model-cache counters: profiles loaded,
+// hits for repeated overlays, evictions under the bound.
+func TestStatsProfileCounters(t *testing.T) {
+	s := New(Options{MaxProfiles: 2})
+	d := loadLakefield(t)
+
+	overlayReq := func(v string, ci float64) {
+		t.Helper()
+		rec := post(t, s, "/v1/evaluate", map[string]any{
+			"design": d,
+			"params": map[string]any{
+				"version": v,
+				"grid":    map[string]any{"intensities": map[string]any{"usa": ci}},
+			},
+		})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: %d: %s", v, rec.Code, rec.Body)
+		}
+	}
+
+	overlayReq("p1", 100) // load 1
+	overlayReq("p1", 100) // hit
+	overlayReq("p2", 200) // load 2
+	overlayReq("p3", 300) // load 3 → evicts p1 (limit 2)
+	overlayReq("p1", 100) // rebuilt → load 4
+
+	var st apitypes.StatsResponse
+	rec := get(t, s, "/v1/stats")
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Profiles.Loaded != 4 {
+		t.Errorf("profiles loaded = %d, want 4", st.Profiles.Loaded)
+	}
+	if st.Profiles.Hits != 1 {
+		t.Errorf("profile hits = %d, want 1", st.Profiles.Hits)
+	}
+	if st.Profiles.Evictions != 2 {
+		t.Errorf("profile evictions = %d, want 2", st.Profiles.Evictions)
+	}
+	if st.Profiles.Resident != 2 || st.Profiles.Limit != 2 {
+		t.Errorf("resident/limit = %d/%d, want 2/2", st.Profiles.Resident, st.Profiles.Limit)
+	}
+	// Engine counters aggregate profile traffic: three distinct profile
+	// evaluations computed (p1, p2, p3 — all against one shared memo
+	// cache), and the repeated/rebuilt p1 requests answered as cache hits
+	// even across the eviction, because the shared cache outlives the
+	// profile engine.
+	if st.Engine.Evaluations != 3 {
+		t.Errorf("aggregated engine evaluations = %d, want 3", st.Engine.Evaluations)
+	}
+	if st.Engine.CacheHits != 2 {
+		t.Errorf("aggregated engine cache hits = %d, want 2", st.Engine.CacheHits)
+	}
+}
+
+// Repeating the byte-identical overlay takes the raw-bytes fast path: the
+// second request is a profile hit without re-merging (observable as a hit
+// even though the overlay JSON was never canonicalized).
+func TestRepeatedOverlayHitsRawIndex(t *testing.T) {
+	s := New(Options{})
+	d := loadLakefield(t)
+	body := `{"design": ` + mustJSON(t, d) + `, "params": {"version":"p","grid":{"intensities":{"usa":70}}}}`
+	for i := 0; i < 3; i++ {
+		rec := post(t, s, "/v1/evaluate", body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d: %d: %s", i, rec.Code, rec.Body)
+		}
+	}
+	var st apitypes.StatsResponse
+	if err := json.Unmarshal(get(t, s, "/v1/stats").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Profiles.Loaded != 1 || st.Profiles.Hits != 2 {
+		t.Errorf("loaded/hits = %d/%d, want 1/2", st.Profiles.Loaded, st.Profiles.Hits)
+	}
+}
+
+// An overlay that merges back to the exact baseline resolves to the
+// baseline engine — no profile slot is spent on it.
+func TestBaselineEquivalentOverlay(t *testing.T) {
+	s := New(Options{})
+	d := loadLakefield(t)
+	rec := post(t, s, "/v1/evaluate", map[string]any{
+		"design": d,
+		"params": map[string]any{"version": params.BaselineVersion},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("%d: %s", rec.Code, rec.Body)
+	}
+	var st apitypes.StatsResponse
+	if err := json.Unmarshal(get(t, s, "/v1/stats").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Profiles.Loaded != 0 {
+		t.Errorf("baseline-equivalent overlay loaded %d profiles, want 0", st.Profiles.Loaded)
+	}
+}
+
+// /v1/meta reports the active baseline's version and fingerprint, and a
+// custom baseline changes both.
+func TestMetaReportsFingerprint(t *testing.T) {
+	s := New(Options{})
+	var meta apitypes.MetaResponse
+	if err := json.Unmarshal(get(t, s, "/v1/meta").Body.Bytes(), &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.ParamsVersion != params.BaselineVersion {
+		t.Errorf("params_version = %q, want %q", meta.ParamsVersion, params.BaselineVersion)
+	}
+	wantFP, err := params.Default().Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.ParamsFingerprint != wantFP.String() {
+		t.Errorf("params_fingerprint = %q, want %q", meta.ParamsFingerprint, wantFP)
+	}
+
+	custom, err := params.Overlay(params.Default(),
+		[]byte(`{"version":"custom","grid":{"intensities":{"usa":99}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(Options{BaselineParams: custom})
+	var meta2 apitypes.MetaResponse
+	if err := json.Unmarshal(get(t, s2, "/v1/meta").Body.Bytes(), &meta2); err != nil {
+		t.Fatal(err)
+	}
+	if meta2.ParamsVersion != "custom" {
+		t.Errorf("custom params_version = %q", meta2.ParamsVersion)
+	}
+	if meta2.ParamsFingerprint == meta.ParamsFingerprint {
+		t.Error("custom baseline shares the default fingerprint")
+	}
+}
+
+// An exploration under an overlay runs on the profile's engine: the stream
+// completes and its results differ from the baseline stream.
+func TestExploreWithParamsOverlay(t *testing.T) {
+	s := New(Options{})
+	space := apitypes.SpaceSpec{NodesNM: []int{7}, Integrations: []string{"2D", "hybrid-3d"}}
+	run := func(body any) string {
+		rec := post(t, s, "/v1/explore", body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%d: %s", rec.Code, rec.Body)
+		}
+		return rec.Body.String()
+	}
+	baseOut := run(apitypes.ExploreRequest{Space: space})
+	profOut := run(map[string]any{
+		"space": space,
+		"params": map[string]any{
+			"version": "clean-fab",
+			"grid":    map[string]any{"intensities": map[string]any{"taiwan": 60}},
+		},
+	})
+	if baseOut == profOut {
+		t.Error("params overlay did not change the exploration stream")
+	}
+	if !strings.Contains(profOut, `"type":"summary"`) {
+		t.Error("profile exploration stream is missing its summary")
+	}
+}
+
+// The unknown-location error must list every valid location through the
+// structured error envelope — the CLI and HTTP self-correction path.
+func TestUnknownLocationErrorListsValidLocations(t *testing.T) {
+	s := New(Options{})
+	d := loadLakefield(t)
+	d.UseLocation = "middle-earth"
+	rec := post(t, s, "/v1/evaluate", apitypes.EvaluateRequest{Design: d})
+	decodeError(t, rec, http.StatusUnprocessableEntity, "invalid_design")
+	body := rec.Body.String()
+	for _, want := range []string{"middle-earth", "known:", "taiwan", "usa", "norway"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("error envelope %q does not mention %q", body, want)
+		}
+	}
+}
+
+// Validation follows the profile: a location added by the overlay is
+// usable in the design (and in a space spec), and a location deleted by
+// the overlay is rejected up front as invalid_design — not deep in
+// evaluation.
+func TestProfileValidationFollowsOverlay(t *testing.T) {
+	s := New(Options{})
+	d := loadLakefield(t)
+	d.UseLocation = "iceland"
+
+	// Baseline: unknown location.
+	rec := post(t, s, "/v1/evaluate", apitypes.EvaluateRequest{Design: d})
+	decodeError(t, rec, http.StatusUnprocessableEntity, "invalid_design")
+
+	// Profile adds the location: the design evaluates.
+	rec = post(t, s, "/v1/evaluate", map[string]any{
+		"design": d,
+		"params": map[string]any{
+			"version": "iceland",
+			"grid":    map[string]any{"intensities": map[string]any{"iceland": 28}},
+		},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("profile-added location rejected: %d: %s", rec.Code, rec.Body)
+	}
+
+	// Profile deletes a default location: a design naming it fails
+	// validation with the structured error.
+	d2 := loadLakefield(t)
+	rec = post(t, s, "/v1/evaluate", map[string]any{
+		"design": d2, // uses usa
+		"params": map[string]any{
+			"version": "no-usa",
+			"grid":    map[string]any{"intensities": map[string]any{"usa": nil}},
+		},
+	})
+	decodeError(t, rec, http.StatusUnprocessableEntity, "invalid_design")
+
+	// Space specs validate against the profile too.
+	rec = post(t, s, "/v1/explore", map[string]any{
+		"space": map[string]any{"nodes_nm": []int{7}, "integrations": []string{"2D"},
+			"use_locations": []string{"iceland"}},
+		"params": map[string]any{
+			"version": "iceland",
+			"grid":    map[string]any{"intensities": map[string]any{"iceland": 28}},
+		},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("profile-added location rejected in space spec: %d: %s", rec.Code, rec.Body)
+	}
+}

@@ -1,0 +1,212 @@
+// The per-profile model cache: inline `params` overlays resolve to a
+// (model, engine) pair keyed by the merged ParameterSet's fingerprint.
+// Building a model from a profile costs a full baseline merge, validation
+// and database construction, so resolved profiles are kept in a small LRU
+// with a front index keyed by the raw overlay bytes — a repeated overlay
+// is answered with one small hash, no merge. All profile engines share the
+// server's one bounded memoization cache, where the fingerprint-mixed keys
+// keep their entries apart.
+package server
+
+import (
+	"container/list"
+	"encoding/json"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/params"
+	"repro/internal/server/apitypes"
+)
+
+// maxRawKeysPerProfile bounds how many distinct raw overlay spellings
+// (whitespace, key order) may index one resolved profile, so an adversarial
+// stream of reformatted-but-equivalent overlays cannot grow the front
+// index; spellings beyond the bound simply pay the merge again.
+const maxRawKeysPerProfile = 4
+
+// profileEntry is one resolved overlay.
+type profileEntry struct {
+	fp      params.Fingerprint
+	engine  *explore.Engine
+	rawKeys []string // front-index keys pointing at this entry
+}
+
+// profileCache is the bounded fingerprint → engine LRU with a raw-bytes
+// front index.
+type profileCache struct {
+	mu    sync.Mutex
+	limit int
+	byFP  map[params.Fingerprint]*list.Element
+	byRaw map[string]*list.Element // hash(raw overlay) → same entries
+	lru   *list.List               // front = most recently used
+
+	loaded    uint64
+	hits      uint64
+	evictions uint64
+
+	// retired accumulates the engine counters of evicted profiles so the
+	// aggregate /v1/stats view does not lose served traffic.
+	retiredEvals     uint64
+	retiredHits      uint64
+	retiredEvictions uint64
+}
+
+func newProfileCache(limit int) *profileCache {
+	return &profileCache{
+		limit: limit,
+		byFP:  make(map[params.Fingerprint]*list.Element),
+		byRaw: make(map[string]*list.Element),
+		lru:   list.New(),
+	}
+}
+
+// rawKey hashes the raw overlay bytes into a compact front-index key.
+func rawKey(raw []byte) string {
+	h := fnv.New128a()
+	_, _ = h.Write(raw)
+	return string(h.Sum(nil))
+}
+
+// getRaw answers a repeated overlay from the front index without merging.
+func (pc *profileCache) getRaw(key string) (*explore.Engine, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	el, ok := pc.byRaw[key]
+	if !ok {
+		return nil, false
+	}
+	pc.lru.MoveToFront(el)
+	pc.hits++
+	return el.Value.(*profileEntry).engine, true
+}
+
+// get returns the cached engine for a fingerprint, refreshing its LRU slot
+// and registering the raw spelling that led here.
+func (pc *profileCache) get(fp params.Fingerprint, key string) (*explore.Engine, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	el, ok := pc.byFP[fp]
+	if !ok {
+		return nil, false
+	}
+	pc.lru.MoveToFront(el)
+	pc.hits++
+	pc.indexRaw(el, key)
+	return el.Value.(*profileEntry).engine, true
+}
+
+// put inserts a freshly built profile, evicting the least recently used
+// entries over the limit. Concurrent builders of the same fingerprint keep
+// the first inserted engine (both are equivalent).
+func (pc *profileCache) put(fp params.Fingerprint, key string, eng *explore.Engine) *explore.Engine {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if el, ok := pc.byFP[fp]; ok {
+		pc.lru.MoveToFront(el)
+		pc.indexRaw(el, key)
+		return el.Value.(*profileEntry).engine
+	}
+	el := pc.lru.PushFront(&profileEntry{fp: fp, engine: eng})
+	pc.byFP[fp] = el
+	pc.indexRaw(el, key)
+	pc.loaded++
+	for pc.limit > 0 && pc.lru.Len() > pc.limit {
+		back := pc.lru.Back()
+		ent := back.Value.(*profileEntry)
+		st := ent.engine.Stats()
+		pc.retiredEvals += st.Evaluations
+		pc.retiredHits += st.CacheHits
+		pc.retiredEvictions += st.Evictions
+		delete(pc.byFP, ent.fp)
+		for _, k := range ent.rawKeys {
+			delete(pc.byRaw, k)
+		}
+		pc.lru.Remove(back)
+		pc.evictions++
+	}
+	return eng
+}
+
+// indexRaw links a raw overlay spelling to an entry (bounded per entry).
+// Caller holds pc.mu.
+func (pc *profileCache) indexRaw(el *list.Element, key string) {
+	if _, ok := pc.byRaw[key]; ok {
+		return
+	}
+	ent := el.Value.(*profileEntry)
+	if len(ent.rawKeys) >= maxRawKeysPerProfile {
+		return
+	}
+	ent.rawKeys = append(ent.rawKeys, key)
+	pc.byRaw[key] = el
+}
+
+// stats snapshots the counters.
+func (pc *profileCache) stats() apitypes.ProfileStats {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return apitypes.ProfileStats{
+		Loaded:    pc.loaded,
+		Hits:      pc.hits,
+		Evictions: pc.evictions,
+		Resident:  pc.lru.Len(),
+		Limit:     pc.limit,
+	}
+}
+
+// engineTotals sums the evaluation counters of every profile engine this
+// cache has ever held — resident engines live, evicted engines from the
+// retired accumulators — so /v1/stats reflects all served traffic, not
+// just the baseline engine's.
+func (pc *profileCache) engineTotals() (evals, hits, evictions uint64) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	evals, hits, evictions = pc.retiredEvals, pc.retiredHits, pc.retiredEvictions
+	for el := pc.lru.Front(); el != nil; el = el.Next() {
+		st := el.Value.(*profileEntry).engine.Stats()
+		evals += st.Evaluations
+		hits += st.CacheHits
+		evictions += st.Evictions
+	}
+	return evals, hits, evictions
+}
+
+// resolveEngine maps a request's optional params overlay to the engine that
+// evaluates it: the shared baseline engine for no overlay (or an overlay
+// that resolves back to the baseline), a cached or freshly built profile
+// engine otherwise. Overlay failures are structured invalid_params errors.
+// Callers invoke this after acquiring an evaluation slot: the merge and
+// model construction are CPU work the MaxConcurrent limiter must bound.
+func (s *Server) resolveEngine(raw json.RawMessage) (*explore.Engine, *apitypes.Error) {
+	if len(raw) == 0 || string(raw) == "null" {
+		return s.engine, nil
+	}
+	key := rawKey(raw)
+	if eng, ok := s.profiles.getRaw(key); ok {
+		return eng, nil
+	}
+	ps, err := params.Overlay(s.baseSet, raw)
+	if err != nil {
+		return nil, &apitypes.Error{Code: "invalid_params", Message: err.Error()}
+	}
+	fp, err := ps.Fingerprint()
+	if err != nil {
+		return nil, &apitypes.Error{Code: "invalid_params", Message: err.Error()}
+	}
+	if fp == s.baseFP {
+		return s.engine, nil
+	}
+	if eng, ok := s.profiles.get(fp, key); ok {
+		return eng, nil
+	}
+	m, err := core.New(ps)
+	if err != nil {
+		return nil, &apitypes.Error{Code: "invalid_params", Message: err.Error()}
+	}
+	eng := explore.New(m)
+	eng.Workers = s.opts.Workers
+	eng.Cache = s.shared
+	return s.profiles.put(fp, key, eng), nil
+}

@@ -33,11 +33,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/explore"
-	"repro/internal/grid"
 	"repro/internal/ic"
+	"repro/internal/params"
 	"repro/internal/server/apitypes"
 	"repro/internal/split"
-	"repro/internal/tech"
 )
 
 // Defaults for the zero Options.
@@ -59,13 +58,27 @@ const (
 	// ~10 MB, so 64 MB leaves headroom without letting one request defeat
 	// the memory bounds.
 	DefaultMaxBodyBytes = 64 << 20
+	// DefaultMaxProfiles bounds the per-profile model cache behind inline
+	// params overlays. A resolved profile is a full model (databases +
+	// engine) of a few hundred kB; requests beyond the bound rebuild the
+	// least recently used profile.
+	DefaultMaxProfiles = 8
 )
 
 // Options configures the service. The zero value serves the default model
 // with bounded cache, per-CPU workers and a 60 s request timeout.
 type Options struct {
-	// Model is the configured pipeline; nil means core.Default().
+	// Model is the configured pipeline; nil means a model built from
+	// BaselineParams (or core.Default() when that is nil too).
 	Model *core.Model
+	// BaselineParams is the ParameterSet every request without an inline
+	// overlay evaluates under, and the base inline overlays merge into;
+	// nil means params.Default(). It must be a validated set (as returned
+	// by params.Load/Overlay); New panics on an invalid baseline.
+	BaselineParams *params.Set
+	// MaxProfiles bounds the per-profile model cache for inline params
+	// overlays; 0 means DefaultMaxProfiles, negative means unbounded.
+	MaxProfiles int
 	// Workers bounds the evaluation concurrency of one request;
 	// ≤0 means runtime.NumCPU().
 	Workers int
@@ -149,6 +162,16 @@ func (o Options) streamChunk() int {
 	return DefaultStreamChunk
 }
 
+func (o Options) maxProfiles() int {
+	switch {
+	case o.MaxProfiles == 0:
+		return DefaultMaxProfiles
+	case o.MaxProfiles < 0:
+		return 0 // unbounded
+	}
+	return o.MaxProfiles
+}
+
 func (o Options) maxBodyBytes() int64 {
 	switch {
 	case o.MaxBodyBytes == 0:
@@ -168,6 +191,15 @@ type Server struct {
 	mux    *http.ServeMux
 	start  time.Time
 
+	// baseSet/baseFP/baseModel are the baseline parameter provenance;
+	// shared is the one memoization cache every profile engine attaches
+	// to, and profiles the bounded overlay → engine LRU.
+	baseSet   *params.Set
+	baseFP    params.Fingerprint
+	baseModel *core.Model
+	shared    *explore.SharedCache
+	profiles  *profileCache
+
 	inFlight  atomic.Int64
 	evaluated atomic.Uint64
 	metrics   map[string]*endpointMetrics
@@ -180,23 +212,48 @@ type endpointMetrics struct {
 	totalNS  atomic.Int64
 }
 
-// New returns a ready-to-serve handler over one shared engine.
+// New returns a ready-to-serve handler over one shared engine. The
+// baseline model comes from Options.Model, else Options.BaselineParams,
+// else the paper-calibrated default; New panics on an invalid
+// BaselineParams (a *Set obtained from params.Load/Overlay is always
+// valid).
 func New(opts Options) *Server {
+	baseSet := opts.BaselineParams
+	if baseSet == nil {
+		baseSet = params.Default()
+	}
 	m := opts.Model
 	if m == nil {
-		m = core.Default()
+		var err error
+		m, err = core.New(baseSet)
+		if err != nil {
+			panic(fmt.Sprintf("server: invalid baseline params: %v", err))
+		}
+	} else if m.Params() != nil && opts.BaselineParams == nil {
+		// A model built from its own set: overlays merge into that set.
+		baseSet = m.Params()
 	}
+	baseFP, err := baseSet.Fingerprint()
+	if err != nil {
+		panic(fmt.Sprintf("server: baseline fingerprint: %v", err))
+	}
+	shared := explore.NewSharedCache(opts.cacheLimit(), 0)
 	e := explore.New(m)
 	e.Workers = opts.Workers
-	e.CacheLimit = opts.cacheLimit()
+	e.Cache = shared
 
 	s := &Server{
-		opts:    opts,
-		engine:  e,
-		sem:     make(chan struct{}, opts.maxConcurrent()),
-		mux:     http.NewServeMux(),
-		start:   time.Now(),
-		metrics: make(map[string]*endpointMetrics),
+		opts:      opts,
+		engine:    e,
+		sem:       make(chan struct{}, opts.maxConcurrent()),
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		baseSet:   baseSet,
+		baseFP:    baseFP,
+		baseModel: m,
+		shared:    shared,
+		profiles:  newProfileCache(opts.maxProfiles()),
+		metrics:   make(map[string]*endpointMetrics),
 	}
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "not_found",
@@ -348,16 +405,16 @@ func cancelStatus(w http.ResponseWriter, err error) int {
 // evaluateDesign runs one request through the shared engine and renders the
 // response bytes every evaluation path shares (single and batch items), so
 // identical designs produce byte-identical reports everywhere.
-func (s *Server) evaluateDesign(ctx context.Context, req apitypes.EvaluateRequest) (json.RawMessage, *apitypes.Error, error) {
+func (s *Server) evaluateDesign(ctx context.Context, eng *explore.Engine, req apitypes.EvaluateRequest) (json.RawMessage, *apitypes.Error, error) {
 	if req.Design == nil {
 		return nil, &apitypes.Error{Code: "bad_request",
 			Message: `request is missing the "design" object`}, nil
 	}
-	if err := req.Design.Validate(); err != nil {
+	if err := eng.Model.ValidateDesign(req.Design); err != nil {
 		return nil, &apitypes.Error{Code: "invalid_design", Message: err.Error()}, nil
 	}
 	w, eff := req.Workload.Resolve()
-	results, err := s.engine.Evaluate(ctx, []explore.Candidate{{
+	results, err := eng.Evaluate(ctx, []explore.Candidate{{
 		ID:       req.Design.Name,
 		Design:   req.Design,
 		Workload: w,
@@ -394,7 +451,7 @@ func (s *Server) evaluateDesign(ctx context.Context, req apitypes.EvaluateReques
 // errStatus maps a structured evaluation error to its HTTP status.
 func errStatus(e *apitypes.Error) int {
 	switch e.Code {
-	case "bad_request":
+	case "bad_request", "invalid_params":
 		return http.StatusBadRequest
 	default:
 		// invalid_design / evaluation_failed / bandwidth_infeasible: the
@@ -415,8 +472,14 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) int {
 		return cancelStatus(w, ctx.Err())
 	}
 	defer release()
+	// Resolved under the evaluation slot: the overlay merge and model
+	// construction are CPU work the concurrency limiter must bound.
+	eng, apiErr := s.resolveEngine(req.Params)
+	if apiErr != nil {
+		return writeError(w, errStatus(apiErr), apiErr.Code, apiErr.Message)
+	}
 
-	body, apiErr, err := s.evaluateDesign(ctx, req)
+	body, apiErr, err := s.evaluateDesign(ctx, eng, req)
 	if err != nil {
 		return cancelStatus(w, err)
 	}
@@ -441,7 +504,6 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 		return writeError(w, http.StatusRequestEntityTooLarge, "bad_request",
 			fmt.Sprintf("batch of %d designs exceeds the server limit of %d", len(req.Designs), max))
 	}
-
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	release, ok := s.acquire(ctx)
@@ -449,6 +511,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 		return cancelStatus(w, ctx.Err())
 	}
 	defer release()
+	eng, apiErr := s.resolveEngine(req.Params)
+	if apiErr != nil {
+		return writeError(w, errStatus(apiErr), apiErr.Code, apiErr.Message)
+	}
 
 	// Validate up front so index errors are reported even when the rest of
 	// the batch evaluates, then fan the valid designs out in one Evaluate
@@ -464,7 +530,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 				Message: fmt.Sprintf("designs[%d] is null", i)}
 			continue
 		}
-		if err := d.Validate(); err != nil {
+		if err := eng.Model.ValidateDesign(d); err != nil {
 			items[i].Error = &apitypes.Error{Code: "invalid_design", Message: err.Error()}
 			continue
 		}
@@ -473,7 +539,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 		})
 		candIdx = append(candIdx, i)
 	}
-	results, err := s.engine.Evaluate(ctx, cands)
+	results, err := eng.Evaluate(ctx, cands)
 	if err != nil {
 		return cancelStatus(w, err)
 	}
@@ -511,8 +577,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 }
 
 func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) int {
+	gridDB, techDB := s.baseModel.GridDB(), s.baseModel.TechDB()
 	meta := apitypes.MetaResponse{
-		NodesNM: tech.Processes(),
+		NodesNM:           techDB.Processes(),
+		ParamsVersion:     s.baseSet.Version,
+		ParamsFingerprint: s.baseFP.String(),
 		Strategies: []string{
 			string(split.HomogeneousStrategy), string(split.HeterogeneousStrategy),
 		},
@@ -539,8 +608,8 @@ func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) int {
 			ID: string(integ), Display: integ.DisplayName(), Class: class,
 		})
 	}
-	for _, loc := range grid.Locations() {
-		ci, err := grid.Intensity(loc)
+	for _, loc := range gridDB.Locations() {
+		ci, err := gridDB.Intensity(loc)
 		if err != nil {
 			continue // unreachable: Locations lists the database keys
 		}
@@ -552,6 +621,18 @@ func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) int {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) int {
+	// Engine counters aggregate the baseline engine and every profile
+	// engine (resident or evicted): all requests share one memoization
+	// cache, so the documented "across all requests since boot" semantics
+	// must include profile traffic. Entry/shard figures come from the
+	// shared cache itself.
+	engineStats := s.engine.Stats()
+	pEvals, pHits, pEvictions := s.profiles.engineTotals()
+	engineStats.Evaluations += pEvals
+	engineStats.CacheHits += pHits
+	engineStats.Evictions += pEvictions
+	engineStats.CacheEntries = s.shared.Entries()
+	engineStats.CacheShards = s.shared.Shards()
 	resp := apitypes.StatsResponse{
 		UptimeSeconds:    time.Since(s.start).Seconds(),
 		Endpoints:        make(map[string]apitypes.EndpointStats, len(s.metrics)),
@@ -559,7 +640,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) int {
 		InFlight:         s.inFlight.Load(),
 		MaxConcurrent:    s.opts.maxConcurrent(),
 		CacheLimit:       s.opts.cacheLimit(),
-		Engine:           apitypes.NewEngineStats(s.engine.Stats()),
+		Engine:           apitypes.NewEngineStats(engineStats),
+		Profiles:         s.profiles.stats(),
 	}
 	for path, em := range s.metrics {
 		st := apitypes.EndpointStats{

@@ -48,7 +48,20 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) int {
 	if err := s.decode(w, r, &req); err != nil {
 		return decodeStatus(w, err)
 	}
-	space, err := req.Space.Space()
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	release, ok := s.acquire(ctx)
+	if !ok {
+		return cancelStatus(w, ctx.Err())
+	}
+	defer release()
+	// The engine resolves first so the space's locations are validated
+	// against the request's parameter profile, not the default database.
+	eng, apiErr := s.resolveEngine(req.Params)
+	if apiErr != nil {
+		return writeError(w, errStatus(apiErr), apiErr.Code, apiErr.Message)
+	}
+	space, err := req.Space.SpaceWith(eng.Model.GridDB())
 	if err != nil {
 		return writeError(w, http.StatusBadRequest, "bad_request",
 			"invalid space: "+err.Error())
@@ -65,14 +78,6 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) int {
 			"space does not enumerate: "+err.Error())
 	}
 
-	ctx, cancel := s.requestContext(r)
-	defer cancel()
-	release, ok := s.acquire(ctx)
-	if !ok {
-		return cancelStatus(w, ctx.Err())
-	}
-	defer release()
-
 	// Headers and the first chunk commit the 200; later failures can only
 	// be reported in-stream as an error event.
 	out := newNDJSONWriter(w)
@@ -85,7 +90,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) int {
 	var stats explore.RunningStats
 	chunk := s.opts.streamChunk()
 	sinceFlush := 0
-	_, err = s.engine.StreamSource(ctx, it, func(res explore.Result) error {
+	_, err = eng.StreamSource(ctx, it, func(res explore.Result) error {
 		s.evaluated.Add(1)
 		stats.Add(res)
 		if res.Err == nil {
@@ -125,7 +130,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) int {
 		Failed:     stats.Failed,
 		Ranked:     pointIDs(ranked.Points()),
 		Frontier:   pointIDs(frontier.Points()),
-		Stats:      apitypes.NewEngineStats(s.engine.Stats()),
+		Stats:      apitypes.NewEngineStats(eng.Stats()),
 	}
 	_ = out.event(apitypes.ExploreEvent{Type: "summary", Summary: &summary})
 	out.flush()

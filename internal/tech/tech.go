@@ -19,6 +19,11 @@
 //   - The gate-area factor β (A_gate = N_g·β·λ², Eq. 8) is an *effective*
 //     product density including SRAM/IO overheads, calibrated to known die
 //     sizes (e.g. ORIN ≈ 455 mm² at 7 nm for 17 B gates ⇒ β ≈ 546).
+//
+// The database is instance-based: a DB expands a serializable Params value
+// (the compact calibration rows) into Node entries, so scenario profiles
+// can override defect densities, fab footprints or geometry per node. The
+// package-level functions remain as conveniences over the default DB.
 package tech
 
 import (
@@ -113,77 +118,204 @@ func (n *Node) CarbonPerArea(ci units.CarbonIntensity, nBEOL int) units.CarbonPe
 	return units.KgPerCM2(energy) + n.WaferGPA(nBEOL) + n.WaferMPA(nBEOL)
 }
 
-// nodeSpec is the compact calibration row expanded into a Node.
-type nodeSpec struct {
-	nm        int
-	beta      float64 // logic gate-area factor
-	betaMem   float64 // memory gate-area factor
-	epaTotal  float64 // kWh/cm² at refBEOL layers
-	gpaTotal  float64 // kg/cm² at refBEOL layers
-	mpaTotal  float64 // kg/cm² at refBEOL layers
-	refBEOL   int
-	maxBEOL   int
-	d0        float64 // defects/cm²
-	alpha     float64
-	tsvUM     float64
-	mivUM     float64
-	feolShare float64 // fraction of each footprint attributed to FEOL
+// NodeSpec is the compact, serializable calibration row expanded into a
+// Node. The per-layer EPA/GPA/MPA decomposition is derived: the published
+// whole-wafer totals (at RefBEOL layers) are split by FEOLShare.
+type NodeSpec struct {
+	// Beta is the logic gate-area factor β; BetaMem the memory-die β.
+	Beta    float64 `json:"beta"`
+	BetaMem float64 `json:"beta_mem"`
+	// EPATotal/GPATotal/MPATotal are the whole-wafer footprints at RefBEOL
+	// metal layers: fab energy (kWh/cm²), direct gas emissions (kg/cm²) and
+	// upstream material emissions (kg/cm²).
+	EPATotal float64 `json:"epa_total_kwh_per_cm2"`
+	GPATotal float64 `json:"gpa_total_kg_per_cm2"`
+	MPATotal float64 `json:"mpa_total_kg_per_cm2"`
+	// RefBEOL decomposes the totals; MaxBEOL caps Eq. 10 (Table 2 input).
+	RefBEOL int `json:"ref_beol"`
+	MaxBEOL int `json:"max_beol"`
+	// D0 (defects/cm²) and Alpha parameterise Eq. 15.
+	D0    float64 `json:"d0_per_cm2"`
+	Alpha float64 `json:"alpha"`
+	// TSVUM/MIVUM are via diameters in µm.
+	TSVUM float64 `json:"tsv_um"`
+	MIVUM float64 `json:"miv_um"`
+	// FEOLShare is the fraction of each footprint attributed to FEOL.
+	FEOLShare float64 `json:"feol_share"`
 }
 
-// specs is the calibration table. Totals rise monotonically toward advanced
-// nodes; D0 at 7/14 nm matches the Lakefield yield calibration exactly.
-var specs = []nodeSpec{
-	{nm: 28, beta: 125, betaMem: 62, epaTotal: 1.10, gpaTotal: 0.20, mpaTotal: 0.17, refBEOL: 9, maxBEOL: 10, d0: 0.070, alpha: 6.0, tsvUM: 10, mivUM: 0.6, feolShare: 0.58},
-	{nm: 22, beta: 140, betaMem: 70, epaTotal: 1.20, gpaTotal: 0.22, mpaTotal: 0.18, refBEOL: 10, maxBEOL: 10, d0: 0.080, alpha: 6.5, tsvUM: 8, mivUM: 0.6, feolShare: 0.58},
-	{nm: 16, beta: 150, betaMem: 75, epaTotal: 1.40, gpaTotal: 0.25, mpaTotal: 0.20, refBEOL: 11, maxBEOL: 11, d0: 0.090, alpha: 7.5, tsvUM: 6, mivUM: 0.6, feolShare: 0.58},
-	{nm: 14, beta: 170, betaMem: 85, epaTotal: 1.50, gpaTotal: 0.27, mpaTotal: 0.21, refBEOL: 11, maxBEOL: 12, d0: 0.0911, alpha: 8.0, tsvUM: 5, mivUM: 0.6, feolShare: 0.58},
-	{nm: 12, beta: 230, betaMem: 115, epaTotal: 1.60, gpaTotal: 0.29, mpaTotal: 0.22, refBEOL: 12, maxBEOL: 12, d0: 0.100, alpha: 8.5, tsvUM: 5, mivUM: 0.6, feolShare: 0.58},
-	{nm: 10, beta: 420, betaMem: 210, epaTotal: 1.80, gpaTotal: 0.31, mpaTotal: 0.25, refBEOL: 12, maxBEOL: 13, d0: 0.120, alpha: 9.0, tsvUM: 4, mivUM: 0.5, feolShare: 0.58},
-	{nm: 7, beta: 546, betaMem: 273, epaTotal: 2.00, gpaTotal: 0.35, mpaTotal: 0.28, refBEOL: 13, maxBEOL: 14, d0: 0.138, alpha: 10.0, tsvUM: 3, mivUM: 0.5, feolShare: 0.58},
-	{nm: 5, beta: 340, betaMem: 170, epaTotal: 2.30, gpaTotal: 0.39, mpaTotal: 0.31, refBEOL: 14, maxBEOL: 15, d0: 0.180, alpha: 11.0, tsvUM: 2, mivUM: 0.4, feolShare: 0.58},
-	{nm: 3, beta: 520, betaMem: 260, epaTotal: 2.70, gpaTotal: 0.44, mpaTotal: 0.35, refBEOL: 15, maxBEOL: 16, d0: 0.200, alpha: 12.0, tsvUM: 1.5, mivUM: 0.3, feolShare: 0.58},
+// Params is the serializable node database, keyed by process in nm. It is
+// one section of the params.Set profile format; overlays merge per node, so
+// a profile can lower one node's defect density without restating the row.
+type Params struct {
+	Nodes map[int]NodeSpec `json:"nodes"`
 }
 
-var nodes = buildNodes()
+// DefaultParams returns the calibration table. Totals rise monotonically
+// toward advanced nodes; D0 at 7/14 nm matches the Lakefield yield
+// calibration exactly.
+func DefaultParams() Params {
+	return Params{Nodes: map[int]NodeSpec{
+		28: {Beta: 125, BetaMem: 62, EPATotal: 1.10, GPATotal: 0.20, MPATotal: 0.17, RefBEOL: 9, MaxBEOL: 10, D0: 0.070, Alpha: 6.0, TSVUM: 10, MIVUM: 0.6, FEOLShare: 0.58},
+		22: {Beta: 140, BetaMem: 70, EPATotal: 1.20, GPATotal: 0.22, MPATotal: 0.18, RefBEOL: 10, MaxBEOL: 10, D0: 0.080, Alpha: 6.5, TSVUM: 8, MIVUM: 0.6, FEOLShare: 0.58},
+		16: {Beta: 150, BetaMem: 75, EPATotal: 1.40, GPATotal: 0.25, MPATotal: 0.20, RefBEOL: 11, MaxBEOL: 11, D0: 0.090, Alpha: 7.5, TSVUM: 6, MIVUM: 0.6, FEOLShare: 0.58},
+		14: {Beta: 170, BetaMem: 85, EPATotal: 1.50, GPATotal: 0.27, MPATotal: 0.21, RefBEOL: 11, MaxBEOL: 12, D0: 0.0911, Alpha: 8.0, TSVUM: 5, MIVUM: 0.6, FEOLShare: 0.58},
+		12: {Beta: 230, BetaMem: 115, EPATotal: 1.60, GPATotal: 0.29, MPATotal: 0.22, RefBEOL: 12, MaxBEOL: 12, D0: 0.100, Alpha: 8.5, TSVUM: 5, MIVUM: 0.6, FEOLShare: 0.58},
+		10: {Beta: 420, BetaMem: 210, EPATotal: 1.80, GPATotal: 0.31, MPATotal: 0.25, RefBEOL: 12, MaxBEOL: 13, D0: 0.120, Alpha: 9.0, TSVUM: 4, MIVUM: 0.5, FEOLShare: 0.58},
+		7:  {Beta: 546, BetaMem: 273, EPATotal: 2.00, GPATotal: 0.35, MPATotal: 0.28, RefBEOL: 13, MaxBEOL: 14, D0: 0.138, Alpha: 10.0, TSVUM: 3, MIVUM: 0.5, FEOLShare: 0.58},
+		5:  {Beta: 340, BetaMem: 170, EPATotal: 2.30, GPATotal: 0.39, MPATotal: 0.31, RefBEOL: 14, MaxBEOL: 15, D0: 0.180, Alpha: 11.0, TSVUM: 2, MIVUM: 0.4, FEOLShare: 0.58},
+		3:  {Beta: 520, BetaMem: 260, EPATotal: 2.70, GPATotal: 0.44, MPATotal: 0.35, RefBEOL: 15, MaxBEOL: 16, D0: 0.200, Alpha: 12.0, TSVUM: 1.5, MIVUM: 0.3, FEOLShare: 0.58},
+	}}
+}
 
-func buildNodes() map[int]*Node {
-	m := make(map[int]*Node, len(specs))
-	for _, s := range specs {
-		layers := float64(s.refBEOL)
-		n := &Node{
-			ProcessNM:         s.nm,
-			Feature:           units.Nanometers(float64(s.nm)),
-			GateAreaFactor:    s.beta,
-			MemGateAreaFactor: s.betaMem,
-			EPAFEOL:           units.KWhPerCM2(s.epaTotal * s.feolShare),
-			EPAPerLayer:       units.KWhPerCM2(s.epaTotal * (1 - s.feolShare) / layers),
-			GPAFEOL:           units.KgPerCM2(s.gpaTotal * s.feolShare),
-			GPAPerLayer:       units.KgPerCM2(s.gpaTotal * (1 - s.feolShare) / layers),
-			MPAFEOL:           units.KgPerCM2(s.mpaTotal * s.feolShare),
-			MPAPerLayer:       units.KgPerCM2(s.mpaTotal * (1 - s.feolShare) / layers),
-			RefBEOL:           s.refBEOL,
-			MaxBEOL:           s.maxBEOL,
-			DefectDensity:     s.d0,
-			ClusterAlpha:      s.alpha,
-			TSVDiameter:       units.Micrometers(s.tsvUM),
-			MIVDiameter:       units.Micrometers(s.mivUM),
-		}
-		m[s.nm] = n
+// MinProcessNM and MaxProcessNM bound the paper's supported input range.
+const (
+	MinProcessNM = 3
+	MaxProcessNM = 28
+)
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Validate rejects non-finite, non-positive or structurally inconsistent
+// node rows with structured errors.
+func (p Params) Validate() error {
+	if len(p.Nodes) == 0 {
+		return fmt.Errorf("tech: empty node table")
 	}
-	return m
+	for nm, s := range p.Nodes {
+		if nm < MinProcessNM || nm > MaxProcessNM {
+			return fmt.Errorf("tech: node %d nm outside the supported %d–%d nm range",
+				nm, MinProcessNM, MaxProcessNM)
+		}
+		for _, f := range []struct {
+			name string
+			v    float64
+		}{
+			{"beta", s.Beta}, {"beta_mem", s.BetaMem},
+			{"epa_total_kwh_per_cm2", s.EPATotal},
+			{"gpa_total_kg_per_cm2", s.GPATotal},
+			{"mpa_total_kg_per_cm2", s.MPATotal},
+			{"d0_per_cm2", s.D0}, {"alpha", s.Alpha},
+			{"tsv_um", s.TSVUM}, {"miv_um", s.MIVUM},
+			{"feol_share", s.FEOLShare},
+		} {
+			if !finite(f.v) {
+				return fmt.Errorf("tech: node %d nm: %s is non-finite", nm, f.name)
+			}
+		}
+		if s.Beta <= 0 || s.BetaMem <= 0 {
+			return fmt.Errorf("tech: node %d nm: non-positive gate-area factor", nm)
+		}
+		if s.EPATotal <= 0 || s.GPATotal < 0 || s.MPATotal < 0 {
+			return fmt.Errorf("tech: node %d nm: invalid fab footprint (EPA %v, GPA %v, MPA %v)",
+				nm, s.EPATotal, s.GPATotal, s.MPATotal)
+		}
+		if s.RefBEOL < 1 || s.MaxBEOL < s.RefBEOL {
+			return fmt.Errorf("tech: node %d nm: BEOL layer bounds ref=%d max=%d invalid",
+				nm, s.RefBEOL, s.MaxBEOL)
+		}
+		if s.D0 < 0 || s.Alpha <= 0 {
+			return fmt.Errorf("tech: node %d nm: invalid yield parameters D0=%v α=%v", nm, s.D0, s.Alpha)
+		}
+		if s.TSVUM <= 0 || s.MIVUM <= 0 {
+			return fmt.Errorf("tech: node %d nm: non-positive via diameter", nm)
+		}
+		if s.FEOLShare <= 0 || s.FEOLShare >= 1 {
+			return fmt.Errorf("tech: node %d nm: FEOL share %v outside (0,1)", nm, s.FEOLShare)
+		}
+	}
+	return nil
 }
 
-// ForProcess returns the database entry for an exact node (3, 5, 7, 10, 12,
-// 14, 16, 22 or 28 nm — the paper's supported input range).
-func ForProcess(nm int) (*Node, error) {
-	if n, ok := nodes[nm]; ok {
+// DB is an instance of the node database. Construct with NewDB (or use
+// Default); a DB is immutable and safe for concurrent use.
+type DB struct {
+	nodes     map[int]*Node
+	processes []int // ascending
+}
+
+// NewDB validates the params and expands them into Node entries.
+func NewDB(p Params) (*DB, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	db := &DB{nodes: make(map[int]*Node, len(p.Nodes))}
+	for nm, s := range p.Nodes {
+		layers := float64(s.RefBEOL)
+		db.nodes[nm] = &Node{
+			ProcessNM:         nm,
+			Feature:           units.Nanometers(float64(nm)),
+			GateAreaFactor:    s.Beta,
+			MemGateAreaFactor: s.BetaMem,
+			EPAFEOL:           units.KWhPerCM2(s.EPATotal * s.FEOLShare),
+			EPAPerLayer:       units.KWhPerCM2(s.EPATotal * (1 - s.FEOLShare) / layers),
+			GPAFEOL:           units.KgPerCM2(s.GPATotal * s.FEOLShare),
+			GPAPerLayer:       units.KgPerCM2(s.GPATotal * (1 - s.FEOLShare) / layers),
+			MPAFEOL:           units.KgPerCM2(s.MPATotal * s.FEOLShare),
+			MPAPerLayer:       units.KgPerCM2(s.MPATotal * (1 - s.FEOLShare) / layers),
+			RefBEOL:           s.RefBEOL,
+			MaxBEOL:           s.MaxBEOL,
+			DefectDensity:     s.D0,
+			ClusterAlpha:      s.Alpha,
+			TSVDiameter:       units.Micrometers(s.TSVUM),
+			MIVDiameter:       units.Micrometers(s.MIVUM),
+		}
+		db.processes = append(db.processes, nm)
+	}
+	sort.Ints(db.processes)
+	return db, nil
+}
+
+var defaultDB = mustNewDB(DefaultParams())
+
+func mustNewDB(p Params) *DB {
+	db, err := NewDB(p)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Default returns the calibrated default database.
+func Default() *DB { return defaultDB }
+
+// ForProcess returns the database entry for an exact node.
+func (db *DB) ForProcess(nm int) (*Node, error) {
+	if n, ok := db.nodes[nm]; ok {
 		return n, nil
 	}
-	if nm < 3 || nm > 28 {
+	if nm < MinProcessNM || nm > MaxProcessNM {
 		return nil, fmt.Errorf("tech: process %d nm outside the supported 3–28 nm range", nm)
 	}
-	return nil, fmt.Errorf("tech: no database entry for %d nm (available: %v); use Nearest", nm, Processes())
+	return nil, fmt.Errorf("tech: no database entry for %d nm (available: %v); use Nearest", nm, db.Processes())
 }
+
+// Nearest returns the database node closest to nm (ties resolve to the more
+// advanced node). It still rejects processes outside 3–28 nm.
+func (db *DB) Nearest(nm int) (*Node, error) {
+	if nm < MinProcessNM || nm > MaxProcessNM {
+		return nil, fmt.Errorf("tech: process %d nm outside the supported 3–28 nm range", nm)
+	}
+	best, bestDist := 0, math.MaxInt
+	for _, p := range db.processes {
+		d := p - nm
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist || (d == bestDist && p < best) {
+			best, bestDist = p, d
+		}
+	}
+	return db.nodes[best], nil
+}
+
+// Processes returns the supported node list in ascending order. The
+// returned slice is shared; callers must not mutate it.
+func (db *DB) Processes() []int { return db.processes }
+
+// ForProcess returns the default-database entry for an exact node (3, 5, 7,
+// 10, 12, 14, 16, 22 or 28 nm — the paper's supported input range).
+func ForProcess(nm int) (*Node, error) { return defaultDB.ForProcess(nm) }
 
 // MustForProcess is ForProcess for statically-known nodes; it panics on
 // a missing entry.
@@ -195,31 +327,12 @@ func MustForProcess(nm int) *Node {
 	return n
 }
 
-// Nearest returns the database node closest to nm (ties resolve to the more
-// advanced node). It still rejects processes outside 3–28 nm.
-func Nearest(nm int) (*Node, error) {
-	if nm < 3 || nm > 28 {
-		return nil, fmt.Errorf("tech: process %d nm outside the supported 3–28 nm range", nm)
-	}
-	best, bestDist := 0, math.MaxInt
-	for _, p := range Processes() {
-		d := p - nm
-		if d < 0 {
-			d = -d
-		}
-		if d < bestDist || (d == bestDist && p < best) {
-			best, bestDist = p, d
-		}
-	}
-	return nodes[best], nil
-}
+// Nearest returns the default-database node closest to nm.
+func Nearest(nm int) (*Node, error) { return defaultDB.Nearest(nm) }
 
-// Processes returns the supported node list in ascending order.
+// Processes returns the default database's node list in ascending order.
 func Processes() []int {
-	out := make([]int, 0, len(nodes))
-	for nm := range nodes {
-		out = append(out, nm)
-	}
-	sort.Ints(out)
+	out := make([]int, len(defaultDB.processes))
+	copy(out, defaultDB.processes)
 	return out
 }

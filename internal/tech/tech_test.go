@@ -133,16 +133,16 @@ func TestCarbonPerAreaMonotonicInBEOL(t *testing.T) {
 // The BEOL decomposition must reconstruct the calibrated totals at the
 // reference layer count.
 func TestFEOLBEOLDecomposition(t *testing.T) {
-	for _, s := range specs {
-		n := MustForProcess(s.nm)
-		if got := n.WaferEPA(n.RefBEOL).KWhPerCM2(); math.Abs(got-s.epaTotal) > 1e-9 {
-			t.Errorf("%d nm: EPA(ref) = %v, want %v", s.nm, got, s.epaTotal)
+	for nm, s := range DefaultParams().Nodes {
+		n := MustForProcess(nm)
+		if got := n.WaferEPA(n.RefBEOL).KWhPerCM2(); math.Abs(got-s.EPATotal) > 1e-9 {
+			t.Errorf("%d nm: EPA(ref) = %v, want %v", nm, got, s.EPATotal)
 		}
-		if got := n.WaferGPA(n.RefBEOL).KgPerCM2(); math.Abs(got-s.gpaTotal) > 1e-9 {
-			t.Errorf("%d nm: GPA(ref) = %v, want %v", s.nm, got, s.gpaTotal)
+		if got := n.WaferGPA(n.RefBEOL).KgPerCM2(); math.Abs(got-s.GPATotal) > 1e-9 {
+			t.Errorf("%d nm: GPA(ref) = %v, want %v", nm, got, s.GPATotal)
 		}
-		if got := n.WaferMPA(n.RefBEOL).KgPerCM2(); math.Abs(got-s.mpaTotal) > 1e-9 {
-			t.Errorf("%d nm: MPA(ref) = %v, want %v", s.nm, got, s.mpaTotal)
+		if got := n.WaferMPA(n.RefBEOL).KgPerCM2(); math.Abs(got-s.MPATotal) > 1e-9 {
+			t.Errorf("%d nm: MPA(ref) = %v, want %v", nm, got, s.MPATotal)
 		}
 	}
 }

@@ -1,0 +1,122 @@
+package carbon3d
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateProfiles = flag.Bool("update", false, "rewrite the profile golden files")
+
+// evaluateLakefield renders the shipped Lakefield design under a model as
+// the same indented EvaluateResponse-shaped JSON the CLI's -format json and
+// POST /v1/evaluate emit.
+func evaluateLakefield(t *testing.T, m *Model) []byte {
+	t.Helper()
+	d, err := LoadDesign(filepath.Join("designs", "lakefield.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot, err := m.Total(d, AVWorkload(254), TOPSPerWatt(2.74))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.MarshalIndent(struct {
+		Design string       `json:"design"`
+		Report *TotalReport `json:"report"`
+	}{Design: d.Name, Report: tot}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(body, '\n')
+}
+
+// Every shipped scenario profile is golden-tested: evaluating Lakefield
+// under the profile must reproduce the pinned report bytes, and each
+// profile must produce a report distinct from the paper-calibrated baseline
+// (a profile that silently resolves to the baseline is a broken profile).
+func TestShippedProfilesGolden(t *testing.T) {
+	profiles, err := filepath.Glob(filepath.Join("profiles", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) < 2 {
+		t.Fatalf("expected at least 2 shipped profiles, found %d", len(profiles))
+	}
+
+	baseline := evaluateLakefield(t, NewModel())
+	basePath := filepath.Join("profiles", "testdata", "lakefield.baseline.golden.json")
+	checkGolden(t, basePath, baseline)
+
+	baseFP := NewModel().Fingerprint()
+	seen := map[string]string{baseFP.String(): "baseline"}
+	for _, profile := range profiles {
+		name := filepath.Base(profile)
+		t.Run(name, func(t *testing.T) {
+			m, err := NewModelFromFile(profile)
+			if err != nil {
+				t.Fatalf("loading %s: %v", profile, err)
+			}
+			if prev, dup := seen[m.Fingerprint().String()]; dup {
+				t.Fatalf("profile %s shares its fingerprint with %s", name, prev)
+			}
+			seen[m.Fingerprint().String()] = name
+
+			got := evaluateLakefield(t, m)
+			if bytes.Equal(got, baseline) {
+				t.Errorf("profile %s reproduces the baseline report — it overrides nothing Lakefield exercises", name)
+			}
+			golden := filepath.Join("profiles", "testdata",
+				"lakefield."+name[:len(name)-len(".json")]+".golden.json")
+			checkGolden(t, golden, got)
+		})
+	}
+}
+
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *updateProfiles {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from the golden file (run with -update if the change is intended)\ngot:\n%s", path, got)
+	}
+}
+
+// The profile fingerprints are part of the scenario contract: loading the
+// same profile twice yields the same fingerprint, and it differs from the
+// baseline's.
+func TestProfileFingerprintsStable(t *testing.T) {
+	profiles, err := filepath.Glob(filepath.Join("profiles", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, profile := range profiles {
+		m1, err := NewModelFromFile(profile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := NewModelFromFile(profile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m1.Fingerprint() != m2.Fingerprint() {
+			t.Errorf("%s: fingerprint not stable across loads", profile)
+		}
+		if m1.Fingerprint() == NewModel().Fingerprint() {
+			t.Errorf("%s: fingerprint equals the baseline's", profile)
+		}
+		if m1.Params().Version == DefaultParameters().Version {
+			t.Errorf("%s: profile did not set its own version", profile)
+		}
+	}
+}
