@@ -109,6 +109,12 @@ type (
 	OperationalReport = core.OperationalReport
 	TotalReport       = core.TotalReport
 	DieReport         = core.DieReport
+
+	// EmbodiedResult is the memoizable embodied sub-term of Eq. 1: obtain
+	// one with Model.EmbodiedTerm and complete Totals across use locations
+	// and workloads with Model.OperationalFrom — the term-factorized path
+	// the exploration engine caches along.
+	EmbodiedResult = core.EmbodiedResult
 )
 
 // Integration technologies (Table 1).

@@ -139,9 +139,11 @@ func run(nodes, gates, integrations, strategies, fabs, uses, lifetimes string,
 		fmt.Printf("Explored %d candidates (%d ok, %d failed) in %v (%d workers, peak %d in flight)\n",
 			st.Candidates, stats.OK, stats.Failed,
 			elapsed.Round(time.Millisecond), workers, st.PeakInFlight)
-		fmt.Printf("Cache: %d distinct evaluations, %d hits (%.1f%% hit rate), %d entries in %d shard(s), %d evicted\n\n",
+		fmt.Printf("Cache: %d distinct evaluations, %d hits (%.1f%% hit rate), %d entries in %d shard(s), %d evicted\n",
 			es.Evaluations, es.CacheHits, 100*es.HitRate(),
 			es.CacheEntries, es.CacheShards, es.Evictions)
+		fmt.Printf("Embodied terms: %d computed, %d reused (%.1f%% reuse — evaluations that paid only the operational term)\n\n",
+			es.EmbodiedEvaluations, es.EmbodiedCacheHits, 100*es.EmbodiedReuseRate())
 		fmt.Printf("Lowest life-cycle carbon (top %d of %d)\n\n", top, stats.OK)
 	}
 	emit(explore.ResultsTable(topResults), csv)

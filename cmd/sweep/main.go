@@ -47,6 +47,7 @@ func main() {
 	which := flag.String("sweep", "node", "sweep to run: node, gates, ci, lifetime, bandwidth, tornado")
 	gates := flag.Float64("gates", 17e9, "design gate count")
 	paramsPath := flag.String("params", "", "path to a ParameterSet overlay profile (JSON)")
+	stats := flag.Bool("stats", false, "print engine cache statistics to stderr after the sweep")
 	flag.Parse()
 
 	m, err := core.FromParamsFile(*paramsPath)
@@ -74,6 +75,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
+	}
+	if *stats {
+		// Stderr, so the CSV on stdout stays byte-identical for plotting
+		// pipelines. Bandwidth/tornado sweeps bypass the engine and report
+		// zeros.
+		es := e.Stats()
+		fmt.Fprintf(os.Stderr,
+			"sweep: cache: %d distinct evaluations, %d hits (%.1f%% hit rate), %d evicted\n",
+			es.Evaluations, es.CacheHits, 100*es.HitRate(), es.Evictions)
+		fmt.Fprintf(os.Stderr,
+			"sweep: embodied terms: %d computed, %d reused (%.1f%% reuse)\n",
+			es.EmbodiedEvaluations, es.EmbodiedCacheHits, 100*es.EmbodiedReuseRate())
 	}
 }
 

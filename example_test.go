@@ -208,3 +208,45 @@ func ExampleParseParameters() {
 	// operational drops: true
 	// embodied unchanged: true
 }
+
+// ExampleModel_EmbodiedTerm shows the term-factorized evaluation path of
+// Eq. 1: the embodied sub-term (which never reads the use location or
+// workload) is computed once, then cheap OperationalFrom calls complete
+// the Total for every deployment scenario — the pattern the exploration
+// engine memoizes automatically.
+func ExampleModel_EmbodiedTerm() {
+	m := carbon3d.NewModel()
+	d := &carbon3d.Design{
+		Name:        "fanout",
+		Integration: carbon3d.Hybrid3D,
+		Dies: []carbon3d.Die{
+			{Name: "bottom", ProcessNM: 7, Gates: 8.5e9},
+			{Name: "top", ProcessNM: 7, Gates: 8.5e9},
+		},
+		FabLocation: carbon3d.Taiwan,
+		UseLocation: carbon3d.USA,
+	}
+	w := carbon3d.AVWorkload(254)
+	eff := carbon3d.TOPSPerWatt(2.74)
+
+	term, err := m.EmbodiedTerm(d) // resolve → yield → fab → bonding → packaging, once
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, use := range []carbon3d.Location{carbon3d.USA, carbon3d.Norway} {
+		v := *d
+		v.UseLocation = use
+		tot, err := m.OperationalFrom(term, &v, w, eff) // operational term only
+		if err != nil {
+			log.Fatal(err)
+		}
+		monolithic, err := m.Total(&v, w, eff)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: factored == monolithic: %v\n", use, tot.Total == monolithic.Total)
+	}
+	// Output:
+	// usa: factored == monolithic: true
+	// norway: factored == monolithic: true
+}

@@ -412,8 +412,36 @@ func (m *Model) ValidateDesign(d *design.Design) error {
 	return d.ValidateWith(m.Tech, m.Grid)
 }
 
+// EmbodiedResult is the memoizable embodied sub-term of Eq. 1: the public
+// Eq. 3 breakdown plus the resolved per-die state the operational model
+// reuses. Every input of an EmbodiedResult is an embodied-relevant design
+// field (FabLocation, dies, integration, wafer/package geometry — never
+// UseLocation, workload or efficiency), so one result completes any number
+// of Totals across use locations and workloads via OperationalFrom.
+type EmbodiedResult struct {
+	// Report is the Eq. 3 breakdown.
+	Report *EmbodiedReport
+
+	// dies is the resolved die state (node lookup, Eq. 7 areas, Eq. 10
+	// BEOL): a function of the same embodied-relevant fields, cached so
+	// OperationalFrom skips re-validation and re-resolution.
+	dies []resolvedDie
+}
+
 // Embodied evaluates Eq. 3 for a design.
 func (m *Model) Embodied(d *design.Design) (*EmbodiedReport, error) {
+	er, err := m.EmbodiedTerm(d)
+	if err != nil {
+		return nil, err
+	}
+	return er.Report, nil
+}
+
+// EmbodiedTerm evaluates the embodied sub-term of Eq. 1 and retains the
+// resolved die state, so callers that sweep the operational axes (use
+// location, workload, lifetime) can complete each Total with
+// OperationalFrom instead of recomputing the full embodied model.
+func (m *Model) EmbodiedTerm(d *design.Design) (*EmbodiedResult, error) {
 	if err := m.ValidateDesign(d); err != nil {
 		return nil, err
 	}
@@ -445,7 +473,7 @@ func (m *Model) Embodied(d *design.Design) (*EmbodiedReport, error) {
 	}
 
 	rep.Total = rep.Die + rep.Bonding + rep.Packaging + rep.Interposer
-	return rep, nil
+	return &EmbodiedResult{Report: rep, dies: dies}, nil
 }
 
 func (m *Model) finishPackaging(d *design.Design, areas []units.Area, rep *EmbodiedReport) error {
@@ -560,15 +588,18 @@ func (m *Model) embodied3D(d *design.Design, dies []resolvedDie,
 		}
 	}
 	stack := yield.Stack3D{DieYields: dieYields, BondYield: bondY, Flow: d.EffectiveFlow()}
+	// One batched pass computes every Table 3 effective yield: one
+	// validation and one bond-power table instead of per-index pow chains.
+	eff, err := stack.Effectives()
+	if err != nil {
+		return err
+	}
 
 	areas := make([]units.Area, len(dies))
 	for i, r := range dies {
 		areas[i] = r.area
 		spec := m.dieSpec(d, r, fabCI)
-		yEff, err := stack.DieEffective(i + 1)
-		if err != nil {
-			return err
-		}
+		yEff := eff.Die[i]
 		c, err := spec.CarbonPerGoodDie(yEff)
 		if err != nil {
 			return err
@@ -583,21 +614,14 @@ func (m *Model) embodied3D(d *design.Design, dies []resolvedDie,
 
 	// Eq. 11: N−1 bonding operations; operation i processes die i's area.
 	for i := 1; i < len(dies); i++ {
-		yB, err := stack.BondingEffective(i)
-		if err != nil {
-			return err
-		}
-		c, err := m.bonding().Carbon(proc, dies[i-1].area, fabCI, yB)
+		c, err := m.bonding().Carbon(proc, dies[i-1].area, fabCI, eff.Bonding[i-1])
 		if err != nil {
 			return err
 		}
 		rep.Bonding += c
 	}
 
-	rep.AssemblyYield, err = stack.StackYield()
-	if err != nil {
-		return err
-	}
+	rep.AssemblyYield = eff.Stack
 	return m.finishPackaging(d, areas, rep)
 }
 
@@ -652,13 +676,16 @@ func (m *Model) embodied25D(d *design.Design, dies []resolvedDie,
 		BondYields:     bondYields,
 		Order:          order,
 	}
+	// One batched pass: the shared bond product is computed once instead of
+	// once per die index.
+	eff, err := asm.Effectives()
+	if err != nil {
+		return err
+	}
 
 	for i, r := range dies {
 		spec := m.dieSpec(d, r, fabCI)
-		yEff, err := asm.DieEffective(i + 1)
-		if err != nil {
-			return err
-		}
+		yEff := eff.Die[i]
 		c, err := spec.CarbonPerGoodDie(yEff)
 		if err != nil {
 			return err
@@ -673,10 +700,7 @@ func (m *Model) embodied25D(d *design.Design, dies []resolvedDie,
 
 	// C4 die attach: one bonding operation per die placed on the
 	// substrate.
-	bondEff, err := asm.BondingEffective()
-	if err != nil {
-		return err
-	}
+	bondEff := eff.Bonding
 	if order == ic.ChipFirst {
 		// Table 3: chip-first bonding yield is 1 (attach risk is folded
 		// into the substrate completion), but the attach energy is still
@@ -693,11 +717,7 @@ func (m *Model) embodied25D(d *design.Design, dies []resolvedDie,
 	}
 
 	if sub != nil {
-		subEff, err := asm.SubstrateEffective()
-		if err != nil {
-			return err
-		}
-		c, err := sub.CarbonPerGood(subEff)
+		c, err := sub.CarbonPerGood(eff.Substrate)
 		if err != nil {
 			return err
 		}
@@ -750,19 +770,35 @@ func (m *Model) Operational(d *design.Design, w workload.Workload,
 	if err := m.ValidateDesign(d); err != nil {
 		return nil, err
 	}
-	if err := w.Validate(); err != nil {
-		return nil, err
-	}
-	useCI, err := m.grid().Intensity(d.UseLocation)
-	if err != nil {
-		return nil, err
-	}
 	dies, err := m.resolve(d)
 	if err != nil {
 		return nil, err
 	}
+	rep := &OperationalReport{}
+	if err := m.operational(d, w, defaultEff, dies, rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
 
-	rep := &OperationalReport{Design: d.Name}
+// operational is the Eq. 16–17 body shared by Operational and
+// OperationalFrom: everything after design validation and die resolution.
+// dies must be m.resolve(d)'s output (directly, or cached in an
+// EmbodiedResult — resolution depends only on embodied-relevant fields).
+// rep must point at a zero OperationalReport; passing it in lets
+// OperationalFrom fold the report into one allocation with its TotalReport
+// (the factored hot path allocates these once per candidate).
+func (m *Model) operational(d *design.Design, w workload.Workload,
+	defaultEff units.Efficiency, dies []resolvedDie, rep *OperationalReport) error {
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	useCI, err := m.grid().Intensity(d.UseLocation)
+	if err != nil {
+		return err
+	}
+
+	rep.Design = d.Name
 
 	// Bandwidth constraint (2.5D only; §3.4 assumes 3D matches on-chip).
 	outcome := bandwidth.Unconstrained()
@@ -775,15 +811,15 @@ func (m *Model) Operational(d *design.Design, w workload.Workload,
 		}
 		cap25, err := m.bandwidth().Capacity25D(d.Integration, minEdge)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		req, err := m.Constraint.Required(w.Peak())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		outcome, err = m.Constraint.Evaluate(cap25, req)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rep.Capacity = outcome.Capacity
 		rep.Required = outcome.Required
@@ -808,17 +844,17 @@ func (m *Model) Operational(d *design.Design, w workload.Workload,
 			p, err := m.Power.DiePower(
 				units.OpsPerSecond(w.Throughput.OpsPerSec()*share), r.eff)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			compute += p
 		}
 	} else {
 		if defaultEff <= 0 {
-			return nil, fmt.Errorf("core: design %q has dies without efficiency and no default was given", d.Name)
+			return fmt.Errorf("core: design %q has dies without efficiency and no default was given", d.Name)
 		}
 		compute, err = m.Power.DiePower(w.Throughput, defaultEff)
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
 	rep.WireSaving = m.io().WireSaving(d.Integration)
@@ -831,7 +867,7 @@ func (m *Model) Operational(d *design.Design, w workload.Workload,
 	used := units.BytesPerSecond(m.Constraint.BytesPerOp * achievedOps)
 	rep.IOPower, err = m.io().InterfacePower(d.Integration, used, m.IOKappa)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	rep.TotalPower = rep.ComputePower + rep.IOPower
 
@@ -840,7 +876,7 @@ func (m *Model) Operational(d *design.Design, w workload.Workload,
 	rep.AnnualEnergy = rep.TotalPower.Over(units.Hours(activeHours))
 	rep.AnnualCarbon = useCI.Emit(rep.AnnualEnergy)
 	rep.LifetimeCarbon = units.KilogramsCO2(rep.AnnualCarbon.Kg() * w.LifetimeYears)
-	return rep, nil
+	return nil
 }
 
 // TotalReport is the Eq. 1 life-cycle combination.
@@ -850,20 +886,43 @@ type TotalReport struct {
 	Total       units.Carbon
 }
 
-// Total evaluates Eq. 1 for a design and workload.
+// OperationalFrom completes Eq. 1 from a cached embodied sub-term: it
+// evaluates only the operational model (reusing the resolved die state the
+// embodied evaluation produced) and composes the Total. d must agree with
+// the design er was computed from on every embodied-relevant field — only
+// UseLocation may differ; the returned TotalReport shares er's
+// EmbodiedReport. This is the factored hot path of the exploration engine:
+// one embodied term fans out across use locations, workloads and lifetimes.
+func (m *Model) OperationalFrom(er *EmbodiedResult, d *design.Design,
+	w workload.Workload, defaultEff units.Efficiency) (*TotalReport, error) {
+	if er == nil || er.Report == nil {
+		return nil, fmt.Errorf("core: OperationalFrom needs an evaluated embodied term")
+	}
+	// One allocation carries both reports: the operational model and the
+	// Eq. 1 composition are always produced together on this path.
+	rep := &struct {
+		t TotalReport
+		o OperationalReport
+	}{}
+	if err := m.operational(d, w, defaultEff, er.dies, &rep.o); err != nil {
+		return nil, err
+	}
+	rep.t = TotalReport{
+		Embodied:    er.Report,
+		Operational: &rep.o,
+		Total:       er.Report.Total + rep.o.LifetimeCarbon,
+	}
+	return &rep.t, nil
+}
+
+// Total evaluates Eq. 1 for a design and workload. It is the factored
+// composition itself — EmbodiedTerm then OperationalFrom — so the engine's
+// term-cached path and a direct Total are the same floating-point program.
 func (m *Model) Total(d *design.Design, w workload.Workload,
 	defaultEff units.Efficiency) (*TotalReport, error) {
-	emb, err := m.Embodied(d)
+	er, err := m.EmbodiedTerm(d)
 	if err != nil {
 		return nil, err
 	}
-	op, err := m.Operational(d, w, defaultEff)
-	if err != nil {
-		return nil, err
-	}
-	return &TotalReport{
-		Embodied:    emb,
-		Operational: op,
-		Total:       emb.Total + op.LifetimeCarbon,
-	}, nil
+	return m.OperationalFrom(er, d, w, defaultEff)
 }

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/ic"
+	"repro/internal/split"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// EmbodiedTerm must report exactly what Embodied reports, and
+// OperationalFrom must reproduce the Embodied+Operational composition
+// bit-for-bit across use locations and workloads — the invariant the
+// exploration engine's term cache rests on.
+func TestEmbodiedTermAndOperationalFromMatchMonolithic(t *testing.T) {
+	m := Default()
+	chip := split.Chip{Name: "factored", ProcessNM: 7, Gates: 17e9}
+	locs := m.GridDB().Locations()
+	workloads := []workload.Workload{
+		workload.AVPipeline(units.TOPS(254)),
+		func() workload.Workload {
+			w := workload.AVPipeline(units.TOPS(254))
+			w.LifetimeYears = 3
+			return w
+		}(),
+	}
+	eff := units.TOPSPerWatt(2.74)
+	rng := rand.New(rand.NewSource(1))
+
+	for _, integ := range ic.Integrations() {
+		d, err := split.Divide(chip, integ, split.HomogeneousStrategy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		er, err := m.EmbodiedTerm(d)
+		if err != nil {
+			t.Fatalf("%s: %v", integ, err)
+		}
+		emb, err := m.Embodied(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(er.Report, emb) {
+			t.Fatalf("%s: EmbodiedTerm report differs from Embodied", integ)
+		}
+
+		// A subset of locations keeps the quadratic corpus fast; the full
+		// cross-product lives in the explore-level property test.
+		for i := 0; i < 4; i++ {
+			use := locs[rng.Intn(len(locs))]
+			v := *d
+			v.UseLocation = use
+			for _, w := range workloads {
+				op, err := m.Operational(&v, w, eff)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", integ, use, err)
+				}
+				got, err := m.OperationalFrom(er, &v, w, eff)
+				if err != nil {
+					t.Fatalf("%s/%s: OperationalFrom: %v", integ, use, err)
+				}
+				if !reflect.DeepEqual(got.Operational, op) {
+					t.Errorf("%s/%s: OperationalFrom operational differs from Operational", integ, use)
+				}
+				if got.Total != emb.Total+op.LifetimeCarbon {
+					t.Errorf("%s/%s: Total %v != embodied %v + lifetime %v",
+						integ, use, got.Total, emb.Total, op.LifetimeCarbon)
+				}
+				if got.Embodied != er.Report {
+					t.Errorf("%s/%s: OperationalFrom must share the cached embodied report", integ, use)
+				}
+			}
+		}
+	}
+}
+
+// OperationalFrom must reject a missing embodied term and surface workload
+// validation failures exactly as Operational does.
+func TestOperationalFromErrors(t *testing.T) {
+	m := Default()
+	d, err := split.Mono2D(split.Chip{Name: "err", ProcessNM: 7, Gates: 17e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.AVPipeline(units.TOPS(254))
+	if _, err := m.OperationalFrom(nil, d, w, units.TOPSPerWatt(2.74)); err == nil {
+		t.Error("nil embodied term should fail")
+	}
+	if _, err := m.OperationalFrom(&EmbodiedResult{}, d, w, units.TOPSPerWatt(2.74)); err == nil {
+		t.Error("empty embodied term should fail")
+	}
+	er, err := m.EmbodiedTerm(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := w
+	bad.LifetimeYears = -1
+	wantErr := bad.Validate()
+	if wantErr == nil {
+		t.Fatal("expected invalid workload")
+	}
+	if _, err := m.OperationalFrom(er, d, bad, units.TOPSPerWatt(2.74)); err == nil || err.Error() != wantErr.Error() {
+		t.Errorf("OperationalFrom workload error = %v, want %v", err, wantErr)
+	}
+}

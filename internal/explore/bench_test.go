@@ -238,6 +238,63 @@ func BenchmarkExplore(b *testing.B) {
 	b.ReportMetric(float64(len(warm)), "candidates")
 }
 
+// streamOnce runs one full streamed exploration with the standard reducers
+// (the BenchmarkStreamExplore loop body) and returns the stream stats.
+func streamOnce(b *testing.B, e *Engine, s Space) StreamStats {
+	b.Helper()
+	ranked := NewTopK(10)
+	frontier := NewFrontierReducer()
+	st, err := e.Stream(context.Background(), s, func(r Result) error {
+		ranked.Add(r)
+		frontier.Add(r)
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(ranked.Results()) == 0 || frontier.Size() == 0 {
+		b.Fatal("empty ranking or frontier")
+	}
+	return st
+}
+
+// BenchmarkStreamExploreMonolithic is the term-factorization baseline: the
+// multi-location stream space evaluated cold (fresh caches every
+// iteration) with factorization disabled, so every candidate recomputes
+// the whole embodied model — the PR 3 pipeline's behaviour on a fresh
+// sweep. Compare ns/op against BenchmarkStreamExploreFactored (same space,
+// same cold-cache regime); CI gates the ratio at ≥2×.
+func BenchmarkStreamExploreMonolithic(b *testing.B) {
+	s := streamBenchSpace()
+	m := core.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := &Engine{Model: m, monolithic: true}
+		streamOnce(b, e, s)
+	}
+	b.ReportMetric(float64(s.Size()), "candidates")
+}
+
+// BenchmarkStreamExploreFactored is the term-factorized pipeline on the
+// same cold multi-location space: each distinct embodied term is computed
+// once per stream (plan slots + embodied cache) and only the operational
+// term fans across the 3 use locations × 3 lifetimes.
+func BenchmarkStreamExploreFactored(b *testing.B) {
+	s := streamBenchSpace()
+	m := core.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var st StreamStats
+	for i := 0; i < b.N; i++ {
+		e := &Engine{Model: m}
+		st = streamOnce(b, e, s)
+	}
+	b.ReportMetric(float64(s.Size()), "candidates")
+	b.ReportMetric(float64(st.EmbodiedMisses), "embodied_terms")
+	b.ReportMetric(float64(st.EmbodiedHits), "embodied_reuses")
+}
+
 // BenchmarkStreamExplore runs the same space through the streaming
 // pipeline with online reducers: no candidate slice, no result slice, no
 // sort copies — O(K + frontier) retention.

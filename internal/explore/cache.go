@@ -12,17 +12,24 @@ import (
 )
 
 // cacheEntry is one LRU slot: the memo key (so eviction can delete the map
-// entry) and the memoized evaluation.
-type cacheEntry struct {
+// entry) and the memoized value. The cache is generic over the entry type —
+// the engine keeps two instances, one of whole evaluations (memoEntry) and
+// one of embodied sub-terms (embodiedEntry).
+type cacheEntry[E any] struct {
 	key keyPair
-	ent *memoEntry
+	ent *E
 }
 
-// memoShard is one independently locked LRU segment.
-type memoShard struct {
+// memoShard is one independently locked segment. Bounded shards maintain an
+// LRU list for eviction; unbounded shards (limit ≤ 0) skip the list
+// entirely — a plain keyPair → entry map — because nothing is ever evicted,
+// which removes two allocations per insert and the MoveToFront write per
+// hit from the hot path of unbounded engines (CLIs, benchmarks).
+type memoShard[E any] struct {
 	mu    sync.Mutex
-	memo  map[keyPair]*list.Element // → *cacheEntry
-	lru   *list.List                // front = most recently used
+	memo  map[keyPair]*list.Element // bounded mode → *cacheEntry[E]
+	plain map[keyPair]*E            // unbounded mode
+	lru   *list.List                // front = most recently used (bounded)
 	limit int                       // ≤0 = unbounded
 
 	// pad spaces shards apart so their mutexes do not false-share one
@@ -31,8 +38,8 @@ type memoShard struct {
 }
 
 // memoCache routes keys to shards by the low hash bits.
-type memoCache struct {
-	shards []memoShard
+type memoCache[E any] struct {
+	shards []memoShard[E]
 	mask   uint64
 }
 
@@ -41,7 +48,7 @@ type memoCache struct {
 // never so many that a small CacheLimit degenerates into per-shard limits
 // of a handful of entries. limit ≤ 0 means unbounded; shards > 0 forces an
 // explicit count (rounded up to a power of two).
-func newMemoCache(limit, shards int) *memoCache {
+func newMemoCache[E any](limit, shards int) *memoCache[E] {
 	n := shards
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
@@ -64,45 +71,56 @@ func newMemoCache(limit, shards int) *memoCache {
 	for limit > 0 && p > limit {
 		p >>= 1
 	}
-	c := &memoCache{shards: make([]memoShard, p), mask: uint64(p - 1)}
+	c := &memoCache[E]{shards: make([]memoShard[E], p), mask: uint64(p - 1)}
 	for i := range c.shards {
 		s := &c.shards[i]
-		s.memo = make(map[keyPair]*list.Element)
-		s.lru = list.New()
 		if limit > 0 {
+			s.memo = make(map[keyPair]*list.Element)
+			s.lru = list.New()
 			// Distribute the global bound; the first shards take the
 			// remainder so the per-shard limits sum to exactly limit.
 			s.limit = limit / p
 			if i < limit%p {
 				s.limit++
 			}
+		} else {
+			s.plain = make(map[keyPair]*E)
 		}
 	}
 	return c
 }
 
-func (c *memoCache) shard(key keyPair) *memoShard {
+func (c *memoCache[E]) shard(key keyPair) *memoShard[E] {
 	return &c.shards[key.lo&c.mask]
 }
 
 // get returns the memo entry for key, inserting a fresh one on miss.
 // hit reports whether the entry already existed; evicted is the number of
 // entries dropped to keep the shard inside its limit.
-func (c *memoCache) get(key keyPair) (ent *memoEntry, hit bool, evicted int) {
+func (c *memoCache[E]) get(key keyPair) (ent *E, hit bool, evicted int) {
 	s := c.shard(key)
 	s.mu.Lock()
+	if s.limit <= 0 {
+		ent, hit = s.plain[key]
+		if !hit {
+			ent = new(E)
+			s.plain[key] = ent
+		}
+		s.mu.Unlock()
+		return ent, hit, 0
+	}
 	if el, ok := s.memo[key]; ok {
 		s.lru.MoveToFront(el)
-		ent = el.Value.(*cacheEntry).ent
+		ent = el.Value.(*cacheEntry[E]).ent
 		s.mu.Unlock()
 		return ent, true, 0
 	}
-	ent = &memoEntry{}
-	s.memo[key] = s.lru.PushFront(&cacheEntry{key: key, ent: ent})
+	ent = new(E)
+	s.memo[key] = s.lru.PushFront(&cacheEntry[E]{key: key, ent: ent})
 	if s.limit > 0 {
 		for len(s.memo) > s.limit {
 			back := s.lru.Back()
-			delete(s.memo, back.Value.(*cacheEntry).key)
+			delete(s.memo, back.Value.(*cacheEntry[E]).key)
 			s.lru.Remove(back)
 			evicted++
 		}
@@ -112,16 +130,16 @@ func (c *memoCache) get(key keyPair) (ent *memoEntry, hit bool, evicted int) {
 }
 
 // entries sums the resident entry counts across shards.
-func (c *memoCache) entries() int {
+func (c *memoCache[E]) entries() int {
 	total := 0
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		total += len(s.memo)
+		total += len(s.memo) + len(s.plain)
 		s.mu.Unlock()
 	}
 	return total
 }
 
 // count returns the number of shards (for stats and tests).
-func (c *memoCache) count() int { return len(c.shards) }
+func (c *memoCache[E]) count() int { return len(c.shards) }

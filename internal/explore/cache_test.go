@@ -25,7 +25,7 @@ func TestMemoCacheShardSizing(t *testing.T) {
 		{limit: 8, shards: 16, wantPow2: true}, // explicit count capped by the bound
 	}
 	for i, c := range cases {
-		mc := newMemoCache(c.limit, c.shards)
+		mc := newMemoCache[memoEntry](c.limit, c.shards)
 		n := mc.count()
 		if n&(n-1) != 0 || n == 0 {
 			t.Errorf("case %d: %d shards is not a power of two", i, n)
@@ -52,11 +52,14 @@ func TestMemoCacheShardSizing(t *testing.T) {
 }
 
 // lruDesigns builds n distinct single-die designs cheap enough to hammer.
+// Distinctness comes from the gate count — a model input — because names
+// are labels and no longer key the cache.
 func lruDesigns(t testing.TB, n int) []*design.Design {
 	t.Helper()
 	out := make([]*design.Design, n)
 	for i := range out {
-		d, err := split.Mono2D(split.Chip{Name: fmt.Sprintf("shard%d", i), ProcessNM: 7, Gates: 1e9})
+		d, err := split.Mono2D(split.Chip{Name: fmt.Sprintf("shard%d", i), ProcessNM: 7,
+			Gates: 1e9 + 1e6*float64(i)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -193,5 +196,42 @@ func TestStreamAllocsPerCandidateBounded(t *testing.T) {
 	// materializing pipeline's ~10+.
 	if perCandidate > 2.5 {
 		t.Errorf("streaming allocates %.2f allocs/candidate, budget 2.5", perCandidate)
+	}
+}
+
+// The factored COLD path is gated too: a fresh engine streaming the
+// multi-location bench space must stay under a pinned per-candidate
+// allocation budget and strictly under the monolithic path's — the
+// factorization must save the embodied-model allocations it claims to.
+func TestStreamFactoredColdAllocsBounded(t *testing.T) {
+	s := streamBenchSpace()
+	m := core.Default()
+	sweep := func(monolithic bool) func() {
+		return func() {
+			e := &Engine{Model: m, Workers: 1, monolithic: monolithic}
+			ranked := NewTopK(10)
+			frontier := NewFrontierReducer()
+			if _, err := e.Stream(context.Background(), s, func(r Result) error {
+				ranked.Add(r)
+				frontier.Add(r)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	n := float64(s.Size())
+	factored := testing.AllocsPerRun(3, sweep(false)) / n
+	monolithic := testing.AllocsPerRun(3, sweep(true)) / n
+	t.Logf("cold allocs per candidate: factored %.2f, monolithic %.2f", factored, monolithic)
+	// Measured ~4.8 factored vs ~12.9 monolithic; 7 leaves noise headroom
+	// while still catching a regression that re-materializes embodied
+	// reports per candidate.
+	if factored > 7 {
+		t.Errorf("factored cold stream allocates %.2f allocs/candidate, budget 7", factored)
+	}
+	if factored >= monolithic {
+		t.Errorf("factored path allocates %.2f/candidate, not below monolithic %.2f",
+			factored, monolithic)
 	}
 }

@@ -49,39 +49,67 @@ type Candidate struct {
 	// against. It is evaluated through the same memoized path, so a
 	// baseline shared by many candidates is computed once.
 	Baseline *design.Design
+
+	// hint and baseHint carry compiled embodied-term state attached by a
+	// planning source (Iter.Plan): a shared term slot plus the precomputed
+	// embodied sub-key, so candidates that only vary the operational axes
+	// skip both the term recomputation and the invariant part of the memo
+	// hash. Zero hints (hand-built candidates) fall back to hashing and the
+	// embodied cache.
+	hint     termHint
+	baseHint termHint
+}
+
+// termHint is the compiled embodied-term state of one design: the plan slot
+// shared by every candidate with the same embodied design (nil → use the
+// embodied cache) and the design's embodied sub-key (valid when keyed),
+// precomputed once per plan slab instead of re-hashed per candidate.
+type termHint struct {
+	slot  *embodiedSlot
+	key   keyPair
+	keyed bool
 }
 
 // embodiedOnly reports whether the candidate skips the operational model.
 func (c Candidate) embodiedOnly() bool { return c.Workload.Throughput <= 0 }
 
 // Key returns the canonical evaluation key of a (design, workload,
-// efficiency) triple: a flat string encoding of every model-relevant field.
-// Two candidates with equal keys are the same evaluation, whatever their
-// IDs. The memo cache itself no longer stores these strings — it keys on
-// the allocation-free 128-bit hash of the same fields (see hash.go) — but
-// the string form remains the readable canonical encoding and the oracle
-// the hash's injectivity is tested against.
+// efficiency) triple: a flat string encoding of every model-relevant field,
+// factored exactly as the Eq. 1 terms are — the embodied sub-key first
+// (EmbodiedKey), then the operational suffix (use grid, workload,
+// efficiency). Design and die names are labels, not model inputs, and are
+// deliberately excluded: two candidates that differ only in labels are the
+// same evaluation, whatever their IDs. Consequently the memoized report a
+// renamed-but-equal design receives is the SHARED report of the first
+// evaluation — numerically identical, but carrying the first-seen design
+// and die names in its header fields (candidate identity lives in
+// Result.Candidate.ID and the server's top-level design echo, which are
+// always the caller's own labels). The memo cache itself no longer
+// stores these strings — it keys on the allocation-free 128-bit hash of the
+// same fields (see hash.go) — but the string form remains the readable
+// canonical encoding and the oracle the hash's injectivity is tested
+// against.
 func Key(d *design.Design, w workload.Workload, eff units.Efficiency) string {
-	return designKey(d) + workloadKey(w, eff)
+	return EmbodiedKey(d) + operationalKey(d, w, eff)
 }
 
-// designKey encodes the design part of an evaluation key.
-func designKey(d *design.Design) string {
+// EmbodiedKey encodes the embodied sub-term's inputs: every design field
+// the Eq. 3 model reads (never UseLocation, workload or labels). Designs
+// with equal embodied keys share one entry in the engine's embodied
+// sub-term cache.
+func EmbodiedKey(d *design.Design) string {
 	b := make([]byte, 0, 192)
-	b = append(b, d.Name...)
-	b = appendStr(b, string(d.Integration))
+	b = append(b, string(d.Integration)...)
 	b = appendStr(b, string(d.Stacking))
 	b = appendStr(b, string(d.Flow))
 	b = appendStr(b, string(d.Order))
 	b = appendStr(b, string(d.FabLocation))
-	b = appendStr(b, string(d.UseLocation))
 	b = appendFloat(b, d.WaferAreaMM2)
 	b = appendFloat(b, d.GapMM)
 	b = appendFloat(b, d.InterposerScale)
 	b = appendFloat(b, d.PackageAreaMM2)
 	for _, die := range d.Dies {
-		b = appendStr(b, die.Name)
-		b = strconv.AppendInt(append(b, ';'), int64(die.ProcessNM), 10)
+		b = strconv.AppendInt(append(b, '|'), int64(die.ProcessNM), 10)
 		b = appendFloat(b, die.Gates)
 		b = appendFloat(b, die.AreaMM2)
 		b = strconv.AppendInt(append(b, ';'), int64(die.BEOLLayers), 10)
@@ -93,10 +121,12 @@ func designKey(d *design.Design) string {
 	return string(b)
 }
 
-// workloadKey encodes the workload/efficiency part of an evaluation key.
-func workloadKey(w workload.Workload, eff units.Efficiency) string {
+// operationalKey encodes the operational suffix of an evaluation key: the
+// use grid plus the workload/efficiency fields.
+func operationalKey(d *design.Design, w workload.Workload, eff units.Efficiency) string {
 	b := make([]byte, 0, 96)
 	b = append(b, '#')
+	b = append(b, d.UseLocation...)
 	b = appendFloat(b, float64(w.Throughput))
 	b = appendFloat(b, float64(w.PeakThroughput))
 	b = appendFloat(b, w.ActiveHoursPerYear)
@@ -178,6 +208,20 @@ type Stats struct {
 	// CacheShards is the number of independently locked cache segments
 	// (0 until the first evaluation builds the cache).
 	CacheShards int
+
+	// EmbodiedEvaluations is the number of distinct embodied sub-terms
+	// actually computed (resolve → yield → fab → bonding → packaging).
+	EmbodiedEvaluations uint64
+	// EmbodiedCacheHits is the number of embodied sub-terms answered from
+	// the embodied cache or a compiled plan slot — evaluations that paid
+	// only the cheap operational term.
+	EmbodiedCacheHits uint64
+	// EmbodiedCacheEntries is the current number of memoized embodied
+	// sub-terms.
+	EmbodiedCacheEntries int
+	// EmbodiedEvictions is the number of embodied sub-terms dropped to keep
+	// the embodied cache inside its bound.
+	EmbodiedEvictions uint64
 }
 
 // HitRate returns the fraction of evaluation requests answered from the
@@ -188,6 +232,16 @@ func (s Stats) HitRate() float64 {
 		return 0
 	}
 	return float64(s.CacheHits) / float64(total)
+}
+
+// EmbodiedReuseRate returns the fraction of embodied-term requests answered
+// without recomputing the embodied model (0 when none were requested).
+func (s Stats) EmbodiedReuseRate() float64 {
+	total := s.EmbodiedEvaluations + s.EmbodiedCacheHits
+	if total == 0 {
+		return 0
+	}
+	return float64(s.EmbodiedCacheHits) / float64(total)
 }
 
 // Engine evaluates candidates concurrently with a shared memoization cache.
@@ -225,30 +279,53 @@ type Engine struct {
 	// (zero fingerprint) would collide. Set before first use.
 	Cache *SharedCache
 
+	// monolithic disables term factorization: misses evaluate the whole
+	// Model.Total without the embodied sub-term cache or plan slots — the
+	// pre-factorization pipeline, kept as the benchmark baseline
+	// (BenchmarkStreamExploreMonolithic) and for factored-vs-monolithic
+	// equivalence tests.
+	monolithic bool
+
 	cacheOnce sync.Once
-	cache     atomic.Pointer[memoCache]
+	cache     atomic.Pointer[memoCache[memoEntry]]
+	embCache  atomic.Pointer[memoCache[embodiedEntry]]
 	fpHi      uint64 // model fingerprint words, fixed by cacheOnce
 	fpLo      uint64
 	evals     atomic.Uint64
 	hits      atomic.Uint64
 	evictions atomic.Uint64
+
+	embEvals     atomic.Uint64
+	embHits      atomic.Uint64
+	embEvictions atomic.Uint64
 }
 
 // SharedCache is a memoization cache that outlives any single engine: every
-// engine pointing at it reads and writes the same bounded sharded LRU.
-// Construct with NewSharedCache.
+// engine pointing at it reads and writes the same bounded sharded LRUs —
+// one for whole evaluations, one for embodied sub-terms. Construct with
+// NewSharedCache.
 type SharedCache struct {
-	c *memoCache
+	c   *memoCache[memoEntry]
+	emb *memoCache[embodiedEntry]
 }
 
 // NewSharedCache builds a cache bounded to limit distinct evaluations
-// (≤0 = unbounded) across shards locked segments (≤0 = automatic).
+// (≤0 = unbounded) across shards locked segments (≤0 = automatic). The
+// embodied sub-term side shares the same bound and shard policy: embodied
+// entries are strictly fewer than evaluations (many evaluations per term),
+// so the limit is a safe upper bound for both.
 func NewSharedCache(limit, shards int) *SharedCache {
-	return &SharedCache{c: newMemoCache(limit, shards)}
+	return &SharedCache{
+		c:   newMemoCache[memoEntry](limit, shards),
+		emb: newMemoCache[embodiedEntry](limit, shards),
+	}
 }
 
 // Entries returns the resident evaluation count.
 func (sc *SharedCache) Entries() int { return sc.c.entries() }
+
+// EmbodiedEntries returns the resident embodied sub-term count.
+func (sc *SharedCache) EmbodiedEntries() int { return sc.emb.entries() }
 
 // Shards returns the number of independently locked segments.
 func (sc *SharedCache) Shards() int { return sc.c.count() }
@@ -259,49 +336,112 @@ type memoEntry struct {
 	err  error
 }
 
+// embodiedEntry is one resolve-once embodied sub-term. It serves two
+// homes with identical semantics: entries of the embodied memo cache, and
+// the slots of a compiled evaluation plan — where the space iterator hands
+// every candidate sharing an embodied design the same slot, so the term is
+// resolved (through the embodied cache) exactly once per plan and every
+// other candidate takes a pointer: no hash, no shard lock. Plan slots are
+// scoped to one stream call, so they can never leak results across engines
+// or parameter profiles.
+type embodiedEntry struct {
+	once sync.Once
+	res  *core.EmbodiedResult
+	err  error
+}
+
+// embodiedSlot aliases the entry type in its plan-slot role.
+type embodiedSlot = embodiedEntry
+
+// termCounters accumulates per-call embodied reuse counters (StreamStats);
+// nil means the caller does not track them.
+type termCounters struct {
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// workerCache is per-worker evaluation state: enumeration order visits long
+// runs of candidates sharing one 2D baseline under one workload, so the
+// worker keeps the last baseline total and skips the memo lookup (hash +
+// shard lock) for the rest of the run. Purely an access-path shortcut — the
+// memoized report is the same pointer the cache would return.
+type workerCache struct {
+	baseD   *design.Design
+	baseW   workload.Workload
+	baseEff units.Efficiency
+	baseRep *core.TotalReport
+	baseErr error
+}
+
 // New returns an engine over the given model.
 func New(m *core.Model) *Engine { return &Engine{Model: m} }
 
 // Stats returns the evaluation counters.
 func (e *Engine) Stats() Stats {
 	st := Stats{
-		Evaluations: e.evals.Load(),
-		CacheHits:   e.hits.Load(),
-		Evictions:   e.evictions.Load(),
+		Evaluations:         e.evals.Load(),
+		CacheHits:           e.hits.Load(),
+		Evictions:           e.evictions.Load(),
+		EmbodiedEvaluations: e.embEvals.Load(),
+		EmbodiedCacheHits:   e.embHits.Load(),
+		EmbodiedEvictions:   e.embEvictions.Load(),
 	}
 	if c := e.cache.Load(); c != nil {
 		st.CacheEntries = c.entries()
 		st.CacheShards = c.count()
 	}
+	if c := e.embCache.Load(); c != nil {
+		st.EmbodiedCacheEntries = c.entries()
+	}
 	return st
 }
 
-// memo lazily builds (or attaches) the sharded cache on first evaluation,
+// memo lazily builds (or attaches) the sharded caches on first evaluation,
 // honouring the Cache/CacheLimit/CacheShards configured by then, and pins
 // the model-fingerprint key mix.
-func (e *Engine) memo() *memoCache {
+func (e *Engine) memo() *memoCache[memoEntry] {
 	e.cacheOnce.Do(func() {
 		if e.Model != nil {
 			e.fpHi, e.fpLo = e.Model.Fingerprint().Words()
 		}
 		if e.Cache != nil {
 			e.cache.Store(e.Cache.c)
+			e.embCache.Store(e.Cache.emb)
 			return
 		}
-		e.cache.Store(newMemoCache(e.CacheLimit, e.CacheShards))
+		e.cache.Store(newMemoCache[memoEntry](e.CacheLimit, e.CacheShards))
+		e.embCache.Store(newMemoCache[embodiedEntry](e.CacheLimit, e.CacheShards))
 	})
 	return e.cache.Load()
 }
 
-// memoKey keys one evaluation: the 128-bit design/workload hash with the
-// model's ParameterSet fingerprint folded in, so the same design under two
-// parameter profiles occupies two distinct cache entries.
-func (e *Engine) memoKey(d *design.Design, w workload.Workload, eff units.Efficiency) keyPair {
-	key := hashEvaluation(d, w, eff)
+// mixFP folds the model's ParameterSet fingerprint into a key, so the same
+// design under two parameter profiles occupies two distinct cache entries.
+func (e *Engine) mixFP(key keyPair) keyPair {
 	h := hash128{hi: key.hi, lo: key.lo}
 	h.u64(e.fpHi)
 	h.u64(e.fpLo)
 	return h.sum()
+}
+
+// memoKey keys one evaluation: the 128-bit design/workload hash,
+// fingerprint-mixed. A keyed hint supplies the design's embodied sub-key so
+// only the operational suffix is hashed per candidate.
+func (e *Engine) memoKey(d *design.Design, w workload.Workload, eff units.Efficiency, hint termHint) keyPair {
+	if hint.keyed {
+		return e.mixFP(hashOperational(hint.key, d, w, eff))
+	}
+	return e.mixFP(hashEvaluation(d, w, eff))
+}
+
+// embodiedMemoKey keys one embodied sub-term (fingerprint-mixed like
+// memoKey; the embodied and evaluation keys live in separate caches, so
+// their key spaces cannot collide).
+func (e *Engine) embodiedMemoKey(d *design.Design, hint termHint) keyPair {
+	if hint.keyed {
+		return e.mixFP(hint.key)
+	}
+	return e.mixFP(hashEmbodied(d))
 }
 
 func (e *Engine) workers() int {
@@ -311,14 +451,63 @@ func (e *Engine) workers() int {
 	return runtime.NumCPU()
 }
 
+// embodiedTerm resolves one embodied sub-term through the embodied cache.
+func (e *Engine) embodiedTerm(d *design.Design, hint termHint, tc *termCounters) (*core.EmbodiedResult, error) {
+	emb := e.embCache.Load()
+	ent, ok, evicted := emb.get(e.embodiedMemoKey(d, hint))
+	if evicted > 0 {
+		e.embEvictions.Add(uint64(evicted))
+	}
+	if ok {
+		e.embHits.Add(1)
+		if tc != nil {
+			tc.hits.Add(1)
+		}
+	} else if tc != nil {
+		tc.misses.Add(1)
+	}
+	ent.once.Do(func() {
+		e.embEvals.Add(1)
+		ent.res, ent.err = e.Model.EmbodiedTerm(d)
+	})
+	return ent.res, ent.err
+}
+
+// embodiedFor resolves a candidate's embodied term: through its compiled
+// plan slot when the source planned one (pointer reuse, no hashing), else
+// through the embodied cache.
+func (e *Engine) embodiedFor(d *design.Design, hint termHint, tc *termCounters) (*core.EmbodiedResult, error) {
+	slot := hint.slot
+	if slot == nil {
+		return e.embodiedTerm(d, hint, tc)
+	}
+	computed := false
+	slot.once.Do(func() {
+		computed = true
+		slot.res, slot.err = e.embodiedTerm(d, hint, tc)
+	})
+	if !computed {
+		// Reused an already-resolved slot: an embodied hit that never
+		// touched the cache.
+		e.embHits.Add(1)
+		if tc != nil {
+			tc.hits.Add(1)
+		}
+	}
+	return slot.res, slot.err
+}
+
 // total evaluates one (design, workload, eff) triple through the memo
-// cache. Embodied-only evaluations leave Operational nil and set Total to
-// the embodied carbon. The returned report is shared across callers and
-// must be treated as read-only.
+// cache. Misses evaluate term-factorized: the embodied sub-term comes from
+// the plan slot or the embodied cache (computed at most once per distinct
+// embodied design) and only the cheap operational term runs per (use
+// location, workload) variant. Embodied-only evaluations leave Operational
+// nil and set Total to the embodied carbon. The returned report is shared
+// across callers and must be treated as read-only.
 func (e *Engine) total(d *design.Design, w workload.Workload, eff units.Efficiency,
-	embodiedOnly bool) (*core.TotalReport, error) {
+	embodiedOnly bool, hint termHint, tc *termCounters) (*core.TotalReport, error) {
 	memo := e.memo() // also pins the fingerprint words memoKey mixes in
-	key := e.memoKey(d, w, eff)
+	key := e.memoKey(d, w, eff, hint)
 	ent, ok, evicted := memo.get(key)
 	if evicted > 0 {
 		e.evictions.Add(uint64(evicted))
@@ -328,28 +517,42 @@ func (e *Engine) total(d *design.Design, w workload.Workload, eff units.Efficien
 	}
 	ent.once.Do(func() {
 		e.evals.Add(1)
-		if embodiedOnly {
-			emb, err := e.Model.Embodied(d)
-			if err != nil {
-				ent.err = err
+		if e.monolithic {
+			if embodiedOnly {
+				emb, err := e.Model.Embodied(d)
+				if err != nil {
+					ent.err = err
+					return
+				}
+				ent.rep = &core.TotalReport{Embodied: emb, Total: emb.Total}
 				return
 			}
-			ent.rep = &core.TotalReport{Embodied: emb, Total: emb.Total}
+			ent.rep, ent.err = e.Model.Total(d, w, eff)
 			return
 		}
-		ent.rep, ent.err = e.Model.Total(d, w, eff)
+		er, err := e.embodiedFor(d, hint, tc)
+		if err != nil {
+			ent.err = err
+			return
+		}
+		if embodiedOnly {
+			ent.rep = &core.TotalReport{Embodied: er.Report, Total: er.Report.Total}
+			return
+		}
+		ent.rep, ent.err = e.Model.OperationalFrom(er, d, w, eff)
 	})
 	return ent.rep, ent.err
 }
 
-// evaluateOne fills one result.
-func (e *Engine) evaluateOne(c Candidate) Result {
+// evaluateOne fills one result. wc (optional) is the calling worker's
+// baseline shortcut state.
+func (e *Engine) evaluateOne(c Candidate, tc *termCounters, wc *workerCache) Result {
 	r := Result{Candidate: c}
 	if c.Design == nil {
 		r.Err = fmt.Errorf("explore: candidate %q has no design", c.ID)
 		return r
 	}
-	rep, err := e.total(c.Design, c.Workload, c.Eff, c.embodiedOnly())
+	rep, err := e.total(c.Design, c.Workload, c.Eff, c.embodiedOnly(), c.hint, tc)
 	if err != nil {
 		r.Err = err
 		return r
@@ -359,7 +562,19 @@ func (e *Engine) evaluateOne(c Candidate) Result {
 	if c.Baseline == nil {
 		return r
 	}
-	base, err := e.total(c.Baseline, c.Workload, c.Eff, c.embodiedOnly())
+	var base *core.TotalReport
+	if wc != nil && wc.baseD == c.Baseline && wc.baseW == c.Workload && wc.baseEff == c.Eff {
+		// Same baseline design (pointer-identical, so field-identical) under
+		// the same workload as the previous candidate: reuse the memoized
+		// report without re-hashing it.
+		base, err = wc.baseRep, wc.baseErr
+	} else {
+		base, err = e.total(c.Baseline, c.Workload, c.Eff, c.embodiedOnly(), c.baseHint, tc)
+		if wc != nil {
+			*wc = workerCache{baseD: c.Baseline, baseW: c.Workload, baseEff: c.Eff,
+				baseRep: base, baseErr: err}
+		}
+	}
 	if err != nil {
 		// A candidate can be buildable where its 2D baseline is not: keep
 		// the candidate, record why the comparison is missing.
@@ -400,11 +615,12 @@ func (e *Engine) Evaluate(ctx context.Context, cands []Candidate) ([]Result, err
 		workers = len(cands)
 	}
 	if workers <= 1 {
+		wc := &workerCache{}
 		for i, c := range cands {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			results[i] = e.evaluateOne(c)
+			results[i] = e.evaluateOne(c, nil, wc)
 		}
 		return results, nil
 	}
@@ -427,6 +643,7 @@ func (e *Engine) Evaluate(ctx context.Context, cands []Candidate) ([]Result, err
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			wc := &workerCache{}
 			for {
 				start := int(next.Add(block)) - block
 				if start >= len(cands) {
@@ -440,7 +657,7 @@ func (e *Engine) Evaluate(ctx context.Context, cands []Candidate) ([]Result, err
 					if stop.Load() {
 						return
 					}
-					results[i] = e.evaluateOne(cands[i])
+					results[i] = e.evaluateOne(cands[i], nil, wc)
 				}
 			}
 		}()

@@ -119,14 +119,19 @@ func TestMemoizationSharesBaseline(t *testing.T) {
 	st := e.Stats()
 	// 15 candidates + 14 baseline references, but the baseline is the same
 	// design as the single 2D candidate: exactly 15 distinct evaluations.
+	// The hit COUNT is no longer exactly 14: consecutive candidates sharing
+	// one baseline are answered from the worker's local shortcut without a
+	// counted cache lookup, so only each worker's first baseline reference
+	// reaches the cache (≥1, ≤14 depending on worker block boundaries).
 	if st.Evaluations != 15 {
 		t.Errorf("expected 15 distinct evaluations, got %d", st.Evaluations)
 	}
-	if st.CacheHits != 14 {
-		t.Errorf("expected 14 cache hits (shared 2D baseline), got %d", st.CacheHits)
+	if st.CacheHits < 1 || st.CacheHits > 14 {
+		t.Errorf("expected 1..14 cache hits (shared 2D baseline), got %d", st.CacheHits)
 	}
 
-	// Re-evaluating the same candidates is answered fully from cache.
+	// Re-evaluating the same candidates is answered fully from cache: zero
+	// new evaluations, and every candidate lookup is a counted hit.
 	if _, err := e.Evaluate(context.Background(), cands); err != nil {
 		t.Fatal(err)
 	}
@@ -134,10 +139,14 @@ func TestMemoizationSharesBaseline(t *testing.T) {
 	if st2.Evaluations != st.Evaluations {
 		t.Errorf("re-evaluation recomputed: %d -> %d evals", st.Evaluations, st2.Evaluations)
 	}
-	if st2.CacheHits != st.CacheHits+uint64(len(cands))*2-1 {
-		// 15 candidate lookups + 14 baseline lookups, all hits.
-		t.Errorf("expected %d cache hits after re-evaluation, got %d",
-			st.CacheHits+uint64(len(cands))*2-1, st2.CacheHits)
+	if delta := st2.CacheHits - st.CacheHits; delta < uint64(len(cands)) || delta > uint64(len(cands))*2-1 {
+		t.Errorf("expected %d..%d cache hits from re-evaluation, got %d",
+			len(cands), len(cands)*2-1, delta)
+	}
+	// Embodied sub-terms: at most one per distinct evaluation, at least one
+	// overall — the factored cache is live on this path too.
+	if st2.EmbodiedEvaluations == 0 || st2.EmbodiedEvaluations > st2.Evaluations {
+		t.Errorf("embodied terms %d outside (0, %d]", st2.EmbodiedEvaluations, st2.Evaluations)
 	}
 }
 

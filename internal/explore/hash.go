@@ -87,20 +87,19 @@ func (h *hash128) bool(v bool) {
 
 func (h *hash128) sum() keyPair { return keyPair{hi: h.hi, lo: h.lo} }
 
-// hashEvaluation keys one (design, workload, efficiency) triple. It covers
-// exactly the fields the Key string encoding covers, in the same order, so
-// hash equality and string-key equality coincide (modulo 2^-128 collisions;
-// TestHashMatchesStringKeys pins the correspondence over the shipped design
-// corpus).
-func hashEvaluation(d *design.Design, w workload.Workload, eff units.Efficiency) keyPair {
+// hashEmbodied keys the embodied sub-term of an evaluation: every
+// embodied-relevant design field — integration, geometry, fab grid and the
+// dies — and nothing else. UseLocation, workload and efficiency live in the
+// operational suffix (hashOperational); design and die *names* are labels,
+// not model inputs, and are excluded so renamed-but-equal designs share one
+// term (and one memoized evaluation).
+func hashEmbodied(d *design.Design) keyPair {
 	h := newHash()
-	h.str(d.Name)
 	h.str(string(d.Integration))
 	h.str(string(d.Stacking))
 	h.str(string(d.Flow))
 	h.str(string(d.Order))
 	h.str(string(d.FabLocation))
-	h.str(string(d.UseLocation))
 	h.f64(d.WaferAreaMM2)
 	h.f64(d.GapMM)
 	h.f64(d.InterposerScale)
@@ -108,7 +107,6 @@ func hashEvaluation(d *design.Design, w workload.Workload, eff units.Efficiency)
 	h.u64(uint64(len(d.Dies)))
 	for i := range d.Dies {
 		die := &d.Dies[i]
-		h.str(die.Name)
 		h.u64(uint64(int64(die.ProcessNM)))
 		h.f64(die.Gates)
 		h.f64(die.AreaMM2)
@@ -116,10 +114,29 @@ func hashEvaluation(d *design.Design, w workload.Workload, eff units.Efficiency)
 		h.bool(die.Memory)
 		h.f64(die.EfficiencyTOPSW)
 	}
+	return h.sum()
+}
+
+// hashOperational extends an embodied sub-key with the operational-only
+// fields: use grid, workload and chip efficiency. The full evaluation key
+// is therefore a pure suffix of its embodied key — the engine derives both
+// from one pass over the design.
+func hashOperational(base keyPair, d *design.Design, w workload.Workload, eff units.Efficiency) keyPair {
+	h := hash128{hi: base.hi, lo: base.lo}
+	h.str(string(d.UseLocation))
 	h.f64(float64(w.Throughput))
 	h.f64(float64(w.PeakThroughput))
 	h.f64(w.ActiveHoursPerYear)
 	h.f64(w.LifetimeYears)
 	h.f64(float64(eff))
 	return h.sum()
+}
+
+// hashEvaluation keys one (design, workload, efficiency) triple. It covers
+// exactly the fields the Key string encoding covers, in the same order, so
+// hash equality and string-key equality coincide (modulo 2^-128 collisions;
+// TestHashMatchesStringKeys pins the correspondence over the shipped design
+// corpus).
+func hashEvaluation(d *design.Design, w workload.Workload, eff units.Efficiency) keyPair {
+	return hashOperational(hashEmbodied(d), d, w, eff)
 }

@@ -111,7 +111,6 @@ func TestHashFieldSensitivity(t *testing.T) {
 	}
 
 	mutations := map[string]func(*design.Design){
-		"name":        func(d *design.Design) { d.Name = "other" },
 		"integration": func(d *design.Design) { d.Integration = ic.MicroBump3D },
 		"stacking":    func(d *design.Design) { d.Stacking = ic.F2B },
 		"flow":        func(d *design.Design) { d.Flow = ic.W2W },
@@ -125,13 +124,29 @@ func TestHashFieldSensitivity(t *testing.T) {
 		"die beol":    func(d *design.Design) { d.Dies[0].BEOLLayers = 9 },
 		"die memory":  func(d *design.Design) { d.Dies[0].Memory = true },
 		"die eff":     func(d *design.Design) { d.Dies[0].EfficiencyTOPSW = 1 },
-		"die name":    func(d *design.Design) { d.Dies[0].Name = "zzz" },
 	}
 	for name, mutate := range mutations {
 		d := base()
 		mutate(d)
 		if hashEvaluation(d, w, eff) == h0 {
 			t.Errorf("mutating %s did not change the hash", name)
+		}
+	}
+
+	// Labels are not model inputs: renaming the design or a die must NOT
+	// perturb the hash, so renamed-but-equal candidates share one memoized
+	// evaluation.
+	for name, mutate := range map[string]func(*design.Design){
+		"name":     func(d *design.Design) { d.Name = "other" },
+		"die name": func(d *design.Design) { d.Dies[0].Name = "zzz" },
+	} {
+		d := base()
+		mutate(d)
+		if hashEvaluation(d, w, eff) != h0 {
+			t.Errorf("mutating the %s label changed the hash", name)
+		}
+		if Key(d, w, eff) != Key(base(), w, eff) {
+			t.Errorf("mutating the %s label changed the string key", name)
 		}
 	}
 
@@ -148,12 +163,25 @@ func TestHashFieldSensitivity(t *testing.T) {
 // String-length prefixing must keep adjacent variable-length fields from
 // aliasing.
 func TestHashNoFieldAliasing(t *testing.T) {
-	a := &design.Design{Name: "ab", Integration: "c",
+	a := &design.Design{Integration: "ab", Stacking: "c",
 		Dies: []design.Die{{Name: "soc", ProcessNM: 7, Gates: 1e9}}}
-	b := &design.Design{Name: "a", Integration: "bc",
+	b := &design.Design{Integration: "a", Stacking: "bc",
 		Dies: []design.Die{{Name: "soc", ProcessNM: 7, Gates: 1e9}}}
 	var w workload.Workload
 	if hashEvaluation(a, w, 0) == hashEvaluation(b, w, 0) {
 		t.Error("shifted field boundary produced the same hash")
+	}
+	// The operational suffix must not alias across the embodied/operational
+	// boundary either: a fab/use swap changes both sub-keys but not their
+	// concatenated fields.
+	c := &design.Design{Integration: "2D", FabLocation: "x", UseLocation: "y",
+		Dies: []design.Die{{Name: "soc", ProcessNM: 7, Gates: 1e9}}}
+	d := &design.Design{Integration: "2D", FabLocation: "y", UseLocation: "x",
+		Dies: []design.Die{{Name: "soc", ProcessNM: 7, Gates: 1e9}}}
+	if hashEvaluation(c, w, 0) == hashEvaluation(d, w, 0) {
+		t.Error("fab/use swap produced the same hash")
+	}
+	if hashEmbodied(c) == hashEmbodied(d) {
+		t.Error("fab location must be part of the embodied sub-key")
 	}
 }

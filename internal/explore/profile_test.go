@@ -52,15 +52,15 @@ func TestMemoKeysDifferAcrossFingerprints(t *testing.T) {
 
 	d := probeDesign()
 	var w = Candidate{}.Workload
-	kBase := base.memoKey(d, w, 0)
-	kProf := prof.memoKey(d, w, 0)
+	kBase := base.memoKey(d, w, 0, termHint{})
+	kProf := prof.memoKey(d, w, 0, termHint{})
 	if kBase == kProf {
 		t.Fatalf("memo keys collide across fingerprints: %+v", kBase)
 	}
 	// Same fingerprint ⇒ same key (two engines over the same profile share).
 	base2 := New(profileModel(t, ""))
 	base2.memo()
-	if got := base2.memoKey(d, w, 0); got != kBase {
+	if got := base2.memoKey(d, w, 0, termHint{}); got != kBase {
 		t.Fatalf("same-fingerprint engines disagree on the key: %+v vs %+v", got, kBase)
 	}
 }

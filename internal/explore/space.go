@@ -282,12 +282,46 @@ func (it *Iter) Len() int { return it.n }
 // only the cursor itself is single-goroutine.
 func (it *Iter) Cursor() SourceCursor { return &spaceCursor{it: it, outer: -1} }
 
+// Plan compiles the space into a term-reuse evaluation plan: one embodied
+// slot per distinct embodied design — (gates, node) template × inner pair ×
+// fab location, the axes the Eq. 3 model reads — shared by every candidate
+// that only varies the operational axes (use location, lifetime). The
+// engine resolves each slot once and fans the cheap operational term across
+// the rest, which is the Fig. 5 / drive-study shape: L use-grid locations
+// no longer recompute the embodied model L times.
+//
+// A plan's slots hold evaluation state, so a plan is scoped to one
+// Engine.StreamSource call (which compiles it automatically via Planner);
+// the Iter itself stays immutable and shareable.
+func (it *Iter) Plan() Source {
+	perGN := len(it.pairs) + 1 // + the 2D baseline template
+	return &iterPlan{it: it, slots: make([]embodiedSlot, len(it.templates)*len(it.fabs)*perGN)}
+}
+
+// iterPlan is one compiled plan: the iterator plus its slot table.
+type iterPlan struct {
+	it    *Iter
+	slots []embodiedSlot
+}
+
+func (p *iterPlan) Len() int { return p.it.n }
+
+func (p *iterPlan) Cursor() SourceCursor { return &spaceCursor{it: p.it, outer: -1, plan: p} }
+
+// slot returns the embodied slot of template ti (pair index, or len(pairs)
+// for the 2D baseline) at (gates×node) point gn and fab index fi.
+func (p *iterPlan) slot(gn, fi, ti int) *embodiedSlot {
+	perGN := len(p.it.pairs) + 1
+	return &p.slots[(gn*len(p.it.fabs)+fi)*perGN+ti]
+}
+
 // spaceCursor decodes candidates for one worker. It keeps the design set
 // of the current outer point (gates, node, fab, use) — one slab allocation
 // per outer-point transition, amortized over the lifetime × pair block —
 // and a reusable ID buffer.
 type spaceCursor struct {
 	it    *Iter
+	plan  *iterPlan // non-nil when decoding for a compiled plan
 	outer int
 	// designs is the current outer point's slab: template copies with the
 	// point's locations stamped, baseline last. A fresh slab is allocated
@@ -295,6 +329,24 @@ type spaceCursor struct {
 	// referencing consistent, immutable designs.
 	designs []design.Design
 	idBuf   []byte
+
+	// Embodied sub-key cache for the current (gates×node, fab) block: the
+	// embodied hash ignores UseLocation and lifetime, so one key per
+	// template serves every candidate of the block — the decode path hashes
+	// only the short operational suffix per candidate.
+	gnFab    int
+	embKeys  []keyPair
+	embKeyOK []bool
+}
+
+// embKey returns template ti's embodied sub-key for the current slab,
+// computing it at most once per (gates×node, fab) block.
+func (cu *spaceCursor) embKey(ti int) keyPair {
+	if !cu.embKeyOK[ti] {
+		cu.embKeys[ti] = hashEmbodied(&cu.designs[ti])
+		cu.embKeyOK[ti] = true
+	}
+	return cu.embKeys[ti]
 }
 
 // At decodes candidate i in enumeration order.
@@ -315,7 +367,8 @@ func (cu *spaceCursor) At(i int) (Candidate, error) {
 	gi := rest / len(it.nodes)
 
 	gn := gi*len(it.nodes) + ni
-	outer := (gn*len(it.fabs)+fi)*len(it.uses) + ui
+	gnFab := gn*len(it.fabs) + fi
+	outer := gnFab*len(it.uses) + ui
 	fab, use := it.fabs[fi], it.uses[ui]
 	if outer != cu.outer {
 		tmpl := it.templates[gn]
@@ -327,6 +380,18 @@ func (cu *spaceCursor) At(i int) (Candidate, error) {
 		}
 		cu.designs = slab
 		cu.outer = outer
+		if cu.embKeys == nil {
+			cu.embKeys = make([]keyPair, len(tmpl))
+			cu.embKeyOK = make([]bool, len(tmpl))
+			cu.gnFab = -1
+		}
+		if gnFab != cu.gnFab {
+			// The embodied sub-keys survive use-location transitions (the
+			// embodied hash excludes UseLocation); only a new (gates×node,
+			// fab) block invalidates them.
+			clear(cu.embKeyOK)
+			cu.gnFab = gnFab
+		}
 	}
 
 	pair := it.pairs[pi]
@@ -342,6 +407,19 @@ func (cu *spaceCursor) At(i int) (Candidate, error) {
 	}
 	if pair.integ != ic.Mono2D {
 		c.Baseline = &cu.designs[len(it.pairs)]
+	}
+	// Hints (shared term slots + precomputed embodied sub-keys) attach only
+	// on plan cursors: plans are compiled by the engine per stream call and
+	// their candidates never escape to callers, so a hint can never go
+	// stale against a caller-mutated Design. Enumerate's candidates stay
+	// hint-free and remain safe to edit before evaluation.
+	if cu.plan != nil {
+		c.hint = termHint{slot: cu.plan.slot(gn, fi, pi), key: cu.embKey(pi), keyed: true}
+		if c.Baseline != nil {
+			c.baseHint = termHint{
+				slot: cu.plan.slot(gn, fi, len(it.pairs)), key: cu.embKey(len(it.pairs)), keyed: true,
+			}
+		}
 	}
 	return c, nil
 }

@@ -31,6 +31,17 @@ type SourceCursor interface {
 	At(i int) (Candidate, error)
 }
 
+// Planner is an optional Source capability: sources that can compile their
+// candidates into a term-reuse evaluation plan (shared embodied-term slots)
+// implement it, and Engine.StreamSource calls Plan once per stream so every
+// distinct embodied sub-term in the space is computed exactly once while
+// only the cheap operational term fans across use locations, workloads and
+// lifetimes. Space iterators implement Planner; plans are scoped to one
+// stream call, so slot state never crosses engines or parameter profiles.
+type Planner interface {
+	Plan() Source
+}
+
 // SliceSource adapts a materialized candidate list to the streaming
 // pipeline (the compatibility path for callers that build explicit grids,
 // e.g. cmd/sweep).
@@ -60,6 +71,14 @@ type StreamStats struct {
 	// evaluated but not yet delivered — the pipeline's actual working-set
 	// bound, O(workers × block) by construction.
 	PeakInFlight int
+
+	// EmbodiedHits counts evaluations in this stream whose embodied
+	// sub-term was answered from a compiled plan slot or the embodied
+	// cache — computed evaluations that paid only the operational term.
+	EmbodiedHits int
+	// EmbodiedMisses counts embodied sub-terms computed fresh during this
+	// stream (the distinct embodied designs it actually evaluated).
+	EmbodiedMisses int
 }
 
 // streamBlock is the fan-out granularity: one atomic claim per block keeps
@@ -85,31 +104,46 @@ func (e *Engine) Stream(ctx context.Context, s Space, sink Sink) (StreamStats, e
 	return e.StreamSource(ctx, it, sink)
 }
 
-// StreamSource is Stream over any positional candidate source.
+// StreamSource is Stream over any positional candidate source. Sources
+// implementing Planner are compiled into a term-reuse plan for the call.
 func (e *Engine) StreamSource(ctx context.Context, src Source, sink Sink) (StreamStats, error) {
 	if e.Model == nil {
 		return StreamStats{}, fmt.Errorf("explore: engine has no model")
+	}
+	if p, ok := src.(Planner); ok {
+		src = p.Plan()
 	}
 	n := src.Len()
 	st := StreamStats{Candidates: n}
 	if n == 0 {
 		return st, ctx.Err()
 	}
+	tc := &termCounters{}
 	workers := e.workers()
 	if workers > (n+streamBlock-1)/streamBlock {
 		workers = (n + streamBlock - 1) / streamBlock
 	}
 	if workers <= 1 {
-		return e.streamSerial(ctx, src, sink, st)
+		st, err := e.streamSerial(ctx, src, sink, st, tc)
+		return finishStreamStats(st, tc), err
 	}
-	return e.streamParallel(ctx, src, sink, st, workers)
+	st, err := e.streamParallel(ctx, src, sink, st, workers, tc)
+	return finishStreamStats(st, tc), err
+}
+
+// finishStreamStats folds the per-call term counters into the stats.
+func finishStreamStats(st StreamStats, tc *termCounters) StreamStats {
+	st.EmbodiedHits = int(tc.hits.Load())
+	st.EmbodiedMisses = int(tc.misses.Load())
+	return st
 }
 
 func (e *Engine) streamSerial(ctx context.Context, src Source, sink Sink,
-	st StreamStats) (StreamStats, error) {
+	st StreamStats, tc *termCounters) (StreamStats, error) {
 	stop, unwatch := watchContext(ctx)
 	defer unwatch()
 	cur := src.Cursor()
+	wc := &workerCache{}
 	st.PeakInFlight = 1
 	for i := 0; i < st.Candidates; i++ {
 		if stop.Load() {
@@ -119,7 +153,7 @@ func (e *Engine) streamSerial(ctx context.Context, src Source, sink Sink,
 		if err != nil {
 			return st, err
 		}
-		if err := sink(e.evaluateOne(c)); err != nil {
+		if err := sink(e.evaluateOne(c, tc, wc)); err != nil {
 			return st, err
 		}
 		st.Delivered++
@@ -226,7 +260,7 @@ func (s *sequencer) fail(err error) {
 }
 
 func (e *Engine) streamParallel(ctx context.Context, src Source, sink Sink,
-	st StreamStats, workers int) (StreamStats, error) {
+	st StreamStats, workers int, tc *termCounters) (StreamStats, error) {
 	stop, unwatch := watchContext(ctx)
 	defer unwatch()
 
@@ -242,6 +276,7 @@ func (e *Engine) streamParallel(ctx context.Context, src Source, sink Sink,
 		go func() {
 			defer wg.Done()
 			cur := src.Cursor()
+			wc := &workerCache{}
 			for {
 				b := int(nextBlock.Add(1)) - 1
 				start := b * streamBlock
@@ -267,7 +302,7 @@ func (e *Engine) streamParallel(ctx context.Context, src Source, sink Sink,
 						seq.fail(err)
 						return
 					}
-					results = append(results, e.evaluateOne(c))
+					results = append(results, e.evaluateOne(c, tc, wc))
 				}
 				if !seq.complete(b, results) {
 					return

@@ -280,13 +280,22 @@ func NewExploreResult(r explore.Result) ExploreResult {
 	return out
 }
 
-// EngineStats is the JSON form of the exploration engine's counters.
+// EngineStats is the JSON form of the exploration engine's counters. The
+// embodied_* fields count the term-factorized sub-cache: embodied sub-terms
+// computed versus answered from the embodied cache or a compiled plan slot
+// (evaluations that paid only the cheap operational term).
 type EngineStats struct {
 	Evaluations  uint64  `json:"evaluations"`
 	CacheHits    uint64  `json:"cache_hits"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	CacheEntries int     `json:"cache_entries"`
 	Evictions    uint64  `json:"evictions"`
+
+	EmbodiedEvaluations uint64  `json:"embodied_evaluations"`
+	EmbodiedCacheHits   uint64  `json:"embodied_cache_hits"`
+	EmbodiedReuseRate   float64 `json:"embodied_reuse_rate"`
+	EmbodiedEntries     int     `json:"embodied_entries"`
+	EmbodiedEvictions   uint64  `json:"embodied_evictions"`
 }
 
 // NewEngineStats converts the engine counters.
@@ -297,6 +306,12 @@ func NewEngineStats(st explore.Stats) EngineStats {
 		CacheHitRate: st.HitRate(),
 		CacheEntries: st.CacheEntries,
 		Evictions:    st.Evictions,
+
+		EmbodiedEvaluations: st.EmbodiedEvaluations,
+		EmbodiedCacheHits:   st.EmbodiedCacheHits,
+		EmbodiedReuseRate:   st.EmbodiedReuseRate(),
+		EmbodiedEntries:     st.EmbodiedCacheEntries,
+		EmbodiedEvictions:   st.EmbodiedEvictions,
 	}
 }
 

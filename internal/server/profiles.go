@@ -48,9 +48,7 @@ type profileCache struct {
 
 	// retired accumulates the engine counters of evicted profiles so the
 	// aggregate /v1/stats view does not lose served traffic.
-	retiredEvals     uint64
-	retiredHits      uint64
-	retiredEvictions uint64
+	retired explore.Stats
 }
 
 func newProfileCache(limit int) *profileCache {
@@ -115,10 +113,7 @@ func (pc *profileCache) put(fp params.Fingerprint, key string, eng *explore.Engi
 	for pc.limit > 0 && pc.lru.Len() > pc.limit {
 		back := pc.lru.Back()
 		ent := back.Value.(*profileEntry)
-		st := ent.engine.Stats()
-		pc.retiredEvals += st.Evaluations
-		pc.retiredHits += st.CacheHits
-		pc.retiredEvictions += st.Evictions
+		accumulateEngine(&pc.retired, ent.engine.Stats())
 		delete(pc.byFP, ent.fp)
 		for _, k := range ent.rawKeys {
 			delete(pc.byRaw, k)
@@ -156,21 +151,29 @@ func (pc *profileCache) stats() apitypes.ProfileStats {
 	}
 }
 
+// accumulateEngine folds one engine's counters into an aggregate (counter
+// fields only — entry/shard gauges come from the shared cache).
+func accumulateEngine(agg *explore.Stats, st explore.Stats) {
+	agg.Evaluations += st.Evaluations
+	agg.CacheHits += st.CacheHits
+	agg.Evictions += st.Evictions
+	agg.EmbodiedEvaluations += st.EmbodiedEvaluations
+	agg.EmbodiedCacheHits += st.EmbodiedCacheHits
+	agg.EmbodiedEvictions += st.EmbodiedEvictions
+}
+
 // engineTotals sums the evaluation counters of every profile engine this
 // cache has ever held — resident engines live, evicted engines from the
 // retired accumulators — so /v1/stats reflects all served traffic, not
 // just the baseline engine's.
-func (pc *profileCache) engineTotals() (evals, hits, evictions uint64) {
+func (pc *profileCache) engineTotals() explore.Stats {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	evals, hits, evictions = pc.retiredEvals, pc.retiredHits, pc.retiredEvictions
+	agg := pc.retired
 	for el := pc.lru.Front(); el != nil; el = el.Next() {
-		st := el.Value.(*profileEntry).engine.Stats()
-		evals += st.Evaluations
-		hits += st.CacheHits
-		evictions += st.Evictions
+		accumulateEngine(&agg, el.Value.(*profileEntry).engine.Stats())
 	}
-	return evals, hits, evictions
+	return agg
 }
 
 // resolveEngine maps a request's optional params overlay to the engine that

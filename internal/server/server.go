@@ -625,14 +625,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) int {
 	// engine (resident or evicted): all requests share one memoization
 	// cache, so the documented "across all requests since boot" semantics
 	// must include profile traffic. Entry/shard figures come from the
-	// shared cache itself.
+	// shared cache itself (the embodied side included).
 	engineStats := s.engine.Stats()
-	pEvals, pHits, pEvictions := s.profiles.engineTotals()
-	engineStats.Evaluations += pEvals
-	engineStats.CacheHits += pHits
-	engineStats.Evictions += pEvictions
+	accumulateEngine(&engineStats, s.profiles.engineTotals())
 	engineStats.CacheEntries = s.shared.Entries()
 	engineStats.CacheShards = s.shared.Shards()
+	engineStats.EmbodiedCacheEntries = s.shared.EmbodiedEntries()
 	resp := apitypes.StatsResponse{
 		UptimeSeconds:    time.Since(s.start).Seconds(),
 		Endpoints:        make(map[string]apitypes.EndpointStats, len(s.metrics)),

@@ -219,6 +219,45 @@ func TestBatchDuplicatesHitCache(t *testing.T) {
 	}
 }
 
+// Term factorization across requests: the same design evaluated under two
+// use locations is two distinct evaluations but ONE embodied sub-term, and
+// /v1/stats reports the embodied-cache counters.
+func TestStatsReportEmbodiedCache(t *testing.T) {
+	s := New(Options{})
+	d1 := loadLakefield(t)
+	d2 := loadLakefield(t)
+	d2.UseLocation = "india"
+	for _, d := range []*design.Design{d1, d2} {
+		rec := post(t, s, "/v1/evaluate", apitypes.EvaluateRequest{Design: d})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("evaluate %s: %d: %s", d.UseLocation, rec.Code, rec.Body)
+		}
+	}
+	rec := get(t, s, "/v1/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	var st apitypes.StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Engine.Evaluations != 2 {
+		t.Errorf("evaluations = %d, want 2 (two use locations)", st.Engine.Evaluations)
+	}
+	if st.Engine.EmbodiedEvaluations != 1 {
+		t.Errorf("embodied evaluations = %d, want 1 (shared term)", st.Engine.EmbodiedEvaluations)
+	}
+	if st.Engine.EmbodiedCacheHits != 1 {
+		t.Errorf("embodied cache hits = %d, want 1", st.Engine.EmbodiedCacheHits)
+	}
+	if st.Engine.EmbodiedReuseRate != 0.5 {
+		t.Errorf("embodied reuse rate = %v, want 0.5", st.Engine.EmbodiedReuseRate)
+	}
+	if st.Engine.EmbodiedEntries != 1 {
+		t.Errorf("embodied entries = %d, want 1", st.Engine.EmbodiedEntries)
+	}
+}
+
 // An oversized body is rejected before it is decoded into memory.
 func TestBodySizeLimit(t *testing.T) {
 	s := New(Options{MaxBodyBytes: 64})

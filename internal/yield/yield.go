@@ -127,6 +127,76 @@ func (s Stack3D) BondingEffective(i int) (float64, error) {
 	return 0, fmt.Errorf("yield: unknown bond flow %q", s.Flow)
 }
 
+// StackEffectives holds every Table 3 effective yield of a 3D stack,
+// computed by Stack3D.Effectives in a single pass.
+type StackEffectives struct {
+	// Die[i-1] is Y_die_i (what DieEffective(i) returns).
+	Die []float64
+	// Bonding[i-1] is Y_bonding_i (what BondingEffective(i) returns); the
+	// slice has N−1 entries for the N−1 bonding operations.
+	Bonding []float64
+	// Stack is the final-good probability (what StackYield returns).
+	Stack float64
+}
+
+// Effectives computes every effective yield of the stack at once: one
+// validation pass and one bond-yield power table replace the per-index
+// math.Pow chains of DieEffective/BondingEffective — the hot path the
+// embodied model walks once per die per candidate. The batched and
+// per-index paths report bit-identical carbon for every legal stack height
+// (pinned by TestEffectivesMatchPerIndex).
+func (s Stack3D) Effectives() (*StackEffectives, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	n := len(s.DieYields)
+	// powers[k] = BondYield^k. Successive multiplication is bit-identical
+	// to math.Pow for exponents ≤ 3 (one rounding per multiply, in the same
+	// order Pow's square-and-multiply takes), so the common 2–4-high stacks
+	// pay no pow calls; taller stacks fall back to math.Pow per exponent so
+	// the table matches the per-index methods exactly at every height.
+	powers := make([]float64, n)
+	powers[0] = 1
+	for k := 1; k < n; k++ {
+		if k <= 3 {
+			powers[k] = powers[k-1] * s.BondYield
+		} else {
+			powers[k] = math.Pow(s.BondYield, float64(k))
+		}
+	}
+	eff := &StackEffectives{Die: make([]float64, n), Bonding: make([]float64, n-1)}
+	switch s.Flow {
+	case ic.D2W:
+		for i := 1; i <= n; i++ {
+			eff.Die[i-1] = s.DieYields[i-1] * powers[n-i]
+		}
+		for i := 1; i <= n-1; i++ {
+			eff.Bonding[i-1] = powers[n-i]
+		}
+	case ic.W2W:
+		// Every die and bond shares the whole stack's fate: one compound
+		// probability, computed once instead of once per index.
+		p := powers[n-1]
+		for _, y := range s.DieYields {
+			p *= y
+		}
+		for i := range eff.Die {
+			eff.Die[i] = p
+		}
+		for i := range eff.Bonding {
+			eff.Bonding[i] = p
+		}
+	default:
+		return nil, fmt.Errorf("yield: unknown bond flow %q", s.Flow)
+	}
+	p := powers[n-1]
+	for _, y := range s.DieYields {
+		p *= y
+	}
+	eff.Stack = p
+	return eff, nil
+}
+
 // StackYield returns the compound probability that the completed stack is
 // good: all dies good and all bonds good. It is the same for D2W and W2W —
 // the flows differ in *whose carbon is wasted* when something fails (the
@@ -189,6 +259,47 @@ func (a Assembly25D) bondProduct() float64 {
 		p *= y
 	}
 	return p
+}
+
+// AssemblyEffectives holds every Table 3 effective yield of a 2.5D
+// assembly, computed by Assembly25D.Effectives in a single pass.
+type AssemblyEffectives struct {
+	// Die[i-1] is Y_die_i (what DieEffective(i) returns).
+	Die []float64
+	// Substrate is Y_substrate (what SubstrateEffective returns).
+	Substrate float64
+	// Bonding is Y_bonding (what BondingEffective returns).
+	Bonding float64
+}
+
+// Effectives computes every effective yield of the assembly at once: one
+// validation pass and one shared bond-yield product replace the per-index
+// recomputation of DieEffective (which rebuilds Π_j y_bonding_j for every
+// die). The floats are identical to the per-index methods — the product is
+// accumulated in the same order, just once.
+func (a Assembly25D) Effectives() (*AssemblyEffectives, error) {
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
+	eff := &AssemblyEffectives{Die: make([]float64, len(a.DieYields))}
+	switch a.Order {
+	case ic.ChipFirst:
+		for i, y := range a.DieYields {
+			eff.Die[i] = y * a.SubstrateYield
+		}
+		eff.Substrate = a.SubstrateYield
+		eff.Bonding = 1
+	case ic.ChipLast:
+		bp := a.bondProduct()
+		for i, y := range a.DieYields {
+			eff.Die[i] = y * bp
+		}
+		eff.Substrate = a.SubstrateYield * bp
+		eff.Bonding = bp
+	default:
+		return nil, fmt.Errorf("yield: unknown attach order %q", a.Order)
+	}
+	return eff, nil
 }
 
 // DieEffective returns Y_die_i of Table 3's 2.5D rows (1-based):

@@ -321,3 +321,127 @@ func TestEffectiveYieldBounds(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// The batched Effectives must reproduce the per-index methods bit-for-bit
+// over realistic stacks (2–4 dies, both flows, a spread of yields): the
+// core embodied model switched to the batched path, and the golden reports
+// pin its floats.
+func TestEffectivesMatchPerIndex(t *testing.T) {
+	yields := [][]float64{
+		{0.81, 0.93},
+		{0.7, 0.85, 0.99},
+		{0.6, 0.72, 0.88, 0.95},
+		// Taller than the multiply-exact range: exercises the math.Pow
+		// fallback of the power table (design validation allows stacks up
+		// to 16 tiers, so exactness must hold past 4 dies too).
+		{0.9, 0.91, 0.92, 0.93, 0.94, 0.95},
+	}
+	for _, dies := range yields {
+		for _, bond := range []float64{0.9, 0.975, 1} {
+			for _, flow := range []ic.BondFlow{ic.D2W, ic.W2W} {
+				s := Stack3D{DieYields: dies, BondYield: bond, Flow: flow}
+				eff, err := s.Effectives()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 1; i <= len(dies); i++ {
+					want, err := s.DieEffective(i)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if eff.Die[i-1] != want {
+						t.Errorf("%v/%s: Die[%d] = %g, per-index %g", dies, flow, i, eff.Die[i-1], want)
+					}
+				}
+				for i := 1; i <= len(dies)-1; i++ {
+					want, err := s.BondingEffective(i)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if eff.Bonding[i-1] != want {
+						t.Errorf("%v/%s: Bonding[%d] = %g, per-index %g", dies, flow, i, eff.Bonding[i-1], want)
+					}
+				}
+				want, err := s.StackYield()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if eff.Stack != want {
+					t.Errorf("%v/%s: Stack = %g, per-index %g", dies, flow, eff.Stack, want)
+				}
+			}
+		}
+	}
+}
+
+// The 2.5D batched path must equal the per-index methods exactly for both
+// attach orders.
+func TestAssemblyEffectivesMatchPerIndex(t *testing.T) {
+	dies := []float64{0.8, 0.9, 0.95, 0.99, 0.7}
+	bonds := []float64{0.99, 0.98, 0.97, 0.995, 0.96}
+	for _, order := range []ic.AttachOrder{ic.ChipFirst, ic.ChipLast} {
+		a := Assembly25D{DieYields: dies, SubstrateYield: 0.87, BondYields: bonds, Order: order}
+		eff, err := a.Effectives()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= len(dies); i++ {
+			want, err := a.DieEffective(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eff.Die[i-1] != want {
+				t.Errorf("%s: Die[%d] = %g, per-index %g", order, i, eff.Die[i-1], want)
+			}
+		}
+		wantS, err := a.SubstrateEffective()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eff.Substrate != wantS {
+			t.Errorf("%s: Substrate = %g, per-index %g", order, eff.Substrate, wantS)
+		}
+		wantB, err := a.BondingEffective()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eff.Bonding != wantB {
+			t.Errorf("%s: Bonding = %g, per-index %g", order, eff.Bonding, wantB)
+		}
+	}
+}
+
+// Invalid configurations must fail Effectives exactly as they fail the
+// per-index methods.
+func TestEffectivesValidate(t *testing.T) {
+	if _, err := (Stack3D{DieYields: []float64{0.9}, BondYield: 0.9, Flow: ic.D2W}).Effectives(); err == nil {
+		t.Error("single-die stack should fail")
+	}
+	if _, err := (Assembly25D{DieYields: []float64{0.9, 0.9}, SubstrateYield: 0, Order: ic.ChipFirst}).Effectives(); err == nil {
+		t.Error("zero substrate yield should fail")
+	}
+}
+
+// The batched pass is the hot path: it must stay at a handful of fixed-size
+// allocations per stack, not one per die index.
+func TestEffectivesAllocs(t *testing.T) {
+	s := Stack3D{DieYields: []float64{0.8, 0.9, 0.95}, BondYield: 0.99, Flow: ic.D2W}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := s.Effectives(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 4 {
+		t.Errorf("Stack3D.Effectives allocates %.0f objects, budget 4", allocs)
+	}
+	a := Assembly25D{DieYields: []float64{0.8, 0.9}, SubstrateYield: 0.9,
+		BondYields: []float64{0.99, 0.98}, Order: ic.ChipLast}
+	allocs = testing.AllocsPerRun(100, func() {
+		if _, err := a.Effectives(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 3 {
+		t.Errorf("Assembly25D.Effectives allocates %.0f objects, budget 3", allocs)
+	}
+}
