@@ -1,0 +1,142 @@
+package carbon3d
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/design"
+	"repro/internal/explore"
+)
+
+// designSpace derives the exploration space that re-divides a shipped
+// design's silicon — its total gate count across its own process nodes —
+// over both split strategies, every grid location and two lifetimes. The
+// block kernel evaluates planned spaces, so this is how a shipped design
+// file enters the kernel's hot path.
+func designSpace(name string, d *design.Design) explore.Space {
+	gates := 0.0
+	nodeSet := map[int]bool{}
+	for _, die := range d.Dies {
+		gates += die.Gates
+		nodeSet[die.ProcessNM] = true
+	}
+	nodes := make([]int, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	s := explore.Space{
+		Name:          name,
+		Strategies:    []Strategy{Homogeneous, Heterogeneous},
+		NodesNM:       nodes,
+		UseLocations:  Locations(),
+		LifetimeYears: []float64{5, 10},
+	}
+	// Area-specified designs (no per-die gate counts) keep the default
+	// design size; the node and location axes still come from the file.
+	if gates > 0 {
+		s.Gates = []float64{gates}
+	}
+	return s
+}
+
+// renderSpaceCSV streams s through e with the CLI's reducers and renders
+// exactly the CSV bytes `cmd/explore -format csv` emits for the ranking
+// and frontier sections.
+func renderSpaceCSV(t *testing.T, e *explore.Engine, s explore.Space) string {
+	t.Helper()
+	ranked := NewTopK(10)
+	frontier := NewFrontierReducer()
+	if _, err := e.Stream(context.Background(), s, func(r ExploreResult) error {
+		ranked.Add(r)
+		frontier.Add(r)
+		return nil
+	}); err != nil {
+		t.Fatalf("space %s: %v", s.Name, err)
+	}
+	var b strings.Builder
+	b.WriteString(explore.ResultsTable(ranked.Results()).CSV())
+	b.WriteString(frontier.Frontier().Table().CSV())
+	return b.String()
+}
+
+// TestBlockKernelMatchesGolden pushes every shipped design × every shipped
+// parameter profile × every grid location through the columnar block
+// kernel and requires the rendered CSV to be byte-identical to the scalar
+// oracle's — and to the pinned golden file (refresh with -update). A model
+// change legitimately moves the golden; a kernel/oracle divergence fails
+// both ways.
+func TestBlockKernelMatchesGolden(t *testing.T) {
+	designFiles, err := filepath.Glob(filepath.Join("designs", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	profileFiles, err := filepath.Glob(filepath.Join("profiles", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(designFiles) == 0 || len(profileFiles) == 0 {
+		t.Fatal("no shipped designs or profiles found")
+	}
+
+	models := []struct {
+		name string
+		m    *Model
+	}{{"baseline", NewModel()}}
+	for _, p := range profileFiles {
+		m, err := NewModelFromFile(p)
+		if err != nil {
+			t.Fatalf("loading profile %s: %v", p, err)
+		}
+		models = append(models, struct {
+			name string
+			m    *Model
+		}{strings.TrimSuffix(filepath.Base(p), ".json"), m})
+	}
+
+	var golden bytes.Buffer
+	for _, mod := range models {
+		for _, df := range designFiles {
+			d, err := LoadDesign(df)
+			if err != nil {
+				t.Fatalf("loading design %s: %v", df, err)
+			}
+			name := strings.TrimSuffix(filepath.Base(df), ".json")
+			s := designSpace(name, d)
+			blockEng := &explore.Engine{Model: mod.m}
+			scalarEng := &explore.Engine{Model: mod.m, ScalarOnly: true}
+			got := renderSpaceCSV(t, blockEng, s)
+			want := renderSpaceCSV(t, scalarEng, s)
+			if got != want {
+				t.Errorf("%s/%s: block CSV differs from scalar oracle:\n--- block ---\n%s--- scalar ---\n%s",
+					mod.name, name, got, want)
+			}
+			fmt.Fprintf(&golden, "== %s/%s ==\n%s", mod.name, name, got)
+		}
+	}
+
+	path := filepath.Join("testdata", "block_kernel.golden")
+	if *updateProfiles {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, golden.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test . -update`): %v", err)
+	}
+	if !bytes.Equal(golden.Bytes(), want) {
+		t.Errorf("block kernel golden drifted (diff the file or rerun with -update):\n--- got ---\n%.4000s",
+			golden.String())
+	}
+}

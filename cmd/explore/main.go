@@ -142,8 +142,11 @@ func run(nodes, gates, integrations, strategies, fabs, uses, lifetimes string,
 		fmt.Printf("Cache: %d distinct evaluations, %d hits (%.1f%% hit rate), %d entries in %d shard(s), %d evicted\n",
 			es.Evaluations, es.CacheHits, 100*es.HitRate(),
 			es.CacheEntries, es.CacheShards, es.Evictions)
-		fmt.Printf("Embodied terms: %d computed, %d reused (%.1f%% reuse — evaluations that paid only the operational term)\n\n",
+		fmt.Printf("Embodied terms: %d computed, %d reused (%.1f%% reuse — evaluations that paid only the operational term)\n",
 			es.EmbodiedEvaluations, es.EmbodiedCacheHits, 100*es.EmbodiedReuseRate())
+		fmt.Printf("Block kernel: %d candidates in %d runs (%d stencils; %d via scalar path)\n\n",
+			es.BlockCandidates, es.BlockRuns, es.BlockStencils,
+			uint64(st.Candidates)-es.BlockCandidates)
 		fmt.Printf("Lowest life-cycle carbon (top %d of %d)\n\n", top, stats.OK)
 	}
 	emit(explore.ResultsTable(topResults), csv)

@@ -87,6 +87,9 @@ func main() {
 		fmt.Fprintf(os.Stderr,
 			"sweep: embodied terms: %d computed, %d reused (%.1f%% reuse)\n",
 			es.EmbodiedEvaluations, es.EmbodiedCacheHits, 100*es.EmbodiedReuseRate())
+		fmt.Fprintf(os.Stderr,
+			"sweep: block kernel: %d candidates in %d runs (%d stencils)\n",
+			es.BlockCandidates, es.BlockRuns, es.BlockStencils)
 	}
 }
 

@@ -797,8 +797,25 @@ func (m *Model) operational(d *design.Design, w workload.Workload,
 	if err != nil {
 		return err
 	}
+	if err := m.operationalPrefix(d, w, defaultEff, dies, rep); err != nil {
+		return err
+	}
+	finishOperational(rep, useCI, w.LifetimeYears)
+	return nil
+}
 
+// operationalPrefix computes the use-location- and lifetime-invariant part
+// of the Eq. 16–17 body: bandwidth verdict, compute/IO power and annual
+// energy. It reads d's integration and die state and w's throughput fields,
+// but never UseLocation or LifetimeYears — so one prefix result completes
+// any number of evaluations across use grids and lifetimes via
+// finishOperational. Split out of operational so the two callers (the
+// scalar path and the OperationalStencil batch path) are the same
+// floating-point program.
+func (m *Model) operationalPrefix(d *design.Design, w workload.Workload,
+	defaultEff units.Efficiency, dies []resolvedDie, rep *OperationalReport) error {
 	rep.Design = d.Name
+	var err error
 
 	// Bandwidth constraint (2.5D only; §3.4 assumes 3D matches on-chip).
 	outcome := bandwidth.Unconstrained()
@@ -874,9 +891,14 @@ func (m *Model) operational(d *design.Design, w workload.Workload,
 	// Eq. 16: degradation stretches active time for the fixed work.
 	activeHours := w.ActiveHoursPerYear / rep.ThroughputFactor
 	rep.AnnualEnergy = rep.TotalPower.Over(units.Hours(activeHours))
-	rep.AnnualCarbon = useCI.Emit(rep.AnnualEnergy)
-	rep.LifetimeCarbon = units.KilogramsCO2(rep.AnnualCarbon.Kg() * w.LifetimeYears)
 	return nil
+}
+
+// finishOperational completes an operational prefix for one concrete use
+// grid and lifetime — the only part of Eq. 16–17 that depends on them.
+func finishOperational(rep *OperationalReport, useCI units.CarbonIntensity, lifetimeYears float64) {
+	rep.AnnualCarbon = useCI.Emit(rep.AnnualEnergy)
+	rep.LifetimeCarbon = units.KilogramsCO2(rep.AnnualCarbon.Kg() * lifetimeYears)
 }
 
 // TotalReport is the Eq. 1 life-cycle combination.
@@ -913,6 +935,71 @@ func (m *Model) OperationalFrom(er *EmbodiedResult, d *design.Design,
 		Total:       er.Report.Total + rep.o.LifetimeCarbon,
 	}
 	return &rep.t, nil
+}
+
+// OperationalStencil is the compiled, reusable prefix of one operational
+// evaluation: everything Eq. 16–17 computes from the design template and
+// workload throughput profile — bandwidth verdict, compute/IO power, annual
+// energy — with the use-location and lifetime terms left open. A stencil is
+// the batch-friendly sibling of OperationalFrom: the exploration engine's
+// columnar block kernel builds one stencil per (design template, fab,
+// workload profile) and completes thousands of (use grid, lifetime)
+// variants from it with two multiplies each, instead of re-running the
+// whole operational body per candidate. Completing a stencil is the same
+// floating-point program as OperationalFrom (both call finishOperational on
+// an identical prefix), so stenciled and scalar evaluations are
+// bit-identical.
+//
+// A stencil is immutable after construction and safe to share across
+// goroutines.
+type OperationalStencil struct {
+	proto OperationalReport // prefix result; AnnualCarbon/LifetimeCarbon zero
+	emb   *EmbodiedReport
+}
+
+// OperationalStencilFrom compiles the operational prefix of (er, d, w,
+// defaultEff). d must agree with er's design on every embodied-relevant
+// field (as for OperationalFrom); w's UseLocation-independent throughput
+// fields are baked in, its LifetimeYears is ignored. The caller is
+// responsible for w.Validate and the use-grid lookup — the stencil covers
+// only the prefix, so those per-candidate error paths keep their scalar
+// ordering.
+func (m *Model) OperationalStencilFrom(er *EmbodiedResult, d *design.Design,
+	w workload.Workload, defaultEff units.Efficiency) (*OperationalStencil, error) {
+	if er == nil || er.Report == nil {
+		return nil, fmt.Errorf("core: OperationalStencilFrom needs an evaluated embodied term")
+	}
+	st := &OperationalStencil{emb: er.Report}
+	if err := m.operationalPrefix(d, w, defaultEff, er.dies, &st.proto); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// AnnualCarbon returns the stencil's annual operational carbon at one use
+// intensity — the Eq. 16 product the lifetime fan-out scales. It is exactly
+// the AnnualCarbon a full evaluation at that intensity reports.
+func (st *OperationalStencil) AnnualCarbon(useCI units.CarbonIntensity) units.Carbon {
+	return useCI.Emit(st.proto.AnnualEnergy)
+}
+
+// Complete stamps one finished evaluation into (t, o) from a precomputed
+// annual carbon (st.AnnualCarbon of the candidate's use grid) and the
+// lifetime total lifetime = annual × years. Callers hoist the annual term
+// per (stencil, use grid) and the multiply per candidate, which keeps the
+// block kernel's inner loop to a struct copy and two float ops; the stamped
+// reports are bit-identical to OperationalFrom's because the factored
+// products are computed by the same expressions finishOperational uses.
+func (st *OperationalStencil) Complete(t *TotalReport, o *OperationalReport,
+	annual, lifetime units.Carbon) {
+	*o = st.proto
+	o.AnnualCarbon = annual
+	o.LifetimeCarbon = lifetime
+	*t = TotalReport{
+		Embodied:    st.emb,
+		Operational: o,
+		Total:       st.emb.Total + lifetime,
+	}
 }
 
 // Total evaluates Eq. 1 for a design and workload. It is the factored

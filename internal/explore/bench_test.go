@@ -295,6 +295,86 @@ func BenchmarkStreamExploreFactored(b *testing.B) {
 	b.ReportMetric(float64(st.EmbodiedHits), "embodied_reuses")
 }
 
+// fanoutBenchSpace is the cold operational fan-out regime the columnar
+// block kernel targets: a handful of embodied terms (15 strategy ×
+// integration pairs × 2 nodes, one design size) fanned across 8 use
+// grids × 6 lifetimes — 1,440 candidates over 30 distinct embodied
+// terms, the thousands-of-near-identical-candidates shape optimizer
+// loops and Monte Carlo samplers produce.
+func fanoutBenchSpace() Space {
+	return Space{
+		Name:       "fanout",
+		Strategies: []split.Strategy{split.HomogeneousStrategy, split.HeterogeneousStrategy},
+		NodesNM:    []int{5, 7},
+		Gates:      []float64{17e9},
+		UseLocations: []grid.Location{
+			grid.USA, grid.Europe, grid.India, grid.China,
+			grid.California, grid.Norway, grid.WorldAverage, grid.Renewable,
+		},
+		LifetimeYears: []float64{3, 5, 7, 10, 12, 15},
+	}
+}
+
+// BenchmarkStreamExploreScalar is the block kernel's performance
+// baseline: the same cold fan-out space through the scalar streaming
+// pipeline — one candidate at a time, the whole model per candidate, no
+// term machinery (the PR 3 pipeline). CI gates
+// BenchmarkStreamExploreBlock at ≥3× this. The intermediate
+// term-factorized scalar path sits between the two (its own CI gate
+// pins it at ≥2× monolithic) and doubles as the kernel's bit-exactness
+// oracle: TestBlockKernelMatchesScalar and FuzzBlockVsScalar diff the
+// kernel against Engine.ScalarOnly, and
+// TestPlannedStreamMatchesMonolithic ties that path to this baseline.
+func BenchmarkStreamExploreScalar(b *testing.B) {
+	s := fanoutBenchSpace()
+	m := core.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := &Engine{Model: m, ScalarOnly: true, monolithic: true}
+		streamOnce(b, e, s)
+	}
+	b.ReportMetric(float64(s.Size()), "candidates")
+}
+
+// BenchmarkStreamExploreScalarFactored is the factored scalar oracle on
+// the fan-out space — the exact per-candidate path the differential
+// tests compare the kernel against, benchmarked for transparency (the
+// kernel's win over it is the columnar batching alone, not term reuse).
+func BenchmarkStreamExploreScalarFactored(b *testing.B) {
+	s := fanoutBenchSpace()
+	m := core.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := &Engine{Model: m, ScalarOnly: true}
+		streamOnce(b, e, s)
+	}
+	b.ReportMetric(float64(s.Size()), "candidates")
+}
+
+// BenchmarkStreamExploreBlock is the columnar kernel on the same cold
+// fan-out space: one operational stencil per (template, fab) completes
+// every (use, lifetime) variant with a memo probe, a struct stamp and two
+// float ops. Outputs are bit-identical to the scalar baseline
+// (TestBlockKernelMatchesScalar, FuzzBlockVsScalar).
+func BenchmarkStreamExploreBlock(b *testing.B) {
+	s := fanoutBenchSpace()
+	m := core.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var st StreamStats
+	for i := 0; i < b.N; i++ {
+		e := &Engine{Model: m}
+		st = streamOnce(b, e, s)
+	}
+	b.ReportMetric(float64(s.Size()), "candidates")
+	b.ReportMetric(float64(st.BlockCandidates), "block_candidates")
+	if st.BlockCandidates != s.Size() {
+		b.Fatalf("block kernel evaluated %d of %d candidates", st.BlockCandidates, s.Size())
+	}
+}
+
 // BenchmarkStreamExplore runs the same space through the streaming
 // pipeline with online reducers: no candidate slice, no result slice, no
 // sort copies — O(K + frontier) retention.

@@ -29,6 +29,7 @@ type memoShard[E any] struct {
 	mu    sync.Mutex
 	memo  map[keyPair]*list.Element // bounded mode → *cacheEntry[E]
 	plain map[keyPair]*E            // unbounded mode
+	slab  []E                       // unbounded mode: chunked entry storage
 	lru   *list.List                // front = most recently used (bounded)
 	limit int                       // ≤0 = unbounded
 
@@ -36,6 +37,13 @@ type memoShard[E any] struct {
 	// cache line under cross-core contention.
 	_ [40]byte
 }
+
+// shardSlab is how many entries an unbounded shard allocates at a time:
+// entries live exactly as long as the cache (nothing is ever evicted), so
+// carving them from chunks trades one allocation per insert for one per
+// chunk. Pointers into the slab are stable — the slice is only resliced
+// forward, never grown.
+const shardSlab = 64
 
 // memoCache routes keys to shards by the low hash bits.
 type memoCache[E any] struct {
@@ -94,6 +102,26 @@ func (c *memoCache[E]) shard(key keyPair) *memoShard[E] {
 	return &c.shards[key.lo&c.mask]
 }
 
+// reserve pre-sizes the unbounded shards for about n upcoming insertions,
+// so a cold stream of known length pays no incremental map growth or
+// rehashing on the hot path. A cold-start hint only: shards that already
+// hold entries are left alone, as are bounded shards (their resident size
+// is capped by limit).
+func (c *memoCache[E]) reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	per := n/len(c.shards) + 1
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		if s.limit <= 0 && len(s.plain) == 0 {
+			s.plain = make(map[keyPair]*E, per)
+		}
+		s.mu.Unlock()
+	}
+}
+
 // get returns the memo entry for key, inserting a fresh one on miss.
 // hit reports whether the entry already existed; evicted is the number of
 // entries dropped to keep the shard inside its limit.
@@ -103,7 +131,11 @@ func (c *memoCache[E]) get(key keyPair) (ent *E, hit bool, evicted int) {
 	if s.limit <= 0 {
 		ent, hit = s.plain[key]
 		if !hit {
-			ent = new(E)
+			if len(s.slab) == 0 {
+				s.slab = make([]E, shardSlab)
+			}
+			ent = &s.slab[0]
+			s.slab = s.slab[1:]
 			s.plain[key] = ent
 		}
 		s.mu.Unlock()
@@ -127,6 +159,43 @@ func (c *memoCache[E]) get(key keyPair) (ent *E, hit bool, evicted int) {
 	}
 	s.mu.Unlock()
 	return ent, false, evicted
+}
+
+// getBatch is get over a key column: ents[i] and hits[i] are filled for
+// every keys[i], with each shard's lock taken once per call instead of
+// once per key — the block kernel probes a whole run in one sweep.
+// Bounded caches fall back to per-key gets (eviction bookkeeping is
+// per-access); the returned evicted count covers that path.
+func (c *memoCache[E]) getBatch(keys []keyPair, ents []*E, hits []bool) (evicted int) {
+	if c.shards[0].limit > 0 {
+		for i, k := range keys {
+			var ev int
+			ents[i], hits[i], ev = c.get(k)
+			evicted += ev
+		}
+		return evicted
+	}
+	for si := range c.shards {
+		s := &c.shards[si]
+		s.mu.Lock()
+		for i, k := range keys {
+			if k.lo&c.mask != uint64(si) {
+				continue
+			}
+			ent, hit := s.plain[k]
+			if !hit {
+				if len(s.slab) == 0 {
+					s.slab = make([]E, shardSlab)
+				}
+				ent = &s.slab[0]
+				s.slab = s.slab[1:]
+				s.plain[k] = ent
+			}
+			ents[i], hits[i] = ent, hit
+		}
+		s.mu.Unlock()
+	}
+	return 0
 }
 
 // entries sums the resident entry counts across shards.

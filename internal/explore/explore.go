@@ -222,6 +222,18 @@ type Stats struct {
 	// EmbodiedEvictions is the number of embodied sub-terms dropped to keep
 	// the embodied cache inside its bound.
 	EmbodiedEvictions uint64
+
+	// BlockCandidates is the number of candidates evaluated through the
+	// columnar block kernel (block.go) rather than the scalar path.
+	BlockCandidates uint64
+	// BlockRuns is the number of kernel runs — maximal spans of consecutive
+	// candidates sharing one (template, fab, use) outer point — the block
+	// candidates were grouped into.
+	BlockRuns uint64
+	// BlockStencils is the number of operational stencils compiled: distinct
+	// (template, fab) operational prefixes the kernel hoisted out of the
+	// per-candidate loop.
+	BlockStencils uint64
 }
 
 // HitRate returns the fraction of evaluation requests answered from the
@@ -279,6 +291,14 @@ type Engine struct {
 	// (zero fingerprint) would collide. Set before first use.
 	Cache *SharedCache
 
+	// ScalarOnly disables the columnar block kernel: planned space streams
+	// take the per-candidate scalar path (the kernel's bit-exactness
+	// oracle) instead. The EXPLORE_SCALAR environment variable (any
+	// non-empty value) forces the same fallback process-wide; the
+	// differential tests and CI's oracle run rely on one or the other.
+	// Results are bit-identical either way — only throughput differs.
+	ScalarOnly bool
+
 	// monolithic disables term factorization: misses evaluate the whole
 	// Model.Total without the embodied sub-term cache or plan slots — the
 	// pre-factorization pipeline, kept as the benchmark baseline
@@ -298,6 +318,10 @@ type Engine struct {
 	embEvals     atomic.Uint64
 	embHits      atomic.Uint64
 	embEvictions atomic.Uint64
+
+	blockCands    atomic.Uint64
+	blockRuns     atomic.Uint64
+	blockStencils atomic.Uint64
 }
 
 // SharedCache is a memoization cache that outlives any single engine: every
@@ -358,6 +382,9 @@ type embodiedSlot = embodiedEntry
 type termCounters struct {
 	hits   atomic.Uint64
 	misses atomic.Uint64
+	// block counts candidates this call evaluated through the columnar
+	// kernel (zero on the scalar path).
+	block atomic.Uint64
 }
 
 // workerCache is per-worker evaluation state: enumeration order visits long
@@ -385,6 +412,9 @@ func (e *Engine) Stats() Stats {
 		EmbodiedEvaluations: e.embEvals.Load(),
 		EmbodiedCacheHits:   e.embHits.Load(),
 		EmbodiedEvictions:   e.embEvictions.Load(),
+		BlockCandidates:     e.blockCands.Load(),
+		BlockRuns:           e.blockRuns.Load(),
+		BlockStencils:       e.blockStencils.Load(),
 	}
 	if c := e.cache.Load(); c != nil {
 		st.CacheEntries = c.entries()

@@ -1,0 +1,83 @@
+// Reducer merging: every streaming reducer folds a peer of the same kind
+// into itself, so a space can be sharded across engines (or machines),
+// reduced independently, and combined — the planned substrate for
+// ROADMAP's sharded merging. Each Merge is a pure fold of the peer's
+// retained state; the peer is left untouched.
+//
+// Laws (pinned by TestReducerMergeLaws):
+//
+//   - TopK/PointTopK merging is associative and commutative: the retained
+//     set after any merge tree equals the top K of the union, because the
+//     comparator (resultLess/pointLess, ID tie-broken) is a total order.
+//   - FrontierReducer/PointFrontier merging is associative, and
+//     commutative whenever no two distinct results share an exact
+//     (embodied, operational) pair. Coincident points keep whichever
+//     representative was added first, so shards must be merged in
+//     enumeration order to reproduce the single-pass frontier exactly —
+//     the same first-occurrence rule ResultSet.Frontier applies.
+//   - RunningStats merging is associative and commutative on the counts
+//     and extrema; the mean is reproduced up to float summation order.
+package explore
+
+// Merge folds another TopK's retained results into t. K bounds do not
+// need to match; t keeps its own bound.
+func (t *TopK) Merge(o *TopK) {
+	if o == nil {
+		return
+	}
+	for _, r := range o.h.items {
+		t.h.add(r)
+	}
+}
+
+// Merge folds another running frontier into f. Merging shard frontiers is
+// exact because a point on the frontier of a union is on the frontier of
+// its own shard; merge in enumeration order when coincident (embodied,
+// operational) pairs must resolve to the first-enumerated candidate.
+func (f *FrontierReducer) Merge(o *FrontierReducer) {
+	if o == nil {
+		return
+	}
+	for _, r := range o.p.pts {
+		f.p.add(r)
+	}
+}
+
+// Merge folds another PointTopK's retained points into t.
+func (t *PointTopK) Merge(o *PointTopK) {
+	if o == nil {
+		return
+	}
+	for _, p := range o.h.items {
+		t.h.add(p)
+	}
+}
+
+// Merge folds another running point frontier into f.
+func (f *PointFrontier) Merge(o *PointFrontier) {
+	if o == nil {
+		return
+	}
+	for _, p := range o.p.pts {
+		f.p.add(p)
+	}
+}
+
+// Merge folds another RunningStats into s.
+func (s *RunningStats) Merge(o *RunningStats) {
+	if o == nil {
+		return
+	}
+	if o.OK > 0 {
+		if s.OK == 0 || o.MinTotal < s.MinTotal {
+			s.MinTotal = o.MinTotal
+		}
+		if s.OK == 0 || o.MaxTotal > s.MaxTotal {
+			s.MaxTotal = o.MaxTotal
+		}
+	}
+	s.Count += o.Count
+	s.OK += o.OK
+	s.Failed += o.Failed
+	s.sumTotal += o.sumTotal
+}

@@ -1,0 +1,299 @@
+// Merge-law property tests: sharded reduction (reduce each partition with
+// its own reducer, then Merge) must reproduce single-pass reduction, and
+// the merge trees must satisfy the associativity/commutativity laws
+// merge.go documents — the confidence floor for sharded merging.
+package explore
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/split"
+)
+
+// mergeTestResults streams a fixed space (successes and wafer failures
+// mixed) once and returns the results in enumeration order.
+func mergeTestResults(t *testing.T) []Result {
+	t.Helper()
+	s := Space{
+		Name:          "merge",
+		Strategies:    []split.Strategy{split.HomogeneousStrategy, split.HeterogeneousStrategy},
+		NodesNM:       []int{5, 7},
+		Gates:         []float64{17e9, 500e9},
+		UseLocations:  []grid.Location{grid.USA, grid.Norway, grid.India},
+		LifetimeYears: []float64{5, 10},
+	}
+	out, _ := collectStream(t, &Engine{Model: core.Default()}, s)
+	return out
+}
+
+// partition splits results into n contiguous shards (the shape a sharded
+// stream produces).
+func partition(rs []Result, n int) [][]Result {
+	shards := make([][]Result, n)
+	per := (len(rs) + n - 1) / n
+	for i := range shards {
+		lo := min(i*per, len(rs))
+		hi := min(lo+per, len(rs))
+		shards[i] = rs[lo:hi]
+	}
+	return shards
+}
+
+func idsOf(rs []Result) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.Candidate.ID
+	}
+	return out
+}
+
+func sameIDs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTopKMergeLaws: sharded top-K reduction merged in any order and any
+// grouping equals single-pass top-K.
+func TestTopKMergeLaws(t *testing.T) {
+	results := mergeTestResults(t)
+	for _, k := range []int{1, 5, 10, 0} {
+		whole := NewTopK(k)
+		for _, r := range results {
+			whole.Add(r)
+		}
+		want := idsOf(whole.Results())
+
+		for _, n := range []int{2, 3, 7} {
+			shards := partition(results, n)
+			reduce := func(part []Result) *TopK {
+				tk := NewTopK(k)
+				for _, r := range part {
+					tk.Add(r)
+				}
+				return tk
+			}
+			// Left fold in shard order.
+			acc := reduce(shards[0])
+			for _, part := range shards[1:] {
+				acc.Merge(reduce(part))
+			}
+			if got := idsOf(acc.Results()); !sameIDs(got, want) {
+				t.Errorf("k=%d shards=%d: fold merge %v != single-pass %v", k, n, got, want)
+			}
+			// Commutativity: reversed merge order.
+			rev := reduce(shards[n-1])
+			for i := n - 2; i >= 0; i-- {
+				rev.Merge(reduce(shards[i]))
+			}
+			if got := idsOf(rev.Results()); !sameIDs(got, want) {
+				t.Errorf("k=%d shards=%d: reversed merge %v != single-pass %v", k, n, got, want)
+			}
+			// Associativity: (a·b)·c vs a·(b·c) on the first three shards.
+			if n == 3 {
+				left := reduce(shards[0])
+				left.Merge(reduce(shards[1]))
+				left.Merge(reduce(shards[2]))
+				bc := reduce(shards[1])
+				bc.Merge(reduce(shards[2]))
+				right := reduce(shards[0])
+				right.Merge(bc)
+				if !sameIDs(idsOf(left.Results()), idsOf(right.Results())) {
+					t.Errorf("k=%d: merge is not associative", k)
+				}
+			}
+		}
+	}
+}
+
+// TestFrontierMergeLaws: sharded frontier reduction merged in enumeration
+// order equals the single-pass frontier; grouping does not matter.
+func TestFrontierMergeLaws(t *testing.T) {
+	results := mergeTestResults(t)
+	whole := NewFrontierReducer()
+	for _, r := range results {
+		whole.Add(r)
+	}
+	want := idsOf(whole.Frontier())
+	if len(want) == 0 {
+		t.Fatal("empty single-pass frontier")
+	}
+
+	for _, n := range []int{2, 3, 7} {
+		shards := partition(results, n)
+		reduce := func(part []Result) *FrontierReducer {
+			fr := NewFrontierReducer()
+			for _, r := range part {
+				fr.Add(r)
+			}
+			return fr
+		}
+		acc := reduce(shards[0])
+		for _, part := range shards[1:] {
+			acc.Merge(reduce(part))
+		}
+		if got := idsOf(acc.Frontier()); !sameIDs(got, want) {
+			t.Errorf("shards=%d: merged frontier %v != single-pass %v", n, got, want)
+		}
+		if n == 3 {
+			bc := reduce(shards[1])
+			bc.Merge(reduce(shards[2]))
+			right := reduce(shards[0])
+			right.Merge(bc)
+			if got := idsOf(right.Frontier()); !sameIDs(got, want) {
+				t.Errorf("a·(b·c) frontier %v != single-pass %v", got, want)
+			}
+		}
+	}
+}
+
+// syntheticPoints draws n points with unique coordinates (distinct floats
+// from distinct ints, so no coincident (emb, op) pairs) — the regime where
+// frontier merging is fully commutative.
+func syntheticPoints(n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(4 * n)
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{
+			ID:          fmt.Sprintf("p%03d", i),
+			Embodied:    float64(perm[2*i]) + 0.25,
+			Operational: float64(perm[2*i+1]) + 0.75,
+		}
+		pts[i].Total = pts[i].Embodied + pts[i].Operational
+	}
+	return pts
+}
+
+// TestPointReducerMergeLaws: PointTopK and PointFrontier merges are
+// order-independent over unique-coordinate points — any shard permutation
+// and any merge order reproduce the single-pass reduction.
+func TestPointReducerMergeLaws(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		pts := syntheticPoints(60, seed)
+
+		wholeK := NewPointTopK(10)
+		wholeF := NewPointFrontier()
+		for _, p := range pts {
+			wholeK.Add(p)
+			wholeF.Add(p)
+		}
+
+		rng := rand.New(rand.NewSource(seed + 100))
+		for trial := 0; trial < 10; trial++ {
+			order := rng.Perm(len(pts))
+			n := 2 + rng.Intn(4)
+			shardsK := make([]*PointTopK, n)
+			shardsF := make([]*PointFrontier, n)
+			for i := range shardsK {
+				shardsK[i] = NewPointTopK(10)
+				shardsF[i] = NewPointFrontier()
+			}
+			for i, pi := range order {
+				shardsK[i%n].Add(pts[pi])
+				shardsF[i%n].Add(pts[pi])
+			}
+			mergeOrder := rng.Perm(n)
+			accK := NewPointTopK(10)
+			accF := NewPointFrontier()
+			for _, si := range mergeOrder {
+				accK.Merge(shardsK[si])
+				accF.Merge(shardsF[si])
+			}
+			gotK, wantK := accK.Points(), wholeK.Points()
+			if len(gotK) != len(wantK) {
+				t.Fatalf("seed %d trial %d: top-K size %d != %d", seed, trial, len(gotK), len(wantK))
+			}
+			for i := range gotK {
+				if gotK[i] != wantK[i] {
+					t.Fatalf("seed %d trial %d: top-K[%d] %+v != %+v", seed, trial, i, gotK[i], wantK[i])
+				}
+			}
+			gotF, wantF := accF.Points(), wholeF.Points()
+			if len(gotF) != len(wantF) {
+				t.Fatalf("seed %d trial %d: frontier size %d != %d", seed, trial, len(gotF), len(wantF))
+			}
+			for i := range gotF {
+				if gotF[i] != wantF[i] {
+					t.Fatalf("seed %d trial %d: frontier[%d] %+v != %+v", seed, trial, i, gotF[i], wantF[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRunningStatsMergeLaws: counts and extrema are exact under any merge
+// shape; the mean matches single-pass up to float summation order.
+func TestRunningStatsMergeLaws(t *testing.T) {
+	results := mergeTestResults(t)
+	var whole RunningStats
+	for _, r := range results {
+		whole.Add(r)
+	}
+	if whole.Failed == 0 || whole.OK == 0 {
+		t.Fatalf("test space must mix successes and failures, got %+v", whole)
+	}
+
+	for _, n := range []int{2, 3, 7} {
+		shards := partition(results, n)
+		stats := make([]RunningStats, n)
+		for i, part := range shards {
+			for _, r := range part {
+				stats[i].Add(r)
+			}
+		}
+		check := func(label string, got RunningStats) {
+			if got.Count != whole.Count || got.OK != whole.OK || got.Failed != whole.Failed {
+				t.Errorf("%s: counts %+v != %+v", label, got, whole)
+			}
+			if got.MinTotal != whole.MinTotal || got.MaxTotal != whole.MaxTotal {
+				t.Errorf("%s: extrema (%v,%v) != (%v,%v)", label, got.MinTotal, got.MaxTotal, whole.MinTotal, whole.MaxTotal)
+			}
+			if d := math.Abs(got.MeanTotal() - whole.MeanTotal()); d > 1e-9*math.Abs(whole.MeanTotal()) {
+				t.Errorf("%s: mean %v != %v", label, got.MeanTotal(), whole.MeanTotal())
+			}
+		}
+		var fwd RunningStats
+		for i := range stats {
+			fwd.Merge(&stats[i])
+		}
+		check(fmt.Sprintf("forward shards=%d", n), fwd)
+		var rev RunningStats
+		for i := n - 1; i >= 0; i-- {
+			rev.Merge(&stats[i])
+		}
+		check(fmt.Sprintf("reverse shards=%d", n), rev)
+		if n == 3 {
+			ab := stats[0]
+			ab.Merge(&stats[1])
+			ab.Merge(&stats[2])
+			bc := stats[1]
+			bc.Merge(&stats[2])
+			abc := stats[0]
+			abc.Merge(&bc)
+			check("assoc (a·b)·c", ab)
+			check("assoc a·(b·c)", abc)
+		}
+	}
+
+	// Merging an empty peer (or into an empty accumulator) is the
+	// identity: extrema must not be poisoned by the zero value.
+	var empty, acc RunningStats
+	acc.Merge(&whole)
+	acc.Merge(&empty)
+	check2 := acc == whole
+	if !check2 {
+		t.Errorf("identity law broken: %+v != %+v", acc, whole)
+	}
+}

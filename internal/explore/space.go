@@ -295,13 +295,45 @@ func (it *Iter) Cursor() SourceCursor { return &spaceCursor{it: it, outer: -1} }
 // the Iter itself stays immutable and shareable.
 func (it *Iter) Plan() Source {
 	perGN := len(it.pairs) + 1 // + the 2D baseline template
-	return &iterPlan{it: it, slots: make([]embodiedSlot, len(it.templates)*len(it.fabs)*perGN)}
+	nSlots := len(it.templates) * len(it.fabs) * perGN
+	return &iterPlan{
+		it:      it,
+		slots:   make([]embodiedSlot, nSlots),
+		stSlots: make([]stencilSlot, nSlots),
+		idTails: compileIDTails(it),
+	}
 }
 
-// iterPlan is one compiled plan: the iterator plus its slot table.
+// compileIDTails renders the "<strat>/<years>y/<integ>" suffix of every
+// (pair, lifetime) combination once at plan-compile time — the only part
+// of a candidate ID that needs float formatting. The block kernel builds
+// each ID as run-prefix + tail, two memcpys instead of a strconv call per
+// candidate; the bytes match cu.id exactly (same AppendFloat format).
+func compileIDTails(it *Iter) []string {
+	tails := make([]string, len(it.years)*len(it.pairs))
+	var b []byte
+	for yi, years := range it.years {
+		for pi, pair := range it.pairs {
+			b = append(b[:0], pair.strat...)
+			b = append(b, '/')
+			b = strconv.AppendFloat(b, years, 'g', -1, 64)
+			b = append(b, "y/"...)
+			b = append(b, pair.integ...)
+			tails[yi*len(it.pairs)+pi] = string(b)
+		}
+	}
+	return tails
+}
+
+// iterPlan is one compiled plan: the iterator plus its slot tables — the
+// embodied-term slots every candidate sharing an embodied design resolves
+// through, and (for the columnar block kernel) the operational-stencil
+// slots sharing the same (gates×node, fab, template) indexing.
 type iterPlan struct {
-	it    *Iter
-	slots []embodiedSlot
+	it      *Iter
+	slots   []embodiedSlot
+	stSlots []stencilSlot
+	idTails []string // per (lifetime, pair): the ID suffix after the use location
 }
 
 func (p *iterPlan) Len() int { return p.it.n }
@@ -313,6 +345,13 @@ func (p *iterPlan) Cursor() SourceCursor { return &spaceCursor{it: p.it, outer: 
 func (p *iterPlan) slot(gn, fi, ti int) *embodiedSlot {
 	perGN := len(p.it.pairs) + 1
 	return &p.slots[(gn*len(p.it.fabs)+fi)*perGN+ti]
+}
+
+// stencilSlot returns the operational-stencil slot parallel to slot(gn, fi,
+// ti).
+func (p *iterPlan) stencilSlot(gn, fi, ti int) *stencilSlot {
+	perGN := len(p.it.pairs) + 1
+	return &p.stSlots[(gn*len(p.it.fabs)+fi)*perGN+ti]
 }
 
 // spaceCursor decodes candidates for one worker. It keeps the design set
@@ -349,27 +388,16 @@ func (cu *spaceCursor) embKey(ti int) keyPair {
 	return cu.embKeys[ti]
 }
 
-// At decodes candidate i in enumeration order.
-func (cu *spaceCursor) At(i int) (Candidate, error) {
+// ensureOuter loads the design slab of outer point (gn, fi, ui): template
+// copies with the point's fab/use locations stamped, baseline last. A fresh
+// slab is allocated per transition (never reused), so candidates already
+// handed out keep referencing consistent, immutable designs. Shared by the
+// scalar At decode and the block kernel's run decode.
+func (cu *spaceCursor) ensureOuter(gn, fi, ui int) (fab, use grid.Location) {
 	it := cu.it
-	if i < 0 || i >= it.n {
-		return Candidate{}, fmt.Errorf("explore: candidate index %d outside space of %d", i, it.n)
-	}
-	pi := i % len(it.pairs)
-	rest := i / len(it.pairs)
-	yi := rest % len(it.years)
-	rest /= len(it.years)
-	ui := rest % len(it.uses)
-	rest /= len(it.uses)
-	fi := rest % len(it.fabs)
-	rest /= len(it.fabs)
-	ni := rest % len(it.nodes)
-	gi := rest / len(it.nodes)
-
-	gn := gi*len(it.nodes) + ni
 	gnFab := gn*len(it.fabs) + fi
 	outer := gnFab*len(it.uses) + ui
-	fab, use := it.fabs[fi], it.uses[ui]
+	fab, use = it.fabs[fi], it.uses[ui]
 	if outer != cu.outer {
 		tmpl := it.templates[gn]
 		slab := make([]design.Design, len(tmpl))
@@ -393,6 +421,28 @@ func (cu *spaceCursor) At(i int) (Candidate, error) {
 			cu.gnFab = gnFab
 		}
 	}
+	return fab, use
+}
+
+// At decodes candidate i in enumeration order.
+func (cu *spaceCursor) At(i int) (Candidate, error) {
+	it := cu.it
+	if i < 0 || i >= it.n {
+		return Candidate{}, fmt.Errorf("explore: candidate index %d outside space of %d", i, it.n)
+	}
+	pi := i % len(it.pairs)
+	rest := i / len(it.pairs)
+	yi := rest % len(it.years)
+	rest /= len(it.years)
+	ui := rest % len(it.uses)
+	rest /= len(it.uses)
+	fi := rest % len(it.fabs)
+	rest /= len(it.fabs)
+	ni := rest % len(it.nodes)
+	gi := rest / len(it.nodes)
+
+	gn := gi*len(it.nodes) + ni
+	fab, use := cu.ensureOuter(gn, fi, ui)
 
 	pair := it.pairs[pi]
 	years := it.years[yi]

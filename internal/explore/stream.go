@@ -79,6 +79,11 @@ type StreamStats struct {
 	// EmbodiedMisses counts embodied sub-terms computed fresh during this
 	// stream (the distinct embodied designs it actually evaluated).
 	EmbodiedMisses int
+
+	// BlockCandidates counts candidates this stream evaluated through the
+	// columnar block kernel (0 when the scalar fallback ran — unplanned
+	// sources, monolithic engines, Engine.ScalarOnly or EXPLORE_SCALAR).
+	BlockCandidates int
 }
 
 // streamBlock is the fan-out granularity: one atomic claim per block keeps
@@ -118,6 +123,9 @@ func (e *Engine) StreamSource(ctx context.Context, src Source, sink Sink) (Strea
 	if n == 0 {
 		return st, ctx.Err()
 	}
+	// A cold planned stream inserts one memo entry per candidate; size the
+	// evaluation cache for them up front (no-op for warm or bounded caches).
+	e.memo().reserve(n)
 	tc := &termCounters{}
 	workers := e.workers()
 	if workers > (n+streamBlock-1)/streamBlock {
@@ -135,6 +143,7 @@ func (e *Engine) StreamSource(ctx context.Context, src Source, sink Sink) (Strea
 func finishStreamStats(st StreamStats, tc *termCounters) StreamStats {
 	st.EmbodiedHits = int(tc.hits.Load())
 	st.EmbodiedMisses = int(tc.misses.Load())
+	st.BlockCandidates = int(tc.block.Load())
 	return st
 }
 
@@ -142,6 +151,9 @@ func (e *Engine) streamSerial(ctx context.Context, src Source, sink Sink,
 	st StreamStats, tc *termCounters) (StreamStats, error) {
 	stop, unwatch := watchContext(ctx)
 	defer unwatch()
+	if plan := e.blockPlan(src); plan != nil {
+		return e.streamSerialBlock(ctx, plan, sink, st, tc, stop)
+	}
 	cur := src.Cursor()
 	wc := &workerCache{}
 	st.PeakInFlight = 1
@@ -157,6 +169,45 @@ func (e *Engine) streamSerial(ctx context.Context, src Source, sink Sink,
 			return st, err
 		}
 		st.Delivered++
+	}
+	return st, ctx.Err()
+}
+
+// streamSerialBlock is the single-worker stream through the columnar
+// kernel: blocks are evaluated into one reused buffer and sunk in order,
+// so the working set is the block buffer — in flight is the block size,
+// not 1, which PeakInFlight reports honestly.
+func (e *Engine) streamSerialBlock(ctx context.Context, p *iterPlan, sink Sink,
+	st StreamStats, tc *termCounters, stop *atomic.Bool) (StreamStats, error) {
+	cu := p.Cursor().(*spaceCursor)
+	bs := newBlockState(p)
+	n := st.Candidates
+	st.PeakInFlight = streamBlock
+	if n < streamBlock {
+		st.PeakInFlight = n
+	}
+	buf := make([]Result, 0, streamBlock)
+	for start := 0; start < n; start += streamBlock {
+		if stop.Load() {
+			return st, ctx.Err()
+		}
+		end := start + streamBlock
+		if end > n {
+			end = n
+		}
+		var ok bool
+		buf, ok = e.evalBlock(p, cu, bs, start, end, tc, stop, buf[:0])
+		if !ok {
+			return st, ctx.Err()
+		}
+		for i := range buf {
+			if err := sink(buf[i]); err != nil {
+				return st, err
+			}
+			st.Delivered++
+		}
+		// Stale references in the reused buffer are overwritten by the next
+		// block's zero-value appends; no clear needed between blocks.
 	}
 	return st, ctx.Err()
 }
@@ -269,6 +320,7 @@ func (e *Engine) streamParallel(ctx context.Context, src Source, sink Sink,
 	seq.cond = sync.NewCond(&seq.mu)
 	window := workers * maxAheadBlocks
 
+	plan := e.blockPlan(src)
 	var nextBlock atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -276,6 +328,10 @@ func (e *Engine) streamParallel(ctx context.Context, src Source, sink Sink,
 		go func() {
 			defer wg.Done()
 			cur := src.Cursor()
+			if plan != nil {
+				e.workerBlocks(ctx, plan, cur.(*spaceCursor), seq, &nextBlock, n, window, tc, stop)
+				return
+			}
 			wc := &workerCache{}
 			for {
 				b := int(nextBlock.Add(1)) - 1
@@ -318,4 +374,36 @@ func (e *Engine) streamParallel(ctx context.Context, src Source, sink Sink,
 		return st, err
 	}
 	return st, seq.err
+}
+
+// workerBlocks is one worker's claim loop through the columnar kernel:
+// identical block claiming, run-ahead window and sequencer accounting to
+// the scalar loop — only the per-block evaluation differs.
+func (e *Engine) workerBlocks(ctx context.Context, p *iterPlan, cu *spaceCursor,
+	seq *sequencer, nextBlock *atomic.Int64, n, window int,
+	tc *termCounters, stop *atomic.Bool) {
+	bs := newBlockState(p)
+	for {
+		b := int(nextBlock.Add(1)) - 1
+		start := b * streamBlock
+		if start >= n {
+			return
+		}
+		if !seq.wait(b, window) {
+			return
+		}
+		end := start + streamBlock
+		if end > n {
+			end = n
+		}
+		seq.claim(end - start)
+		results, ok := e.evalBlock(p, cu, bs, start, end, tc, stop, seq.pool.Get(end-start))
+		if !ok {
+			seq.fail(ctx.Err())
+			return
+		}
+		if !seq.complete(b, results) {
+			return
+		}
+	}
 }

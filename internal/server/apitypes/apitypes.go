@@ -283,7 +283,10 @@ func NewExploreResult(r explore.Result) ExploreResult {
 // EngineStats is the JSON form of the exploration engine's counters. The
 // embodied_* fields count the term-factorized sub-cache: embodied sub-terms
 // computed versus answered from the embodied cache or a compiled plan slot
-// (evaluations that paid only the cheap operational term).
+// (evaluations that paid only the cheap operational term). The block_*
+// fields count the columnar block kernel: candidates evaluated through it
+// (vs the per-candidate scalar path), the runs they were grouped into, and
+// the operational stencils those runs compiled.
 type EngineStats struct {
 	Evaluations  uint64  `json:"evaluations"`
 	CacheHits    uint64  `json:"cache_hits"`
@@ -296,6 +299,10 @@ type EngineStats struct {
 	EmbodiedReuseRate   float64 `json:"embodied_reuse_rate"`
 	EmbodiedEntries     int     `json:"embodied_entries"`
 	EmbodiedEvictions   uint64  `json:"embodied_evictions"`
+
+	BlockCandidates uint64 `json:"block_candidates"`
+	BlockRuns       uint64 `json:"block_runs"`
+	BlockStencils   uint64 `json:"block_stencils"`
 }
 
 // NewEngineStats converts the engine counters.
@@ -312,6 +319,10 @@ func NewEngineStats(st explore.Stats) EngineStats {
 		EmbodiedReuseRate:   st.EmbodiedReuseRate(),
 		EmbodiedEntries:     st.EmbodiedCacheEntries,
 		EmbodiedEvictions:   st.EmbodiedEvictions,
+
+		BlockCandidates: st.BlockCandidates,
+		BlockRuns:       st.BlockRuns,
+		BlockStencils:   st.BlockStencils,
 	}
 }
 
