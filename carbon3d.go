@@ -39,6 +39,7 @@ import (
 	"repro/internal/ic"
 	"repro/internal/lifecycle"
 	"repro/internal/metrics"
+	"repro/internal/optimize"
 	"repro/internal/params"
 	"repro/internal/server"
 	"repro/internal/split"
@@ -307,6 +308,58 @@ func NewTopK(k int) *TopK { return explore.NewTopK(k) }
 
 // NewFrontierReducer returns a streaming Pareto-frontier reducer.
 func NewFrontierReducer() *FrontierReducer { return explore.NewFrontierReducer() }
+
+// Optimizer-driven exploration (internal/optimize): find a space's
+// lowest-carbon candidate without enumerating it. Three seeded drivers —
+// coordinate descent, simulated annealing and adaptive successive halving —
+// share a branch-and-bound verification sweep that prunes (gates×node, fab)
+// blocks via the admissible embodied lower bound, so an unlimited-budget run
+// returns the proven global optimum (bit-identical to the enumerated TopK(1)
+// result) while evaluating a small fraction of the space.
+type (
+	// OptimizeDriver selects the search heuristic.
+	OptimizeDriver = optimize.Driver
+	// OptimizeOptions carry the driver, deterministic seed, evaluation
+	// budget and optional per-evaluation Observe hook.
+	OptimizeOptions = optimize.Options
+	// OptimizeStats report evaluations, bound probes, prunes, bound
+	// tightness and the best-so-far trajectory of a run.
+	OptimizeStats = optimize.Stats
+	// OptimizeResult is a run's outcome: the best candidate found, its
+	// enumeration index and the run's stats.
+	OptimizeResult = optimize.Result
+	// OptimizeTrajectoryPoint is one incumbent improvement.
+	OptimizeTrajectoryPoint = optimize.TrajectoryPoint
+)
+
+const (
+	// CoordinateDriver is multi-start coordinate descent.
+	CoordinateDriver = optimize.Coordinate
+	// AnnealDriver is seeded simulated annealing.
+	AnnealDriver = optimize.Anneal
+	// HalvingDriver is adaptive successive halving (the default).
+	HalvingDriver = optimize.Halving
+)
+
+// OptimizeDrivers lists the supported drivers in a stable order.
+func OptimizeDrivers() []OptimizeDriver { return optimize.Drivers() }
+
+// ParseOptimizeDriver validates a flag/wire driver name.
+func ParseOptimizeDriver(s string) (OptimizeDriver, error) { return optimize.ParseDriver(s) }
+
+// Optimize searches a design space for its lowest life-cycle carbon
+// candidate with the default model. Runs are deterministic in (space,
+// driver, seed, budget); an unlimited budget proves the global optimum
+// (OptimizeResult.Stats.Complete).
+func Optimize(ctx context.Context, s Space, opts OptimizeOptions) (*OptimizeResult, error) {
+	return optimize.Run(ctx, explore.New(core.Default()), s, opts)
+}
+
+// OptimizeWith is Optimize over an explicit engine — a custom model, worker
+// count or a memoization cache shared with other studies.
+func OptimizeWith(ctx context.Context, eng *ExploreEngine, s Space, opts OptimizeOptions) (*OptimizeResult, error) {
+	return optimize.Run(ctx, eng, s, opts)
+}
 
 // Carbon-as-a-service (internal/server): the full model as a long-running
 // HTTP service on top of the exploration engine, with one process-wide

@@ -16,7 +16,15 @@
 //	explore [-nodes 7] [-gates 17e9] [-integrations all] [-strategies homogeneous]
 //	        [-fab taiwan] [-use usa] [-lifetimes 10] [-peak 254] [-eff 2.74]
 //	        [-top 15] [-workers 0] [-format table|csv] [-params profile.json]
+//	        [-optimize coordinate|anneal|halving] [-budget N] [-seed N]
 //	        [-cpuprofile explore.cpu] [-memprofile explore.mem]
+//
+// With -optimize the space is searched instead of enumerated: the chosen
+// driver finds the lowest-carbon candidate through the branch-and-bound
+// sweep of internal/optimize (an unlimited -budget proves the global
+// optimum), the ranking and frontier fold only the candidates the
+// optimizer actually evaluated, and a stats footer reports evaluations,
+// bound probes, prunes and the best-so-far trajectory.
 //
 // List-valued flags take comma-separated values, e.g.
 //
@@ -38,6 +46,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/explore"
+	"repro/internal/optimize"
 	"repro/internal/server/apitypes"
 )
 
@@ -55,19 +64,24 @@ func main() {
 	workers := flag.Int("workers", 0, "evaluation workers (0 = all CPUs)")
 	format := flag.String("format", "table", "output format: table or csv")
 	paramsPath := flag.String("params", "", "path to a ParameterSet overlay profile (JSON)")
+	optimizer := flag.String("optimize", "", "search instead of enumerating: coordinate, anneal or halving")
+	budget := flag.Int("budget", 0, "optimizer evaluation budget (0 = unlimited, proves the optimum)")
+	seed := flag.Int64("seed", 1, "optimizer random seed (runs are deterministic per seed)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the exploration to this file")
 	memprofile := flag.String("memprofile", "", "write a post-exploration heap profile to this file")
 	flag.Parse()
 
 	if err := run(*nodes, *gates, *integrations, *strategies, *fabs, *uses, *lifetimes,
-		*peak, *eff, *top, *workers, *format, *paramsPath, *cpuprofile, *memprofile); err != nil {
+		*peak, *eff, *top, *workers, *format, *paramsPath, *optimizer, *budget, *seed,
+		*cpuprofile, *memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, "explore:", err)
 		os.Exit(1)
 	}
 }
 
 func run(nodes, gates, integrations, strategies, fabs, uses, lifetimes string,
-	peak, eff float64, top, workers int, format, paramsPath, cpuprofile, memprofile string) error {
+	peak, eff float64, top, workers int, format, paramsPath, optimizer string,
+	budget int, seed int64, cpuprofile, memprofile string) error {
 	csv := false
 	switch format {
 	case "table":
@@ -75,6 +89,13 @@ func run(nodes, gates, integrations, strategies, fabs, uses, lifetimes string,
 		csv = true
 	default:
 		return fmt.Errorf("unknown format %q", format)
+	}
+	var driver optimize.Driver
+	if optimizer != "" {
+		var err error
+		if driver, err = optimize.ParseDriver(optimizer); err != nil {
+			return err
+		}
 	}
 
 	m, err := core.FromParamsFile(paramsPath)
@@ -116,17 +137,30 @@ func run(nodes, gates, integrations, strategies, fabs, uses, lifetimes string,
 		err error
 	}
 	var failed []failure
-	start := time.Now()
-	st, err := e.Stream(context.Background(), *space, func(r explore.Result) error {
+	fold := func(r explore.Result) {
 		stats.Add(r)
 		if r.Err != nil {
 			failed = append(failed, failure{id: r.Candidate.ID, err: r.Err})
-			return nil
+			return
 		}
 		ranked.Add(r)
 		frontier.Add(r)
-		return nil
-	})
+	}
+	start := time.Now()
+	var st explore.StreamStats
+	var opt *optimize.Result
+	if optimizer != "" {
+		// Optimizer-driven: the chosen driver searches the space; the
+		// reducers fold exactly the candidates it charges, via Observe.
+		opt, err = optimize.Run(context.Background(), e, *space, optimize.Options{
+			Driver: driver, Seed: seed, Budget: budget, Observe: fold,
+		})
+	} else {
+		st, err = e.Stream(context.Background(), *space, func(r explore.Result) error {
+			fold(r)
+			return nil
+		})
+	}
 	if err != nil {
 		return err
 	}
@@ -136,18 +170,45 @@ func run(nodes, gates, integrations, strategies, fabs, uses, lifetimes string,
 	front := frontier.Frontier()
 	if !csv {
 		es := e.Stats()
-		fmt.Printf("Explored %d candidates (%d ok, %d failed) in %v (%d workers, peak %d in flight)\n",
-			st.Candidates, stats.OK, stats.Failed,
-			elapsed.Round(time.Millisecond), workers, st.PeakInFlight)
-		fmt.Printf("Cache: %d distinct evaluations, %d hits (%.1f%% hit rate), %d entries in %d shard(s), %d evicted\n",
-			es.Evaluations, es.CacheHits, 100*es.HitRate(),
-			es.CacheEntries, es.CacheShards, es.Evictions)
-		fmt.Printf("Embodied terms: %d computed, %d reused (%.1f%% reuse — evaluations that paid only the operational term)\n",
-			es.EmbodiedEvaluations, es.EmbodiedCacheHits, 100*es.EmbodiedReuseRate())
-		fmt.Printf("Block kernel: %d candidates in %d runs (%d stencils; %d via scalar path)\n\n",
-			es.BlockCandidates, es.BlockRuns, es.BlockStencils,
-			uint64(st.Candidates)-es.BlockCandidates)
-		fmt.Printf("Lowest life-cycle carbon (top %d of %d)\n\n", top, stats.OK)
+		if opt != nil {
+			ost := opt.Stats
+			fmt.Printf("Optimizer %s searched %d candidates in %v (%d workers)\n",
+				ost.Driver, ost.SpaceSize, elapsed.Round(time.Millisecond), workers)
+			status := "best so far (budget exhausted)"
+			if ost.Complete {
+				status = "proven optimum"
+			}
+			if opt.Found {
+				fmt.Printf("%s: %s = %.3f kg CO2e (index %d)\n",
+					status, opt.Best.Candidate.ID, opt.Best.Total(), opt.BestIndex)
+			} else {
+				fmt.Printf("%s: no buildable candidate found\n", status)
+			}
+			fmt.Printf("Charged %d evaluations + %d bound probes (%.4f%% of the space)\n",
+				ost.Evaluations, ost.BoundProbes, 100*ost.EvaluatedFraction())
+			fmt.Printf("Pruned %d of %d blocks (%d candidates discarded by bound); bound tightness %.3f\n",
+				ost.PrunedBlocks, ost.Blocks, ost.Prunes, ost.BoundTightness)
+			fmt.Printf("Trajectory: %d improvement(s)", len(ost.Trajectory))
+			if n := len(ost.Trajectory); n > 0 {
+				last := ost.Trajectory[n-1]
+				fmt.Printf(", last at charge %d (%s)", last.Charged, last.ID)
+			}
+			fmt.Println()
+			fmt.Println()
+		} else {
+			fmt.Printf("Explored %d candidates (%d ok, %d failed) in %v (%d workers, peak %d in flight)\n",
+				st.Candidates, stats.OK, stats.Failed,
+				elapsed.Round(time.Millisecond), workers, st.PeakInFlight)
+			fmt.Printf("Cache: %d distinct evaluations, %d hits (%.1f%% hit rate), %d entries in %d shard(s), %d evicted\n",
+				es.Evaluations, es.CacheHits, 100*es.HitRate(),
+				es.CacheEntries, es.CacheShards, es.Evictions)
+			fmt.Printf("Embodied terms: %d computed, %d reused (%.1f%% reuse — evaluations that paid only the operational term)\n",
+				es.EmbodiedEvaluations, es.EmbodiedCacheHits, 100*es.EmbodiedReuseRate())
+			fmt.Printf("Block kernel: %d candidates in %d runs (%d stencils; %d via scalar path)\n\n",
+				es.BlockCandidates, es.BlockRuns, es.BlockStencils,
+				uint64(st.Candidates)-es.BlockCandidates)
+		}
+		fmt.Printf("Lowest life-cycle carbon (top %d of %d evaluated)\n\n", top, stats.OK)
 	}
 	emit(explore.ResultsTable(topResults), csv)
 	fmt.Println()

@@ -8,14 +8,31 @@ import (
 
 func TestRunSmallSpace(t *testing.T) {
 	err := run("7", "17e9", "all", "homogeneous,heterogeneous", "taiwan", "usa",
-		"10", 254, 2.74, 5, 2, "table", "", "", "")
+		"10", 254, 2.74, 5, 2, "table", "", "", 0, 1, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	err = run("7", "17e9", "2D,hybrid-3d,emib", "homogeneous", "taiwan", "usa,norway",
-		"10", 254, 2.74, 0, 1, "csv", "", "", "")
+		"10", 254, 2.74, 0, 1, "csv", "", "", 0, 1, "", "")
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The -optimize path must prove the same optimum in both output formats
+// and reject unknown drivers.
+func TestRunOptimize(t *testing.T) {
+	for _, format := range []string{"table", "csv"} {
+		err := run("5,7", "17e9,60e9", "all", "homogeneous", "taiwan", "usa,india",
+			"2,10", 254, 2.74, 5, 1, format, "", "halving", 0, 1, "", "")
+		if err != nil {
+			t.Fatalf("format %s: %v", format, err)
+		}
+	}
+	err := run("7", "17e9", "all", "homogeneous", "taiwan", "usa",
+		"10", 254, 2.74, 5, 1, "table", "", "gradient", 0, 1, "", "")
+	if err == nil {
+		t.Error("unknown driver accepted")
 	}
 }
 
@@ -32,7 +49,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	for _, c := range cases {
 		err := run(c.nodes, "17e9", c.integ, c.strat, c.fab, c.use, "10",
-			254, 2.74, 5, 1, c.format, "", "", "")
+			254, 2.74, 5, 1, c.format, "", "", 0, 1, "", "")
 		if err == nil {
 			t.Errorf("%s: expected an error", c.name)
 		}
@@ -45,7 +62,7 @@ func TestRunWritesProfiles(t *testing.T) {
 	cpu := filepath.Join(dir, "explore.cpu")
 	mem := filepath.Join(dir, "explore.mem")
 	err := run("7", "17e9", "2D,hybrid-3d", "homogeneous", "taiwan", "usa",
-		"10", 254, 2.74, 3, 1, "csv", "", cpu, mem)
+		"10", 254, 2.74, 3, 1, "csv", "", "", 0, 1, cpu, mem)
 	if err != nil {
 		t.Fatal(err)
 	}

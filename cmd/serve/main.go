@@ -6,6 +6,7 @@
 //	serve [-addr :8035] [-workers 0] [-cache-limit 65536] [-max-concurrent 0]
 //	      [-timeout 60s] [-max-batch 10000] [-max-space 1000000] [-quiet] [-pprof]
 //	      [-params profile.json] [-max-profiles 8]
+//	      [-max-optimize-designs 250000] [-max-optimize-budget 5000000]
 //
 // -params sets the server's baseline ParameterSet from a scenario profile;
 // requests may additionally carry inline "params" overlays, resolved
@@ -16,6 +17,7 @@
 //	POST /v1/evaluate        one design JSON → full life-cycle report
 //	POST /v1/evaluate/batch  many designs → per-design reports
 //	POST /v1/explore         space spec → NDJSON result stream
+//	POST /v1/optimize        space spec → lowest-carbon design via bounded search
 //	GET  /v1/meta            enumerable inputs for client UIs
 //	GET  /v1/stats           request / latency / cache counters
 //	GET  /healthz            liveness probe
@@ -54,11 +56,15 @@ func main() {
 	paramsPath := flag.String("params", "", "path to a ParameterSet overlay profile (JSON) used as the baseline")
 	maxProfiles := flag.Int("max-profiles", server.DefaultMaxProfiles,
 		"per-profile model cache bound for inline params overlays (-1 = unbounded)")
+	maxOptDesigns := flag.Int("max-optimize-designs", server.DefaultMaxOptimizeDesigns,
+		"max distinct embodied designs per optimization request")
+	maxOptBudget := flag.Int("max-optimize-budget", server.DefaultMaxOptimizeBudget,
+		"ceiling on charged evaluations+probes per optimization request")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "serve: ", log.LstdFlags)
 	opts := buildOptions(*workers, *cacheLimit, *maxConcurrent, *maxBatch, *maxSpace,
-		*maxProfiles, *timeout, *quiet, *pprofFlag, logger)
+		*maxProfiles, *maxOptDesigns, *maxOptBudget, *timeout, *quiet, *pprofFlag, logger)
 	if *paramsPath != "" {
 		ps, err := params.Load(*paramsPath)
 		if err != nil {
@@ -82,17 +88,20 @@ func main() {
 }
 
 // buildOptions maps the flag values onto the server configuration.
-func buildOptions(workers, cacheLimit, maxConcurrent, maxBatch, maxSpace, maxProfiles int,
+func buildOptions(workers, cacheLimit, maxConcurrent, maxBatch, maxSpace, maxProfiles,
+	maxOptDesigns, maxOptBudget int,
 	timeout time.Duration, quiet, profiling bool, logger *log.Logger) server.Options {
 	opts := server.Options{
-		Workers:         workers,
-		CacheLimit:      cacheLimit,
-		MaxConcurrent:   maxConcurrent,
-		RequestTimeout:  timeout,
-		MaxBatch:        maxBatch,
-		MaxSpace:        maxSpace,
-		MaxProfiles:     maxProfiles,
-		EnableProfiling: profiling,
+		Workers:            workers,
+		CacheLimit:         cacheLimit,
+		MaxConcurrent:      maxConcurrent,
+		RequestTimeout:     timeout,
+		MaxBatch:           maxBatch,
+		MaxSpace:           maxSpace,
+		MaxProfiles:        maxProfiles,
+		MaxOptimizeDesigns: maxOptDesigns,
+		MaxOptimizeBudget:  maxOptBudget,
+		EnableProfiling:    profiling,
 	}
 	if !quiet {
 		opts.Logger = logger

@@ -17,7 +17,7 @@ import (
 
 func TestBuildOptions(t *testing.T) {
 	logger := log.New(bytes.NewBuffer(nil), "", 0)
-	opts := buildOptions(4, 128, 2, 50, 1000, 16, 5*time.Second, false, false, logger)
+	opts := buildOptions(4, 128, 2, 50, 1000, 16, 2000, 9000, 5*time.Second, false, false, logger)
 	if opts.Workers != 4 || opts.CacheLimit != 128 || opts.MaxConcurrent != 2 {
 		t.Errorf("options: %+v", opts)
 	}
@@ -27,13 +27,16 @@ func TestBuildOptions(t *testing.T) {
 	if opts.MaxProfiles != 16 {
 		t.Errorf("max profiles: %+v", opts)
 	}
+	if opts.MaxOptimizeDesigns != 2000 || opts.MaxOptimizeBudget != 9000 {
+		t.Errorf("optimize limits: %+v", opts)
+	}
 	if opts.Logger != logger {
 		t.Error("logger not wired")
 	}
 	if opts.EnableProfiling {
 		t.Error("profiling should default off")
 	}
-	if quietOpts := buildOptions(0, 0, 0, 0, 0, 0, 0, true, true, logger); quietOpts.Logger != nil {
+	if quietOpts := buildOptions(0, 0, 0, 0, 0, 0, 0, 0, 0, true, true, logger); quietOpts.Logger != nil {
 		t.Error("-quiet should disable request logging")
 	} else if !quietOpts.EnableProfiling {
 		t.Error("-pprof should enable profiling")
@@ -48,7 +51,8 @@ func TestServeBootAndProbe(t *testing.T) {
 		t.Skip("network listener in -short mode")
 	}
 	opts := buildOptions(0, server.DefaultCacheLimit, 0, server.DefaultMaxBatch,
-		server.DefaultMaxSpace, server.DefaultMaxProfiles, server.DefaultRequestTimeout, true, false, nil)
+		server.DefaultMaxSpace, server.DefaultMaxProfiles, server.DefaultMaxOptimizeDesigns,
+		server.DefaultMaxOptimizeBudget, server.DefaultRequestTimeout, true, false, nil)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

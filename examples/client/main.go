@@ -1,8 +1,8 @@
 // The carbon-as-a-service client example: boots the HTTP service in-process
 // on a loopback port, then drives every endpoint the way an external tool
 // would — metadata discovery, a single evaluation, a 100-design batch that
-// exercises the shared memoization cache, a streamed exploration, and the
-// server counters.
+// exercises the shared memoization cache, a streamed exploration, an
+// optimizer run that proves a space's optimum, and the server counters.
 //
 // Run with:
 //
@@ -123,7 +123,24 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 5. Server counters: the duplicated batch shows up as cache hits.
+	// 5. Optimization: the same space family, but the server searches for
+	// the lowest-carbon candidate instead of streaming everything back.
+	var opt apitypes.OptimizeResponse
+	postJSON(client, base+"/v1/optimize", apitypes.OptimizeRequest{
+		Space: apitypes.SpaceSpec{
+			Name:          "client-opt",
+			NodesNM:       []int{3, 5, 7},
+			Gates:         []float64{17e9, 60e9},
+			UseLocations:  []string{"usa", "india", "renewable"},
+			LifetimeYears: []float64{2, 5, 10},
+		},
+		Seed: 1,
+	}, &opt)
+	fmt.Printf("optimize: best %s (%.2f kg) — proven=%v after charging %d of %d candidates\n",
+		opt.Best.ID, opt.Best.TotalKg, opt.Stats.Complete,
+		opt.Stats.Evaluations+opt.Stats.BoundProbes, opt.Stats.SpaceSize)
+
+	// 6. Server counters: the duplicated batch shows up as cache hits.
 	var stats apitypes.StatsResponse
 	getJSON(client, base+"/v1/stats", &stats)
 	fmt.Printf("stats: %d designs evaluated, cache hit rate %.2f (%d hits / %d evals)\n",

@@ -527,6 +527,37 @@ func (e *Engine) embodiedFor(d *design.Design, hint termHint, tc *termCounters) 
 	return slot.res, slot.err
 }
 
+// EmbodiedBound returns the candidate's embodied carbon in kg without
+// computing the operational term. Operational lifetime carbon is
+// non-negative for every grid location (carbon intensities are ≥ 0), so
+// the value is an admissible lower bound on the candidate's completed
+// life-cycle Total() — the optimizer's pruning bound. The value is
+// bit-identical to Result.Embodied() of a full evaluation: both read the
+// same memoized EmbodiedTerm. An error means the candidate's embodied
+// design does not build, in which case every full evaluation of it fails
+// with the same error.
+func (e *Engine) EmbodiedBound(c Candidate) (float64, error) {
+	if e.Model == nil {
+		return 0, fmt.Errorf("explore: engine has no model")
+	}
+	if c.Design == nil {
+		return 0, fmt.Errorf("explore: candidate %q has no design", c.ID)
+	}
+	e.memo() // pins the fingerprint words and the cache configuration
+	if e.monolithic {
+		rep, err := e.Model.Embodied(c.Design)
+		if err != nil {
+			return 0, err
+		}
+		return rep.Total.Kg(), nil
+	}
+	er, err := e.embodiedFor(c.Design, c.hint, nil)
+	if err != nil {
+		return 0, err
+	}
+	return er.Report.Total.Kg(), nil
+}
+
 // total evaluates one (design, workload, eff) triple through the memo
 // cache. Misses evaluate term-factorized: the embodied sub-term comes from
 // the plan slot or the embodied cache (computed at most once per distinct

@@ -22,6 +22,13 @@ func resultLess(a, b Result) bool {
 	return a.Candidate.ID < b.Candidate.ID
 }
 
+// Less reports whether a ranks strictly before b under the canonical
+// result ordering (life-cycle total, then embodied carbon, then ID) —
+// the same total order TopK and Ranked use. Exported for callers that
+// maintain their own incumbent (internal/optimize) and must reproduce
+// TopK(1)'s tie-breaks bit-identically.
+func Less(a, b Result) bool { return resultLess(a, b) }
+
 // pointLess is RankPoints' ordering.
 func pointLess(a, b Point) bool {
 	if a.Total != b.Total {

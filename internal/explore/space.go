@@ -157,6 +157,25 @@ func (s Space) Size() int {
 		len(s.fabs()) * len(s.uses()) * len(s.lifetimes())
 }
 
+// Designs returns the number of distinct embodied designs the space spans
+// — the Size product without the operational (use location, lifetime)
+// axes. A compiled plan holds one embodied slot per design, so Designs is
+// the memory-side footprint of streaming or optimizing over the space,
+// while Size can be orders of magnitude larger at no extra plan cost.
+func (s Space) Designs() int {
+	integs := len(s.integrations())
+	strat := len(s.strategies())
+	per := integs * strat
+	if strat > 1 {
+		for _, integ := range s.integrations() {
+			if integ == ic.Mono2D {
+				per -= strat - 1 // dedup the strategy-independent 2D design
+			}
+		}
+	}
+	return per * len(s.nodes()) * len(s.gates()) * len(s.fabs())
+}
+
 // Enumerate expands the space into candidates in a deterministic order:
 // gates (outer), node, fab, use, lifetime, strategy, integration (inner).
 // Every non-2D candidate carries the 2D baseline of its axis point, so the
@@ -276,6 +295,67 @@ func (s Space) Iter() (*Iter, error) {
 
 // Len returns the number of candidates the space decodes to.
 func (it *Iter) Len() int { return it.n }
+
+// Dims is the positional layout of an Iter's enumeration order: axis
+// lengths in nesting order, gates outermost to (strategy, integration)
+// pairs innermost. It gives index-addressed callers (internal/optimize)
+// the arithmetic the cursors use, so block boundaries and axis moves can
+// be computed without decoding candidates.
+type Dims struct {
+	Gates, Nodes, Fabs, Uses, Years, Pairs int
+}
+
+// Dims returns the iterator's axis layout.
+func (it *Iter) Dims() Dims {
+	return Dims{
+		Gates: len(it.gates),
+		Nodes: len(it.nodes),
+		Fabs:  len(it.fabs),
+		Uses:  len(it.uses),
+		Years: len(it.years),
+		Pairs: len(it.pairs),
+	}
+}
+
+// Size returns the candidate count the layout multiplies out to.
+func (d Dims) Size() int { return d.Gates * d.Nodes * d.Fabs * d.Uses * d.Years * d.Pairs }
+
+// Index composes axis coordinates into the enumeration index — the exact
+// inverse of Coords and of the cursors' decode arithmetic.
+func (d Dims) Index(gi, ni, fi, ui, yi, pi int) int {
+	return ((((gi*d.Nodes+ni)*d.Fabs+fi)*d.Uses+ui)*d.Years+yi)*d.Pairs + pi
+}
+
+// Uses returns the resolved use-location axis values, in axis order.
+// The slice is a copy; callers may reorder it freely.
+func (it *Iter) Uses() []grid.Location {
+	out := make([]grid.Location, len(it.uses))
+	copy(out, it.uses)
+	return out
+}
+
+// Lifetimes returns the resolved lifetime axis values in years, in axis
+// order. The slice is a copy; callers may reorder it freely.
+func (it *Iter) Lifetimes() []float64 {
+	out := make([]float64, len(it.years))
+	copy(out, it.years)
+	return out
+}
+
+// Coords decomposes an enumeration index into axis coordinates.
+func (d Dims) Coords(i int) (gi, ni, fi, ui, yi, pi int) {
+	pi = i % d.Pairs
+	i /= d.Pairs
+	yi = i % d.Years
+	i /= d.Years
+	ui = i % d.Uses
+	i /= d.Uses
+	fi = i % d.Fabs
+	i /= d.Fabs
+	ni = i % d.Nodes
+	gi = i / d.Nodes
+	return
+}
 
 // Cursor returns an independent decoder. Candidates from one cursor share
 // immutable design sets, so results may be retained after later At calls;

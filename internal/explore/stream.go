@@ -118,7 +118,36 @@ func (e *Engine) StreamSource(ctx context.Context, src Source, sink Sink) (Strea
 	if p, ok := src.(Planner); ok {
 		src = p.Plan()
 	}
-	n := src.Len()
+	return e.streamRange(ctx, src, 0, src.Len(), sink)
+}
+
+// StreamRange is StreamSource restricted to the half-open index window
+// [lo, hi) of the source's enumeration order. Results still arrive at the
+// sink in enumeration order, the columnar block kernel still engages for
+// planned sources, and candidate indices are absolute — the sink's i-th
+// call corresponds to source index lo+i.
+//
+// Callers streaming many windows of the same space should compile the
+// iterator once (Iter.Plan) and pass the plan to every call: a plan does
+// not implement Planner, so its embodied-term slots are shared across
+// windows instead of being recompiled per call. The optimizer drivers
+// (internal/optimize) lean on this to evaluate contiguous candidate runs
+// through the kernel while skipping pruned blocks entirely.
+func (e *Engine) StreamRange(ctx context.Context, src Source, lo, hi int, sink Sink) (StreamStats, error) {
+	if e.Model == nil {
+		return StreamStats{}, fmt.Errorf("explore: engine has no model")
+	}
+	if p, ok := src.(Planner); ok {
+		src = p.Plan()
+	}
+	if lo < 0 || hi > src.Len() || lo > hi {
+		return StreamStats{}, fmt.Errorf("explore: stream range [%d, %d) outside source of %d candidates", lo, hi, src.Len())
+	}
+	return e.streamRange(ctx, src, lo, hi, sink)
+}
+
+func (e *Engine) streamRange(ctx context.Context, src Source, lo, hi int, sink Sink) (StreamStats, error) {
+	n := hi - lo
 	st := StreamStats{Candidates: n}
 	if n == 0 {
 		return st, ctx.Err()
@@ -132,10 +161,10 @@ func (e *Engine) StreamSource(ctx context.Context, src Source, sink Sink) (Strea
 		workers = (n + streamBlock - 1) / streamBlock
 	}
 	if workers <= 1 {
-		st, err := e.streamSerial(ctx, src, sink, st, tc)
+		st, err := e.streamSerial(ctx, src, lo, hi, sink, st, tc)
 		return finishStreamStats(st, tc), err
 	}
-	st, err := e.streamParallel(ctx, src, sink, st, workers, tc)
+	st, err := e.streamParallel(ctx, src, lo, hi, sink, st, workers, tc)
 	return finishStreamStats(st, tc), err
 }
 
@@ -147,17 +176,17 @@ func finishStreamStats(st StreamStats, tc *termCounters) StreamStats {
 	return st
 }
 
-func (e *Engine) streamSerial(ctx context.Context, src Source, sink Sink,
+func (e *Engine) streamSerial(ctx context.Context, src Source, lo, hi int, sink Sink,
 	st StreamStats, tc *termCounters) (StreamStats, error) {
 	stop, unwatch := watchContext(ctx)
 	defer unwatch()
 	if plan := e.blockPlan(src); plan != nil {
-		return e.streamSerialBlock(ctx, plan, sink, st, tc, stop)
+		return e.streamSerialBlock(ctx, plan, lo, hi, sink, st, tc, stop)
 	}
 	cur := src.Cursor()
 	wc := &workerCache{}
 	st.PeakInFlight = 1
-	for i := 0; i < st.Candidates; i++ {
+	for i := lo; i < hi; i++ {
 		if stop.Load() {
 			return st, ctx.Err()
 		}
@@ -177,23 +206,22 @@ func (e *Engine) streamSerial(ctx context.Context, src Source, sink Sink,
 // kernel: blocks are evaluated into one reused buffer and sunk in order,
 // so the working set is the block buffer — in flight is the block size,
 // not 1, which PeakInFlight reports honestly.
-func (e *Engine) streamSerialBlock(ctx context.Context, p *iterPlan, sink Sink,
+func (e *Engine) streamSerialBlock(ctx context.Context, p *iterPlan, lo, hi int, sink Sink,
 	st StreamStats, tc *termCounters, stop *atomic.Bool) (StreamStats, error) {
 	cu := p.Cursor().(*spaceCursor)
 	bs := newBlockState(p)
-	n := st.Candidates
 	st.PeakInFlight = streamBlock
-	if n < streamBlock {
+	if n := hi - lo; n < streamBlock {
 		st.PeakInFlight = n
 	}
 	buf := make([]Result, 0, streamBlock)
-	for start := 0; start < n; start += streamBlock {
+	for start := lo; start < hi; start += streamBlock {
 		if stop.Load() {
 			return st, ctx.Err()
 		}
 		end := start + streamBlock
-		if end > n {
-			end = n
+		if end > hi {
+			end = hi
 		}
 		var ok bool
 		buf, ok = e.evalBlock(p, cu, bs, start, end, tc, stop, buf[:0])
@@ -310,12 +338,11 @@ func (s *sequencer) fail(err error) {
 	s.mu.Unlock()
 }
 
-func (e *Engine) streamParallel(ctx context.Context, src Source, sink Sink,
+func (e *Engine) streamParallel(ctx context.Context, src Source, lo, hi int, sink Sink,
 	st StreamStats, workers int, tc *termCounters) (StreamStats, error) {
 	stop, unwatch := watchContext(ctx)
 	defer unwatch()
 
-	n := st.Candidates
 	seq := &sequencer{pending: make(map[int][]Result), sink: sink}
 	seq.cond = sync.NewCond(&seq.mu)
 	window := workers * maxAheadBlocks
@@ -329,22 +356,22 @@ func (e *Engine) streamParallel(ctx context.Context, src Source, sink Sink,
 			defer wg.Done()
 			cur := src.Cursor()
 			if plan != nil {
-				e.workerBlocks(ctx, plan, cur.(*spaceCursor), seq, &nextBlock, n, window, tc, stop)
+				e.workerBlocks(ctx, plan, cur.(*spaceCursor), seq, &nextBlock, lo, hi, window, tc, stop)
 				return
 			}
 			wc := &workerCache{}
 			for {
 				b := int(nextBlock.Add(1)) - 1
-				start := b * streamBlock
-				if start >= n {
+				start := lo + b*streamBlock
+				if start >= hi {
 					return
 				}
 				if !seq.wait(b, window) {
 					return
 				}
 				end := start + streamBlock
-				if end > n {
-					end = n
+				if end > hi {
+					end = hi
 				}
 				seq.claim(end - start)
 				results := seq.pool.Get(end - start)
@@ -380,21 +407,21 @@ func (e *Engine) streamParallel(ctx context.Context, src Source, sink Sink,
 // identical block claiming, run-ahead window and sequencer accounting to
 // the scalar loop — only the per-block evaluation differs.
 func (e *Engine) workerBlocks(ctx context.Context, p *iterPlan, cu *spaceCursor,
-	seq *sequencer, nextBlock *atomic.Int64, n, window int,
+	seq *sequencer, nextBlock *atomic.Int64, lo, hi, window int,
 	tc *termCounters, stop *atomic.Bool) {
 	bs := newBlockState(p)
 	for {
 		b := int(nextBlock.Add(1)) - 1
-		start := b * streamBlock
-		if start >= n {
+		start := lo + b*streamBlock
+		if start >= hi {
 			return
 		}
 		if !seq.wait(b, window) {
 			return
 		}
 		end := start + streamBlock
-		if end > n {
-			end = n
+		if end > hi {
+			end = hi
 		}
 		seq.claim(end - start)
 		results, ok := e.evalBlock(p, cu, bs, start, end, tc, stop, seq.pool.Get(end-start))

@@ -1,0 +1,93 @@
+// StreamRange differential tests: a ranged stream must deliver exactly the
+// corresponding slice of the full stream — same results, same order, bit
+// identical — through both the scalar path and the block kernel, at any
+// worker count, for any window alignment. The optimizer (internal/optimize)
+// builds directly on this contract.
+package explore
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/split"
+)
+
+// streamRangeSpace mixes buildable and failing candidates (500e9 gates
+// exceeds the wafer) across several outer points, with a run span that is
+// not a multiple of the 64-candidate stream block.
+func streamRangeSpace() Space {
+	return Space{
+		Name:          "range",
+		Strategies:    []split.Strategy{split.HomogeneousStrategy, split.HeterogeneousStrategy},
+		NodesNM:       []int{7, 10},
+		Gates:         []float64{17e9, 500e9},
+		FabLocations:  []grid.Location{grid.Taiwan, grid.Norway},
+		UseLocations:  []grid.Location{grid.USA, grid.India},
+		LifetimeYears: []float64{2, 10},
+	}
+}
+
+func TestStreamRangeMatchesFullStream(t *testing.T) {
+	m := core.Default()
+	s := streamRangeSpace()
+	it, err := s.Iter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := it.Len()
+	windows := [][2]int{
+		{0, n}, {0, 0}, {n, n}, {0, 1}, {n - 1, n},
+		{1, 63}, {17, 211}, {63, 129}, {n / 3, 2 * n / 3}, {n - 70, n},
+	}
+	for _, scalar := range []bool{false, true} {
+		for _, workers := range []int{1, 4} {
+			e := &Engine{Model: m, Workers: workers, ScalarOnly: scalar}
+			full, _ := collectStream(t, e, s)
+			if len(full) != n {
+				t.Fatalf("full stream delivered %d of %d", len(full), n)
+			}
+			// One compiled plan shared across every window: StreamRange must
+			// accept a pre-planned source and reuse its term slots.
+			plan := it.Plan()
+			for _, w := range windows {
+				lo, hi := w[0], w[1]
+				var got []Result
+				st, err := e.StreamRange(context.Background(), plan, lo, hi, func(r Result) error {
+					got = append(got, r)
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("scalar=%v workers=%d [%d,%d): %v", scalar, workers, lo, hi, err)
+				}
+				if st.Candidates != hi-lo || st.Delivered != hi-lo || len(got) != hi-lo {
+					t.Fatalf("scalar=%v workers=%d [%d,%d): candidates=%d delivered=%d len=%d",
+						scalar, workers, lo, hi, st.Candidates, st.Delivered, len(got))
+				}
+				for i := range got {
+					if d := diffResult(full[lo+i], got[i]); d != "" {
+						t.Fatalf("scalar=%v workers=%d [%d,%d) result %d (%s): %s",
+							scalar, workers, lo, hi, i, full[lo+i].Candidate.ID, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStreamRangeRejectsBadBounds(t *testing.T) {
+	m := core.Default()
+	s := streamRangeSpace()
+	it, err := s.Iter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Model: m}
+	sink := func(Result) error { return nil }
+	for _, w := range [][2]int{{-1, 4}, {0, it.Len() + 1}, {5, 4}} {
+		if _, err := e.StreamRange(context.Background(), it, w[0], w[1], sink); err == nil {
+			t.Errorf("range [%d,%d): expected error", w[0], w[1])
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Exhaustive-agreement suite: for every shipped-design-derived space small
+// enough to enumerate, across every shipped parameter profile, each driver
+// must return the exact candidate the enumerated TopK(1) reducer returns —
+// bit-identical report values, tie-breaks included — with Stats.Complete
+// set. An optimizer that silently misses the true optimum is worse than a
+// slow sweep; this suite is the contract that it cannot.
+package optimize
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/design"
+	"repro/internal/explore"
+	"repro/internal/grid"
+	"repro/internal/split"
+	"repro/internal/tech"
+)
+
+// profileModel is one shipped parameter profile resolved into a model.
+type profileModel struct {
+	name string
+	m    *core.Model
+}
+
+// shippedModels loads the default model plus every profiles/*.json overlay.
+func shippedModels(t testing.TB) []profileModel {
+	t.Helper()
+	out := []profileModel{{name: "default", m: core.Default()}}
+	files, err := filepath.Glob("../../profiles/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("expected ≥3 shipped profiles, found %d", len(files))
+	}
+	for _, f := range files {
+		m, err := core.FromParamsFile(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		base := filepath.Base(f)
+		out = append(out, profileModel{name: base[:len(base)-len(".json")], m: m})
+	}
+	return out
+}
+
+// shippedDesigns loads every designs/*.json file.
+func shippedDesigns(t testing.TB) map[string]*design.Design {
+	t.Helper()
+	files, err := filepath.Glob("../../designs/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 6 {
+		t.Fatalf("expected ≥6 shipped designs, found %d", len(files))
+	}
+	out := make(map[string]*design.Design, len(files))
+	for _, f := range files {
+		d, err := design.Load(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		base := filepath.Base(f)
+		out[base[:len(base)-len(".json")]] = d
+	}
+	return out
+}
+
+// spaceFromDesign derives an enumerable exploration space from a shipped
+// design: its die process nodes and total gate count become the space's
+// node and size axes, fanned across both strategies, all integrations,
+// two fab grids, three use grids and two lifetimes.
+func spaceFromDesign(d *design.Design) *explore.Space {
+	var nodes []int
+	seen := make(map[int]bool)
+	gates := 0.0
+	for _, die := range d.Dies {
+		if die.ProcessNM >= tech.MinProcessNM && die.ProcessNM <= tech.MaxProcessNM && !seen[die.ProcessNM] {
+			seen[die.ProcessNM] = true
+			nodes = append(nodes, die.ProcessNM)
+		}
+		if die.Gates > 0 {
+			gates += die.Gates
+		}
+	}
+	if len(nodes) == 0 {
+		return nil
+	}
+	if len(nodes) > 2 {
+		nodes = nodes[:2]
+	}
+	if gates <= 0 {
+		gates = 9e9 // area-specified designs: a representative size
+	}
+	return &explore.Space{
+		Name:          d.Name,
+		Strategies:    []split.Strategy{split.HomogeneousStrategy, split.HeterogeneousStrategy},
+		NodesNM:       nodes,
+		Gates:         []float64{gates},
+		FabLocations:  []grid.Location{grid.Taiwan, grid.Norway},
+		UseLocations:  []grid.Location{grid.USA, grid.India, grid.Renewable},
+		LifetimeYears: []float64{2, 10},
+	}
+}
+
+// enumerateBest streams the space through a fresh engine and returns the
+// enumerated optimum: the explore.TopK(1) result (Err candidates skipped,
+// exactly as every production sink treats them) plus its enumeration
+// index. It cross-checks TopK(1) against a hand-maintained explore.Less
+// incumbent — the invariant the optimizer's incumbent logic relies on.
+func enumerateBest(t testing.TB, m *core.Model, s explore.Space) (explore.Result, int, bool) {
+	t.Helper()
+	eng := explore.New(m)
+	eng.Workers = 2
+	top := explore.NewTopK(1)
+	var best explore.Result
+	bestIdx, found, idx := -1, false, 0
+	_, err := eng.Stream(context.Background(), s, func(r explore.Result) error {
+		if r.Err == nil {
+			top.Add(r)
+			if !found || explore.Less(r, best) {
+				best, bestIdx, found = r, idx, true
+			}
+		}
+		idx++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("enumerate %q: %v", s.Name, err)
+	}
+	ranked := top.Results()
+	if found != (len(ranked) == 1) {
+		t.Fatalf("enumerate %q: incumbent/TopK disagree on existence", s.Name)
+	}
+	if found && ranked[0].Candidate.ID != best.Candidate.ID {
+		t.Fatalf("enumerate %q: TopK(1) %q vs Less-incumbent %q", s.Name, ranked[0].Candidate.ID, best.Candidate.ID)
+	}
+	return best, bestIdx, found
+}
+
+// f64Same is bit-identity relaxed only to one NaN equivalence class — the
+// PR 6 differential harness's float comparison.
+func f64Same(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b) ||
+		(math.IsNaN(a) && math.IsNaN(b))
+}
+
+// diffBest describes the first difference between the enumerated optimum
+// and a driver's, or "" when they agree bit-identically.
+func diffBest(want, got explore.Result) string {
+	switch {
+	case want.Candidate.ID != got.Candidate.ID:
+		return fmt.Sprintf("ID %q vs %q", want.Candidate.ID, got.Candidate.ID)
+	case !f64Same(want.Total(), got.Total()):
+		return fmt.Sprintf("Total %x vs %x", want.Total(), got.Total())
+	case !f64Same(want.Embodied(), got.Embodied()):
+		return fmt.Sprintf("Embodied %x vs %x", want.Embodied(), got.Embodied())
+	case !f64Same(want.Operational(), got.Operational()):
+		return fmt.Sprintf("Operational %x vs %x", want.Operational(), got.Operational())
+	case want.Tc.Verdict != got.Tc.Verdict || !f64Same(want.Tc.Years, got.Tc.Years):
+		return fmt.Sprintf("Tc %+v vs %+v", want.Tc, got.Tc)
+	case want.Tr.Verdict != got.Tr.Verdict || !f64Same(want.Tr.Years, got.Tr.Years):
+		return fmt.Sprintf("Tr %+v vs %+v", want.Tr, got.Tr)
+	case !f64Same(want.EmbodiedSave, got.EmbodiedSave):
+		return fmt.Sprintf("EmbodiedSave %x vs %x", want.EmbodiedSave, got.EmbodiedSave)
+	case !f64Same(want.OverallSave, got.OverallSave):
+		return fmt.Sprintf("OverallSave %x vs %x", want.OverallSave, got.OverallSave)
+	}
+	return ""
+}
+
+func TestDriversAgreeWithEnumeration(t *testing.T) {
+	models := shippedModels(t)
+	designs := shippedDesigns(t)
+	for _, pm := range models {
+		for name, d := range designs {
+			s := spaceFromDesign(d)
+			if s == nil {
+				t.Fatalf("%s: no enumerable space derived", name)
+			}
+			size := s.Size()
+			if size > 50000 {
+				t.Fatalf("%s: space of %d candidates is not enumerable here", name, size)
+			}
+			want, wantIdx, found := enumerateBest(t, pm.m, *s)
+			for _, drv := range Drivers() {
+				drv := drv
+				t.Run(fmt.Sprintf("%s/%s/%s", pm.name, name, drv), func(t *testing.T) {
+					eng := explore.New(pm.m)
+					eng.Workers = 2
+					res, err := Run(context.Background(), eng, *s, Options{Driver: drv, Seed: 7})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !res.Stats.Complete {
+						t.Fatalf("unlimited budget did not complete: %+v", res.Stats)
+					}
+					if res.Found != found {
+						t.Fatalf("Found=%v, enumeration says %v", res.Found, found)
+					}
+					if !found {
+						return
+					}
+					if d := diffBest(want, res.Best); d != "" {
+						t.Fatalf("driver optimum differs from enumerated TopK(1): %s", d)
+					}
+					if res.BestIndex != wantIdx {
+						t.Fatalf("BestIndex %d, enumerated %d", res.BestIndex, wantIdx)
+					}
+					if res.Stats.Evaluations+res.Stats.Prunes > size {
+						t.Fatalf("evaluations %d + prunes %d exceed space %d",
+							res.Stats.Evaluations, res.Stats.Prunes, size)
+					}
+				})
+			}
+		}
+	}
+}

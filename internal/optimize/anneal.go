@@ -1,0 +1,71 @@
+package optimize
+
+import "math"
+
+// annealStepsDefault bounds the Metropolis walk when the budget doesn't.
+const annealStepsDefault = 4096
+
+// anneal is simulated annealing over axis neighbours: each step perturbs
+// one randomly chosen axis to a different value and accepts the move when
+// it improves the objective, or with the Metropolis probability
+// exp(-Δ/(scale·T)) otherwise, where scale normalizes Δ to the incumbent's
+// magnitude and T cools geometrically from 1 to 1e-3. All randomness comes
+// from the run's seeded generator; revisited candidates are answered from
+// the ledger without charging the budget.
+func (s *searcher) anneal() error {
+	d := s.dims
+	lens := [6]int{d.Gates, d.Nodes, d.Fabs, d.Uses, d.Years, d.Pairs}
+	var axes []int
+	for a, n := range lens {
+		if n > 1 {
+			axes = append(axes, a)
+		}
+	}
+	steps := annealStepsDefault
+	if c := s.heuristicCap(); c < steps {
+		steps = c
+	}
+	i := s.rng.Intn(s.size)
+	var co [6]int
+	co[0], co[1], co[2], co[3], co[4], co[5] = d.Coords(i)
+	cur, ok, err := s.evalAt(i)
+	if err != nil {
+		return err
+	}
+	if !ok || len(axes) == 0 {
+		return nil
+	}
+	const tempStart, tempEnd = 1.0, 1e-3
+	decay := math.Pow(tempEnd/tempStart, 1/float64(steps))
+	temp := tempStart
+	for step := 0; step < steps; step++ {
+		temp *= decay
+		a := axes[s.rng.Intn(len(axes))]
+		v := s.rng.Intn(lens[a] - 1)
+		if v >= co[a] {
+			v++ // uniform over the other values
+		}
+		alt := co
+		alt[a] = v
+		obj, ok, err := s.evalAt(d.Index(alt[0], alt[1], alt[2], alt[3], alt[4], alt[5]))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		accept := obj <= cur
+		if !accept && !math.IsInf(obj, 1) {
+			scale := math.Abs(cur)
+			if scale < 1e-9 || math.IsInf(scale, 1) {
+				scale = 1
+			}
+			accept = s.rng.Float64() < math.Exp(-(obj-cur)/(scale*temp))
+		}
+		if accept {
+			co = alt
+			cur = obj
+		}
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+// The pinned reference benchmark and its CI gate. referenceSpace is a
+// ~10^9-candidate space (500 design sizes × 8 nodes × 6 fabs × 9 use
+// grids × 250 lifetimes × 15 strategy/integration pairs = 8.1×10^8). The
+// gate runs
+// the successive-halving driver with an unlimited budget and enforces the
+// tentpole claim: the proven optimum (Stats.Complete) must match the
+// committed golden bit-for-bit while charging model work for <1% of the
+// space. Regenerate the golden with OPTIMIZE_GOLDEN_REGEN=1, which also
+// cross-checks that all three drivers prove the same optimum.
+package optimize
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/grid"
+	"repro/internal/split"
+)
+
+// referenceSpace is the pinned large benchmark space. Axes are fixed
+// forever; change the golden file alongside any model-parameter change
+// that moves the optimum.
+func referenceSpace() explore.Space {
+	gates := make([]float64, 500)
+	for i := range gates {
+		gates[i] = (1 + 0.5*float64(i)) * 1e9 // 1e9 … 250.5e9
+	}
+	years := make([]float64, 250)
+	for i := range years {
+		years[i] = float64(i + 1)
+	}
+	return explore.Space{
+		Name:       "reference",
+		Strategies: []split.Strategy{split.HomogeneousStrategy, split.HeterogeneousStrategy},
+		NodesNM:    []int{3, 5, 7, 10, 12, 14, 16, 28},
+		Gates:      gates,
+		FabLocations: []grid.Location{
+			grid.Taiwan, grid.USA, grid.Europe, grid.China, grid.India, grid.Norway,
+		},
+		UseLocations: []grid.Location{
+			grid.USA, grid.Europe, grid.India, grid.China, grid.Taiwan,
+			grid.California, grid.Norway, grid.WorldAverage, grid.Renewable,
+		},
+		LifetimeYears: years,
+	}
+}
+
+// goldenPath pins the reference optimum; goldenOptimum is its schema.
+const goldenPath = "testdata/reference_optimum.json"
+
+type goldenOptimum struct {
+	SpaceSize int     `json:"space_size"`
+	BestIndex int     `json:"best_index"`
+	ID        string  `json:"id"`
+	TotalBits string  `json:"total_bits"` // hex of math.Float64bits(total kg)
+	TotalKg   float64 `json:"total_kg"`   // human-readable; TotalBits is authoritative
+}
+
+// referenceEngine bounds the memo cache: the reference run touches a few
+// million candidates at most, and an unbounded cache sized for the hits
+// is wasteful in a gate that runs on every CI build.
+func referenceEngine() *explore.Engine {
+	eng := explore.New(core.Default())
+	eng.CacheLimit = 1 << 18
+	return eng
+}
+
+func TestHalvingReferenceGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reference-space gate")
+	}
+	s := referenceSpace()
+	res, err := Run(context.Background(), referenceEngine(), s, Options{Driver: Halving, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || !res.Stats.Complete {
+		t.Fatalf("reference run incomplete: found=%v stats=%+v", res.Found, res.Stats)
+	}
+	frac := res.Stats.EvaluatedFraction()
+	t.Logf("reference space %d candidates: %d evaluations + %d bound probes (%.4f%%), "+
+		"%d of %d blocks pruned (%d candidates), bound tightness %.3f, optimum %s = %.3f kg",
+		res.Stats.SpaceSize, res.Stats.Evaluations, res.Stats.BoundProbes, 100*frac,
+		res.Stats.PrunedBlocks, res.Stats.Blocks, res.Stats.Prunes,
+		res.Stats.BoundTightness, res.Best.Candidate.ID, res.Best.Total())
+	if frac >= 0.01 {
+		t.Fatalf("evaluated fraction %.4f%% breaches the <1%% gate", 100*frac)
+	}
+
+	got := goldenOptimum{
+		SpaceSize: res.Stats.SpaceSize,
+		BestIndex: res.BestIndex,
+		ID:        res.Best.Candidate.ID,
+		TotalBits: fmt.Sprintf("%016x", math.Float64bits(res.Best.Total())),
+		TotalKg:   res.Best.Total(),
+	}
+	if os.Getenv("OPTIMIZE_GOLDEN_REGEN") != "" {
+		regenGolden(t, s, got)
+		return
+	}
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with OPTIMIZE_GOLDEN_REGEN=1): %v", err)
+	}
+	var want goldenOptimum
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("reference optimum drifted from golden:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// regenGolden writes the golden after proving the other two drivers reach
+// the identical optimum — three independent incumbent paths through the
+// shared verification sweep must agree before the pin is trusted.
+func regenGolden(t *testing.T, s explore.Space, got goldenOptimum) {
+	t.Helper()
+	for _, drv := range []Driver{Coordinate, Anneal} {
+		res, err := Run(context.Background(), referenceEngine(), s, Options{Driver: drv, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stats.Complete || res.Best.Candidate.ID != got.ID ||
+			fmt.Sprintf("%016x", math.Float64bits(res.Best.Total())) != got.TotalBits {
+			t.Fatalf("driver %s disagrees with halving optimum: %s %.3f kg vs %+v",
+				drv, res.Best.Candidate.ID, res.Best.Total(), got)
+		}
+		t.Logf("cross-check %s: agrees (%.4f%% evaluated)", drv, 100*res.Stats.EvaluatedFraction())
+	}
+	raw, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenPath, append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("golden regenerated: %+v", got)
+}
+
+// BenchmarkOptimizeHalving is the pinned optimizer benchmark
+// (BENCH_optimize.json in CI): one full proven-optimal halving run over
+// the ~10^9-candidate reference space per iteration.
+func BenchmarkOptimizeHalving(b *testing.B) {
+	s := referenceSpace()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(context.Background(), referenceEngine(), s, Options{Driver: Halving, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Stats.Complete {
+			b.Fatal("incomplete")
+		}
+		if i == 0 {
+			b.ReportMetric(res.Stats.EvaluatedFraction()*100, "%space")
+			b.ReportMetric(float64(res.Stats.Evaluations), "evals/op")
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Bound-admissibility property test: the pruning bound must never exceed
+// a completed total. The optimizer prunes a block only when bound >
+// incumbent total, so admissibility — bound ≤ total for every candidate
+// the bound claims to cover — is exactly the property that makes pruning
+// unable to discard the optimum. Checked for random candidates across all
+// shipped profiles, every grid location, and the wafer-failure/edge
+// classes the PR 6 harness established (oversized designs, zero-carbon
+// grids, failed evaluations).
+package optimize
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/grid"
+	"repro/internal/split"
+)
+
+// admissibilitySpace spans every grid location on both axes plus a
+// wafer-failing design size, so the sample hits failure classes as well as
+// ordinary candidates.
+func admissibilitySpace() explore.Space {
+	all := grid.Locations()
+	return explore.Space{
+		Name:          "admissibility",
+		Strategies:    []split.Strategy{split.HomogeneousStrategy, split.HeterogeneousStrategy},
+		NodesNM:       []int{7, 14},
+		Gates:         []float64{17e9, 500e9},
+		FabLocations:  all,
+		UseLocations:  all,
+		LifetimeYears: []float64{1, 10},
+	}
+}
+
+func TestEmbodiedBoundAdmissible(t *testing.T) {
+	s := admissibilitySpace()
+	for _, pm := range shippedModels(t) {
+		it, err := s.Iter()
+		if err != nil {
+			t.Fatalf("%s: %v", pm.name, err)
+		}
+		eng := explore.New(pm.m)
+		cur := it.Cursor()
+		rng := rand.New(rand.NewSource(11))
+		checked, failures := 0, 0
+		for n := 0; n < 600; n++ {
+			i := rng.Intn(it.Len())
+			c, err := cur.At(i)
+			if err != nil {
+				t.Fatalf("%s: At(%d): %v", pm.name, i, err)
+			}
+			bound, berr := eng.EmbodiedBound(c)
+			rs, err := eng.Evaluate(context.Background(), []explore.Candidate{c})
+			if err != nil {
+				t.Fatalf("%s: evaluate %d: %v", pm.name, i, err)
+			}
+			r := rs[0]
+			if berr != nil {
+				// A bound error means the embodied design does not build;
+				// the full evaluation must fail the same way, so pruning the
+				// pair group discards only unbuildable candidates.
+				if r.Err == nil {
+					t.Fatalf("%s: %s: bound errored (%v) but evaluation succeeded", pm.name, c.ID, berr)
+				}
+				failures++
+				continue
+			}
+			if r.Err != nil {
+				t.Fatalf("%s: %s: bound %v but evaluation failed: %v", pm.name, c.ID, bound, r.Err)
+			}
+			total := r.Total()
+			// The exact pruning predicate: a bound strictly above the total
+			// would let the optimizer discard this candidate wrongly. NaN
+			// comparisons are false, so an incomparable pair never trips it —
+			// matching the driver, where NaN never prunes.
+			if bound > total {
+				t.Fatalf("%s: %s: bound %x (%v) exceeds total %x (%v)",
+					pm.name, c.ID, bound, bound, total, total)
+			}
+			if !f64Same(bound, r.Embodied()) {
+				t.Fatalf("%s: %s: bound %x differs from evaluated embodied %x",
+					pm.name, c.ID, bound, r.Embodied())
+			}
+			if !math.IsNaN(total) && total-bound < 0 {
+				t.Fatalf("%s: %s: negative operational gap", pm.name, c.ID)
+			}
+			checked++
+		}
+		if checked == 0 {
+			t.Fatalf("%s: no successful candidates sampled", pm.name)
+		}
+		if failures == 0 {
+			t.Fatalf("%s: wafer-failure class never sampled", pm.name)
+		}
+	}
+}

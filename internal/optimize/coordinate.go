@@ -1,0 +1,82 @@
+package optimize
+
+import "math"
+
+// heuristicCap bounds a driver's scattered phase to a quarter of a finite
+// budget, so the verification sweep — the part that proves optimality —
+// keeps the rest.
+func (s *searcher) heuristicCap() int {
+	if s.budget <= 0 {
+		return math.MaxInt
+	}
+	c := s.budget / 4
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// coordinateRestarts is the number of seeded descent starts.
+const coordinateRestarts = 3
+
+// coordinate is multi-start coordinate descent: from each seeded random
+// start, sweep the axes innermost-first (pairs, years, uses, fabs, nodes,
+// gates — the cheap moves share the incumbent's embodied term) and take
+// the best strictly improving value per axis, until a full cycle improves
+// nothing. Already-visited candidates are answered from the run's ledger
+// without charging the budget.
+func (s *searcher) coordinate() error {
+	d := s.dims
+	lens := [6]int{d.Gates, d.Nodes, d.Fabs, d.Uses, d.Years, d.Pairs}
+	hcap := s.heuristicCap()
+	start := s.charged()
+	for r := 0; r < coordinateRestarts; r++ {
+		i := s.rng.Intn(s.size)
+		var co [6]int
+		co[0], co[1], co[2], co[3], co[4], co[5] = d.Coords(i)
+		cur, ok, err := s.evalAt(i)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		for improved := true; improved; {
+			improved = false
+			for _, a := range [6]int{5, 4, 3, 2, 1, 0} {
+				if lens[a] < 2 {
+					continue
+				}
+				bestV, bestObj := co[a], cur
+				for v := 0; v < lens[a]; v++ {
+					if v == co[a] {
+						continue
+					}
+					alt := co
+					alt[a] = v
+					obj, ok, err := s.evalAt(d.Index(alt[0], alt[1], alt[2], alt[3], alt[4], alt[5]))
+					if err != nil {
+						return err
+					}
+					if !ok {
+						return nil
+					}
+					// Strictly-better only: equal objectives never move, so
+					// descent cannot cycle and the walk is deterministic.
+					if obj < bestObj {
+						bestObj, bestV = obj, v
+					}
+				}
+				if bestV != co[a] {
+					co[a] = bestV
+					cur = bestObj
+					improved = true
+				}
+				if s.charged()-start >= hcap {
+					return nil
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+// Determinism suite: identical (space, model, driver, seed, budget) must
+// replay identical results, trajectories and counters — across repeated
+// runs and across worker counts. The drivers owe this to three design
+// rules audited here: all randomness flows from the seeded generator,
+// results are admitted in the streaming sequencer's enumeration order
+// (worker scheduling can't leak in), and no decision iterates a map (the
+// visited ledger and block visit lists are key-addressed only; block
+// ranking sorts a NaN-free total order).
+package optimize
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/grid"
+	"repro/internal/split"
+)
+
+// determinismSpace mixes buildable and wafer-failing candidates across
+// enough axes that heuristic walks, pruning and budget truncation all
+// trigger.
+func determinismSpace() explore.Space {
+	return explore.Space{
+		Name:          "determinism",
+		Strategies:    []split.Strategy{split.HomogeneousStrategy, split.HeterogeneousStrategy},
+		NodesNM:       []int{7, 10, 14},
+		Gates:         []float64{17e9, 60e9, 500e9},
+		FabLocations:  []grid.Location{grid.Taiwan, grid.Norway},
+		UseLocations:  []grid.Location{grid.USA, grid.India, grid.Renewable},
+		LifetimeYears: []float64{2, 10},
+	}
+}
+
+// runOnce executes one optimization with the given worker count.
+func runOnce(t *testing.T, drv Driver, workers, budget int) *Result {
+	t.Helper()
+	eng := explore.New(core.Default())
+	eng.Workers = workers
+	res, err := Run(context.Background(), eng, determinismSpace(), Options{
+		Driver: drv, Seed: 99, Budget: budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunsAreDeterministic(t *testing.T) {
+	size := determinismSpace().Size()
+	for _, drv := range Drivers() {
+		for _, budget := range []int{0, size / 3} {
+			t.Run(string(drv)+budgetLabel(budget), func(t *testing.T) {
+				base := runOnce(t, drv, 1, budget)
+				for _, workers := range []int{1, 3, 8} {
+					got := runOnce(t, drv, workers, budget)
+					if got.Found != base.Found || got.BestIndex != base.BestIndex {
+						t.Fatalf("workers=%d: Found/BestIndex (%v, %d) vs (%v, %d)",
+							workers, got.Found, got.BestIndex, base.Found, base.BestIndex)
+					}
+					if got.Found && diffBest(base.Best, got.Best) != "" {
+						t.Fatalf("workers=%d: best differs: %s", workers, diffBest(base.Best, got.Best))
+					}
+					if !reflect.DeepEqual(got.Stats, base.Stats) {
+						t.Fatalf("workers=%d: stats differ:\n%+v\nvs\n%+v", workers, got.Stats, base.Stats)
+					}
+				}
+			})
+		}
+	}
+}
+
+func budgetLabel(b int) string {
+	if b == 0 {
+		return "/unlimited"
+	}
+	return "/budgeted"
+}
+
+// TestBudgetIsHardCap pins the budget contract: charged work (evaluations
+// + bound probes) never exceeds a positive budget, for any driver, at any
+// of several budget levels.
+func TestBudgetIsHardCap(t *testing.T) {
+	for _, drv := range Drivers() {
+		for _, budget := range []int{1, 7, 64, 500} {
+			res := runOnce(t, drv, 4, budget)
+			charged := res.Stats.Evaluations + res.Stats.BoundProbes
+			if charged > budget {
+				t.Errorf("%s budget=%d: charged %d", drv, budget, charged)
+			}
+			if res.Stats.Complete && budget < 100 {
+				t.Errorf("%s budget=%d: implausible Complete on %d-candidate space",
+					drv, budget, res.Stats.SpaceSize)
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Differential fuzzing for the optimizer: arbitrary small space shapes,
+// seeds, budgets, drivers and worker counts. Invariants: Run never
+// panics, never exceeds a positive budget, and any optimum it returns
+// re-evaluates bit-identically on a fresh scalar-oracle engine (the
+// EXPLORE_SCALAR path — no plan slots, no block kernel, no shared cache
+// with the driver's engine). With an unlimited budget the driver must
+// also reproduce the enumerated optimum exactly. The seed corpus under
+// testdata/fuzz/FuzzOptimizeVsEnumerate pins the edge shapes: unit axes,
+// wafer failures, budget-starved runs, every driver.
+package optimize
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/grid"
+	"repro/internal/split"
+)
+
+// fuzzLocations mirrors the PR 6 block-kernel fuzz pool.
+var fuzzLocations = []grid.Location{
+	grid.USA, grid.Europe, grid.India, grid.China, grid.Taiwan,
+	grid.California, grid.Norway, grid.WorldAverage, grid.Renewable,
+}
+
+// pickBits selects the pool entries whose bit is set in mask, preserving
+// pool order; an empty selection yields nil (axis default).
+func pickBits[T any](pool []T, mask uint16) []T {
+	var out []T
+	for i := range pool {
+		if mask&(1<<uint(i%16)) != 0 {
+			out = append(out, pool[i])
+		}
+	}
+	return out
+}
+
+func FuzzOptimizeVsEnumerate(f *testing.F) {
+	f.Add(uint16(3), uint16(3), uint16(7), uint16(3), uint16(1), uint8(30), uint8(100), uint8(0), uint8(1), int64(1), uint16(0))
+	f.Add(uint16(1), uint16(1), uint16(1), uint16(1), uint16(1), uint8(17), uint8(254), uint8(1), uint8(0), int64(42), uint16(5))
+	f.Add(uint16(3), uint16(2), uint16(33), uint16(5), uint16(8), uint8(254), uint8(27), uint8(2), uint8(3), int64(-7), uint16(100))
+	f.Add(uint16(2), uint16(7), uint16(5), uint16(9), uint16(2), uint8(200), uint8(50), uint8(2), uint8(5), int64(123456789), uint16(0))
+	f.Add(uint16(0), uint16(0), uint16(0), uint16(0), uint16(0), uint8(0), uint8(0), uint8(0), uint8(0), int64(0), uint16(1))
+	m := core.Default()
+	nodesPool := []int{5, 7, 10, 14}
+	stratPool := []split.Strategy{split.HomogeneousStrategy, split.HeterogeneousStrategy}
+	yearsPool := []float64{1, 2.5, 5, 10}
+	gatesPool := []float64{1e9, 17e9, 60e9, 500e9}
+	f.Fuzz(func(t *testing.T, stratMask, nodesMask, useMask, yearsMask, gatesMask uint16,
+		peakTOPS, effDeci, driverSel, workers uint8, seed int64, budget uint16) {
+		s := explore.Space{
+			Name:            "fuzz",
+			Strategies:      pickBits(stratPool, stratMask),
+			NodesNM:         pickBits(nodesPool, nodesMask),
+			Gates:           pickBits(gatesPool, gatesMask),
+			UseLocations:    pickBits(fuzzLocations, useMask),
+			LifetimeYears:   pickBits(yearsPool, yearsMask),
+			PeakTOPS:        float64(peakTOPS),
+			EfficiencyTOPSW: float64(effDeci) / 10,
+		}
+		if s.Size() > 2048 {
+			t.Skip("space too large for a fuzz iteration")
+		}
+		drv := Drivers()[int(driverSel)%len(Drivers())]
+		eng := explore.New(m)
+		eng.Workers = int(workers % 8)
+		opts := Options{Driver: drv, Seed: seed, Budget: int(budget)}
+		res, err := Run(context.Background(), eng, s, opts)
+		if err != nil {
+			// Run may fail only where enumeration fails too: a space that
+			// does not decode.
+			if _, iterErr := s.Iter(); iterErr == nil {
+				t.Fatalf("driver %s failed on a decodable space: %v", drv, err)
+			}
+			return
+		}
+		if budget > 0 {
+			if charged := res.Stats.Evaluations + res.Stats.BoundProbes; charged > int(budget) {
+				t.Fatalf("driver %s charged %d over budget %d", drv, charged, budget)
+			}
+		}
+		if res.Found {
+			// The returned candidate must be self-contained: bit-identical
+			// on a fresh scalar-oracle engine sharing nothing with the run.
+			oracle := &explore.Engine{Model: m, ScalarOnly: true}
+			rs, err := oracle.Evaluate(context.Background(), []explore.Candidate{res.Best.Candidate})
+			if err != nil {
+				t.Fatalf("oracle re-evaluation: %v", err)
+			}
+			if rs[0].Err != nil {
+				t.Fatalf("driver %s returned a failing optimum %s: %v", drv, res.Best.Candidate.ID, rs[0].Err)
+			}
+			if d := diffBest(rs[0], res.Best); d != "" {
+				t.Fatalf("driver %s optimum diverges from scalar oracle: %s", drv, d)
+			}
+		}
+		if opts.Budget == 0 {
+			if !res.Stats.Complete {
+				t.Fatalf("driver %s: unlimited budget did not complete", drv)
+			}
+			want, wantIdx, found := enumerateBest(t, m, s)
+			if res.Found != found {
+				t.Fatalf("driver %s: Found=%v, enumeration says %v", drv, res.Found, found)
+			}
+			if found {
+				if d := diffBest(want, res.Best); d != "" {
+					t.Fatalf("driver %s optimum differs from enumerated TopK(1): %s", drv, d)
+				}
+				if res.BestIndex != wantIdx {
+					t.Fatalf("driver %s: BestIndex %d, enumerated %d", drv, res.BestIndex, wantIdx)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,554 @@
+// Package optimize searches a design space for its lowest life-cycle
+// carbon candidate without enumerating it. Three drivers — coordinate
+// descent, simulated annealing and adaptive successive halving — share one
+// exactness mechanism: after the driver's heuristic phase (if any) finds a
+// good incumbent, a branch-and-bound sweep walks the space's (gates×node,
+// fab) blocks in ascending order of an admissible lower bound and prunes
+// every block whose bound exceeds the incumbent's total.
+//
+// The bound is the factored embodied sub-term (Eq. 1): a candidate's
+// life-cycle total is embodied + lifetime operational carbon, operational
+// carbon is non-negative for every grid location, and the embodied term is
+// independent of the use-location and lifetime axes — so the minimum
+// embodied carbon over a block's (strategy, integration) pairs lower-bounds
+// every completed total inside the block. Pruning is strict (bound >
+// incumbent total), so candidates tying the incumbent are still evaluated
+// and the returned optimum reproduces the enumerated TopK(1) result
+// bit-identically, tie-breaks included. When the evaluation budget suffices
+// to settle every block, Stats.Complete reports that the result is the
+// proven global optimum; otherwise the best-so-far is returned with
+// Complete=false.
+//
+// Determinism: identical (space, model, driver, seed, budget) yield
+// identical results, trajectories and counters at any worker count. All
+// randomness flows from the seeded generator, candidate results arrive in
+// enumeration order (the streaming sequencer's guarantee), block processing
+// follows a NaN-safe total order, and no decision ever iterates a map.
+package optimize
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/explore"
+	"repro/internal/grid"
+)
+
+// Driver selects the search heuristic layered over the shared
+// branch-and-bound verification sweep.
+type Driver string
+
+const (
+	// Coordinate is multi-start coordinate descent: axis-by-axis improvement
+	// from seeded random starts until no single-axis move helps.
+	Coordinate Driver = "coordinate"
+	// Anneal is simulated annealing: a seeded Metropolis walk over axis
+	// neighbours with a geometric cooling schedule.
+	Anneal Driver = "anneal"
+	// Halving is adaptive successive halving: no scattered heuristic phase —
+	// blocks are ranked by their embodied lower bound and covered run by run
+	// in geometrically growing chunks (cheapest estimated-operational runs
+	// first), pruning dominated blocks as the incumbent tightens. This is
+	// the default driver.
+	Halving Driver = "halving"
+)
+
+// Drivers lists the supported drivers in a stable order.
+func Drivers() []Driver { return []Driver{Coordinate, Anneal, Halving} }
+
+// ParseDriver validates a wire/flag driver name.
+func ParseDriver(s string) (Driver, error) {
+	switch d := Driver(s); d {
+	case Coordinate, Anneal, Halving:
+		return d, nil
+	}
+	return "", fmt.Errorf("optimize: unknown driver %q (want coordinate, anneal or halving)", s)
+}
+
+// Options configure one optimization run.
+type Options struct {
+	// Driver selects the search heuristic; empty means Halving.
+	Driver Driver
+	// Seed feeds the run's random generator. Runs are fully deterministic in
+	// (space, model, driver, seed, budget): the same seed replays the same
+	// trajectory at any worker count.
+	Seed int64
+	// Budget caps the charged model work — full candidate evaluations plus
+	// embodied bound probes, each distinct candidate and probe charged once.
+	// Zero or negative means unlimited, which guarantees Stats.Complete.
+	Budget int
+	// Observe, when non-nil, receives every distinct evaluated candidate
+	// exactly once, in deterministic charge order — the hook for feeding the
+	// streaming reducers (explore.TopK, explore.FrontierReducer) alongside
+	// the optimizer's own incumbent. Pruned candidates never appear.
+	Observe func(explore.Result)
+}
+
+// TrajectoryPoint records one incumbent improvement.
+type TrajectoryPoint struct {
+	// Charged is the model work charged (evaluations + bound probes) when
+	// the improvement was found.
+	Charged int
+	// ID is the improving candidate.
+	ID string
+	// TotalKg is its life-cycle total in kg.
+	TotalKg float64
+}
+
+// Stats describe a run's work and pruning behaviour.
+type Stats struct {
+	// Driver is the driver that ran.
+	Driver Driver
+	// SpaceSize is the candidate count of the space.
+	SpaceSize int
+	// Evaluations counts distinct candidates fully evaluated.
+	Evaluations int
+	// BoundProbes counts embodied-only bound computations (one per distinct
+	// (gates, node, fab, strategy×integration) design the bounds pass
+	// reached). Probes charge the budget like evaluations.
+	BoundProbes int
+	// Prunes counts candidates discarded without evaluation because their
+	// block's lower bound exceeded the incumbent (or the block proved
+	// unbuildable).
+	Prunes int
+	// PrunedBlocks counts blocks discarded before full coverage; Blocks is
+	// the total block count (gates × nodes × fabs).
+	PrunedBlocks int
+	Blocks       int
+	// BoundTightness is the mean embodied/total ratio over successful
+	// evaluations — how close the admissible bound sits to completed totals
+	// (1.0 would make pruning exact).
+	BoundTightness float64
+	// Complete reports that every block was either fully covered or pruned:
+	// the returned best is the proven global optimum, bit-identical to the
+	// enumerated TopK(1) result.
+	Complete bool
+	// Trajectory is the best-so-far improvement sequence.
+	Trajectory []TrajectoryPoint
+}
+
+// EvaluatedFraction is the share of the space charged as model work
+// (evaluations + bound probes) — the quantity the <1% CI gate enforces.
+func (st Stats) EvaluatedFraction() float64 {
+	if st.SpaceSize == 0 {
+		return 0
+	}
+	return float64(st.Evaluations+st.BoundProbes) / float64(st.SpaceSize)
+}
+
+// Result is a run's outcome.
+type Result struct {
+	// Best is the lowest-carbon successful candidate found (the global
+	// optimum when Stats.Complete). Its Candidate carries no plan-internal
+	// state and is safe to re-evaluate on any engine.
+	Best explore.Result
+	// BestIndex is Best's enumeration index in the space.
+	BestIndex int
+	// Found reports whether any candidate evaluated successfully.
+	Found bool
+	// Stats describe the run.
+	Stats Stats
+}
+
+// Run searches the space for its lowest life-cycle carbon candidate using
+// the engine's evaluation pipeline (plan-compiled embodied term reuse and
+// the columnar block kernel included). Per-candidate build failures are
+// skipped like every sink does; Run itself fails only on context
+// cancellation, an unknown driver or a space that does not decode.
+func Run(ctx context.Context, eng *explore.Engine, space explore.Space, opts Options) (*Result, error) {
+	if eng == nil || eng.Model == nil {
+		return nil, fmt.Errorf("optimize: engine has no model")
+	}
+	driver := opts.Driver
+	if driver == "" {
+		driver = Halving
+	}
+	if _, err := ParseDriver(string(driver)); err != nil {
+		return nil, err
+	}
+	it, err := space.Iter()
+	if err != nil {
+		return nil, err
+	}
+	s := &searcher{
+		ctx:     ctx,
+		eng:     eng,
+		plan:    it.Plan(),
+		dims:    it.Dims(),
+		size:    it.Len(),
+		budget:  opts.Budget,
+		observe: opts.Observe,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		visited: make(map[int]float64),
+		visits:  make(map[int][]int),
+	}
+	s.cur = s.plan.Cursor()
+	s.blockSize = s.dims.Uses * s.dims.Years * s.dims.Pairs
+	s.runs = s.dims.Uses * s.dims.Years
+	s.stats.Driver = driver
+	s.stats.SpaceSize = s.size
+	s.stats.Blocks = s.dims.Gates * s.dims.Nodes * s.dims.Fabs
+	if s.size > 0 {
+		s.makeRunOrder(it.Uses(), it.Lifetimes())
+	}
+
+	complete := true
+	if s.size > 0 {
+		switch driver {
+		case Coordinate:
+			err = s.coordinate()
+		case Anneal:
+			err = s.anneal()
+		case Halving:
+			// No heuristic phase: the verification sweep is the driver.
+		}
+		if err == nil {
+			complete, err = s.verify()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.stats.Complete = complete
+	if s.tightN > 0 {
+		s.stats.BoundTightness = s.tightSum / float64(s.tightN)
+	}
+	res := &Result{Found: s.found, BestIndex: s.bestIdx, Stats: s.stats}
+	if s.found {
+		res.Best = s.best
+		// Strip the candidate's plan-internal term hints: the plan is scoped
+		// to this run's engine, and the returned candidate must be safe to
+		// re-evaluate anywhere (the fuzz harness re-checks it against a fresh
+		// scalar-oracle engine).
+		res.Best.Candidate = explore.Candidate{
+			ID:       s.best.Candidate.ID,
+			Design:   s.best.Candidate.Design,
+			Workload: s.best.Candidate.Workload,
+			Eff:      s.best.Candidate.Eff,
+			Baseline: s.best.Candidate.Baseline,
+		}
+	}
+	return res, nil
+}
+
+// searcher is one run's state: the compiled plan, the incumbent, the
+// charge ledger and the block bookkeeping shared by the heuristic phases
+// and the verification sweep.
+type searcher struct {
+	ctx     context.Context
+	eng     *explore.Engine
+	plan    explore.Source // compiled term-reuse plan, shared by every range
+	cur     explore.SourceCursor
+	dims    explore.Dims
+	size    int
+	budget  int
+	observe func(explore.Result)
+	rng     *rand.Rand
+
+	blockSize int // uses × years × pairs candidates per (gates×node, fab) block
+	runs      int // uses × years pair runs per block
+
+	// runOrder lists each block's run ordinals (ui×Years + yi) in the order
+	// coverage proceeds: ascending estimated operational cost, so the
+	// incumbent tightens as early as possible and block pruning cascades.
+	// runPos is its inverse (run ordinal → coverage position). The estimate
+	// is purely a heuristic — it reorders work, never skips it — so the
+	// exactness proof does not depend on it.
+	runOrder []int
+	runPos   []int
+
+	stats   Stats
+	best    explore.Result
+	bestIdx int
+	found   bool
+
+	// visited maps candidate index → heuristic objective (total kg; +Inf for
+	// failed or NaN-total candidates) for every scattered heuristic
+	// evaluation. Lookups only — never iterated, so map order can't leak
+	// into decisions. visits keeps the same indices per block, in charge
+	// order, for exact prune accounting.
+	visited map[int]float64
+	visits  map[int][]int
+
+	tightSum float64
+	tightN   int
+}
+
+// makeRunOrder ranks the (use, lifetime) runs shared by every block in
+// ascending estimated operational cost — grid carbon intensity × lifetime
+// years, unknown grids last, ties by run ordinal. Covering low-operational
+// runs first makes the first swept run of the best-bounded block land at
+// (or near) the block's true minimum, so the incumbent is sharp from round
+// one and bound pruning settles the field immediately.
+func (s *searcher) makeRunOrder(uses []grid.Location, years []float64) {
+	cost := make([]float64, s.runs)
+	db := s.eng.Model.GridDB()
+	for ui, use := range uses {
+		ci := math.Inf(1)
+		if v, err := db.Intensity(use); err == nil {
+			ci = float64(v)
+		}
+		for yi, y := range years {
+			c := ci * y
+			if math.IsNaN(c) {
+				c = math.Inf(1)
+			}
+			cost[ui*len(years)+yi] = c
+		}
+	}
+	s.runOrder = make([]int, s.runs)
+	for i := range s.runOrder {
+		s.runOrder[i] = i
+	}
+	sort.Slice(s.runOrder, func(a, b int) bool {
+		ra, rb := s.runOrder[a], s.runOrder[b]
+		if cost[ra] != cost[rb] {
+			return cost[ra] < cost[rb]
+		}
+		return ra < rb
+	})
+	s.runPos = make([]int, s.runs)
+	for pos, r := range s.runOrder {
+		s.runPos[r] = pos
+	}
+}
+
+// charged is the model work charged so far.
+func (s *searcher) charged() int { return s.stats.Evaluations + s.stats.BoundProbes }
+
+// exhausted reports whether the budget is spent.
+func (s *searcher) exhausted() bool { return s.budget > 0 && s.charged() >= s.budget }
+
+// admit folds one freshly charged evaluation into the incumbent, the
+// tightness accumulator, the trajectory and the Observe hook. It is called
+// exactly once per distinct evaluated candidate, in deterministic order.
+func (s *searcher) admit(i int, r explore.Result) {
+	s.stats.Evaluations++
+	if s.observe != nil {
+		s.observe(r)
+	}
+	if r.Err != nil {
+		return
+	}
+	t := r.Total()
+	if !math.IsNaN(t) && !math.IsInf(t, 0) && t > 0 {
+		s.tightSum += r.Embodied() / t
+		s.tightN++
+	}
+	if !s.found || explore.Less(r, s.best) {
+		s.found = true
+		s.best = r
+		s.bestIdx = i
+		s.stats.Trajectory = append(s.stats.Trajectory, TrajectoryPoint{
+			Charged: s.charged(),
+			ID:      r.Candidate.ID,
+			TotalKg: t,
+		})
+	}
+}
+
+// evalAt evaluates candidate i once, charging the budget on first visit,
+// and returns the heuristic objective: the life-cycle total in kg, or +Inf
+// for failed (or NaN-total) candidates so heuristic comparisons stay total.
+// ok=false means the budget is exhausted and the phase should stop.
+func (s *searcher) evalAt(i int) (obj float64, ok bool, err error) {
+	if v, seen := s.visited[i]; seen {
+		return v, true, nil
+	}
+	if s.exhausted() {
+		return 0, false, nil
+	}
+	obj = math.Inf(1)
+	_, err = s.eng.StreamRange(s.ctx, s.plan, i, i+1, func(r explore.Result) error {
+		s.admit(i, r)
+		if r.Err == nil {
+			if t := r.Total(); !math.IsNaN(t) {
+				obj = t
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	s.visited[i] = obj
+	bi := i / s.blockSize
+	s.visits[bi] = append(s.visits[bi], i)
+	return obj, true, nil
+}
+
+// block is one contiguous (gates×node, fab) index range: the granularity
+// the admissible bound applies to, and therefore the pruning unit.
+type block struct {
+	id    int     // gn×fabs + fi ordinal
+	lo    int     // first candidate index
+	size  int     // uses × years × pairs
+	bound float64 // min embodied carbon over buildable pairs (kg)
+	dead  bool    // no pair builds: every candidate inside fails
+	cov   int     // pair runs covered, a prefix of the shared runOrder
+}
+
+// bounds probes each block's (strategy, integration) pair representatives
+// for their embodied carbon and folds them into the block's admissible
+// lower bound. Probes charge the budget; ok=false reports an exhausted
+// budget (the returned prefix of blocks is still valid). The probes warm
+// the plan's embodied slots, so block sweeps afterwards pay only the
+// operational term for the designs probed here.
+func (s *searcher) bounds() (blocks []block, ok bool, err error) {
+	d := s.dims
+	blocks = make([]block, 0, s.stats.Blocks)
+	for bi := 0; bi < s.stats.Blocks; bi++ {
+		if err := s.ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		b := block{id: bi, lo: bi * s.blockSize, size: s.blockSize, bound: math.Inf(1), dead: true}
+		for pi := 0; pi < d.Pairs; pi++ {
+			if s.exhausted() {
+				return blocks, false, nil
+			}
+			c, err := s.cur.At(b.lo + pi)
+			if err != nil {
+				return nil, false, err
+			}
+			bound, err := s.eng.EmbodiedBound(c)
+			s.stats.BoundProbes++
+			if err != nil {
+				continue // this pair never builds; full evaluations fail identically
+			}
+			b.dead = false
+			if math.IsNaN(bound) {
+				// An incomparable bound must never prune: treat it as -Inf.
+				bound = math.Inf(-1)
+			}
+			if bound < b.bound {
+				b.bound = bound
+			}
+		}
+		blocks = append(blocks, b)
+	}
+	return blocks, true, nil
+}
+
+// prune discards a block's candidates in runs not yet covered, net of
+// scattered heuristic evaluations already charged inside those runs.
+func (s *searcher) prune(b *block) {
+	s.stats.PrunedBlocks++
+	skipped := b.size - b.cov*s.dims.Pairs
+	for _, i := range s.visits[b.id] {
+		if s.runPos[(i-b.lo)/s.dims.Pairs] >= b.cov {
+			skipped--
+		}
+	}
+	s.stats.Prunes += skipped
+	b.cov = s.runs // settled
+}
+
+// sweep covers the block's next runs in runOrder, up to position end,
+// streaming each run's P contiguous candidates through the engine (block
+// kernel and term plan engaged) and admitting results in enumeration
+// order. The budget clamps to whole runs — the clamp conservatively
+// assumes every candidate in a run is fresh, so it can never overshoot;
+// covered=false reports the clamp fired and the sweep must stop.
+func (s *searcher) sweep(b *block, end int) (covered bool, err error) {
+	p := s.dims.Pairs
+	want := end - b.cov
+	if s.budget > 0 {
+		if rem := s.budget - s.charged(); rem < want*p {
+			want = rem / p
+		}
+	}
+	if want <= 0 {
+		return false, nil
+	}
+	for k := 0; k < want; k++ {
+		lo := b.lo + s.runOrder[b.cov]*p
+		next := lo
+		_, err = s.eng.StreamRange(s.ctx, s.plan, lo, lo+p, func(r explore.Result) error {
+			i := next
+			next++
+			if _, seen := s.visited[i]; seen {
+				return nil // already charged and admitted by the heuristic phase
+			}
+			s.admit(i, r)
+			return nil
+		})
+		if err != nil {
+			return false, err
+		}
+		b.cov++
+	}
+	return b.cov >= end, nil
+}
+
+// verify is the shared branch-and-bound sweep: rank blocks by admissible
+// bound, then cover their pair runs in geometrically growing chunks —
+// cheapest estimated-operational runs first, one run per block in round
+// one — pruning any block whose bound exceeds the incumbent's total
+// (strictly, so ties survive to evaluation).
+// Returns true when every block was settled: the incumbent is then the
+// proven optimum. The chunk schedule is the "successive halving" shape:
+// each round roughly halves the surviving field while doubling the
+// per-survivor coverage.
+func (s *searcher) verify() (bool, error) {
+	blocks, ok, err := s.bounds()
+	if err != nil || !ok {
+		return false, err
+	}
+	// Dead blocks (no buildable pair) contain only failing candidates and
+	// can never host the optimum; settle them before ranking.
+	live := blocks[:0]
+	for i := range blocks {
+		if blocks[i].dead {
+			s.prune(&blocks[i])
+			continue
+		}
+		live = append(live, blocks[i])
+	}
+	blocks = live
+	// NaN-safe deterministic order: bounds are never NaN here (mapped to
+	// -Inf in the bounds pass), so (bound, id) is a total order.
+	sort.Slice(blocks, func(i, j int) bool {
+		if blocks[i].bound != blocks[j].bound {
+			return blocks[i].bound < blocks[j].bound
+		}
+		return blocks[i].id < blocks[j].id
+	})
+	chunk := 1 // runs per block per round
+	for {
+		remaining := 0
+		for i := range blocks {
+			b := &blocks[i]
+			if b.cov == s.runs {
+				continue
+			}
+			if err := s.ctx.Err(); err != nil {
+				return false, err
+			}
+			if s.found && b.bound > s.best.Total() {
+				s.prune(b)
+				continue
+			}
+			end := b.cov + chunk
+			if end > s.runs {
+				end = s.runs
+			}
+			covered, err := s.sweep(b, end)
+			if err != nil {
+				return false, err
+			}
+			if !covered {
+				return false, nil // budget spent mid-block
+			}
+			if b.cov < s.runs {
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			return true, nil
+		}
+		chunk *= 2
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/explore"
 	"repro/internal/grid"
 	"repro/internal/ic"
+	"repro/internal/optimize"
 	"repro/internal/split"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -350,6 +351,100 @@ type ExploreEvent struct {
 	Error   *Error          `json:"error,omitempty"`
 }
 
+// OptimizeRequest is the body of POST /v1/optimize: search a space for
+// its lowest life-cycle carbon candidate without enumerating it. The
+// space may be far larger than the /v1/explore limit — the server bounds
+// the distinct embodied designs (the compiled plan's memory) and the
+// charged work (the budget), not the candidate count.
+type OptimizeRequest struct {
+	Space SpaceSpec `json:"space"`
+	// Driver is "coordinate", "anneal" or "halving" (the default).
+	Driver string `json:"driver,omitempty"`
+	// Seed feeds the run's random generator; runs are deterministic in
+	// (space, profile, driver, seed, budget).
+	Seed int64 `json:"seed,omitempty"`
+	// Budget caps the charged model work (candidate evaluations + embodied
+	// bound probes). Zero, or anything above the server's maximum, is
+	// clamped to the server's maximum.
+	Budget int `json:"budget,omitempty"`
+	// Params is an optional ParameterSet overlay the run evaluates under
+	// (see EvaluateRequest.Params).
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// OptimizeTrajectoryPoint is one incumbent improvement of a run.
+type OptimizeTrajectoryPoint struct {
+	// Charged is the model work charged when the improvement was found.
+	Charged int `json:"charged"`
+	// ID is the improving candidate; TotalKg its life-cycle total.
+	ID      string  `json:"id"`
+	TotalKg float64 `json:"total_kg"`
+}
+
+// OptimizeStats is the wire form of a run's optimize.Stats.
+type OptimizeStats struct {
+	Driver       string `json:"driver"`
+	SpaceSize    int    `json:"space_size"`
+	Evaluations  int    `json:"evaluations"`
+	BoundProbes  int    `json:"bound_probes"`
+	Prunes       int    `json:"prunes"`
+	PrunedBlocks int    `json:"pruned_blocks"`
+	Blocks       int    `json:"blocks"`
+	// EvaluatedFraction is (evaluations + bound probes) / space_size — the
+	// share of the space the run charged as model work.
+	EvaluatedFraction float64 `json:"evaluated_fraction"`
+	BoundTightness    float64 `json:"bound_tightness"`
+	// Complete reports a proven global optimum: every block was fully
+	// covered or pruned by its admissible bound within the budget.
+	Complete   bool                      `json:"complete"`
+	Trajectory []OptimizeTrajectoryPoint `json:"trajectory,omitempty"`
+}
+
+// NewOptimizeStats converts a run's stats.
+func NewOptimizeStats(st optimize.Stats) OptimizeStats {
+	out := OptimizeStats{
+		Driver:            string(st.Driver),
+		SpaceSize:         st.SpaceSize,
+		Evaluations:       st.Evaluations,
+		BoundProbes:       st.BoundProbes,
+		Prunes:            st.Prunes,
+		PrunedBlocks:      st.PrunedBlocks,
+		Blocks:            st.Blocks,
+		EvaluatedFraction: st.EvaluatedFraction(),
+		BoundTightness:    st.BoundTightness,
+		Complete:          st.Complete,
+	}
+	for _, p := range st.Trajectory {
+		out.Trajectory = append(out.Trajectory, OptimizeTrajectoryPoint{
+			Charged: p.Charged, ID: p.ID, TotalKg: p.TotalKg,
+		})
+	}
+	return out
+}
+
+// OptimizeResponse is the body of a successful POST /v1/optimize.
+type OptimizeResponse struct {
+	// Found reports whether any candidate evaluated successfully; Best and
+	// BestIndex are only meaningful when set.
+	Found bool `json:"found"`
+	// Best is the lowest-carbon candidate found — the proven global optimum
+	// when stats.complete — in the same wire form as /v1/explore results.
+	Best *ExploreResult `json:"best,omitempty"`
+	// BestIndex is Best's enumeration index in the space.
+	BestIndex int           `json:"best_index,omitempty"`
+	Stats     OptimizeStats `json:"stats"`
+}
+
+// OptimizeCounters aggregate POST /v1/optimize work since boot (part of
+// GET /v1/stats).
+type OptimizeCounters struct {
+	Runs        uint64 `json:"runs"`
+	Complete    uint64 `json:"complete"`
+	Evaluations uint64 `json:"evaluations"`
+	BoundProbes uint64 `json:"bound_probes"`
+	Prunes      uint64 `json:"prunes"`
+}
+
 // IntegrationInfo describes one Table 1 technology for client UIs.
 type IntegrationInfo struct {
 	ID      string `json:"id"`
@@ -415,4 +510,6 @@ type StatsResponse struct {
 	// Profiles counts the bounded per-profile model cache behind inline
 	// params overlays.
 	Profiles ProfileStats `json:"profiles"`
+	// Optimize aggregates the optimizer runs served by POST /v1/optimize.
+	Optimize OptimizeCounters `json:"optimize"`
 }

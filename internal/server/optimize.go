@@ -1,0 +1,90 @@
+// The POST /v1/optimize handler: optimizer-driven search over a design
+// space through internal/optimize, reusing the server's per-profile
+// engines and the process-wide memoization cache. Unlike /v1/explore, the
+// candidate count is not bounded — the server bounds the distinct embodied
+// designs (the compiled plan's memory) and clamps the charged work to the
+// configured budget ceiling, so a billion-candidate space is a legitimate
+// request as long as the optimizer can settle it within the budget.
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/optimize"
+	"repro/internal/server/apitypes"
+)
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) int {
+	var req apitypes.OptimizeRequest
+	if err := s.decode(w, r, &req); err != nil {
+		return decodeStatus(w, err)
+	}
+	var driver optimize.Driver
+	if req.Driver != "" {
+		var err error
+		if driver, err = optimize.ParseDriver(req.Driver); err != nil {
+			return writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		}
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	release, ok := s.acquire(ctx)
+	if !ok {
+		return cancelStatus(w, ctx.Err())
+	}
+	defer release()
+	// The engine resolves first so the space's locations are validated
+	// against the request's parameter profile, not the default database.
+	eng, apiErr := s.resolveEngine(req.Params)
+	if apiErr != nil {
+		return writeError(w, errStatus(apiErr), apiErr.Code, apiErr.Message)
+	}
+	space, err := req.Space.SpaceWith(eng.Model.GridDB())
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, "bad_request",
+			"invalid space: "+err.Error())
+	}
+	// Designs is computed from the axes — nothing is built for an
+	// over-limit request. The candidate count is deliberately unchecked.
+	if max := s.opts.maxOptimizeDesigns(); space.Designs() > max {
+		return writeError(w, http.StatusRequestEntityTooLarge, "bad_request",
+			fmt.Sprintf("space spans %d distinct embodied designs, over the server limit of %d",
+				space.Designs(), max))
+	}
+	budget := s.opts.maxOptimizeBudget()
+	if req.Budget > 0 && req.Budget < budget {
+		budget = req.Budget
+	}
+	res, err := optimize.Run(ctx, eng, space, optimize.Options{
+		Driver: driver, Seed: req.Seed, Budget: budget,
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			return cancelStatus(w, ctx.Err())
+		}
+		// The space decoded its axes but does not enumerate (e.g. an
+		// invalid strategy/integration combination).
+		return writeError(w, http.StatusUnprocessableEntity, "evaluation_failed",
+			"optimization failed: "+err.Error())
+	}
+	s.optRuns.Add(1)
+	if res.Stats.Complete {
+		s.optComplete.Add(1)
+	}
+	s.optEvals.Add(uint64(res.Stats.Evaluations))
+	s.optProbes.Add(uint64(res.Stats.BoundProbes))
+	s.optPrunes.Add(uint64(res.Stats.Prunes))
+	s.evaluated.Add(uint64(res.Stats.Evaluations))
+
+	resp := apitypes.OptimizeResponse{
+		Found: res.Found,
+		Stats: apitypes.NewOptimizeStats(res.Stats),
+	}
+	if res.Found {
+		best := apitypes.NewExploreResult(res.Best)
+		resp.Best = &best
+		resp.BestIndex = res.BestIndex
+	}
+	return writeJSON(w, resp)
+}

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/server/apitypes"
+)
+
+// optimizeSpec is a small (but multi-block) space every optimizer test
+// shares: 1080 candidates across 12 (gates×node, fab) blocks.
+func optimizeSpec() apitypes.SpaceSpec {
+	return apitypes.SpaceSpec{
+		Name:          "opt",
+		Strategies:    []string{"homogeneous", "heterogeneous"},
+		NodesNM:       []int{5, 7, 14},
+		Gates:         []float64{17e9, 60e9},
+		FabLocations:  []string{"taiwan", "norway"},
+		UseLocations:  []string{"usa", "india", "renewable"},
+		LifetimeYears: []float64{2, 10},
+	}
+}
+
+func postOptimize(t *testing.T, s *Server, req apitypes.OptimizeRequest) apitypes.OptimizeResponse {
+	t.Helper()
+	rec := post(t, s, "/v1/optimize", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var resp apitypes.OptimizeResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestOptimizeProvesOptimum: an omitted budget resolves to the server
+// ceiling, which covers this space, so the run must prove the optimum and
+// match an independent enumeration of the same spec.
+func TestOptimizeProvesOptimum(t *testing.T) {
+	s := New(Options{})
+	resp := postOptimize(t, s, apitypes.OptimizeRequest{Space: optimizeSpec(), Seed: 5})
+	if !resp.Found || resp.Best == nil {
+		t.Fatalf("no optimum found: %+v", resp)
+	}
+	if !resp.Stats.Complete {
+		t.Fatalf("run within the default budget did not complete: %+v", resp.Stats)
+	}
+	if resp.Stats.Evaluations+resp.Stats.BoundProbes >= resp.Stats.SpaceSize {
+		t.Errorf("optimizer charged the whole space: %+v", resp.Stats)
+	}
+
+	space, err := optimizeSpec().Space()
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := explore.NewTopK(1)
+	var idx, bestIdx int
+	if _, err := s.Engine().Stream(context.Background(), space, func(r explore.Result) error {
+		if r.Err == nil {
+			if top.Add(r); top.Results()[0].Candidate.ID == r.Candidate.ID {
+				bestIdx = idx
+			}
+		}
+		idx++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := top.Results()[0]
+	if resp.Best.ID != want.Candidate.ID || resp.BestIndex != bestIdx {
+		t.Fatalf("optimum %q (index %d), enumeration says %q (index %d)",
+			resp.Best.ID, resp.BestIndex, want.Candidate.ID, bestIdx)
+	}
+	if resp.Best.TotalKg != want.Total() {
+		t.Fatalf("optimum total %v, enumeration says %v", resp.Best.TotalKg, want.Total())
+	}
+}
+
+// TestOptimizeDeterministicAcrossRequests: identical requests replay
+// byte-identical responses, even though the second run is answered from
+// the warm process-wide cache.
+func TestOptimizeDeterministicAcrossRequests(t *testing.T) {
+	s := New(Options{})
+	req := apitypes.OptimizeRequest{Space: optimizeSpec(), Driver: "anneal", Seed: 42}
+	a := post(t, s, "/v1/optimize", req)
+	b := post(t, s, "/v1/optimize", req)
+	if a.Code != http.StatusOK || b.Code != http.StatusOK {
+		t.Fatalf("status %d / %d", a.Code, b.Code)
+	}
+	if a.Body.String() != b.Body.String() {
+		t.Fatalf("responses differ across identical requests:\n%s\nvs\n%s", a.Body, b.Body)
+	}
+}
+
+func TestOptimizeBudgetClamped(t *testing.T) {
+	s := New(Options{MaxOptimizeBudget: 40})
+	for _, reqBudget := range []int{0, 25, 1000} {
+		resp := postOptimize(t, s, apitypes.OptimizeRequest{Space: optimizeSpec(), Budget: reqBudget})
+		limit := 40
+		if reqBudget > 0 && reqBudget < limit {
+			limit = reqBudget
+		}
+		if charged := resp.Stats.Evaluations + resp.Stats.BoundProbes; charged > limit {
+			t.Errorf("budget %d: charged %d over the effective limit %d", reqBudget, charged, limit)
+		}
+		if resp.Stats.Complete {
+			t.Errorf("budget %d: implausible proof on a %d-candidate space under 40 charges",
+				reqBudget, resp.Stats.SpaceSize)
+		}
+	}
+}
+
+func TestOptimizeDesignCapEnforced(t *testing.T) {
+	s := New(Options{MaxOptimizeDesigns: 10})
+	decodeError(t, post(t, s, "/v1/optimize", apitypes.OptimizeRequest{Space: optimizeSpec()}),
+		http.StatusRequestEntityTooLarge, "bad_request")
+}
+
+func TestOptimizeBadDriver(t *testing.T) {
+	s := New(Options{})
+	decodeError(t, post(t, s, "/v1/optimize",
+		apitypes.OptimizeRequest{Space: optimizeSpec(), Driver: "gradient"}),
+		http.StatusBadRequest, "bad_request")
+}
+
+func TestOptimizeInvalidSpace(t *testing.T) {
+	s := New(Options{})
+	spec := optimizeSpec()
+	spec.UseLocations = []string{"atlantis"}
+	decodeError(t, post(t, s, "/v1/optimize", apitypes.OptimizeRequest{Space: spec}),
+		http.StatusBadRequest, "bad_request")
+}
+
+func TestOptimizeMethodNotAllowed(t *testing.T) {
+	s := New(Options{})
+	decodeError(t, get(t, s, "/v1/optimize"),
+		http.StatusMethodNotAllowed, "method_not_allowed")
+}
+
+// TestOptimizeStatsCounters: /v1/stats aggregates the optimizer's charged
+// work and proof count.
+func TestOptimizeStatsCounters(t *testing.T) {
+	s := New(Options{})
+	resp := postOptimize(t, s, apitypes.OptimizeRequest{Space: optimizeSpec(), Driver: "halving"})
+	rec := get(t, s, "/v1/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status = %d", rec.Code)
+	}
+	var stats apitypes.StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	opt := stats.Optimize
+	if opt.Runs != 1 || opt.Complete != 1 {
+		t.Errorf("runs/complete = %d/%d, want 1/1", opt.Runs, opt.Complete)
+	}
+	if opt.Evaluations != uint64(resp.Stats.Evaluations) ||
+		opt.BoundProbes != uint64(resp.Stats.BoundProbes) ||
+		opt.Prunes != uint64(resp.Stats.Prunes) {
+		t.Errorf("counter mismatch: stats %+v vs run %+v", opt, resp.Stats)
+	}
+	if stats.DesignsEvaluated < uint64(resp.Stats.Evaluations) {
+		t.Errorf("designs_evaluated %d misses the optimizer's %d evaluations",
+			stats.DesignsEvaluated, resp.Stats.Evaluations)
+	}
+	ep, ok := stats.Endpoints["/v1/optimize"]
+	if !ok || ep.Requests != 1 {
+		t.Errorf("endpoint metrics missing or wrong: %+v", stats.Endpoints)
+	}
+}

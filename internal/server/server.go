@@ -8,6 +8,8 @@
 //	                         across the worker pool with one process-wide
 //	                         memoization cache
 //	POST /v1/explore         a space spec → NDJSON result stream + summary
+//	POST /v1/optimize        a space spec → lowest-carbon candidate via the
+//	                         branch-and-bound optimizer, without enumeration
 //	GET  /v1/meta            enumerable inputs (integrations, locations, …)
 //	GET  /v1/stats           request / latency / cache-hit counters
 //	GET  /healthz            liveness probe
@@ -63,6 +65,15 @@ const (
 	// engine) of a few hundred kB; requests beyond the bound rebuild the
 	// least recently used profile.
 	DefaultMaxProfiles = 8
+	// DefaultMaxOptimizeDesigns bounds the distinct embodied designs one
+	// /v1/optimize space may span (gates × nodes × fabs × pairs — the
+	// compiled plan's memory footprint). The candidate count itself is
+	// unbounded: the operational axes multiply it for free.
+	DefaultMaxOptimizeDesigns = 250_000
+	// DefaultMaxOptimizeBudget caps (and, for requests that omit a budget,
+	// sets) the charged model work of one /v1/optimize run — candidate
+	// evaluations plus embodied bound probes.
+	DefaultMaxOptimizeBudget = 5_000_000
 )
 
 // Options configures the service. The zero value serves the default model
@@ -101,6 +112,13 @@ type Options struct {
 	// StreamChunk is the evaluation block size between NDJSON flushes;
 	// ≤0 means DefaultStreamChunk.
 	StreamChunk int
+	// MaxOptimizeDesigns bounds the distinct embodied designs one
+	// /v1/optimize space may span; ≤0 means DefaultMaxOptimizeDesigns.
+	MaxOptimizeDesigns int
+	// MaxOptimizeBudget caps the charged work of one /v1/optimize run and
+	// substitutes for an omitted request budget; ≤0 means
+	// DefaultMaxOptimizeBudget.
+	MaxOptimizeBudget int
 	// MaxBodyBytes bounds one request body; 0 means DefaultMaxBodyBytes,
 	// negative means unbounded.
 	MaxBodyBytes int64
@@ -162,6 +180,20 @@ func (o Options) streamChunk() int {
 	return DefaultStreamChunk
 }
 
+func (o Options) maxOptimizeDesigns() int {
+	if o.MaxOptimizeDesigns > 0 {
+		return o.MaxOptimizeDesigns
+	}
+	return DefaultMaxOptimizeDesigns
+}
+
+func (o Options) maxOptimizeBudget() int {
+	if o.MaxOptimizeBudget > 0 {
+		return o.MaxOptimizeBudget
+	}
+	return DefaultMaxOptimizeBudget
+}
+
 func (o Options) maxProfiles() int {
 	switch {
 	case o.MaxProfiles == 0:
@@ -203,6 +235,13 @@ type Server struct {
 	inFlight  atomic.Int64
 	evaluated atomic.Uint64
 	metrics   map[string]*endpointMetrics
+
+	// Optimizer counters behind /v1/stats, aggregated over /v1/optimize.
+	optRuns     atomic.Uint64
+	optComplete atomic.Uint64
+	optEvals    atomic.Uint64
+	optProbes   atomic.Uint64
+	optPrunes   atomic.Uint64
 }
 
 // endpointMetrics are the per-endpoint counters behind /v1/stats.
@@ -262,6 +301,7 @@ func New(opts Options) *Server {
 	s.route("/v1/evaluate", http.MethodPost, s.handleEvaluate)
 	s.route("/v1/evaluate/batch", http.MethodPost, s.handleBatch)
 	s.route("/v1/explore", http.MethodPost, s.handleExplore)
+	s.route("/v1/optimize", http.MethodPost, s.handleOptimize)
 	s.route("/v1/meta", http.MethodGet, s.handleMeta)
 	s.route("/v1/stats", http.MethodGet, s.handleStats)
 	s.route("/healthz", http.MethodGet, s.handleHealth)
@@ -640,6 +680,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) int {
 		CacheLimit:       s.opts.cacheLimit(),
 		Engine:           apitypes.NewEngineStats(engineStats),
 		Profiles:         s.profiles.stats(),
+		Optimize: apitypes.OptimizeCounters{
+			Runs:        s.optRuns.Load(),
+			Complete:    s.optComplete.Load(),
+			Evaluations: s.optEvals.Load(),
+			BoundProbes: s.optProbes.Load(),
+			Prunes:      s.optPrunes.Load(),
+		},
 	}
 	for path, em := range s.metrics {
 		st := apitypes.EndpointStats{
