@@ -1,0 +1,341 @@
+// Client mode: with -server the exploration is not run in-process but
+// submitted to a serve instance as a crash-resumable async job
+// (POST /v1/jobs). The client tails the job's NDJSON event stream and
+// survives everything the job tier survives: a dropped connection
+// reattaches with the ?from= resume cursor, a 429 backs off for exactly
+// the server's Retry-After, a restarted server is re-polled with
+// exponential backoff and jitter, and submission retries reuse one
+// idempotency key so a retried POST can never double-submit.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/server/apitypes"
+)
+
+// jobClient talks to a serve instance's job tier.
+type jobClient struct {
+	base   string // server base URL, no trailing slash
+	hc     *http.Client
+	tenant string
+	idem   string
+	out    io.Writer
+	rng    *rand.Rand
+	// sleep is swappable for tests.
+	sleep func(time.Duration)
+}
+
+const (
+	submitAttempts = 8
+	tailAttempts   = 8
+	maxBackoff     = 15 * time.Second
+)
+
+func newJobClient(base, tenant, idem string, out io.Writer) *jobClient {
+	if idem == "" {
+		// A generated key still protects the retry loop below: every retry
+		// of this invocation reuses it, so a submission that succeeded but
+		// whose response was lost is returned, not duplicated.
+		idem = fmt.Sprintf("explore-%d-%d", os.Getpid(), time.Now().UnixNano())
+	}
+	return &jobClient{
+		base:   strings.TrimRight(base, "/"),
+		hc:     &http.Client{},
+		tenant: tenant,
+		idem:   idem,
+		out:    out,
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+		sleep:  time.Sleep,
+	}
+}
+
+// backoff computes the wait before retry `attempt` (0-based): the
+// server's Retry-After verbatim when given, otherwise an exponential
+// base with jitter in [d/2, d] so a fleet of retrying clients spreads
+// out instead of stampeding.
+func (c *jobClient) backoff(attempt int, retryAfter string) time.Duration {
+	if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	d := 250 * time.Millisecond << uint(attempt)
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+}
+
+// decodeAPIError extracts the structured envelope (falls back to the
+// raw body).
+func decodeAPIError(status int, body []byte) error {
+	var envelope apitypes.ErrorResponse
+	if err := json.Unmarshal(body, &envelope); err == nil && envelope.Error.Code != "" {
+		return fmt.Errorf("server: %s: %s", envelope.Error.Code, envelope.Error.Message)
+	}
+	return fmt.Errorf("server: HTTP %d: %s", status, bytes.TrimSpace(body))
+}
+
+// submit POSTs the job, retrying transient rejections (429, 5xx,
+// network errors) under the idempotency key.
+func (c *jobClient) submit(req apitypes.JobRequest) (apitypes.JobStatus, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return apitypes.JobStatus{}, err
+	}
+	var lastErr error
+	for attempt := 0; attempt < submitAttempts; attempt++ {
+		if attempt > 0 {
+			c.sleep(c.backoff(attempt-1, retryAfterOf(lastErr)))
+		}
+		hr, err := http.NewRequest(http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(payload))
+		if err != nil {
+			return apitypes.JobStatus{}, err
+		}
+		hr.Header.Set("Content-Type", "application/json")
+		hr.Header.Set("Idempotency-Key", c.idem)
+		if c.tenant != "" {
+			hr.Header.Set("X-Tenant", c.tenant)
+		}
+		resp, err := c.hc.Do(hr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusAccepted:
+			var st apitypes.JobStatus
+			if err := json.Unmarshal(body, &st); err != nil {
+				return apitypes.JobStatus{}, fmt.Errorf("bad submit response: %w", err)
+			}
+			return st, nil
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+			lastErr = &retryableError{
+				err:        decodeAPIError(resp.StatusCode, body),
+				retryAfter: resp.Header.Get("Retry-After"),
+			}
+		default:
+			return apitypes.JobStatus{}, decodeAPIError(resp.StatusCode, body)
+		}
+	}
+	return apitypes.JobStatus{}, fmt.Errorf("submission failed after %d attempts: %w",
+		submitAttempts, lastErr)
+}
+
+// retryableError carries the server's Retry-After through the loop.
+type retryableError struct {
+	err        error
+	retryAfter string
+}
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+func retryAfterOf(err error) string {
+	var re *retryableError
+	if errors.As(err, &re) {
+		return re.retryAfter
+	}
+	return ""
+}
+
+// tail follows the job's event stream to its terminal state, resuming
+// with the ?from= cursor after every disconnect. Returns the terminal
+// state.
+func (c *jobClient) tail(id string) (string, error) {
+	next := 1
+	failures := 0
+	for {
+		resp, err := c.hc.Get(fmt.Sprintf("%s/v1/jobs/%s/events?from=%d", c.base, id, next))
+		if err != nil {
+			if failures++; failures >= tailAttempts {
+				return "", fmt.Errorf("event stream unreachable after %d attempts: %w", failures, err)
+			}
+			c.sleep(c.backoff(failures-1, ""))
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			return "", decodeAPIError(resp.StatusCode, body)
+		}
+		failures = 0
+		terminal, err := c.drain(resp.Body, &next)
+		resp.Body.Close()
+		if terminal != "" {
+			return terminal, nil
+		}
+		if err != nil {
+			// Stream cut mid-flight (server restart, proxy timeout): resume
+			// from the cursor.
+			if failures++; failures >= tailAttempts {
+				return "", fmt.Errorf("event stream kept dying: %w", err)
+			}
+			fmt.Fprintf(c.out, "stream dropped at seq %d; resuming\n", next-1)
+			c.sleep(c.backoff(failures-1, ""))
+		}
+	}
+}
+
+// drain prints events from one stream connection, advancing the cursor;
+// it returns the terminal state when the stream completed.
+func (c *jobClient) drain(body io.Reader, next *int) (string, error) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		var ev apitypes.JobEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return "", fmt.Errorf("bad event line: %w", err)
+		}
+		*next = ev.Seq + 1
+		switch ev.Type {
+		case "state":
+			fmt.Fprintf(c.out, "[%d] %s\n", ev.Seq, ev.State)
+			if st := ev.State; st == "done" || st == "failed" || st == "cancelled" {
+				return st, nil
+			}
+		case "progress":
+			if ev.Progress != nil {
+				fmt.Fprintf(c.out, "[%d] progress %d/%d (%.1f%%)\n", ev.Seq,
+					ev.Progress.NextIndex, ev.Progress.Total,
+					100*float64(ev.Progress.NextIndex)/float64(ev.Progress.Total))
+			}
+		case "error":
+			fmt.Fprintf(c.out, "[%d] error: %s\n", ev.Seq, ev.Error)
+		case "summary":
+			// Printed from the final status below, where it is guaranteed
+			// complete; the event is just the cue.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}
+
+// status GETs the job's current record.
+func (c *jobClient) status(id string) (apitypes.JobStatus, error) {
+	resp, err := c.hc.Get(c.base + "/v1/jobs/" + id)
+	if err != nil {
+		return apitypes.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return apitypes.JobStatus{}, decodeAPIError(resp.StatusCode, body)
+	}
+	var st apitypes.JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return apitypes.JobStatus{}, err
+	}
+	return st, nil
+}
+
+// runClient is the -server entrypoint: submit (or -attach), tail,
+// print the summary.
+func runClient(serverURL, attach, tenant, idem string, req apitypes.JobRequest, out io.Writer) error {
+	c := newJobClient(serverURL, tenant, idem, out)
+	id := attach
+	if id == "" {
+		st, err := c.submit(req)
+		if err != nil {
+			return err
+		}
+		id = st.ID
+		fmt.Fprintf(c.out, "submitted job %s (%d candidates, spec %s) — resume with -server %s -attach %s\n",
+			st.ID, st.Total, st.SpecFingerprint, serverURL, st.ID)
+	} else {
+		fmt.Fprintf(c.out, "attaching to job %s\n", id)
+	}
+	state, err := c.tail(id)
+	if err != nil {
+		return err
+	}
+	st, err := c.status(id)
+	if err != nil {
+		return err
+	}
+	switch state {
+	case "failed":
+		if st.Panic != "" {
+			return fmt.Errorf("job %s failed: %s (worker panic: %s)", id, st.Error, st.Panic)
+		}
+		return fmt.Errorf("job %s failed: %s", id, st.Error)
+	case "cancelled":
+		return fmt.Errorf("job %s was cancelled", id)
+	}
+	if st.Summary == nil {
+		return fmt.Errorf("job %s finished without a summary", id)
+	}
+	var sum struct {
+		Candidates int      `json:"candidates"`
+		Evaluated  int      `json:"evaluated"`
+		Failed     int      `json:"failed"`
+		Ranked     []string `json:"ranked"`
+		Frontier   []string `json:"frontier"`
+		MinKg      float64  `json:"min_kg"`
+		MaxKg      float64  `json:"max_kg"`
+		MeanKg     float64  `json:"mean_kg"`
+	}
+	if err := json.Unmarshal(st.Summary, &sum); err != nil {
+		return fmt.Errorf("summary does not parse: %w", err)
+	}
+	fmt.Fprintf(c.out, "\nJob %s done: %d candidates, %d evaluated, %d not buildable\n",
+		id, sum.Candidates, sum.Evaluated, sum.Failed)
+	fmt.Fprintf(c.out, "Total carbon: min %.3f / mean %.3f / max %.3f kg CO2e\n",
+		sum.MinKg, sum.MeanKg, sum.MaxKg)
+	fmt.Fprintf(c.out, "Lowest-carbon candidates:\n")
+	for i, cid := range sum.Ranked {
+		fmt.Fprintf(c.out, "  %2d. %s\n", i+1, cid)
+	}
+	fmt.Fprintf(c.out, "Pareto frontier: %s\n", strings.Join(sum.Frontier, ", "))
+	return nil
+}
+
+// clientSpec assembles the CLI flags into the job request. Validation is
+// the server's: the client does not load a model.
+func clientSpec(nodes, gates, integrations, strategies, fabs, uses, lifetimes string,
+	peak, eff float64, top, budget int, paramsPath string) (apitypes.JobRequest, error) {
+	spec := apitypes.SpaceSpec{
+		Name:            "explore",
+		PeakTOPS:        peak,
+		EfficiencyTOPSW: eff,
+		Strategies:      splitList(strategies),
+		FabLocations:    splitList(fabs),
+		UseLocations:    splitList(uses),
+	}
+	if integrations != "" && integrations != "all" {
+		spec.Integrations = splitList(integrations)
+	}
+	var err error
+	if spec.NodesNM, err = parseInts(nodes); err != nil {
+		return apitypes.JobRequest{}, fmt.Errorf("-nodes: %w", err)
+	}
+	if spec.Gates, err = parseFloats(gates); err != nil {
+		return apitypes.JobRequest{}, fmt.Errorf("-gates: %w", err)
+	}
+	if spec.LifetimeYears, err = parseFloats(lifetimes); err != nil {
+		return apitypes.JobRequest{}, fmt.Errorf("-lifetimes: %w", err)
+	}
+	req := apitypes.JobRequest{Space: spec, Top: top, Budget: budget}
+	if paramsPath != "" {
+		raw, err := os.ReadFile(paramsPath)
+		if err != nil {
+			return apitypes.JobRequest{}, fmt.Errorf("-params: %w", err)
+		}
+		req.Params = json.RawMessage(raw)
+	}
+	return req, nil
+}

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/server/apitypes"
+)
+
+// newTestServer boots the real HTTP service (jobs tier included) for the
+// client to talk to.
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	h := server.New(server.Options{})
+	if err := h.JobsErr(); err != nil {
+		t.Fatalf("jobs tier: %v", err)
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestClientSubmitAndTail drives the full client path — submit, tail the
+// event stream to completion, print the summary — against a live server.
+func TestClientSubmitAndTail(t *testing.T) {
+	ts := newTestServer(t)
+	req, err := clientSpec("7", "17e9", "hybrid-3d,emib", "homogeneous,heterogeneous",
+		"taiwan", "usa,norway", "10", 254, 2.74, 5, 0, "")
+	if err != nil {
+		t.Fatalf("clientSpec: %v", err)
+	}
+	var out bytes.Buffer
+	if err := runClient(ts.URL, "", "cli-test", "", req, &out); err != nil {
+		t.Fatalf("runClient: %v\noutput:\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"submitted job ", "done", "8 candidates, 8 evaluated",
+		"Lowest-carbon candidates:", "Pareto frontier:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestClientAttach reattaches to a finished job by ID and reprints its
+// summary from the event stream + status.
+func TestClientAttach(t *testing.T) {
+	ts := newTestServer(t)
+	req, err := clientSpec("7", "17e9", "hybrid-3d", "homogeneous",
+		"taiwan", "usa", "10", 254, 2.74, 5, 0, "")
+	if err != nil {
+		t.Fatalf("clientSpec: %v", err)
+	}
+	var first bytes.Buffer
+	if err := runClient(ts.URL, "", "", "", req, &first); err != nil {
+		t.Fatalf("submit run: %v", err)
+	}
+	// Pull the job ID out of the "submitted job jNNNNNN" line.
+	fields := strings.Fields(first.String())
+	var id string
+	for i, f := range fields {
+		if f == "job" && i+1 < len(fields) {
+			id = fields[i+1]
+			break
+		}
+	}
+	if id == "" {
+		t.Fatalf("no job ID in output:\n%s", first.String())
+	}
+	var second bytes.Buffer
+	if err := runClient(ts.URL, id, "", "", apitypes.JobRequest{}, &second); err != nil {
+		t.Fatalf("attach run: %v\noutput:\n%s", err, second.String())
+	}
+	if !strings.Contains(second.String(), "attaching to job "+id) {
+		t.Errorf("attach banner missing:\n%s", second.String())
+	}
+	if !strings.Contains(second.String(), "Lowest-carbon candidates:") {
+		t.Errorf("attach did not reprint the summary:\n%s", second.String())
+	}
+}
+
+// TestClientSubmitRetryAfter: a 429 with Retry-After is retried after
+// exactly the advertised wait, under the same idempotency key.
+func TestClientSubmitRetryAfter(t *testing.T) {
+	ts := newTestServer(t)
+	var rejected atomic.Int32
+	var keys []string
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		keys = append(keys, r.Header.Get("Idempotency-Key"))
+		if rejected.Add(1) == 1 {
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"code":"rate_limited","message":"slow down"}}`))
+			return
+		}
+		// Pass the retry through to the real server.
+		r2, _ := http.NewRequest(r.Method, ts.URL+r.URL.String(), r.Body)
+		r2.Header = r.Header
+		resp, err := http.DefaultClient.Do(r2)
+		if err != nil {
+			t.Errorf("proxy: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			w.Header()[k] = vs
+		}
+		w.WriteHeader(resp.StatusCode)
+		buf := make([]byte, 32*1024)
+		for {
+			n, err := resp.Body.Read(buf)
+			if n > 0 {
+				w.Write(buf[:n])
+			}
+			if err != nil {
+				return
+			}
+		}
+	}))
+	defer proxy.Close()
+
+	req, err := clientSpec("7", "17e9", "hybrid-3d", "homogeneous",
+		"taiwan", "usa", "10", 254, 2.74, 5, 0, "")
+	if err != nil {
+		t.Fatalf("clientSpec: %v", err)
+	}
+	var out bytes.Buffer
+	c := newJobClient(proxy.URL, "", "", &out)
+	var slept []time.Duration
+	c.sleep = func(d time.Duration) { slept = append(slept, d) }
+	st, err := c.submit(req)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if st.ID == "" || st.State != "queued" && st.State != "running" && st.State != "done" {
+		t.Fatalf("unexpected status after retry: %+v", st)
+	}
+	if len(slept) != 1 || slept[0] != 7*time.Second {
+		t.Fatalf("client did not honor Retry-After: slept %v, want [7s]", slept)
+	}
+	if len(keys) != 2 || keys[0] == "" || keys[0] != keys[1] {
+		t.Fatalf("retry did not reuse the idempotency key: %v", keys)
+	}
+}
+
+// TestClientBackoff: Retry-After wins verbatim; otherwise exponential
+// with jitter in [d/2, d], capped.
+func TestClientBackoff(t *testing.T) {
+	c := newJobClient("http://x", "", "", &bytes.Buffer{})
+	if got := c.backoff(3, "5"); got != 5*time.Second {
+		t.Errorf("Retry-After ignored: %v", got)
+	}
+	for attempt, base := range map[int]time.Duration{
+		0: 250 * time.Millisecond,
+		2: time.Second,
+		9: maxBackoff, // capped
+	} {
+		for i := 0; i < 20; i++ {
+			d := c.backoff(attempt, "")
+			if d < base/2 || d > base {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, base/2, base)
+			}
+		}
+	}
+}
+
+// TestClientErrors: attach to an unknown job and submit of an invalid
+// spec both fail fast with the server's error message.
+func TestClientErrors(t *testing.T) {
+	ts := newTestServer(t)
+	err := runClient(ts.URL, "j999999", "", "", apitypes.JobRequest{}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "not_found") {
+		t.Errorf("unknown job: got %v, want not_found", err)
+	}
+	req, cerr := clientSpec("7", "17e9", "warp-drive", "homogeneous",
+		"taiwan", "usa", "10", 254, 2.74, 5, 0, "")
+	if cerr != nil {
+		t.Fatalf("clientSpec: %v", cerr)
+	}
+	err = runClient(ts.URL, "", "", "", req, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "integrations") {
+		t.Errorf("bad integration: got %v, want a validation error", err)
+	}
+}

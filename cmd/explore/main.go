@@ -18,6 +18,7 @@
 //	        [-top 15] [-workers 0] [-format table|csv] [-params profile.json]
 //	        [-optimize coordinate|anneal|halving] [-budget N] [-seed N]
 //	        [-cpuprofile explore.cpu] [-memprofile explore.mem]
+//	        [-server URL] [-attach jobID] [-tenant name] [-idempotency-key key]
 //
 // With -optimize the space is searched instead of enumerated: the chosen
 // driver finds the lowest-carbon candidate through the branch-and-bound
@@ -25,6 +26,14 @@
 // optimum), the ranking and frontier fold only the candidates the
 // optimizer actually evaluated, and a stats footer reports evaluations,
 // bound probes, prunes and the best-so-far trajectory.
+//
+// With -server the exploration is not run in-process: the space is
+// submitted to a serve instance as a crash-resumable async job
+// (POST /v1/jobs) and the event stream is tailed to completion,
+// reattaching with the resume cursor across disconnects and honoring
+// Retry-After on 429/503. -attach resumes tailing an existing job,
+// -tenant and -idempotency-key set the admission headers, and -budget
+// caps the candidates the job evaluates.
 //
 // List-valued flags take comma-separated values, e.g.
 //
@@ -69,7 +78,32 @@ func main() {
 	seed := flag.Int64("seed", 1, "optimizer random seed (runs are deterministic per seed)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the exploration to this file")
 	memprofile := flag.String("memprofile", "", "write a post-exploration heap profile to this file")
+	serverURL := flag.String("server", "", "submit to a serve instance as an async job instead of running in-process (base URL)")
+	attach := flag.String("attach", "", "reattach to an existing job ID instead of submitting (requires -server)")
+	tenant := flag.String("tenant", "", "tenant identity for job admission (X-Tenant header)")
+	idemKey := flag.String("idempotency-key", "", "idempotency key for job submission retries (default: generated per invocation)")
 	flag.Parse()
+
+	if *serverURL != "" {
+		if *optimizer != "" {
+			fmt.Fprintln(os.Stderr, "explore: -optimize runs in-process; it cannot be combined with -server")
+			os.Exit(1)
+		}
+		req, err := clientSpec(*nodes, *gates, *integrations, *strategies, *fabs, *uses,
+			*lifetimes, *peak, *eff, *top, *budget, *paramsPath)
+		if err == nil {
+			err = runClient(*serverURL, *attach, *tenant, *idemKey, req, os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "explore:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *attach != "" {
+		fmt.Fprintln(os.Stderr, "explore: -attach requires -server")
+		os.Exit(1)
+	}
 
 	if err := run(*nodes, *gates, *integrations, *strategies, *fabs, *uses, *lifetimes,
 		*peak, *eff, *top, *workers, *format, *paramsPath, *optimizer, *budget, *seed,

@@ -7,20 +7,36 @@
 //	      [-timeout 60s] [-max-batch 10000] [-max-space 1000000] [-quiet] [-pprof]
 //	      [-params profile.json] [-max-profiles 8]
 //	      [-max-optimize-designs 250000] [-max-optimize-budget 5000000]
+//	      [-job-store jobs.ndjson] [-max-job-space 1000000] [-max-running-jobs 2]
+//	      [-job-rate 1] [-job-burst 4] [-max-active-jobs 4] [-drain-timeout 10s]
 //
 // -params sets the server's baseline ParameterSet from a scenario profile;
 // requests may additionally carry inline "params" overlays, resolved
 // against a bounded per-profile model cache (-max-profiles).
 //
+// -job-store makes the async job tier durable: job records, checkpoints
+// and event streams are appended (fsync'd) to the given file, and a
+// restarted server replays it and resumes every unfinished job from its
+// last checkpoint. Without it jobs run in memory and die with the
+// process. On SIGINT/SIGTERM the server drains gracefully: /readyz
+// flips to 503 (so load balancers stop routing), in-flight requests get
+// -drain-timeout to finish, and running jobs park at a checkpoint.
+//
 // Endpoints (see docs/API.md for the full reference):
 //
-//	POST /v1/evaluate        one design JSON → full life-cycle report
-//	POST /v1/evaluate/batch  many designs → per-design reports
-//	POST /v1/explore         space spec → NDJSON result stream
-//	POST /v1/optimize        space spec → lowest-carbon design via bounded search
-//	GET  /v1/meta            enumerable inputs for client UIs
-//	GET  /v1/stats           request / latency / cache counters
-//	GET  /healthz            liveness probe
+//	POST   /v1/evaluate        one design JSON → full life-cycle report
+//	POST   /v1/evaluate/batch  many designs → per-design reports
+//	POST   /v1/explore         space spec → NDJSON result stream
+//	POST   /v1/optimize        space spec → lowest-carbon design via bounded search
+//	POST   /v1/jobs            submit a space as a crash-resumable async job
+//	GET    /v1/jobs            list this tenant's jobs
+//	GET    /v1/jobs/{id}       job status + (partial) summary
+//	GET    /v1/jobs/{id}/events NDJSON event stream, resumable via ?from=
+//	DELETE /v1/jobs/{id}       cancel a job
+//	GET    /v1/meta            enumerable inputs for client UIs
+//	GET    /v1/stats           request / latency / cache / job counters
+//	GET    /healthz            liveness probe (stays 200 while draining)
+//	GET    /readyz             readiness probe (503 while draining)
 //
 // The process keeps one memoization cache across all requests, so repeated
 // designs — the 2D baselines of comparison sweeps, a fleet of near-identical
@@ -37,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/jobs"
 	"repro/internal/params"
 	"repro/internal/server"
 )
@@ -60,11 +77,37 @@ func main() {
 		"max distinct embodied designs per optimization request")
 	maxOptBudget := flag.Int("max-optimize-budget", server.DefaultMaxOptimizeBudget,
 		"ceiling on charged evaluations+probes per optimization request")
+	jobStore := flag.String("job-store", "",
+		"append-only file for durable async jobs (empty = in-memory, jobs die with the process)")
+	maxJobSpace := flag.Int("max-job-space", 0,
+		"max candidates per async job (0 = server default; jobs may exceed -max-space)")
+	maxRunningJobs := flag.Int("max-running-jobs", 0, "async jobs executing at once (0 = 2)")
+	jobRate := flag.Float64("job-rate", 0, "per-tenant job submissions per second (0 = unlimited)")
+	jobBurst := flag.Int("job-burst", 0, "per-tenant submission burst size (0 = unlimited)")
+	maxActiveJobs := flag.Int("max-active-jobs", 0,
+		"per-tenant cap on queued+running jobs (0 = unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", server.DefaultDrainTimeout,
+		"grace window for in-flight requests and job checkpointing on shutdown")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "serve: ", log.LstdFlags)
 	opts := buildOptions(*workers, *cacheLimit, *maxConcurrent, *maxBatch, *maxSpace,
 		*maxProfiles, *maxOptDesigns, *maxOptBudget, *timeout, *quiet, *pprofFlag, logger)
+	opts.MaxJobSpace = *maxJobSpace
+	opts.MaxRunningJobs = *maxRunningJobs
+	opts.JobRatePerSec = *jobRate
+	opts.JobBurst = *jobBurst
+	opts.MaxActiveJobsPerTenant = *maxActiveJobs
+	opts.DrainTimeout = *drainTimeout
+	if *jobStore != "" {
+		st, err := jobs.OpenFileStore(*jobStore)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve: -job-store:", err)
+			os.Exit(1)
+		}
+		opts.JobStore = st
+		logger.Printf("durable job store: %s", *jobStore)
+	}
 	if *paramsPath != "" {
 		ps, err := params.Load(*paramsPath)
 		if err != nil {

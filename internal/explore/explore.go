@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/design"
+	"repro/internal/faultpoint"
 	"repro/internal/metrics"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -607,8 +608,16 @@ func (e *Engine) total(d *design.Design, w workload.Workload, eff units.Efficien
 
 // evaluateOne fills one result. wc (optional) is the calling worker's
 // baseline shortcut state.
+// FaultPointEvaluate is the fault-injection hook fired once per candidate
+// evaluation; the chaos harness arms it to simulate worker faults.
+const FaultPointEvaluate = "explore.evaluate"
+
 func (e *Engine) evaluateOne(c Candidate, tc *termCounters, wc *workerCache) Result {
 	r := Result{Candidate: c}
+	if err := faultpoint.Hit(FaultPointEvaluate); err != nil {
+		r.Err = err
+		return r
+	}
 	if c.Design == nil {
 		r.Err = fmt.Errorf("explore: candidate %q has no design", c.ID)
 		return r
@@ -666,10 +675,18 @@ func (e *Engine) evaluateOne(c Candidate, tc *termCounters, wc *workerCache) Res
 // Evaluate fans the candidates out over the worker pool and returns one
 // result per candidate, in input order. Per-candidate failures land in
 // Result.Err; Evaluate itself only fails when the context is cancelled.
-func (e *Engine) Evaluate(ctx context.Context, cands []Candidate) ([]Result, error) {
+func (e *Engine) Evaluate(ctx context.Context, cands []Candidate) (res []Result, err error) {
 	if e.Model == nil {
 		return nil, fmt.Errorf("explore: engine has no model")
 	}
+	// Serial-path containment: a panicking evaluation surfaces as a
+	// *PanicError instead of unwinding into the caller (parallel workers
+	// below recover on their own goroutines).
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, newPanicError(r)
+		}
+	}()
 	results := make([]Result, len(cands))
 	workers := e.workers()
 	if workers > len(cands) {
@@ -700,10 +717,21 @@ func (e *Engine) Evaluate(ctx context.Context, cands []Candidate) ([]Result, err
 	const block = 16
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	// First recovered worker panic; the stop flag halts the other workers.
+	var panicOnce sync.Once
+	var panicErr *PanicError
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() {
+						panicErr = newPanicError(r)
+						stop.Store(true)
+					})
+				}
+			}()
 			wc := &workerCache{}
 			for {
 				start := int(next.Add(block)) - block
@@ -724,6 +752,9 @@ func (e *Engine) Evaluate(ctx context.Context, cands []Candidate) ([]Result, err
 		}()
 	}
 	wg.Wait()
+	if panicErr != nil {
+		return nil, panicErr
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,34 @@
+// Worker-panic containment: a panic inside the evaluation pipeline — a
+// model bug on one pathological candidate, a panicking sink — must not
+// take down the process that hosts it (the HTTP service, the async job
+// tier). Every worker boundary recovers, and the stream or batch call
+// returns a *PanicError carrying the panic value and stack instead of
+// crashing. Callers that can re-issue work (internal/jobs re-runs the
+// dirty index range once from its last checkpoint) get a clean retry
+// boundary; everyone else gets an ordinary error.
+package explore
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a panic recovered inside the evaluation pipeline,
+// converted into an error at the Stream/Evaluate boundary. The stream or
+// batch that produced it is aborted; the engine and its caches remain
+// valid for further use.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("explore: worker panic: %v", e.Value)
+}
+
+// newPanicError captures the recovered value and the current stack.
+func newPanicError(v any) *PanicError {
+	return &PanicError{Value: v, Stack: debug.Stack()}
+}

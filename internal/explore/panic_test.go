@@ -1,0 +1,165 @@
+// Panic-containment tests: a panic anywhere in the evaluation pipeline —
+// a source cursor, a worker evaluating a candidate, the caller's sink —
+// surfaces as a *PanicError from the Stream/Evaluate boundary instead of
+// crashing the process, and the engine stays usable afterwards.
+package explore
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultpoint"
+	"repro/internal/grid"
+	"repro/internal/split"
+)
+
+func panicTestSpace() Space {
+	return Space{
+		Name:          "panic",
+		Strategies:    []split.Strategy{split.HomogeneousStrategy},
+		NodesNM:       []int{5, 7},
+		Gates:         []float64{17e9, 500e9},
+		UseLocations:  []grid.Location{grid.USA, grid.Norway},
+		LifetimeYears: []float64{5},
+	}
+}
+
+// panicSource panics when the cursor decodes index at.
+type panicSource struct {
+	src Source
+	at  int
+}
+
+func (p panicSource) Len() int             { return p.src.Len() }
+func (p panicSource) Cursor() SourceCursor { return panicCursor{cur: p.src.Cursor(), at: p.at} }
+
+type panicCursor struct {
+	cur SourceCursor
+	at  int
+}
+
+func (c panicCursor) At(i int) (Candidate, error) {
+	if i == c.at {
+		panic("injected cursor panic")
+	}
+	return c.cur.At(i)
+}
+
+// materialize decodes a space into a SliceSource for wrapping.
+func materialize(t *testing.T, s Space) SliceSource {
+	t.Helper()
+	it, err := s.Iter()
+	if err != nil {
+		t.Fatalf("iter: %v", err)
+	}
+	cur := it.Cursor()
+	out := make(SliceSource, it.Len())
+	for i := range out {
+		c, err := cur.At(i)
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		out[i] = c
+	}
+	return out
+}
+
+func wantPanicError(t *testing.T, err error, frag string) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("expected a *PanicError, got nil")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("expected a *PanicError, got %T: %v", err, err)
+	}
+	if !strings.Contains(pe.Error(), frag) {
+		t.Errorf("panic error %q does not mention %q", pe.Error(), frag)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic error carries no stack")
+	}
+}
+
+func TestStreamContainsCursorPanic(t *testing.T) {
+	src := materialize(t, panicTestSpace())
+	for _, workers := range []int{1, 4} {
+		e := &Engine{Model: core.Default(), Workers: workers}
+		_, err := e.StreamSource(context.Background(),
+			panicSource{src: src, at: len(src) / 2}, func(Result) error { return nil })
+		wantPanicError(t, err, "injected cursor panic")
+
+		// The engine must remain usable after containment.
+		var n int
+		if _, err := e.StreamSource(context.Background(), src, func(Result) error { n++; return nil }); err != nil {
+			t.Fatalf("workers=%d: stream after contained panic: %v", workers, err)
+		}
+		if n != len(src) {
+			t.Fatalf("workers=%d: stream after contained panic delivered %d of %d", workers, n, len(src))
+		}
+	}
+}
+
+func TestStreamContainsSinkPanic(t *testing.T) {
+	s := panicTestSpace()
+	for _, workers := range []int{1, 4} {
+		e := &Engine{Model: core.Default(), Workers: workers}
+		n := 0
+		_, err := e.Stream(context.Background(), s, func(Result) error {
+			n++
+			if n == 3 {
+				panic("injected sink panic")
+			}
+			return nil
+		})
+		wantPanicError(t, err, "injected sink panic")
+	}
+}
+
+func TestEvaluateContainsPanic(t *testing.T) {
+	src := materialize(t, panicTestSpace())
+	for _, workers := range []int{1, 4} {
+		e := &Engine{Model: core.Default(), Workers: workers}
+		// Arm the evaluation fault point to panic on the third candidate.
+		disarm := faultpoint.ArmN(FaultPointEvaluate, 2, 1, func() error {
+			panic("injected evaluate panic")
+		})
+		_, err := e.Evaluate(context.Background(), append([]Candidate(nil), src...))
+		disarm()
+		wantPanicError(t, err, "injected evaluate panic")
+
+		res, err := e.Evaluate(context.Background(), append([]Candidate(nil), src...))
+		if err != nil {
+			t.Fatalf("workers=%d: evaluate after contained panic: %v", workers, err)
+		}
+		if len(res) != len(src) {
+			t.Fatalf("workers=%d: evaluate after contained panic returned %d of %d", workers, len(res), len(src))
+		}
+	}
+}
+
+// TestEvaluateFaultErr: a fault hook returning an error (not panicking)
+// surfaces as that candidate's Result.Err — evaluation continues.
+func TestEvaluateFaultErr(t *testing.T) {
+	src := materialize(t, panicTestSpace())
+	boom := errors.New("injected evaluate error")
+	disarm := faultpoint.ArmN(FaultPointEvaluate, 1, 1, func() error { return boom })
+	defer disarm()
+	e := &Engine{Model: core.Default(), Workers: 1}
+	res, err := e.Evaluate(context.Background(), append([]Candidate(nil), src...))
+	if err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	var injected int
+	for _, r := range res {
+		if errors.Is(r.Err, boom) {
+			injected++
+		}
+	}
+	if injected != 1 {
+		t.Fatalf("injected error surfaced on %d results, want 1", injected)
+	}
+}

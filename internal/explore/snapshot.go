@@ -1,0 +1,275 @@
+// Reducer checkpointing: every streaming reducer serializes its retained
+// state to bytes and restores from them, so a long sweep can be
+// checkpointed mid-stream and resumed — by the same process, a restarted
+// one, or another machine — with the continuation bit-identical to the
+// uninterrupted run. This is the substrate of the async job tier
+// (internal/jobs): a job checkpoint is the last completed index-range
+// cursor plus these snapshots.
+//
+// Encoding contract:
+//
+//   - Snapshots are versioned JSON envelopes; every float64 is serialized
+//     as its IEEE-754 bit pattern (a JSON integer), so round trips are
+//     bit-exact for every value including negative zero, subnormals and
+//     NaN payloads — ordinary shortest-decimal JSON floats would round
+//     trip too, but the bit form makes exactness structural rather than
+//     incidental.
+//   - Restore(Snapshot(r)) reproduces r's observable reduction state
+//     exactly: the retained point set, every ordering and tie-break
+//     decision of future Adds, and (for RunningStats) the running sums at
+//     full bit precision. Snapshotting a restored reducer yields the same
+//     bytes (TestSnapshotRoundTrip).
+//   - The Result-based reducers (TopK, FrontierReducer) restore
+//     summary-grade results: each retained Result carries its candidate ID
+//     and a skeleton report holding the exact embodied/operational/total
+//     carbon — everything resultLess, the Pareto rules and the point
+//     projections read — but not the full evaluated report (die
+//     breakdowns, bandwidth detail). Rankings, frontiers, merges and
+//     continued reduction behave identically; callers that render full
+//     reports must re-evaluate the retained IDs.
+//   - Snapshots of different reducer kinds are mutually incompatible;
+//     Restore rejects a mismatched kind.
+package explore
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// snapshotVersion is the envelope format version; Restore rejects
+// snapshots from a newer format.
+const snapshotVersion = 1
+
+// Snapshot kind tags.
+const (
+	snapTopK          = "topk"
+	snapFrontier      = "frontier"
+	snapPointTopK     = "point-topk"
+	snapPointFrontier = "point-frontier"
+	snapRunningStats  = "running-stats"
+)
+
+// snapPoint is one retained point or result in wire form: the candidate ID
+// plus the three carbon figures as IEEE-754 bit patterns.
+type snapPoint struct {
+	ID  string `json:"id"`
+	Emb uint64 `json:"emb"`
+	Op  uint64 `json:"op"`
+	Tot uint64 `json:"tot"`
+	// HasOp records whether the result carried an operational report
+	// (embodied-only candidates do not); Result-based snapshots only.
+	HasOp bool `json:"has_op,omitempty"`
+}
+
+// snapStats is RunningStats in wire form.
+type snapStats struct {
+	Count  int    `json:"count"`
+	OK     int    `json:"ok"`
+	Failed int    `json:"failed"`
+	Min    uint64 `json:"min"`
+	Max    uint64 `json:"max"`
+	Sum    uint64 `json:"sum"`
+}
+
+// snapEnvelope is the common snapshot wrapper.
+type snapEnvelope struct {
+	Kind  string      `json:"kind"`
+	V     int         `json:"v"`
+	K     int         `json:"k,omitempty"`
+	Items []snapPoint `json:"items"`
+	Stats *snapStats  `json:"stats,omitempty"`
+}
+
+// decodeEnvelope parses and validates a snapshot envelope of the expected
+// kind.
+func decodeEnvelope(data []byte, kind string) (snapEnvelope, error) {
+	var env snapEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return env, fmt.Errorf("explore: invalid %s snapshot: %w", kind, err)
+	}
+	if env.Kind != kind {
+		return env, fmt.Errorf("explore: snapshot kind %q cannot restore a %s reducer", env.Kind, kind)
+	}
+	if env.V > snapshotVersion {
+		return env, fmt.Errorf("explore: %s snapshot version %d is newer than supported %d", kind, env.V, snapshotVersion)
+	}
+	return env, nil
+}
+
+// snapResult projects one retained Result.
+func snapResult(r Result) snapPoint {
+	return snapPoint{
+		ID:    r.Candidate.ID,
+		Emb:   math.Float64bits(r.Embodied()),
+		Op:    math.Float64bits(r.Operational()),
+		Tot:   math.Float64bits(r.Total()),
+		HasOp: r.Report != nil && r.Report.Operational != nil,
+	}
+}
+
+// restoreResult rebuilds a summary-grade Result from a snapshot point: ID
+// plus a skeleton report carrying the exact carbon figures the orderings
+// read.
+func restoreResult(p snapPoint) Result {
+	rep := &core.TotalReport{
+		Embodied: &core.EmbodiedReport{
+			Total: units.KilogramsCO2(math.Float64frombits(p.Emb)),
+		},
+		Total: units.KilogramsCO2(math.Float64frombits(p.Tot)),
+	}
+	if p.HasOp {
+		rep.Operational = &core.OperationalReport{
+			Valid:          true,
+			LifetimeCarbon: units.KilogramsCO2(math.Float64frombits(p.Op)),
+		}
+	}
+	return Result{Candidate: Candidate{ID: p.ID}, Report: rep}
+}
+
+func snapOfPoint(p Point) snapPoint {
+	return snapPoint{
+		ID:  p.ID,
+		Emb: math.Float64bits(p.Embodied),
+		Op:  math.Float64bits(p.Operational),
+		Tot: math.Float64bits(p.Total),
+	}
+}
+
+func pointOfSnap(s snapPoint) Point {
+	return Point{
+		ID:          s.ID,
+		Embodied:    math.Float64frombits(s.Emb),
+		Operational: math.Float64frombits(s.Op),
+		Total:       math.Float64frombits(s.Tot),
+	}
+}
+
+// Snapshot serializes the reducer's retained state. Items are emitted in
+// ranked order, so equal reducer states produce byte-identical snapshots.
+func (t *TopK) Snapshot() ([]byte, error) {
+	items := make([]snapPoint, 0, len(t.h.items))
+	for _, r := range t.h.sorted() {
+		items = append(items, snapResult(r))
+	}
+	return json.Marshal(snapEnvelope{Kind: snapTopK, V: snapshotVersion, K: t.h.k, Items: items})
+}
+
+// Restore replaces the reducer's state (bound included) with the
+// snapshot's. Restored results are summary-grade (see the package note).
+func (t *TopK) Restore(data []byte) error {
+	env, err := decodeEnvelope(data, snapTopK)
+	if err != nil {
+		return err
+	}
+	t.h = topKHeap[Result]{k: env.K, less: resultLess}
+	for _, p := range env.Items {
+		t.h.add(restoreResult(p))
+	}
+	return nil
+}
+
+// Snapshot serializes the running frontier (the Pareto staircase, lowest
+// embodied first).
+func (f *FrontierReducer) Snapshot() ([]byte, error) {
+	items := make([]snapPoint, 0, len(f.p.pts))
+	for _, r := range f.p.pts {
+		items = append(items, snapResult(r))
+	}
+	return json.Marshal(snapEnvelope{Kind: snapFrontier, V: snapshotVersion, Items: items})
+}
+
+// Restore replaces the frontier with the snapshot's staircase. Restored
+// results are summary-grade (see the package note).
+func (f *FrontierReducer) Restore(data []byte) error {
+	env, err := decodeEnvelope(data, snapFrontier)
+	if err != nil {
+		return err
+	}
+	f.p.pts = make([]Result, 0, len(env.Items))
+	for _, p := range env.Items {
+		f.p.pts = append(f.p.pts, restoreResult(p))
+	}
+	return nil
+}
+
+// Snapshot serializes the retained points in ranked order.
+func (t *PointTopK) Snapshot() ([]byte, error) {
+	items := make([]snapPoint, 0, len(t.h.items))
+	for _, p := range t.h.sorted() {
+		items = append(items, snapOfPoint(p))
+	}
+	return json.Marshal(snapEnvelope{Kind: snapPointTopK, V: snapshotVersion, K: t.h.k, Items: items})
+}
+
+// Restore replaces the reducer's state (bound included) with the snapshot's.
+func (t *PointTopK) Restore(data []byte) error {
+	env, err := decodeEnvelope(data, snapPointTopK)
+	if err != nil {
+		return err
+	}
+	t.h = topKHeap[Point]{k: env.K, less: pointLess}
+	for _, p := range env.Items {
+		t.h.add(pointOfSnap(p))
+	}
+	return nil
+}
+
+// Snapshot serializes the running point frontier.
+func (f *PointFrontier) Snapshot() ([]byte, error) {
+	items := make([]snapPoint, 0, len(f.p.pts))
+	for _, p := range f.p.pts {
+		items = append(items, snapOfPoint(p))
+	}
+	return json.Marshal(snapEnvelope{Kind: snapPointFrontier, V: snapshotVersion, Items: items})
+}
+
+// Restore replaces the frontier with the snapshot's staircase.
+func (f *PointFrontier) Restore(data []byte) error {
+	env, err := decodeEnvelope(data, snapPointFrontier)
+	if err != nil {
+		return err
+	}
+	f.p.pts = make([]Point, 0, len(env.Items))
+	for _, p := range env.Items {
+		f.p.pts = append(f.p.pts, pointOfSnap(p))
+	}
+	return nil
+}
+
+// Snapshot serializes the counters, extrema and running sum bit-exactly.
+func (s *RunningStats) Snapshot() ([]byte, error) {
+	return json.Marshal(snapEnvelope{Kind: snapRunningStats, V: snapshotVersion, Stats: &snapStats{
+		Count:  s.Count,
+		OK:     s.OK,
+		Failed: s.Failed,
+		Min:    math.Float64bits(s.MinTotal),
+		Max:    math.Float64bits(s.MaxTotal),
+		Sum:    math.Float64bits(s.sumTotal),
+	}})
+}
+
+// Restore replaces the stats with the snapshot's. The running sum is
+// restored at full bit precision, so a resumed stream reproduces the
+// uninterrupted mean exactly.
+func (s *RunningStats) Restore(data []byte) error {
+	env, err := decodeEnvelope(data, snapRunningStats)
+	if err != nil {
+		return err
+	}
+	if env.Stats == nil {
+		return fmt.Errorf("explore: running-stats snapshot is missing its stats body")
+	}
+	*s = RunningStats{
+		Count:    env.Stats.Count,
+		OK:       env.Stats.OK,
+		Failed:   env.Stats.Failed,
+		MinTotal: math.Float64frombits(env.Stats.Min),
+		MaxTotal: math.Float64frombits(env.Stats.Max),
+		sumTotal: math.Float64frombits(env.Stats.Sum),
+	}
+	return nil
+}

@@ -1,0 +1,305 @@
+// Snapshot/Restore property tests: checkpointing a reducer mid-stream and
+// resuming from the snapshot must be observationally identical — same
+// retained set, same future ordering decisions, byte-identical final
+// snapshots — to the uninterrupted run. These are the invariants the async
+// job tier (internal/jobs) leans on for crash-resumable sweeps.
+package explore
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// snapshotCuts are the checkpoint positions exercised for an n-result
+// stream: empty, single, mid-stream, and complete.
+func snapshotCuts(n int) []int {
+	return []int{0, 1, n / 3, n / 2, n}
+}
+
+// reducerHarness drives one reducer kind through the generic snapshot
+// properties: feed adds, snapshot, restore into a fresh instance, compare.
+type reducerHarness struct {
+	name string
+	// fresh returns a new empty reducer.
+	fresh func() snapshotter
+	// other returns a reducer of a different kind, for the kind-mismatch
+	// check.
+	other func() snapshotter
+	// add feeds result i of the fixture stream to the reducer.
+	add func(s snapshotter, r Result)
+	// view renders the reducer's observable state for diffing.
+	view func(s snapshotter) string
+}
+
+// snapshotter is the checkpointing surface every reducer now implements.
+type snapshotter interface {
+	Snapshot() ([]byte, error)
+	Restore([]byte) error
+}
+
+func viewResults(rs []Result) string {
+	out := ""
+	for _, r := range rs {
+		out += fmt.Sprintf("%s emb=%x op=%x tot=%x\n",
+			r.Candidate.ID,
+			math.Float64bits(r.Embodied()),
+			math.Float64bits(r.Operational()),
+			math.Float64bits(r.Total()))
+	}
+	return out
+}
+
+func viewPoints(ps []Point) string {
+	out := ""
+	for _, p := range ps {
+		out += fmt.Sprintf("%s emb=%x op=%x tot=%x\n",
+			p.ID,
+			math.Float64bits(p.Embodied),
+			math.Float64bits(p.Operational),
+			math.Float64bits(p.Total))
+	}
+	return out
+}
+
+func snapshotHarnesses() []reducerHarness {
+	const k = 5
+	return []reducerHarness{
+		{
+			name:  "TopK",
+			fresh: func() snapshotter { return NewTopK(k) },
+			other: func() snapshotter { return NewPointTopK(k) },
+			add:   func(s snapshotter, r Result) { s.(*TopK).Add(r) },
+			view:  func(s snapshotter) string { return viewResults(s.(*TopK).Results()) },
+		},
+		{
+			name:  "FrontierReducer",
+			fresh: func() snapshotter { return NewFrontierReducer() },
+			other: func() snapshotter { return NewTopK(k) },
+			add:   func(s snapshotter, r Result) { s.(*FrontierReducer).Add(r) },
+			view:  func(s snapshotter) string { return viewResults(s.(*FrontierReducer).Frontier()) },
+		},
+		{
+			name:  "PointTopK",
+			fresh: func() snapshotter { return NewPointTopK(k) },
+			other: func() snapshotter { return NewPointFrontier() },
+			add: func(s snapshotter, r Result) {
+				if r.Err == nil {
+					s.(*PointTopK).Add(PointOf(r))
+				}
+			},
+			view: func(s snapshotter) string { return viewPoints(s.(*PointTopK).Points()) },
+		},
+		{
+			name:  "PointFrontier",
+			fresh: func() snapshotter { return NewPointFrontier() },
+			other: func() snapshotter { return new(RunningStats) },
+			add: func(s snapshotter, r Result) {
+				if r.Err == nil {
+					s.(*PointFrontier).Add(PointOf(r))
+				}
+			},
+			view: func(s snapshotter) string { return viewPoints(s.(*PointFrontier).Points()) },
+		},
+		{
+			name:  "RunningStats",
+			fresh: func() snapshotter { return new(RunningStats) },
+			other: func() snapshotter { return NewFrontierReducer() },
+			add:   func(s snapshotter, r Result) { s.(*RunningStats).Add(r) },
+			view: func(s snapshotter) string {
+				st := s.(*RunningStats)
+				return fmt.Sprintf("count=%d ok=%d failed=%d min=%x max=%x mean=%x",
+					st.Count, st.OK, st.Failed,
+					math.Float64bits(st.MinTotal), math.Float64bits(st.MaxTotal),
+					math.Float64bits(st.MeanTotal()))
+			},
+		},
+	}
+}
+
+func mustSnapshot(t *testing.T, s snapshotter) []byte {
+	t.Helper()
+	b, err := s.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	return b
+}
+
+// TestSnapshotResumeEquivalence: for every reducer and every cut point,
+// snapshot at the cut, restore into a fresh reducer, finish the stream on
+// the restored copy — the final state and final snapshot bytes must match
+// the uninterrupted run exactly.
+func TestSnapshotResumeEquivalence(t *testing.T) {
+	results := mergeTestResults(t)
+	for _, h := range snapshotHarnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			// Uninterrupted reference.
+			ref := h.fresh()
+			for _, r := range results {
+				h.add(ref, r)
+			}
+			refView := h.view(ref)
+			refSnap := mustSnapshot(t, ref)
+
+			for _, cut := range snapshotCuts(len(results)) {
+				prefix := h.fresh()
+				for _, r := range results[:cut] {
+					h.add(prefix, r)
+				}
+				resumed := h.fresh()
+				if err := resumed.Restore(mustSnapshot(t, prefix)); err != nil {
+					t.Fatalf("cut %d: restore: %v", cut, err)
+				}
+				for _, r := range results[cut:] {
+					h.add(resumed, r)
+				}
+				if got := h.view(resumed); got != refView {
+					t.Errorf("cut %d: resumed state diverged\ngot:\n%s\nwant:\n%s", cut, got, refView)
+				}
+				if got := mustSnapshot(t, resumed); string(got) != string(refSnap) {
+					t.Errorf("cut %d: resumed snapshot not byte-identical\ngot:  %s\nwant: %s", cut, got, refSnap)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotRoundTrip: Snapshot∘Restore is the identity on snapshot
+// bytes — restoring and re-snapshotting yields the same bytes, at every
+// cut point.
+func TestSnapshotRoundTrip(t *testing.T) {
+	results := mergeTestResults(t)
+	for _, h := range snapshotHarnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			for _, cut := range snapshotCuts(len(results)) {
+				red := h.fresh()
+				for _, r := range results[:cut] {
+					h.add(red, r)
+				}
+				snap := mustSnapshot(t, red)
+				restored := h.fresh()
+				if err := restored.Restore(snap); err != nil {
+					t.Fatalf("cut %d: restore: %v", cut, err)
+				}
+				if again := mustSnapshot(t, restored); string(again) != string(snap) {
+					t.Errorf("cut %d: round trip changed bytes\nfirst:  %s\nsecond: %s", cut, snap, again)
+				}
+				if got, want := h.view(restored), h.view(red); got != want {
+					t.Errorf("cut %d: restored view diverged\ngot:\n%s\nwant:\n%s", cut, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotMergeEquivalence: restore each shard's reducer from its
+// snapshot, merge in shard order — the result must equal single-pass
+// reduction. This is the property that lets a resumed job merge a
+// checkpointed reducer with freshly reduced ranges.
+func TestSnapshotMergeEquivalence(t *testing.T) {
+	results := mergeTestResults(t)
+	const k = 5
+
+	t.Run("TopK", func(t *testing.T) {
+		ref := NewTopK(k)
+		for _, r := range results {
+			ref.Add(r)
+		}
+		for _, n := range []int{1, 2, 3, 5} {
+			merged := NewTopK(k)
+			for _, shard := range partition(results, n) {
+				red := NewTopK(k)
+				for _, r := range shard {
+					red.Add(r)
+				}
+				restored := NewTopK(k)
+				if err := restored.Restore(mustSnapshot(t, red)); err != nil {
+					t.Fatalf("restore: %v", err)
+				}
+				merged.Merge(restored)
+			}
+			if got, want := viewResults(merged.Results()), viewResults(ref.Results()); got != want {
+				t.Errorf("%d shards: merged restore diverged\ngot:\n%s\nwant:\n%s", n, got, want)
+			}
+		}
+	})
+
+	t.Run("RunningStats", func(t *testing.T) {
+		ref := new(RunningStats)
+		for _, r := range results {
+			ref.Add(r)
+		}
+		for _, n := range []int{1, 2, 3, 5} {
+			merged := new(RunningStats)
+			for _, shard := range partition(results, n) {
+				red := new(RunningStats)
+				for _, r := range shard {
+					red.Add(r)
+				}
+				restored := new(RunningStats)
+				if err := restored.Restore(mustSnapshot(t, red)); err != nil {
+					t.Fatalf("restore: %v", err)
+				}
+				merged.Merge(restored)
+			}
+			if merged.Count != ref.Count || merged.OK != ref.OK || merged.Failed != ref.Failed {
+				t.Errorf("%d shards: counters diverged: %+v vs %+v", n, merged, ref)
+			}
+			// Sharded merge is mean-exact only up to float summation order
+			// (the merge laws' documented tolerance); bit-exactness is the
+			// sequential-resume property, proved above.
+			if d := math.Abs(merged.MeanTotal() - ref.MeanTotal()); d > 1e-9*math.Abs(ref.MeanTotal()) {
+				t.Errorf("%d shards: mean diverged: %v vs %v", n, merged.MeanTotal(), ref.MeanTotal())
+			}
+		}
+	})
+}
+
+// TestSnapshotKindMismatch: a snapshot restores only into its own reducer
+// kind.
+func TestSnapshotKindMismatch(t *testing.T) {
+	results := mergeTestResults(t)
+	for _, h := range snapshotHarnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			red := h.fresh()
+			for _, r := range results[:3] {
+				h.add(red, r)
+			}
+			if err := h.other().Restore(mustSnapshot(t, red)); err == nil {
+				t.Fatalf("restoring a %s snapshot into a different reducer kind succeeded", h.name)
+			}
+		})
+	}
+	t.Run("garbage", func(t *testing.T) {
+		if err := NewTopK(3).Restore([]byte("{")); err == nil {
+			t.Fatal("restoring malformed bytes succeeded")
+		}
+	})
+}
+
+// TestSnapshotBitExactFloats: the bit-pattern encoding preserves values
+// ordinary float JSON could plausibly disturb — negative zero in
+// particular — and an empty RunningStats round-trips cleanly.
+func TestSnapshotBitExactFloats(t *testing.T) {
+	f := NewPointFrontier()
+	f.Add(Point{ID: "neg-zero", Embodied: math.Copysign(0, -1), Operational: 1, Total: 1})
+	restored := NewPointFrontier()
+	if err := restored.Restore(mustSnapshot(t, f)); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	got := restored.Points()[0].Embodied
+	if math.Float64bits(got) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Errorf("negative zero not preserved: got bits %x", math.Float64bits(got))
+	}
+
+	empty := new(RunningStats)
+	re := new(RunningStats)
+	if err := re.Restore(mustSnapshot(t, empty)); err != nil {
+		t.Fatalf("restore empty stats: %v", err)
+	}
+	if !f64Same(re.MinTotal, empty.MinTotal) || !f64Same(re.MaxTotal, empty.MaxTotal) {
+		t.Errorf("empty-stats extrema not preserved: %v/%v vs %v/%v",
+			re.MinTotal, re.MaxTotal, empty.MinTotal, empty.MaxTotal)
+	}
+}

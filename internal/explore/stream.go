@@ -146,9 +146,18 @@ func (e *Engine) StreamRange(ctx context.Context, src Source, lo, hi int, sink S
 	return e.streamRange(ctx, src, lo, hi, sink)
 }
 
-func (e *Engine) streamRange(ctx context.Context, src Source, lo, hi int, sink Sink) (StreamStats, error) {
+func (e *Engine) streamRange(ctx context.Context, src Source, lo, hi int, sink Sink) (st StreamStats, err error) {
+	// Serial-path containment: a panic in decode, evaluation or the sink on
+	// this goroutine surfaces as a *PanicError instead of unwinding into the
+	// caller (worker goroutines carry their own recovery — see
+	// streamParallel).
+	defer func() {
+		if r := recover(); r != nil {
+			err = newPanicError(r)
+		}
+	}()
 	n := hi - lo
-	st := StreamStats{Candidates: n}
+	st = StreamStats{Candidates: n}
 	if n == 0 {
 		return st, ctx.Err()
 	}
@@ -161,10 +170,10 @@ func (e *Engine) streamRange(ctx context.Context, src Source, lo, hi int, sink S
 		workers = (n + streamBlock - 1) / streamBlock
 	}
 	if workers <= 1 {
-		st, err := e.streamSerial(ctx, src, lo, hi, sink, st, tc)
+		st, err = e.streamSerial(ctx, src, lo, hi, sink, st, tc)
 		return finishStreamStats(st, tc), err
 	}
-	st, err := e.streamParallel(ctx, src, lo, hi, sink, st, workers, tc)
+	st, err = e.streamParallel(ctx, src, lo, hi, sink, st, workers, tc)
 	return finishStreamStats(st, tc), err
 }
 
@@ -354,6 +363,16 @@ func (e *Engine) streamParallel(ctx context.Context, src Source, lo, hi int, sin
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Worker containment: a panic in decode, evaluation or the sink
+			// (sinks run on worker goroutines via the sequencer) fails the
+			// stream with a *PanicError instead of crashing the process.
+			// sequencer.complete releases its lock while unwinding, so fail
+			// is safe to call here.
+			defer func() {
+				if r := recover(); r != nil {
+					seq.fail(newPanicError(r))
+				}
+			}()
 			cur := src.Cursor()
 			if plan != nil {
 				e.workerBlocks(ctx, plan, cur.(*spaceCursor), seq, &nextBlock, lo, hi, window, tc, stop)

@@ -1,0 +1,101 @@
+// Package faultpoint provides named fault-injection hooks for chaos
+// testing. Production code marks interesting failure boundaries with
+// Hit("pkg.operation"); tests arm a point with a hook that returns an
+// error or panics, exercising the recovery path exactly where a real
+// fault would strike. Disarmed points cost one atomic load — cheap enough
+// for hot paths — and the hooks ship in regular builds so the chaos
+// harness can drive real binaries, not test doubles.
+package faultpoint
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	// armed counts armed points globally; the fast path checks it before
+	// touching the map.
+	armed atomic.Int32
+
+	mu     sync.Mutex
+	points = map[string][]*hook{}
+)
+
+type hook struct {
+	fn func() error
+	// remaining is the number of future Hit calls this hook fires on;
+	// negative means unlimited.
+	remaining int
+	// after skips this many Hit calls before the hook starts firing.
+	after int
+}
+
+// Hit fires the named fault point. With no armed hook it returns nil.
+// An armed hook may return an error (the call site treats it as the
+// operation failing) or panic (simulating a worker crash).
+func Hit(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	fn := claim(name)
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
+
+// claim selects the first eligible hook for name and consumes one firing.
+func claim(name string) func() error {
+	mu.Lock()
+	defer mu.Unlock()
+	for _, h := range points[name] {
+		if h.remaining == 0 {
+			continue
+		}
+		if h.after > 0 {
+			h.after--
+			continue
+		}
+		if h.remaining > 0 {
+			h.remaining--
+		}
+		return h.fn
+	}
+	return nil
+}
+
+// Arm installs fn at the named point and returns a disarm func. The hook
+// fires on every Hit until disarmed.
+func Arm(name string, fn func() error) func() {
+	return ArmN(name, 0, -1, fn)
+}
+
+// ArmN installs fn at the named point, skipping the first `after` hits and
+// firing on at most `count` (negative = unlimited). Returns a disarm func;
+// disarming is idempotent and safe after the hook is exhausted.
+func ArmN(name string, after, count int, fn func() error) func() {
+	h := &hook{fn: fn, remaining: count, after: after}
+	mu.Lock()
+	points[name] = append(points[name], h)
+	mu.Unlock()
+	armed.Add(1)
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			mu.Lock()
+			hooks := points[name]
+			for i, x := range hooks {
+				if x == h {
+					points[name] = append(hooks[:i:i], hooks[i+1:]...)
+					break
+				}
+			}
+			if len(points[name]) == 0 {
+				delete(points, name)
+			}
+			mu.Unlock()
+			armed.Add(-1)
+		})
+	}
+}

@@ -1,0 +1,53 @@
+package faultpoint
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDisarmedIsNil(t *testing.T) {
+	if err := Hit("nobody.armed.this"); err != nil {
+		t.Fatalf("disarmed point returned %v", err)
+	}
+}
+
+func TestArmFireDisarm(t *testing.T) {
+	boom := errors.New("boom")
+	disarm := Arm("fp.test", func() error { return boom })
+	if err := Hit("fp.test"); err != boom {
+		t.Fatalf("armed point returned %v, want boom", err)
+	}
+	if err := Hit("fp.test"); err != boom {
+		t.Fatalf("unlimited hook stopped firing: %v", err)
+	}
+	disarm()
+	if err := Hit("fp.test"); err != nil {
+		t.Fatalf("disarmed point returned %v", err)
+	}
+	disarm() // idempotent
+}
+
+func TestArmNSkipAndCount(t *testing.T) {
+	boom := errors.New("boom")
+	disarm := ArmN("fp.test.n", 2, 1, func() error { return boom })
+	defer disarm()
+	for i := 0; i < 2; i++ {
+		if err := Hit("fp.test.n"); err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+	}
+	if err := Hit("fp.test.n"); err != boom {
+		t.Fatalf("hit 2 returned %v, want boom", err)
+	}
+	if err := Hit("fp.test.n"); err != nil {
+		t.Fatalf("exhausted hook fired again: %v", err)
+	}
+}
+
+func TestOtherPointsUnaffected(t *testing.T) {
+	disarm := Arm("fp.test.a", func() error { return errors.New("a") })
+	defer disarm()
+	if err := Hit("fp.test.b"); err != nil {
+		t.Fatalf("unrelated point returned %v", err)
+	}
+}

@@ -1,0 +1,153 @@
+// FileStore: the append-only durable job store. One NDJSON record per
+// line, fsync'd per append, replayed at open. A crash can leave at most
+// one torn trailing line; replay tolerates exactly that (and truncates
+// it), so recovery always lands on the last fully-durable record — the
+// definition of "the last checkpoint" the byte-identical resume guarantee
+// is stated against.
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/faultpoint"
+)
+
+// FileStore persists records to a single append-only file. Safe for
+// concurrent Appends.
+type FileStore struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// OpenFileStore opens (creating if absent) the store file. A torn
+// trailing line from a crashed writer is truncated away.
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: open store: %w", err)
+	}
+	end, err := scanComplete(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(end); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("jobs: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("jobs: seek: %w", err)
+	}
+	return &FileStore{f: f, path: path}, nil
+}
+
+// scanComplete returns the byte offset after the last newline-terminated
+// record.
+func scanComplete(f *os.File) (int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("jobs: seek: %w", err)
+	}
+	var end int64
+	r := bufio.NewReader(f)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == nil {
+			end += int64(len(line))
+			continue
+		}
+		if err == io.EOF {
+			return end, nil // a partial final line (len(line) > 0) is torn
+		}
+		return 0, fmt.Errorf("jobs: scan store: %w", err)
+	}
+}
+
+// Path returns the backing file's path.
+func (s *FileStore) Path() string { return s.path }
+
+// Append writes one record and fsyncs before returning: when Append
+// returns nil the record survives a power cut.
+func (s *FileStore) Append(rec Record) error {
+	if err := faultpoint.Hit(FaultPointAppend); err != nil {
+		return err
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobs: marshal record: %w", err)
+	}
+	b = append(b, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("jobs: store is closed")
+	}
+	if _, err := s.f.Write(b); err != nil {
+		return fmt.Errorf("jobs: append record: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("jobs: fsync record: %w", err)
+	}
+	return nil
+}
+
+// Load replays the complete records. The open-time truncation already
+// removed any torn tail, but Load re-tolerates one for the
+// reopened-while-writer-lives case the chaos harness exercises.
+func (s *FileStore) Load() ([]JobState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil, fmt.Errorf("jobs: store is closed")
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("jobs: seek: %w", err)
+	}
+	defer s.f.Seek(0, io.SeekEnd)
+
+	byID := make(map[string]*JobState)
+	var order []string
+	sc := bufio.NewScanner(s.f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn tail shows up as the final unparsable line; everything
+			// durable precedes it.
+			break
+		}
+		if err := applyRecord(byID, &order, rec); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("jobs: replay store: %w", err)
+	}
+	out := make([]JobState, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byID[id])
+	}
+	return out, nil
+}
+
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

@@ -1,0 +1,459 @@
+// Unit tests for the job tier: lifecycle, idempotency, quotas, events,
+// cancellation, shedding, store replay. The fault-driven paths live in
+// chaos_test.go.
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/faultpoint"
+	"repro/internal/server/apitypes"
+)
+
+// testSpec is a 48-candidate space mixing successes and wafer failures
+// (the 500e9-gate points at 7 nm exceed the wafer), so summaries exercise
+// both reducer paths.
+func testSpec() Spec {
+	return Spec{
+		Space: apitypes.SpaceSpec{
+			Name:          "jobs-test",
+			Integrations:  []string{"hybrid-3d"},
+			Strategies:    []string{"homogeneous", "heterogeneous"},
+			NodesNM:       []int{5, 7},
+			Gates:         []float64{17e9, 500e9},
+			UseLocations:  []string{"usa", "norway", "india"},
+			LifetimeYears: []float64{5, 10},
+		},
+		Top: 10,
+	}
+}
+
+func testResolve(t testing.TB) func([]byte) (*explore.Engine, error) {
+	t.Helper()
+	eng := explore.New(core.Default())
+	return func(params []byte) (*explore.Engine, error) {
+		if len(params) != 0 && string(params) != "null" {
+			return nil, errors.New("test resolver accepts no overlays")
+		}
+		return eng, nil
+	}
+}
+
+func newTestService(t testing.TB, opts Options) *Service {
+	t.Helper()
+	if opts.Resolve == nil {
+		opts.Resolve = testResolve(t)
+	}
+	if opts.CheckpointEvery == 0 {
+		opts.CheckpointEvery = 8
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("new service: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s
+}
+
+// waitState polls until the job reaches a terminal state (or the wanted
+// one) and returns its record.
+func waitState(t testing.TB, s *Service, id string, want State) Job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		job, _, _, err := s.Get(id)
+		if err != nil {
+			t.Fatalf("get %s: %v", id, err)
+		}
+		if job.State == want {
+			return job
+		}
+		if job.State.Terminal() {
+			t.Fatalf("job %s reached %q (error=%q panic=%q), want %q",
+				id, job.State, job.Error, job.Panic, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not reach %q in time", id, want)
+	return Job{}
+}
+
+// goldenSummary runs the spec uninterrupted on a fresh service and
+// returns the summary bytes — the byte-identity reference every chaos
+// scenario compares against.
+func goldenSummary(t testing.TB, spec Spec) []byte {
+	t.Helper()
+	s := newTestService(t, Options{})
+	job, err := s.Submit("golden", "", spec)
+	if err != nil {
+		t.Fatalf("submit golden: %v", err)
+	}
+	waitState(t, s, job.ID, StateDone)
+	_, _, sum, err := s.Get(job.ID)
+	if err != nil || sum == nil {
+		t.Fatalf("golden summary: %v (nil=%v)", err, sum == nil)
+	}
+	return sum
+}
+
+func TestJobLifecycle(t *testing.T) {
+	s := newTestService(t, Options{})
+	job, err := s.Submit("alice", "", testSpec())
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if job.State != StateQueued || job.Total != 48 {
+		t.Fatalf("submitted job = %+v, want queued with 48 candidates", job)
+	}
+	if job.SpecFP == "" || job.ParamsFP != "baseline" {
+		t.Fatalf("fingerprints not set: %+v", job)
+	}
+	done := waitState(t, s, job.ID, StateDone)
+	if done.Finished.IsZero() || done.Started.IsZero() {
+		t.Errorf("timestamps not set: %+v", done)
+	}
+
+	_, prog, sum, err := s.Get(job.ID)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if prog.NextIndex != prog.Total {
+		t.Errorf("progress %+v not complete", prog)
+	}
+	var summary Summary
+	if err := json.Unmarshal(sum, &summary); err != nil {
+		t.Fatalf("summary: %v", err)
+	}
+	if summary.Candidates != 48 || summary.Evaluated == 0 || summary.Failed == 0 {
+		t.Errorf("summary does not mix successes and failures: %+v", summary)
+	}
+	if len(summary.Ranked) != 10 {
+		t.Errorf("ranked has %d entries, want Top=10", len(summary.Ranked))
+	}
+
+	// The event stream: queued, running, progress…, summary, done.
+	evs, _, stop, err := s.EventsSince(job.ID, 1)
+	if err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	stop()
+	var kinds []string
+	for i, ev := range evs {
+		if ev.Seq != i+1 {
+			t.Fatalf("event %d has seq %d — not contiguous", i, ev.Seq)
+		}
+		kinds = append(kinds, ev.Type)
+	}
+	if kinds[0] != "state" || kinds[len(kinds)-1] != "state" {
+		t.Errorf("event kinds = %v", kinds)
+	}
+	if evs[len(evs)-2].Type != "summary" {
+		t.Errorf("penultimate event is %q, want summary", evs[len(evs)-2].Type)
+	}
+
+	// Resume cursor: from=n returns only events ≥ n.
+	tail, _, stop2, err := s.EventsSince(job.ID, len(evs))
+	if err != nil {
+		t.Fatalf("events from tail: %v", err)
+	}
+	stop2()
+	if len(tail) != 1 || tail[0].Seq != len(evs) {
+		t.Errorf("from=%d returned %d events", len(evs), len(tail))
+	}
+}
+
+func TestIdempotentSubmit(t *testing.T) {
+	s := newTestService(t, Options{})
+	a, err := s.Submit("alice", "key-1", testSpec())
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	b, err := s.Submit("alice", "key-1", testSpec())
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	if a.ID != b.ID {
+		t.Fatalf("idempotent resubmit created a new job: %s vs %s", a.ID, b.ID)
+	}
+	// A different tenant with the same key gets its own job.
+	c, err := s.Submit("bob", "key-1", testSpec())
+	if err != nil {
+		t.Fatalf("other tenant: %v", err)
+	}
+	if c.ID == a.ID {
+		t.Fatal("idempotency keys leaked across tenants")
+	}
+}
+
+func TestTenantQuota(t *testing.T) {
+	s := newTestService(t, Options{MaxActivePerTenant: 1, MaxRunning: 1})
+	spec := testSpec()
+	a, err := s.Submit("alice", "", spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	_, err = s.Submit("alice", "", spec)
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.Code != "quota_exceeded" {
+		t.Fatalf("second submit = %v, want quota_exceeded", err)
+	}
+	if qe.RetryAfter <= 0 {
+		t.Errorf("quota error has no Retry-After: %+v", qe)
+	}
+	// Another tenant is unaffected.
+	if _, err := s.Submit("bob", "", spec); err != nil {
+		t.Fatalf("other tenant blocked: %v", err)
+	}
+	// The slot frees when the job finishes.
+	waitState(t, s, a.ID, StateDone)
+	if _, err := s.Submit("alice", "", spec); err != nil {
+		t.Fatalf("submit after completion: %v", err)
+	}
+}
+
+func TestRateLimit(t *testing.T) {
+	s := newTestService(t, Options{RatePerSec: 0.001, Burst: 2})
+	spec := testSpec()
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit("alice", "", spec); err != nil {
+			t.Fatalf("burst submit %d: %v", i, err)
+		}
+	}
+	_, err := s.Submit("alice", "", spec)
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.Code != "rate_limited" {
+		t.Fatalf("over-burst submit = %v, want rate_limited", err)
+	}
+	if qe.RetryAfter < time.Second {
+		t.Errorf("RetryAfter %v < 1s", qe.RetryAfter)
+	}
+}
+
+func TestInvalidSpec(t *testing.T) {
+	s := newTestService(t, Options{})
+	bad := testSpec()
+	bad.Space.UseLocations = []string{"atlantis"}
+	_, err := s.Submit("alice", "", bad)
+	var se *SpecError
+	if !errors.As(err, &se) {
+		t.Fatalf("invalid location = %v, want SpecError", err)
+	}
+
+	big := testSpec()
+	big.Budget = 0
+	s2 := newTestService(t, Options{MaxSpace: 10})
+	if _, err := s2.Submit("alice", "", big); !errors.As(err, &se) {
+		t.Fatalf("over-limit space = %v, want SpecError", err)
+	}
+	// A budget brings the same space under the limit.
+	big.Budget = 10
+	if _, err := s2.Submit("alice", "", big); err != nil {
+		t.Fatalf("budgeted submit: %v", err)
+	}
+}
+
+func TestBudgetedJob(t *testing.T) {
+	s := newTestService(t, Options{})
+	spec := testSpec()
+	spec.Budget = 13
+	job, err := s.Submit("alice", "", spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if job.Total != 13 {
+		t.Fatalf("budgeted total = %d, want 13", job.Total)
+	}
+	waitState(t, s, job.ID, StateDone)
+	_, _, sum, _ := s.Get(job.ID)
+	var summary Summary
+	json.Unmarshal(sum, &summary)
+	if summary.Candidates != 13 || summary.Evaluated+summary.Failed != 13 {
+		t.Errorf("budgeted summary = %+v", summary)
+	}
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	// MaxRunning 1: the second job stays queued while the first runs.
+	s := newTestService(t, Options{MaxRunning: 1, CheckpointEvery: 4})
+	a, _ := s.Submit("alice", "", testSpec())
+	b, _ := s.Submit("alice", "", testSpec())
+
+	if job, err := s.Cancel(b.ID); err != nil || job.State != StateCancelled {
+		t.Fatalf("cancel queued = %+v, %v", job, err)
+	}
+	if _, err := s.Cancel(a.ID); err != nil {
+		t.Fatalf("cancel running: %v", err)
+	}
+	job := waitState(t, s, a.ID, StateCancelled)
+	if job.State != StateCancelled {
+		t.Fatalf("running job state %q", job.State)
+	}
+	// Cancelling a terminal job is a no-op.
+	if job, err := s.Cancel(a.ID); err != nil || job.State != StateCancelled {
+		t.Fatalf("re-cancel = %+v, %v", job, err)
+	}
+	if _, err := s.Cancel("j999999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("cancel unknown = %v, want ErrNotFound", err)
+	}
+}
+
+func TestShedParksAndResumes(t *testing.T) {
+	golden := goldenSummary(t, testSpec())
+
+	s := newTestService(t, Options{MaxRunning: 1, CheckpointEvery: 4})
+	job, err := s.Submit("alice", "", testSpec())
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	// Wait until it runs, then park it (possibly repeatedly — Shed is
+	// boundary-based, so the job may finish before the park lands).
+	deadline := time.Now().Add(30 * time.Second)
+	parked := false
+	for time.Now().Before(deadline) && !parked {
+		j, _, _, _ := s.Get(job.ID)
+		if j.State.Terminal() {
+			break
+		}
+		if j.State == StateRunning && s.Shed() {
+			parked = true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	done := waitState(t, s, job.ID, StateDone)
+	if done.State != StateDone {
+		t.Fatalf("job ended %q", done.State)
+	}
+	_, _, sum, _ := s.Get(job.ID)
+	if string(sum) != string(golden) {
+		t.Fatalf("summary after shed differs from golden\ngot:  %s\nwant: %s", sum, golden)
+	}
+	if parked {
+		// The event log must record the park.
+		evs, _, stop, _ := s.EventsSince(job.ID, 1)
+		stop()
+		var shed bool
+		for _, ev := range evs {
+			if ev.Type == "state" && ev.State == StateShedding {
+				shed = true
+			}
+		}
+		if !shed {
+			t.Error("no shedding event recorded")
+		}
+	}
+}
+
+func TestLoadWatcherSheds(t *testing.T) {
+	var load atomic64
+	s := newTestService(t, Options{
+		MaxRunning:      1,
+		CheckpointEvery: 2,
+		Load:            load.get,
+		HighWater:       0.9,
+		LowWater:        0.5,
+		LoadInterval:    time.Millisecond,
+	})
+	// Throttle delivery so the park lands before the job can finish.
+	disarm := faultpoint.Arm(FaultPointSink, func() error {
+		time.Sleep(500 * time.Microsecond)
+		return nil
+	})
+	defer disarm()
+	job, _ := s.Submit("alice", "", testSpec())
+	waitState(t, s, job.ID, StateRunning)
+	load.set(1.0) // above high water: the watcher parks the job
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if j, _, _, _ := s.Get(job.ID); j.State == StateShedding || j.State == StateQueued {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	j, _, _, _ := s.Get(job.ID)
+	if j.State != StateShedding && j.State != StateQueued {
+		t.Fatalf("job not parked under load: %q", j.State)
+	}
+	load.set(0.1) // below low water: it resumes and finishes
+	waitState(t, s, job.ID, StateDone)
+}
+
+func TestFileStoreReplayResumes(t *testing.T) {
+	golden := goldenSummary(t, testSpec())
+	path := filepath.Join(t.TempDir(), "jobs.ndjson")
+
+	store, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	s := newTestService(t, Options{Store: store, CheckpointEvery: 4})
+	job, err := s.Submit("alice", "idem-xyz", testSpec())
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitState(t, s, job.ID, StateDone)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// A fresh service over the same file sees the finished job, its
+	// summary, its events and its idempotency key.
+	store2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatalf("reopen store: %v", err)
+	}
+	s2 := newTestService(t, Options{Store: store2, CheckpointEvery: 4})
+	got, _, sum, err := s2.Get(job.ID)
+	if err != nil {
+		t.Fatalf("get after replay: %v", err)
+	}
+	if got.State != StateDone {
+		t.Fatalf("replayed state %q", got.State)
+	}
+	if string(sum) != string(golden) {
+		t.Fatalf("replayed summary differs from golden\ngot:  %s\nwant: %s", sum, golden)
+	}
+	dup, err := s2.Submit("alice", "idem-xyz", testSpec())
+	if err != nil || dup.ID != job.ID {
+		t.Fatalf("idempotency lost across restart: %+v, %v", dup, err)
+	}
+}
+
+func TestPartialSummary(t *testing.T) {
+	s := newTestService(t, Options{MaxRunning: 1, CheckpointEvery: 4})
+	job, _ := s.Submit("alice", "", testSpec())
+	waitState(t, s, job.ID, StateDone)
+	sum, err := s.PartialSummary(job.ID)
+	if err != nil {
+		t.Fatalf("partial: %v", err)
+	}
+	_, _, final, _ := s.Get(job.ID)
+	if string(sum) != string(final) {
+		t.Errorf("terminal partial summary differs from final")
+	}
+	if _, err := s.PartialSummary("j999999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("partial of unknown job = %v", err)
+	}
+}
+
+// atomic64 is a tiny float load knob for the load-watcher test.
+type atomic64 struct {
+	mu sync.Mutex
+	v  float64
+}
+
+func (a *atomic64) set(v float64) { a.mu.Lock(); a.v = v; a.mu.Unlock() }
+func (a *atomic64) get() float64  { a.mu.Lock(); defer a.mu.Unlock(); return a.v }

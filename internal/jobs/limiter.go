@@ -1,0 +1,146 @@
+// Per-tenant admission control: a token-bucket submission rate limit and
+// a concurrent-active-jobs quota. Both violations surface as
+// *QuotaError with a Retry-After the HTTP layer forwards, so clients can
+// back off precisely instead of guessing.
+package jobs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// QuotaError is a structured admission rejection.
+type QuotaError struct {
+	// Code is "rate_limited" or "quota_exceeded".
+	Code string
+	// RetryAfter is the minimum useful wait before resubmitting.
+	RetryAfter time.Duration
+	Message    string
+}
+
+func (e *QuotaError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// tokenBucket is a standard refill-on-demand token bucket.
+type tokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// take consumes one token, or reports how long until one accrues.
+func (b *tokenBucket) take(now time.Time) (ok bool, wait time.Duration) {
+	if b.last.IsZero() {
+		b.tokens = b.burst
+	} else {
+		b.tokens = math.Min(b.burst, b.tokens+now.Sub(b.last).Seconds()*b.rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// tenantLimits gates one tenant's submissions and active jobs.
+type tenantLimits struct {
+	bucket tokenBucket
+	active int
+}
+
+// limiter tracks every tenant. The zero ratePerSec/burst/maxActive mean
+// "unlimited" on that axis.
+type limiter struct {
+	mu         sync.Mutex
+	ratePerSec float64
+	burst      int
+	maxActive  int
+	tenants    map[string]*tenantLimits
+	now        func() time.Time
+}
+
+func newLimiter(ratePerSec float64, burst, maxActive int, now func() time.Time) *limiter {
+	return &limiter{
+		ratePerSec: ratePerSec,
+		burst:      burst,
+		maxActive:  maxActive,
+		tenants:    make(map[string]*tenantLimits),
+		now:        now,
+	}
+}
+
+func (l *limiter) tenant(id string) *tenantLimits {
+	t, ok := l.tenants[id]
+	if !ok {
+		t = &tenantLimits{bucket: tokenBucket{rate: l.ratePerSec, burst: float64(l.burst)}}
+		l.tenants[id] = t
+	}
+	return t
+}
+
+// admit charges one submission against the tenant, or rejects it with a
+// QuotaError. On success the tenant's active count is incremented; the
+// caller must release when the job leaves the active set.
+func (l *limiter) admit(tenant string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t := l.tenant(tenant)
+	if l.maxActive > 0 && t.active >= l.maxActive {
+		return &QuotaError{
+			Code:       "quota_exceeded",
+			RetryAfter: time.Second,
+			Message: fmt.Sprintf("tenant %q has %d active jobs (limit %d); retry after one finishes",
+				tenant, t.active, l.maxActive),
+		}
+	}
+	if l.ratePerSec > 0 {
+		ok, wait := t.bucket.take(l.now())
+		if !ok {
+			// Ceil to whole seconds: Retry-After is integral on the wire and
+			// rounding down would invite a guaranteed second rejection.
+			secs := int(math.Ceil(wait.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			return &QuotaError{
+				Code:       "rate_limited",
+				RetryAfter: time.Duration(secs) * time.Second,
+				Message: fmt.Sprintf("tenant %q exceeds %.3g submissions/s (burst %d)",
+					tenant, l.ratePerSec, l.burst),
+			}
+		}
+	}
+	t.active++
+	return nil
+}
+
+// reserve re-counts an active job without charging the token bucket —
+// boot-time recovery of jobs that were already admitted.
+func (l *limiter) reserve(tenant string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tenant(tenant).active++
+}
+
+// release returns one active slot to the tenant.
+func (l *limiter) release(tenant string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if t, ok := l.tenants[tenant]; ok && t.active > 0 {
+		t.active--
+	}
+}
+
+// activeOf reports a tenant's active jobs (tests, stats).
+func (l *limiter) activeOf(tenant string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if t, ok := l.tenants[tenant]; ok {
+		return t.active
+	}
+	return 0
+}

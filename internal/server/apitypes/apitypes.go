@@ -512,4 +512,6 @@ type StatsResponse struct {
 	Profiles ProfileStats `json:"profiles"`
 	// Optimize aggregates the optimizer runs served by POST /v1/optimize.
 	Optimize OptimizeCounters `json:"optimize"`
+	// Jobs aggregates the async job tier (absent when it failed to boot).
+	Jobs *JobsCounters `json:"jobs,omitempty"`
 }

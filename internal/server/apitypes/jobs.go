@@ -1,0 +1,86 @@
+// Wire types for the async job tier (/v1/jobs). A job runs the same
+// exploration surface as POST /v1/explore, but detached from the request:
+// the server checkpoints progress durably and the client attaches,
+// detaches and resumes through cursors instead of holding one long
+// connection open.
+package apitypes
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// JobRequest is the body of POST /v1/jobs. It mirrors ExploreRequest
+// plus an optional evaluation budget.
+type JobRequest struct {
+	Space SpaceSpec `json:"space"`
+	// Top bounds the ranked candidate IDs of the summary (0 = all).
+	Top int `json:"top,omitempty"`
+	// Params is an optional ParameterSet overlay (see EvaluateRequest).
+	Params json.RawMessage `json:"params,omitempty"`
+	// Budget caps the candidates evaluated (0 = the whole space), taken in
+	// enumeration order so equal budgets give equal summaries.
+	Budget int `json:"budget,omitempty"`
+}
+
+// JobStatus is the response of POST /v1/jobs and GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	// State is queued | running | shedding | done | failed | cancelled.
+	State string `json:"state"`
+	// SpecFingerprint/ParamsFingerprint identify what the job computes;
+	// two jobs with equal fingerprints produce byte-identical summaries.
+	SpecFingerprint   string `json:"spec_fp"`
+	ParamsFingerprint string `json:"params_fp"`
+	// Error/Panic carry the failure detail for state "failed".
+	Error string `json:"error,omitempty"`
+	Panic string `json:"panic,omitempty"`
+	// NextIndex/Total locate the job inside its enumeration: every
+	// candidate below NextIndex is durably folded into the summary.
+	NextIndex int `json:"next_index"`
+	Total     int `json:"total"`
+	// Summary holds the canonical summary bytes once done, or a partial
+	// summary rendered from the last checkpoint while running (GET only).
+	Summary  json.RawMessage `json:"summary,omitempty"`
+	Created  time.Time       `json:"created"`
+	Started  time.Time       `json:"started,omitempty"`
+	Finished time.Time       `json:"finished,omitempty"`
+}
+
+// JobProgress is the position carried by progress events.
+type JobProgress struct {
+	NextIndex int `json:"next_index"`
+	Total     int `json:"total"`
+}
+
+// JobEvent is one NDJSON line of GET /v1/jobs/{id}/events. Seq is
+// per-job, 1-based and contiguous: a client that saw seq n resumes the
+// stream with ?from=n+1 after any disconnect.
+type JobEvent struct {
+	Seq  int    `json:"seq"`
+	Type string `json:"type"` // "state" | "progress" | "summary" | "error"
+	// State accompanies state events.
+	State string `json:"state,omitempty"`
+	// Progress accompanies progress events (one per durable checkpoint).
+	Progress *JobProgress `json:"progress,omitempty"`
+	// Summary accompanies the terminal summary event; its bytes are
+	// byte-identical across crashes and resumes.
+	Summary json.RawMessage `json:"summary,omitempty"`
+	// Error accompanies error events (contained worker panics, re-runs).
+	Error string `json:"error,omitempty"`
+}
+
+// JobsCounters are the job-tier counters behind /v1/stats.
+type JobsCounters struct {
+	Submitted uint64 `json:"submitted"`
+	Done      uint64 `json:"done"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+	// Shed counts park events (a job can shed more than once).
+	Shed uint64 `json:"shed"`
+	// Rejected counts admission rejections (rate limits and quotas).
+	Rejected uint64 `json:"rejected"`
+	Running  int    `json:"running"`
+	Queued   int    `json:"queued"`
+}

@@ -1,0 +1,299 @@
+// The /v1/jobs endpoints: the crash-resumable async exploration tier.
+// Where POST /v1/explore holds one connection open for the whole
+// enumeration, a job detaches the work from the request — the server
+// checkpoints progress durably (internal/jobs), clients poll status or
+// tail the event stream with a resume cursor, and a killed server picks
+// every unfinished job back up from its last checkpoint on restart.
+//
+//	POST   /v1/jobs             submit (X-Tenant, Idempotency-Key headers)
+//	GET    /v1/jobs             list this tenant's jobs
+//	GET    /v1/jobs/{id}        status + partial summary
+//	GET    /v1/jobs/{id}/events NDJSON event stream, resumable via ?from=
+//	DELETE /v1/jobs/{id}        cancel
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/explore"
+	"repro/internal/jobs"
+	"repro/internal/server/apitypes"
+)
+
+// newJobService builds the async tier over the server's engine resolver.
+// A nil Options.JobStore means in-memory (jobs do not survive restarts;
+// pass a FileStore for durability).
+func (s *Server) newJobService() (*jobs.Service, error) {
+	store := s.opts.JobStore
+	if store == nil {
+		store = &jobs.MemStore{}
+	}
+	return jobs.New(jobs.Options{
+		Store: store,
+		Resolve: func(params []byte) (*explore.Engine, error) {
+			eng, apiErr := s.resolveEngine(params)
+			if apiErr != nil {
+				return nil, apiErr
+			}
+			return eng, nil
+		},
+		MaxRunning:         s.opts.MaxRunningJobs,
+		CheckpointEvery:    s.opts.JobCheckpointEvery,
+		MaxSpace:           s.opts.MaxJobSpace,
+		RatePerSec:         s.opts.JobRatePerSec,
+		Burst:              s.opts.JobBurst,
+		MaxActivePerTenant: s.opts.MaxActiveJobsPerTenant,
+		// Shedding watches the interactive tier: when request slots
+		// saturate, parked jobs give their CPU back to request traffic.
+		Load: func() float64 {
+			return float64(s.inFlight.Load()) / float64(s.opts.maxConcurrent())
+		},
+		HighWater: s.opts.JobShedHighWater,
+		LowWater:  s.opts.JobShedLowWater,
+		Logger:    s.opts.Logger,
+	})
+}
+
+// Jobs exposes the job service (cmd/serve shutdown, tests). Nil when the
+// store failed to replay at boot — see JobsErr.
+func (s *Server) Jobs() *jobs.Service { return s.jobsSvc }
+
+// JobsErr reports why the job tier is unavailable (nil when it is fine).
+func (s *Server) JobsErr() error { return s.jobsErr }
+
+// tenantOf reads the submitter identity. Single-operator deployments can
+// ignore tenancy entirely; every request then shares one bucket.
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+// wireJobStatus flattens a job record (+progress, +summary bytes) to its
+// wire form.
+func wireJobStatus(j jobs.Job, p jobs.Progress, summary []byte) apitypes.JobStatus {
+	return apitypes.JobStatus{
+		ID:                j.ID,
+		Tenant:            j.Tenant,
+		State:             string(j.State),
+		SpecFingerprint:   j.SpecFP,
+		ParamsFingerprint: j.ParamsFP,
+		Error:             j.Error,
+		Panic:             j.Panic,
+		NextIndex:         p.NextIndex,
+		Total:             p.Total,
+		Summary:           summary,
+		Created:           j.Created,
+		Started:           j.Started,
+		Finished:          j.Finished,
+	}
+}
+
+func wireJobEvent(ev jobs.Event) apitypes.JobEvent {
+	out := apitypes.JobEvent{
+		Seq:     ev.Seq,
+		Type:    ev.Type,
+		State:   string(ev.State),
+		Summary: ev.Summary,
+		Error:   ev.Error,
+	}
+	if ev.Progress != nil {
+		out.Progress = &apitypes.JobProgress{
+			NextIndex: ev.Progress.NextIndex, Total: ev.Progress.Total,
+		}
+	}
+	return out
+}
+
+// jobErrStatus renders a jobs-tier error: 429 with Retry-After for
+// admission rejections (503 while draining), 400/422 for invalid specs
+// and parameter overlays, 404 for unknown jobs.
+func jobErrStatus(w http.ResponseWriter, err error) int {
+	var qe *jobs.QuotaError
+	if errors.As(err, &qe) {
+		status := http.StatusTooManyRequests
+		if qe.Code == "draining" {
+			status = http.StatusServiceUnavailable
+		}
+		secs := int(qe.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		return writeError(w, status, qe.Code, qe.Message)
+	}
+	var se *jobs.SpecError
+	if errors.As(err, &se) {
+		return writeError(w, http.StatusBadRequest, "bad_request", se.Message)
+	}
+	var ae *apitypes.Error
+	if errors.As(err, &ae) {
+		return writeError(w, errStatus(ae), ae.Code, ae.Message)
+	}
+	if errors.Is(err, jobs.ErrNotFound) {
+		return writeError(w, http.StatusNotFound, "not_found", "no such job")
+	}
+	return writeError(w, http.StatusInternalServerError, "internal", err.Error())
+}
+
+// jobsUnavailable guards every handler when the tier failed to boot.
+func (s *Server) jobsUnavailable(w http.ResponseWriter) int {
+	return writeError(w, http.StatusServiceUnavailable, "jobs_unavailable",
+		"job tier unavailable: "+s.jobsErr.Error())
+}
+
+// handleJobs serves the /v1/jobs collection: POST submits, GET lists.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) int {
+	if s.jobsSvc == nil {
+		return s.jobsUnavailable(w)
+	}
+	switch r.Method {
+	case http.MethodPost:
+		return s.handleJobSubmit(w, r)
+	case http.MethodGet:
+		tenant := tenantOf(r)
+		out := make([]apitypes.JobStatus, 0, 8)
+		for _, j := range s.jobsSvc.List() {
+			if j.Tenant != tenant {
+				continue
+			}
+			_, p, sum, err := s.jobsSvc.Get(j.ID)
+			if err != nil {
+				continue
+			}
+			out = append(out, wireJobStatus(j, p, sum))
+		}
+		return writeJSON(w, map[string]any{"jobs": out})
+	default:
+		w.Header().Set("Allow", "POST, GET")
+		return writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			"/v1/jobs requires POST or GET")
+	}
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) int {
+	var req apitypes.JobRequest
+	if err := s.decode(w, r, &req); err != nil {
+		return decodeStatus(w, err)
+	}
+	job, err := s.jobsSvc.Submit(tenantOf(r), r.Header.Get("Idempotency-Key"), jobs.Spec{
+		Space:  req.Space,
+		Top:    req.Top,
+		Params: req.Params,
+		Budget: req.Budget,
+	})
+	if err != nil {
+		return jobErrStatus(w, err)
+	}
+	_, p, sum, err := s.jobsSvc.Get(job.ID)
+	if err != nil {
+		return jobErrStatus(w, err)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(wireJobStatus(job, p, sum))
+	return http.StatusAccepted
+}
+
+// handleJob serves one job: GET status, GET events, DELETE cancel.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) int {
+	if s.jobsSvc == nil {
+		return s.jobsUnavailable(w)
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" || (sub != "" && sub != "events") {
+		return writeError(w, http.StatusNotFound, "not_found",
+			fmt.Sprintf("no such endpoint %q (see docs/API.md)", r.URL.Path))
+	}
+	switch {
+	case sub == "events" && r.Method == http.MethodGet:
+		return s.handleJobEvents(w, r, id)
+	case sub == "events":
+		w.Header().Set("Allow", http.MethodGet)
+		return writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			"/v1/jobs/{id}/events requires GET")
+	case r.Method == http.MethodGet:
+		job, p, sum, err := s.jobsSvc.Get(id)
+		if err != nil {
+			return jobErrStatus(w, err)
+		}
+		if sum == nil && p.NextIndex > 0 {
+			// Running (or parked) with durable progress: render the partial
+			// summary as of the last checkpoint.
+			sum, _ = s.jobsSvc.PartialSummary(id)
+		}
+		return writeJSON(w, wireJobStatus(job, p, sum))
+	case r.Method == http.MethodDelete:
+		job, err := s.jobsSvc.Cancel(id)
+		if err != nil {
+			return jobErrStatus(w, err)
+		}
+		_, p, sum, _ := s.jobsSvc.Get(id)
+		return writeJSON(w, wireJobStatus(job, p, sum))
+	default:
+		w.Header().Set("Allow", "GET, DELETE")
+		return writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			"/v1/jobs/{id} requires GET or DELETE")
+	}
+}
+
+// handleJobEvents tails a job's event stream as NDJSON. ?from=<seq>
+// resumes after a disconnect: events are per-job, 1-based, contiguous,
+// so a client that saw seq n asks for from=n+1 and misses nothing. The
+// stream ends after the terminal state event.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request, id string) int {
+	from := 1
+	if raw := r.URL.Query().Get("from"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			return writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("invalid ?from=%q: want a positive event seq", raw))
+		}
+		from = n
+	}
+	evs, notify, stop, err := s.jobsSvc.EventsSince(id, from)
+	if err != nil {
+		return jobErrStatus(w, err)
+	}
+	defer stop()
+
+	out := newNDJSONWriter(w)
+	next := from
+	writeBatch := func(batch []jobs.Event) (terminal bool, err error) {
+		for _, ev := range batch {
+			if err := out.event(wireJobEvent(ev)); err != nil {
+				return false, errClientGone
+			}
+			next = ev.Seq + 1
+			if ev.Type == "state" && ev.State.Terminal() {
+				terminal = true
+			}
+		}
+		out.flush()
+		return terminal, nil
+	}
+	done, err := writeBatch(evs)
+	for !done && err == nil {
+		select {
+		case <-r.Context().Done():
+			return statusClientClosedRequest
+		case <-notify:
+		case <-time.After(time.Second):
+			// Fallback poll: a notify tick can be dropped under load (the
+			// channel is non-blocking on the emit side).
+		}
+		done, err = writeBatch(s.jobsSvc.More(id, next))
+	}
+	if err != nil {
+		return statusClientClosedRequest
+	}
+	return http.StatusOK
+}

@@ -29,9 +29,9 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) int {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	release, ok := s.acquire(ctx)
-	if !ok {
-		return cancelStatus(w, ctx.Err())
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return acquireStatus(w, err)
 	}
 	defer release()
 	// The engine resolves first so the space's locations are validated

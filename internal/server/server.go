@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/ic"
+	"repro/internal/jobs"
 	"repro/internal/params"
 	"repro/internal/server/apitypes"
 	"repro/internal/split"
@@ -130,6 +131,48 @@ type Options struct {
 	// expose internals and hold write locks, so they are opt-in and should
 	// stay unreachable from untrusted networks.
 	EnableProfiling bool
+
+	// JobStore persists the async job tier (/v1/jobs); nil means in-memory
+	// (jobs do not survive restarts). Pass jobs.OpenFileStore for a
+	// crash-recoverable log.
+	JobStore jobs.Store
+	// MaxRunningJobs caps concurrently executing jobs; ≤0 means the jobs
+	// package default.
+	MaxRunningJobs int
+	// JobCheckpointEvery is the candidates evaluated between durable job
+	// checkpoints; ≤0 means the jobs package default.
+	JobCheckpointEvery int
+	// MaxJobSpace bounds the candidates one job may evaluate; ≤0 means the
+	// jobs package default.
+	MaxJobSpace int
+	// JobRatePerSec/JobBurst rate-limit job submissions per tenant
+	// (token bucket); 0 disables rate limiting.
+	JobRatePerSec float64
+	JobBurst      int
+	// MaxActiveJobsPerTenant caps one tenant's queued+running jobs;
+	// 0 means unlimited.
+	MaxActiveJobsPerTenant int
+	// JobShedHighWater/JobShedLowWater bound the load-shedding hysteresis:
+	// running jobs are parked (checkpointed and re-queued) while the
+	// interactive tier's slot usage stays at or above the high water, and
+	// resume once it falls to the low water. 0 means the jobs defaults.
+	JobShedHighWater float64
+	JobShedLowWater  float64
+	// DrainTimeout bounds graceful shutdown: the window for in-flight
+	// requests to finish and running jobs to reach a checkpoint; 0 means
+	// DefaultDrainTimeout.
+	DrainTimeout time.Duration
+}
+
+// DefaultDrainTimeout bounds graceful shutdown when Options.DrainTimeout
+// is zero.
+const DefaultDrainTimeout = 10 * time.Second
+
+func (o Options) drainTimeout() time.Duration {
+	if o.DrainTimeout > 0 {
+		return o.DrainTimeout
+	}
+	return DefaultDrainTimeout
 }
 
 func (o Options) cacheLimit() int {
@@ -232,6 +275,13 @@ type Server struct {
 	shared    *explore.SharedCache
 	profiles  *profileCache
 
+	// jobsSvc is the async job tier; jobsErr records a boot failure
+	// (store replay), in which case the /v1/jobs endpoints serve 503.
+	// draining flips /readyz to 503 while shutdown drains.
+	jobsSvc  *jobs.Service
+	jobsErr  error
+	draining atomic.Bool
+
 	inFlight  atomic.Int64
 	evaluated atomic.Uint64
 	metrics   map[string]*endpointMetrics
@@ -305,6 +355,14 @@ func New(opts Options) *Server {
 	s.route("/v1/meta", http.MethodGet, s.handleMeta)
 	s.route("/v1/stats", http.MethodGet, s.handleStats)
 	s.route("/healthz", http.MethodGet, s.handleHealth)
+	s.route("/readyz", http.MethodGet, s.handleReady)
+	// The job tier dispatches methods itself: the collection takes POST
+	// and GET, the item GET and DELETE plus the /events sub-resource.
+	s.routeAny("/v1/jobs", s.handleJobs)
+	s.routeAny("/v1/jobs/", s.handleJob)
+	if s.jobsSvc, s.jobsErr = s.newJobService(); s.jobsErr != nil && opts.Logger != nil {
+		opts.Logger.Printf("jobs: tier unavailable: %v", s.jobsErr)
+	}
 	if opts.EnableProfiling {
 		// Mounted on the server's own mux (not http.DefaultServeMux) and
 		// outside route(): profile requests are long-polls that would
@@ -330,18 +388,23 @@ type handlerFunc func(w http.ResponseWriter, r *http.Request) int
 
 // route registers a method-checked, metered handler.
 func (s *Server) route(path, method string, h handlerFunc) {
+	s.routeAny(path, func(w http.ResponseWriter, r *http.Request) int {
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			return writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+				fmt.Sprintf("%s requires %s", path, method))
+		}
+		return h(w, r)
+	})
+}
+
+// routeAny registers a metered handler that dispatches methods itself.
+func (s *Server) routeAny(path string, h handlerFunc) {
 	em := &endpointMetrics{}
 	s.metrics[path] = em
 	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		var status int
-		if r.Method != method {
-			w.Header().Set("Allow", method)
-			status = writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
-				fmt.Sprintf("%s requires %s", path, method))
-		} else {
-			status = h(w, r)
-		}
+		status := h(w, r)
 		em.requests.Add(1)
 		if status >= 400 {
 			em.errors.Add(1)
@@ -375,19 +438,41 @@ func writeJSON(w http.ResponseWriter, v any) int {
 // before the evaluation finished.
 const statusClientClosedRequest = 499
 
-// acquire takes an evaluation slot, or fails when the request's context
-// expires while queued. The returned release must be called iff ok.
-func (s *Server) acquire(ctx context.Context) (release func(), ok bool) {
+// errSaturated marks a request rejected because every evaluation slot is
+// taken. It renders as 429 + Retry-After, never as a timeout: queuing a
+// request behind a full semaphore until its deadline expired used to
+// misreport saturation as "evaluation exceeded the server's request
+// timeout", hiding the real condition from clients and dashboards.
+var errSaturated = errors.New("server: all evaluation slots busy")
+
+// acquire takes an evaluation slot, failing fast with errSaturated when
+// none is free (an already-expired context takes precedence). The
+// returned release must be called iff err is nil.
+func (s *Server) acquire(ctx context.Context) (release func(), err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	select {
 	case s.sem <- struct{}{}:
 		s.inFlight.Add(1)
 		return func() {
 			s.inFlight.Add(-1)
 			<-s.sem
-		}, true
-	case <-ctx.Done():
-		return nil, false
+		}, nil
+	default:
+		return nil, errSaturated
 	}
+}
+
+// acquireStatus renders an acquire failure: 429 + Retry-After for
+// saturation, the usual cancellation mapping otherwise.
+func acquireStatus(w http.ResponseWriter, err error) int {
+	if errors.Is(err, errSaturated) {
+		w.Header().Set("Retry-After", "1")
+		return writeError(w, http.StatusTooManyRequests, "saturated",
+			"all evaluation slots are busy; retry shortly")
+	}
+	return cancelStatus(w, err)
 }
 
 // requestContext applies the configured evaluation timeout.
@@ -507,9 +592,9 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) int {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	release, ok := s.acquire(ctx)
-	if !ok {
-		return cancelStatus(w, ctx.Err())
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return acquireStatus(w, err)
 	}
 	defer release()
 	// Resolved under the evaluation slot: the overlay merge and model
@@ -546,9 +631,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	release, ok := s.acquire(ctx)
-	if !ok {
-		return cancelStatus(w, ctx.Err())
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return acquireStatus(w, err)
 	}
 	defer release()
 	eng, apiErr := s.resolveEngine(req.Params)
@@ -688,6 +773,19 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) int {
 			Prunes:      s.optPrunes.Load(),
 		},
 	}
+	if s.jobsSvc != nil {
+		c := s.jobsSvc.Counters()
+		resp.Jobs = &apitypes.JobsCounters{
+			Submitted: c.Submitted,
+			Done:      c.Done,
+			Failed:    c.Failed,
+			Cancelled: c.Cancelled,
+			Shed:      c.Shed,
+			Rejected:  c.Rejected,
+			Running:   c.Running,
+			Queued:    c.Queued,
+		}
+	}
 	for path, em := range s.metrics {
 		st := apitypes.EndpointStats{
 			Requests: em.requests.Load(),
@@ -706,15 +804,58 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) int {
 	return writeJSON(w, map[string]string{"status": "ok"})
 }
 
+// handleReady is the readiness probe: 503 once draining starts, so load
+// balancers stop routing new work while /healthz keeps reporting the
+// process alive for the whole drain window.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) int {
+	if s.draining.Load() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
+		return http.StatusServiceUnavailable
+	}
+	return writeJSON(w, map[string]string{"status": "ready"})
+}
+
+// BeginDrain flips /readyz to 503 and stops admitting new jobs. Call it
+// when shutdown starts, before http.Server.Shutdown, so the load
+// balancer sees the instance leave while in-flight work still finishes.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	if s.jobsSvc != nil {
+		s.jobsSvc.BeginDrain()
+	}
+}
+
+// Shutdown checkpoints and parks every running job and closes the job
+// store; parked jobs resume from their checkpoints on the next boot.
+// HTTP draining is the owner's concern (http.Server.Shutdown).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
+	if s.jobsSvc == nil {
+		return nil
+	}
+	return s.jobsSvc.Shutdown(ctx)
+}
+
 // ListenAndServe runs the service on addr until ctx is cancelled, then
-// drains in-flight requests and returns.
+// shuts down gracefully: /readyz flips to 503, in-flight requests drain
+// under the drain timeout, and running jobs are parked at a checkpoint
+// so a restart over the same job store resumes them without losing work.
 func ListenAndServe(ctx context.Context, addr string, opts Options) error {
 	// Note: ctx is deliberately NOT the BaseContext — cancelling it must
 	// stop accepting and *drain* in-flight evaluations, not abort them;
 	// Shutdown's grace window below does the draining.
+	h := New(opts)
+	if err := h.JobsErr(); err != nil && opts.JobStore != nil {
+		// An explicitly configured durable store that fails to replay is a
+		// boot failure: starting anyway would silently orphan every
+		// checkpointed job.
+		return fmt.Errorf("job store replay: %w", err)
+	}
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           New(opts),
+		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)
@@ -723,8 +864,15 @@ func ListenAndServe(ctx context.Context, addr string, opts Options) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		h.BeginDrain()
+		shutCtx, cancel := context.WithTimeout(context.Background(), opts.drainTimeout())
 		defer cancel()
-		return srv.Shutdown(shutCtx)
+		err := srv.Shutdown(shutCtx)
+		// Jobs park after the HTTP side quiesces: every running job
+		// checkpoints and the store closes cleanly.
+		if jerr := h.Shutdown(shutCtx); err == nil {
+			err = jerr
+		}
+		return err
 	}
 }

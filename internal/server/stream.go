@@ -31,7 +31,8 @@ func newNDJSONWriter(w http.ResponseWriter) *ndjsonWriter {
 	return &ndjsonWriter{w: w, enc: json.NewEncoder(w)}
 }
 
-func (n *ndjsonWriter) event(ev apitypes.ExploreEvent) error { return n.enc.Encode(ev) }
+// event encodes one stream line (an ExploreEvent or a JobEvent).
+func (n *ndjsonWriter) event(ev any) error { return n.enc.Encode(ev) }
 
 func (n *ndjsonWriter) flush() {
 	if f, ok := n.w.(http.Flusher); ok {
@@ -50,9 +51,9 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) int {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	release, ok := s.acquire(ctx)
-	if !ok {
-		return cancelStatus(w, ctx.Err())
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return acquireStatus(w, err)
 	}
 	defer release()
 	// The engine resolves first so the space's locations are validated
