@@ -288,6 +288,9 @@ type (
 	FrontierReducer = explore.FrontierReducer
 	// RunningStats accumulates scalar statistics over a stream.
 	RunningStats = explore.RunningStats
+	// Reducer is the mergeable-reducer contract behind Reduce: all the
+	// reducers above implement it.
+	Reducer = explore.Reducer
 )
 
 // Stream evaluates a design space through the default model's streaming
@@ -301,6 +304,15 @@ func Stream(ctx context.Context, s Space, sink StreamSink) (StreamStats, error) 
 // Space.Iter, or a SliceSource wrapping an explicit candidate list.
 func StreamSource(ctx context.Context, src ExploreSource, sink StreamSink) (StreamStats, error) {
 	return explore.New(core.Default()).StreamSource(ctx, src, sink)
+}
+
+// Reduce evaluates a design space through the sequencer-free sharded fast
+// path: workers fold disjoint index-range shards into worker-local reducer
+// shards merged at the end, skipping ordered delivery entirely. Final
+// reducer states are bit-identical to folding an ordered Stream — use it
+// whenever the stream is consumed only through mergeable reducers.
+func Reduce(ctx context.Context, s Space, reducers ...Reducer) (StreamStats, error) {
+	return explore.New(core.Default()).Reduce(ctx, s, reducers...)
 }
 
 // NewTopK returns a streaming top-K ranking reducer (k ≤ 0 keeps all).

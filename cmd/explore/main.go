@@ -9,7 +9,10 @@
 // The space is never materialized: candidates are decoded positionally on
 // the worker pool and folded into online reducers (bounded top-K ranking,
 // running Pareto frontier), so memory stays flat however many points the
-// axes multiply out to.
+// axes multiply out to. Because every consumer is a mergeable reducer, the
+// enumeration takes the engine's sequencer-free reduce fast path — each
+// worker folds a contiguous index-range shard locally and the shards merge
+// at the end, bit-identical to the ordered stream.
 //
 // Usage:
 //
@@ -82,6 +85,23 @@ func main() {
 	attach := flag.String("attach", "", "reattach to an existing job ID instead of submitting (requires -server)")
 	tenant := flag.String("tenant", "", "tenant identity for job admission (X-Tenant header)")
 	idemKey := flag.String("idempotency-key", "", "idempotency key for job submission retries (default: generated per invocation)")
+	flag.Usage = func() {
+		fmt.Fprint(flag.CommandLine.Output(), `Usage: explore [flags]
+
+Explores the 3D-IC design space and prints the lowest-carbon candidates
+plus the embodied-vs-operational Pareto frontier.
+
+Enumerated runs (no -optimize) ride the engine's sequencer-free reduce
+fast path: because the output is consumed only through mergeable online
+reducers, workers fold disjoint index-range shards into worker-local
+reducer shards and merge them at the end — no ordered cross-worker
+hand-off — with results bit-identical to the ordered stream. The table
+footer reports how many worker shards the run merged.
+
+Flags:
+`)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	if *serverURL != "" {
@@ -166,15 +186,11 @@ func run(nodes, gates, integrations, strategies, fabs, uses, lifetimes string,
 	ranked := explore.NewTopK(top)
 	frontier := explore.NewFrontierReducer()
 	var stats explore.RunningStats
-	type failure struct {
-		id  string
-		err error
-	}
-	var failed []failure
+	fails := &failures{}
 	fold := func(r explore.Result) {
 		stats.Add(r)
 		if r.Err != nil {
-			failed = append(failed, failure{id: r.Candidate.ID, err: r.Err})
+			fails.Fold(r)
 			return
 		}
 		ranked.Add(r)
@@ -190,14 +206,14 @@ func run(nodes, gates, integrations, strategies, fabs, uses, lifetimes string,
 			Driver: driver, Seed: seed, Budget: budget, Observe: fold,
 		})
 	} else {
-		st, err = e.Stream(context.Background(), *space, func(r explore.Result) error {
-			fold(r)
-			return nil
-		})
+		// Everything the CLI prints is a mergeable reducer, so the
+		// enumeration rides the sequencer-free sharded reduce path.
+		st, err = e.Reduce(context.Background(), *space, ranked, frontier, &stats, fails)
 	}
 	if err != nil {
 		return err
 	}
+	failed := fails.list
 	elapsed := time.Since(start)
 
 	topResults := ranked.Results()
@@ -238,9 +254,11 @@ func run(nodes, gates, integrations, strategies, fabs, uses, lifetimes string,
 				es.CacheEntries, es.CacheShards, es.Evictions)
 			fmt.Printf("Embodied terms: %d computed, %d reused (%.1f%% reuse — evaluations that paid only the operational term)\n",
 				es.EmbodiedEvaluations, es.EmbodiedCacheHits, 100*es.EmbodiedReuseRate())
-			fmt.Printf("Block kernel: %d candidates in %d runs (%d stencils; %d via scalar path)\n\n",
+			fmt.Printf("Block kernel: %d candidates in %d runs (%d stencils; %d via scalar path)\n",
 				es.BlockCandidates, es.BlockRuns, es.BlockStencils,
 				uint64(st.Candidates)-es.BlockCandidates)
+			fmt.Printf("Sharded reduce: sequencer bypassed %d time(s), %d worker shard(s) merged (%d this run)\n\n",
+				es.SequencerBypassed, es.ShardsMerged, st.ShardsMerged)
 		}
 		fmt.Printf("Lowest life-cycle carbon (top %d of %d evaluated)\n\n", top, stats.OK)
 	}
@@ -269,6 +287,27 @@ func run(nodes, gates, integrations, strategies, fabs, uses, lifetimes string,
 		}
 	}
 	return nil
+}
+
+// failure is one unbuildable candidate for the footer listing.
+type failure struct {
+	id  string
+	err error
+}
+
+// failures collects unbuildable candidates as a mergeable reducer:
+// reduce shards are contiguous index ranges merged in enumeration order,
+// so the printed listing matches the ordered stream's exactly.
+type failures struct{ list []failure }
+
+func (f *failures) Fold(r explore.Result) {
+	if r.Err != nil {
+		f.list = append(f.list, failure{id: r.Candidate.ID, err: r.Err})
+	}
+}
+func (f *failures) NewShard() explore.Reducer { return &failures{} }
+func (f *failures) MergeShard(o explore.Reducer) {
+	f.list = append(f.list, o.(*failures).list...)
 }
 
 // buildSpace assembles the flag values into the shared apitypes.SpaceSpec —

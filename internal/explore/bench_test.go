@@ -407,3 +407,64 @@ func BenchmarkStreamExplore(b *testing.B) {
 	b.ReportMetric(float64(s.Size()), "candidates")
 	b.ReportMetric(float64(peak), "peak_in_flight")
 }
+
+// benchReduceWorkers fixes the worker count for the ordered-vs-sharded
+// reduce pair: both paths drive the same number of evaluation goroutines
+// on any host, so the measured gap is the delivery machinery alone —
+// sequencer hand-off versus fold-local-and-merge.
+const benchReduceWorkers = 4
+
+// reduceOnce is streamOnce's consumer shape on the sequencer-free path:
+// the same standard reducers, folded shard-locally and merged at the end.
+func reduceOnce(b *testing.B, e *Engine, s Space) StreamStats {
+	b.Helper()
+	ranked := NewTopK(10)
+	frontier := NewFrontierReducer()
+	st, err := e.Reduce(context.Background(), s, ranked, frontier)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(ranked.Results()) == 0 || frontier.Size() == 0 {
+		b.Fatal("empty ranking or frontier")
+	}
+	return st
+}
+
+// BenchmarkStreamReduceOrdered is the sequencer baseline for the reduce
+// fast path: the cold fan-out space folded into the standard reducers
+// through the ordered Stream, where every block crosses the sequencer's
+// mutex, pending map and run-ahead window before the sink may fold it.
+// CI gates BenchmarkStreamReduceSharded against this ratio.
+func BenchmarkStreamReduceOrdered(b *testing.B) {
+	s := fanoutBenchSpace()
+	m := core.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := &Engine{Model: m, Workers: benchReduceWorkers}
+		streamOnce(b, e, s)
+	}
+	b.ReportMetric(float64(s.Size()), "candidates")
+}
+
+// BenchmarkStreamReduceSharded is the sequencer-free path on the same
+// cold space and worker count: workers fold static contiguous shards into
+// local reducers, merged once at the end — no cross-goroutine Result
+// hand-off at all. Final reducer states are bit-identical to the ordered
+// baseline (TestReduceMatchesStreamOracle).
+func BenchmarkStreamReduceSharded(b *testing.B) {
+	s := fanoutBenchSpace()
+	m := core.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var st StreamStats
+	for i := 0; i < b.N; i++ {
+		e := &Engine{Model: m, Workers: benchReduceWorkers}
+		st = reduceOnce(b, e, s)
+	}
+	b.ReportMetric(float64(s.Size()), "candidates")
+	b.ReportMetric(float64(st.ShardsMerged), "shards_merged")
+	if st.ShardsMerged == 0 {
+		b.Fatal("reduce did not take the sharded path")
+	}
+}

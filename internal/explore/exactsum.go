@@ -1,0 +1,232 @@
+// exactSum is a fixed-point superaccumulator for float64 streams: every
+// finite float64 is an integer multiple of 2^-1074, so the running sum is
+// kept as one wide fixed-point integer (base-2^32 limbs spanning 2^-1074
+// through past 2^1023, with headroom for billions of addends) and only
+// rounded — to nearest, ties to even — when the value is read. Integer
+// addition is associative and commutative, which buys RunningStats the
+// property the sharded reduce path and the jobs shard merge need: the sum
+// (and therefore the mean) is bit-identical under any shard partition,
+// merge order or resume point, where a plain float64 accumulator would
+// drift with summation order.
+//
+// The representation is kept canonical after every mutation — limbs below
+// the top in [0, 2^32), the top limb carrying the sign — so two
+// accumulators holding the same value are equal as Go values (RunningStats
+// merge-law tests compare whole structs) and snapshots of equal states are
+// byte-identical. Non-finite inputs cannot enter the fixed-point form;
+// they are tallied in a side channel and dominate the read-out value the
+// same way IEEE addition would (NaN wins, then mixed-sign infinity).
+package explore
+
+import (
+	"math"
+	"math/bits"
+)
+
+const (
+	// sumLimbs × 32 bits of fixed-point range: bit 0 of limb 0 weighs
+	// 2^-1074 (the least subnormal), the largest finite float64 tops out in
+	// limb 65, and two spare limbs absorb carry growth (≈2^63 addends of
+	// the largest magnitude before the top limb could saturate).
+	sumLimbs = 68
+	// sumBias is the bit position of weight 2^0.
+	sumBias = 1074
+)
+
+// exactSum is the accumulator. The zero value is an empty sum.
+type exactSum struct {
+	limbs               [sumLimbs]int64
+	nan, posInf, negInf int
+}
+
+// add folds one float64 into the sum exactly.
+func (a *exactSum) add(f float64) {
+	b := math.Float64bits(f)
+	exp := int(b >> 52 & 0x7ff)
+	man := b & (1<<52 - 1)
+	if exp == 0x7ff {
+		switch {
+		case man != 0:
+			a.nan++
+		case b>>63 == 0:
+			a.posInf++
+		default:
+			a.negInf++
+		}
+		return
+	}
+	// value = man × 2^(pos - sumBias): subnormals sit at pos 0, normals
+	// gain the implicit bit and shift up by their exponent.
+	pos := 0
+	if exp > 0 {
+		man |= 1 << 52
+		pos = exp - 1
+	}
+	if man == 0 {
+		return // ±0 contributes nothing
+	}
+	limb, off := pos>>5, uint(pos&31)
+	// man << off as a 96-bit quantity, split into three 32-bit chunks.
+	lo := man << off
+	var hi uint64
+	if off > 0 {
+		hi = man >> (64 - off)
+	}
+	c0, c1, c2 := int64(lo&(1<<32-1)), int64(lo>>32), int64(hi)
+	if b>>63 != 0 {
+		c0, c1, c2 = -c0, -c1, -c2
+	}
+	a.limbs[limb] += c0
+	a.limbs[limb+1] += c1
+	a.limbs[limb+2] += c2
+	a.carry(limb)
+}
+
+// carry restores the canonical form from limb `from` upward, stopping as
+// soon as the remaining suffix is untouched — amortized O(1) per add.
+func (a *exactSum) carry(from int) {
+	var c int64
+	for i := from; i < sumLimbs-1; i++ {
+		v := a.limbs[i] + c
+		c = v >> 32 // arithmetic shift: floor division, borrows included
+		a.limbs[i] = v - c<<32
+		if c == 0 && i >= from+2 {
+			return
+		}
+	}
+	a.limbs[sumLimbs-1] += c
+}
+
+// carryAll re-canonicalizes every limb (after a limb-wise merge).
+func (a *exactSum) carryAll() {
+	var c int64
+	for i := 0; i < sumLimbs-1; i++ {
+		v := a.limbs[i] + c
+		c = v >> 32
+		a.limbs[i] = v - c<<32
+	}
+	a.limbs[sumLimbs-1] += c
+}
+
+// merge folds another accumulator into a; o is left untouched. Limb-wise
+// integer addition makes the merge exact, associative and commutative.
+func (a *exactSum) merge(o *exactSum) {
+	for i, v := range o.limbs {
+		a.limbs[i] += v
+	}
+	a.carryAll()
+	a.nan += o.nan
+	a.posInf += o.posInf
+	a.negInf += o.negInf
+}
+
+// value rounds the sum to the nearest float64, ties to even — the unique
+// correctly rounded value of the exact sum.
+func (a *exactSum) value() float64 {
+	switch {
+	case a.nan > 0 || (a.posInf > 0 && a.negInf > 0):
+		return math.NaN()
+	case a.posInf > 0:
+		return math.Inf(1)
+	case a.negInf > 0:
+		return math.Inf(-1)
+	}
+	mag := a.limbs // copy; the accumulator itself stays canonical
+	neg := mag[sumLimbs-1] < 0
+	if neg {
+		var c int64
+		for i := range mag {
+			v := -mag[i] + c
+			c = v >> 32
+			mag[i] = v - c<<32
+		}
+	}
+	top := -1
+	for i := sumLimbs - 1; i >= 0; i-- {
+		if mag[i] != 0 {
+			top = i
+			break
+		}
+	}
+	if top < 0 {
+		return 0
+	}
+	msb := top<<5 + bits.Len64(uint64(mag[top])) - 1
+	shift := msb - 52 // lowest retained bit position
+	if shift <= 0 {
+		// The whole magnitude fits in 53 bits: the value is exact (a
+		// subnormal or small normal multiple of 2^-1074).
+		v := math.Ldexp(float64(uint64(mag[1])<<32|uint64(mag[0])), -sumBias)
+		if neg {
+			return -v
+		}
+		return v
+	}
+	kept := sumWindow(&mag, shift)
+	// Round to nearest, ties to even, on the cut below bit `shift`.
+	rb := shift - 1
+	round := uint64(mag[rb>>5]) >> uint(rb&31) & 1
+	sticky := uint64(mag[rb>>5])&(1<<uint(rb&31)-1) != 0
+	for i := 0; i < rb>>5 && !sticky; i++ {
+		sticky = mag[i] != 0
+	}
+	if round == 1 && (sticky || kept&1 == 1) {
+		if kept++; kept == 1<<53 {
+			kept >>= 1
+			msb++
+		}
+	}
+	if e := msb - sumBias; e > 1023 {
+		if neg {
+			return math.Inf(-1)
+		}
+		return math.Inf(1)
+	}
+	v := math.Ldexp(float64(kept), msb-52-sumBias)
+	if neg {
+		return -v
+	}
+	return v
+}
+
+// sumWindow reads the 53 bits starting at bit position `from`.
+func sumWindow(mag *[sumLimbs]int64, from int) uint64 {
+	limb, off := from>>5, uint(from&31)
+	get := func(i int) uint64 {
+		if i >= sumLimbs {
+			return 0
+		}
+		return uint64(mag[i])
+	}
+	var w uint64
+	if off == 0 {
+		w = get(limb) | get(limb+1)<<32
+	} else {
+		w = get(limb)>>off | get(limb+1)<<(32-off) | get(limb+2)<<(64-off)
+	}
+	return w & (1<<53 - 1)
+}
+
+// snapshotLimbs returns the canonical limbs with high-order zeros trimmed
+// (nil for an empty sum) — the wire form of snapStats.Sumx.
+func (a *exactSum) snapshotLimbs() []int64 {
+	n := sumLimbs
+	for n > 0 && a.limbs[n-1] == 0 {
+		n--
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	copy(out, a.limbs[:n])
+	return out
+}
+
+// restoreLimbs replaces the sum with the snapshot's limbs.
+func (a *exactSum) restoreLimbs(limbs []int64) {
+	a.limbs = [sumLimbs]int64{}
+	copy(a.limbs[:], limbs)
+	// Defensive: hand-built snapshots may not be canonical; restoring
+	// through a full carry keeps the canonical-form invariant.
+	a.carryAll()
+}

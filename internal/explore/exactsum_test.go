@@ -1,0 +1,155 @@
+// exactSum property tests: the fixed-point superaccumulator must agree
+// with an arbitrary-precision reference on the correctly rounded sum, be
+// exactly invariant under permutation and shard-merge trees (down to Go
+// value equality, thanks to the canonical representation), and round-trip
+// through its snapshot limbs.
+package explore
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// refSum computes the correctly rounded (nearest-even) sum of vals through
+// math/big at a precision wide enough to make every partial sum exact.
+func refSum(vals []float64) float64 {
+	acc := new(big.Float).SetPrec(3000)
+	for _, v := range vals {
+		acc.Add(acc, new(big.Float).SetPrec(3000).SetFloat64(v))
+	}
+	out, _ := acc.Float64()
+	return out
+}
+
+// randFloat draws from the full finite float64 range, subnormals included,
+// biased toward pathological magnitudes.
+func randFloat(rng *rand.Rand) float64 {
+	for {
+		f := math.Float64frombits(rng.Uint64())
+		if !math.IsNaN(f) && !math.IsInf(f, 0) {
+			return f
+		}
+	}
+}
+
+func sumOf(vals []float64) *exactSum {
+	var s exactSum
+	for _, v := range vals {
+		s.add(v)
+	}
+	return &s
+}
+
+func TestExactSumMatchesBigFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := [][]float64{
+		{},
+		{0},
+		{0, math.Copysign(0, -1)},
+		{1.0},
+		{1.0, 2.0, 3.0},
+		{0.1, 0.2, 0.3},
+		{1e308, 1e308, -1e308, -1e308},           // transient overflow past MaxFloat64
+		{math.MaxFloat64, -math.MaxFloat64},      // exact cancellation of extremes
+		{5e-324, 5e-324},                         // subnormal arithmetic
+		{1e16, 1, -1e16},                         // absorbed then recovered low bits
+		{math.MaxFloat64, math.MaxFloat64 / 2},   // rounds to +Inf
+		{-math.MaxFloat64, -math.MaxFloat64 / 2}, // rounds to -Inf
+	}
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(200)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = randFloat(rng)
+		}
+		cases = append(cases, vals)
+	}
+	for i, vals := range cases {
+		got := sumOf(vals).value()
+		want := refSum(vals)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("case %d (%d values): sum = %x (%g), reference %x (%g)",
+				i, len(vals), math.Float64bits(got), got, math.Float64bits(want), want)
+		}
+	}
+}
+
+// TestExactSumOrderAndShardInvariance: any permutation, any contiguous
+// partition and any merge grouping must land on the same canonical
+// accumulator state — Go value equality, not just an equal rounded value.
+func TestExactSumOrderAndShardInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(300)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = randFloat(rng)
+		}
+		want := *sumOf(vals)
+
+		perm := append([]float64(nil), vals...)
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		if got := *sumOf(perm); got != want {
+			t.Fatalf("trial %d: permuted accumulation diverged: %+v vs %+v", trial, got, want)
+		}
+
+		var merged exactSum
+		for lo := 0; lo < n; {
+			hi := lo + 1 + rng.Intn(n-lo)
+			merged.merge(sumOf(vals[lo:hi]))
+			lo = hi
+		}
+		if merged != want {
+			t.Fatalf("trial %d: shard-merged accumulation diverged: %+v vs %+v", trial, merged, want)
+		}
+	}
+}
+
+func TestExactSumNonFinite(t *testing.T) {
+	var s exactSum
+	s.add(math.Inf(1))
+	s.add(1.5)
+	if v := s.value(); !math.IsInf(v, 1) {
+		t.Fatalf("+Inf + finite = %g, want +Inf", v)
+	}
+	s.add(math.Inf(-1))
+	if v := s.value(); !math.IsNaN(v) {
+		t.Fatalf("+Inf + -Inf = %g, want NaN", v)
+	}
+	var nan exactSum
+	nan.add(math.NaN())
+	if v := nan.value(); !math.IsNaN(v) {
+		t.Fatalf("NaN sum = %g, want NaN", v)
+	}
+	var neg exactSum
+	neg.add(math.Inf(-1))
+	var other exactSum
+	other.add(2.0)
+	other.merge(&neg)
+	if v := other.value(); !math.IsInf(v, -1) {
+		t.Fatalf("merge carrying -Inf = %g, want -Inf", v)
+	}
+}
+
+func TestExactSumSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		vals := make([]float64, 1+rng.Intn(100))
+		for i := range vals {
+			vals[i] = randFloat(rng)
+		}
+		orig := sumOf(vals)
+		var restored exactSum
+		restored.restoreLimbs(orig.snapshotLimbs())
+		restored.nan, restored.posInf, restored.negInf = orig.nan, orig.posInf, orig.negInf
+		if restored != *orig {
+			t.Fatalf("trial %d: snapshot limbs did not round-trip", trial)
+		}
+	}
+	var zero exactSum
+	if zero.snapshotLimbs() != nil {
+		t.Fatal("empty sum should snapshot to nil limbs")
+	}
+}

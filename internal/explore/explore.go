@@ -235,6 +235,14 @@ type Stats struct {
 	// (template, fab) operational prefixes the kernel hoisted out of the
 	// per-candidate loop.
 	BlockStencils uint64
+
+	// SequencerBypassed counts Reduce calls that ran sequencer-free: every
+	// worker folded its index range into a local reducer shard instead of
+	// handing results through the ordered-delivery sequencer.
+	SequencerBypassed uint64
+	// ShardsMerged counts the worker-local reducer shards merged at the end
+	// of those calls.
+	ShardsMerged uint64
 }
 
 // HitRate returns the fraction of evaluation requests answered from the
@@ -323,6 +331,9 @@ type Engine struct {
 	blockCands    atomic.Uint64
 	blockRuns     atomic.Uint64
 	blockStencils atomic.Uint64
+
+	seqBypassed  atomic.Uint64
+	shardsMerged atomic.Uint64
 }
 
 // SharedCache is a memoization cache that outlives any single engine: every
@@ -416,6 +427,8 @@ func (e *Engine) Stats() Stats {
 		BlockCandidates:     e.blockCands.Load(),
 		BlockRuns:           e.blockRuns.Load(),
 		BlockStencils:       e.blockStencils.Load(),
+		SequencerBypassed:   e.seqBypassed.Load(),
+		ShardsMerged:        e.shardsMerged.Load(),
 	}
 	if c := e.cache.Load(); c != nil {
 		st.CacheEntries = c.entries()

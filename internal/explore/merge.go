@@ -15,8 +15,10 @@
 //     representative was added first, so shards must be merged in
 //     enumeration order to reproduce the single-pass frontier exactly —
 //     the same first-occurrence rule ResultSet.Frontier applies.
-//   - RunningStats merging is associative and commutative on the counts
-//     and extrema; the mean is reproduced up to float summation order.
+//   - RunningStats merging is associative and commutative, exactly: the
+//     total-carbon sum lives in a fixed-point superaccumulator (exactSum),
+//     so any shard partition and merge order reproduce the single-pass sum
+//     and mean bit for bit.
 package explore
 
 // Merge folds another TopK's retained results into t. K bounds do not
@@ -79,5 +81,5 @@ func (s *RunningStats) Merge(o *RunningStats) {
 	s.Count += o.Count
 	s.OK += o.OK
 	s.Failed += o.Failed
-	s.sumTotal += o.sumTotal
+	s.sum.merge(&o.sum)
 }

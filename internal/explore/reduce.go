@@ -227,13 +227,16 @@ func (f *PointFrontier) Add(p Point) { f.p.add(p) }
 func (f *PointFrontier) Points() []Point { return f.p.snapshot() }
 
 // RunningStats accumulates scalar statistics over a stream of results.
+// The total-carbon sum is held in a fixed-point superaccumulator, so the
+// sum (and the mean) is exact and independent of accumulation order —
+// shard merges reproduce the single-pass value bit for bit.
 type RunningStats struct {
 	// Count is every result seen; OK and Failed split it by evaluation
 	// outcome.
 	Count, OK, Failed int
 	// MinTotal/MaxTotal/sum cover successful results' life-cycle totals.
 	MinTotal, MaxTotal float64
-	sumTotal           float64
+	sum                exactSum
 }
 
 // Add folds one result into the counters.
@@ -251,7 +254,7 @@ func (s *RunningStats) Add(r Result) {
 		s.MaxTotal = t
 	}
 	s.OK++
-	s.sumTotal += t
+	s.sum.add(t)
 }
 
 // MeanTotal returns the mean life-cycle total of successful results.
@@ -259,5 +262,5 @@ func (s *RunningStats) MeanTotal() float64 {
 	if s.OK == 0 {
 		return 0
 	}
-	return s.sumTotal / float64(s.OK)
+	return s.sum.value() / float64(s.OK)
 }

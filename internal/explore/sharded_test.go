@@ -1,0 +1,428 @@
+// Differential harness for the sequencer-free sharded reduce path: for
+// every reducer kind, worker count, execution path (scalar and block
+// kernel) and block-boundary window shape, Engine.Reduce must leave the
+// reducers in a state whose snapshot is byte-identical to folding the
+// ordered Stream oracle's delivery. Plus the satellite guarantees:
+// cancellation and errors stop every worker promptly without leaking
+// goroutines and leave the caller's reducers untouched, and merging
+// reducers restored from snapshots reproduces single-pass folding at
+// adversarial cut points.
+package explore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/split"
+)
+
+// reduceTestSpace mixes successes and wafer failures (500e9 gates at 7 nm
+// fail) across enough lifetime points that windows spanning several
+// 64-candidate blocks fit inside it.
+func reduceTestSpace() Space {
+	return Space{
+		Name:          "sharded",
+		Strategies:    []split.Strategy{split.HomogeneousStrategy, split.HeterogeneousStrategy},
+		NodesNM:       []int{5, 7},
+		Gates:         []float64{17e9, 500e9},
+		UseLocations:  []grid.Location{grid.USA, grid.Norway, grid.India},
+		LifetimeYears: []float64{1, 2, 3, 4, 5, 6, 7, 8},
+	}
+}
+
+// freshReducers builds one reducer of every kind (the full Reduce surface).
+func freshReducers(k int) []Reducer {
+	return []Reducer{
+		NewTopK(k),
+		NewFrontierReducer(),
+		NewPointTopK(k),
+		NewPointFrontier(),
+		&RunningStats{},
+	}
+}
+
+var reducerKindNames = []string{"TopK", "FrontierReducer", "PointTopK", "PointFrontier", "RunningStats"}
+
+// snapshotAll serializes every reducer; the byte-identity currency of the
+// harness.
+func snapshotAll(t *testing.T, rs []Reducer) [][]byte {
+	t.Helper()
+	out := make([][]byte, len(rs))
+	for i, r := range rs {
+		b, err := r.(snapshotter).Snapshot()
+		if err != nil {
+			t.Fatalf("snapshot %s: %v", reducerKindNames[i], err)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+func TestReduceMatchesStreamOracle(t *testing.T) {
+	it, err := reduceTestSpace().Iter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := it.Len()
+	if n < 200 {
+		t.Fatalf("fixture space too small for block-boundary windows: %d", n)
+	}
+	// Window shapes: empty, single candidate, one block minus/exactly/plus
+	// one, several blocks with a ragged tail, unaligned lo, and the full
+	// space.
+	windows := [][2]int{
+		{5, 5}, {0, 1}, {0, 63}, {0, 64}, {0, 65},
+		{7, 152}, {64, 193}, {n - 65, n}, {0, n},
+	}
+	for _, scalar := range []bool{false, true} {
+		for _, workers := range []int{1, 4, 16} {
+			eng := &Engine{Model: core.Default(), Workers: workers, ScalarOnly: scalar}
+			for _, w := range windows {
+				lo, hi := w[0], w[1]
+				name := fmt.Sprintf("scalar=%v/workers=%d/window=%d-%d", scalar, workers, lo, hi)
+
+				ordered := freshReducers(5)
+				var orderedResults []Result
+				if _, err := eng.StreamRange(context.Background(), it, lo, hi, func(r Result) error {
+					orderedResults = append(orderedResults, r)
+					for _, red := range ordered {
+						red.Fold(r)
+					}
+					return nil
+				}); err != nil {
+					t.Fatalf("%s: ordered oracle: %v", name, err)
+				}
+
+				sharded := freshReducers(5)
+				col := &Collector{}
+				st, err := eng.ReduceRange(context.Background(), it, lo, hi,
+					append(sharded, col)...)
+				if err != nil {
+					t.Fatalf("%s: reduce: %v", name, err)
+				}
+				if st.Candidates != hi-lo || st.Delivered != hi-lo {
+					t.Fatalf("%s: stats candidates=%d delivered=%d, want %d",
+						name, st.Candidates, st.Delivered, hi-lo)
+				}
+				if hi > lo && st.ShardsMerged == 0 {
+					t.Fatalf("%s: ShardsMerged = 0 on a non-empty reduce", name)
+				}
+
+				want := snapshotAll(t, ordered)
+				got := snapshotAll(t, sharded)
+				for i := range want {
+					if string(want[i]) != string(got[i]) {
+						t.Errorf("%s: %s diverged from the ordered oracle:\nordered: %s\nsharded: %s",
+							name, reducerKindNames[i], want[i], got[i])
+					}
+				}
+				if ov, sv := viewResults(orderedResults), viewResults(col.Results); ov != sv {
+					t.Errorf("%s: Collector diverged from ordered delivery:\nordered:\n%ssharded:\n%s",
+						name, ov, sv)
+				}
+			}
+		}
+	}
+}
+
+// TestReduceCoincidentTies pins the frontier first-occurrence rule and the
+// TopK boundary tie-breaks across shard cuts: duplicate candidates (same
+// design, distinct IDs) produce exactly coincident carbon figures, with the
+// duplicates placed so different workers own the two occurrences.
+func TestReduceCoincidentTies(t *testing.T) {
+	cands, err := reduceTestSpace().Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cands[:160]
+	src := make(SliceSource, 0, len(base)+6)
+	src = append(src, base...)
+	for i := 0; i < 6; i++ {
+		dup := base[i]
+		dup.ID = dup.ID + "~dup"
+		src = append(src, dup)
+	}
+	eng := &Engine{Model: core.Default(), Workers: 4}
+
+	ordered := freshReducers(3)
+	if _, err := eng.StreamSource(context.Background(), src, func(r Result) error {
+		for _, red := range ordered {
+			red.Fold(r)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sharded := freshReducers(3)
+	if _, err := eng.ReduceSource(context.Background(), src, sharded...); err != nil {
+		t.Fatal(err)
+	}
+	want, got := snapshotAll(t, ordered), snapshotAll(t, sharded)
+	for i := range want {
+		if string(want[i]) != string(got[i]) {
+			t.Errorf("%s: tie resolution diverged:\nordered: %s\nsharded: %s",
+				reducerKindNames[i], want[i], got[i])
+		}
+	}
+}
+
+// funcSource is a scalar-path (unplanned) source with a programmable At.
+type funcSource struct {
+	n  int
+	at func(i int) (Candidate, error)
+}
+
+func (f *funcSource) Len() int                    { return f.n }
+func (f *funcSource) Cursor() SourceCursor        { return f }
+func (f *funcSource) At(i int) (Candidate, error) { return f.at(i) }
+
+// tieSource wraps real candidates so custom sources still evaluate.
+func tieSource(t *testing.T, n int, at func(i int, c Candidate) (Candidate, error)) *funcSource {
+	t.Helper()
+	cands, err := reduceTestSpace().Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > len(cands) {
+		t.Fatalf("fixture space has %d candidates; need %d", len(cands), n)
+	}
+	return &funcSource{n: n, at: func(i int) (Candidate, error) { return at(i, cands[i]) }}
+}
+
+// drainedGoroutines asserts the goroutine count returns to the baseline —
+// the reduce path joins every worker and releases its context watcher.
+func drainedGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// assertUntouched verifies the caller's reducers carry no state after a
+// failed reduce (shards are merged only on success).
+func assertUntouched(t *testing.T, rs []Reducer) {
+	t.Helper()
+	want, got := snapshotAll(t, freshReducers(5)), snapshotAll(t, rs)
+	for i := range want {
+		if string(want[i]) != string(got[i]) {
+			t.Errorf("%s: reducer mutated by a failed reduce: %s",
+				reducerKindNames[i], got[i])
+		}
+	}
+}
+
+func TestReduceCancellationMidShard(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int64
+	// The 10th decode cancels; later decodes wait for the cancellation to
+	// be visible before proceeding, so the reduce can only return with the
+	// context already done — deterministically.
+	src := tieSource(t, 192, func(i int, c Candidate) (Candidate, error) {
+		switch n := calls.Add(1); {
+		case n == 10:
+			cancel()
+		case n > 10:
+			<-ctx.Done()
+		}
+		return c, nil
+	})
+	eng := &Engine{Model: core.Default(), Workers: 4}
+	rs := freshReducers(5)
+	_, err := eng.ReduceSource(ctx, src, rs...)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	assertUntouched(t, rs)
+	drainedGoroutines(t, before)
+}
+
+func TestReducePreCancelled(t *testing.T) {
+	for _, scalar := range []bool{false, true} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		eng := &Engine{Model: core.Default(), Workers: 4, ScalarOnly: scalar}
+		rs := freshReducers(5)
+		_, err := eng.Reduce(ctx, reduceTestSpace(), rs...)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("scalar=%v: err = %v, want context.Canceled", scalar, err)
+		}
+		assertUntouched(t, rs)
+	}
+}
+
+func TestReduceDecodeErrorStopsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	decodeErr := errors.New("decode failed at 37")
+	src := tieSource(t, 192, func(i int, c Candidate) (Candidate, error) {
+		if i == 37 {
+			return Candidate{}, decodeErr
+		}
+		return c, nil
+	})
+	eng := &Engine{Model: core.Default(), Workers: 4}
+	rs := freshReducers(5)
+	_, err := eng.ReduceSource(context.Background(), src, rs...)
+	if !errors.Is(err, decodeErr) {
+		t.Fatalf("err = %v, want %v", err, decodeErr)
+	}
+	assertUntouched(t, rs)
+	drainedGoroutines(t, before)
+}
+
+func TestReduceWorkerPanicContained(t *testing.T) {
+	before := runtime.NumGoroutine()
+	src := tieSource(t, 192, func(i int, c Candidate) (Candidate, error) {
+		if i == 137 {
+			panic("decode exploded")
+		}
+		return c, nil
+	})
+	for _, workers := range []int{1, 4} {
+		eng := &Engine{Model: core.Default(), Workers: workers}
+		rs := freshReducers(5)
+		_, err := eng.ReduceSource(context.Background(), src, rs...)
+		wantPanicError(t, err, "decode exploded")
+		assertUntouched(t, rs)
+	}
+	drainedGoroutines(t, before)
+}
+
+// TestReduceEngineCounters pins the Stats plumbing: a successful reduce
+// bumps SequencerBypassed once and ShardsMerged by its worker count.
+func TestReduceEngineCounters(t *testing.T) {
+	eng := &Engine{Model: core.Default(), Workers: 4}
+	st, err := eng.Reduce(context.Background(), reduceTestSpace(), NewTopK(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ShardsMerged != 4 {
+		t.Fatalf("StreamStats.ShardsMerged = %d, want 4", st.ShardsMerged)
+	}
+	es := eng.Stats()
+	if es.SequencerBypassed != 1 || es.ShardsMerged != 4 {
+		t.Fatalf("engine stats: bypassed=%d merged=%d, want 1 and 4",
+			es.SequencerBypassed, es.ShardsMerged)
+	}
+}
+
+// TestMergeOfRestoredSnapshots: for every reducer kind,
+// restore(snapshot(fold(A))) merged with restore(snapshot(fold(B))) must
+// equal folding A++B, snapshot-byte for snapshot-byte, at adversarial cut
+// points — empty shard, single element, everything-but-one — and with
+// exact ties (duplicate carbon figures, distinct IDs) straddling the TopK
+// retention boundary.
+func TestMergeOfRestoredSnapshots(t *testing.T) {
+	results := mergeTestResults(t)
+	// Append coincident duplicates of the best results so cuts can land
+	// between two exactly-tied candidates at the retention boundary.
+	ranked := NewTopK(3)
+	for _, r := range results {
+		ranked.Add(r)
+	}
+	for i, r := range ranked.Results() {
+		r.Candidate.ID = fmt.Sprintf("%s~tie%d", r.Candidate.ID, i)
+		results = append(results, r)
+	}
+	n := len(results)
+	cuts := []int{0, 1, n / 2, n - 3, n - 1, n}
+
+	kinds := []struct {
+		name  string
+		fresh func() Reducer
+	}{
+		{"TopK", func() Reducer { return NewTopK(3) }},
+		{"TopK-unbounded", func() Reducer { return NewTopK(0) }},
+		{"FrontierReducer", func() Reducer { return NewFrontierReducer() }},
+		{"PointTopK", func() Reducer { return NewPointTopK(3) }},
+		{"PointFrontier", func() Reducer { return NewPointFrontier() }},
+		{"RunningStats", func() Reducer { return &RunningStats{} }},
+	}
+	for _, kind := range kinds {
+		whole := kind.fresh()
+		for _, r := range results {
+			whole.Fold(r)
+		}
+		wantSnap, err := whole.(snapshotter).Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cut := range cuts {
+			a, b := kind.fresh(), kind.fresh()
+			for _, r := range results[:cut] {
+				a.Fold(r)
+			}
+			for _, r := range results[cut:] {
+				b.Fold(r)
+			}
+			ra, rb := kind.fresh(), kind.fresh()
+			roundTrip := func(from Reducer, to Reducer) {
+				snap, err := from.(snapshotter).Snapshot()
+				if err != nil {
+					t.Fatalf("%s cut=%d: snapshot: %v", kind.name, cut, err)
+				}
+				if err := to.(snapshotter).Restore(snap); err != nil {
+					t.Fatalf("%s cut=%d: restore: %v", kind.name, cut, err)
+				}
+			}
+			roundTrip(a, ra)
+			roundTrip(b, rb)
+			ra.MergeShard(rb)
+			gotSnap, err := ra.(snapshotter).Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(gotSnap) != string(wantSnap) {
+				t.Errorf("%s cut=%d: merged restored snapshots diverge from single-pass fold:\nwant %s\ngot  %s",
+					kind.name, cut, wantSnap, gotSnap)
+			}
+		}
+	}
+}
+
+// TestReduceAllocsPerCandidateBounded gates the reduce path's allocation
+// rate at the block kernel's budget: folding shard-locally must not cost
+// more than ordered delivery did — there is strictly less machinery (no
+// pooled result slices crossing goroutines, no pending-block map).
+func TestReduceAllocsPerCandidateBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc measurement")
+	}
+	if os.Getenv(ScalarOnlyEnv) != "" {
+		t.Skipf("%s set: measuring the scalar fallback, not the kernel", ScalarOnlyEnv)
+	}
+	m := core.Default()
+	s := fanoutBenchSpace()
+	n := float64(s.Size())
+	perCand := testing.AllocsPerRun(5, func() {
+		e := &Engine{Model: m, Workers: 1}
+		ranked := NewTopK(10)
+		frontier := NewFrontierReducer()
+		var stats RunningStats
+		if _, err := e.Reduce(context.Background(), s, ranked, frontier, &stats); err != nil {
+			t.Fatal(err)
+		}
+	}) / n
+	t.Logf("reduce path: %.3f allocs/candidate over %d candidates", perCand, s.Size())
+	// Same 1.0 budget as TestBlockAllocsPerCandidateBounded — the reduce
+	// path must be no worse than the block kernel under ordered delivery.
+	if perCand > 1.0 {
+		t.Errorf("reduce path allocates %.3f per candidate, want ≤ 1.0", perCand)
+	}
+}

@@ -65,14 +65,22 @@ type snapPoint struct {
 	HasOp bool `json:"has_op,omitempty"`
 }
 
-// snapStats is RunningStats in wire form.
+// snapStats is RunningStats in wire form. Sum carries the rounded float64
+// bits (kept for readability and for restoring pre-superaccumulator
+// snapshots); Sumx carries the exact fixed-point sum as trimmed canonical
+// base-2^32 limbs, with the non-finite tallies alongside. When Sumx or a
+// tally is present, Restore prefers them over Sum.
 type snapStats struct {
-	Count  int    `json:"count"`
-	OK     int    `json:"ok"`
-	Failed int    `json:"failed"`
-	Min    uint64 `json:"min"`
-	Max    uint64 `json:"max"`
-	Sum    uint64 `json:"sum"`
+	Count   int     `json:"count"`
+	OK      int     `json:"ok"`
+	Failed  int     `json:"failed"`
+	Min     uint64  `json:"min"`
+	Max     uint64  `json:"max"`
+	Sum     uint64  `json:"sum"`
+	Sumx    []int64 `json:"sumx,omitempty"`
+	SumNaN  int     `json:"sum_nan,omitempty"`
+	SumPInf int     `json:"sum_pinf,omitempty"`
+	SumNInf int     `json:"sum_ninf,omitempty"`
 }
 
 // snapEnvelope is the common snapshot wrapper.
@@ -241,20 +249,29 @@ func (f *PointFrontier) Restore(data []byte) error {
 }
 
 // Snapshot serializes the counters, extrema and running sum bit-exactly.
+// The exact fixed-point sum is written as canonical limbs (Sumx), so equal
+// reducer states — however they were partitioned, merged or resumed —
+// produce byte-identical snapshots.
 func (s *RunningStats) Snapshot() ([]byte, error) {
 	return json.Marshal(snapEnvelope{Kind: snapRunningStats, V: snapshotVersion, Stats: &snapStats{
-		Count:  s.Count,
-		OK:     s.OK,
-		Failed: s.Failed,
-		Min:    math.Float64bits(s.MinTotal),
-		Max:    math.Float64bits(s.MaxTotal),
-		Sum:    math.Float64bits(s.sumTotal),
+		Count:   s.Count,
+		OK:      s.OK,
+		Failed:  s.Failed,
+		Min:     math.Float64bits(s.MinTotal),
+		Max:     math.Float64bits(s.MaxTotal),
+		Sum:     math.Float64bits(s.sum.value()),
+		Sumx:    s.sum.snapshotLimbs(),
+		SumNaN:  s.sum.nan,
+		SumPInf: s.sum.posInf,
+		SumNInf: s.sum.negInf,
 	}})
 }
 
 // Restore replaces the stats with the snapshot's. The running sum is
-// restored at full bit precision, so a resumed stream reproduces the
-// uninterrupted mean exactly.
+// restored at full fixed-point precision, so a resumed stream reproduces
+// the uninterrupted sum and mean exactly. Snapshots written before the
+// superaccumulator carry only the rounded float sum; those seed the
+// accumulator with that single value.
 func (s *RunningStats) Restore(data []byte) error {
 	env, err := decodeEnvelope(data, snapRunningStats)
 	if err != nil {
@@ -263,13 +280,24 @@ func (s *RunningStats) Restore(data []byte) error {
 	if env.Stats == nil {
 		return fmt.Errorf("explore: running-stats snapshot is missing its stats body")
 	}
+	st := env.Stats
+	if len(st.Sumx) > sumLimbs {
+		return fmt.Errorf("explore: running-stats snapshot sum has %d limbs; max %d", len(st.Sumx), sumLimbs)
+	}
 	*s = RunningStats{
-		Count:    env.Stats.Count,
-		OK:       env.Stats.OK,
-		Failed:   env.Stats.Failed,
-		MinTotal: math.Float64frombits(env.Stats.Min),
-		MaxTotal: math.Float64frombits(env.Stats.Max),
-		sumTotal: math.Float64frombits(env.Stats.Sum),
+		Count:    st.Count,
+		OK:       st.OK,
+		Failed:   st.Failed,
+		MinTotal: math.Float64frombits(st.Min),
+		MaxTotal: math.Float64frombits(st.Max),
+	}
+	if len(st.Sumx) > 0 || st.SumNaN > 0 || st.SumPInf > 0 || st.SumNInf > 0 {
+		s.sum.restoreLimbs(st.Sumx)
+		s.sum.nan = st.SumNaN
+		s.sum.posInf = st.SumPInf
+		s.sum.negInf = st.SumNInf
+	} else {
+		s.sum.add(math.Float64frombits(st.Sum))
 	}
 	return nil
 }

@@ -84,6 +84,11 @@ type StreamStats struct {
 	// columnar block kernel (0 when the scalar fallback ran — unplanned
 	// sources, monolithic engines, Engine.ScalarOnly or EXPLORE_SCALAR).
 	BlockCandidates int
+
+	// ShardsMerged counts the worker-local reducer shards merged at the end
+	// of a sequencer-free reduce call (0 on the ordered Stream path — see
+	// Engine.Reduce).
+	ShardsMerged int
 }
 
 // streamBlock is the fan-out granularity: one atomic claim per block keeps

@@ -1,0 +1,278 @@
+// Chaos scenarios for the sharded job runner. The property under test is
+// stronger than the unsharded harness's: sharded summaries must be
+// byte-identical to the UNSHARDED golden run — across clean runs, chunk
+// panics, hard restarts, and resumes that may only re-evaluate the dirty
+// shards. Run under -race in CI.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/faultpoint"
+)
+
+// shardedOptions shards the 48-candidate testSpec into 4 shards of 12.
+func shardedOptions() Options {
+	return Options{CheckpointEvery: 8, JobShards: 4, ShardAbove: 16}
+}
+
+// TestShardedMatchesUnshardedGolden: the sharded runner's summary is
+// byte-identical to the unsharded run of the same spec, and the progress
+// events carry per-shard positions.
+func TestShardedMatchesUnshardedGolden(t *testing.T) {
+	golden := goldenSummary(t, testSpec())
+
+	s := newTestService(t, shardedOptions())
+	job, sum := runToSummary(t, s, testSpec())
+	if string(sum) != string(golden) {
+		t.Fatalf("sharded summary differs from unsharded golden\ngot:  %s\nwant: %s", sum, golden)
+	}
+
+	evs, _, stop, err := s.EventsSince(job.ID, 1)
+	if err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	stop()
+	var sawShards bool
+	for _, ev := range evs {
+		if ev.Type != "progress" || ev.Progress == nil {
+			continue
+		}
+		if len(ev.Progress.Shards) != 4 {
+			t.Fatalf("progress event carries %d shards, want 4: %+v", len(ev.Progress.Shards), ev.Progress)
+		}
+		sawShards = true
+		covered := 0
+		for i, sp := range ev.Progress.Shards {
+			if sp.Lo >= sp.Hi || sp.NextIndex < sp.Lo || sp.NextIndex > sp.Hi {
+				t.Fatalf("shard %d progress out of range: %+v", i, sp)
+			}
+			covered += sp.Hi - sp.Lo
+		}
+		if covered != 48 {
+			t.Fatalf("shards cover %d candidates, want 48", covered)
+		}
+	}
+	if !sawShards {
+		t.Error("no progress event carried shard positions — job did not run sharded")
+	}
+}
+
+// TestShardedSmallJobStaysUnsharded: a job below ShardAbove runs on the
+// single-cursor path even with sharding configured.
+func TestShardedSmallJobStaysUnsharded(t *testing.T) {
+	s := newTestService(t, Options{CheckpointEvery: 8, JobShards: 4, ShardAbove: 1000})
+	job, _ := runToSummary(t, s, testSpec())
+	evs, _, stop, _ := s.EventsSince(job.ID, 1)
+	stop()
+	for _, ev := range evs {
+		if ev.Type == "progress" && ev.Progress != nil && len(ev.Progress.Shards) > 0 {
+			t.Fatalf("small job emitted shard progress: %+v", ev.Progress)
+		}
+	}
+}
+
+// TestShardedChunkPanicContained: an armed panic at a shard-chunk boundary
+// is contained on that shard, its dirty range re-runs once, siblings are
+// unaffected, and the summary stays byte-identical to the unsharded golden.
+func TestShardedChunkPanicContained(t *testing.T) {
+	golden := goldenSummary(t, testSpec())
+
+	s := newTestService(t, shardedOptions())
+	// 4 shards × 2 chunks each = 8 chunk hits; panic on the 4th.
+	disarm := faultpoint.ArmN(FaultPointShardChunk, 3, 1, func() error {
+		panic("chaos: injected shard-chunk panic")
+	})
+	defer disarm()
+	job, sum := runToSummary(t, s, testSpec())
+	if string(sum) != string(golden) {
+		t.Fatalf("summary after contained shard panic differs\ngot:  %s\nwant: %s", sum, golden)
+	}
+	evs, _, stop, _ := s.EventsSince(job.ID, 1)
+	stop()
+	var rerun bool
+	for _, ev := range evs {
+		if ev.Type == "error" {
+			rerun = true
+		}
+	}
+	if !rerun {
+		t.Error("no error event recorded for the contained shard panic")
+	}
+}
+
+// TestShardedPersistentFaultFails: a fault that strikes every chunk re-run
+// too fails the job — no infinite retry on the sharded path either.
+func TestShardedPersistentFaultFails(t *testing.T) {
+	s := newTestService(t, shardedOptions())
+	disarm := faultpoint.Arm(FaultPointShardChunk, func() error {
+		return errors.New("chaos: persistent shard fault")
+	})
+	defer disarm()
+	job, err := s.Submit("chaos", "", testSpec())
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		j, _, _, _ := s.Get(job.ID)
+		if j.State.Terminal() {
+			if j.State != StateFailed {
+				t.Fatalf("job ended %q, want failed", j.State)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("job did not terminate")
+}
+
+// TestShardedHardRestart: the process "dies" mid-sharded-run; a fresh
+// service over the same store resumes the recorded shard set — even under
+// a different -job-shards setting — and converges to the unsharded golden
+// bytes.
+func TestShardedHardRestart(t *testing.T) {
+	golden := goldenSummary(t, testSpec())
+	path := filepath.Join(t.TempDir(), "sharded.ndjson")
+
+	eng := explore.New(core.Default())
+	eng.ScalarOnly = true // route through evaluateOne so the throttle below fires
+	resolve := func(params []byte) (*explore.Engine, error) { return eng, nil }
+
+	store, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	svc, err := New(Options{Store: store, Resolve: resolve,
+		CheckpointEvery: 4, JobShards: 3, ShardAbove: 8})
+	if err != nil {
+		t.Fatalf("new service: %v", err)
+	}
+	// Throttle evaluation so the kill lands mid-job.
+	throttle := faultpoint.Arm(explore.FaultPointEvaluate, func() error {
+		time.Sleep(500 * time.Microsecond)
+		return nil
+	})
+	job, err := svc.Submit("chaos", "", testSpec())
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, prog, _, _ := svc.Get(job.ID); prog.NextIndex > 0 && prog.NextIndex < prog.Total {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	svc.Abort()
+	throttle()
+
+	// "Restart" with a different shard setting: the durable checkpoint's
+	// shard ranges win, so a partially evaluated job is never re-split.
+	store2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatalf("reopen store: %v", err)
+	}
+	svc2 := newTestService(t, Options{Store: store2, Resolve: resolve,
+		CheckpointEvery: 4, JobShards: 5, ShardAbove: 8})
+	if _, _, _, err := svc2.Get(job.ID); err != nil {
+		t.Fatalf("job lost across restart: %v", err)
+	}
+	waitState(t, svc2, job.ID, StateDone)
+	_, _, sum, err := svc2.Get(job.ID)
+	if err != nil {
+		t.Fatalf("summary after restart: %v", err)
+	}
+	if string(sum) != string(golden) {
+		t.Fatalf("summary after sharded hard restart differs\ngot:  %s\nwant: %s", sum, golden)
+	}
+}
+
+// TestShardedResumeOnlyDirtyShards: resuming a handcrafted sharded
+// checkpoint — shard 0 complete, shard 1 parked mid-range — re-evaluates
+// exactly the dirty remainder of shard 1 and still produces the unsharded
+// golden bytes. This is the "crash resumes only dirty shards" guarantee,
+// counted at the evaluation fault point.
+func TestShardedResumeOnlyDirtyShards(t *testing.T) {
+	spec := testSpec()
+	golden := goldenSummary(t, spec)
+
+	// Fold the real ranges to forge the durable shard snapshots: shard 0 is
+	// [0,24) complete; shard 1 is [24,48) checkpointed at 32.
+	eng := explore.New(core.Default())
+	space, err := spec.Space.SpaceWith(eng.Model.GridDB())
+	if err != nil {
+		t.Fatalf("space: %v", err)
+	}
+	it, err := space.Iter()
+	if err != nil {
+		t.Fatalf("iter: %v", err)
+	}
+	src := it.Plan()
+	fold := func(lo, hi int) *reducers {
+		red, _ := newReducers(spec.Top, nil)
+		if _, err := eng.StreamRange(context.Background(), src, lo, hi, func(res explore.Result) error {
+			red.add(res)
+			return nil
+		}); err != nil {
+			t.Fatalf("fold [%d,%d): %v", lo, hi, err)
+		}
+		return red
+	}
+	sc0, err := fold(0, 24).shardCheckpoint(0, 24, 24)
+	if err != nil {
+		t.Fatalf("shard 0 checkpoint: %v", err)
+	}
+	sc1, err := fold(24, 32).shardCheckpoint(24, 48, 32)
+	if err != nil {
+		t.Fatalf("shard 1 checkpoint: %v", err)
+	}
+	cp := Checkpoint{NextIndex: 32, Shards: []ShardCheckpoint{sc0, sc1}}
+
+	job := Job{
+		ID: "j000001", Tenant: "chaos", Spec: spec,
+		SpecFP: spec.Fingerprint(), ParamsFP: spec.ParamsFingerprint(),
+		State: StateRunning, Total: 48, Created: time.Now().UTC(),
+	}
+	store := &MemStore{}
+	if err := store.Append(Record{Kind: "job", Job: &job}); err != nil {
+		t.Fatalf("append job: %v", err)
+	}
+	if err := store.Append(Record{Kind: "checkpoint", JobID: job.ID, Checkpoint: &cp}); err != nil {
+		t.Fatalf("append checkpoint: %v", err)
+	}
+
+	// Count every candidate evaluation on the resume (scalar path hits
+	// FaultPointEvaluate once per candidate).
+	var evals atomic.Int64
+	count := faultpoint.Arm(explore.FaultPointEvaluate, func() error {
+		evals.Add(1)
+		return nil
+	})
+	defer count()
+	seng := explore.New(core.Default())
+	seng.ScalarOnly = true
+	s := newTestService(t, Options{
+		Store:           store,
+		Resolve:         func(params []byte) (*explore.Engine, error) { return seng, nil },
+		CheckpointEvery: 8,
+	})
+	waitState(t, s, job.ID, StateDone)
+	_, _, sum, err := s.Get(job.ID)
+	if err != nil {
+		t.Fatalf("summary: %v", err)
+	}
+	if string(sum) != string(golden) {
+		t.Fatalf("summary after dirty-shard resume differs\ngot:  %s\nwant: %s", sum, golden)
+	}
+	if got := evals.Load(); got != 16 {
+		t.Fatalf("resume re-evaluated %d candidates, want 16 (only shard 1's dirty remainder [32,48))", got)
+	}
+}

@@ -101,15 +101,58 @@ type Checkpoint struct {
 	NextIndex int `json:"next_index"`
 	// Ranked/Frontier/Stats are the serialized reducer states
 	// (explore.PointTopK, explore.PointFrontier, explore.RunningStats).
+	// Unused (null) when the job runs sharded.
 	Ranked   json.RawMessage `json:"ranked"`
 	Frontier json.RawMessage `json:"frontier"`
 	Stats    json.RawMessage `json:"stats"`
+	// Shards, when present, marks a sharded job: the candidate range is
+	// split into fixed index-range shards executed concurrently, each with
+	// its own cursor and reducer snapshots. NextIndex then reports the
+	// total completed candidate count (the sum of per-shard progress —
+	// still monotone), and a crash resumes each shard from its own cursor,
+	// so only dirty shards re-run.
+	Shards []ShardCheckpoint `json:"shards,omitempty"`
+}
+
+// ShardCheckpoint is one shard's durable progress inside a sharded job:
+// its fixed index range [Lo, Hi), its own next cursor, and its own reducer
+// snapshots. Merging every shard's restored snapshots in index order
+// reproduces the unsharded reduction bit for bit (the explore merge laws),
+// which is what keeps sharded summaries byte-identical to unsharded ones.
+type ShardCheckpoint struct {
+	Lo        int             `json:"lo"`
+	Hi        int             `json:"hi"`
+	NextIndex int             `json:"next_index"`
+	Ranked    json.RawMessage `json:"ranked"`
+	Frontier  json.RawMessage `json:"frontier"`
+	Stats     json.RawMessage `json:"stats"`
 }
 
 // Progress is the wire form of a job's position.
 type Progress struct {
 	NextIndex int `json:"next_index"`
 	Total     int `json:"total"`
+	// Shards carries per-shard positions while a sharded job runs.
+	Shards []ShardProgress `json:"shards,omitempty"`
+}
+
+// ShardProgress is one shard's position inside a sharded job.
+type ShardProgress struct {
+	Lo        int `json:"lo"`
+	Hi        int `json:"hi"`
+	NextIndex int `json:"next_index"`
+}
+
+// shardProgress projects shard checkpoints to their wire positions.
+func shardProgress(shards []ShardCheckpoint) []ShardProgress {
+	if len(shards) == 0 {
+		return nil
+	}
+	out := make([]ShardProgress, len(shards))
+	for i, sc := range shards {
+		out[i] = ShardProgress{Lo: sc.Lo, Hi: sc.Hi, NextIndex: sc.NextIndex}
+	}
+	return out
 }
 
 // Event is one line of a job's event stream. Seq is per-job, 1-based and

@@ -150,6 +150,15 @@ func (s *Service) run(ctx context.Context, h *runHandle, id string) {
 	// share its embodied-term slots.
 	src := it.Plan()
 
+	// Large jobs split into index-range shards executed concurrently over
+	// the sequencer-free reduce path; everything below stays the single-
+	// cursor ordered path (and stays byte-compatible with pre-shard
+	// checkpoints).
+	if k := s.shardCount(job.Total, cp); k > 1 {
+		s.runSharded(ctx, h, e, id, job, eng, src, cp, k, fail)
+		return
+	}
+
 	red, err := newReducers(job.Spec.Top, cp)
 	if err != nil {
 		// A corrupt checkpoint cannot be resumed; restart from scratch
@@ -250,9 +259,15 @@ func (s *Service) run(ctx context.Context, h *runHandle, id string) {
 		fail("summarize: "+err.Error(), "")
 		return
 	}
+	s.finishDone(e, id, sum)
+}
+
+// finishDone performs the terminal done transition: persist, summary and
+// state events, counters, quota release.
+func (s *Service) finishDone(e *jobEntry, id string, sum []byte) {
 	s.mu.Lock()
 	s.setStateLocked(e, StateDone, "", "")
-	job = e.job
+	job := e.job
 	s.mu.Unlock()
 	s.cDone.Add(1)
 	s.lim.release(job.Tenant)

@@ -1,0 +1,314 @@
+// The sharded job runner. A large job splits its candidate range into K
+// fixed, contiguous index-range shards executed concurrently; each shard
+// advances in checkpoint-sized chunks over the sequencer-free reduce path
+// (explore.ReduceRange) and carries its own cursor and reducer snapshots
+// inside the shared checkpoint record. A crash therefore resumes each
+// shard from its own cursor — clean shards are not re-evaluated — and the
+// terminal summary is produced by restoring every shard's snapshots and
+// merging them in index order, which the explore merge laws make
+// byte-identical to the unsharded single-cursor run.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"repro/internal/explore"
+	"repro/internal/faultpoint"
+)
+
+// shardCount decides how many index-range shards a job runs as: a resumed
+// sharded checkpoint keeps its recorded shard count (the ranges are fixed
+// for the job's lifetime), legacy unsharded progress stays unsharded, and
+// a fresh job shards when configured and large enough to be worth it.
+func (s *Service) shardCount(total int, cp *Checkpoint) int {
+	if cp != nil {
+		if len(cp.Shards) > 0 {
+			return len(cp.Shards)
+		}
+		if cp.NextIndex > 0 {
+			return 1
+		}
+	}
+	k := s.opts.jobShards()
+	if k <= 1 || total < s.opts.shardAbove() {
+		return 1
+	}
+	if k > total {
+		k = total
+	}
+	return k
+}
+
+// shardCheckpoint snapshots the reducer set as one shard's durable state.
+func (r *reducers) shardCheckpoint(lo, hi, nextIndex int) (ShardCheckpoint, error) {
+	cp, err := r.checkpoint(nextIndex)
+	if err != nil {
+		return ShardCheckpoint{}, err
+	}
+	return ShardCheckpoint{Lo: lo, Hi: hi, NextIndex: nextIndex,
+		Ranked: cp.Ranked, Frontier: cp.Frontier, Stats: cp.Stats}, nil
+}
+
+// mergeShardCheckpoints restores every shard's reducer snapshots and merges
+// them in index order into one reducer set. Shards are contiguous ranges
+// merged in enumeration order, so the result matches the single-cursor fold
+// bit for bit (frontier first-occurrence rule included).
+func mergeShardCheckpoints(top int, shards []ShardCheckpoint) (*reducers, error) {
+	merged, _ := newReducers(top, nil)
+	for i := range shards {
+		sh, err := newReducers(top, &Checkpoint{
+			Ranked: shards[i].Ranked, Frontier: shards[i].Frontier, Stats: shards[i].Stats})
+		if err != nil {
+			return nil, fmt.Errorf("jobs: shard %d: %w", i, err)
+		}
+		merged.ranked.Merge(sh.ranked)
+		merged.frontier.Merge(sh.frontier)
+		merged.stats.Merge(sh.stats)
+	}
+	return merged, nil
+}
+
+// shardRun is one shard's in-memory execution state: live reducers plus
+// the last durable checkpoint they are a restore of.
+type shardRun struct {
+	red  *reducers
+	last ShardCheckpoint
+}
+
+// runSharded executes one leased job as k concurrent index-range shards.
+// It owns the same state transitions as run and reuses its fail closure.
+func (s *Service) runSharded(ctx context.Context, h *runHandle, e *jobEntry, id string, job Job,
+	eng *explore.Engine, src explore.Source, cp *Checkpoint, k int, fail func(msg, panicMsg string)) {
+
+	// Build the shard set: restore each shard from its own snapshot when a
+	// sharded checkpoint exists, otherwise split [0, Total) evenly. A
+	// corrupt shard snapshot restarts the whole job from scratch — the same
+	// policy the unsharded path applies to a corrupt checkpoint.
+	shards := make([]*shardRun, k)
+	restored := cp != nil && len(cp.Shards) == k
+	if restored {
+		for i := range shards {
+			red, err := newReducers(job.Spec.Top, &Checkpoint{
+				Ranked: cp.Shards[i].Ranked, Frontier: cp.Shards[i].Frontier, Stats: cp.Shards[i].Stats})
+			if err != nil {
+				s.logf("job %s: shard %d: %v — restarting all shards from index 0", id, i, err)
+				restored = false
+				break
+			}
+			shards[i] = &shardRun{red: red, last: cp.Shards[i]}
+		}
+	}
+	if !restored {
+		q, rem := job.Total/k, job.Total%k
+		lo := 0
+		for i := range shards {
+			size := q
+			if i < rem {
+				size++
+			}
+			red, _ := newReducers(job.Spec.Top, nil)
+			sc, err := red.shardCheckpoint(lo, lo+size, lo)
+			if err != nil {
+				fail("checkpoint: "+err.Error(), "")
+				return
+			}
+			shards[i] = &shardRun{red: red, last: sc}
+			lo += size
+		}
+	}
+
+	buildCheckpoint := func() Checkpoint {
+		ncp := Checkpoint{Shards: make([]ShardCheckpoint, k)}
+		for j, sr := range shards {
+			ncp.Shards[j] = sr.last
+			// Top-level NextIndex stays the monotone completed-candidate
+			// count so unsharded progress consumers keep working.
+			ncp.NextIndex += sr.last.NextIndex - sr.last.Lo
+		}
+		return ncp
+	}
+
+	// Persist the initial split before any evaluation: the shard ranges are
+	// now fixed in the store, so a crash or a changed -job-shards flag can
+	// never re-split a partially evaluated job.
+	if !restored {
+		ncp := buildCheckpoint()
+		if perr := s.persist(Record{Kind: "checkpoint", JobID: id, Checkpoint: &ncp}); perr != nil {
+			if s.aborted.Load() {
+				return
+			}
+			fail("persist checkpoint: "+perr.Error(), "")
+			return
+		}
+		s.mu.Lock()
+		e.cp = &ncp
+		s.mu.Unlock()
+	}
+
+	// One cancel fan-in: a fatal failure in any shard, a stop request
+	// honored at a chunk boundary, or caller cancellation halts every
+	// sibling at its next chunk edge.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu         sync.Mutex
+		failed     bool
+		fatalMsg   string
+		fatalPanic string
+	)
+	setFatal := func(msg, panicMsg string) {
+		mu.Lock()
+		if !failed {
+			failed, fatalMsg, fatalPanic = true, msg, panicMsg
+		}
+		mu.Unlock()
+		cancel()
+	}
+	// persistShard commits one shard's advanced checkpoint as a whole-job
+	// checkpoint record (the record carries every shard's latest durable
+	// state) and emits the progress event.
+	persistShard := func(i int, sc ShardCheckpoint) error {
+		mu.Lock()
+		defer mu.Unlock()
+		shards[i].last = sc
+		ncp := buildCheckpoint()
+		if perr := s.persist(Record{Kind: "checkpoint", JobID: id, Checkpoint: &ncp}); perr != nil {
+			return perr
+		}
+		s.mu.Lock()
+		e.cp = &ncp
+		s.mu.Unlock()
+		s.emit(id, Event{Type: "progress", Progress: &Progress{
+			NextIndex: ncp.NextIndex, Total: job.Total, Shards: shardProgress(ncp.Shards)}})
+		return nil
+	}
+
+	every := s.opts.checkpointEvery()
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int, sr *shardRun) {
+			defer wg.Done()
+			lo, hi := sr.last.Lo, sr.last.Hi
+			next := sr.last.NextIndex
+			dirty := false
+			for next < hi {
+				if cctx.Err() != nil {
+					return
+				}
+				chunkHi := next + every
+				if chunkHi > hi {
+					chunkHi = hi
+				}
+				// Contain an armed fault-point panic (and any other panic on
+				// this goroutine) the same way the engine contains worker
+				// panics, so the dirty-retry policy below applies uniformly.
+				err := func() (err error) {
+					defer func() {
+						if r := recover(); r != nil {
+							err = &explore.PanicError{Value: r, Stack: debug.Stack()}
+						}
+					}()
+					if err := faultpoint.Hit(FaultPointShardChunk); err != nil {
+						return err
+					}
+					_, err = eng.ReduceRange(cctx, src, next, chunkHi, sr.red.ranked, sr.red.frontier, sr.red.stats)
+					return err
+				}()
+				if err == nil {
+					dirty = false
+					sc, cerr := sr.red.shardCheckpoint(lo, hi, chunkHi)
+					if cerr != nil {
+						setFatal("checkpoint: "+cerr.Error(), "")
+						return
+					}
+					if perr := persistShard(i, sc); perr != nil {
+						if s.aborted.Load() {
+							cancel()
+							return
+						}
+						setFatal("persist checkpoint: "+perr.Error(), "")
+						return
+					}
+					next = chunkHi
+					// Honor a park/cancel at the chunk boundary; siblings
+					// stop at their own next edge via the shared cancel.
+					if r := stopReason(h.reason.Load()); r != stopNone || cctx.Err() != nil {
+						cancel()
+						return
+					}
+					continue
+				}
+
+				// The chunk failed. ReduceRange leaves the shard reducers
+				// untouched on error, so the live state still matches the
+				// last durable checkpoint — there is nothing to roll back,
+				// only the decision whether to re-run the dirty range.
+				if cctx.Err() != nil {
+					return
+				}
+				var pe *explore.PanicError
+				if errors.As(err, &pe) {
+					if !dirty {
+						dirty = true
+						s.emit(id, Event{Type: "error",
+							Error: fmt.Sprintf("worker panic in shard %d range [%d,%d): %v — re-running range once", i, next, chunkHi, pe.Value)})
+						s.logf("job %s: contained panic in shard %d [%d,%d), re-running", id, i, next, chunkHi)
+						continue
+					}
+					setFatal(fmt.Sprintf("worker panic in shard %d range [%d,%d) persisted across re-run", i, next, chunkHi),
+						fmt.Sprintf("%v", pe.Value))
+					return
+				}
+				if !dirty {
+					dirty = true
+					s.emit(id, Event{Type: "error",
+						Error: fmt.Sprintf("fault in shard %d range [%d,%d): %v — re-running range once", i, next, chunkHi, err)})
+					continue
+				}
+				setFatal(fmt.Sprintf("shard %d range [%d,%d) failed across re-run: %v", i, next, chunkHi, err), "")
+				return
+			}
+		}(i, shards[i])
+	}
+	wg.Wait()
+
+	mu.Lock()
+	wasFatal, msg, pmsg := failed, fatalMsg, fatalPanic
+	mu.Unlock()
+	if wasFatal {
+		fail(msg, pmsg)
+		return
+	}
+	if r := stopReason(h.reason.Load()); r != stopNone || ctx.Err() != nil {
+		s.stopAt(e, id, r)
+		return
+	}
+	if s.aborted.Load() {
+		return
+	}
+
+	// Terminal summary from the DURABLE shard snapshots, not the live
+	// reducers: restore-and-merge is exactly what a resume after the final
+	// checkpoint would compute, so finishing now or after another crash
+	// yields the same bytes.
+	final := make([]ShardCheckpoint, k)
+	for j, sr := range shards {
+		final[j] = sr.last
+	}
+	merged, err := mergeShardCheckpoints(job.Spec.Top, final)
+	if err != nil {
+		fail("merge shards: "+err.Error(), "")
+		return
+	}
+	sum, err := merged.summaryBytes(job.Total)
+	if err != nil {
+		fail("summarize: "+err.Error(), "")
+		return
+	}
+	s.finishDone(e, id, sum)
+}

@@ -45,6 +45,16 @@ type Options struct {
 	CheckpointEvery int
 	// MaxSpace bounds one job's evaluated candidates (≤0 = default).
 	MaxSpace int
+	// JobShards splits a large job into this many concurrently executed
+	// index-range shard sub-runs, each with its own checkpoint cursor and
+	// reducer snapshots (≤1 disables sharding). The final summary merges
+	// the restored shard snapshots in index order and is byte-identical to
+	// an unsharded run; a crash resumes only dirty shards.
+	JobShards int
+	// ShardAbove is the minimum candidate count before a job shards
+	// (≤0 = 4 × CheckpointEvery). Small jobs stay unsharded — shard
+	// bookkeeping would dominate.
+	ShardAbove int
 	// RatePerSec/Burst token-bucket submissions per tenant (0 = unlimited).
 	RatePerSec float64
 	Burst      int
@@ -69,6 +79,20 @@ func (o Options) checkpointEvery() int {
 		return o.CheckpointEvery
 	}
 	return DefaultCheckpointEvery
+}
+
+func (o Options) jobShards() int {
+	if o.JobShards > 1 {
+		return o.JobShards
+	}
+	return 1
+}
+
+func (o Options) shardAbove() int {
+	if o.ShardAbove > 0 {
+		return o.ShardAbove
+	}
+	return 4 * o.checkpointEvery()
 }
 
 func (o Options) maxRunning() int {
@@ -366,8 +390,12 @@ func (s *Service) Get(id string) (Job, Progress, []byte, error) {
 		return Job{}, Progress{}, nil, ErrNotFound
 	}
 	p := Progress{NextIndex: cpIndex(e.cp), Total: e.job.Total}
+	if e.cp != nil {
+		p.Shards = shardProgress(e.cp.Shards)
+	}
 	if e.job.State == StateDone {
 		p.NextIndex = e.job.Total
+		p.Shards = nil
 	}
 	return e.job, p, e.summary, nil
 }
@@ -389,7 +417,17 @@ func (s *Service) PartialSummary(id string) ([]byte, error) {
 	cp := e.cp
 	total := e.job.Total
 	s.mu.Unlock()
-	red, err := newReducers(0, cp) // Top bound applies at the terminal summary
+	// Top bound applies at the terminal summary, so both paths restore
+	// unbounded reducers here.
+	var (
+		red *reducers
+		err error
+	)
+	if cp != nil && len(cp.Shards) > 0 {
+		red, err = mergeShardCheckpoints(0, cp.Shards)
+	} else {
+		red, err = newReducers(0, cp)
+	}
 	if err != nil {
 		return nil, err
 	}

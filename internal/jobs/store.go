@@ -19,6 +19,10 @@ const (
 	// FaultPointSink fires once per delivered result inside the runner's
 	// sink; arming it to panic simulates a worker crash mid-range.
 	FaultPointSink = "jobs.runner.sink"
+	// FaultPointShardChunk fires once per shard chunk before it reduces —
+	// the sharded-path analogue of FaultPointSink (the sequencer-free path
+	// has no per-result sink to fault).
+	FaultPointShardChunk = "jobs.runner.shard"
 )
 
 // Record is one append-only store entry. Exactly one of Job, Event and

@@ -22,7 +22,9 @@
 // Determinism: identical (space, model, driver, seed, budget) yield
 // identical results, trajectories and counters at any worker count. All
 // randomness flows from the seeded generator, candidate results arrive in
-// enumeration order (the streaming sequencer's guarantee), block processing
+// enumeration order (runs ride the sequencer-free Engine.ReduceRange with
+// a Collector, whose contiguous shards merge back in enumeration order),
+// block processing
 // follows a NaN-safe total order, and no decision ever iterates a map.
 package optimize
 
@@ -362,17 +364,17 @@ func (s *searcher) evalAt(i int) (obj float64, ok bool, err error) {
 		return 0, false, nil
 	}
 	obj = math.Inf(1)
-	_, err = s.eng.StreamRange(s.ctx, s.plan, i, i+1, func(r explore.Result) error {
+	col := &explore.Collector{}
+	if _, err = s.eng.ReduceRange(s.ctx, s.plan, i, i+1, col); err != nil {
+		return 0, false, err
+	}
+	for _, r := range col.Results {
 		s.admit(i, r)
 		if r.Err == nil {
 			if t := r.Total(); !math.IsNaN(t) {
 				obj = t
 			}
 		}
-		return nil
-	})
-	if err != nil {
-		return 0, false, err
 	}
 	s.visited[i] = obj
 	bi := i / s.blockSize
@@ -465,18 +467,16 @@ func (s *searcher) sweep(b *block, end int) (covered bool, err error) {
 	}
 	for k := 0; k < want; k++ {
 		lo := b.lo + s.runOrder[b.cov]*p
-		next := lo
-		_, err = s.eng.StreamRange(s.ctx, s.plan, lo, lo+p, func(r explore.Result) error {
-			i := next
-			next++
+		col := &explore.Collector{}
+		if _, err = s.eng.ReduceRange(s.ctx, s.plan, lo, lo+p, col); err != nil {
+			return false, err
+		}
+		for j, r := range col.Results {
+			i := lo + j
 			if _, seen := s.visited[i]; seen {
-				return nil // already charged and admitted by the heuristic phase
+				continue // already charged and admitted by the heuristic phase
 			}
 			s.admit(i, r)
-			return nil
-		})
-		if err != nil {
-			return false, err
 		}
 		b.cov++
 	}

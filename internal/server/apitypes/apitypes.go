@@ -304,6 +304,12 @@ type EngineStats struct {
 	BlockCandidates uint64 `json:"block_candidates"`
 	BlockRuns       uint64 `json:"block_runs"`
 	BlockStencils   uint64 `json:"block_stencils"`
+
+	// SequencerBypassed counts reductions served by the sequencer-free
+	// sharded path (Engine.Reduce); ShardsMerged counts the worker-local
+	// reducer shards those reductions merged at their barriers.
+	SequencerBypassed uint64 `json:"sequencer_bypassed"`
+	ShardsMerged      uint64 `json:"shards_merged"`
 }
 
 // NewEngineStats converts the engine counters.
@@ -324,6 +330,9 @@ func NewEngineStats(st explore.Stats) EngineStats {
 		BlockCandidates: st.BlockCandidates,
 		BlockRuns:       st.BlockRuns,
 		BlockStencils:   st.BlockStencils,
+
+		SequencerBypassed: st.SequencerBypassed,
+		ShardsMerged:      st.ShardsMerged,
 	}
 }
 

@@ -48,10 +48,21 @@ type JobStatus struct {
 	Finished time.Time       `json:"finished,omitempty"`
 }
 
-// JobProgress is the position carried by progress events.
+// JobProgress is the position carried by progress events. NextIndex is the
+// durably completed candidate count; for a sharded job Shards carries each
+// index-range shard's own position.
 type JobProgress struct {
+	NextIndex int                `json:"next_index"`
+	Total     int                `json:"total"`
+	Shards    []JobShardProgress `json:"shards,omitempty"`
+}
+
+// JobShardProgress is one shard's position inside a sharded job: its fixed
+// range [Lo, Hi) and its own durable cursor.
+type JobShardProgress struct {
+	Lo        int `json:"lo"`
+	Hi        int `json:"hi"`
 	NextIndex int `json:"next_index"`
-	Total     int `json:"total"`
 }
 
 // JobEvent is one NDJSON line of GET /v1/jobs/{id}/events. Seq is

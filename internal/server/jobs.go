@@ -46,6 +46,8 @@ func (s *Server) newJobService() (*jobs.Service, error) {
 		MaxRunning:         s.opts.MaxRunningJobs,
 		CheckpointEvery:    s.opts.JobCheckpointEvery,
 		MaxSpace:           s.opts.MaxJobSpace,
+		JobShards:          s.opts.JobShards,
+		ShardAbove:         s.opts.JobShardAbove,
 		RatePerSec:         s.opts.JobRatePerSec,
 		Burst:              s.opts.JobBurst,
 		MaxActivePerTenant: s.opts.MaxActiveJobsPerTenant,
@@ -107,6 +109,10 @@ func wireJobEvent(ev jobs.Event) apitypes.JobEvent {
 	if ev.Progress != nil {
 		out.Progress = &apitypes.JobProgress{
 			NextIndex: ev.Progress.NextIndex, Total: ev.Progress.Total,
+		}
+		for _, sp := range ev.Progress.Shards {
+			out.Progress.Shards = append(out.Progress.Shards,
+				apitypes.JobShardProgress{Lo: sp.Lo, Hi: sp.Hi, NextIndex: sp.NextIndex})
 		}
 	}
 	return out

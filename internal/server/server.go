@@ -145,6 +145,11 @@ type Options struct {
 	// MaxJobSpace bounds the candidates one job may evaluate; ≤0 means the
 	// jobs package default.
 	MaxJobSpace int
+	// JobShards splits large jobs into this many concurrent index-range
+	// shard sub-runs (≤1 disables); JobShardAbove is the minimum candidate
+	// count before a job shards (≤0 means the jobs package default).
+	JobShards     int
+	JobShardAbove int
 	// JobRatePerSec/JobBurst rate-limit job submissions per tenant
 	// (token bucket); 0 disables rate limiting.
 	JobRatePerSec float64
