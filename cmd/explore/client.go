@@ -166,6 +166,20 @@ func (c *jobClient) tail(id string) (string, error) {
 			c.sleep(c.backoff(failures-1, ""))
 			continue
 		}
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+			// Transient rejection (saturated, draining, restarting): the
+			// cursor makes reattaching safe, so back off and retry instead
+			// of surfacing a hard error mid-tail.
+			body, _ := io.ReadAll(resp.Body)
+			retryAfter := resp.Header.Get("Retry-After")
+			resp.Body.Close()
+			if failures++; failures >= tailAttempts {
+				return "", fmt.Errorf("event stream kept rejecting: %w",
+					decodeAPIError(resp.StatusCode, body))
+			}
+			c.sleep(c.backoff(failures-1, retryAfter))
+			continue
+		}
 		if resp.StatusCode != http.StatusOK {
 			body, _ := io.ReadAll(resp.Body)
 			resp.Body.Close()
@@ -198,6 +212,12 @@ func (c *jobClient) drain(body io.Reader, next *int) (string, error) {
 		var ev apitypes.JobEvent
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
 			return "", fmt.Errorf("bad event line: %w", err)
+		}
+		if ev.Seq < *next {
+			// A resumed stream may overlap the cursor (the server replays
+			// from its last durable batch); those events were already
+			// printed, so skip them instead of duplicating output.
+			continue
 		}
 		*next = ev.Seq + 1
 		switch ev.Type {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -166,6 +167,67 @@ func TestClientBackoff(t *testing.T) {
 			if d < base/2 || d > base {
 				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, base/2, base)
 			}
+		}
+	}
+}
+
+// TestClientTailReconnectDedupe pins the tail's resumption contract: a
+// connection that dies mid-stream is reattached via the ?from= cursor, a
+// transient 503 on the reconnect is retried after exactly its
+// Retry-After instead of surfacing as a hard error, and a replayed
+// stream that overlaps the cursor prints each event exactly once.
+func TestClientTailReconnectDedupe(t *testing.T) {
+	var conns atomic.Int32
+	events := []string{
+		`{"seq":1,"type":"state","state":"running"}`,
+		`{"seq":2,"type":"progress","progress":{"next_index":4,"total":8}}`,
+		`{"seq":3,"type":"progress","progress":{"next_index":8,"total":8}}`,
+		`{"seq":4,"type":"summary"}`,
+		`{"seq":5,"type":"state","state":"done"}`,
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch conns.Add(1) {
+		case 1:
+			// Two events, then the connection dies before a terminal state.
+			fmt.Fprintln(w, events[0])
+			fmt.Fprintln(w, events[1])
+		case 2:
+			// The reconnect lands mid-drain: transient, not fatal.
+			w.Header().Set("Retry-After", "3")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":{"code":"draining","message":"shutting down"}}`))
+		default:
+			// Full replay overlapping the cursor; the client must dedupe.
+			for _, ev := range events {
+				fmt.Fprintln(w, ev)
+			}
+		}
+	}))
+	defer srv.Close()
+
+	var out bytes.Buffer
+	c := newJobClient(srv.URL, "", "", &out)
+	var slept []time.Duration
+	c.sleep = func(d time.Duration) { slept = append(slept, d) }
+	state, err := c.tail("j000001")
+	if err != nil {
+		t.Fatalf("tail: %v\noutput:\n%s", err, out.String())
+	}
+	if state != "done" {
+		t.Fatalf("terminal state = %q, want done", state)
+	}
+	var sawRetryAfter bool
+	for _, d := range slept {
+		if d == 3*time.Second {
+			sawRetryAfter = true
+		}
+	}
+	if !sawRetryAfter {
+		t.Fatalf("503 Retry-After not honored: slept %v", slept)
+	}
+	for _, seq := range []string{"[1]", "[2]", "[3]", "[5]"} {
+		if got := strings.Count(out.String(), seq); got != 1 {
+			t.Fatalf("event %s printed %d times, want exactly once:\n%s", seq, got, out.String())
 		}
 	}
 }

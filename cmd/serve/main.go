@@ -10,6 +10,9 @@
 //	      [-job-store jobs.ndjson] [-max-job-space 1000000] [-max-running-jobs 2]
 //	      [-job-rate 1] [-job-burst 4] [-max-active-jobs 4] [-drain-timeout 10s]
 //	      [-job-shards 4] [-job-shard-above 1024]
+//	      [-replicas http://h1:8035,http://h2:8035] [-shard-lease 30s]
+//	      [-replica-timeout 15s] [-replica-of http://coord:8035]
+//	      [-advertise http://me:8035] [-heartbeat-every 5s]
 //
 // -params sets the server's baseline ParameterSet from a scenario profile;
 // requests may additionally carry inline "params" overlays, resolved
@@ -30,6 +33,17 @@
 // final summary (merged from the shard snapshots in index order) stays
 // byte-identical to an unsharded run.
 //
+// -replicas makes the process a coordinator: shard chunks of sharded jobs
+// are dispatched to the listed worker replicas (POST /v1/shards/run)
+// under a -shard-lease, with reassignment on lease expiry or replica
+// failure and in-process fallback when no replica is healthy. More
+// replicas can join at runtime: a process started with -replica-of
+// registers itself with that coordinator (advertising -advertise) and
+// keeps heartbeating every -heartbeat-every; a registered replica silent
+// longer than the coordinator's -replica-timeout stops receiving chunks.
+// Because chunk execution is a pure function of the checkpoint snapshots,
+// distribution never changes a summary byte.
+//
 // Endpoints (see docs/API.md for the full reference):
 //
 //	POST   /v1/evaluate        one design JSON → full life-cycle report
@@ -41,8 +55,11 @@
 //	GET    /v1/jobs/{id}       job status + (partial) summary
 //	GET    /v1/jobs/{id}/events NDJSON event stream, resumable via ?from=
 //	DELETE /v1/jobs/{id}       cancel a job
+//	POST   /v1/shards/run      evaluate one shard chunk for a coordinator
+//	POST   /v1/replicas        register/heartbeat a worker replica
+//	GET    /v1/replicas        list replica health
 //	GET    /v1/meta            enumerable inputs for client UIs
-//	GET    /v1/stats           request / latency / cache / job counters
+//	GET    /v1/stats           request / latency / cache / job / dist counters
 //	GET    /healthz            liveness probe (stays 200 while draining)
 //	GET    /readyz             readiness probe (503 while draining)
 //
@@ -58,9 +75,11 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/jobs"
 	"repro/internal/params"
 	"repro/internal/server"
@@ -100,6 +119,18 @@ func main() {
 		"min candidates before a job shards (0 = 4x the checkpoint interval)")
 	drainTimeout := flag.Duration("drain-timeout", server.DefaultDrainTimeout,
 		"grace window for in-flight requests and job checkpointing on shutdown")
+	replicas := flag.String("replicas", "",
+		"comma-separated worker base URLs to dispatch shard chunks to (empty = run all chunks in-process)")
+	shardLease := flag.Duration("shard-lease", 0,
+		"lease on one dispatched shard chunk; an unanswered lease reassigns the chunk (0 = dist default)")
+	replicaTimeout := flag.Duration("replica-timeout", 0,
+		"silence window before a runtime-registered replica stops receiving chunks (0 = dist default)")
+	replicaOf := flag.String("replica-of", "",
+		"coordinator base URL to register with and heartbeat as a worker replica")
+	advertise := flag.String("advertise", "",
+		"base URL replicas advertise to the coordinator (default derived from -addr)")
+	heartbeatEvery := flag.Duration("heartbeat-every", dist.DefaultHeartbeatInterval,
+		"replica re-registration period under -replica-of")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "serve: ", log.LstdFlags)
@@ -113,6 +144,13 @@ func main() {
 	opts.JobShards = *jobShards
 	opts.JobShardAbove = *jobShardAbove
 	opts.DrainTimeout = *drainTimeout
+	opts.ShardLease = *shardLease
+	opts.ReplicaHeartbeatTimeout = *replicaTimeout
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(strings.TrimRight(u, "/")); u != "" {
+			opts.Replicas = append(opts.Replicas, u)
+		}
+	}
 	if *jobStore != "" {
 		st, err := jobs.OpenFileStore(*jobStore)
 		if err != nil {
@@ -135,6 +173,16 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *replicaOf != "" {
+		coord := strings.TrimRight(*replicaOf, "/")
+		adv := strings.TrimRight(*advertise, "/")
+		if adv == "" {
+			adv = deriveAdvertise(*addr)
+		}
+		logger.Printf("replica mode: heartbeating to %s as %s every %v", coord, adv, *heartbeatEvery)
+		go dist.Heartbeat(ctx, coord, adv, *heartbeatEvery, logger)
+	}
+
 	logger.Printf("listening on %s (cache limit %d, timeout %v)",
 		*addr, *cacheLimit, *timeout)
 	if err := server.ListenAndServe(ctx, *addr, opts); err != nil {
@@ -142,6 +190,16 @@ func main() {
 		os.Exit(1)
 	}
 	logger.Println("shut down")
+}
+
+// deriveAdvertise guesses the URL peers can reach this process at from
+// its listen address: ":8035" advertises the loopback (single-host
+// fleets, the integration harness); an explicit host is used verbatim.
+func deriveAdvertise(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "http://127.0.0.1" + addr
+	}
+	return "http://" + addr
 }
 
 // buildOptions maps the flag values onto the server configuration.

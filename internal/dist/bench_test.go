@@ -1,0 +1,36 @@
+// BenchmarkDistDispatch measures the full loopback dispatch path — wire
+// marshalling, replica handler, chunk evaluation, snapshot return — for
+// one 8-candidate chunk. The delta against the in-process chunk cost
+// (BenchmarkSharded* in internal/explore) is the distribution overhead a
+// deployment pays per chunk.
+package dist_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/jobs"
+)
+
+func BenchmarkDistDispatch(b *testing.B) {
+	r1 := newReplica(b)
+	pool := dist.NewPool(dist.Options{Replicas: []string{r1.URL}})
+	spec := testSpec()
+	state, err := jobs.NewShardState(spec.Top, 0, 8)
+	if err != nil {
+		b.Fatalf("shard state: %v", err)
+	}
+	job := jobs.Job{
+		ID: "bench", Spec: spec,
+		SpecFP: spec.Fingerprint(), ParamsFP: spec.ParamsFingerprint(),
+	}
+	req := jobs.ChunkRequest{Job: job, Shard: 0, State: state, ChunkHi: 8}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pool.Run(context.Background(), req); err != nil {
+			b.Fatalf("dispatch: %v", err)
+		}
+	}
+}

@@ -1,0 +1,495 @@
+// Chaos scenarios for the distributed shard tier, end to end: a
+// coordinator job service dispatching through a Pool to real replica
+// servers (the full HTTP handler stack on httptest listeners). The
+// property under test is the tentpole guarantee — whatever the fleet
+// does (dies mid-chunk, misses leases, cuts connections mid-body,
+// refuses outright, disappears entirely, or the coordinator itself is
+// hard-restarted), the terminal summary is byte-identical to an
+// unsharded in-process run of the same spec. Run under -race in CI.
+package dist_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/explore"
+	"repro/internal/faultpoint"
+	"repro/internal/jobs"
+	"repro/internal/server"
+	"repro/internal/server/apitypes"
+)
+
+// testSpec is the 48-candidate space the jobs chaos harness uses: 4
+// shards of 12, two chunks each at CheckpointEvery 8, mixing successes
+// and wafer failures so the reducer snapshots are non-trivial.
+func testSpec() jobs.Spec {
+	return jobs.Spec{
+		Space: apitypes.SpaceSpec{
+			Name:          "dist-test",
+			Integrations:  []string{"hybrid-3d"},
+			Strategies:    []string{"homogeneous", "heterogeneous"},
+			NodesNM:       []int{5, 7},
+			Gates:         []float64{17e9, 500e9},
+			UseLocations:  []string{"usa", "norway", "india"},
+			LifetimeYears: []float64{5, 10},
+		},
+		Top: 10,
+	}
+}
+
+// newReplica boots the full server stack — the same handlers a worker
+// process serves — on an httptest listener.
+func newReplica(t testing.TB) *httptest.Server {
+	t.Helper()
+	s := server.New(server.Options{})
+	if err := s.JobsErr(); err != nil {
+		t.Fatalf("replica job tier failed to boot: %v", err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return ts
+}
+
+// newCoordinator builds a sharded job service whose chunks are offered
+// to the pool first (the wiring internal/server does for a coordinator
+// process).
+func newCoordinator(t testing.TB, pool *dist.Pool, store jobs.Store) *jobs.Service {
+	t.Helper()
+	eng := explore.New(core.Default())
+	opts := jobs.Options{
+		Resolve:         func(params []byte) (*explore.Engine, error) { return eng, nil },
+		CheckpointEvery: 8,
+		JobShards:       4,
+		ShardAbove:      16,
+		Dispatch:        pool.Run,
+	}
+	if store != nil {
+		opts.Store = store
+	}
+	s, err := jobs.New(opts)
+	if err != nil {
+		t.Fatalf("new coordinator service: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s
+}
+
+// goldenSummary is the unsharded, undistributed reference run.
+func goldenSummary(t testing.TB, spec jobs.Spec) []byte {
+	t.Helper()
+	eng := explore.New(core.Default())
+	s, err := jobs.New(jobs.Options{
+		Resolve:         func(params []byte) (*explore.Engine, error) { return eng, nil },
+		CheckpointEvery: 8,
+	})
+	if err != nil {
+		t.Fatalf("new golden service: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	job, err := s.Submit("golden", "", spec)
+	if err != nil {
+		t.Fatalf("submit golden: %v", err)
+	}
+	return waitDone(t, s, job.ID)
+}
+
+// waitDone polls until the job is done and returns the summary bytes.
+func waitDone(t testing.TB, s *jobs.Service, id string) []byte {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		job, _, sum, err := s.Get(id)
+		if err != nil {
+			t.Fatalf("get %s: %v", id, err)
+		}
+		if job.State == jobs.StateDone {
+			if sum == nil {
+				t.Fatalf("job %s done without a summary", id)
+			}
+			return sum
+		}
+		if job.State.Terminal() {
+			t.Fatalf("job %s reached %q (error=%q panic=%q), want done",
+				id, job.State, job.Error, job.Panic)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish in time", id)
+	return nil
+}
+
+func runDist(t testing.TB, pool *dist.Pool) []byte {
+	t.Helper()
+	s := newCoordinator(t, pool, nil)
+	job, err := s.Submit("chaos", "", testSpec())
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	return waitDone(t, s, job.ID)
+}
+
+// deadURL reserves a port, releases it, and returns a base URL nothing
+// listens on — connection refused, the fastest way a replica can fail.
+func deadURL(t testing.TB) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return "http://" + addr
+}
+
+// TestDistMatchesLocalGolden: the happy path. Two replicas serve every
+// chunk remotely and the summary is byte-identical to the unsharded
+// local run.
+func TestDistMatchesLocalGolden(t *testing.T) {
+	golden := goldenSummary(t, testSpec())
+	r1, r2 := newReplica(t), newReplica(t)
+	pool := dist.NewPool(dist.Options{Replicas: []string{r1.URL, r2.URL}})
+
+	sum := runDist(t, pool)
+	if !bytes.Equal(sum, golden) {
+		t.Fatalf("distributed summary differs from local golden\ngot:  %s\nwant: %s", sum, golden)
+	}
+	c := pool.Counters()
+	// 4 shards × 12 candidates at CheckpointEvery 8 = 8 chunks, all remote.
+	if c.Completed != 8 || c.LocalFallbacks != 0 {
+		t.Fatalf("counters = %+v, want 8 remote completions and no local fallback", c)
+	}
+	// The replicas' own stats account the served chunks.
+	var served, cands int
+	for _, ts := range []*httptest.Server{r1, r2} {
+		resp, err := http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatalf("stats: %v", err)
+		}
+		var stats apitypes.StatsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+			t.Fatalf("decode stats: %v", err)
+		}
+		resp.Body.Close()
+		if stats.Dist == nil {
+			t.Fatal("replica /v1/stats has no dist block")
+		}
+		served += int(stats.Dist.ShardRunsServed)
+		cands += int(stats.Dist.CandidatesServed)
+	}
+	if served != 8 || cands != 48 {
+		t.Fatalf("replicas served %d chunks / %d candidates, want 8 / 48", served, cands)
+	}
+}
+
+// TestDistReplicaKilledMidShard: one of two replicas is hard-killed
+// (connections cut, listener closed — a SIGKILL as the coordinator sees
+// it) while chunks are in flight. The survivors absorb the reassigned
+// work and the bytes do not change.
+func TestDistReplicaKilledMidShard(t *testing.T) {
+	golden := goldenSummary(t, testSpec())
+	r1, r2 := newReplica(t), newReplica(t)
+	pool := dist.NewPool(dist.Options{
+		Replicas:    []string{r1.URL, r2.URL},
+		MaxAttempts: 6,
+	})
+	// Slow each dispatch down so the kill lands while work is in flight.
+	disarm := faultpoint.Arm(dist.FaultPointSend, func() error {
+		time.Sleep(10 * time.Millisecond)
+		return nil
+	})
+	defer disarm()
+
+	s := newCoordinator(t, pool, nil)
+	job, err := s.Submit("chaos", "", testSpec())
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for pool.Counters().Completed == 0 && time.Now().Before(deadline) {
+		time.Sleep(200 * time.Microsecond)
+	}
+	r2.CloseClientConnections()
+	r2.Close() // SIGKILL: in-flight requests die mid-wire, the port goes dark
+
+	sum := waitDone(t, s, job.ID)
+	if !bytes.Equal(sum, golden) {
+		t.Fatalf("summary after replica kill differs\ngot:  %s\nwant: %s", sum, golden)
+	}
+	if c := pool.Counters(); c.LocalFallbacks != 0 {
+		t.Fatalf("replica kill forced local fallback with a healthy survivor: %+v", c)
+	}
+}
+
+// TestDistLeaseExpiryStaleCompletion: a network stall outlives the
+// lease; the chunk is reassigned and re-executed, and the stalled
+// attempt's late success is observed and dropped as stale — the
+// at-least-once double execution the byte-identity argument covers.
+func TestDistLeaseExpiryStaleCompletion(t *testing.T) {
+	golden := goldenSummary(t, testSpec())
+	r1 := newReplica(t)
+	pool := dist.NewPool(dist.Options{
+		Replicas:       []string{r1.URL},
+		Lease:          50 * time.Millisecond,
+		RequestTimeout: 10 * time.Second,
+	})
+	// Exactly one dispatch stalls past the lease, then proceeds.
+	disarm := faultpoint.ArmN(dist.FaultPointSend, 0, 1, func() error {
+		time.Sleep(200 * time.Millisecond)
+		return nil
+	})
+	defer disarm()
+
+	sum := runDist(t, pool)
+	if !bytes.Equal(sum, golden) {
+		t.Fatalf("summary after lease expiry differs\ngot:  %s\nwant: %s", sum, golden)
+	}
+	c := pool.Counters()
+	if c.LeaseExpiries != 1 {
+		t.Fatalf("lease expiries = %d, want exactly the one stalled attempt", c.LeaseExpiries)
+	}
+	// The stalled attempt resolves asynchronously; wait for the drop.
+	deadline := time.Now().Add(10 * time.Second)
+	for pool.Counters().StaleDropped != 1 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if c := pool.Counters(); c.StaleDropped != 1 {
+		t.Fatalf("stale completions dropped = %d, want 1", c.StaleDropped)
+	}
+}
+
+// TestDistTransportFaults: each transport failure mode — connection
+// refused at send, response cut after the body, and a real mid-body wire
+// cut from the replica side — is retried and never changes the bytes.
+func TestDistTransportFaults(t *testing.T) {
+	golden := goldenSummary(t, testSpec())
+	cases := []struct {
+		name  string
+		point string
+	}{
+		{"refused-at-send", dist.FaultPointSend},
+		{"cut-after-recv", dist.FaultPointRecv},
+		{"mid-body-wire-cut", server.FaultPointShardRespond},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r1 := newReplica(t)
+			pool := dist.NewPool(dist.Options{Replicas: []string{r1.URL}, MaxAttempts: 6})
+			disarm := faultpoint.ArmN(tc.point, 1, 2, func() error {
+				return errors.New("chaos: injected transport fault")
+			})
+			defer disarm()
+
+			sum := runDist(t, pool)
+			if !bytes.Equal(sum, golden) {
+				t.Fatalf("summary under %s differs\ngot:  %s\nwant: %s", tc.name, sum, golden)
+			}
+			c := pool.Counters()
+			if c.Retries < 2 {
+				t.Fatalf("counters = %+v, want the 2 injected faults retried", c)
+			}
+			if c.LocalFallbacks != 0 {
+				t.Fatalf("transient faults exhausted dispatch: %+v", c)
+			}
+		})
+	}
+}
+
+// TestDistCoordinatorHardRestart: the coordinator process "dies"
+// mid-distributed-run; a fresh service over the same store (and a fresh
+// pool) resumes the dirty shards through the fleet and converges to the
+// golden bytes.
+func TestDistCoordinatorHardRestart(t *testing.T) {
+	golden := goldenSummary(t, testSpec())
+	path := filepath.Join(t.TempDir(), "dist.ndjson")
+	r1 := newReplica(t)
+
+	store, err := jobs.OpenFileStore(path)
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	eng := explore.New(core.Default())
+	resolve := func(params []byte) (*explore.Engine, error) { return eng, nil }
+	pool := dist.NewPool(dist.Options{Replicas: []string{r1.URL}})
+	svc, err := jobs.New(jobs.Options{
+		Store: store, Resolve: resolve,
+		CheckpointEvery: 4, JobShards: 3, ShardAbove: 8,
+		Dispatch: pool.Run,
+	})
+	if err != nil {
+		t.Fatalf("new service: %v", err)
+	}
+	// Slow dispatches so the abort lands mid-job, after some progress.
+	throttle := faultpoint.Arm(dist.FaultPointSend, func() error {
+		time.Sleep(5 * time.Millisecond)
+		return nil
+	})
+	job, err := svc.Submit("chaos", "", testSpec())
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, prog, _, _ := svc.Get(job.ID); prog.NextIndex > 0 && prog.NextIndex < prog.Total {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	svc.Abort() // simulated coordinator crash: no graceful park
+	throttle()
+
+	store2, err := jobs.OpenFileStore(path)
+	if err != nil {
+		t.Fatalf("reopen store: %v", err)
+	}
+	pool2 := dist.NewPool(dist.Options{Replicas: []string{r1.URL}})
+	svc2 := newCoordinator(t, pool2, store2)
+	if _, _, _, err := svc2.Get(job.ID); err != nil {
+		t.Fatalf("job lost across coordinator restart: %v", err)
+	}
+	sum := waitDone(t, svc2, job.ID)
+	if !bytes.Equal(sum, golden) {
+		t.Fatalf("summary after coordinator hard restart differs\ngot:  %s\nwant: %s", sum, golden)
+	}
+}
+
+// TestDistBaselineMismatchFallsBackLocal: a replica resolving a
+// different baseline model refuses every chunk (fingerprint check), so
+// the coordinator computes locally — wrong replicas can cost time, never
+// correctness.
+func TestDistBaselineMismatchFallsBackLocal(t *testing.T) {
+	golden := goldenSummary(t, testSpec())
+	r1 := newReplica(t)
+	pool := dist.NewPool(dist.Options{
+		Replicas:    []string{r1.URL},
+		BaselineFP:  "fp:chaos-divergent-baseline",
+		MaxAttempts: 2,
+	})
+	sum := runDist(t, pool)
+	if !bytes.Equal(sum, golden) {
+		t.Fatalf("summary after baseline mismatch differs\ngot:  %s\nwant: %s", sum, golden)
+	}
+	if c := pool.Counters(); c.LocalFallbacks == 0 || c.Completed != 0 {
+		t.Fatalf("counters = %+v, want every chunk refused and run locally", c)
+	}
+}
+
+// TestDistAllReplicasDownFallsBackLocal: the graceful-degradation
+// acceptance scenario, through the full coordinator server. Every
+// replica is unreachable; jobs still complete (locally, byte-identical)
+// and /v1/stats reports the fallback.
+func TestDistAllReplicasDownFallsBackLocal(t *testing.T) {
+	golden := goldenSummary(t, testSpec())
+	coord := server.New(server.Options{
+		Replicas:           []string{deadURL(t)},
+		JobShards:          4,
+		JobShardAbove:      16,
+		JobCheckpointEvery: 8,
+	})
+	if err := coord.JobsErr(); err != nil {
+		t.Fatalf("coordinator job tier failed to boot: %v", err)
+	}
+	ts := httptest.NewServer(coord)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = coord.Shutdown(ctx)
+	})
+
+	body, _ := json.Marshal(map[string]any{
+		"space": testSpec().Space,
+		"top":   testSpec().Top,
+	})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var st apitypes.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode submit: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+
+	sum := waitDone(t, coord.Jobs(), st.ID)
+	if !bytes.Equal(sum, golden) {
+		t.Fatalf("summary with the fleet down differs\ngot:  %s\nwant: %s", sum, golden)
+	}
+
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	defer sresp.Body.Close()
+	var stats apitypes.StatsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	d := stats.Dist
+	if d == nil || d.Replicas != 1 || d.LocalFallbacks == 0 || d.Completed != 0 {
+		t.Fatalf("stats.dist = %+v, want 1 dead replica and every chunk falling back locally", d)
+	}
+}
+
+// TestReplicaRegistrationLifecycle: runtime fleet membership over HTTP —
+// RegisterWith (what a -replica-of worker calls) adds the replica, GET
+// lists it, re-registration stays idempotent, garbage is rejected.
+func TestReplicaRegistrationLifecycle(t *testing.T) {
+	coord := server.New(server.Options{})
+	ts := httptest.NewServer(coord)
+	defer ts.Close()
+
+	if err := dist.RegisterWith(context.Background(), http.DefaultClient,
+		ts.URL, "http://worker-1:8035"); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := dist.RegisterWith(context.Background(), http.DefaultClient,
+		ts.URL, "http://worker-1:8035/"); err != nil { // trailing slash normalizes away
+		t.Fatalf("re-register: %v", err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/replicas")
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	defer resp.Body.Close()
+	var list apitypes.ReplicasResponse
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatalf("decode list: %v", err)
+	}
+	if len(list.Replicas) != 1 || list.Replicas[0].URL != "http://worker-1:8035" {
+		t.Fatalf("replica list = %+v, want exactly the registered worker", list.Replicas)
+	}
+	if list.Replicas[0].Static || !list.Replicas[0].Healthy || list.Replicas[0].LastSeen.IsZero() {
+		t.Fatalf("registered replica = %+v, want dynamic, healthy, with a heartbeat time", list.Replicas[0])
+	}
+
+	if err := dist.RegisterWith(context.Background(), http.DefaultClient,
+		ts.URL, "worker-2:8035"); err == nil { // not an absolute URL
+		t.Fatal("relative advertise URL was accepted")
+	}
+}

@@ -1,0 +1,81 @@
+// The replica side of fleet membership: a worker process announces its
+// base URL to the coordinator and keeps re-announcing it on an interval
+// (registration doubles as the heartbeat). A missed interval — crash,
+// partition, overload — lets the coordinator's HeartbeatTimeout mark the
+// replica unhealthy and route chunks elsewhere; a recovered replica
+// simply resumes heartbeating and rejoins the pool.
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/server/apitypes"
+)
+
+// DefaultHeartbeatInterval is the replica's re-registration period; keep
+// it well under the coordinator's HeartbeatTimeout so one dropped beat
+// does not cost membership.
+const DefaultHeartbeatInterval = 5 * time.Second
+
+// Heartbeat registers advertise with the coordinator and re-registers
+// every interval until ctx is cancelled. Registration failures are
+// logged and retried on the next beat — a coordinator restart must not
+// kill its replicas.
+func Heartbeat(ctx context.Context, coordinator, advertise string, interval time.Duration, logger *log.Logger) {
+	if interval <= 0 {
+		interval = DefaultHeartbeatInterval
+	}
+	hc := &http.Client{Timeout: interval}
+	logf := func(format string, args ...any) {
+		if logger != nil {
+			logger.Printf("dist: "+format, args...)
+		}
+	}
+	beat := func() {
+		if err := RegisterWith(ctx, hc, coordinator, advertise); err != nil {
+			logf("heartbeat to %s failed: %v (retrying in %v)", coordinator, err, interval)
+		}
+	}
+	beat()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			beat()
+		}
+	}
+}
+
+// RegisterWith POSTs one registration of advertise to the coordinator's
+// /v1/replicas.
+func RegisterWith(ctx context.Context, hc *http.Client, coordinator, advertise string) error {
+	body, err := json.Marshal(apitypes.RegisterReplicaRequest{URL: advertise})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		coordinator+"/v1/replicas", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return decodeAPIError(resp.StatusCode, data)
+	}
+	return nil
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/faultpoint"
@@ -29,9 +30,21 @@ type FileStore struct {
 // OpenFileStore opens (creating if absent) the store file. A torn
 // trailing line from a crashed writer is truncated away.
 func OpenFileStore(path string) (*FileStore, error) {
+	_, statErr := os.Stat(path)
+	created := os.IsNotExist(statErr)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("jobs: open store: %w", err)
+	}
+	if created {
+		// Fsyncing the file makes its *contents* durable, but the file's
+		// existence lives in the parent directory: without a directory
+		// fsync a power cut right after creation can forget the file
+		// entirely, and every "durable" record with it.
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, err
+		}
 	}
 	end, err := scanComplete(f)
 	if err != nil {
@@ -47,6 +60,20 @@ func OpenFileStore(path string) (*FileStore, error) {
 		return nil, fmt.Errorf("jobs: seek: %w", err)
 	}
 	return &FileStore{f: f, path: path}, nil
+}
+
+// syncDir fsyncs a directory so a just-created entry in it survives a
+// power cut.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("jobs: open store dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("jobs: fsync store dir: %w", err)
+	}
+	return nil
 }
 
 // scanComplete returns the byte offset after the last newline-terminated

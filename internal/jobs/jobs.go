@@ -17,9 +17,11 @@
 package jobs
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"time"
 
 	"repro/internal/server/apitypes"
@@ -127,6 +129,34 @@ type ShardCheckpoint struct {
 	Frontier  json.RawMessage `json:"frontier"`
 	Stats     json.RawMessage `json:"stats"`
 }
+
+// ChunkRequest describes one shard chunk offered to a dispatcher: the
+// owning job (whose spec and fingerprints identify the computation), the
+// shard's durable state before the chunk, and the exclusive end of the
+// index range to fold. The chunk is the pure function
+// [State.NextIndex, ChunkHi) applied to State's reducer snapshots, so
+// executing it twice — or on another machine — returns the same bytes.
+type ChunkRequest struct {
+	Job   Job
+	Shard int
+	// State is the shard's last durable checkpoint: snapshots valid
+	// through State.NextIndex.
+	State ShardCheckpoint
+	// ChunkHi is the exclusive end of the chunk's index range.
+	ChunkHi int
+}
+
+// ChunkRunner executes one shard chunk somewhere — a replica fleet, a
+// test double — and returns the advanced shard state (NextIndex ==
+// ChunkHi, snapshots folded through it). Any error makes the runner
+// fall back to in-process execution of the same range; at-least-once
+// execution of the idempotent chunk is safe by construction.
+type ChunkRunner func(ctx context.Context, req ChunkRequest) (ShardCheckpoint, error)
+
+// ErrNoDispatch reports that a dispatcher has nowhere to send a chunk
+// (no replica registered or healthy). The runner treats it as the
+// normal local-execution path and does not log it per chunk.
+var ErrNoDispatch = errors.New("jobs: no dispatch target")
 
 // Progress is the wire form of a job's position.
 type Progress struct {

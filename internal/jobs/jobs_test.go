@@ -355,6 +355,58 @@ func TestShedParksAndResumes(t *testing.T) {
 	}
 }
 
+// TestShedParkedJobCountsOnceAgainstQuota: a park/resume cycle must not
+// double-charge the tenant's active-job quota. The parked job holds
+// exactly the one reservation its submission took — a resume that
+// re-reserved (or a park that released) would either lock the tenant out
+// after completion or let a second job sneak past the cap while the
+// parked one is still active.
+func TestShedParkedJobCountsOnceAgainstQuota(t *testing.T) {
+	s := newTestService(t, Options{MaxRunning: 1, CheckpointEvery: 4, MaxActivePerTenant: 1})
+	disarm := faultpoint.Arm(FaultPointSink, func() error {
+		time.Sleep(500 * time.Microsecond)
+		return nil
+	})
+	defer disarm()
+	job, err := s.Submit("alice", "", testSpec())
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	// Park it (Shed is boundary-based; retry until the park lands or the
+	// job outruns us).
+	deadline := time.Now().Add(30 * time.Second)
+	parked := false
+	for time.Now().Before(deadline) && !parked {
+		j, _, _, _ := s.Get(job.ID)
+		if j.State.Terminal() {
+			break
+		}
+		if j.State == StateRunning && s.Shed() {
+			parked = true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if parked {
+		if got := s.lim.activeOf("alice"); got != 1 {
+			t.Fatalf("parked job holds %d quota reservations, want exactly 1", got)
+		}
+		// Parked is still active: a second submission stays over the cap.
+		var qe *QuotaError
+		if _, err := s.Submit("alice", "", testSpec()); !errors.As(err, &qe) {
+			t.Fatalf("submit while parked = %v, want QuotaError", err)
+		}
+	}
+	waitState(t, s, job.ID, StateDone)
+	if got := s.lim.activeOf("alice"); got != 0 {
+		t.Fatalf("tenant still holds %d reservations after completion — the park/resume cycle double-charged", got)
+	}
+	// The freed slot admits the next job; a double-charge would lock the
+	// tenant out here.
+	if _, err := s.Submit("alice", "", testSpec()); err != nil {
+		t.Fatalf("submit after completion rejected: %v", err)
+	}
+}
+
 func TestLoadWatcherSheds(t *testing.T) {
 	var load atomic64
 	s := newTestService(t, Options{

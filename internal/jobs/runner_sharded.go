@@ -53,6 +53,87 @@ func (r *reducers) shardCheckpoint(lo, hi, nextIndex int) (ShardCheckpoint, erro
 		Ranked: cp.Ranked, Frontier: cp.Frontier, Stats: cp.Stats}, nil
 }
 
+// NewShardState returns the durable state of an untouched shard [lo, hi):
+// fresh reducer snapshots with the cursor at lo. It is the zero point the
+// runner, the dispatch benchmarks and the replica harness all start from.
+func NewShardState(top, lo, hi int) (ShardCheckpoint, error) {
+	red, err := newReducers(top, nil)
+	if err != nil {
+		return ShardCheckpoint{}, err
+	}
+	return red.shardCheckpoint(lo, hi, lo)
+}
+
+// RunShardChunk executes one shard chunk: restore the reducer set from the
+// shard state's snapshots, fold [sc.NextIndex, chunkHi) over the
+// sequencer-free reduce path, and snapshot the advanced state. This is the
+// one chunk executor every venue shares — the in-process runner and a
+// replica's /v1/shards/run handler both call it — so a chunk computes
+// byte-identical snapshots no matter where it runs (the explore snapshot
+// contract makes restore→fold→snapshot equal to an uninterrupted fold).
+func RunShardChunk(ctx context.Context, eng *explore.Engine, src explore.Source, top int,
+	sc ShardCheckpoint, chunkHi int) (ShardCheckpoint, error) {
+	red, err := newReducers(top, &Checkpoint{
+		Ranked: sc.Ranked, Frontier: sc.Frontier, Stats: sc.Stats})
+	if err != nil {
+		return ShardCheckpoint{}, err
+	}
+	if _, err := eng.ReduceRange(ctx, src, sc.NextIndex, chunkHi,
+		red.ranked, red.frontier, red.stats); err != nil {
+		return ShardCheckpoint{}, err
+	}
+	return red.shardCheckpoint(sc.Lo, sc.Hi, chunkHi)
+}
+
+// validChunk checks a dispatched chunk result against its request: the
+// range must be unchanged and the cursor advanced exactly to ChunkHi,
+// with all three snapshots present. Anything else is treated as a
+// dispatch failure and the chunk re-runs locally.
+func validChunk(req ChunkRequest, sc ShardCheckpoint) bool {
+	return sc.Lo == req.State.Lo && sc.Hi == req.State.Hi && sc.NextIndex == req.ChunkHi &&
+		len(sc.Ranked) > 0 && len(sc.Frontier) > 0 && len(sc.Stats) > 0
+}
+
+// runChunk executes one chunk of shard req.Shard: the configured Dispatch
+// hook (a replica fleet) gets the first offer; any dispatch failure falls
+// back to in-process execution of the same range. Both venues run
+// RunShardChunk over the same snapshots, so the venue can never change
+// the resulting bytes — which is what makes at-least-once dispatch (a
+// replica that died after finishing, a lease that expired on a slow but
+// alive worker) safe.
+func (s *Service) runChunk(ctx context.Context, req ChunkRequest,
+	eng *explore.Engine, src explore.Source) (ShardCheckpoint, error) {
+	if d := s.opts.Dispatch; d != nil {
+		sc, err := d(ctx, req)
+		switch {
+		case err == nil && validChunk(req, sc):
+			return sc, nil
+		case ctx.Err() != nil:
+			return ShardCheckpoint{}, ctx.Err()
+		case err == nil:
+			s.logf("job %s: shard %d: dispatched chunk returned inconsistent state ([%d,%d) next %d, want [%d,%d) next %d) — running locally",
+				req.Job.ID, req.Shard, sc.Lo, sc.Hi, sc.NextIndex, req.State.Lo, req.State.Hi, req.ChunkHi)
+		case !errors.Is(err, ErrNoDispatch):
+			s.logf("job %s: shard %d: dispatch of [%d,%d) failed: %v — running locally",
+				req.Job.ID, req.Shard, req.State.NextIndex, req.ChunkHi, err)
+		}
+	}
+	// Contain an armed fault-point panic (and any other panic on this
+	// goroutine) the same way the engine contains worker panics, so the
+	// caller's dirty-retry policy applies uniformly.
+	return func() (sc ShardCheckpoint, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &explore.PanicError{Value: r, Stack: debug.Stack()}
+			}
+		}()
+		if err := faultpoint.Hit(FaultPointShardChunk); err != nil {
+			return ShardCheckpoint{}, err
+		}
+		return RunShardChunk(ctx, eng, src, req.Job.Spec.Top, req.State, req.ChunkHi)
+	}()
+}
+
 // mergeShardCheckpoints restores every shard's reducer snapshots and merges
 // them in index order into one reducer set. Shards are contiguous ranges
 // merged in enumeration order, so the result matches the single-cursor fold
@@ -72,34 +153,30 @@ func mergeShardCheckpoints(top int, shards []ShardCheckpoint) (*reducers, error)
 	return merged, nil
 }
 
-// shardRun is one shard's in-memory execution state: live reducers plus
-// the last durable checkpoint they are a restore of.
-type shardRun struct {
-	red  *reducers
-	last ShardCheckpoint
-}
-
 // runSharded executes one leased job as k concurrent index-range shards.
 // It owns the same state transitions as run and reuses its fail closure.
+// Shard execution is snapshot-driven: each shard's in-memory state IS its
+// last durable ShardCheckpoint, and every chunk is the pure function
+// runChunk(state, chunkHi) — which is what lets a chunk execute on a
+// replica (internal/dist) as easily as in-process.
 func (s *Service) runSharded(ctx context.Context, h *runHandle, e *jobEntry, id string, job Job,
 	eng *explore.Engine, src explore.Source, cp *Checkpoint, k int, fail func(msg, panicMsg string)) {
 
-	// Build the shard set: restore each shard from its own snapshot when a
-	// sharded checkpoint exists, otherwise split [0, Total) evenly. A
-	// corrupt shard snapshot restarts the whole job from scratch — the same
+	// Build the shard set: adopt each shard's own snapshot when a sharded
+	// checkpoint exists, otherwise split [0, Total) evenly. A corrupt
+	// shard snapshot restarts the whole job from scratch — the same
 	// policy the unsharded path applies to a corrupt checkpoint.
-	shards := make([]*shardRun, k)
+	shards := make([]ShardCheckpoint, k)
 	restored := cp != nil && len(cp.Shards) == k
 	if restored {
 		for i := range shards {
-			red, err := newReducers(job.Spec.Top, &Checkpoint{
-				Ranked: cp.Shards[i].Ranked, Frontier: cp.Shards[i].Frontier, Stats: cp.Shards[i].Stats})
-			if err != nil {
+			if _, err := newReducers(job.Spec.Top, &Checkpoint{
+				Ranked: cp.Shards[i].Ranked, Frontier: cp.Shards[i].Frontier, Stats: cp.Shards[i].Stats}); err != nil {
 				s.logf("job %s: shard %d: %v — restarting all shards from index 0", id, i, err)
 				restored = false
 				break
 			}
-			shards[i] = &shardRun{red: red, last: cp.Shards[i]}
+			shards[i] = cp.Shards[i]
 		}
 	}
 	if !restored {
@@ -110,24 +187,23 @@ func (s *Service) runSharded(ctx context.Context, h *runHandle, e *jobEntry, id 
 			if i < rem {
 				size++
 			}
-			red, _ := newReducers(job.Spec.Top, nil)
-			sc, err := red.shardCheckpoint(lo, lo+size, lo)
+			sc, err := NewShardState(job.Spec.Top, lo, lo+size)
 			if err != nil {
 				fail("checkpoint: "+err.Error(), "")
 				return
 			}
-			shards[i] = &shardRun{red: red, last: sc}
+			shards[i] = sc
 			lo += size
 		}
 	}
 
 	buildCheckpoint := func() Checkpoint {
 		ncp := Checkpoint{Shards: make([]ShardCheckpoint, k)}
-		for j, sr := range shards {
-			ncp.Shards[j] = sr.last
+		for j, sc := range shards {
+			ncp.Shards[j] = sc
 			// Top-level NextIndex stays the monotone completed-candidate
 			// count so unsharded progress consumers keep working.
-			ncp.NextIndex += sr.last.NextIndex - sr.last.Lo
+			ncp.NextIndex += sc.NextIndex - sc.Lo
 		}
 		return ncp
 	}
@@ -174,7 +250,7 @@ func (s *Service) runSharded(ctx context.Context, h *runHandle, e *jobEntry, id 
 	persistShard := func(i int, sc ShardCheckpoint) error {
 		mu.Lock()
 		defer mu.Unlock()
-		shards[i].last = sc
+		shards[i] = sc
 		ncp := buildCheckpoint()
 		if perr := s.persist(Record{Kind: "checkpoint", JobID: id, Checkpoint: &ncp}); perr != nil {
 			return perr
@@ -191,41 +267,22 @@ func (s *Service) runSharded(ctx context.Context, h *runHandle, e *jobEntry, id 
 	var wg sync.WaitGroup
 	for i := range shards {
 		wg.Add(1)
-		go func(i int, sr *shardRun) {
+		go func(i int, cur ShardCheckpoint) {
 			defer wg.Done()
-			lo, hi := sr.last.Lo, sr.last.Hi
-			next := sr.last.NextIndex
+			hi := cur.Hi
 			dirty := false
-			for next < hi {
+			for cur.NextIndex < hi {
 				if cctx.Err() != nil {
 					return
 				}
-				chunkHi := next + every
+				chunkHi := cur.NextIndex + every
 				if chunkHi > hi {
 					chunkHi = hi
 				}
-				// Contain an armed fault-point panic (and any other panic on
-				// this goroutine) the same way the engine contains worker
-				// panics, so the dirty-retry policy below applies uniformly.
-				err := func() (err error) {
-					defer func() {
-						if r := recover(); r != nil {
-							err = &explore.PanicError{Value: r, Stack: debug.Stack()}
-						}
-					}()
-					if err := faultpoint.Hit(FaultPointShardChunk); err != nil {
-						return err
-					}
-					_, err = eng.ReduceRange(cctx, src, next, chunkHi, sr.red.ranked, sr.red.frontier, sr.red.stats)
-					return err
-				}()
+				sc, err := s.runChunk(cctx,
+					ChunkRequest{Job: job, Shard: i, State: cur, ChunkHi: chunkHi}, eng, src)
 				if err == nil {
 					dirty = false
-					sc, cerr := sr.red.shardCheckpoint(lo, hi, chunkHi)
-					if cerr != nil {
-						setFatal("checkpoint: "+cerr.Error(), "")
-						return
-					}
 					if perr := persistShard(i, sc); perr != nil {
 						if s.aborted.Load() {
 							cancel()
@@ -234,7 +291,7 @@ func (s *Service) runSharded(ctx context.Context, h *runHandle, e *jobEntry, id 
 						setFatal("persist checkpoint: "+perr.Error(), "")
 						return
 					}
-					next = chunkHi
+					cur = sc
 					// Honor a park/cancel at the chunk boundary; siblings
 					// stop at their own next edge via the shared cancel.
 					if r := stopReason(h.reason.Load()); r != stopNone || cctx.Err() != nil {
@@ -244,10 +301,10 @@ func (s *Service) runSharded(ctx context.Context, h *runHandle, e *jobEntry, id 
 					continue
 				}
 
-				// The chunk failed. ReduceRange leaves the shard reducers
-				// untouched on error, so the live state still matches the
-				// last durable checkpoint — there is nothing to roll back,
-				// only the decision whether to re-run the dirty range.
+				// The chunk failed. runChunk returns the shard state
+				// untouched on error — cur still matches the last durable
+				// checkpoint — so there is nothing to roll back, only the
+				// decision whether to re-run the dirty range.
 				if cctx.Err() != nil {
 					return
 				}
@@ -256,21 +313,21 @@ func (s *Service) runSharded(ctx context.Context, h *runHandle, e *jobEntry, id 
 					if !dirty {
 						dirty = true
 						s.emit(id, Event{Type: "error",
-							Error: fmt.Sprintf("worker panic in shard %d range [%d,%d): %v — re-running range once", i, next, chunkHi, pe.Value)})
-						s.logf("job %s: contained panic in shard %d [%d,%d), re-running", id, i, next, chunkHi)
+							Error: fmt.Sprintf("worker panic in shard %d range [%d,%d): %v — re-running range once", i, cur.NextIndex, chunkHi, pe.Value)})
+						s.logf("job %s: contained panic in shard %d [%d,%d), re-running", id, i, cur.NextIndex, chunkHi)
 						continue
 					}
-					setFatal(fmt.Sprintf("worker panic in shard %d range [%d,%d) persisted across re-run", i, next, chunkHi),
+					setFatal(fmt.Sprintf("worker panic in shard %d range [%d,%d) persisted across re-run", i, cur.NextIndex, chunkHi),
 						fmt.Sprintf("%v", pe.Value))
 					return
 				}
 				if !dirty {
 					dirty = true
 					s.emit(id, Event{Type: "error",
-						Error: fmt.Sprintf("fault in shard %d range [%d,%d): %v — re-running range once", i, next, chunkHi, err)})
+						Error: fmt.Sprintf("fault in shard %d range [%d,%d): %v — re-running range once", i, cur.NextIndex, chunkHi, err)})
 					continue
 				}
-				setFatal(fmt.Sprintf("shard %d range [%d,%d) failed across re-run: %v", i, next, chunkHi, err), "")
+				setFatal(fmt.Sprintf("shard %d range [%d,%d) failed across re-run: %v", i, cur.NextIndex, chunkHi, err), "")
 				return
 			}
 		}(i, shards[i])
@@ -292,15 +349,10 @@ func (s *Service) runSharded(ctx context.Context, h *runHandle, e *jobEntry, id 
 		return
 	}
 
-	// Terminal summary from the DURABLE shard snapshots, not the live
-	// reducers: restore-and-merge is exactly what a resume after the final
-	// checkpoint would compute, so finishing now or after another crash
-	// yields the same bytes.
-	final := make([]ShardCheckpoint, k)
-	for j, sr := range shards {
-		final[j] = sr.last
-	}
-	merged, err := mergeShardCheckpoints(job.Spec.Top, final)
+	// Terminal summary from the DURABLE shard snapshots: restore-and-merge
+	// is exactly what a resume after the final checkpoint would compute,
+	// so finishing now or after another crash yields the same bytes.
+	merged, err := mergeShardCheckpoints(job.Spec.Top, shards)
 	if err != nil {
 		fail("merge shards: "+err.Error(), "")
 		return

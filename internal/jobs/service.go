@@ -55,6 +55,13 @@ type Options struct {
 	// (≤0 = 4 × CheckpointEvery). Small jobs stay unsharded — shard
 	// bookkeeping would dominate.
 	ShardAbove int
+	// Dispatch, when set, is offered every shard chunk before local
+	// execution (a replica fleet, say). A dispatch error — including
+	// ErrNoDispatch — falls the chunk back to in-process execution of
+	// the same range: the chunk is a pure function of its snapshots, so
+	// running it locally after a failed (or half-finished) remote
+	// attempt cannot change a byte.
+	Dispatch ChunkRunner
 	// RatePerSec/Burst token-bucket submissions per tenant (0 = unlimited).
 	RatePerSec float64
 	Burst      int

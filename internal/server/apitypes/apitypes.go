@@ -523,4 +523,7 @@ type StatsResponse struct {
 	Optimize OptimizeCounters `json:"optimize"`
 	// Jobs aggregates the async job tier (absent when it failed to boot).
 	Jobs *JobsCounters `json:"jobs,omitempty"`
+	// Dist aggregates the distributed shard tier: dispatches to the
+	// replica pool plus shard chunks served for other coordinators.
+	Dist *DistCounters `json:"dist,omitempty"`
 }

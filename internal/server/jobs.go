@@ -43,11 +43,14 @@ func (s *Server) newJobService() (*jobs.Service, error) {
 			}
 			return eng, nil
 		},
-		MaxRunning:         s.opts.MaxRunningJobs,
-		CheckpointEvery:    s.opts.JobCheckpointEvery,
-		MaxSpace:           s.opts.MaxJobSpace,
-		JobShards:          s.opts.JobShards,
-		ShardAbove:         s.opts.JobShardAbove,
+		MaxRunning:      s.opts.MaxRunningJobs,
+		CheckpointEvery: s.opts.JobCheckpointEvery,
+		MaxSpace:        s.opts.MaxJobSpace,
+		JobShards:       s.opts.JobShards,
+		ShardAbove:      s.opts.JobShardAbove,
+		// Shard chunks are offered to the replica pool first; an empty or
+		// unhealthy pool declines and the chunk runs in-process.
+		Dispatch:           s.pool.Run,
 		RatePerSec:         s.opts.JobRatePerSec,
 		Burst:              s.opts.JobBurst,
 		MaxActivePerTenant: s.opts.MaxActiveJobsPerTenant,

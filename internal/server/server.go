@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/explore"
 	"repro/internal/ic"
 	"repro/internal/jobs"
@@ -167,6 +168,19 @@ type Options struct {
 	// requests to finish and running jobs to reach a checkpoint; 0 means
 	// DefaultDrainTimeout.
 	DrainTimeout time.Duration
+
+	// Replicas are worker base URLs the job tier may dispatch shard
+	// chunks to (POST /v1/shards/run). Empty means every chunk runs
+	// in-process; more replicas join at runtime via POST /v1/replicas.
+	Replicas []string
+	// ShardLease bounds one dispatched chunk: a replica that has not
+	// answered within the lease loses the chunk to reassignment (and its
+	// late completion is discarded); ≤0 means the dist package default.
+	ShardLease time.Duration
+	// ReplicaHeartbeatTimeout is how long a runtime-registered replica
+	// may stay silent before it stops receiving chunks; ≤0 means the
+	// dist package default.
+	ReplicaHeartbeatTimeout time.Duration
 }
 
 // DefaultDrainTimeout bounds graceful shutdown when Options.DrainTimeout
@@ -287,6 +301,13 @@ type Server struct {
 	jobsErr  error
 	draining atomic.Bool
 
+	// pool is the replica fleet shard chunks dispatch to (empty pool =
+	// every chunk runs locally); shardRuns/shardCands count the chunks
+	// this process served as a replica for some other coordinator.
+	pool       *dist.Pool
+	shardRuns  atomic.Uint64
+	shardCands atomic.Uint64
+
 	inFlight  atomic.Int64
 	evaluated atomic.Uint64
 	metrics   map[string]*endpointMetrics
@@ -361,6 +382,18 @@ func New(opts Options) *Server {
 	s.route("/v1/stats", http.MethodGet, s.handleStats)
 	s.route("/healthz", http.MethodGet, s.handleHealth)
 	s.route("/readyz", http.MethodGet, s.handleReady)
+	// The distributed shard tier: the pool always exists (an empty pool
+	// declines dispatch instantly and the job tier runs purely local),
+	// so replicas can join a running coordinator at any time.
+	s.pool = dist.NewPool(dist.Options{
+		Replicas:         opts.Replicas,
+		Lease:            opts.ShardLease,
+		HeartbeatTimeout: opts.ReplicaHeartbeatTimeout,
+		BaselineFP:       baseFP.String(),
+		Logger:           opts.Logger,
+	})
+	s.route("/v1/shards/run", http.MethodPost, s.handleShardRun)
+	s.routeAny("/v1/replicas", s.handleReplicas)
 	// The job tier dispatches methods itself: the collection takes POST
 	// and GET, the item GET and DELETE plus the /events sub-resource.
 	s.routeAny("/v1/jobs", s.handleJobs)
@@ -383,6 +416,9 @@ func New(opts Options) *Server {
 
 // Engine exposes the shared evaluator (stats, cache configuration).
 func (s *Server) Engine() *explore.Engine { return s.engine }
+
+// Pool exposes the replica dispatch pool (cmd/serve wiring, tests).
+func (s *Server) Pool() *dist.Pool { return s.pool }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
@@ -790,6 +826,21 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) int {
 			Running:   c.Running,
 			Queued:    c.Queued,
 		}
+	}
+	pc := s.pool.Counters()
+	resp.Dist = &apitypes.DistCounters{
+		Replicas:         pc.Replicas,
+		Healthy:          pc.Healthy,
+		Dispatched:       pc.Dispatched,
+		Completed:        pc.Completed,
+		Retries:          pc.Retries,
+		Reassignments:    pc.Reassignments,
+		LeaseExpiries:    pc.LeaseExpiries,
+		StaleDropped:     pc.StaleDropped,
+		BreakerOpened:    pc.BreakerOpened,
+		LocalFallbacks:   pc.LocalFallbacks,
+		ShardRunsServed:  s.shardRuns.Load(),
+		CandidatesServed: s.shardCands.Load(),
 	}
 	for path, em := range s.metrics {
 		st := apitypes.EndpointStats{

@@ -1,0 +1,151 @@
+// The distributed-shard endpoints: POST /v1/shards/run executes one
+// shard chunk for a remote coordinator, and /v1/replicas is fleet
+// membership (POST registers/heartbeats a worker, GET lists health).
+//
+// A replica is stateless: the request carries the full spec, the reducer
+// snapshots and the index range, and the handler runs the exact same
+// chunk executor (jobs.RunShardChunk) the in-process runner uses — so a
+// chunk computes byte-identical snapshots wherever it runs. The handler
+// verifies the coordinator's spec/params/baseline fingerprints before
+// evaluating: a replica resolving a different model must refuse the
+// chunk rather than silently break byte-identity.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/faultpoint"
+	"repro/internal/jobs"
+	"repro/internal/server/apitypes"
+)
+
+// FaultPointShardRespond fires after a shard-run response is computed;
+// an armed error makes the handler promise the full body but cut the
+// connection halfway through it — the mid-body failure a replica dying
+// between evaluation and delivery produces.
+const FaultPointShardRespond = "server.shards.respond"
+
+// handleShardRun evaluates one shard chunk for a remote coordinator.
+func (s *Server) handleShardRun(w http.ResponseWriter, r *http.Request) int {
+	var req apitypes.ShardRunRequest
+	if err := s.decode(w, r, &req); err != nil {
+		return decodeStatus(w, err)
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	// Chunk evaluation is bulk model work: it takes a regular evaluation
+	// slot, and saturation answers 429 + Retry-After so the coordinator's
+	// backoff (not a queue here) absorbs the pressure.
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return acquireStatus(w, err)
+	}
+	defer release()
+
+	if req.BaselineFP != "" && req.BaselineFP != s.baseFP.String() {
+		return writeError(w, http.StatusUnprocessableEntity, "baseline_mismatch",
+			fmt.Sprintf("replica baseline params %s differ from coordinator baseline %s",
+				s.baseFP.String(), req.BaselineFP))
+	}
+	eng, apiErr := s.resolveEngine(req.Params)
+	if apiErr != nil {
+		return writeError(w, errStatus(apiErr), apiErr.Code, apiErr.Message)
+	}
+	spec := jobs.Spec{Space: req.Space, Top: req.Top, Params: req.Params, Budget: req.Budget}
+	if fp := spec.Fingerprint(); req.SpecFP != "" && fp != req.SpecFP {
+		return writeError(w, http.StatusUnprocessableEntity, "spec_mismatch",
+			fmt.Sprintf("spec fingerprints %s (replica) vs %s (coordinator) — mismatched builds?", fp, req.SpecFP))
+	}
+	if fp := spec.ParamsFingerprint(); req.ParamsFP != "" && fp != req.ParamsFP {
+		return writeError(w, http.StatusUnprocessableEntity, "params_mismatch",
+			fmt.Sprintf("params fingerprints %s (replica) vs %s (coordinator)", fp, req.ParamsFP))
+	}
+	space, serr := spec.Space.SpaceWith(eng.Model.GridDB())
+	if serr != nil {
+		return writeError(w, http.StatusBadRequest, "bad_request", "invalid space: "+serr.Error())
+	}
+	it, serr := space.Iter()
+	if serr != nil {
+		return writeError(w, http.StatusBadRequest, "bad_request",
+			"space does not enumerate: "+serr.Error())
+	}
+	total := space.Size()
+	if req.Budget > 0 && req.Budget < total {
+		total = req.Budget
+	}
+	if !(0 <= req.Lo && req.Lo <= req.NextIndex && req.NextIndex <= req.ChunkHi &&
+		req.ChunkHi <= req.Hi && req.Hi <= total) {
+		return writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("inconsistent shard range: lo %d ≤ next %d ≤ chunk_hi %d ≤ hi %d ≤ total %d must hold",
+				req.Lo, req.NextIndex, req.ChunkHi, req.Hi, total))
+	}
+
+	sc, rerr := jobs.RunShardChunk(ctx, eng, it.Plan(), req.Top, jobs.ShardCheckpoint{
+		Lo: req.Lo, Hi: req.Hi, NextIndex: req.NextIndex,
+		Ranked: req.Ranked, Frontier: req.Frontier, Stats: req.Stats,
+	}, req.ChunkHi)
+	if rerr != nil {
+		if ctx.Err() != nil {
+			return cancelStatus(w, ctx.Err())
+		}
+		// A restore failure (corrupt snapshots) or a contained worker
+		// panic: the chunk is not computable here. The coordinator treats
+		// any error as "re-run elsewhere", so one status fits all.
+		return writeError(w, http.StatusUnprocessableEntity, "chunk_failed", rerr.Error())
+	}
+	s.shardRuns.Add(1)
+	s.shardCands.Add(uint64(req.ChunkHi - req.NextIndex))
+
+	body, merr := json.Marshal(apitypes.ShardRunResponse{
+		NextIndex: sc.NextIndex,
+		Evaluated: req.ChunkHi - req.NextIndex,
+		Ranked:    sc.Ranked,
+		Frontier:  sc.Frontier,
+		Stats:     sc.Stats,
+	})
+	if merr != nil {
+		return writeError(w, http.StatusInternalServerError, "internal", merr.Error())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	if ferr := faultpoint.Hit(FaultPointShardRespond); ferr != nil {
+		// Promise the full body, deliver half, and return: net/http closes
+		// the connection short, so the coordinator reads an unexpected EOF
+		// mid-body over a real wire — after this replica already spent the
+		// evaluation (the stale/duplicated work the lease design absorbs).
+		_, _ = w.Write(body[:len(body)/2])
+		return http.StatusOK
+	}
+	_, _ = w.Write(body)
+	return http.StatusOK
+}
+
+// handleReplicas serves fleet membership: POST registers (and
+// re-registering is the heartbeat), GET lists the coordinator's health
+// view of every replica.
+func (s *Server) handleReplicas(w http.ResponseWriter, r *http.Request) int {
+	switch r.Method {
+	case http.MethodPost:
+		var req apitypes.RegisterReplicaRequest
+		if err := s.decode(w, r, &req); err != nil {
+			return decodeStatus(w, err)
+		}
+		url := strings.TrimRight(req.URL, "/")
+		if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+			return writeError(w, http.StatusBadRequest, "bad_request",
+				`"url" must be an absolute http(s) base URL`)
+		}
+		s.pool.Register(url)
+		return writeJSON(w, apitypes.ReplicasResponse{Replicas: s.pool.Replicas()})
+	case http.MethodGet:
+		return writeJSON(w, apitypes.ReplicasResponse{Replicas: s.pool.Replicas()})
+	default:
+		w.Header().Set("Allow", "POST, GET")
+		return writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			"/v1/replicas requires POST or GET")
+	}
+}

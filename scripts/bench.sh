@@ -21,6 +21,7 @@
 #   block     block kernel vs scalar streaming baseline (gated >= 3.0x in CI)
 #   reduce    sequencer-free sharded reduce vs ordered stream (gated >= 1.0x in CI)
 #   optimize  successive-halving optimizer
+#   dist      loopback shard-chunk dispatch round trip (coordinator -> replica)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -49,6 +50,7 @@ bench factored 30 'BenchmarkStreamExploreMonolithic$|BenchmarkStreamExploreFacto
 bench block 30 'BenchmarkStreamExploreScalar$|BenchmarkStreamExploreBlock$' ./internal/explore
 bench reduce 50 'BenchmarkStreamReduceOrdered$|BenchmarkStreamReduceSharded$' ./internal/explore
 bench optimize 1 'BenchmarkOptimizeHalving' ./internal/optimize
+bench dist 20 'BenchmarkDistDispatch' ./internal/dist
 
 echo
 echo "== wrote to ${OUT}:"
